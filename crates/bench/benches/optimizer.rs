@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the optimizer (E4 in microbenchmark form):
+//! end-to-end execution of the paper's Example 1 under each optimizer
+//! layer, plus optimization time itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moa_core::{Env, Expr, OptimizerConfig, Session, Value};
+
+fn example1(n: i64) -> Expr {
+    Expr::bag_select(
+        Expr::projecttobag(Expr::constant(Value::int_list(0..n))),
+        Value::Int(n / 2),
+        Value::Int(n / 2 + n / 100),
+    )
+}
+
+fn bench_example1_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("example1_exec");
+    g.sample_size(20);
+    for n in [10_000i64, 100_000] {
+        let expr = example1(n);
+        let mut naive = Session::new();
+        naive.set_optimizer_config(OptimizerConfig::disabled());
+        let mut inter = Session::new();
+        inter.set_optimizer_config(OptimizerConfig {
+            logical: true,
+            inter_object: true,
+            intra_object: false,
+            max_passes: 8,
+        });
+        let full = Session::new();
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive.run(black_box(&expr), &Env::new()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("inter", n), &n, |b, _| {
+            b.iter(|| inter.run(black_box(&expr), &Env::new()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("inter_intra", n), &n, |b, _| {
+            b.iter(|| full.run(black_box(&expr), &Env::new()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimize_time(c: &mut Criterion) {
+    // Rewriting itself must be cheap relative to execution.
+    let session = Session::new();
+    let expr = example1(10_000);
+    c.bench_function("optimize_only", |b| {
+        b.iter(|| session.optimize(black_box(&expr)))
+    });
+}
+
+criterion_group!(benches, bench_example1_execution, bench_optimize_time);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the BAT kernel: selection paths (scan vs
+//! binary search vs sparse index), joins, grouped aggregation, and the
+//! bounded first-N operator — the physical substrate whose cost shape the
+//! fragmentation argument depends on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moa_storage::ops::{
+    fetch_join, firstn, group_aggregate, hash_join, scan_select, select_range, sort_by_tail,
+    sum_by_head_dense, AggFn, Direction,
+};
+use moa_storage::{Bat, Column, Scalar, SparseIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sorted_bat(n: u32) -> Bat {
+    Bat::dense(Column::from((0..n).collect::<Vec<u32>>()))
+}
+
+fn random_scores(n: u32, seed: u64) -> Bat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Bat::dense(Column::from(
+        (0..n).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>(),
+    ))
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("select");
+    for n in [10_000u32, 100_000] {
+        let bat = sorted_bat(n);
+        let idx = SparseIndex::build(&bat, 256).expect("sorted");
+        let lo = Scalar::U32(n / 2);
+        let hi = Scalar::U32(n / 2 + n / 100);
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| scan_select(black_box(&bat), &lo, &hi).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("binary_search", n), &n, |b, _| {
+            b.iter(|| select_range(black_box(&bat), &lo, &hi).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("sparse_index", n), &n, |b, _| {
+            b.iter(|| idx.select_range(black_box(&bat), &lo, &hi).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    for n in [10_000u32, 100_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let probes = Bat::dense(Column::from(
+            (0..n).map(|_| rng.gen_range(0..n)).collect::<Vec<u32>>(),
+        ));
+        let target = random_scores(n, 13);
+        g.bench_with_input(BenchmarkId::new("fetch", n), &n, |b, _| {
+            b.iter(|| fetch_join(black_box(&probes), black_box(&target)).unwrap())
+        });
+        let right = Bat::new(
+            (0..n).collect::<Vec<u32>>(),
+            Column::from((0..n).map(f64::from).collect::<Vec<f64>>()),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| hash_join(black_box(&probes), black_box(&right)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregation_and_topn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate");
+    {
+        let n = 100_000u32;
+        let mut rng = StdRng::seed_from_u64(99);
+        let contributions = Bat::new(
+            (0..n).map(|_| rng.gen_range(0..n / 10)).collect::<Vec<u32>>(),
+            Column::from((0..n).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>()),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("dense_sum", n), &n, |b, _| {
+            b.iter(|| sum_by_head_dense(black_box(&contributions), (n / 10) as usize).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("hash_group_sum", n), &n, |b, _| {
+            b.iter(|| group_aggregate(black_box(&contributions), AggFn::Sum).unwrap())
+        });
+
+        let scores = random_scores(n, 3);
+        g.bench_with_input(BenchmarkId::new("full_sort", n), &n, |b, _| {
+            b.iter(|| sort_by_tail(black_box(&scores), Direction::Desc).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("firstn_20", n), &n, |b, _| {
+            b.iter(|| firstn(black_box(&scores), 20, Direction::Desc).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_select, bench_joins, bench_aggregation_and_topn);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the top-N algorithm family (E5/E6/E7 in
+//! microbenchmark form): naive sort vs bounded heap, FA vs TA vs NRA
+//! across list correlations, STOP AFTER policies, and probabilistic top-N.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moa_corpus::{Correlation, FeatureConfig, FeatureLists};
+use moa_storage::EquiWidthHistogram;
+use moa_topn::{
+    aggressive, conservative, fagin_topn, nra_topn, prob_topn, ta_topn, topn, topn_full_sort,
+    Agg, InMemoryLists,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scored(n: usize, seed: u64) -> Vec<(u32, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u32).map(|i| (i, rng.gen::<f64>())).collect()
+}
+
+fn lists(corr: Correlation) -> InMemoryLists {
+    let fl = FeatureLists::generate(&FeatureConfig {
+        num_objects: 20_000,
+        num_lists: 3,
+        correlation: corr,
+        seed: 0xBE9C,
+    })
+    .expect("valid config");
+    InMemoryLists::from_grades(
+        (0..fl.num_lists())
+            .map(|i| {
+                (0..fl.num_objects() as u32)
+                    .map(|o| fl.grade(i, o))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_heap_vs_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap_vs_sort");
+    let input = scored(100_000, 1);
+    for n in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("full_sort", n), &n, |b, &n| {
+            b.iter(|| topn_full_sort(black_box(input.clone()), n))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded_heap", n), &n, |b, &n| {
+            b.iter(|| topn(black_box(input.clone()), n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_middleware(c: &mut Criterion) {
+    let mut g = c.benchmark_group("middleware");
+    g.sample_size(20);
+    for (label, corr) in [
+        ("independent", Correlation::Independent),
+        ("anti", Correlation::AntiCorrelated(0.8)),
+    ] {
+        let src = lists(corr);
+        g.bench_function(BenchmarkId::new("fa_top10", label), |b| {
+            b.iter(|| fagin_topn(black_box(&src), 10, &Agg::Sum))
+        });
+        g.bench_function(BenchmarkId::new("ta_top10", label), |b| {
+            b.iter(|| ta_topn(black_box(&src), 10, &Agg::Sum))
+        });
+        g.bench_function(BenchmarkId::new("nra_top10", label), |b| {
+            b.iter(|| nra_topn(black_box(&src), 10, &Agg::Sum))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stop_after_and_prob(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stop_after");
+    let input = scored(100_000, 2);
+    let pred = |obj: u32| obj.is_multiple_of(10);
+    g.bench_function("conservative", |b| {
+        b.iter(|| conservative(black_box(&input), 20, pred))
+    });
+    g.bench_function("aggressive_accurate", |b| {
+        b.iter(|| aggressive(black_box(&input), 20, 0.1, 1.5, pred))
+    });
+
+    let values: Vec<f64> = input.iter().map(|&(_, s)| s).collect();
+    let hist = EquiWidthHistogram::build(&values, 100).expect("non-empty");
+    g.bench_function("probabilistic_0.95", |b| {
+        b.iter(|| prob_topn(black_box(&input), 20, &hist, 0.95).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heap_vs_sort,
+    bench_middleware,
+    bench_stop_after_and_prob
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E10 — the fragment design space: volume-budget sweep (§3 Step 1).
+//!
+//! Sweeps the fragment-A volume budget from 2% to 100% and reports, for the
+//! unsafe A-only strategy, scanned volume, time, MAP, and overlap with the
+//! full ranking. Speed falls and quality rises monotonically with the
+//! budget; the knee of the quality curve shows how much ranking signal the
+//! rare terms carry — the design insight behind the paper's Step 1.
+
+use moa_ir::{FragmentSpec, Strategy, SwitchPolicy};
+
+use crate::experiments::fixture::RetrievalFixture;
+use crate::harness::{fmt_duration, Scale, Table};
+
+/// Run E10.
+pub fn run(scale: Scale) -> Table {
+    let f = RetrievalFixture::build(scale);
+    let policy = SwitchPolicy::default();
+
+    // Reference: full scan on any fragmentation (identical results).
+    let frag_ref = f.fragment(FragmentSpec::VolumeFraction(0.5));
+    let full = f.run_strategy(&frag_ref, Strategy::FullScan, policy);
+    let map_full = f.map(&full);
+
+    let mut t = Table::new(
+        "E10: fragment volume-budget sweep — A-only strategy",
+        &[
+            "A volume budget",
+            "actual A volume",
+            "A term share",
+            "postings scanned",
+            "batch time",
+            "MAP",
+            "overlap@20",
+        ],
+    );
+
+    for &budget in &[0.02f64, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
+        let frag = f.fragment(FragmentSpec::VolumeFraction(budget));
+        let out = f.run_strategy(&frag, Strategy::AOnly, policy);
+        t.row(vec![
+            format!("{:.0}%", budget * 100.0),
+            format!("{:.1}%", frag.volume_fraction_a() * 100.0),
+            format!("{:.1}%", frag.term_fraction_a() * 100.0),
+            out.postings_scanned.to_string(),
+            fmt_duration(out.elapsed),
+            format!("{:.4}", f.map(&out)),
+            format!("{:.3}", f.mean_overlap(&full, &out, 20)),
+        ]);
+    }
+
+    t.note(format!("full-scan reference MAP: {map_full:.4}"));
+    t.note("shape: scanned volume rises with the budget; quality (MAP, overlap) rises monotonically toward the full-scan reference");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn e10_volume_and_quality_monotone() {
+        let t = run(Scale::Quick);
+        let mut prev_volume = -1.0f64;
+        let mut first_overlap = None;
+        let mut last_overlap = 0.0;
+        for row in &t.rows {
+            let vol = pct(&row[1]);
+            assert!(vol + 1e-9 >= prev_volume, "volume not monotone");
+            prev_volume = vol;
+            let overlap: f64 = row[6].parse().unwrap();
+            first_overlap.get_or_insert(overlap);
+            last_overlap = overlap;
+        }
+        assert!(last_overlap >= first_overlap.unwrap());
+        // The 100% budget equals the full reference.
+        assert!((last_overlap - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! E11 (ablation) — the switch-policy threshold design space.
+//!
+//! The safe strategy's early check switches fragment B in when the
+//! B-resident query terms' upper-bound score share exceeds `max_b_share`.
+//! This ablation sweeps the threshold from 0 (always switch: full-scan
+//! quality at full-scan cost) to 1 (never switch: unsafe A-only behaviour),
+//! mapping the safety/speed dial the paper's Step 1 leaves implicit.
+
+use moa_ir::{FragmentSpec, Strategy, SwitchPolicy};
+
+use crate::experiments::fixture::RetrievalFixture;
+use crate::harness::{fmt_duration, Scale, Table};
+
+/// Run E11.
+pub fn run(scale: Scale) -> Table {
+    let f = RetrievalFixture::build(scale);
+    let frag = f.fragment(FragmentSpec::TermFraction(0.95));
+
+    let full = f.run_strategy(&frag, Strategy::FullScan, SwitchPolicy::default());
+    let map_full = f.map(&full);
+
+    let mut t = Table::new(
+        "E11 (ablation): switch-policy threshold sweep (fragment A = 95% rarest terms)",
+        &[
+            "max B share",
+            "queries using B",
+            "postings scanned",
+            "batch time",
+            "MAP",
+            "overlap@20",
+        ],
+    );
+
+    for &threshold in &[0.0f64, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let policy = SwitchPolicy {
+            max_b_share: threshold,
+        };
+        let out = f.run_strategy(&frag, Strategy::Switch { use_b_index: false }, policy);
+        t.row(vec![
+            format!("{threshold:.2}"),
+            format!("{}/{}", out.used_b, f.queries.len()),
+            out.postings_scanned.to_string(),
+            fmt_duration(out.elapsed),
+            format!("{:.4}", f.map(&out)),
+            format!("{:.3}", f.mean_overlap(&full, &out, 20)),
+        ]);
+    }
+
+    t.note(format!("full-scan reference MAP: {map_full:.4}"));
+    t.note("threshold 0 = always consult B (safe, slow); threshold 1 = never (unsafe, fast); the knee shows how cheap safety is on this workload");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_extremes_match_full_and_a_only() {
+        let t = run(Scale::Quick);
+        // Threshold 0.0: every query with at least one B-resident term
+        // consults B (queries entirely inside A never need it, so the count
+        // may be below the workload size); the result is lossless.
+        let first = &t.rows[0];
+        let last = t.rows.last().unwrap(); // threshold 1.0: none does
+        let n_queries: usize = first[1].split('/').nth(1).unwrap().parse().unwrap();
+        let b_first: usize = first[1].split('/').next().unwrap().parse().unwrap();
+        let b_last: usize = last[1].split('/').next().unwrap().parse().unwrap();
+        assert!(b_first * 2 > n_queries, "too few switches at threshold 0");
+        assert_eq!(b_last, 0);
+        // Overlap at threshold 0 is exactly 1 (identical to full scan).
+        let overlap_first: f64 = first[5].parse().unwrap();
+        assert!((overlap_first - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e11_b_usage_is_monotone_in_threshold() {
+        let t = run(Scale::Quick);
+        let mut prev = usize::MAX;
+        for row in &t.rows {
+            let used: usize = row[1].split('/').next().unwrap().parse().unwrap();
+            assert!(used <= prev, "B usage not monotone: {used} after {prev}");
+            prev = used;
+        }
+    }
+}

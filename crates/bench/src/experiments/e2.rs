@@ -1,0 +1,96 @@
+//! E2 — the safe variant: early quality check + fragment switch (§3 Step 1).
+//!
+//! Claim under test: *"I inserted a check early in the query plan that is
+//! able to detect when the answer quality would be better when the other
+//! fragment would be used. This allows query processing to switch
+//! accordingly in time. This improved the answer quality significantly but
+//! lowered the speed also quite a lot."*
+
+use moa_ir::{FragmentSpec, Strategy, SwitchPolicy};
+
+use crate::experiments::fixture::RetrievalFixture;
+use crate::harness::{fmt_duration, Scale, Table};
+
+/// Run E2.
+pub fn run(scale: Scale) -> Table {
+    let f = RetrievalFixture::build(scale);
+    let frag = f.fragment(FragmentSpec::TermFraction(0.95));
+    let policy = SwitchPolicy::default();
+
+    let full = f.run_strategy(&frag, Strategy::FullScan, policy);
+    let a_only = f.run_strategy(&frag, Strategy::AOnly, policy);
+    let switch = f.run_strategy(&frag, Strategy::Switch { use_b_index: false }, policy);
+
+    let map_full = f.map(&full);
+    let map_a = f.map(&a_only);
+    let map_switch = f.map(&switch);
+
+    let mut t = Table::new(
+        "E2: safe switching — the early check restores quality",
+        &[
+            "strategy",
+            "postings scanned",
+            "batch time",
+            "MAP",
+            "overlap@20 vs full",
+            "queries using B",
+        ],
+    );
+    t.row(vec![
+        "full scan".into(),
+        full.postings_scanned.to_string(),
+        fmt_duration(full.elapsed),
+        format!("{map_full:.4}"),
+        "1.000".into(),
+        format!("{}/{}", f.queries.len(), f.queries.len()),
+    ]);
+    t.row(vec![
+        "fragment A only (unsafe)".into(),
+        a_only.postings_scanned.to_string(),
+        fmt_duration(a_only.elapsed),
+        format!("{map_a:.4}"),
+        format!("{:.3}", f.mean_overlap(&full, &a_only, 20)),
+        format!("0/{}", f.queries.len()),
+    ]);
+    t.row(vec![
+        "switch (safe)".into(),
+        switch.postings_scanned.to_string(),
+        fmt_duration(switch.elapsed),
+        format!("{map_switch:.4}"),
+        format!("{:.3}", f.mean_overlap(&full, &switch, 20)),
+        format!("{}/{}", switch.used_b, f.queries.len()),
+    ]);
+
+    let recovered = map_full > 0.0 && (map_switch / map_full) > (map_a / map_full);
+    t.note(format!(
+        "claim 'improved the answer quality significantly': MAP {:.4} (A-only) -> {:.4} (switch) vs {:.4} (full) — {}",
+        map_a, map_switch, map_full,
+        if recovered { "HOLDS" } else { "DOES NOT HOLD" }
+    ));
+    let slower_than_a = switch.postings_scanned > a_only.postings_scanned;
+    t.note(format!(
+        "claim 'but lowered the speed also quite a lot': switch scans {} vs A-only {} — {}",
+        switch.postings_scanned,
+        a_only.postings_scanned,
+        if slower_than_a { "HOLDS" } else { "DOES NOT HOLD" }
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_switch_sits_between_extremes() {
+        let t = run(Scale::Quick);
+        let full: f64 = t.rows[0][1].parse().unwrap();
+        let a: f64 = t.rows[1][1].parse().unwrap();
+        let sw: f64 = t.rows[2][1].parse().unwrap();
+        assert!(a < sw && sw <= full, "a={a} sw={sw} full={full}");
+        // Switch quality at least A-only quality.
+        let map_a: f64 = t.rows[1][3].parse().unwrap();
+        let map_sw: f64 = t.rows[2][3].parse().unwrap();
+        assert!(map_sw + 1e-9 >= map_a);
+    }
+}

@@ -1,0 +1,136 @@
+//! E5 — bound-administration top-N algorithms vs the naive baseline (§2).
+//!
+//! The paper imports from Fagin's line of work the idea of "maintaining the
+//! proper upper and lower bound administration … ending the processing as
+//! soon as it is certain that the required top N answers have been
+//! computed". FA, TA and NRA are compared against the full-scan baseline on
+//! multi-feature workloads of varying list correlation.
+
+use moa_corpus::{Correlation, FeatureConfig, FeatureLists};
+use moa_topn::{fagin_topn, nra_topn, ta_topn, Agg, InMemoryLists};
+
+use crate::harness::{Scale, Table};
+
+fn to_lists(fl: &FeatureLists) -> InMemoryLists {
+    let grades: Vec<Vec<f64>> = (0..fl.num_lists())
+        .map(|i| {
+            (0..fl.num_objects() as u32)
+                .map(|o| fl.grade(i, o))
+                .collect()
+        })
+        .collect();
+    InMemoryLists::from_grades(grades)
+}
+
+/// Run E5.
+pub fn run(scale: Scale) -> Table {
+    let n_obj = match scale {
+        Scale::Quick => 10_000,
+        Scale::Full => 100_000,
+    };
+    let m = 3usize;
+
+    let mut t = Table::new(
+        "E5: FA / TA / NRA early termination vs naive full scan (m=3 lists, sum aggregation)",
+        &[
+            "correlation",
+            "N",
+            "naive accesses",
+            "FA sorted+random",
+            "TA sorted+random",
+            "NRA sorted",
+        ],
+    );
+
+    let correlations = [
+        ("independent", Correlation::Independent),
+        ("correlated(0.8)", Correlation::Correlated(0.8)),
+        ("anti(0.8)", Correlation::AntiCorrelated(0.8)),
+    ];
+    let ns: &[usize] = &[1, 10, 100];
+
+    for (label, corr) in correlations {
+        let fl = FeatureLists::generate(&FeatureConfig {
+            num_objects: n_obj,
+            num_lists: m,
+            correlation: corr,
+            seed: 0x0E5,
+        })
+        .expect("valid feature config");
+        let lists = to_lists(&fl);
+        for &n in ns {
+            let naive = n_obj * m; // full scan touches every grade once
+            let fa = fagin_topn(&lists, n, &Agg::Sum);
+            let ta = ta_topn(&lists, n, &Agg::Sum);
+            let nra = nra_topn(&lists, n, &Agg::Sum);
+            // Correctness cross-check against the oracle on every cell.
+            let oracle = lists.topk_oracle(n, &Agg::Sum);
+            assert_eq!(fa.items, oracle, "FA wrong for {label} N={n}");
+            assert_eq!(ta.items, oracle, "TA wrong for {label} N={n}");
+            let mut nra_ids: Vec<u32> = nra.items.iter().map(|&(o, _)| o).collect();
+            let mut oracle_ids: Vec<u32> = oracle.iter().map(|&(o, _)| o).collect();
+            nra_ids.sort_unstable();
+            oracle_ids.sort_unstable();
+            assert_eq!(nra_ids, oracle_ids, "NRA wrong set for {label} N={n}");
+
+            t.row(vec![
+                label.into(),
+                n.to_string(),
+                naive.to_string(),
+                format!("{}+{}", fa.stats.sorted_accesses, fa.stats.random_accesses),
+                format!("{}+{}", ta.stats.sorted_accesses, ta.stats.random_accesses),
+                nra.stats.sorted_accesses.to_string(),
+            ]);
+        }
+    }
+
+    t.note("claim: bound administration allows 'ending the processing as soon as it is certain' — FA/TA/NRA access counts are far below the naive scan for small N");
+    t.note("TA halts no later than FA (instance optimality); anti-correlated lists are the worst case");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_total(cell: &str) -> usize {
+        cell.split('+').map(|p| p.parse::<usize>().unwrap()).sum()
+    }
+
+    #[test]
+    fn e5_early_termination_beats_naive() {
+        let t = run(Scale::Quick);
+        for row in &t.rows {
+            let n: usize = row[1].parse().unwrap();
+            let naive: usize = row[2].parse().unwrap();
+            let ta = parse_total(&row[4]);
+            // Anti-correlated lists are the documented worst case for
+            // bound administration; the ≪-naive claim applies to the
+            // independent and correlated regimes.
+            if n <= 10 && !row[0].starts_with("anti") {
+                assert!(
+                    ta < naive / 2,
+                    "TA {ta} not ≪ naive {naive} for N={n} ({})",
+                    row[0]
+                );
+            }
+            // Even in the worst case TA never exceeds the naive scan plus
+            // its random-access completions.
+            assert!(ta <= naive * 2, "TA {ta} pathological for {}", row[0]);
+        }
+    }
+
+    #[test]
+    fn e5_anticorrelation_costs_more() {
+        let t = run(Scale::Quick);
+        // Compare TA accesses for N=10 between correlated and anti rows.
+        let ta_at = |corr: &str| -> usize {
+            t.rows
+                .iter()
+                .find(|r| r[0] == corr && r[1] == "10")
+                .map(|r| parse_total(&r[4]))
+                .unwrap()
+        };
+        assert!(ta_at("anti(0.8)") > ta_at("correlated(0.8)"));
+    }
+}

@@ -1,0 +1,113 @@
+//! E6 — STOP AFTER placement policies (Carey & Kossmann, §2 \[CK98\]).
+//!
+//! A `STOP AFTER n` above a filtering predicate: the conservative policy
+//! filters everything then stops; the aggressive policy stops early and
+//! restarts when the cardinality estimate was optimistic. The "braking
+//! distance" is the work done beyond the theoretical minimum.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use moa_topn::{aggressive, conservative, scan_stop};
+
+use crate::harness::{Scale, Table};
+
+/// Run E6.
+pub fn run(scale: Scale) -> Table {
+    let n_rows = match scale {
+        Scale::Quick => 20_000usize,
+        Scale::Full => 200_000,
+    };
+    let n = 20usize;
+    let mut rng = StdRng::seed_from_u64(0x0E6);
+    let input: Vec<(u32, f64)> = (0..n_rows as u32).map(|i| (i, rng.gen::<f64>())).collect();
+
+    let mut t = Table::new(
+        "E6: STOP AFTER policies — braking distance (top-20 above a predicate)",
+        &[
+            "true pass rate",
+            "estimate",
+            "policy",
+            "tuples processed",
+            "restarts",
+            "results",
+        ],
+    );
+
+    for &(true_rate, modulo) in &[(0.5f64, 2u32), (0.1, 10), (0.01, 100)] {
+        let pred = move |obj: u32| obj.is_multiple_of(modulo);
+        // Conservative baseline.
+        let cons = conservative(&input, n, pred);
+        t.row(vec![
+            format!("{true_rate}"),
+            "-".into(),
+            "conservative".into(),
+            cons.tuples_processed.to_string(),
+            cons.restarts.to_string(),
+            cons.items.len().to_string(),
+        ]);
+        // Aggressive with an accurate and an optimistic estimate.
+        for (est_label, est) in [("accurate", true_rate), ("optimistic 10x", true_rate * 10.0)] {
+            let aggr = aggressive(&input, n, est.min(1.0), 1.5, pred);
+            assert_eq!(aggr.items, cons.items, "policies disagree");
+            t.row(vec![
+                format!("{true_rate}"),
+                est_label.into(),
+                "aggressive".into(),
+                aggr.tuples_processed.to_string(),
+                aggr.restarts.to_string(),
+                aggr.items.len().to_string(),
+            ]);
+        }
+    }
+
+    // Scan-stop reference: already-sorted input needs exactly n pulls.
+    let mut sorted = input.clone();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let ss = scan_stop(&sorted, n);
+    t.note(format!(
+        "scan-stop on pre-sorted input processes exactly n = {} tuples (the braking-distance minimum)",
+        ss.tuples_processed
+    ));
+    t.note("claim [CK98]: aggressive placement with a good estimate processes a small multiple of n; optimistic estimates cause restarts");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_aggressive_with_good_estimate_beats_conservative() {
+        let t = run(Scale::Quick);
+        // Rows per rate: conservative, accurate, optimistic.
+        for chunk in t.rows.chunks(3) {
+            let rate: f64 = chunk[0][0].parse().unwrap();
+            let cons: usize = chunk[0][3].parse().unwrap();
+            let accurate: usize = chunk[1][3].parse().unwrap();
+            // The theoretical minimum is ~n/rate tuples; aggressive should
+            // stay within a small multiple of it and well below the
+            // conservative full pass.
+            assert!(
+                accurate < cons,
+                "aggressive {accurate} not < conservative {cons}"
+            );
+            let minimum = (20.0 / rate).ceil();
+            assert!(
+                (accurate as f64) <= minimum * 4.0,
+                "aggressive {accurate} far above braking minimum {minimum} at rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn e6_optimistic_estimates_restart() {
+        let t = run(Scale::Quick);
+        let any_restarts = t
+            .rows
+            .iter()
+            .filter(|r| r[1] == "optimistic 10x")
+            .any(|r| r[4].parse::<usize>().unwrap() >= 1);
+        assert!(any_restarts, "expected at least one restart row");
+    }
+}

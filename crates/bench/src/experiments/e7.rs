@@ -1,0 +1,103 @@
+//! E7 — probabilistic top-N (Donjerkovic & Ramakrishnan, §2 \[DR99\]).
+//!
+//! The histogram-derived cutoff is swept over confidence levels. Low
+//! confidence gives an aggressive (high) cutoff — few survivors, cheap sort,
+//! but restarts when the estimate misses; high confidence rarely restarts
+//! but over-admits survivors. With a restart penalty, expected total cost
+//! has an interior minimum — the original paper's central figure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use moa_storage::EquiWidthHistogram;
+use moa_topn::prob_topn;
+
+use crate::harness::{Scale, Table};
+
+/// Run E7.
+pub fn run(scale: Scale) -> Table {
+    let n_rows = match scale {
+        Scale::Quick => 20_000usize,
+        Scale::Full => 200_000,
+    };
+    let n = 50usize;
+    let trials = 20usize;
+
+    let mut t = Table::new(
+        "E7: probabilistic top-N — confidence sweep (histogram from a 1% sample)",
+        &[
+            "confidence",
+            "avg survivors",
+            "restart rate",
+            "avg tuples scanned",
+            "correct",
+        ],
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x0E7);
+    for &conf in &[0.5f64, 0.7, 0.9, 0.99, 0.999] {
+        let mut survivors_sum = 0usize;
+        let mut restarts = 0usize;
+        let mut scanned_sum = 0usize;
+        let mut all_correct = true;
+        for _ in 0..trials {
+            // Fresh data per trial; the histogram sees only a 1% sample, so
+            // its cutoff estimate carries sampling error (as in a real
+            // catalog). The sample histogram is scaled to population size
+            // (each sampled value stands for 100 rows), as an optimizer's
+            // statistics module would.
+            let input: Vec<(u32, f64)> = (0..n_rows as u32)
+                .map(|i| (i, rng.gen::<f64>().powi(2) * 1000.0))
+                .collect();
+            let sample: Vec<f64> = input
+                .iter()
+                .filter(|&&(i, _)| i % 100 == 0)
+                .flat_map(|&(_, s)| std::iter::repeat_n(s, 100))
+                .collect();
+            let hist = EquiWidthHistogram::build(&sample, 50).expect("non-empty sample");
+            let r = prob_topn(&input, n, &hist, conf).expect("valid confidence");
+            survivors_sum += r.first_pass_survivors;
+            restarts += r.restarts.min(1);
+            scanned_sum += r.tuples_scanned;
+            let naive = moa_topn::topn(input.clone(), n);
+            all_correct &= r.items == naive;
+        }
+        t.row(vec![
+            format!("{conf}"),
+            (survivors_sum / trials).to_string(),
+            format!("{:.2}", restarts as f64 / trials as f64),
+            (scanned_sum / trials).to_string(),
+            if all_correct { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    t.note("claim [DR99]: results are always exact; lower confidence admits fewer survivors but risks restarts — expected cost trades the two");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_all_configurations_are_correct() {
+        let t = run(Scale::Quick);
+        assert!(t.rows.iter().all(|r| r[4] == "yes"));
+    }
+
+    #[test]
+    fn e7_higher_confidence_admits_more_survivors() {
+        let t = run(Scale::Quick);
+        let first: usize = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: usize = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last >= first, "survivors {first} -> {last} not increasing");
+    }
+
+    #[test]
+    fn e7_higher_confidence_restarts_less() {
+        let t = run(Scale::Quick);
+        let first: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(last <= first + 1e-9);
+    }
+}

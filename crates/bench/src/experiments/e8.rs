@@ -1,0 +1,174 @@
+//! E8 — cost model accuracy and plan choice (§3 Step 3).
+//!
+//! The centralized cost model predicts the same abstract unit the executor
+//! counts. Over a suite of plans spanning every extension we report
+//! predicted vs measured work and the rank correlation between them, plus
+//! whether cost-based choice picks the measured-cheaper plan on
+//! Example-1-style pairs.
+
+use moa_core::{Env, Expr, OptimizerConfig, Session, Value};
+
+use crate::harness::{Scale, Table};
+
+fn plan_suite(scale: Scale) -> Vec<(&'static str, Expr)> {
+    let n: i64 = match scale {
+        Scale::Quick => 10_000,
+        Scale::Full => 100_000,
+    };
+    let sorted = || Expr::constant(Value::int_list(0..n));
+    let mut plans = vec![
+        (
+            "select scan 10%",
+            Expr::list_select(sorted(), Value::Int(0), Value::Int(n / 10)),
+        ),
+        (
+            "select_ordered 10%",
+            Expr::apply(
+                moa_core::ExtensionId::List,
+                "select_ordered",
+                vec![
+                    sorted(),
+                    Expr::Const(Value::Int(0)),
+                    Expr::Const(Value::Int(n / 10)),
+                ],
+            ),
+        ),
+        ("projecttobag", Expr::projecttobag(sorted())),
+        ("topn 10", Expr::list_topn(sorted(), 10)),
+        ("firstn 10", Expr::list_firstn(sorted(), 10)),
+        ("sum", Expr::list_sum(sorted())),
+        ("length", Expr::list_length(sorted())),
+        (
+            "bag count of projection",
+            Expr::bag_count(Expr::projecttobag(sorted())),
+        ),
+        (
+            "set select of projection",
+            Expr::set_select(
+                Expr::projecttoset(Expr::projecttobag(sorted())),
+                Value::Int(10),
+                Value::Int(500),
+            ),
+        ),
+    ];
+    // A nested pipeline.
+    plans.push((
+        "select+topn pipeline",
+        Expr::list_topn(
+            Expr::list_select(sorted(), Value::Int(0), Value::Int(n / 2)),
+            25,
+        ),
+    ));
+    plans
+}
+
+/// Spearman rank correlation between two equally long samples.
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let (mut da, mut db) = (0.0, 0.0);
+    for i in 0..a.len() {
+        num += (ra[i] - mean) * (rb[i] - mean);
+        da += (ra[i] - mean).powi(2);
+        db += (rb[i] - mean).powi(2);
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da * db).sqrt()
+}
+
+/// Run E8.
+pub fn run(scale: Scale) -> Table {
+    let mut session = Session::new();
+    // Evaluate plans exactly as written (no rewriting), so the estimate is
+    // compared against the plan it describes.
+    session.set_optimizer_config(OptimizerConfig::disabled());
+
+    let mut t = Table::new(
+        "E8: cost model — predicted vs measured work",
+        &["plan", "predicted", "measured", "ratio"],
+    );
+
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    for (label, expr) in plan_suite(scale) {
+        let est = session.estimate(&expr).expect("estimable plan");
+        let rep = session.run(&expr, &Env::new()).expect("valid plan");
+        let ratio = est.cost / (rep.work.max(1) as f64);
+        predicted.push(est.cost);
+        measured.push(rep.work as f64);
+        t.row(vec![
+            label.into(),
+            format!("{:.0}", est.cost),
+            rep.work.to_string(),
+            format!("{ratio:.2}"),
+        ]);
+    }
+
+    let rho = spearman(&predicted, &measured);
+    t.note(format!(
+        "Spearman rank correlation predicted vs measured: {rho:.3} — {}",
+        if rho > 0.8 { "HIGH (plan ordering is predicted reliably)" } else { "LOW" }
+    ));
+
+    // Plan-choice check on Example-1 pairs at three sizes.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for n in [1_000i64, 10_000, 50_000] {
+        let naive = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list(0..n))),
+            Value::Int(n / 4),
+            Value::Int(n / 2),
+        );
+        let (rewritten, _) = Session::new().optimize(&naive);
+        let est_naive = session.estimate(&naive).unwrap().cost;
+        let est_rewritten = session.estimate(&rewritten).unwrap().cost;
+        let work_naive = session.run(&naive, &Env::new()).unwrap().work;
+        let work_rewritten = session.run(&rewritten, &Env::new()).unwrap().work;
+        total += 1;
+        if (est_rewritten < est_naive) == (work_rewritten < work_naive) {
+            correct += 1;
+        }
+    }
+    t.note(format!(
+        "plan choice on Example-1 pairs matches the measured winner in {correct}/{total} cases"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_correlation_is_high() {
+        let t = run(Scale::Quick);
+        let note = t.notes.iter().find(|n| n.contains("Spearman")).unwrap();
+        assert!(note.contains("HIGH"), "{note}");
+    }
+
+    #[test]
+    fn e8_plan_choice_is_perfect_on_example1() {
+        let t = run(Scale::Quick);
+        let note = t.notes.iter().find(|n| n.contains("plan choice")).unwrap();
+        assert!(note.contains("3/3"), "{note}");
+    }
+
+    #[test]
+    fn spearman_sanity() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-9);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-9);
+    }
+}

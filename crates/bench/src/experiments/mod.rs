@@ -1,0 +1,65 @@
+//! Experiment implementations E1–E10.
+//!
+//! | id  | paper anchor                                                | module |
+//! |-----|-------------------------------------------------------------|--------|
+//! | E1  | §3 Step 1: 5%-fragment speedup ≥60%, quality drop >30%      | [`e1`] |
+//! | E2  | §3 Step 1: early check + switch restores quality            | [`e2`] |
+//! | E3  | §3 Step 1: non-dense index on the large fragment            | [`e3`] |
+//! | E4  | §3 Step 2, Example 1: inter-object rewrite                  | [`e4`] |
+//! | E5  | §2: FA/TA/NRA bound administration vs naive                 | [`e5`] |
+//! | E6  | §2 \[CK98\]: STOP AFTER policies and braking distance         | [`e6`] |
+//! | E7  | §2 \[DR99\]: probabilistic top-N confidence sweep             | [`e7`] |
+//! | E8  | §3 Step 3: cost-model accuracy and plan choice              | [`e8`] |
+//! | E9  | §1/§3: Zipf premise and fragment geometry                   | [`e9`] |
+//! | E10 | §3 Step 1 design space: fragment volume sweep               | [`e10`]|
+//! | E11 | ablation: switch-policy threshold sweep                     | [`e11`]|
+//! | E12 | ablation: ranking-model sensitivity                         | [`e12`]|
+//! | E13 | §3 Step 1: set-based vs element-at-a-time architectures     | [`e13`]|
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod fixture;
+
+use crate::harness::{Scale, Table};
+
+/// Run one experiment by id ("e1" … "e10"), or all of them.
+pub fn run(id: &str, scale: Scale) -> Vec<Table> {
+    match id {
+        "e1" => vec![e1::run(scale)],
+        "e2" => vec![e2::run(scale)],
+        "e3" => vec![e3::run(scale)],
+        "e4" => vec![e4::run(scale)],
+        "e5" => vec![e5::run(scale)],
+        "e6" => vec![e6::run(scale)],
+        "e7" => vec![e7::run(scale)],
+        "e8" => vec![e8::run(scale)],
+        "e9" => vec![e9::run(scale)],
+        "e10" => vec![e10::run(scale)],
+        "e11" => vec![e11::run(scale)],
+        "e12" => vec![e12::run(scale)],
+        "e13" => vec![e13::run(scale)],
+        "all" => {
+            let ids = [
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            ];
+            ids.iter().flat_map(|i| run(i, scale)).collect()
+        }
+        other => vec![{
+            let mut t = Table::new("unknown experiment", &["id"]);
+            t.row(vec![other.to_owned()]);
+            t.note("known ids: e1..e13, all");
+            t
+        }],
+    }
+}

@@ -1,0 +1,176 @@
+//! Learned (profiled) distributions — the paper's future-work extension.
+//!
+//! "For the case of non-text content data we are yet not aware of a special
+//! distribution of the data (such as Zipf for text). Maybe such a
+//! distribution can be 'learned' by the system by means of profiling,
+//! although the thus found distribution most likely will not be independent
+//! from the data set."
+//!
+//! [`LearnedDistribution`] implements exactly that: it observes values as
+//! queries touch them (profiling), maintains an equi-width histogram over
+//! the observed range, and answers the selectivity questions the cost model
+//! needs. A staleness guard triggers re-learning when new observations land
+//! outside the learned support — the data-set dependence the paper warns
+//! about, made explicit.
+
+use moa_storage::stats::EquiWidthHistogram;
+
+/// An incrementally learned value distribution.
+#[derive(Debug, Clone)]
+pub struct LearnedDistribution {
+    /// Raw observations kept until the first fit (and between refits).
+    sample: Vec<f64>,
+    /// The fitted histogram, once enough observations exist.
+    fitted: Option<EquiWidthHistogram>,
+    /// Observations outside the fitted support since the last fit.
+    out_of_support: usize,
+    /// Observations required before the first fit.
+    min_sample: usize,
+    /// Histogram resolution.
+    buckets: usize,
+}
+
+impl LearnedDistribution {
+    /// Create a learner that fits after `min_sample` observations into
+    /// `buckets` histogram buckets.
+    pub fn new(min_sample: usize, buckets: usize) -> LearnedDistribution {
+        LearnedDistribution {
+            sample: Vec::new(),
+            fitted: None,
+            out_of_support: 0,
+            min_sample: min_sample.max(2),
+            buckets: buckets.max(1),
+        }
+    }
+
+    /// Observe one value (profiling hook; called as operators touch data).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.sample.push(value);
+        if let Some(h) = &self.fitted {
+            if h.estimate_count_ge(value) == 0.0 && value > 0.0
+                || h.estimate_count_ge(value) == h.total() as f64 && self.sample.len() > 1
+            {
+                // Value fell outside the fitted support on either side.
+                self.out_of_support += 1;
+            }
+        }
+        let should_fit = self.fitted.is_none() && self.sample.len() >= self.min_sample;
+        let should_refit = self.fitted.is_some()
+            && self.out_of_support * 10 > self.sample.len().max(1);
+        if should_fit || should_refit {
+            self.refit();
+        }
+    }
+
+    /// Observe a batch of values.
+    pub fn observe_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Whether a distribution has been learned yet.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted.is_some()
+    }
+
+    /// Number of observations so far.
+    pub fn observations(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Estimated selectivity of `[lo, hi]` under the learned distribution;
+    /// `None` until fitted.
+    pub fn selectivity(&self, lo: f64, hi: f64) -> Option<f64> {
+        self.fitted.as_ref().map(|h| h.estimate_selectivity(lo, hi))
+    }
+
+    /// Estimated count of values `>= x`; `None` until fitted.
+    pub fn count_ge(&self, x: f64) -> Option<f64> {
+        self.fitted.as_ref().map(|h| h.estimate_count_ge(x))
+    }
+
+    /// The cutoff expected to admit at least `n` values (for probabilistic
+    /// top-N over non-text feature data); `None` until fitted.
+    pub fn cutoff_for_at_least(&self, n: usize) -> Option<f64> {
+        self.fitted.as_ref().map(|h| h.cutoff_for_at_least(n))
+    }
+
+    fn refit(&mut self) {
+        if let Ok(h) = EquiWidthHistogram::build(&self.sample, self.buckets) {
+            self.fitted = Some(h);
+            self.out_of_support = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfitted_until_min_sample() {
+        let mut d = LearnedDistribution::new(10, 8);
+        for i in 0..9 {
+            d.observe(f64::from(i));
+            assert!(!d.is_fitted());
+        }
+        d.observe(9.0);
+        assert!(d.is_fitted());
+        assert_eq!(d.observations(), 10);
+    }
+
+    #[test]
+    fn learned_selectivity_tracks_uniform_data() {
+        let mut d = LearnedDistribution::new(100, 20);
+        d.observe_all(&(0..1000).map(f64::from).collect::<Vec<_>>());
+        let sel = d.selectivity(250.0, 750.0).unwrap();
+        assert!((sel - 0.5).abs() < 0.1, "sel={sel}");
+    }
+
+    #[test]
+    fn learned_cutoff_admits_enough() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let mut d = LearnedDistribution::new(100, 50);
+        d.observe_all(&values);
+        let c = d.cutoff_for_at_least(100).unwrap();
+        let admitted = values.iter().filter(|&&v| v >= c).count();
+        assert!(admitted >= 100, "cutoff {c} admitted {admitted}");
+    }
+
+    #[test]
+    fn refits_when_distribution_shifts() {
+        let mut d = LearnedDistribution::new(50, 16);
+        // Learn a [0, 1] distribution…
+        d.observe_all(&(0..100).map(|i| f64::from(i) / 100.0).collect::<Vec<_>>());
+        assert!(d.is_fitted());
+        let before = d.count_ge(5.0).unwrap();
+        assert_eq!(before, 0.0);
+        // …then the data set changes to [0, 10] (the paper's "not
+        // independent from the data set" caveat).
+        d.observe_all(&(0..200).map(|i| f64::from(i) / 20.0).collect::<Vec<_>>());
+        let after = d.count_ge(5.0).unwrap();
+        assert!(after > 0.0, "did not refit: count_ge(5.0) = {after}");
+    }
+
+    #[test]
+    fn nan_observations_ignored() {
+        let mut d = LearnedDistribution::new(2, 4);
+        d.observe(f64::NAN);
+        d.observe(1.0);
+        d.observe(2.0);
+        assert_eq!(d.observations(), 2);
+        assert!(d.is_fitted());
+    }
+
+    #[test]
+    fn queries_before_fit_return_none() {
+        let d = LearnedDistribution::new(10, 4);
+        assert!(d.selectivity(0.0, 1.0).is_none());
+        assert!(d.count_ge(0.5).is_none());
+        assert!(d.cutoff_for_at_least(3).is_none());
+    }
+}

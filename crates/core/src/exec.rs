@@ -1,0 +1,177 @@
+//! Expression evaluation and type inference.
+
+use std::collections::HashMap;
+
+use crate::error::{CoreError, Result};
+use crate::expr::Expr;
+use crate::ext::{ExecContext, Registry};
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// A binding environment for free variables.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: HashMap<String, Value>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Bind a name to a value (replacing any previous binding).
+    pub fn bind(&mut self, name: &str, value: Value) -> &mut Env {
+        self.bindings.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// The types of all bindings (for type inference).
+    pub fn type_env(&self) -> HashMap<String, MoaType> {
+        self.bindings
+            .iter()
+            .map(|(k, v)| (k.clone(), MoaType::of(v)))
+            .collect()
+    }
+}
+
+/// Evaluate an expression under an environment, accumulating work into the
+/// context.
+pub fn evaluate(
+    expr: &Expr,
+    env: &Env,
+    registry: &Registry,
+    ctx: &mut ExecContext,
+) -> Result<Value> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnboundVar(name.clone())),
+        Expr::Apply { ext, op, args } => {
+            let mut arg_values = Vec::with_capacity(args.len());
+            for a in args {
+                arg_values.push(evaluate(a, env, registry, ctx)?);
+            }
+            registry.get(*ext)?.evaluate(op, &arg_values, ctx)
+        }
+    }
+}
+
+/// Infer the type of an expression given variable types.
+pub fn infer_type(
+    expr: &Expr,
+    var_types: &HashMap<String, MoaType>,
+    registry: &Registry,
+) -> Result<MoaType> {
+    match expr {
+        Expr::Const(v) => Ok(MoaType::of(v)),
+        Expr::Var(name) => var_types
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::UnboundVar(name.clone())),
+        Expr::Apply { ext, op, args } => {
+            let mut arg_types = Vec::with_capacity(args.len());
+            for a in args {
+                arg_types.push(infer_type(a, var_types, registry)?);
+            }
+            registry.get(*ext)?.type_check(op, &arg_types)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExtensionId;
+
+    fn registry() -> Registry {
+        Registry::standard()
+    }
+
+    #[test]
+    fn evaluates_papers_example_expression() {
+        // select(projecttobag([1,2,3,4,4,5]), 2, 4) = {2,3,4,4}
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3, 4, 4, 5]))),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let mut ctx = ExecContext::new();
+        let out = evaluate(&e, &Env::new(), &registry(), &mut ctx).unwrap();
+        assert_eq!(
+            out,
+            Value::bag(vec![Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(4)])
+        );
+        assert!(ctx.elements_processed > 0);
+    }
+
+    #[test]
+    fn variables_resolve_through_env() {
+        let e = Expr::list_length(Expr::var("l"));
+        let mut env = Env::new();
+        env.bind("l", Value::int_list([1, 2, 3]));
+        let out = evaluate(&e, &env, &registry(), &mut ExecContext::new()).unwrap();
+        assert_eq!(out, Value::Int(3));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = Expr::var("missing");
+        assert_eq!(
+            evaluate(&e, &Env::new(), &registry(), &mut ExecContext::new()),
+            Err(CoreError::UnboundVar("missing".into()))
+        );
+        assert!(infer_type(&e, &HashMap::new(), &registry()).is_err());
+    }
+
+    #[test]
+    fn type_inference_on_nested_expression() {
+        let e = Expr::bag_count(Expr::projecttobag(Expr::constant(Value::int_list([1, 2]))));
+        let t = infer_type(&e, &HashMap::new(), &registry()).unwrap();
+        assert_eq!(t, MoaType::Int);
+    }
+
+    #[test]
+    fn type_inference_rejects_ill_typed() {
+        // BAG.count over a LIST (not projected) is a type error.
+        let e = Expr::bag_count(Expr::constant(Value::int_list([1])));
+        assert!(infer_type(&e, &HashMap::new(), &registry()).is_err());
+    }
+
+    #[test]
+    fn type_inference_uses_var_types() {
+        let e = Expr::list_length(Expr::var("l"));
+        let mut vt = HashMap::new();
+        vt.insert("l".to_string(), MoaType::List(Box::new(MoaType::Int)));
+        assert_eq!(infer_type(&e, &vt, &registry()).unwrap(), MoaType::Int);
+    }
+
+    #[test]
+    fn env_rebinding_overwrites() {
+        let mut env = Env::new();
+        env.bind("x", Value::Int(1));
+        env.bind("x", Value::Int(2));
+        assert_eq!(env.get("x"), Some(&Value::Int(2)));
+        assert_eq!(env.type_env()["x"], MoaType::Int);
+    }
+
+    #[test]
+    fn work_accumulates_across_nested_ops() {
+        let inner = Expr::list_select(
+            Expr::constant(Value::int_list([1, 2, 3, 4, 5])),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let e = Expr::apply(ExtensionId::List, "sort", vec![inner]);
+        let mut ctx = ExecContext::new();
+        evaluate(&e, &Env::new(), &registry(), &mut ctx).unwrap();
+        assert!(ctx.elements_processed >= 5);
+    }
+}

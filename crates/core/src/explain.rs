@@ -1,0 +1,63 @@
+//! Plan rendering for EXPLAIN output.
+
+use crate::expr::Expr;
+
+/// Render an expression as an indented operator tree.
+pub fn render(expr: &Expr) -> String {
+    let mut out = String::new();
+    render_into(expr, 0, &mut out);
+    out
+}
+
+fn render_into(expr: &Expr, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match expr {
+        Expr::Const(v) => {
+            let s = v.to_string();
+            let shown = if s.len() > 48 {
+                format!("{}… ({} elements)", &s[..s.char_indices().take_while(|(i, _)| *i < 45).map(|(i, c)| i + c.len_utf8()).last().unwrap_or(0)], v.cardinality())
+            } else {
+                s
+            };
+            out.push_str(&format!("{pad}const {shown}\n"));
+        }
+        Expr::Var(name) => out.push_str(&format!("{pad}var ${name}\n")),
+        Expr::Apply { ext, op, args } => {
+            out.push_str(&format!("{pad}{ext}.{op}\n"));
+            for a in args {
+                render_into(a, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_nested_tree() {
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::var("l")),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let s = render(&e);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "BAG.select");
+        assert_eq!(lines[1], "  LIST.projecttobag");
+        assert_eq!(lines[2], "    var $l");
+        assert_eq!(lines[3], "  const 2");
+        assert_eq!(lines[4], "  const 4");
+    }
+
+    #[test]
+    fn long_constants_are_elided() {
+        let big: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let e = Expr::constant(Value::List(big));
+        let s = render(&e);
+        assert!(s.contains("(1000 elements)"), "{s}");
+        assert!(s.len() < 200);
+    }
+}

@@ -1,0 +1,310 @@
+//! Logical algebra expressions.
+//!
+//! An [`Expr`] is a tree of operator applications over constants and named
+//! inputs. Every operator is owned by an [`ExtensionId`] — the structural
+//! fact the *inter-object* optimizer reasons about: rewrite rules fire on
+//! patterns spanning two different extensions' operators (the paper's
+//! Example 1 is `BAG.select ∘ LIST.projecttobag`).
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// The extensions (ADTs / data blades, in the paper's terms) shipped with
+/// this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtensionId {
+    /// Ordered lists.
+    List,
+    /// Multisets.
+    Bag,
+    /// Sets.
+    Set,
+    /// Tuples.
+    Tuple,
+    /// Multimedia ranking (ranked lists produced by content retrieval).
+    MmRank,
+}
+
+impl fmt::Display for ExtensionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExtensionId::List => "LIST",
+            ExtensionId::Bag => "BAG",
+            ExtensionId::Set => "SET",
+            ExtensionId::Tuple => "TUPLE",
+            ExtensionId::MmRank => "MMRANK",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A logical expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A named input, bound at execution time.
+    Var(String),
+    /// An operator application.
+    Apply {
+        /// The extension owning the operator.
+        ext: ExtensionId,
+        /// The operator name.
+        op: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for an operator application.
+    pub fn apply(ext: ExtensionId, op: &str, args: Vec<Expr>) -> Expr {
+        Expr::Apply {
+            ext,
+            op: op.to_owned(),
+            args,
+        }
+    }
+
+    /// A constant expression.
+    pub fn constant(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// A variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    // ------ LIST builders ------
+
+    /// `LIST.select(list, lo, hi)` — elements with values in `[lo, hi]`.
+    pub fn list_select(list: Expr, lo: Value, hi: Value) -> Expr {
+        Expr::apply(
+            ExtensionId::List,
+            "select",
+            vec![list, Expr::Const(lo), Expr::Const(hi)],
+        )
+    }
+
+    /// `LIST.sort(list)` — ascending sort.
+    pub fn list_sort(list: Expr) -> Expr {
+        Expr::apply(ExtensionId::List, "sort", vec![list])
+    }
+
+    /// `LIST.topn(list, n)` — the `n` largest elements, descending.
+    pub fn list_topn(list: Expr, n: i64) -> Expr {
+        Expr::apply(
+            ExtensionId::List,
+            "topn",
+            vec![list, Expr::Const(Value::Int(n))],
+        )
+    }
+
+    /// `LIST.firstn(list, n)` — the first `n` elements.
+    pub fn list_firstn(list: Expr, n: i64) -> Expr {
+        Expr::apply(
+            ExtensionId::List,
+            "firstn",
+            vec![list, Expr::Const(Value::Int(n))],
+        )
+    }
+
+    /// `LIST.projecttobag(list)`.
+    pub fn projecttobag(list: Expr) -> Expr {
+        Expr::apply(ExtensionId::List, "projecttobag", vec![list])
+    }
+
+    /// `LIST.length(list)`.
+    pub fn list_length(list: Expr) -> Expr {
+        Expr::apply(ExtensionId::List, "length", vec![list])
+    }
+
+    /// `LIST.sum(list)`.
+    pub fn list_sum(list: Expr) -> Expr {
+        Expr::apply(ExtensionId::List, "sum", vec![list])
+    }
+
+    // ------ BAG builders ------
+
+    /// `BAG.select(bag, lo, hi)`.
+    pub fn bag_select(bag: Expr, lo: Value, hi: Value) -> Expr {
+        Expr::apply(
+            ExtensionId::Bag,
+            "select",
+            vec![bag, Expr::Const(lo), Expr::Const(hi)],
+        )
+    }
+
+    /// `BAG.count(bag)`.
+    pub fn bag_count(bag: Expr) -> Expr {
+        Expr::apply(ExtensionId::Bag, "count", vec![bag])
+    }
+
+    /// `BAG.sum(bag)`.
+    pub fn bag_sum(bag: Expr) -> Expr {
+        Expr::apply(ExtensionId::Bag, "sum", vec![bag])
+    }
+
+    /// `BAG.projecttoset(bag)`.
+    pub fn projecttoset(bag: Expr) -> Expr {
+        Expr::apply(ExtensionId::Bag, "projecttoset", vec![bag])
+    }
+
+    // ------ SET builders ------
+
+    /// `SET.select(set, lo, hi)`.
+    pub fn set_select(set: Expr, lo: Value, hi: Value) -> Expr {
+        Expr::apply(
+            ExtensionId::Set,
+            "select",
+            vec![set, Expr::Const(lo), Expr::Const(hi)],
+        )
+    }
+
+    /// `SET.member(set, v)`.
+    pub fn set_member(set: Expr, v: Value) -> Expr {
+        Expr::apply(ExtensionId::Set, "member", vec![set, Expr::Const(v)])
+    }
+
+    // ------ MMRANK builders ------
+
+    /// `MMRANK.rank(query)` — rank the collection for a list of term ids.
+    pub fn mm_rank(query: Expr) -> Expr {
+        Expr::apply(ExtensionId::MmRank, "rank", vec![query])
+    }
+
+    /// `MMRANK.topn(ranked, n)`.
+    pub fn mm_topn(ranked: Expr, n: i64) -> Expr {
+        Expr::apply(
+            ExtensionId::MmRank,
+            "topn",
+            vec![ranked, Expr::Const(Value::Int(n))],
+        )
+    }
+
+    /// `MMRANK.cutoff(ranked, threshold)`.
+    pub fn mm_cutoff(ranked: Expr, threshold: f64) -> Expr {
+        Expr::apply(
+            ExtensionId::MmRank,
+            "cutoff",
+            vec![ranked, Expr::Const(Value::Float(threshold))],
+        )
+    }
+
+    /// `MMRANK.projecttolist(ranked)` — document ids in rank order.
+    pub fn mm_projecttolist(ranked: Expr) -> Expr {
+        Expr::apply(ExtensionId::MmRank, "projecttolist", vec![ranked])
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Apply { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// The free variables of the expression, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Var(name) => {
+                    if !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                }
+                Expr::Apply { args, .. } => {
+                    for a in args {
+                        walk(a, out);
+                    }
+                }
+                Expr::Const(_) => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(name) => write!(f, "${name}"),
+            Expr::Apply { ext, op, args } => {
+                write!(f, "{ext}.{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_construct_expected_trees() {
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3]))),
+            Value::Int(2),
+            Value::Int(3),
+        );
+        match &e {
+            Expr::Apply { ext, op, args } => {
+                assert_eq!(*ext, ExtensionId::Bag);
+                assert_eq!(op, "select");
+                assert_eq!(args.len(), 3);
+                assert!(matches!(
+                    &args[0],
+                    Expr::Apply { ext: ExtensionId::List, op, .. } if op == "projecttobag"
+                ));
+            }
+            _ => panic!("expected Apply"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::var("l")),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        assert_eq!(e.to_string(), "BAG.select(LIST.projecttobag($l), 2, 4)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::list_topn(Expr::list_sort(Expr::var("x")), 5);
+        // topn(sort(var), const) = 4 nodes
+        assert_eq!(e.size(), 4);
+    }
+
+    #[test]
+    fn free_vars_in_order_without_duplicates() {
+        let e = Expr::apply(
+            ExtensionId::List,
+            "concat",
+            vec![Expr::var("a"), Expr::var("b")],
+        );
+        let e = Expr::apply(ExtensionId::List, "concat", vec![e, Expr::var("a")]);
+        assert_eq!(e.free_vars(), vec!["a".to_string(), "b".to_string()]);
+        assert!(Expr::constant(Value::Int(1)).free_vars().is_empty());
+    }
+
+    #[test]
+    fn extension_display() {
+        assert_eq!(ExtensionId::MmRank.to_string(), "MMRANK");
+        assert_eq!(ExtensionId::List.to_string(), "LIST");
+    }
+}

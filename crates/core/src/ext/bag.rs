@@ -1,0 +1,300 @@
+//! The BAG extension: multisets.
+//!
+//! Formally a bag has no element order, so the *logical* `select` must scan.
+//! The physical variant `select_ordered` exploits an ordered physical
+//! representation — knowledge that only the inter-object optimizer can
+//! establish (e.g. the bag came from `LIST.projecttobag` of a sorted list).
+//! That asymmetry is the crux of the paper's Example 1.
+
+use crate::error::{CoreError, Result};
+use crate::expr::ExtensionId;
+use crate::ext::list::sum_numeric;
+use crate::ext::{expect_arity, sorted_range, type_err, ExecContext, Extension};
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// The BAG extension.
+pub struct BagExt;
+
+const OPS: &[&str] = &[
+    "select",
+    "select_ordered",
+    "count",
+    "sum",
+    "contains",
+    "union",
+    "projecttoset",
+    "projecttolist",
+];
+
+fn get_bag<'a>(v: &'a Value, op: &str) -> Result<&'a [Value]> {
+    v.as_bag()
+        .ok_or_else(|| type_err(format!("BAG.{op} expects a BAG argument, got {v}")))
+}
+
+impl Extension for BagExt {
+    fn id(&self) -> ExtensionId {
+        ExtensionId::Bag
+    }
+
+    fn ops(&self) -> &'static [&'static str] {
+        OPS
+    }
+
+    fn type_check(&self, op: &str, args: &[MoaType]) -> Result<MoaType> {
+        let bag_elem = |t: &MoaType| -> Result<MoaType> {
+            match t {
+                MoaType::Bag(e) => Ok((**e).clone()),
+                MoaType::Any => Ok(MoaType::Any),
+                other => Err(type_err(format!("BAG.{op}: expected BAG, got {other}"))),
+            }
+        };
+        match op {
+            "select" | "select_ordered" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let e = bag_elem(&args[0])?;
+                if !args[1].compatible(&e) || !args[2].compatible(&e) {
+                    return Err(type_err(format!(
+                        "BAG.{op}: bounds incompatible with element type {e}"
+                    )));
+                }
+                Ok(MoaType::Bag(Box::new(e)))
+            }
+            "count" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                bag_elem(&args[0])?;
+                Ok(MoaType::Int)
+            }
+            "sum" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                match bag_elem(&args[0])? {
+                    MoaType::Int => Ok(MoaType::Int),
+                    MoaType::Float => Ok(MoaType::Float),
+                    MoaType::Any => Ok(MoaType::Any),
+                    other => Err(type_err(format!("BAG.sum: non-numeric elements {other}"))),
+                }
+            }
+            "contains" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let e = bag_elem(&args[0])?;
+                if !args[1].compatible(&e) {
+                    return Err(type_err("BAG.contains: probe type mismatch".to_string()));
+                }
+                Ok(MoaType::Bool)
+            }
+            "union" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let a = bag_elem(&args[0])?;
+                let b = bag_elem(&args[1])?;
+                if !a.compatible(&b) {
+                    return Err(type_err("BAG.union: element types differ".to_string()));
+                }
+                Ok(MoaType::Bag(Box::new(a)))
+            }
+            "projecttoset" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                Ok(MoaType::Set(Box::new(bag_elem(&args[0])?)))
+            }
+            "projecttolist" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                Ok(MoaType::List(Box::new(bag_elem(&args[0])?)))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+
+    fn evaluate(&self, op: &str, args: &[Value], ctx: &mut ExecContext) -> Result<Value> {
+        match op {
+            "select" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let items = get_bag(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                ctx.note(format!("BAG.select: scan over {} elements", items.len()));
+                let out: Vec<Value> = items
+                    .iter()
+                    .filter(|v| {
+                        v.total_cmp(&args[1]) != std::cmp::Ordering::Less
+                            && v.total_cmp(&args[2]) != std::cmp::Ordering::Greater
+                    })
+                    .cloned()
+                    .collect();
+                Ok(Value::bag(out))
+            }
+            "select_ordered" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let items = get_bag(&args[0], op)?;
+                debug_assert!(args[0].is_sorted_asc(), "select_ordered on unsorted rep");
+                let mut work = 0u64;
+                let (s, e) = sorted_range(items, &args[1], &args[2], &mut work);
+                ctx.work(work + (e - s) as u64);
+                ctx.note(format!(
+                    "BAG.select_ordered: binary search on ordered representation, {work} comparisons"
+                ));
+                Ok(Value::Bag(items[s..e].to_vec()))
+            }
+            "count" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_bag(&args[0], op)?;
+                ctx.work(1);
+                Ok(Value::Int(items.len() as i64))
+            }
+            "sum" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_bag(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                sum_numeric(items)
+            }
+            "contains" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_bag(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                Ok(Value::Bool(items.iter().any(|v| v == &args[1])))
+            }
+            "union" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let a = get_bag(&args[0], op)?;
+                let b = get_bag(&args[1], op)?;
+                ctx.work((a.len() + b.len()) as u64);
+                let mut out = a.to_vec();
+                out.extend_from_slice(b);
+                Ok(Value::bag(out))
+            }
+            "projecttoset" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_bag(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                Ok(Value::set(items.to_vec()))
+            }
+            "projecttolist" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_bag(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                // Canonical (sorted) order becomes the list order.
+                Ok(Value::List(items.to_vec()))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::bag(items.into_iter().map(Value::Int).collect())
+    }
+
+    fn eval(op: &str, args: &[Value]) -> Result<Value> {
+        let mut ctx = ExecContext::new();
+        BagExt.evaluate(op, args, &mut ctx)
+    }
+
+    #[test]
+    fn select_keeps_duplicates() {
+        // select({1,2,3,4,4,5}, 2, 4) = {2,3,4,4}
+        let b = bag([1, 2, 3, 4, 4, 5]);
+        let out = eval("select", &[b, Value::Int(2), Value::Int(4)]).unwrap();
+        assert_eq!(out, bag([2, 3, 4, 4]));
+    }
+
+    #[test]
+    fn select_ordered_agrees_with_select() {
+        let b = bag([9, 4, 4, 1, 7]);
+        let a = eval("select", &[b.clone(), Value::Int(3), Value::Int(8)]).unwrap();
+        let o = eval("select_ordered", &[b, Value::Int(3), Value::Int(8)]).unwrap();
+        assert_eq!(a, o);
+    }
+
+    #[test]
+    fn select_ordered_is_cheaper_than_scan() {
+        let big = bag(0..10_000);
+        let mut scan_ctx = ExecContext::new();
+        BagExt
+            .evaluate("select", &[big.clone(), Value::Int(10), Value::Int(20)], &mut scan_ctx)
+            .unwrap();
+        let mut bin_ctx = ExecContext::new();
+        BagExt
+            .evaluate(
+                "select_ordered",
+                &[big, Value::Int(10), Value::Int(20)],
+                &mut bin_ctx,
+            )
+            .unwrap();
+        assert!(bin_ctx.elements_processed * 10 < scan_ctx.elements_processed);
+    }
+
+    #[test]
+    fn count_sum_contains() {
+        let b = bag([4, 4, 5]);
+        assert_eq!(eval("count", &[b.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(eval("sum", &[b.clone()]).unwrap(), Value::Int(13));
+        assert_eq!(eval("contains", &[b.clone(), Value::Int(4)]).unwrap(), Value::Bool(true));
+        assert_eq!(eval("contains", &[b, Value::Int(9)]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn union_accumulates_multiplicity() {
+        let out = eval("union", &[bag([1, 2]), bag([2, 3])]).unwrap();
+        assert_eq!(out, bag([1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn projections() {
+        let b = bag([2, 1, 2]);
+        assert_eq!(
+            eval("projecttoset", &[b.clone()]).unwrap(),
+            Value::set(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            eval("projecttolist", &[b]).unwrap(),
+            Value::int_list([1, 2, 2])
+        );
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(eval("select", &[Value::int_list([1]), Value::Int(0), Value::Int(1)]).is_err());
+        assert!(eval("count", &[Value::Int(3)]).is_err());
+        assert!(matches!(eval("nope", &[]), Err(CoreError::UnknownOp { .. })));
+    }
+
+    #[test]
+    fn type_check_signatures() {
+        let bi = MoaType::Bag(Box::new(MoaType::Int));
+        assert_eq!(
+            BagExt.type_check("select", &[bi.clone(), MoaType::Int, MoaType::Int]).unwrap(),
+            bi
+        );
+        assert_eq!(BagExt.type_check("count", &[bi.clone()]).unwrap(), MoaType::Int);
+        assert_eq!(
+            BagExt.type_check("projecttoset", &[bi.clone()]).unwrap(),
+            MoaType::Set(Box::new(MoaType::Int))
+        );
+        assert_eq!(
+            BagExt.type_check("projecttolist", &[bi.clone()]).unwrap(),
+            MoaType::List(Box::new(MoaType::Int))
+        );
+        assert!(BagExt.type_check("select", &[MoaType::Int, MoaType::Int, MoaType::Int]).is_err());
+        assert!(BagExt
+            .type_check("union", &[bi.clone(), MoaType::Bag(Box::new(MoaType::Str))])
+            .is_err());
+    }
+
+    #[test]
+    fn empty_bag_edges() {
+        let e = Value::bag(vec![]);
+        assert_eq!(eval("count", &[e.clone()]).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval("select", &[e.clone(), Value::Int(0), Value::Int(1)]).unwrap(),
+            Value::bag(vec![])
+        );
+        assert_eq!(eval("sum", &[e]).unwrap(), Value::Int(0));
+    }
+}

@@ -1,0 +1,409 @@
+//! The LIST extension: ordered collections.
+//!
+//! Operators include both the logical set (`select`, `sort`, `topn`, …) and
+//! the physical variant `select_ordered`, which the intra-object optimizer
+//! substitutes when the input's ascending order has been *proven* — turning
+//! an O(n) scan into an O(log n + result) binary search. This is the "even
+//! more efficient when the system is aware of the ordering" clause of the
+//! paper's Example 1.
+
+use crate::error::{CoreError, Result};
+use crate::expr::ExtensionId;
+use crate::ext::{expect_arity, get_usize, sorted_range, type_err, ExecContext, Extension};
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// The LIST extension.
+pub struct ListExt;
+
+const OPS: &[&str] = &[
+    "select",
+    "select_ordered",
+    "sort",
+    "topn",
+    "firstn",
+    "nth",
+    "length",
+    "sum",
+    "concat",
+    "reverse",
+    "projecttobag",
+];
+
+fn get_list<'a>(v: &'a Value, op: &str) -> Result<&'a [Value]> {
+    v.as_list()
+        .ok_or_else(|| type_err(format!("LIST.{op} expects a LIST argument, got {v}")))
+}
+
+impl Extension for ListExt {
+    fn id(&self) -> ExtensionId {
+        ExtensionId::List
+    }
+
+    fn ops(&self) -> &'static [&'static str] {
+        OPS
+    }
+
+    fn type_check(&self, op: &str, args: &[MoaType]) -> Result<MoaType> {
+        let list_elem = |t: &MoaType| -> Result<MoaType> {
+            match t {
+                MoaType::List(e) => Ok((**e).clone()),
+                MoaType::Any => Ok(MoaType::Any),
+                other => Err(type_err(format!("LIST.{op}: expected LIST, got {other}"))),
+            }
+        };
+        match op {
+            "select" | "select_ordered" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let e = list_elem(&args[0])?;
+                if !args[1].compatible(&e) || !args[2].compatible(&e) {
+                    return Err(type_err(format!(
+                        "LIST.{op}: bounds {} / {} incompatible with element type {e}",
+                        args[1], args[2]
+                    )));
+                }
+                Ok(MoaType::List(Box::new(e)))
+            }
+            "sort" | "reverse" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                Ok(MoaType::List(Box::new(list_elem(&args[0])?)))
+            }
+            "topn" | "firstn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                if !args[1].compatible(&MoaType::Int) {
+                    return Err(type_err(format!("LIST.{op}: n must be INT")));
+                }
+                Ok(MoaType::List(Box::new(list_elem(&args[0])?)))
+            }
+            "nth" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                if !args[1].compatible(&MoaType::Int) {
+                    return Err(type_err("LIST.nth: index must be INT".to_string()));
+                }
+                list_elem(&args[0])
+            }
+            "length" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                list_elem(&args[0])?;
+                Ok(MoaType::Int)
+            }
+            "sum" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let e = list_elem(&args[0])?;
+                match e {
+                    MoaType::Int => Ok(MoaType::Int),
+                    MoaType::Float => Ok(MoaType::Float),
+                    MoaType::Any => Ok(MoaType::Any),
+                    other => Err(type_err(format!("LIST.sum: non-numeric elements {other}"))),
+                }
+            }
+            "concat" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let a = list_elem(&args[0])?;
+                let b = list_elem(&args[1])?;
+                if !a.compatible(&b) {
+                    return Err(type_err(format!(
+                        "LIST.concat: element types {a} and {b} differ"
+                    )));
+                }
+                Ok(MoaType::List(Box::new(a)))
+            }
+            "projecttobag" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                Ok(MoaType::Bag(Box::new(list_elem(&args[0])?)))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+
+    fn evaluate(&self, op: &str, args: &[Value], ctx: &mut ExecContext) -> Result<Value> {
+        match op {
+            "select" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let items = get_list(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                ctx.note(format!("LIST.select: scan over {} elements", items.len()));
+                let out: Vec<Value> = items
+                    .iter()
+                    .filter(|v| {
+                        v.total_cmp(&args[1]) != std::cmp::Ordering::Less
+                            && v.total_cmp(&args[2]) != std::cmp::Ordering::Greater
+                    })
+                    .cloned()
+                    .collect();
+                Ok(Value::List(out))
+            }
+            "select_ordered" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let items = get_list(&args[0], op)?;
+                // Physical precondition: ascending order (proven by the
+                // optimizer; verified only in debug builds to keep the
+                // honest O(log n) cost).
+                debug_assert!(
+                    args[0].is_sorted_asc(),
+                    "select_ordered on unsorted input"
+                );
+                let mut work = 0u64;
+                let (s, e) = sorted_range(items, &args[1], &args[2], &mut work);
+                ctx.work(work + (e - s) as u64);
+                ctx.note(format!(
+                    "LIST.select_ordered: binary search, {} comparisons",
+                    work
+                ));
+                Ok(Value::List(items[s..e].to_vec()))
+            }
+            "sort" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_list(&args[0], op)?;
+                let n = items.len() as u64;
+                ctx.work(n.saturating_mul((64 - n.leading_zeros() as u64).max(1)));
+                let mut out = items.to_vec();
+                out.sort_by(Value::total_cmp);
+                Ok(Value::List(out))
+            }
+            "topn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_list(&args[0], op)?;
+                let n = get_usize(&args[1], "n")?;
+                ctx.work(items.len() as u64);
+                ctx.note(format!(
+                    "LIST.topn: bounded heap of {n} over {} elements",
+                    items.len()
+                ));
+                // Keep the n largest, output descending; ties by position.
+                let mut idx: Vec<usize> = (0..items.len()).collect();
+                idx.sort_by(|&a, &b| items[b].total_cmp(&items[a]).then(a.cmp(&b)));
+                idx.truncate(n);
+                Ok(Value::List(idx.into_iter().map(|i| items[i].clone()).collect()))
+            }
+            "firstn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_list(&args[0], op)?;
+                let n = get_usize(&args[1], "n")?.min(items.len());
+                ctx.work(n as u64);
+                Ok(Value::List(items[..n].to_vec()))
+            }
+            "nth" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_list(&args[0], op)?;
+                let i = get_usize(&args[1], "index")?;
+                ctx.work(1);
+                items
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CoreError::Runtime(format!("LIST.nth: index {i} out of range")))
+            }
+            "length" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_list(&args[0], op)?;
+                ctx.work(1);
+                Ok(Value::Int(items.len() as i64))
+            }
+            "sum" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_list(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                sum_numeric(items)
+            }
+            "concat" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let a = get_list(&args[0], op)?;
+                let b = get_list(&args[1], op)?;
+                ctx.work((a.len() + b.len()) as u64);
+                let mut out = a.to_vec();
+                out.extend_from_slice(b);
+                Ok(Value::List(out))
+            }
+            "reverse" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_list(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                Ok(Value::List(items.iter().rev().cloned().collect()))
+            }
+            "projecttobag" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_list(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                Ok(Value::bag(items.to_vec()))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+}
+
+pub(crate) fn sum_numeric(items: &[Value]) -> Result<Value> {
+    let mut int_sum = 0i64;
+    let mut float_sum = 0.0f64;
+    let mut any_float = false;
+    for v in items {
+        match v {
+            Value::Int(i) => int_sum += i,
+            Value::Float(f) => {
+                any_float = true;
+                float_sum += f;
+            }
+            other => {
+                return Err(type_err(format!("sum over non-numeric element {other}")));
+            }
+        }
+    }
+    if any_float {
+        Ok(Value::Float(float_sum + int_sum as f64))
+    } else {
+        Ok(Value::Int(int_sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(op: &str, args: &[Value]) -> Result<Value> {
+        let mut ctx = ExecContext::new();
+        ListExt.evaluate(op, args, &mut ctx)
+    }
+
+    #[test]
+    fn select_matches_papers_example() {
+        // select([1,2,3,4,4,5], 2, 4) = [2,3,4,4]
+        let l = Value::int_list([1, 2, 3, 4, 4, 5]);
+        let out = eval("select", &[l, Value::Int(2), Value::Int(4)]).unwrap();
+        assert_eq!(out, Value::int_list([2, 3, 4, 4]));
+    }
+
+    #[test]
+    fn select_ordered_agrees_with_select() {
+        let l = Value::int_list([1, 2, 3, 4, 4, 5]);
+        let a = eval("select", &[l.clone(), Value::Int(2), Value::Int(4)]).unwrap();
+        let b = eval("select_ordered", &[l, Value::Int(2), Value::Int(4)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn select_ordered_is_cheaper() {
+        let big: Vec<Value> = (0..10_000).map(Value::Int).collect();
+        let l = Value::List(big);
+        let mut ctx_scan = ExecContext::new();
+        ListExt
+            .evaluate(
+                "select",
+                &[l.clone(), Value::Int(100), Value::Int(110)],
+                &mut ctx_scan,
+            )
+            .unwrap();
+        let mut ctx_bin = ExecContext::new();
+        ListExt
+            .evaluate(
+                "select_ordered",
+                &[l, Value::Int(100), Value::Int(110)],
+                &mut ctx_bin,
+            )
+            .unwrap();
+        assert!(
+            ctx_bin.elements_processed * 10 < ctx_scan.elements_processed,
+            "binary {} vs scan {}",
+            ctx_bin.elements_processed,
+            ctx_scan.elements_processed
+        );
+    }
+
+    #[test]
+    fn projecttobag_forgets_order() {
+        // projecttobag([1,2,3,4,4,5]) = {1,2,3,4,4,5} (bag with dup)
+        let l = Value::int_list([3, 1, 2]);
+        let out = eval("projecttobag", &[l]).unwrap();
+        assert_eq!(
+            out,
+            Value::bag(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn topn_descending_and_firstn_prefix() {
+        let l = Value::int_list([5, 1, 9, 3, 9]);
+        assert_eq!(
+            eval("topn", &[l.clone(), Value::Int(3)]).unwrap(),
+            Value::int_list([9, 9, 5])
+        );
+        assert_eq!(
+            eval("firstn", &[l, Value::Int(2)]).unwrap(),
+            Value::int_list([5, 1])
+        );
+    }
+
+    #[test]
+    fn sort_and_reverse() {
+        let l = Value::int_list([3, 1, 2]);
+        assert_eq!(eval("sort", &[l.clone()]).unwrap(), Value::int_list([1, 2, 3]));
+        assert_eq!(eval("reverse", &[l]).unwrap(), Value::int_list([2, 1, 3]));
+    }
+
+    #[test]
+    fn length_sum_nth_concat() {
+        let l = Value::int_list([4, 5, 6]);
+        assert_eq!(eval("length", &[l.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(eval("sum", &[l.clone()]).unwrap(), Value::Int(15));
+        assert_eq!(eval("nth", &[l.clone(), Value::Int(1)]).unwrap(), Value::Int(5));
+        assert!(eval("nth", &[l.clone(), Value::Int(9)]).is_err());
+        assert_eq!(
+            eval("concat", &[l.clone(), Value::int_list([7])]).unwrap(),
+            Value::int_list([4, 5, 6, 7])
+        );
+    }
+
+    #[test]
+    fn sum_mixes_numeric_types() {
+        let l = Value::List(vec![Value::Int(1), Value::Float(0.5)]);
+        assert_eq!(eval("sum", &[l]).unwrap(), Value::Float(1.5));
+        let bad = Value::List(vec![Value::Bool(true)]);
+        assert!(eval("sum", &[bad]).is_err());
+    }
+
+    #[test]
+    fn wrong_argument_types_rejected() {
+        assert!(eval("select", &[Value::Int(1), Value::Int(0), Value::Int(2)]).is_err());
+        assert!(eval("length", &[Value::bag(vec![])]).is_err());
+        assert!(eval("topn", &[Value::int_list([1]), Value::Bool(true)]).is_err());
+        assert!(eval("topn", &[Value::int_list([1]), Value::Int(-2)]).is_err());
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        assert!(matches!(
+            eval("frobnicate", &[]),
+            Err(CoreError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn type_check_select_and_projecttobag() {
+        let li = MoaType::List(Box::new(MoaType::Int));
+        let t = ListExt
+            .type_check("select", &[li.clone(), MoaType::Int, MoaType::Int])
+            .unwrap();
+        assert_eq!(t, li);
+        assert!(ListExt
+            .type_check("select", &[li.clone(), MoaType::Str, MoaType::Int])
+            .is_err());
+        let t = ListExt.type_check("projecttobag", &[li]).unwrap();
+        assert_eq!(t, MoaType::Bag(Box::new(MoaType::Int)));
+        assert!(ListExt.type_check("select", &[MoaType::Int, MoaType::Int, MoaType::Int]).is_err());
+    }
+
+    #[test]
+    fn empty_list_edge_cases() {
+        let empty = Value::List(vec![]);
+        assert_eq!(
+            eval("select", &[empty.clone(), Value::Int(0), Value::Int(9)]).unwrap(),
+            Value::List(vec![])
+        );
+        assert_eq!(eval("topn", &[empty.clone(), Value::Int(5)]).unwrap(), Value::List(vec![]));
+        assert_eq!(eval("length", &[empty]).unwrap(), Value::Int(0));
+    }
+}

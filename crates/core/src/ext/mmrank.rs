@@ -1,0 +1,343 @@
+//! The MMRANK extension: content ranking as first-class algebra operators.
+//!
+//! "Ranking a list of documents is the core business of content based
+//! retrieval DBMSs" — this extension exposes it to the algebra:
+//!
+//! * `rank(query)` materializes the full ranked list for a term-id query,
+//! * `topn(ranked, n)` / `cutoff(ranked, t)` shrink a ranked list,
+//! * `rank_topn(query, n)` is the *fused physical operator* the intra-object
+//!   optimizer substitutes for `topn(rank(q), n)` — it pushes the bound into
+//!   retrieval, avoiding materializing a collection-sized ranking,
+//! * `projecttolist(ranked)` crosses back into LIST (rank order preserved),
+//!   where the inter-object optimizer can reason about its ordering.
+
+use crate::error::{CoreError, Result};
+use crate::expr::ExtensionId;
+use crate::ext::{expect_arity, get_usize, type_err, ExecContext, Extension};
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// The MMRANK extension.
+pub struct MmRankExt;
+
+const OPS: &[&str] = &[
+    "rank",
+    "rank_topn",
+    "topn",
+    "cutoff",
+    "count",
+    "projecttolist",
+    "scores",
+];
+
+fn get_ranked<'a>(v: &'a Value, op: &str) -> Result<&'a [(u32, f64)]> {
+    v.as_ranked()
+        .ok_or_else(|| type_err(format!("MMRANK.{op} expects a RANKED argument, got {v}")))
+}
+
+fn get_query_terms(v: &Value, op: &str) -> Result<Vec<u32>> {
+    let items = v
+        .as_list()
+        .ok_or_else(|| type_err(format!("MMRANK.{op} expects a LIST<INT> query, got {v}")))?;
+    items
+        .iter()
+        .map(|t| {
+            t.as_int()
+                .and_then(|i| u32::try_from(i).ok())
+                .ok_or_else(|| type_err(format!("MMRANK.{op}: bad term id {t}")))
+        })
+        .collect()
+}
+
+impl Extension for MmRankExt {
+    fn id(&self) -> ExtensionId {
+        ExtensionId::MmRank
+    }
+
+    fn ops(&self) -> &'static [&'static str] {
+        OPS
+    }
+
+    fn type_check(&self, op: &str, args: &[MoaType]) -> Result<MoaType> {
+        let expect_ranked = |t: &MoaType| -> Result<()> {
+            match t {
+                MoaType::Ranked | MoaType::Any => Ok(()),
+                other => Err(type_err(format!("MMRANK.{op}: expected RANKED, got {other}"))),
+            }
+        };
+        let expect_query = |t: &MoaType| -> Result<()> {
+            match t {
+                MoaType::List(e) if e.compatible(&MoaType::Int) => Ok(()),
+                MoaType::Any => Ok(()),
+                other => Err(type_err(format!(
+                    "MMRANK.{op}: expected LIST<INT> query, got {other}"
+                ))),
+            }
+        };
+        match op {
+            "rank" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                expect_query(&args[0])?;
+                Ok(MoaType::Ranked)
+            }
+            "rank_topn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                expect_query(&args[0])?;
+                if !args[1].compatible(&MoaType::Int) {
+                    return Err(type_err("MMRANK.rank_topn: n must be INT".to_string()));
+                }
+                Ok(MoaType::Ranked)
+            }
+            "topn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                expect_ranked(&args[0])?;
+                if !args[1].compatible(&MoaType::Int) {
+                    return Err(type_err("MMRANK.topn: n must be INT".to_string()));
+                }
+                Ok(MoaType::Ranked)
+            }
+            "cutoff" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                expect_ranked(&args[0])?;
+                if !args[1].compatible(&MoaType::Float) {
+                    return Err(type_err("MMRANK.cutoff: threshold must be FLT".to_string()));
+                }
+                Ok(MoaType::Ranked)
+            }
+            "count" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                expect_ranked(&args[0])?;
+                Ok(MoaType::Int)
+            }
+            "projecttolist" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                expect_ranked(&args[0])?;
+                Ok(MoaType::List(Box::new(MoaType::Int)))
+            }
+            "scores" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                expect_ranked(&args[0])?;
+                Ok(MoaType::List(Box::new(MoaType::Float)))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+
+    fn evaluate(&self, op: &str, args: &[Value], ctx: &mut ExecContext) -> Result<Value> {
+        match op {
+            "rank" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let terms = get_query_terms(&args[0], op)?;
+                let ir = ctx.ir.clone().ok_or(CoreError::NoIrRuntime)?;
+                let n = ir.num_docs();
+                let (top, scanned) = ir.rank(&terms, n)?;
+                ctx.work(scanned as u64 + top.len() as u64);
+                ctx.note(format!(
+                    "MMRANK.rank: {} postings scanned, {} docs materialized",
+                    scanned,
+                    top.len()
+                ));
+                Ok(Value::Ranked(top))
+            }
+            "rank_topn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let terms = get_query_terms(&args[0], op)?;
+                let n = get_usize(&args[1], "n")?;
+                let ir = ctx.ir.clone().ok_or(CoreError::NoIrRuntime)?;
+                let (top, scanned) = ir.rank(&terms, n)?;
+                ctx.work(scanned as u64 + top.len() as u64);
+                ctx.note(format!(
+                    "MMRANK.rank_topn: fused top-{n}, {scanned} postings scanned, {} docs materialized",
+                    top.len()
+                ));
+                Ok(Value::Ranked(top))
+            }
+            "topn" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let ranked = get_ranked(&args[0], op)?;
+                let n = get_usize(&args[1], "n")?.min(ranked.len());
+                // Ranked lists are ordered: scan-stop, not a sort.
+                ctx.work(n as u64);
+                ctx.note(format!("MMRANK.topn: scan-stop after {n}"));
+                Ok(Value::Ranked(ranked[..n].to_vec()))
+            }
+            "cutoff" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let ranked = get_ranked(&args[0], op)?;
+                let t = args[1]
+                    .as_float()
+                    .ok_or_else(|| type_err("MMRANK.cutoff: threshold must be FLT".to_string()))?;
+                // Descending order: binary-search the boundary.
+                let end = ranked.partition_point(|&(_, s)| s >= t);
+                let cmps = (usize::BITS - ranked.len().max(1).leading_zeros()) as u64;
+                ctx.work(cmps + end as u64);
+                ctx.note(format!("MMRANK.cutoff: boundary at {end}"));
+                Ok(Value::Ranked(ranked[..end].to_vec()))
+            }
+            "count" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let ranked = get_ranked(&args[0], op)?;
+                ctx.work(1);
+                Ok(Value::Int(ranked.len() as i64))
+            }
+            "projecttolist" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let ranked = get_ranked(&args[0], op)?;
+                ctx.work(ranked.len() as u64);
+                Ok(Value::List(
+                    ranked.iter().map(|&(d, _)| Value::Int(i64::from(d))).collect(),
+                ))
+            }
+            "scores" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let ranked = get_ranked(&args[0], op)?;
+                ctx.work(ranked.len() as u64);
+                Ok(Value::List(
+                    ranked.iter().map(|&(_, s)| Value::Float(s)).collect(),
+                ))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ext::IrRuntime;
+    use moa_corpus::{Collection, CollectionConfig};
+    use moa_ir::{
+        FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, Strategy, SwitchPolicy,
+    };
+    use std::sync::Arc;
+
+    fn runtime() -> Arc<IrRuntime> {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        let frag =
+            Arc::new(FragmentedIndex::build(idx, FragmentSpec::VolumeFraction(0.3)).unwrap());
+        Arc::new(IrRuntime::new(
+            frag,
+            RankingModel::default(),
+            SwitchPolicy::default(),
+            Strategy::FullScan,
+        ))
+    }
+
+    fn query_value(rt: &IrRuntime) -> Value {
+        let terms = rt.fragments().index().terms_by_df_asc();
+        Value::int_list([
+            i64::from(terms[terms.len() - 1]),
+            i64::from(terms[terms.len() / 2]),
+        ])
+    }
+
+    #[test]
+    fn rank_produces_descending_ranked_list() {
+        let rt = runtime();
+        let mut ctx = ExecContext::with_ir(Arc::clone(&rt));
+        let q = query_value(&rt);
+        let out = MmRankExt.evaluate("rank", &[q], &mut ctx).unwrap();
+        let ranked = out.as_ranked().unwrap();
+        assert!(!ranked.is_empty());
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(ctx.elements_processed > 0);
+    }
+
+    #[test]
+    fn rank_without_runtime_errors() {
+        let mut ctx = ExecContext::new();
+        let q = Value::int_list([1]);
+        assert_eq!(
+            MmRankExt.evaluate("rank", &[q], &mut ctx),
+            Err(CoreError::NoIrRuntime)
+        );
+    }
+
+    #[test]
+    fn fused_rank_topn_matches_rank_then_topn() {
+        let rt = runtime();
+        let q = query_value(&rt);
+        let mut ctx1 = ExecContext::with_ir(Arc::clone(&rt));
+        let full = MmRankExt.evaluate("rank", &[q.clone()], &mut ctx1).unwrap();
+        let top = MmRankExt
+            .evaluate("topn", &[full, Value::Int(5)], &mut ctx1)
+            .unwrap();
+        let mut ctx2 = ExecContext::with_ir(Arc::clone(&rt));
+        let fused = MmRankExt
+            .evaluate("rank_topn", &[q, Value::Int(5)], &mut ctx2)
+            .unwrap();
+        assert_eq!(top, fused);
+        // The fused operator avoids materializing the full ranking.
+        assert!(ctx2.elements_processed < ctx1.elements_processed);
+    }
+
+    #[test]
+    fn topn_truncates_and_counts_scan_stop() {
+        let ranked = Value::ranked(vec![(1, 0.9), (2, 0.8), (3, 0.7)]);
+        let mut ctx = ExecContext::new();
+        let out = MmRankExt
+            .evaluate("topn", &[ranked, Value::Int(2)], &mut ctx)
+            .unwrap();
+        assert_eq!(out.as_ranked().unwrap(), &[(1, 0.9), (2, 0.8)]);
+        assert_eq!(ctx.elements_processed, 2);
+    }
+
+    #[test]
+    fn cutoff_keeps_scores_at_or_above_threshold() {
+        let ranked = Value::ranked(vec![(1, 0.9), (2, 0.5), (3, 0.2)]);
+        let mut ctx = ExecContext::new();
+        let out = MmRankExt
+            .evaluate("cutoff", &[ranked, Value::Float(0.5)], &mut ctx)
+            .unwrap();
+        assert_eq!(out.as_ranked().unwrap(), &[(1, 0.9), (2, 0.5)]);
+    }
+
+    #[test]
+    fn projections_preserve_rank_order() {
+        let ranked = Value::ranked(vec![(9, 0.9), (4, 0.8)]);
+        let mut ctx = ExecContext::new();
+        let docs = MmRankExt.evaluate("projecttolist", &[ranked.clone()], &mut ctx).unwrap();
+        assert_eq!(docs, Value::int_list([9, 4]));
+        let scores = MmRankExt.evaluate("scores", &[ranked], &mut ctx).unwrap();
+        assert_eq!(
+            scores,
+            Value::List(vec![Value::Float(0.9), Value::Float(0.8)])
+        );
+    }
+
+    #[test]
+    fn type_checks() {
+        let q = MoaType::List(Box::new(MoaType::Int));
+        assert_eq!(MmRankExt.type_check("rank", &[q.clone()]).unwrap(), MoaType::Ranked);
+        assert_eq!(
+            MmRankExt.type_check("rank_topn", &[q, MoaType::Int]).unwrap(),
+            MoaType::Ranked
+        );
+        assert_eq!(
+            MmRankExt.type_check("projecttolist", &[MoaType::Ranked]).unwrap(),
+            MoaType::List(Box::new(MoaType::Int))
+        );
+        assert!(MmRankExt.type_check("rank", &[MoaType::Int]).is_err());
+        assert!(MmRankExt.type_check("topn", &[MoaType::Ranked, MoaType::Str]).is_err());
+        assert!(matches!(
+            MmRankExt.type_check("nope", &[]),
+            Err(CoreError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_query_terms_rejected() {
+        let mut ctx = ExecContext::with_ir(runtime());
+        let bad = Value::List(vec![Value::Int(-4)]);
+        assert!(MmRankExt.evaluate("rank", &[bad], &mut ctx).is_err());
+        let not_list = Value::Int(3);
+        assert!(MmRankExt.evaluate("rank", &[not_list], &mut ctx).is_err());
+    }
+}

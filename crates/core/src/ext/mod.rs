@@ -1,0 +1,293 @@
+//! The extension registry (ADTs / data blades, per the paper).
+//!
+//! Each structure of the algebra is owned by an [`Extension`] that defines
+//! its operator set: type checking and evaluation. Operators count the
+//! elements they touch into the [`ExecContext`], so experiments can compare
+//! *work* across plans; physical operator variants (e.g. `select_ordered`)
+//! are ordinary operators that the intra-object optimizer substitutes when
+//! their preconditions are proven.
+
+pub mod bag;
+pub mod list;
+pub mod mmrank;
+pub mod set;
+pub mod tuple;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use moa_ir::{
+    FragSearcher, FragmentedIndex, RankingModel, Strategy, SwitchPolicy,
+};
+use parking_lot::Mutex;
+
+use crate::error::{CoreError, Result};
+use crate::expr::ExtensionId;
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// Shared multimedia-retrieval runtime for the MMRANK extension: a
+/// fragmented index plus the evaluation strategy the physical plan selected.
+#[derive(Debug)]
+pub struct IrRuntime {
+    frag: Arc<FragmentedIndex>,
+    strategy: Strategy,
+    searcher: Mutex<FragSearcher>,
+}
+
+impl IrRuntime {
+    /// Create a runtime over a fragmented index.
+    pub fn new(
+        frag: Arc<FragmentedIndex>,
+        model: RankingModel,
+        policy: SwitchPolicy,
+        strategy: Strategy,
+    ) -> IrRuntime {
+        let searcher = FragSearcher::new(Arc::clone(&frag), model, policy);
+        IrRuntime {
+            frag,
+            strategy,
+            searcher: Mutex::new(searcher),
+        }
+    }
+
+    /// The fragmented index.
+    pub fn fragments(&self) -> &FragmentedIndex {
+        &self.frag
+    }
+
+    /// Number of documents in the collection.
+    pub fn num_docs(&self) -> usize {
+        self.frag.index().num_docs()
+    }
+
+    /// The configured evaluation strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Rank the collection for `terms`, returning the top `n` and the
+    /// number of postings scanned.
+    pub fn rank(&self, terms: &[u32], n: usize) -> Result<(Vec<(u32, f64)>, usize)> {
+        let report = self
+            .searcher
+            .lock()
+            .search(terms, n, self.strategy)
+            .map_err(CoreError::Ir)?;
+        Ok((report.top, report.postings_scanned))
+    }
+}
+
+/// Mutable evaluation context: work counters, physical notes, and the
+/// optional MM runtime.
+#[derive(Default)]
+pub struct ExecContext {
+    /// Elements touched by operators (the abstract work measure).
+    pub elements_processed: u64,
+    /// Physical decisions taken during evaluation (for EXPLAIN output).
+    pub notes: Vec<String>,
+    /// The MM retrieval runtime, when attached.
+    pub ir: Option<Arc<IrRuntime>>,
+}
+
+impl ExecContext {
+    /// A context without an IR runtime.
+    pub fn new() -> ExecContext {
+        ExecContext::default()
+    }
+
+    /// A context with an IR runtime attached.
+    pub fn with_ir(ir: Arc<IrRuntime>) -> ExecContext {
+        ExecContext {
+            ir: Some(ir),
+            ..ExecContext::default()
+        }
+    }
+
+    /// Record `n` units of work.
+    pub fn work(&mut self, n: u64) {
+        self.elements_processed += n;
+    }
+
+    /// Record a physical note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+/// An algebra extension: a named structure with its operator set.
+pub trait Extension: Send + Sync {
+    /// The extension's identity.
+    fn id(&self) -> ExtensionId;
+    /// The operator names this extension defines (logical and physical).
+    fn ops(&self) -> &'static [&'static str];
+    /// Infer the result type of `op` applied to `args`.
+    fn type_check(&self, op: &str, args: &[MoaType]) -> Result<MoaType>;
+    /// Evaluate `op` over concrete argument values.
+    fn evaluate(&self, op: &str, args: &[Value], ctx: &mut ExecContext) -> Result<Value>;
+}
+
+/// The extension registry: one implementation per [`ExtensionId`].
+pub struct Registry {
+    exts: HashMap<ExtensionId, Box<dyn Extension>>,
+}
+
+impl Registry {
+    /// The standard registry with all five shipped extensions.
+    pub fn standard() -> Registry {
+        let mut exts: HashMap<ExtensionId, Box<dyn Extension>> = HashMap::new();
+        exts.insert(ExtensionId::List, Box::new(list::ListExt));
+        exts.insert(ExtensionId::Bag, Box::new(bag::BagExt));
+        exts.insert(ExtensionId::Set, Box::new(set::SetExt));
+        exts.insert(ExtensionId::Tuple, Box::new(tuple::TupleExt));
+        exts.insert(ExtensionId::MmRank, Box::new(mmrank::MmRankExt));
+        Registry { exts }
+    }
+
+    /// Look up an extension.
+    pub fn get(&self, id: ExtensionId) -> Result<&dyn Extension> {
+        self.exts
+            .get(&id)
+            .map(|b| b.as_ref())
+            .ok_or_else(|| CoreError::Runtime(format!("extension {id:?} not registered")))
+    }
+
+    /// All registered extension ids.
+    pub fn ids(&self) -> Vec<ExtensionId> {
+        let mut v: Vec<ExtensionId> = self.exts.keys().copied().collect();
+        v.sort_by_key(|id| format!("{id:?}"));
+        v
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+// ---- shared argument helpers used by the extension implementations ----
+
+pub(crate) fn expect_arity(
+    ext: ExtensionId,
+    op: &str,
+    args_len: usize,
+    expected: usize,
+) -> Result<()> {
+    if args_len != expected {
+        return Err(CoreError::Arity {
+            ext,
+            op: op.to_owned(),
+            expected,
+            found: args_len,
+        });
+    }
+    Ok(())
+}
+
+pub(crate) fn type_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Type(msg.into())
+}
+
+pub(crate) fn get_int(v: &Value, what: &str) -> Result<i64> {
+    v.as_int()
+        .ok_or_else(|| type_err(format!("{what} must be INT, got {v}")))
+}
+
+pub(crate) fn get_usize(v: &Value, what: &str) -> Result<usize> {
+    let i = get_int(v, what)?;
+    usize::try_from(i).map_err(|_| type_err(format!("{what} must be non-negative, got {i}")))
+}
+
+/// Binary-search the `[lo, hi]` range inside a slice sorted ascending by
+/// `Value::total_cmp`, counting the comparisons into `work`.
+pub(crate) fn sorted_range(
+    items: &[Value],
+    lo: &Value,
+    hi: &Value,
+    work: &mut u64,
+) -> (usize, usize) {
+    let mut cmps = 0u64;
+    let start = partition_by(items, |v| {
+        cmps += 1;
+        v.total_cmp(lo) == std::cmp::Ordering::Less
+    });
+    let end = partition_by(items, |v| {
+        cmps += 1;
+        v.total_cmp(hi) != std::cmp::Ordering::Greater
+    });
+    *work += cmps;
+    (start, end.max(start))
+}
+
+fn partition_by(items: &[Value], mut pred: impl FnMut(&Value) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, items.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(&items[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_extensions() {
+        let r = Registry::standard();
+        for id in [
+            ExtensionId::List,
+            ExtensionId::Bag,
+            ExtensionId::Set,
+            ExtensionId::Tuple,
+            ExtensionId::MmRank,
+        ] {
+            let ext = r.get(id).unwrap();
+            assert_eq!(ext.id(), id);
+            assert!(!ext.ops().is_empty());
+        }
+        assert_eq!(r.ids().len(), 5);
+    }
+
+    #[test]
+    fn context_counts_work_and_notes() {
+        let mut ctx = ExecContext::new();
+        ctx.work(10);
+        ctx.work(5);
+        ctx.note("x");
+        assert_eq!(ctx.elements_processed, 15);
+        assert_eq!(ctx.notes, vec!["x".to_string()]);
+        assert!(ctx.ir.is_none());
+    }
+
+    #[test]
+    fn arity_helper() {
+        assert!(expect_arity(ExtensionId::List, "select", 3, 3).is_ok());
+        let e = expect_arity(ExtensionId::List, "select", 1, 3).unwrap_err();
+        assert!(matches!(e, CoreError::Arity { expected: 3, found: 1, .. }));
+    }
+
+    #[test]
+    fn int_helpers() {
+        assert_eq!(get_int(&Value::Int(5), "n").unwrap(), 5);
+        assert!(get_int(&Value::Bool(true), "n").is_err());
+        assert_eq!(get_usize(&Value::Int(5), "n").unwrap(), 5);
+        assert!(get_usize(&Value::Int(-1), "n").is_err());
+    }
+
+    #[test]
+    fn sorted_range_finds_bounds() {
+        let items: Vec<Value> = [1, 3, 3, 5, 9].into_iter().map(Value::Int).collect();
+        let mut work = 0u64;
+        let (s, e) = sorted_range(&items, &Value::Int(3), &Value::Int(5), &mut work);
+        assert_eq!((s, e), (1, 4));
+        assert!(work > 0 && work < 16, "work={work}");
+        let (s, e) = sorted_range(&items, &Value::Int(6), &Value::Int(8), &mut work);
+        assert_eq!(s, e);
+    }
+}

@@ -1,0 +1,231 @@
+//! The SET extension: deduplicated collections.
+
+use crate::error::{CoreError, Result};
+use crate::expr::ExtensionId;
+use crate::ext::{expect_arity, sorted_range, type_err, ExecContext, Extension};
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// The SET extension.
+pub struct SetExt;
+
+const OPS: &[&str] = &[
+    "select",
+    "select_ordered",
+    "member",
+    "member_ordered",
+    "card",
+    "union",
+    "projecttolist",
+];
+
+fn get_set<'a>(v: &'a Value, op: &str) -> Result<&'a [Value]> {
+    v.as_set()
+        .ok_or_else(|| type_err(format!("SET.{op} expects a SET argument, got {v}")))
+}
+
+impl Extension for SetExt {
+    fn id(&self) -> ExtensionId {
+        ExtensionId::Set
+    }
+
+    fn ops(&self) -> &'static [&'static str] {
+        OPS
+    }
+
+    fn type_check(&self, op: &str, args: &[MoaType]) -> Result<MoaType> {
+        let set_elem = |t: &MoaType| -> Result<MoaType> {
+            match t {
+                MoaType::Set(e) => Ok((**e).clone()),
+                MoaType::Any => Ok(MoaType::Any),
+                other => Err(type_err(format!("SET.{op}: expected SET, got {other}"))),
+            }
+        };
+        match op {
+            "select" | "select_ordered" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let e = set_elem(&args[0])?;
+                if !args[1].compatible(&e) || !args[2].compatible(&e) {
+                    return Err(type_err(format!(
+                        "SET.{op}: bounds incompatible with element type {e}"
+                    )));
+                }
+                Ok(MoaType::Set(Box::new(e)))
+            }
+            "member" | "member_ordered" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let e = set_elem(&args[0])?;
+                if !args[1].compatible(&e) {
+                    return Err(type_err(format!("SET.{op}: probe type mismatch")));
+                }
+                Ok(MoaType::Bool)
+            }
+            "card" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                set_elem(&args[0])?;
+                Ok(MoaType::Int)
+            }
+            "union" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let a = set_elem(&args[0])?;
+                let b = set_elem(&args[1])?;
+                if !a.compatible(&b) {
+                    return Err(type_err("SET.union: element types differ".to_string()));
+                }
+                Ok(MoaType::Set(Box::new(a)))
+            }
+            "projecttolist" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                Ok(MoaType::List(Box::new(set_elem(&args[0])?)))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+
+    fn evaluate(&self, op: &str, args: &[Value], ctx: &mut ExecContext) -> Result<Value> {
+        match op {
+            "select" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let items = get_set(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                let out: Vec<Value> = items
+                    .iter()
+                    .filter(|v| {
+                        v.total_cmp(&args[1]) != std::cmp::Ordering::Less
+                            && v.total_cmp(&args[2]) != std::cmp::Ordering::Greater
+                    })
+                    .cloned()
+                    .collect();
+                Ok(Value::Set(out))
+            }
+            "select_ordered" => {
+                expect_arity(self.id(), op, args.len(), 3)?;
+                let items = get_set(&args[0], op)?;
+                let mut work = 0u64;
+                let (s, e) = sorted_range(items, &args[1], &args[2], &mut work);
+                ctx.work(work + (e - s) as u64);
+                ctx.note("SET.select_ordered: binary search".to_string());
+                Ok(Value::Set(items[s..e].to_vec()))
+            }
+            "member" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_set(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                Ok(Value::Bool(items.iter().any(|v| v == &args[1])))
+            }
+            "member_ordered" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_set(&args[0], op)?;
+                let mut work = 0u64;
+                let (s, e) = sorted_range(items, &args[1], &args[1], &mut work);
+                ctx.work(work);
+                Ok(Value::Bool(e > s))
+            }
+            "card" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_set(&args[0], op)?;
+                ctx.work(1);
+                Ok(Value::Int(items.len() as i64))
+            }
+            "union" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let a = get_set(&args[0], op)?;
+                let b = get_set(&args[1], op)?;
+                ctx.work((a.len() + b.len()) as u64);
+                let mut out = a.to_vec();
+                out.extend_from_slice(b);
+                Ok(Value::set(out))
+            }
+            "projecttolist" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_set(&args[0], op)?;
+                ctx.work(items.len() as u64);
+                Ok(Value::List(items.to_vec()))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::set(items.into_iter().map(Value::Int).collect())
+    }
+
+    fn eval(op: &str, args: &[Value]) -> Result<Value> {
+        let mut ctx = ExecContext::new();
+        SetExt.evaluate(op, args, &mut ctx)
+    }
+
+    #[test]
+    fn select_range() {
+        let s = set([1, 2, 3, 4, 5]);
+        assert_eq!(
+            eval("select", &[s, Value::Int(2), Value::Int(4)]).unwrap(),
+            set([2, 3, 4])
+        );
+    }
+
+    #[test]
+    fn ordered_variants_agree() {
+        let s = set([5, 3, 8, 1]);
+        assert_eq!(
+            eval("select", &[s.clone(), Value::Int(2), Value::Int(6)]).unwrap(),
+            eval("select_ordered", &[s.clone(), Value::Int(2), Value::Int(6)]).unwrap()
+        );
+        assert_eq!(
+            eval("member", &[s.clone(), Value::Int(3)]).unwrap(),
+            eval("member_ordered", &[s.clone(), Value::Int(3)]).unwrap()
+        );
+        assert_eq!(
+            eval("member", &[s.clone(), Value::Int(9)]).unwrap(),
+            eval("member_ordered", &[s, Value::Int(9)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn member_ordered_is_cheaper() {
+        let s = set(0..10_000);
+        let mut scan = ExecContext::new();
+        SetExt.evaluate("member", &[s.clone(), Value::Int(9_999)], &mut scan).unwrap();
+        let mut bin = ExecContext::new();
+        SetExt.evaluate("member_ordered", &[s, Value::Int(9_999)], &mut bin).unwrap();
+        assert!(bin.elements_processed * 10 < scan.elements_processed);
+    }
+
+    #[test]
+    fn card_and_union_dedupe() {
+        assert_eq!(eval("card", &[set([1, 2, 3])]).unwrap(), Value::Int(3));
+        assert_eq!(eval("union", &[set([1, 2]), set([2, 3])]).unwrap(), set([1, 2, 3]));
+    }
+
+    #[test]
+    fn projecttolist_canonical_order() {
+        assert_eq!(
+            eval("projecttolist", &[set([3, 1, 2])]).unwrap(),
+            Value::int_list([1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn type_check_and_errors() {
+        let si = MoaType::Set(Box::new(MoaType::Int));
+        assert_eq!(
+            SetExt.type_check("member", &[si.clone(), MoaType::Int]).unwrap(),
+            MoaType::Bool
+        );
+        assert!(SetExt.type_check("member", &[si.clone(), MoaType::Str]).is_err());
+        assert_eq!(SetExt.type_check("card", &[si]).unwrap(), MoaType::Int);
+        assert!(eval("card", &[Value::Int(1)]).is_err());
+        assert!(matches!(eval("nope", &[]), Err(CoreError::UnknownOp { .. })));
+    }
+}

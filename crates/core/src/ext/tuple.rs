@@ -1,0 +1,127 @@
+//! The TUPLE extension: positional records.
+
+use crate::error::{CoreError, Result};
+use crate::expr::ExtensionId;
+use crate::ext::{expect_arity, get_usize, type_err, ExecContext, Extension};
+use crate::types::MoaType;
+use crate::value::Value;
+
+/// The TUPLE extension.
+pub struct TupleExt;
+
+const OPS: &[&str] = &["get", "arity", "make"];
+
+fn get_tuple<'a>(v: &'a Value, op: &str) -> Result<&'a [Value]> {
+    match v {
+        Value::Tuple(items) => Ok(items),
+        other => Err(type_err(format!(
+            "TUPLE.{op} expects a TUPLE argument, got {other}"
+        ))),
+    }
+}
+
+impl Extension for TupleExt {
+    fn id(&self) -> ExtensionId {
+        ExtensionId::Tuple
+    }
+
+    fn ops(&self) -> &'static [&'static str] {
+        OPS
+    }
+
+    fn type_check(&self, op: &str, args: &[MoaType]) -> Result<MoaType> {
+        match op {
+            "get" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                if !args[1].compatible(&MoaType::Int) {
+                    return Err(type_err("TUPLE.get: index must be INT".to_string()));
+                }
+                match &args[0] {
+                    MoaType::Tuple(_) | MoaType::Any => Ok(MoaType::Any),
+                    other => Err(type_err(format!("TUPLE.get: expected TUPLE, got {other}"))),
+                }
+            }
+            "arity" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                match &args[0] {
+                    MoaType::Tuple(_) | MoaType::Any => Ok(MoaType::Int),
+                    other => Err(type_err(format!("TUPLE.arity: expected TUPLE, got {other}"))),
+                }
+            }
+            "make" => Ok(MoaType::Tuple(args.to_vec())),
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+
+    fn evaluate(&self, op: &str, args: &[Value], ctx: &mut ExecContext) -> Result<Value> {
+        match op {
+            "get" => {
+                expect_arity(self.id(), op, args.len(), 2)?;
+                let items = get_tuple(&args[0], op)?;
+                let i = get_usize(&args[1], "index")?;
+                ctx.work(1);
+                items.get(i).cloned().ok_or_else(|| {
+                    CoreError::Runtime(format!("TUPLE.get: index {i} out of range"))
+                })
+            }
+            "arity" => {
+                expect_arity(self.id(), op, args.len(), 1)?;
+                let items = get_tuple(&args[0], op)?;
+                ctx.work(1);
+                Ok(Value::Int(items.len() as i64))
+            }
+            "make" => {
+                ctx.work(args.len() as u64);
+                Ok(Value::Tuple(args.to_vec()))
+            }
+            _ => Err(CoreError::UnknownOp {
+                ext: self.id(),
+                op: op.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(op: &str, args: &[Value]) -> Result<Value> {
+        let mut ctx = ExecContext::new();
+        TupleExt.evaluate(op, args, &mut ctx)
+    }
+
+    #[test]
+    fn get_and_arity() {
+        let t = Value::Tuple(vec![Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(eval("get", &[t.clone(), Value::Int(1)]).unwrap(), Value::Str("x".into()));
+        assert_eq!(eval("arity", &[t.clone()]).unwrap(), Value::Int(2));
+        assert!(eval("get", &[t, Value::Int(5)]).is_err());
+    }
+
+    #[test]
+    fn make_constructs_tuples() {
+        let out = eval("make", &[Value::Int(1), Value::Bool(true)]).unwrap();
+        assert_eq!(out, Value::Tuple(vec![Value::Int(1), Value::Bool(true)]));
+    }
+
+    #[test]
+    fn type_checks() {
+        let tt = MoaType::Tuple(vec![MoaType::Int, MoaType::Str]);
+        assert_eq!(TupleExt.type_check("get", &[tt.clone(), MoaType::Int]).unwrap(), MoaType::Any);
+        assert_eq!(TupleExt.type_check("arity", &[tt]).unwrap(), MoaType::Int);
+        assert!(TupleExt.type_check("get", &[MoaType::Int, MoaType::Int]).is_err());
+        assert!(matches!(
+            TupleExt.type_check("nope", &[]),
+            Err(CoreError::UnknownOp { .. })
+        ));
+    }
+
+    #[test]
+    fn non_tuple_argument_rejected() {
+        assert!(eval("arity", &[Value::Int(1)]).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # moa-core — the Moa structured object algebra and its top-N optimizer
+//!
+//! The primary contribution of Blok's EDBT 2000 paper, implemented in full:
+//!
+//! * [`value`] / [`types`] — structured values (LIST, BAG, SET, TUPLE, and
+//!   the MM RANKED list) and their types,
+//! * [`expr`] — logical expressions whose operators carry their defining
+//!   extension,
+//! * [`ext`] — the extension registry (ADTs): LIST, BAG, SET, TUPLE and
+//!   MMRANK, the last compiling onto the `moa-ir` retrieval engine,
+//! * [`optimizer`] — the paper's **three-layer optimizer**: the logical
+//!   layer, the new *inter-object* layer (rewrites across extension pairs —
+//!   Example 1 of the paper), and E-ADT-style *intra-object* physical
+//!   choice,
+//! * [`cost`] — the single centralized cost model (Step 3),
+//! * [`session`] — the user-facing façade: optimize, execute, EXPLAIN.
+//!
+//! ```
+//! use moa_core::{Env, Expr, Session, Value};
+//!
+//! // The paper's Example 1 shape: select(projecttobag(list), lo, hi),
+//! // on a list large enough that the rewrite pays off.
+//! let expr = Expr::bag_select(
+//!     Expr::projecttobag(Expr::constant(Value::int_list(0..1_000))),
+//!     Value::Int(100),
+//!     Value::Int(150),
+//! );
+//! let session = Session::new();
+//! let optimized = session.run(&expr, &Env::new()).unwrap();
+//! let baseline = session.run_unoptimized(&expr, &Env::new()).unwrap();
+//! assert_eq!(optimized.value, baseline.value);
+//! assert!(optimized.work < baseline.work);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod expr;
+pub mod ext;
+pub mod optimizer;
+pub mod parse;
+pub mod session;
+pub mod types;
+pub mod value;
+
+pub use cost::learning::LearnedDistribution;
+pub use cost::{CostContext, CostModel, CostWeights, Estimate, IrCostInfo};
+pub use error::{CoreError, Result};
+pub use exec::{evaluate, infer_type, Env};
+pub use explain::render;
+pub use expr::{Expr, ExtensionId};
+pub use ext::{ExecContext, Extension, IrRuntime, Registry};
+pub use optimizer::{Optimizer, OptimizerConfig, OptimizerTrace};
+pub use parse::parse_expr;
+pub use session::{RunReport, Session};
+pub use types::MoaType;
+pub use value::Value;

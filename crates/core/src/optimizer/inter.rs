@@ -1,0 +1,305 @@
+//! The inter-object optimizer layer — the paper's contribution.
+//!
+//! Rules here match patterns spanning operators of **two different
+//! extensions**, the optimization "not shown in literature before" that
+//! neither a general logical optimizer (which cannot see inside extension
+//! semantics) nor E-ADT-style intra-object optimizers (which only see their
+//! own extension) can perform:
+//!
+//! * `BAG.select ∘ LIST.projecttobag` → `LIST.projecttobag ∘ LIST.select`
+//!   (the paper's Example 1 — selection crosses the representation change),
+//! * the analogous `SET.select ∘ BAG.projecttoset` pushdown,
+//! * aggregate shortcuts (`BAG.count ∘ LIST.projecttobag` → `LIST.length`),
+//! * top-N pushdown from LIST into MMRANK across `projecttolist` — the
+//!   rewrite that makes ranked retrieval stop early.
+
+use crate::expr::{Expr, ExtensionId};
+use crate::optimizer::Rule;
+
+/// The inter-object rule set.
+pub fn rules() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "inter.bag_select_over_projecttobag",
+            apply: bag_select_over_projecttobag,
+        },
+        Rule {
+            name: "inter.set_select_over_projecttoset",
+            apply: set_select_over_projecttoset,
+        },
+        Rule {
+            name: "inter.count_over_projecttobag",
+            apply: count_over_projecttobag,
+        },
+        Rule {
+            name: "inter.sum_over_projecttobag",
+            apply: sum_over_projecttobag,
+        },
+        Rule {
+            name: "inter.member_over_projecttoset",
+            apply: member_over_projecttoset,
+        },
+        Rule {
+            name: "inter.firstn_over_mm_projecttolist",
+            apply: firstn_over_mm_projecttolist,
+        },
+        Rule {
+            name: "inter.length_over_mm_projecttolist",
+            apply: length_over_mm_projecttolist,
+        },
+    ]
+}
+
+fn as_apply<'e>(e: &'e Expr, ext: ExtensionId, op: &str) -> Option<&'e [Expr]> {
+    match e {
+        Expr::Apply {
+            ext: x,
+            op: o,
+            args,
+        } if *x == ext && o == op => Some(args),
+        _ => None,
+    }
+}
+
+/// Example 1: `BAG.select(LIST.projecttobag(l), lo, hi)` →
+/// `LIST.projecttobag(LIST.select(l, lo, hi))`.
+///
+/// Legal because `projecttobag` only forgets order, and range selection is
+/// order-insensitive on the element multiset. Profitable because the
+/// projection now materializes only the selected elements — and because the
+/// pushed-down LIST.select can later become a binary search when the list's
+/// order is known.
+fn bag_select_over_projecttobag(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::Bag, "select")?;
+    let inner = as_apply(&outer[0], ExtensionId::List, "projecttobag")?;
+    let pushed = Expr::Apply {
+        ext: ExtensionId::List,
+        op: "select".to_owned(),
+        args: vec![inner[0].clone(), outer[1].clone(), outer[2].clone()],
+    };
+    Some(Expr::projecttobag(pushed))
+}
+
+/// `SET.select(BAG.projecttoset(b), lo, hi)` →
+/// `BAG.projecttoset(BAG.select(b, lo, hi))`.
+fn set_select_over_projecttoset(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::Set, "select")?;
+    let inner = as_apply(&outer[0], ExtensionId::Bag, "projecttoset")?;
+    let pushed = Expr::Apply {
+        ext: ExtensionId::Bag,
+        op: "select".to_owned(),
+        args: vec![inner[0].clone(), outer[1].clone(), outer[2].clone()],
+    };
+    Some(Expr::projecttoset(pushed))
+}
+
+/// `BAG.count(LIST.projecttobag(l))` → `LIST.length(l)` — the projection
+/// preserves cardinality, so it need not be materialized at all.
+fn count_over_projecttobag(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::Bag, "count")?;
+    let inner = as_apply(&outer[0], ExtensionId::List, "projecttobag")?;
+    Some(Expr::list_length(inner[0].clone()))
+}
+
+/// `BAG.sum(LIST.projecttobag(l))` → `LIST.sum(l)`.
+fn sum_over_projecttobag(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::Bag, "sum")?;
+    let inner = as_apply(&outer[0], ExtensionId::List, "projecttobag")?;
+    Some(Expr::list_sum(inner[0].clone()))
+}
+
+/// `SET.member(BAG.projecttoset(b), v)` → `BAG.contains(b, v)`.
+fn member_over_projecttoset(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::Set, "member")?;
+    let inner = as_apply(&outer[0], ExtensionId::Bag, "projecttoset")?;
+    Some(Expr::Apply {
+        ext: ExtensionId::Bag,
+        op: "contains".to_owned(),
+        args: vec![inner[0].clone(), outer[1].clone()],
+    })
+}
+
+/// `LIST.firstn(MMRANK.projecttolist(r), n)` →
+/// `MMRANK.projecttolist(MMRANK.topn(r, n))` — the top-N crosses into the
+/// ranking extension, where it can later fuse with `rank` itself
+/// (`rank_topn`) and stop retrieval early.
+fn firstn_over_mm_projecttolist(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::List, "firstn")?;
+    let inner = as_apply(&outer[0], ExtensionId::MmRank, "projecttolist")?;
+    let n = match &outer[1] {
+        Expr::Const(v) => v.as_int()?,
+        _ => return None,
+    };
+    Some(Expr::mm_projecttolist(Expr::mm_topn(inner[0].clone(), n)))
+}
+
+/// `LIST.length(MMRANK.projecttolist(r))` — still requires materializing the
+/// ranked list, but the projection itself is dropped.
+fn length_over_mm_projecttolist(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::List, "length")?;
+    let inner = as_apply(&outer[0], ExtensionId::MmRank, "projecttolist")?;
+    Some(Expr::Apply {
+        ext: ExtensionId::MmRank,
+        op: "count".to_owned(),
+        args: vec![inner[0].clone()],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{evaluate, Env};
+    use crate::ext::{ExecContext, Registry};
+    use crate::optimizer::{Optimizer, OptimizerConfig};
+    use crate::value::Value;
+
+    fn inter_only() -> Optimizer {
+        Optimizer::new(OptimizerConfig {
+            logical: false,
+            inter_object: true,
+            intra_object: false,
+            max_passes: 8,
+        })
+    }
+
+    fn assert_same_result(before: &Expr) -> (u64, u64) {
+        let (after, _) = inter_only().optimize(before);
+        let reg = Registry::standard();
+        let mut ctx_b = ExecContext::new();
+        let a = evaluate(before, &Env::new(), &reg, &mut ctx_b).unwrap();
+        let mut ctx_a = ExecContext::new();
+        let b = evaluate(&after, &Env::new(), &reg, &mut ctx_a).unwrap();
+        assert_eq!(a, b, "rewrite changed semantics:\n  {before}\n  {after}");
+        (ctx_b.elements_processed, ctx_a.elements_processed)
+    }
+
+    #[test]
+    fn example_one_rewrite_fires_and_preserves_semantics() {
+        // The paper's Example 1, literally.
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3, 4, 4, 5]))),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let (after, trace) = inter_only().optimize(&e);
+        assert!(trace
+            .fired
+            .contains(&"inter.bag_select_over_projecttobag".to_string()));
+        assert_eq!(
+            after.to_string(),
+            "LIST.projecttobag(LIST.select([1, 2, 3, 4, 4, 5], 2, 4))"
+        );
+        let (work_before, work_after) = assert_same_result(&e);
+        assert!(work_after < work_before, "{work_after} !< {work_before}");
+    }
+
+    #[test]
+    fn example_one_result_is_papers_expected_bag() {
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3, 4, 4, 5]))),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let reg = Registry::standard();
+        let v = evaluate(&e, &Env::new(), &reg, &mut ExecContext::new()).unwrap();
+        assert_eq!(
+            v,
+            Value::bag(vec![Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(4)])
+        );
+    }
+
+    #[test]
+    fn set_select_pushdown() {
+        let bag = Expr::constant(Value::bag(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(2),
+            Value::Int(5),
+        ]));
+        let e = Expr::set_select(Expr::projecttoset(bag), Value::Int(2), Value::Int(5));
+        let (after, trace) = inter_only().optimize(&e);
+        assert!(trace
+            .fired
+            .contains(&"inter.set_select_over_projecttoset".to_string()));
+        assert!(matches!(
+            &after,
+            Expr::Apply { ext: ExtensionId::Bag, op, .. } if op == "projecttoset"
+        ));
+        assert_same_result(&e);
+    }
+
+    #[test]
+    fn count_and_sum_shortcuts() {
+        let l = Expr::constant(Value::int_list([4, 7, 9]));
+        let count = Expr::bag_count(Expr::projecttobag(l.clone()));
+        let (after, _) = inter_only().optimize(&count);
+        assert_eq!(after, Expr::list_length(l.clone()));
+        assert_same_result(&count);
+
+        let sum = Expr::bag_sum(Expr::projecttobag(l.clone()));
+        let (after, _) = inter_only().optimize(&sum);
+        assert_eq!(after, Expr::list_sum(l));
+        assert_same_result(&sum);
+    }
+
+    #[test]
+    fn member_pushdown() {
+        let bag = Expr::constant(Value::bag(vec![Value::Int(3), Value::Int(3)]));
+        let e = Expr::set_member(Expr::projecttoset(bag), Value::Int(3));
+        let (after, trace) = inter_only().optimize(&e);
+        assert!(trace
+            .fired
+            .contains(&"inter.member_over_projecttoset".to_string()));
+        assert!(matches!(
+            &after,
+            Expr::Apply { ext: ExtensionId::Bag, op, .. } if op == "contains"
+        ));
+        assert_same_result(&e);
+    }
+
+    #[test]
+    fn firstn_crosses_into_mmrank() {
+        let r = Expr::constant(Value::ranked(vec![(1, 0.9), (2, 0.8), (3, 0.7)]));
+        let e = Expr::list_firstn(Expr::mm_projecttolist(r), 2);
+        let (after, trace) = inter_only().optimize(&e);
+        assert!(trace
+            .fired
+            .contains(&"inter.firstn_over_mm_projecttolist".to_string()));
+        // Shape: MMRANK.projecttolist(MMRANK.topn(r, 2)).
+        let args = match &after {
+            Expr::Apply { ext: ExtensionId::MmRank, op, args } if op == "projecttolist" => args,
+            other => panic!("unexpected {other}"),
+        };
+        assert!(matches!(
+            &args[0],
+            Expr::Apply { ext: ExtensionId::MmRank, op, .. } if op == "topn"
+        ));
+        assert_same_result(&e);
+    }
+
+    #[test]
+    fn rules_do_not_fire_on_same_extension_chains() {
+        // select over a *bag-valued* variable is not a cross-extension
+        // pattern; nothing should fire.
+        let e = Expr::bag_select(Expr::var("b"), Value::Int(0), Value::Int(9));
+        let (after, trace) = inter_only().optimize(&e);
+        assert_eq!(after, e);
+        assert!(trace.fired.is_empty());
+    }
+
+    #[test]
+    fn nested_rewrites_cascade() {
+        // count(projecttobag(select-chain)) collapses fully.
+        let e = Expr::bag_count(Expr::projecttobag(Expr::list_select(
+            Expr::constant(Value::int_list([1, 2, 3])),
+            Value::Int(1),
+            Value::Int(2),
+        )));
+        let (after, _) = inter_only().optimize(&e);
+        assert!(matches!(
+            &after,
+            Expr::Apply { ext: ExtensionId::List, op, .. } if op == "length"
+        ));
+        assert_same_result(&e);
+    }
+}

@@ -1,0 +1,205 @@
+//! The intra-object (E-ADT-style) optimizer layer.
+//!
+//! Per-extension physical operator choice, as in PREDATOR's enhanced data
+//! types [Seshadri & Paskin, SIGMOD 1997]: each rule concerns a *single*
+//! extension and substitutes a cheaper physical variant when its
+//! precondition is proven:
+//!
+//! * `select` → `select_ordered` (binary search) on provably ordered input,
+//! * `member` → `member_ordered` on provably ordered sets,
+//! * `MMRANK.topn ∘ MMRANK.rank` → the fused `rank_topn`, which pushes the
+//!   bound into retrieval (the paper's "special top N operators … at the
+//!   query language level").
+
+use crate::expr::{Expr, ExtensionId};
+use crate::optimizer::{provably_sorted_asc, Rule};
+
+/// The intra-object rule set.
+pub fn rules() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "intra.list_select_ordered",
+            apply: list_select_ordered,
+        },
+        Rule {
+            name: "intra.bag_select_ordered",
+            apply: bag_select_ordered,
+        },
+        Rule {
+            name: "intra.set_select_ordered",
+            apply: set_select_ordered,
+        },
+        Rule {
+            name: "intra.set_member_ordered",
+            apply: set_member_ordered,
+        },
+        Rule {
+            name: "intra.mm_rank_topn_fusion",
+            apply: mm_rank_topn_fusion,
+        },
+    ]
+}
+
+fn select_to_ordered(e: &Expr, ext: ExtensionId) -> Option<Expr> {
+    match e {
+        Expr::Apply {
+            ext: x,
+            op,
+            args,
+        } if *x == ext && op == "select" && provably_sorted_asc(&args[0]) => Some(Expr::Apply {
+            ext,
+            op: "select_ordered".to_owned(),
+            args: args.clone(),
+        }),
+        _ => None,
+    }
+}
+
+fn list_select_ordered(e: &Expr) -> Option<Expr> {
+    select_to_ordered(e, ExtensionId::List)
+}
+
+fn bag_select_ordered(e: &Expr) -> Option<Expr> {
+    select_to_ordered(e, ExtensionId::Bag)
+}
+
+fn set_select_ordered(e: &Expr) -> Option<Expr> {
+    select_to_ordered(e, ExtensionId::Set)
+}
+
+fn set_member_ordered(e: &Expr) -> Option<Expr> {
+    match e {
+        Expr::Apply { ext, op, args }
+            if *ext == ExtensionId::Set && op == "member" && provably_sorted_asc(&args[0]) =>
+        {
+            Some(Expr::Apply {
+                ext: ExtensionId::Set,
+                op: "member_ordered".to_owned(),
+                args: args.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// `MMRANK.topn(MMRANK.rank(q), n)` → `MMRANK.rank_topn(q, n)`.
+fn mm_rank_topn_fusion(e: &Expr) -> Option<Expr> {
+    let (outer_args, ()) = match e {
+        Expr::Apply { ext, op, args } if *ext == ExtensionId::MmRank && op == "topn" => {
+            (args, ())
+        }
+        _ => return None,
+    };
+    let inner_args = match &outer_args[0] {
+        Expr::Apply { ext, op, args } if *ext == ExtensionId::MmRank && op == "rank" => args,
+        _ => return None,
+    };
+    Some(Expr::Apply {
+        ext: ExtensionId::MmRank,
+        op: "rank_topn".to_owned(),
+        args: vec![inner_args[0].clone(), outer_args[1].clone()],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{evaluate, Env};
+    use crate::ext::{ExecContext, Registry};
+    use crate::optimizer::{Optimizer, OptimizerConfig};
+    use crate::value::Value;
+
+    fn intra_only() -> Optimizer {
+        Optimizer::new(OptimizerConfig {
+            logical: false,
+            inter_object: false,
+            intra_object: true,
+            max_passes: 8,
+        })
+    }
+
+    #[test]
+    fn sorted_const_select_becomes_binary_search() {
+        let e = Expr::list_select(
+            Expr::constant(Value::int_list([1, 2, 3, 4, 5])),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let (after, trace) = intra_only().optimize(&e);
+        assert!(trace.fired.contains(&"intra.list_select_ordered".to_string()));
+        assert!(matches!(&after, Expr::Apply { op, .. } if op == "select_ordered"));
+        // Semantics preserved.
+        let reg = Registry::standard();
+        let a = evaluate(&e, &Env::new(), &reg, &mut ExecContext::new()).unwrap();
+        let b = evaluate(&after, &Env::new(), &reg, &mut ExecContext::new()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unsorted_input_keeps_scan() {
+        let e = Expr::list_select(
+            Expr::constant(Value::int_list([5, 1, 3])),
+            Value::Int(1),
+            Value::Int(3),
+        );
+        let (after, trace) = intra_only().optimize(&e);
+        assert_eq!(after, e);
+        assert!(trace.fired.is_empty());
+    }
+
+    #[test]
+    fn variable_input_keeps_scan() {
+        let e = Expr::list_select(Expr::var("l"), Value::Int(1), Value::Int(3));
+        let (after, _) = intra_only().optimize(&e);
+        assert!(matches!(&after, Expr::Apply { op, .. } if op == "select"));
+    }
+
+    #[test]
+    fn bag_select_over_provable_canonical_rep() {
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::var("l")),
+            Value::Int(0),
+            Value::Int(9),
+        );
+        let (after, trace) = intra_only().optimize(&e);
+        assert!(trace.fired.contains(&"intra.bag_select_ordered".to_string()));
+        assert!(matches!(
+            &after,
+            Expr::Apply { ext: ExtensionId::Bag, op, .. } if op == "select_ordered"
+        ));
+    }
+
+    #[test]
+    fn set_member_ordered_on_canonical_set() {
+        let e = Expr::set_member(
+            Expr::projecttoset(Expr::projecttobag(Expr::var("l"))),
+            Value::Int(5),
+        );
+        let (after, trace) = intra_only().optimize(&e);
+        assert!(trace.fired.contains(&"intra.set_member_ordered".to_string()));
+        assert!(matches!(&after, Expr::Apply { op, .. } if op == "member_ordered"));
+    }
+
+    #[test]
+    fn rank_topn_fuses() {
+        let e = Expr::mm_topn(Expr::mm_rank(Expr::var("q")), 10);
+        let (after, trace) = intra_only().optimize(&e);
+        assert!(trace.fired.contains(&"intra.mm_rank_topn_fusion".to_string()));
+        match &after {
+            Expr::Apply { ext, op, args } => {
+                assert_eq!(*ext, ExtensionId::MmRank);
+                assert_eq!(op, "rank_topn");
+                assert_eq!(args[0], Expr::var("q"));
+                assert_eq!(args[1], Expr::Const(Value::Int(10)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn topn_over_non_rank_is_untouched() {
+        let e = Expr::mm_topn(Expr::var("r"), 10);
+        let (after, _) = intra_only().optimize(&e);
+        assert_eq!(after, e);
+    }
+}

@@ -1,0 +1,291 @@
+//! The logical (extension-agnostic) optimizer layer.
+//!
+//! Classic algebraic rewrites that never need to know what an extension's
+//! operators *mean* physically — only their algebraic laws: selection
+//! fusion, top-N fusion, sort idempotence and elimination.
+
+use crate::expr::{Expr, ExtensionId};
+use crate::optimizer::{provably_sorted_asc, Rule};
+use crate::value::Value;
+
+/// The logical rule set.
+pub fn rules() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "logical.select_fusion",
+            apply: select_fusion,
+        },
+        Rule {
+            name: "logical.topn_fusion",
+            apply: topn_fusion,
+        },
+        Rule {
+            name: "logical.firstn_fusion",
+            apply: firstn_fusion,
+        },
+        Rule {
+            name: "logical.sort_idempotent",
+            apply: sort_idempotent,
+        },
+        Rule {
+            name: "logical.sort_elimination",
+            apply: sort_elimination,
+        },
+        Rule {
+            name: "logical.cutoff_fusion",
+            apply: cutoff_fusion,
+        },
+        Rule {
+            name: "logical.mm_topn_fusion",
+            apply: mm_topn_fusion,
+        },
+    ]
+}
+
+fn as_apply<'e>(e: &'e Expr, ext: ExtensionId, op: &str) -> Option<&'e [Expr]> {
+    match e {
+        Expr::Apply {
+            ext: x,
+            op: o,
+            args,
+        } if *x == ext && o == op => Some(args),
+        _ => None,
+    }
+}
+
+fn const_value(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Const(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// `X.select(X.select(e, a, b), c, d)` → `X.select(e, max(a,c), min(b,d))`
+/// for X ∈ {LIST, BAG, SET}, when all bounds are constants.
+fn select_fusion(e: &Expr) -> Option<Expr> {
+    for ext in [ExtensionId::List, ExtensionId::Bag, ExtensionId::Set] {
+        for op in ["select", "select_ordered"] {
+            let Some(outer) = as_apply(e, ext, op) else {
+                continue;
+            };
+            let (c, d) = (const_value(&outer[1])?, const_value(&outer[2])?);
+            // Inner must be the same extension's select (either variant).
+            for inner_op in ["select", "select_ordered"] {
+                let Some(inner) = as_apply(&outer[0], ext, inner_op) else {
+                    continue;
+                };
+                let (a, b) = (const_value(&inner[1])?, const_value(&inner[2])?);
+                let lo = if a.total_cmp(c) == std::cmp::Ordering::Less {
+                    c.clone()
+                } else {
+                    a.clone()
+                };
+                let hi = if b.total_cmp(d) == std::cmp::Ordering::Greater {
+                    d.clone()
+                } else {
+                    b.clone()
+                };
+                return Some(Expr::Apply {
+                    ext,
+                    op: "select".to_owned(),
+                    args: vec![inner[0].clone(), Expr::Const(lo), Expr::Const(hi)],
+                });
+            }
+        }
+    }
+    None
+}
+
+/// `LIST.topn(LIST.topn(e, n), m)` → `LIST.topn(e, min(n, m))`.
+fn topn_fusion(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::List, "topn")?;
+    let m = const_value(&outer[1])?.as_int()?;
+    let inner = as_apply(&outer[0], ExtensionId::List, "topn")?;
+    let n = const_value(&inner[1])?.as_int()?;
+    Some(Expr::list_topn(inner[0].clone(), n.min(m)))
+}
+
+/// `LIST.firstn(LIST.firstn(e, n), m)` → `LIST.firstn(e, min(n, m))`.
+fn firstn_fusion(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::List, "firstn")?;
+    let m = const_value(&outer[1])?.as_int()?;
+    let inner = as_apply(&outer[0], ExtensionId::List, "firstn")?;
+    let n = const_value(&inner[1])?.as_int()?;
+    Some(Expr::list_firstn(inner[0].clone(), n.min(m)))
+}
+
+/// `LIST.sort(LIST.sort(e))` → `LIST.sort(e)`.
+fn sort_idempotent(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::List, "sort")?;
+    let _inner = as_apply(&outer[0], ExtensionId::List, "sort")?;
+    Some(outer[0].clone())
+}
+
+/// `LIST.sort(e)` → `e` when `e` is provably sorted.
+fn sort_elimination(e: &Expr) -> Option<Expr> {
+    let args = as_apply(e, ExtensionId::List, "sort")?;
+    if provably_sorted_asc(&args[0]) {
+        Some(args[0].clone())
+    } else {
+        None
+    }
+}
+
+/// `MMRANK.cutoff(MMRANK.cutoff(e, a), b)` → `MMRANK.cutoff(e, max(a, b))`.
+fn cutoff_fusion(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::MmRank, "cutoff")?;
+    let b = const_value(&outer[1])?.as_float()?;
+    let inner = as_apply(&outer[0], ExtensionId::MmRank, "cutoff")?;
+    let a = const_value(&inner[1])?.as_float()?;
+    Some(Expr::mm_cutoff(inner[0].clone(), a.max(b)))
+}
+
+/// `MMRANK.topn(MMRANK.topn(e, n), m)` → `MMRANK.topn(e, min(n, m))`.
+fn mm_topn_fusion(e: &Expr) -> Option<Expr> {
+    let outer = as_apply(e, ExtensionId::MmRank, "topn")?;
+    let m = const_value(&outer[1])?.as_int()?;
+    let inner = as_apply(&outer[0], ExtensionId::MmRank, "topn")?;
+    let n = const_value(&inner[1])?.as_int()?;
+    Some(Expr::mm_topn(inner[0].clone(), n.min(m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{evaluate, Env};
+    use crate::ext::{ExecContext, Registry};
+    use crate::optimizer::{Optimizer, OptimizerConfig};
+
+    fn logical_only() -> Optimizer {
+        Optimizer::new(OptimizerConfig {
+            logical: true,
+            inter_object: false,
+            intra_object: false,
+            max_passes: 8,
+        })
+    }
+
+    fn assert_semantics_preserved(before: &Expr) {
+        let (after, _) = logical_only().optimize(before);
+        let reg = Registry::standard();
+        let a = evaluate(before, &Env::new(), &reg, &mut ExecContext::new()).unwrap();
+        let b = evaluate(&after, &Env::new(), &reg, &mut ExecContext::new()).unwrap();
+        assert_eq!(a, b, "rewrite changed semantics:\n  {before}\n  {after}");
+    }
+
+    #[test]
+    fn select_fusion_intersects_ranges() {
+        let inner = Expr::list_select(
+            Expr::constant(Value::int_list([1, 2, 3, 4, 5, 6])),
+            Value::Int(2),
+            Value::Int(6),
+        );
+        let e = Expr::list_select(inner, Value::Int(1), Value::Int(4));
+        let (out, trace) = logical_only().optimize(&e);
+        assert!(trace.fired.contains(&"logical.select_fusion".to_string()));
+        // Single select remains.
+        match &out {
+            Expr::Apply { op, args, .. } => {
+                assert_eq!(op, "select");
+                assert_eq!(const_value(&args[1]).unwrap(), &Value::Int(2));
+                assert_eq!(const_value(&args[2]).unwrap(), &Value::Int(4));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_semantics_preserved(&e);
+    }
+
+    #[test]
+    fn bag_and_set_select_fusion() {
+        let bag = Expr::constant(Value::bag(vec![Value::Int(1), Value::Int(5)]));
+        let e = Expr::bag_select(
+            Expr::bag_select(bag, Value::Int(0), Value::Int(9)),
+            Value::Int(2),
+            Value::Int(8),
+        );
+        assert_semantics_preserved(&e);
+        let (out, _) = logical_only().optimize(&e);
+        assert_eq!(out.size(), 4); // one select over const + 2 bounds
+    }
+
+    #[test]
+    fn topn_and_firstn_fusion_take_minimum() {
+        let e = Expr::list_topn(
+            Expr::list_topn(Expr::constant(Value::int_list([5, 3, 9, 1])), 3),
+            2,
+        );
+        let (out, _) = logical_only().optimize(&e);
+        match &out {
+            Expr::Apply { op, args, .. } => {
+                assert_eq!(op, "topn");
+                assert_eq!(const_value(&args[1]).unwrap(), &Value::Int(2));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_semantics_preserved(&e);
+
+        let e2 = Expr::list_firstn(
+            Expr::list_firstn(Expr::constant(Value::int_list([5, 3, 9, 1])), 2),
+            3,
+        );
+        assert_semantics_preserved(&e2);
+    }
+
+    #[test]
+    fn sort_idempotence_and_elimination() {
+        let e = Expr::list_sort(Expr::list_sort(Expr::var("x")));
+        let (out, trace) = logical_only().optimize(&e);
+        assert_eq!(out, Expr::list_sort(Expr::var("x")));
+        assert!(trace.fired.contains(&"logical.sort_idempotent".to_string()));
+
+        let sorted_const = Expr::constant(Value::int_list([1, 2, 3]));
+        let e2 = Expr::list_sort(sorted_const.clone());
+        let (out2, _) = logical_only().optimize(&e2);
+        assert_eq!(out2, sorted_const);
+    }
+
+    #[test]
+    fn sort_of_unsorted_const_not_eliminated() {
+        let e = Expr::list_sort(Expr::constant(Value::int_list([3, 1])));
+        let (out, _) = logical_only().optimize(&e);
+        assert!(matches!(&out, Expr::Apply { op, .. } if op == "sort"));
+    }
+
+    #[test]
+    fn cutoff_fusion_takes_max_threshold() {
+        let r = Expr::constant(Value::ranked(vec![(1, 0.9), (2, 0.5), (3, 0.1)]));
+        let e = Expr::mm_cutoff(Expr::mm_cutoff(r, 0.3), 0.6);
+        let (out, _) = logical_only().optimize(&e);
+        match &out {
+            Expr::Apply { op, args, .. } => {
+                assert_eq!(op, "cutoff");
+                assert_eq!(const_value(&args[1]).unwrap(), &Value::Float(0.6));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_semantics_preserved(&e);
+    }
+
+    #[test]
+    fn mm_topn_fusion() {
+        let r = Expr::constant(Value::ranked(vec![(1, 0.9), (2, 0.5)]));
+        let e = Expr::mm_topn(Expr::mm_topn(r, 5), 1);
+        assert_semantics_preserved(&e);
+        let (out, _) = logical_only().optimize(&e);
+        match &out {
+            Expr::Apply { op, args, .. } => {
+                assert_eq!(op, "topn");
+                assert_eq!(const_value(&args[1]).unwrap(), &Value::Int(1));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn no_rule_fires_on_simple_plans() {
+        let e = Expr::list_length(Expr::var("x"));
+        let (out, trace) = logical_only().optimize(&e);
+        assert_eq!(out, e);
+        assert!(trace.fired.is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! The three-layer Moa optimizer (the paper's Step 2).
+//!
+//! The paper places a new **inter-object optimizer** between the high-level
+//! algebraic (logical) optimizer and the per-extension (intra-object,
+//! E-ADT-style) optimizers:
+//!
+//! ```text
+//!        logical optimizer      — extension-agnostic algebraic rewrites
+//!   →  inter-object optimizer   — rewrite rules across *pairs* of
+//!                                  extensions (Example 1 of the paper)
+//!   →  intra-object optimizers  — per-extension physical operator choice
+//! ```
+//!
+//! Rules are applied bottom-up to a fixpoint per layer; the fired-rule trace
+//! is returned so experiments (and EXPLAIN output) can show exactly which
+//! knowledge produced which plan.
+
+pub mod inter;
+pub mod intra;
+pub mod logical;
+
+use crate::expr::{Expr, ExtensionId};
+use crate::value::Value;
+
+/// A named rewrite rule: returns the replacement when it matches.
+pub struct Rule {
+    /// The rule name (appears in optimizer traces).
+    pub name: &'static str,
+    /// Attempt the rewrite at a single node.
+    pub apply: fn(&Expr) -> Option<Expr>,
+}
+
+/// The trace of an optimization run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptimizerTrace {
+    /// Names of rules in firing order.
+    pub fired: Vec<String>,
+}
+
+/// Optimizer configuration: layers can be toggled for ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Enable the logical (extension-agnostic) layer.
+    pub logical: bool,
+    /// Enable the inter-object layer.
+    pub inter_object: bool,
+    /// Enable the intra-object (physical) layer.
+    pub intra_object: bool,
+    /// Fixpoint iteration cap per layer.
+    pub max_passes: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            logical: true,
+            inter_object: true,
+            intra_object: true,
+            max_passes: 16,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// All layers disabled — the "unoptimized case" baseline.
+    pub fn disabled() -> OptimizerConfig {
+        OptimizerConfig {
+            logical: false,
+            inter_object: false,
+            intra_object: false,
+            max_passes: 0,
+        }
+    }
+}
+
+/// The Moa optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Optimizer {
+    /// Configuration (layer toggles).
+    pub config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// An optimizer with the given configuration.
+    pub fn new(config: OptimizerConfig) -> Optimizer {
+        Optimizer { config }
+    }
+
+    /// Optimize an expression, returning the rewritten plan and the trace.
+    pub fn optimize(&self, expr: &Expr) -> (Expr, OptimizerTrace) {
+        let mut trace = OptimizerTrace::default();
+        let mut current = expr.clone();
+        if self.config.logical {
+            current = run_layer(&current, logical::rules(), self.config.max_passes, &mut trace);
+        }
+        if self.config.inter_object {
+            current = run_layer(&current, inter::rules(), self.config.max_passes, &mut trace);
+            // Inter-object rewrites may expose new logical opportunities
+            // (e.g. pushed-down selects that can fuse).
+            if self.config.logical {
+                current =
+                    run_layer(&current, logical::rules(), self.config.max_passes, &mut trace);
+            }
+        }
+        if self.config.intra_object {
+            current = run_layer(&current, intra::rules(), self.config.max_passes, &mut trace);
+        }
+        (current, trace)
+    }
+}
+
+/// Run one rule set bottom-up to a fixpoint (bounded by `max_passes`).
+fn run_layer(expr: &Expr, rules: &[Rule], max_passes: usize, trace: &mut OptimizerTrace) -> Expr {
+    let mut current = expr.clone();
+    for _ in 0..max_passes {
+        let (next, fired) = rewrite_bottom_up(&current, rules, trace);
+        if fired == 0 {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+/// One bottom-up pass: children first, then try every rule at the node.
+fn rewrite_bottom_up(expr: &Expr, rules: &[Rule], trace: &mut OptimizerTrace) -> (Expr, usize) {
+    let mut fired = 0usize;
+    let rebuilt = match expr {
+        Expr::Const(_) | Expr::Var(_) => expr.clone(),
+        Expr::Apply { ext, op, args } => {
+            let new_args: Vec<Expr> = args
+                .iter()
+                .map(|a| {
+                    let (e, f) = rewrite_bottom_up(a, rules, trace);
+                    fired += f;
+                    e
+                })
+                .collect();
+            Expr::Apply {
+                ext: *ext,
+                op: op.clone(),
+                args: new_args,
+            }
+        }
+    };
+    let mut node = rebuilt;
+    loop {
+        let mut changed = false;
+        for rule in rules {
+            if let Some(next) = (rule.apply)(&node) {
+                trace.fired.push(rule.name.to_owned());
+                fired += 1;
+                node = next;
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if fired > 10_000 {
+            // Defensive cap against non-terminating rule sets.
+            break;
+        }
+    }
+    (node, fired)
+}
+
+/// Whether the expression's result is *provably* ascending-sorted under
+/// `Value::total_cmp` — the ordering knowledge the optimizer propagates
+/// across extension boundaries. `Var` inputs are unknown; `Const` values
+/// carry catalog knowledge (their sortedness is a stored property, as in
+/// MonetDB).
+pub fn provably_sorted_asc(expr: &Expr) -> bool {
+    match expr {
+        Expr::Const(v) => match v {
+            Value::Ranked(_) => false, // ordered by score, not by value
+            other => other.is_sorted_asc(),
+        },
+        Expr::Var(_) => false,
+        Expr::Apply { ext, op, args } => match (ext, op.as_str()) {
+            (ExtensionId::List, "sort") => true,
+            // Order-preserving LIST ops.
+            (ExtensionId::List, "select" | "select_ordered" | "firstn") => {
+                args.first().is_some_and(provably_sorted_asc)
+            }
+            // BAG / SET canonical representations are sorted whenever the
+            // optimizer can see the constructor.
+            (ExtensionId::List, "projecttobag") => true,
+            (ExtensionId::Bag, "projecttoset" | "union") => true,
+            (ExtensionId::Bag, "select" | "select_ordered") => {
+                args.first().is_some_and(provably_sorted_asc)
+            }
+            (ExtensionId::Bag | ExtensionId::Set, "projecttolist") => true,
+            (ExtensionId::Set, "select" | "select_ordered") => {
+                args.first().is_some_and(provably_sorted_asc)
+            }
+            (ExtensionId::Set, "union") => true,
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_optimizer_is_identity() {
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::var("l")),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let opt = Optimizer::new(OptimizerConfig::disabled());
+        let (out, trace) = opt.optimize(&e);
+        assert_eq!(out, e);
+        assert!(trace.fired.is_empty());
+    }
+
+    #[test]
+    fn order_inference_on_sorted_const() {
+        let sorted = Expr::constant(Value::int_list([1, 2, 3]));
+        let unsorted = Expr::constant(Value::int_list([3, 1]));
+        assert!(provably_sorted_asc(&sorted));
+        assert!(!provably_sorted_asc(&unsorted));
+        assert!(!provably_sorted_asc(&Expr::var("x")));
+    }
+
+    #[test]
+    fn order_inference_through_operators() {
+        let e = Expr::list_select(
+            Expr::list_sort(Expr::var("x")),
+            Value::Int(0),
+            Value::Int(9),
+        );
+        assert!(provably_sorted_asc(&e));
+        let e2 = Expr::list_select(Expr::var("x"), Value::Int(0), Value::Int(9));
+        assert!(!provably_sorted_asc(&e2));
+        // Canonical bag representation is sorted when provable.
+        assert!(provably_sorted_asc(&Expr::projecttobag(Expr::var("x"))));
+    }
+
+    #[test]
+    fn ranked_consts_are_not_value_sorted() {
+        let r = Expr::constant(Value::ranked(vec![(1, 0.9), (2, 0.8)]));
+        assert!(!provably_sorted_asc(&r));
+    }
+
+    #[test]
+    fn full_pipeline_traces_rules() {
+        // The paper's Example 1 end-to-end.
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3, 4, 4, 5]))),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let opt = Optimizer::default();
+        let (out, trace) = opt.optimize(&e);
+        assert!(!trace.fired.is_empty());
+        // The select must have been pushed below the projection.
+        match &out {
+            Expr::Apply { ext, op, args } => {
+                assert_eq!(*ext, ExtensionId::List);
+                assert_eq!(op, "projecttobag");
+                assert!(matches!(
+                    &args[0],
+                    Expr::Apply { ext: ExtensionId::List, op, .. }
+                        if op == "select" || op == "select_ordered"
+                ));
+            }
+            other => panic!("unexpected shape: {other}"),
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! A concrete syntax for algebra expressions.
+//!
+//! Round-trips the `Display` form of [`Expr`]: operator applications are
+//! `EXT.op(arg, …)`, variables are `$name`, and literals cover integers,
+//! floats, strings, booleans, and the collection constructors
+//! `[…]` (list), `{|…|}` (bag), `{…}` (set), `(…)` (tuple).
+//!
+//! ```
+//! use moa_core::parse::parse_expr;
+//!
+//! let e = parse_expr("BAG.select(LIST.projecttobag($l), 2, 4)").unwrap();
+//! assert_eq!(e.to_string(), "BAG.select(LIST.projecttobag($l), 2, 4)");
+//! ```
+
+use crate::error::{CoreError, Result};
+use crate::expr::{Expr, ExtensionId};
+use crate::value::Value;
+
+/// Parse an expression from its concrete syntax.
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input);
+    let e = p.expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Parser<'s> {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> CoreError {
+        CoreError::Runtime(format!("parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii identifier")
+            .to_owned())
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'$') => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Expr::Var(name))
+            }
+            Some(c) if c.is_ascii_uppercase() => {
+                // Could be an extension application or a bare literal like
+                // `true`? Booleans are lowercase, so uppercase = extension.
+                let ext_name = self.ident()?;
+                let ext = match ext_name.as_str() {
+                    "LIST" => ExtensionId::List,
+                    "BAG" => ExtensionId::Bag,
+                    "SET" => ExtensionId::Set,
+                    "TUPLE" => ExtensionId::Tuple,
+                    "MMRANK" => ExtensionId::MmRank,
+                    other => return Err(self.error(&format!("unknown extension {other}"))),
+                };
+                self.expect(b'.')?;
+                let op = self.ident()?;
+                self.expect(b'(')?;
+                let mut args = Vec::new();
+                if !self.eat(b')') {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(b')') {
+                            break;
+                        }
+                        self.expect(b',')?;
+                    }
+                }
+                Ok(Expr::Apply { ext, op, args })
+            }
+            _ => Ok(Expr::Const(self.value()?)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'[') => {
+                self.bump();
+                Ok(Value::List(self.value_seq(b']')?))
+            }
+            Some(b'{') => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    let items = self.value_seq_until_bag()?;
+                    Ok(Value::bag(items))
+                } else {
+                    Ok(Value::set(self.value_seq(b'}')?))
+                }
+            }
+            Some(b'(') => {
+                self.bump();
+                Ok(Value::Tuple(self.value_seq(b')')?))
+            }
+            Some(b'"') => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            _ => return Err(self.error("bad escape")),
+                        },
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.error("unterminated string")),
+                    }
+                }
+                Ok(Value::Str(s))
+            }
+            Some(b't') | Some(b'f') => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Err(self.error(&format!("unexpected word {other}"))),
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn value_seq(&mut self, close: u8) -> Result<Vec<Value>> {
+        let mut items = Vec::new();
+        if self.eat(close) {
+            return Ok(items);
+        }
+        loop {
+            items.push(self.value()?);
+            if self.eat(close) {
+                return Ok(items);
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn value_seq_until_bag(&mut self) -> Result<Vec<Value>> {
+        // A bag closes with `|}`.
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'|') {
+            self.bump();
+            self.expect(b'}')?;
+            return Ok(items);
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'|') => {
+                    self.bump();
+                    self.expect(b'}')?;
+                    return Ok(items);
+                }
+                _ => return Err(self.error("expected ',' or '|}' in bag")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error(&format!("bad float {text}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.error(&format!("bad integer {text}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let e = parse_expr(src).unwrap_or_else(|err| panic!("{src}: {err}"));
+        assert_eq!(e.to_string(), src, "round-trip failed");
+    }
+
+    #[test]
+    fn parses_papers_example() {
+        let e = parse_expr("BAG.select(LIST.projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)").unwrap();
+        let expect = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3, 4, 4, 5]))),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        assert_eq!(e, expect);
+    }
+
+    #[test]
+    fn roundtrips_display_forms() {
+        roundtrip("$x");
+        roundtrip("LIST.select($l, 2, 4)");
+        roundtrip("BAG.select(LIST.projecttobag($l), 2, 4)");
+        roundtrip("MMRANK.topn(MMRANK.rank($q), 10)");
+        roundtrip("[1, 2, 3]");
+        roundtrip("{1, 2}");
+        roundtrip("{|1, 1, 2|}");
+        roundtrip("(1, false)");
+        roundtrip("SET.member({1, 2}, 2)");
+    }
+
+    #[test]
+    fn parses_literals() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::Const(Value::Int(42)));
+        assert_eq!(parse_expr("-7").unwrap(), Expr::Const(Value::Int(-7)));
+        assert_eq!(parse_expr("2.5").unwrap(), Expr::Const(Value::Float(2.5)));
+        assert_eq!(parse_expr("true").unwrap(), Expr::Const(Value::Bool(true)));
+        assert_eq!(
+            parse_expr("\"hi\\n\"").unwrap(),
+            Expr::Const(Value::Str("hi\n".into()))
+        );
+        assert_eq!(
+            parse_expr("[]").unwrap(),
+            Expr::Const(Value::List(vec![]))
+        );
+        assert_eq!(
+            parse_expr("{||}").unwrap(),
+            Expr::Const(Value::bag(vec![]))
+        );
+    }
+
+    #[test]
+    fn bag_literal_canonicalizes() {
+        let e = parse_expr("{|3, 1, 2|}").unwrap();
+        assert_eq!(
+            e,
+            Expr::Const(Value::bag(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+        );
+    }
+
+    #[test]
+    fn nested_collections() {
+        let e = parse_expr("[[1, 2], [3]]").unwrap();
+        assert_eq!(
+            e,
+            Expr::Const(Value::List(vec![
+                Value::int_list([1, 2]),
+                Value::int_list([3]),
+            ]))
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("LIST.").is_err());
+        assert!(parse_expr("FOO.bar(1)").is_err());
+        assert!(parse_expr("LIST.select(1, 2").is_err());
+        assert!(parse_expr("[1, 2] trailing").is_err());
+        assert!(parse_expr("{|1, 2}").is_err());
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("truthy").is_err());
+    }
+
+    #[test]
+    fn parsed_expressions_execute() {
+        use crate::exec::{evaluate, Env};
+        use crate::ext::{ExecContext, Registry};
+        let e = parse_expr("BAG.count(LIST.projecttobag([4, 5, 6]))").unwrap();
+        let v = evaluate(&e, &Env::new(), &Registry::standard(), &mut ExecContext::new())
+            .unwrap();
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = parse_expr("LIST.select( $l , 1 , 2 )").unwrap();
+        let b = parse_expr("LIST.select($l,1,2)").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+//! The top-level API: a session ties together registry, optimizer, cost
+//! model, and (optionally) the MM retrieval runtime.
+
+use std::sync::Arc;
+
+use crate::cost::{CostContext, CostModel, Estimate, IrCostInfo};
+use crate::error::Result;
+use crate::exec::{evaluate, infer_type, Env};
+use crate::explain::render;
+use crate::expr::Expr;
+use crate::ext::{ExecContext, IrRuntime, Registry};
+use crate::optimizer::{Optimizer, OptimizerConfig, OptimizerTrace};
+use crate::types::MoaType;
+use crate::value::Value;
+use moa_ir::Strategy;
+
+/// The result of running an expression through the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The computed value.
+    pub value: Value,
+    /// Abstract work units the execution consumed.
+    pub work: u64,
+    /// Physical notes emitted during execution.
+    pub notes: Vec<String>,
+    /// The plan that was actually executed.
+    pub executed_plan: Expr,
+    /// The optimizer trace (empty when optimization was skipped).
+    pub trace: OptimizerTrace,
+}
+
+/// A Moa session.
+pub struct Session {
+    registry: Registry,
+    optimizer: Optimizer,
+    cost_model: CostModel,
+    ir: Option<Arc<IrRuntime>>,
+}
+
+impl Session {
+    /// A session without MM retrieval capability.
+    pub fn new() -> Session {
+        Session {
+            registry: Registry::standard(),
+            optimizer: Optimizer::default(),
+            cost_model: CostModel::default(),
+            ir: None,
+        }
+    }
+
+    /// A session with an attached IR runtime (enables MMRANK operators).
+    pub fn with_ir(ir: Arc<IrRuntime>) -> Session {
+        Session {
+            ir: Some(ir),
+            ..Session::new()
+        }
+    }
+
+    /// Replace the optimizer configuration (e.g. to disable layers for
+    /// ablation runs).
+    pub fn set_optimizer_config(&mut self, config: OptimizerConfig) {
+        self.optimizer = Optimizer::new(config);
+    }
+
+    /// The extension registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Optimize an expression, returning the plan and trace.
+    pub fn optimize(&self, expr: &Expr) -> (Expr, OptimizerTrace) {
+        self.optimizer.optimize(expr)
+    }
+
+    /// Type-check an expression against an environment.
+    pub fn type_check(&self, expr: &Expr, env: &Env) -> Result<MoaType> {
+        infer_type(expr, &env.type_env(), &self.registry)
+    }
+
+    /// Optimize then execute.
+    pub fn run(&self, expr: &Expr, env: &Env) -> Result<RunReport> {
+        let (plan, trace) = self.optimizer.optimize(expr);
+        self.execute_plan(plan, trace, env)
+    }
+
+    /// Execute without optimization (the "unoptimized case" baseline).
+    pub fn run_unoptimized(&self, expr: &Expr, env: &Env) -> Result<RunReport> {
+        self.execute_plan(expr.clone(), OptimizerTrace::default(), env)
+    }
+
+    fn execute_plan(&self, plan: Expr, trace: OptimizerTrace, env: &Env) -> Result<RunReport> {
+        let mut ctx = match &self.ir {
+            Some(ir) => ExecContext::with_ir(Arc::clone(ir)),
+            None => ExecContext::new(),
+        };
+        let value = evaluate(&plan, env, &self.registry, &mut ctx)?;
+        Ok(RunReport {
+            value,
+            work: ctx.elements_processed,
+            notes: ctx.notes,
+            executed_plan: plan,
+            trace,
+        })
+    }
+
+    /// A cost context primed with the attached IR collection's statistics.
+    pub fn cost_context(&self) -> CostContext {
+        let mut ctx = CostContext::new();
+        if let Some(ir) = &self.ir {
+            let frag = ir.fragments();
+            let postings = match ir.strategy() {
+                Strategy::FullScan => frag.index().num_postings() as f64,
+                Strategy::AOnly => frag.fragment_a().volume() as f64,
+                // The switch strategy scans A always and B sometimes; cost
+                // with the pessimistic full volume halved as a coarse prior.
+                Strategy::Switch { .. } => {
+                    frag.fragment_a().volume() as f64
+                        + 0.5 * frag.fragment_b().volume() as f64
+                }
+            };
+            ctx.ir = Some(IrCostInfo {
+                num_docs: frag.index().num_docs() as f64,
+                postings_per_query: postings,
+            });
+        }
+        ctx
+    }
+
+    /// Estimate the cost of an expression with the session's model.
+    pub fn estimate(&self, expr: &Expr) -> Result<Estimate> {
+        self.cost_model.estimate(expr, &self.cost_context())
+    }
+
+    /// Human-readable EXPLAIN: original plan, optimized plan, trace, and
+    /// cost estimates where available.
+    pub fn explain(&self, expr: &Expr) -> String {
+        let (optimized, trace) = self.optimizer.optimize(expr);
+        let mut out = String::new();
+        out.push_str("== original plan ==\n");
+        out.push_str(&render(expr));
+        if let Ok(est) = self.estimate(expr) {
+            out.push_str(&format!("   est. cost {:.0}, rows {:.0}\n", est.cost, est.rows));
+        }
+        out.push_str("== optimized plan ==\n");
+        out.push_str(&render(&optimized));
+        if let Ok(est) = self.estimate(&optimized) {
+            out.push_str(&format!("   est. cost {:.0}, rows {:.0}\n", est.cost, est.rows));
+        }
+        out.push_str("== rewrites ==\n");
+        if trace.fired.is_empty() {
+            out.push_str("   (none)\n");
+        } else {
+            for r in &trace.fired {
+                out.push_str(&format!("   {r}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerConfig;
+
+    #[test]
+    fn run_optimizes_and_executes() {
+        let s = Session::new();
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list(0..1_000))),
+            Value::Int(100),
+            Value::Int(150),
+        );
+        let opt = s.run(&e, &Env::new()).unwrap();
+        let raw = s.run_unoptimized(&e, &Env::new()).unwrap();
+        assert_eq!(opt.value, raw.value);
+        assert!(opt.work < raw.work, "optimized {} !< raw {}", opt.work, raw.work);
+        assert!(!opt.trace.fired.is_empty());
+        assert!(raw.trace.fired.is_empty());
+    }
+
+    #[test]
+    fn ablation_config_changes_behaviour() {
+        let mut s = Session::new();
+        s.set_optimizer_config(OptimizerConfig::disabled());
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list([1, 2, 3]))),
+            Value::Int(1),
+            Value::Int(2),
+        );
+        let rep = s.run(&e, &Env::new()).unwrap();
+        assert!(rep.trace.fired.is_empty());
+        assert_eq!(rep.executed_plan, e);
+    }
+
+    #[test]
+    fn type_check_through_session() {
+        let s = Session::new();
+        let e = Expr::bag_count(Expr::projecttobag(Expr::constant(Value::int_list([1]))));
+        assert_eq!(s.type_check(&e, &Env::new()).unwrap(), MoaType::Int);
+    }
+
+    #[test]
+    fn explain_contains_both_plans_and_trace() {
+        let s = Session::new();
+        let e = Expr::bag_select(
+            Expr::projecttobag(Expr::var("l")),
+            Value::Int(2),
+            Value::Int(4),
+        );
+        let text = s.explain(&e);
+        assert!(text.contains("== original plan =="));
+        assert!(text.contains("== optimized plan =="));
+        assert!(text.contains("inter.bag_select_over_projecttobag"));
+    }
+
+    #[test]
+    fn estimate_without_ir_handles_pure_plans() {
+        let s = Session::new();
+        let e = Expr::list_sum(Expr::constant(Value::int_list([1, 2, 3])));
+        let est = s.estimate(&e).unwrap();
+        assert!(est.cost > 0.0);
+        // MMRANK plans cannot be estimated without a runtime.
+        let r = Expr::mm_rank(Expr::var("q"));
+        assert!(s.estimate(&r).is_err());
+    }
+
+    #[test]
+    fn notes_surface_physical_decisions() {
+        let s = Session::new();
+        let e = Expr::list_select(
+            Expr::constant(Value::int_list([1, 2, 3, 4, 5])),
+            Value::Int(2),
+            Value::Int(3),
+        );
+        let rep = s.run(&e, &Env::new()).unwrap();
+        assert!(rep
+            .notes
+            .iter()
+            .any(|n| n.contains("select_ordered") || n.contains("binary search")));
+    }
+}

@@ -1,0 +1,180 @@
+//! Structure types and type inference for algebra expressions.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// The type of an algebra value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoaType {
+    /// Integer atom.
+    Int,
+    /// Float atom.
+    Float,
+    /// String atom.
+    Str,
+    /// Boolean atom.
+    Bool,
+    /// LIST of an element type.
+    List(Box<MoaType>),
+    /// BAG of an element type.
+    Bag(Box<MoaType>),
+    /// SET of an element type.
+    Set(Box<MoaType>),
+    /// TUPLE of component types.
+    Tuple(Vec<MoaType>),
+    /// MM ranked list.
+    Ranked,
+    /// Unknown/any element type (empty collections).
+    Any,
+}
+
+impl MoaType {
+    /// The type of a concrete value. Element types of heterogeneous or
+    /// empty collections degrade to [`MoaType::Any`].
+    pub fn of(value: &Value) -> MoaType {
+        fn elem(items: &[Value]) -> MoaType {
+            let mut it = items.iter();
+            let first = match it.next() {
+                None => return MoaType::Any,
+                Some(v) => MoaType::of(v),
+            };
+            for v in it {
+                if MoaType::of(v) != first {
+                    return MoaType::Any;
+                }
+            }
+            first
+        }
+        match value {
+            Value::Int(_) => MoaType::Int,
+            Value::Float(_) => MoaType::Float,
+            Value::Str(_) => MoaType::Str,
+            Value::Bool(_) => MoaType::Bool,
+            Value::List(v) => MoaType::List(Box::new(elem(v))),
+            Value::Bag(v) => MoaType::Bag(Box::new(elem(v))),
+            Value::Set(v) => MoaType::Set(Box::new(elem(v))),
+            Value::Tuple(v) => MoaType::Tuple(v.iter().map(MoaType::of).collect()),
+            Value::Ranked(_) => MoaType::Ranked,
+        }
+    }
+
+    /// Structural compatibility: `Any` unifies with anything.
+    pub fn compatible(&self, other: &MoaType) -> bool {
+        match (self, other) {
+            (MoaType::Any, _) | (_, MoaType::Any) => true,
+            (MoaType::List(a), MoaType::List(b))
+            | (MoaType::Bag(a), MoaType::Bag(b))
+            | (MoaType::Set(a), MoaType::Set(b)) => a.compatible(b),
+            (MoaType::Tuple(a), MoaType::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.compatible(y))
+            }
+            (a, b) => a == b,
+        }
+    }
+
+    /// Whether this is any collection type.
+    pub fn is_collection(&self) -> bool {
+        matches!(
+            self,
+            MoaType::List(_) | MoaType::Bag(_) | MoaType::Set(_) | MoaType::Ranked
+        )
+    }
+}
+
+impl fmt::Display for MoaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoaType::Int => f.write_str("INT"),
+            MoaType::Float => f.write_str("FLT"),
+            MoaType::Str => f.write_str("STR"),
+            MoaType::Bool => f.write_str("BOOL"),
+            MoaType::List(e) => write!(f, "LIST<{e}>"),
+            MoaType::Bag(e) => write!(f, "BAG<{e}>"),
+            MoaType::Set(e) => write!(f, "SET<{e}>"),
+            MoaType::Tuple(es) => {
+                f.write_str("TUPLE<")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(">")
+            }
+            MoaType::Ranked => f.write_str("RANKED"),
+            MoaType::Any => f.write_str("ANY"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_of_atoms_and_collections() {
+        assert_eq!(MoaType::of(&Value::Int(1)), MoaType::Int);
+        assert_eq!(
+            MoaType::of(&Value::int_list([1, 2])),
+            MoaType::List(Box::new(MoaType::Int))
+        );
+        assert_eq!(
+            MoaType::of(&Value::bag(vec![Value::Float(0.5)])),
+            MoaType::Bag(Box::new(MoaType::Float))
+        );
+        assert_eq!(MoaType::of(&Value::ranked(vec![])), MoaType::Ranked);
+    }
+
+    #[test]
+    fn empty_and_mixed_collections_are_any() {
+        assert_eq!(
+            MoaType::of(&Value::List(vec![])),
+            MoaType::List(Box::new(MoaType::Any))
+        );
+        assert_eq!(
+            MoaType::of(&Value::List(vec![Value::Int(1), Value::Str("x".into())])),
+            MoaType::List(Box::new(MoaType::Any))
+        );
+    }
+
+    #[test]
+    fn tuple_types_are_positional() {
+        let t = MoaType::of(&Value::Tuple(vec![Value::Int(1), Value::Bool(true)]));
+        assert_eq!(t, MoaType::Tuple(vec![MoaType::Int, MoaType::Bool]));
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        let li = MoaType::List(Box::new(MoaType::Int));
+        let la = MoaType::List(Box::new(MoaType::Any));
+        let bi = MoaType::Bag(Box::new(MoaType::Int));
+        assert!(li.compatible(&la));
+        assert!(la.compatible(&li));
+        assert!(!li.compatible(&bi));
+        assert!(MoaType::Any.compatible(&bi));
+        assert!(MoaType::Tuple(vec![MoaType::Int])
+            .compatible(&MoaType::Tuple(vec![MoaType::Any])));
+        assert!(!MoaType::Tuple(vec![MoaType::Int])
+            .compatible(&MoaType::Tuple(vec![MoaType::Int, MoaType::Int])));
+    }
+
+    #[test]
+    fn collection_predicate() {
+        assert!(MoaType::Ranked.is_collection());
+        assert!(MoaType::List(Box::new(MoaType::Int)).is_collection());
+        assert!(!MoaType::Int.is_collection());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            MoaType::List(Box::new(MoaType::Int)).to_string(),
+            "LIST<INT>"
+        );
+        assert_eq!(
+            MoaType::Tuple(vec![MoaType::Int, MoaType::Str]).to_string(),
+            "TUPLE<INT, STR>"
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Structured values of the Moa algebra.
+//!
+//! Moa is a *structured object algebra*: atomic values composed into LIST,
+//! BAG, SET and TUPLE structures, each owned by an extension that defines
+//! its operators. The MM extension adds RANKED lists of `(object, score)`
+//! pairs — the result type of content ranking.
+//!
+//! BAGs and SETs are *unordered*; their canonical storage order (sorted)
+//! makes structural equality coincide with semantic equality, which the
+//! optimizer-correctness property tests rely on.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value of the algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer atom.
+    Int(i64),
+    /// 64-bit float atom.
+    Float(f64),
+    /// String atom.
+    Str(String),
+    /// Boolean atom.
+    Bool(bool),
+    /// Ordered list (the order is semantic).
+    List(Vec<Value>),
+    /// Multiset in canonical (sorted) order.
+    Bag(Vec<Value>),
+    /// Deduplicated set in canonical (sorted) order.
+    Set(Vec<Value>),
+    /// Heterogeneous tuple.
+    Tuple(Vec<Value>),
+    /// MM extension: documents ranked by descending score.
+    Ranked(Vec<(u32, f64)>),
+}
+
+impl Value {
+    /// Construct a list (order preserved).
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(items)
+    }
+
+    /// Construct a bag; items are canonicalized (sorted).
+    pub fn bag(mut items: Vec<Value>) -> Value {
+        items.sort_by(Value::total_cmp);
+        Value::Bag(items)
+    }
+
+    /// Construct a set; items are canonicalized (sorted, deduplicated).
+    pub fn set(mut items: Vec<Value>) -> Value {
+        items.sort_by(Value::total_cmp);
+        items.dedup();
+        Value::Set(items)
+    }
+
+    /// Construct a ranked list; pairs are sorted by descending score (ties
+    /// by ascending object id).
+    pub fn ranked(mut items: Vec<(u32, f64)>) -> Value {
+        items.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Value::Ranked(items)
+    }
+
+    /// Convenience: a list of integer atoms.
+    pub fn int_list(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::List(items.into_iter().map(Value::Int).collect())
+    }
+
+    /// A deterministic total order over all values (used for canonical
+    /// forms and sorting). Values of different variants order by variant
+    /// tag; `Float` uses `total_cmp`.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Str(_) => 2,
+                Value::Bool(_) => 3,
+                Value::List(_) => 4,
+                Value::Bag(_) => 5,
+                Value::Set(_) => 6,
+                Value::Tuple(_) => 7,
+                Value::Ranked(_) => 8,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b))
+            | (Value::Bag(a), Value::Bag(b))
+            | (Value::Set(a), Value::Set(b))
+            | (Value::Tuple(a), Value::Tuple(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.total_cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Ranked(a), Value::Ranked(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.0.cmp(&y.0).then(x.1.total_cmp(&y.1));
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => tag(self).cmp(&tag(other)),
+        }
+    }
+
+    /// The number of elements of a collection value; 1 for atoms.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Value::List(v) | Value::Bag(v) | Value::Set(v) | Value::Tuple(v) => v.len(),
+            Value::Ranked(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// Whether the value's elements are in non-decreasing `total_cmp`
+    /// order. Atoms are trivially sorted; a `Ranked` value is "sorted" in
+    /// its own (descending score) sense and reports `true` by construction.
+    pub fn is_sorted_asc(&self) -> bool {
+        match self {
+            Value::List(v) | Value::Bag(v) | Value::Set(v) => v
+                .windows(2)
+                .all(|w| w[0].total_cmp(&w[1]) != Ordering::Greater),
+            Value::Ranked(v) => v
+                .windows(2)
+                .all(|w| w[0].1.total_cmp(&w[1].1) != Ordering::Less),
+            _ => true,
+        }
+    }
+
+    /// Borrow list elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow bag elements, if this is a bag.
+    pub fn as_bag(&self) -> Option<&[Value]> {
+        match self {
+            Value::Bag(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow set elements, if this is a set.
+    pub fn as_set(&self) -> Option<&[Value]> {
+        match self {
+            Value::Set(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow ranked pairs, if this is a ranked list.
+    pub fn as_ranked(&self) -> Option<&[(u32, f64)]> {
+        match self {
+            Value::Ranked(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if an `Int` atom.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload (accepting `Int` with widening), if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn seq(f: &mut fmt::Formatter<'_>, open: &str, items: &[Value], close: &str) -> fmt::Result {
+            f.write_str(open)?;
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            f.write_str(close)
+        }
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::List(v) => seq(f, "[", v, "]"),
+            Value::Bag(v) => seq(f, "{|", v, "|}"),
+            Value::Set(v) => seq(f, "{", v, "}"),
+            Value::Tuple(v) => seq(f, "(", v, ")"),
+            Value::Ranked(v) => {
+                f.write_str("rank[")?;
+                for (i, (o, s)) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{o}:{s:.4}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_equality_is_order_insensitive() {
+        let a = Value::bag(vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+        let b = Value::bag(vec![Value::Int(2), Value::Int(3), Value::Int(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bag_keeps_duplicates_set_drops_them() {
+        let bag = Value::bag(vec![Value::Int(1), Value::Int(1)]);
+        let set = Value::set(vec![Value::Int(1), Value::Int(1)]);
+        assert_eq!(bag.cardinality(), 2);
+        assert_eq!(set.cardinality(), 1);
+    }
+
+    #[test]
+    fn list_order_is_semantic() {
+        let a = Value::int_list([1, 2]);
+        let b = Value::int_list([2, 1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranked_sorts_descending_with_id_ties() {
+        let r = Value::ranked(vec![(5, 0.5), (1, 0.9), (3, 0.5)]);
+        assert_eq!(r.as_ranked().unwrap(), &[(1, 0.9), (3, 0.5), (5, 0.5)]);
+        assert!(r.is_sorted_asc());
+    }
+
+    #[test]
+    fn total_cmp_orders_variants_and_values() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
+        assert_eq!(
+            Value::Int(9).total_cmp(&Value::Float(0.0)),
+            Ordering::Less // variant tag order
+        );
+        assert_eq!(
+            Value::int_list([1, 2]).total_cmp(&Value::int_list([1, 2, 3])),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn sortedness_detection() {
+        assert!(Value::int_list([1, 2, 2, 3]).is_sorted_asc());
+        assert!(!Value::int_list([2, 1]).is_sorted_asc());
+        assert!(Value::Int(5).is_sorted_asc());
+        // Bags/sets are canonical, hence always sorted.
+        assert!(Value::bag(vec![Value::Int(9), Value::Int(1)]).is_sorted_asc());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(0.5).as_float(), Some(0.5));
+        assert!(Value::Bool(true).as_float().is_none());
+        assert!(Value::int_list([1]).as_list().is_some());
+        assert!(Value::int_list([1]).as_bag().is_none());
+        assert!(Value::bag(vec![]).as_bag().is_some());
+        assert!(Value::set(vec![]).as_set().is_some());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int_list([1, 2]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::bag(vec![Value::Int(2), Value::Int(1)]).to_string(),
+            "{|1, 2|}"
+        );
+        assert_eq!(Value::set(vec![Value::Int(1)]).to_string(), "{1}");
+        assert_eq!(
+            Value::Tuple(vec![Value::Int(1), Value::Bool(false)]).to_string(),
+            "(1, false)"
+        );
+        assert_eq!(
+            Value::ranked(vec![(2, 0.25)]).to_string(),
+            "rank[2:0.2500]"
+        );
+    }
+
+    #[test]
+    fn cardinality_of_atoms_and_collections() {
+        assert_eq!(Value::Int(1).cardinality(), 1);
+        assert_eq!(Value::int_list([1, 2, 3]).cardinality(), 3);
+        assert_eq!(Value::ranked(vec![(1, 0.1), (2, 0.2)]).cardinality(), 2);
+    }
+
+    #[test]
+    fn float_nan_canonicalization_is_stable() {
+        let a = Value::bag(vec![Value::Float(f64::NAN), Value::Float(1.0)]);
+        let b = Value::bag(vec![Value::Float(1.0), Value::Float(f64::NAN)]);
+        // total_cmp makes NaN placement deterministic, so the canonical
+        // orders agree structurally.
+        assert_eq!(a.total_cmp(&b), Ordering::Equal);
+    }
+}

@@ -1,0 +1,152 @@
+//! Optimizer soundness fuzzing: random well-typed expression pipelines are
+//! executed with and without optimization; results must be identical.
+//! This is the plan-equivalence property that guards every rewrite rule at
+//! once — including interactions between rules that unit tests would miss.
+
+use proptest::prelude::*;
+
+use moa_core::{parse_expr, Env, Expr, Session, Value};
+
+/// A recipe for one pipeline stage over a LIST-valued expression.
+#[derive(Debug, Clone)]
+enum ListStage {
+    Select(i64, i64),
+    Sort,
+    Reverse,
+    TopN(usize),
+    FirstN(usize),
+}
+
+/// Terminal transformation applied after the list pipeline.
+#[derive(Debug, Clone)]
+enum Terminal {
+    Keep,
+    BagSelect(i64, i64),
+    BagCount,
+    BagSum,
+    SetSelect(i64, i64),
+    SetMember(i64),
+    Length,
+    Sum,
+}
+
+fn stage_strategy() -> impl Strategy<Value = ListStage> {
+    prop_oneof![
+        (-100i64..100, 0i64..100).prop_map(|(lo, span)| ListStage::Select(lo, lo + span)),
+        Just(ListStage::Sort),
+        Just(ListStage::Reverse),
+        (0usize..20).prop_map(ListStage::TopN),
+        (0usize..20).prop_map(ListStage::FirstN),
+    ]
+}
+
+fn terminal_strategy() -> impl Strategy<Value = Terminal> {
+    prop_oneof![
+        Just(Terminal::Keep),
+        (-100i64..100, 0i64..100).prop_map(|(lo, span)| Terminal::BagSelect(lo, lo + span)),
+        Just(Terminal::BagCount),
+        Just(Terminal::BagSum),
+        (-100i64..100, 0i64..100).prop_map(|(lo, span)| Terminal::SetSelect(lo, lo + span)),
+        (-100i64..100).prop_map(Terminal::SetMember),
+        Just(Terminal::Length),
+        Just(Terminal::Sum),
+    ]
+}
+
+fn build_expr(items: Vec<i64>, stages: Vec<ListStage>, terminal: Terminal) -> Expr {
+    let mut e = Expr::constant(Value::int_list(items));
+    for s in stages {
+        e = match s {
+            ListStage::Select(lo, hi) => Expr::list_select(e, Value::Int(lo), Value::Int(hi)),
+            ListStage::Sort => Expr::list_sort(e),
+            ListStage::Reverse => Expr::apply(moa_core::ExtensionId::List, "reverse", vec![e]),
+            ListStage::TopN(n) => Expr::list_topn(e, n as i64),
+            ListStage::FirstN(n) => Expr::list_firstn(e, n as i64),
+        };
+    }
+    match terminal {
+        Terminal::Keep => e,
+        Terminal::BagSelect(lo, hi) => {
+            Expr::bag_select(Expr::projecttobag(e), Value::Int(lo), Value::Int(hi))
+        }
+        Terminal::BagCount => Expr::bag_count(Expr::projecttobag(e)),
+        Terminal::BagSum => Expr::bag_sum(Expr::projecttobag(e)),
+        Terminal::SetSelect(lo, hi) => Expr::set_select(
+            Expr::projecttoset(Expr::projecttobag(e)),
+            Value::Int(lo),
+            Value::Int(hi),
+        ),
+        Terminal::SetMember(v) => {
+            Expr::set_member(Expr::projecttoset(Expr::projecttobag(e)), Value::Int(v))
+        }
+        Terminal::Length => Expr::list_length(e),
+        Terminal::Sum => Expr::list_sum(e),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_pipelines_are_rewrite_sound(
+        items in proptest::collection::vec(-100i64..100, 0..80),
+        stages in proptest::collection::vec(stage_strategy(), 0..5),
+        terminal in terminal_strategy(),
+    ) {
+        let expr = build_expr(items, stages, terminal);
+        let session = Session::new();
+        // Type checks before and after optimization.
+        let t_before = session.type_check(&expr, &Env::new()).unwrap();
+        let (optimized_plan, _) = session.optimize(&expr);
+        let t_after = session.type_check(&optimized_plan, &Env::new()).unwrap();
+        prop_assert!(
+            t_before.compatible(&t_after),
+            "type changed: {t_before} -> {t_after}"
+        );
+        // Results agree.
+        let optimized = session.run(&expr, &Env::new()).unwrap();
+        let baseline = session.run_unoptimized(&expr, &Env::new()).unwrap();
+        prop_assert_eq!(
+            optimized.value,
+            baseline.value,
+            "plan:\n  before: {}\n  after:  {}",
+            expr,
+            optimized.executed_plan
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip_on_random_pipelines(
+        items in proptest::collection::vec(-50i64..50, 0..20),
+        stages in proptest::collection::vec(stage_strategy(), 0..4),
+        terminal in terminal_strategy(),
+    ) {
+        let expr = build_expr(items, stages, terminal);
+        let text = expr.to_string();
+        let reparsed = parse_expr(&text).unwrap();
+        prop_assert_eq!(&reparsed, &expr, "round-trip failed for {}", text);
+        // And the reparsed expression evaluates identically.
+        let session = Session::new();
+        let a = session.run(&expr, &Env::new()).unwrap();
+        let b = session.run(&reparsed, &Env::new()).unwrap();
+        prop_assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn estimates_are_finite_and_nonnegative(
+        items in proptest::collection::vec(-100i64..100, 0..60),
+        stages in proptest::collection::vec(stage_strategy(), 0..5),
+        terminal in terminal_strategy(),
+    ) {
+        let expr = build_expr(items, stages, terminal);
+        let session = Session::new();
+        let est = session.estimate(&expr).unwrap();
+        prop_assert!(est.cost.is_finite() && est.cost >= 0.0);
+        prop_assert!(est.rows.is_finite() && est.rows >= 0.0);
+        // The optimized plan's estimate is also well-formed and not
+        // dramatically worse than the original's.
+        let (optimized, _) = session.optimize(&expr);
+        let est_opt = session.estimate(&optimized).unwrap();
+        prop_assert!(est_opt.cost.is_finite() && est_opt.cost >= 0.0);
+    }
+}

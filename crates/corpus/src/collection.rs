@@ -1,0 +1,479 @@
+//! Synthetic document collections.
+//!
+//! The paper evaluates on the TREC FT collection, which is licensed and not
+//! redistributable. We substitute a seeded synthetic collection whose term
+//! statistics follow the Zipf law the paper's argument rests on. Term ids
+//! are assigned by frequency rank (term 0 is the most frequent), so document
+//! frequency is monotonically tied to rank and the df-based fragmentation in
+//! `moa-ir` has the same geometry as on real text: a huge tail of rare
+//! ("interesting", high-idf) terms that together account for a small
+//! fraction of the postings volume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{CorpusError, Result};
+use crate::zipf::Zipf;
+
+/// Configuration of a synthetic collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionConfig {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Vocabulary size (number of distinct term ids the sampler can emit;
+    /// terms that are never drawn end up with df = 0).
+    pub vocab_size: usize,
+    /// Average document length in tokens; actual lengths are uniform in
+    /// `[avg/2, 3·avg/2]`.
+    pub avg_doc_len: usize,
+    /// Zipf exponent of the term distribution. Natural-language token
+    /// streams are near 1.0; vocabulary-heavy collections (OCR noise, proper
+    /// nouns — like TREC FT) behave steeper in the tail. 1.4–1.6 reproduces
+    /// the paper's "95% of terms ≈ 5% of the volume" geometry.
+    pub zipf_exponent: f64,
+    /// Number of latent topics. Each document belongs to one topic and
+    /// draws a share of its tokens from the topic's term set, giving the
+    /// collection the topical co-occurrence structure real text has (and
+    /// which relevance judgments rely on).
+    pub num_topics: usize,
+    /// Fraction of each document's tokens drawn from its topic's term set
+    /// instead of the global Zipf background; in `[0, 1)`.
+    pub topic_mix: f64,
+    /// RNG seed; equal configs generate identical collections.
+    pub seed: u64,
+}
+
+impl CollectionConfig {
+    /// A few-hundred-document collection for unit tests.
+    pub fn tiny() -> CollectionConfig {
+        CollectionConfig {
+            num_docs: 200,
+            vocab_size: 2_000,
+            avg_doc_len: 40,
+            zipf_exponent: 1.3,
+            num_topics: 20,
+            topic_mix: 0.35,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A small laptop-friendly collection for integration tests.
+    pub fn small() -> CollectionConfig {
+        CollectionConfig {
+            num_docs: 2_000,
+            vocab_size: 20_000,
+            avg_doc_len: 80,
+            zipf_exponent: 1.4,
+            num_topics: 50,
+            topic_mix: 0.3,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A scaled-down stand-in for the TREC FT collection used by the
+    /// experiment harness (FT is ~210k docs; we default to 20k docs with a
+    /// proportionally large vocabulary so the df geometry matches).
+    pub fn ft_scale() -> CollectionConfig {
+        CollectionConfig {
+            num_docs: 20_000,
+            vocab_size: 200_000,
+            avg_doc_len: 150,
+            zipf_exponent: 1.5,
+            num_topics: 100,
+            topic_mix: 0.3,
+            seed: 0xF7,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_docs == 0 {
+            return Err(CorpusError::InvalidConfig("num_docs must be > 0".into()));
+        }
+        if self.vocab_size == 0 {
+            return Err(CorpusError::InvalidConfig("vocab_size must be > 0".into()));
+        }
+        if self.avg_doc_len < 2 {
+            return Err(CorpusError::InvalidConfig(
+                "avg_doc_len must be at least 2".into(),
+            ));
+        }
+        if self.zipf_exponent.is_nan() || self.zipf_exponent <= 0.0 {
+            return Err(CorpusError::InvalidConfig(
+                "zipf_exponent must be positive".into(),
+            ));
+        }
+        if self.num_topics == 0 {
+            return Err(CorpusError::InvalidConfig("num_topics must be > 0".into()));
+        }
+        if !(0.0..1.0).contains(&self.topic_mix) {
+            return Err(CorpusError::InvalidConfig(
+                "topic_mix must be in [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The rank band of the vocabulary used as topical "content" terms:
+    /// mid-frequency ranks, skipping stop-word-like heads and the hapax
+    /// tail. Returns `(start, end)` exclusive-end rank bounds.
+    pub fn content_band(&self) -> (usize, usize) {
+        let start = (self.vocab_size / 100).max(1);
+        let end = (self.vocab_size / 2).max(start + self.num_topics);
+        (start, end.min(self.vocab_size))
+    }
+}
+
+/// One posting: a term occurs in a document with a frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Term id (frequency rank; 0 = most frequent).
+    pub term: u32,
+    /// Document id.
+    pub doc: u32,
+    /// Within-document term frequency.
+    pub tf: u32,
+}
+
+/// A generated collection: postings sorted by `(term, doc)` plus per-term
+/// and per-document statistics.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    config: CollectionConfig,
+    postings: Vec<Posting>,
+    /// Per-term document frequency (index = term id).
+    df: Vec<u32>,
+    /// Per-term collection frequency (total occurrences).
+    cf: Vec<u64>,
+    /// Per-document token count.
+    doc_len: Vec<u32>,
+    /// Per-document latent topic.
+    doc_topic: Vec<u32>,
+    /// Term ids of each topic's term set.
+    topic_terms: Vec<Vec<u32>>,
+    /// Offset of each term's posting run in `postings` (len = vocab+1).
+    term_offsets: Vec<usize>,
+}
+
+impl Collection {
+    /// Generate a collection from a configuration (deterministic per seed).
+    pub fn generate(config: CollectionConfig) -> Result<Collection> {
+        config.validate()?;
+        let zipf = Zipf::new(config.vocab_size, config.zipf_exponent)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Assign content-band terms to topics round-robin, so every topic's
+        // term set spans the same df spectrum.
+        let (band_start, band_end) = config.content_band();
+        let mut topic_terms: Vec<Vec<u32>> = vec![Vec::new(); config.num_topics];
+        for (i, term) in (band_start..band_end).enumerate() {
+            topic_terms[i % config.num_topics].push(term as u32);
+        }
+        // Within-topic term draw follows its own Zipf, so each topic has a
+        // few prominent terms and a tail — like real topical vocabulary.
+        let topic_zipfs: Vec<Zipf> = topic_terms
+            .iter()
+            .map(|terms| Zipf::new(terms.len().max(1), 1.0))
+            .collect::<Result<_>>()?;
+
+        let mut df = vec![0u32; config.vocab_size];
+        let mut cf = vec![0u64; config.vocab_size];
+        let mut doc_len = Vec::with_capacity(config.num_docs);
+        let mut doc_topic = Vec::with_capacity(config.num_docs);
+        let mut postings: Vec<Posting> = Vec::new();
+
+        // Reusable per-document tf accumulator keyed by term.
+        let mut tf_map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+
+        let lo = (config.avg_doc_len / 2).max(1);
+        let hi = config.avg_doc_len + config.avg_doc_len / 2;
+        for doc in 0..config.num_docs {
+            let len = rng.gen_range(lo..=hi) as u32;
+            let topic = rng.gen_range(0..config.num_topics as u32);
+            doc_len.push(len);
+            doc_topic.push(topic);
+            tf_map.clear();
+            for _ in 0..len {
+                let term = if rng.gen::<f64>() < config.topic_mix
+                    && !topic_terms[topic as usize].is_empty()
+                {
+                    let idx = topic_zipfs[topic as usize].sample(&mut rng);
+                    topic_terms[topic as usize][idx]
+                } else {
+                    zipf.sample(&mut rng) as u32
+                };
+                *tf_map.entry(term).or_insert(0) += 1;
+            }
+            for (&term, &tf) in tf_map.iter() {
+                df[term as usize] += 1;
+                cf[term as usize] += u64::from(tf);
+                postings.push(Posting {
+                    term,
+                    doc: doc as u32,
+                    tf,
+                });
+            }
+        }
+        postings.sort_unstable_by_key(|p| (p.term, p.doc));
+
+        // Dense offsets per term for O(1) posting-run access.
+        let mut term_offsets = vec![0usize; config.vocab_size + 1];
+        for p in &postings {
+            term_offsets[p.term as usize + 1] += 1;
+        }
+        for t in 0..config.vocab_size {
+            term_offsets[t + 1] += term_offsets[t];
+        }
+
+        Ok(Collection {
+            config,
+            postings,
+            df,
+            cf,
+            doc_len,
+            doc_topic,
+            topic_terms,
+            term_offsets,
+        })
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.config.num_docs
+    }
+
+    /// Vocabulary size (including never-drawn terms with df = 0).
+    pub fn vocab_size(&self) -> usize {
+        self.config.vocab_size
+    }
+
+    /// All postings, sorted by `(term, doc)`.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Total number of postings (the collection's storage volume unit).
+    pub fn num_postings(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency per term.
+    pub fn df(&self) -> &[u32] {
+        &self.df
+    }
+
+    /// Collection frequency per term.
+    pub fn cf(&self) -> &[u64] {
+        &self.cf
+    }
+
+    /// Token count per document.
+    pub fn doc_len(&self) -> &[u32] {
+        &self.doc_len
+    }
+
+    /// Total tokens in the collection.
+    pub fn total_tokens(&self) -> u64 {
+        self.doc_len.iter().map(|&l| u64::from(l)).sum()
+    }
+
+    /// The posting run of a single term (sorted by doc id).
+    pub fn postings_for_term(&self, term: u32) -> &[Posting] {
+        let t = term as usize;
+        if t >= self.config.vocab_size {
+            return &[];
+        }
+        &self.postings[self.term_offsets[t]..self.term_offsets[t + 1]]
+    }
+
+    /// Number of terms that actually occur (df > 0).
+    pub fn observed_vocab(&self) -> usize {
+        self.df.iter().filter(|&&d| d > 0).count()
+    }
+
+    /// The latent topic of each document.
+    pub fn doc_topic(&self) -> &[u32] {
+        &self.doc_topic
+    }
+
+    /// The term set of a topic (empty slice for out-of-range topics).
+    pub fn topic_terms(&self, topic: u32) -> &[u32] {
+        self.topic_terms
+            .get(topic as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of latent topics.
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let b = Collection::generate(CollectionConfig::tiny()).unwrap();
+        assert_eq!(a.postings(), b.postings());
+        assert_eq!(a.doc_len(), b.doc_len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = CollectionConfig::tiny();
+        let a = Collection::generate(cfg.clone()).unwrap();
+        cfg.seed += 1;
+        let b = Collection::generate(cfg).unwrap();
+        assert_ne!(a.postings(), b.postings());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = CollectionConfig::tiny();
+        cfg.num_docs = 0;
+        assert!(Collection::generate(cfg).is_err());
+        let mut cfg = CollectionConfig::tiny();
+        cfg.vocab_size = 0;
+        assert!(Collection::generate(cfg).is_err());
+        let mut cfg = CollectionConfig::tiny();
+        cfg.avg_doc_len = 1;
+        assert!(Collection::generate(cfg).is_err());
+        let mut cfg = CollectionConfig::tiny();
+        cfg.zipf_exponent = 0.0;
+        assert!(Collection::generate(cfg).is_err());
+    }
+
+    #[test]
+    fn postings_sorted_and_consistent() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let p = c.postings();
+        assert!(p.windows(2).all(|w| (w[0].term, w[0].doc) < (w[1].term, w[1].doc)));
+        // df equals number of postings per term.
+        for term in 0..c.vocab_size() as u32 {
+            assert_eq!(
+                c.df()[term as usize] as usize,
+                c.postings_for_term(term).len(),
+                "term {term}"
+            );
+        }
+    }
+
+    #[test]
+    fn cf_matches_tf_sums_and_doc_len() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let cf_sum: u64 = c.cf().iter().sum();
+        let tf_sum: u64 = c.postings().iter().map(|p| u64::from(p.tf)).sum();
+        assert_eq!(cf_sum, tf_sum);
+        assert_eq!(cf_sum, c.total_tokens());
+    }
+
+    #[test]
+    fn doc_lengths_in_configured_band() {
+        let cfg = CollectionConfig::tiny();
+        let c = Collection::generate(cfg.clone()).unwrap();
+        let lo = (cfg.avg_doc_len / 2) as u32;
+        let hi = (cfg.avg_doc_len + cfg.avg_doc_len / 2) as u32;
+        assert!(c.doc_len().iter().all(|&l| (lo..=hi).contains(&l)));
+        assert_eq!(c.doc_len().len(), cfg.num_docs);
+    }
+
+    #[test]
+    fn frequent_terms_have_higher_df() {
+        let c = Collection::generate(CollectionConfig::small()).unwrap();
+        // Term 0 (most probable) should appear in far more docs than a
+        // mid-tail term.
+        assert!(c.df()[0] > c.df()[5_000].saturating_mul(2));
+    }
+
+    #[test]
+    fn vocabulary_is_hapax_heavy() {
+        // The FT-like geometry: most observed terms are rare.
+        let c = Collection::generate(CollectionConfig::small()).unwrap();
+        let rare = c.df().iter().filter(|&&d| (1..=2).contains(&d)).count();
+        let observed = c.observed_vocab();
+        assert!(
+            rare as f64 > 0.4 * observed as f64,
+            "rare={rare} observed={observed}"
+        );
+    }
+
+    #[test]
+    fn postings_for_unknown_term_is_empty() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        assert!(c.postings_for_term(u32::MAX).is_empty());
+    }
+
+    #[test]
+    fn rarest_terms_carry_small_volume() {
+        // The quantitative premise of E9: sort terms by df ascending; the
+        // rarest 95% of observed terms carry a strongly sub-proportional
+        // share of the postings volume. (On TREC FT at 210k docs the paper
+        // reports ≈5%; at this laptop scale the df ceiling of 2k docs
+        // compresses the head, yielding ≈40% — still a 2.4× concentration.
+        // E9 reports the full curve.)
+        let c = Collection::generate(CollectionConfig::small()).unwrap();
+        let mut dfs: Vec<u32> = c.df().iter().copied().filter(|&d| d > 0).collect();
+        dfs.sort_unstable();
+        let cut = (dfs.len() as f64 * 0.95) as usize;
+        let tail_volume: u64 = dfs[..cut].iter().map(|&d| u64::from(d)).sum();
+        let total: u64 = dfs.iter().map(|&d| u64::from(d)).sum();
+        let frac = tail_volume as f64 / total as f64;
+        assert!(frac < 0.50, "rarest 95% of terms carry {frac:.3} of volume");
+    }
+
+    #[test]
+    fn topics_partition_content_band_and_docs_have_topics() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        assert_eq!(c.doc_topic().len(), c.num_docs());
+        assert!(c.doc_topic().iter().all(|&t| (t as usize) < c.num_topics()));
+        let (start, end) = c.config().content_band();
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..c.num_topics() as u32 {
+            for &term in c.topic_terms(t) {
+                assert!((start..end).contains(&(term as usize)));
+                assert!(seen.insert(term), "term {term} in two topics");
+            }
+        }
+        assert_eq!(seen.len(), end - start);
+        assert!(c.topic_terms(u32::MAX).is_empty());
+    }
+
+    #[test]
+    fn topical_docs_share_vocabulary() {
+        // Two docs of the same topic should share more distinct terms than
+        // two docs of different topics, on average.
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let mut doc_terms: Vec<std::collections::HashSet<u32>> =
+            vec![std::collections::HashSet::new(); c.num_docs()];
+        for p in c.postings() {
+            doc_terms[p.doc as usize].insert(p.term);
+        }
+        let mut same = (0usize, 0usize); // (overlap sum, pairs)
+        let mut diff = (0usize, 0usize);
+        for a in 0..c.num_docs().min(60) {
+            for b in (a + 1)..c.num_docs().min(60) {
+                let overlap = doc_terms[a].intersection(&doc_terms[b]).count();
+                if c.doc_topic()[a] == c.doc_topic()[b] {
+                    same = (same.0 + overlap, same.1 + 1);
+                } else {
+                    diff = (diff.0 + overlap, diff.1 + 1);
+                }
+            }
+        }
+        if same.1 > 0 && diff.1 > 0 {
+            let same_avg = same.0 as f64 / same.1 as f64;
+            let diff_avg = diff.0 as f64 / diff.1 as f64;
+            assert!(
+                same_avg > diff_avg,
+                "same-topic overlap {same_avg:.2} <= cross-topic {diff_avg:.2}"
+            );
+        }
+    }
+}

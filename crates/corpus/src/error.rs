@@ -1,0 +1,37 @@
+//! Error types for workload generation.
+
+use std::fmt;
+
+/// Errors produced by corpus/workload generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Result alias for corpus operations.
+pub type Result<T> = std::result::Result<T, CorpusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_config() {
+        let e = CorpusError::InvalidConfig("vocab_size must be > 0".into());
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: vocab_size must be > 0"
+        );
+    }
+}

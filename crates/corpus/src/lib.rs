@@ -1,0 +1,34 @@
+//! # moa-corpus — seeded synthetic workload generation
+//!
+//! The paper evaluates on the TREC FT collection with TREC topics and human
+//! relevance judgments; none of those are redistributable. This crate
+//! generates the closest synthetic equivalents, exercising the same code
+//! paths (documented substitutions — see DESIGN.md):
+//!
+//! * [`zipf`] — exact Zipf samplers plus the mass-geometry helpers behind
+//!   the paper's "95% of the terms ≈ 5% of the data" premise,
+//! * [`collection`] — Zipf-distributed document collections with FT-like
+//!   hapax-heavy vocabularies,
+//! * [`queries`] — TREC-topic-like query workloads with a controllable
+//!   document-frequency bias,
+//! * [`qrels`] — coordination-level synthetic relevance judgments,
+//! * [`features`] — correlated multi-feature score lists for Fagin-style
+//!   (FA/TA/NRA) middleware experiments.
+//!
+//! Every generator takes an explicit seed and is deterministic.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod error;
+pub mod features;
+pub mod qrels;
+pub mod queries;
+pub mod zipf;
+
+pub use collection::{Collection, CollectionConfig, Posting};
+pub use error::{CorpusError, Result};
+pub use features::{Correlation, FeatureConfig, FeatureLists};
+pub use qrels::{generate_qrels, Qrels, QrelsConfig, QrelsMode};
+pub use queries::{generate_queries, DfBias, Query, QueryConfig};
+pub use zipf::Zipf;

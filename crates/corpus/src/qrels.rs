@@ -1,0 +1,338 @@
+//! Synthetic relevance judgments (qrels).
+//!
+//! TREC qrels are human judgments; we substitute a *coordination-level*
+//! model: a document is relevant to a query when it contains a sufficient
+//! fraction of the query's distinct terms, with seeded noise flipping a
+//! small share of judgments. Relevance is thus generated from the corpus
+//! alone — independently of any retrieval system under test — yet correlated
+//! with every reasonable ranking function, which is all the paper's
+//! *relative* quality-drop measurements need.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::collection::Collection;
+use crate::error::{CorpusError, Result};
+use crate::queries::Query;
+
+/// How relevance is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QrelsMode {
+    /// A doc is relevant when it matches at least
+    /// `ceil(min_match_fraction · |query terms|)` distinct query terms.
+    Coordination,
+    /// TREC-like topical relevance: a doc is relevant when it belongs to
+    /// the query's latent topic **and** matches at least `min_match`
+    /// distinct query terms. Requires a topical query workload; queries
+    /// without a topic fall back to coordination matching.
+    Topical {
+        /// Minimum distinct query-term matches for a topical doc.
+        min_match: usize,
+    },
+}
+
+/// Configuration of qrels synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QrelsConfig {
+    /// The relevance model.
+    pub mode: QrelsMode,
+    /// Coordination threshold (used by [`QrelsMode::Coordination`] and the
+    /// topic-less fallback).
+    pub min_match_fraction: f64,
+    /// Probability of flipping a judgment (noise).
+    pub noise: f64,
+    /// RNG seed for the noise process.
+    pub seed: u64,
+}
+
+impl Default for QrelsConfig {
+    fn default() -> Self {
+        QrelsConfig {
+            mode: QrelsMode::Coordination,
+            min_match_fraction: 0.6,
+            noise: 0.02,
+            seed: 0x9E15,
+        }
+    }
+}
+
+impl QrelsConfig {
+    /// The topical-relevance configuration used by the fragmentation
+    /// experiments (matches the default topical query workload).
+    pub fn topical() -> QrelsConfig {
+        QrelsConfig {
+            mode: QrelsMode::Topical { min_match: 1 },
+            ..QrelsConfig::default()
+        }
+    }
+}
+
+/// Relevance judgments: per query, the set of relevant document ids.
+#[derive(Debug, Clone, Default)]
+pub struct Qrels {
+    relevant: HashMap<u32, HashSet<u32>>,
+}
+
+impl Qrels {
+    /// The set of relevant documents for a query (empty if none).
+    pub fn relevant(&self, query_id: u32) -> &HashSet<u32> {
+        static EMPTY: std::sync::OnceLock<HashSet<u32>> = std::sync::OnceLock::new();
+        self.relevant
+            .get(&query_id)
+            .unwrap_or_else(|| EMPTY.get_or_init(HashSet::new))
+    }
+
+    /// Whether `doc` is judged relevant for `query_id`.
+    pub fn is_relevant(&self, query_id: u32, doc: u32) -> bool {
+        self.relevant
+            .get(&query_id)
+            .is_some_and(|s| s.contains(&doc))
+    }
+
+    /// Number of relevant documents for a query.
+    pub fn num_relevant(&self, query_id: u32) -> usize {
+        self.relevant.get(&query_id).map_or(0, HashSet::len)
+    }
+
+    /// Insert a judgment (used by tests and custom generators).
+    pub fn insert(&mut self, query_id: u32, doc: u32) {
+        self.relevant.entry(query_id).or_default().insert(doc);
+    }
+
+    /// Total number of (query, doc) judgments.
+    pub fn len(&self) -> usize {
+        self.relevant.values().map(HashSet::len).sum()
+    }
+
+    /// Whether no judgments exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generate qrels for a query workload over a collection.
+pub fn generate_qrels(
+    collection: &Collection,
+    queries: &[Query],
+    config: &QrelsConfig,
+) -> Result<Qrels> {
+    if !(0.0..=1.0).contains(&config.min_match_fraction) {
+        return Err(CorpusError::InvalidConfig(
+            "min_match_fraction must be in [0, 1]".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.noise) {
+        return Err(CorpusError::InvalidConfig("noise must be in [0, 1]".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut qrels = Qrels::default();
+
+    for q in queries {
+        // Count distinct query-term matches per doc via the posting runs.
+        let mut matches: HashMap<u32, usize> = HashMap::new();
+        for &t in &q.terms {
+            for p in collection.postings_for_term(t) {
+                *matches.entry(p.doc).or_insert(0) += 1;
+            }
+        }
+        let mut docs: Vec<u32> = match (config.mode, q.topic) {
+            (QrelsMode::Topical { min_match }, Some(topic)) => matches
+                .iter()
+                .filter(|&(&d, &m)| {
+                    m >= min_match.max(1) && collection.doc_topic()[d as usize] == topic
+                })
+                .map(|(&d, _)| d)
+                .collect(),
+            _ => {
+                let needed = ((config.min_match_fraction * q.terms.len() as f64).ceil()
+                    as usize)
+                    .max(1);
+                matches
+                    .iter()
+                    .filter(|&(_, &m)| m >= needed)
+                    .map(|(&d, _)| d)
+                    .collect()
+            }
+        };
+        docs.sort_unstable(); // deterministic iteration for the noise pass
+        let set = qrels.relevant.entry(q.id).or_default();
+        for d in docs {
+            if rng.gen::<f64>() >= config.noise {
+                set.insert(d);
+            }
+        }
+        // Noise can also add a few spurious relevants.
+        if config.noise > 0.0 {
+            let spurious = (config.noise * 5.0).ceil() as usize;
+            for _ in 0..spurious {
+                if rng.gen::<f64>() < config.noise {
+                    set.insert(rng.gen_range(0..collection.num_docs() as u32));
+                }
+            }
+        }
+    }
+    Ok(qrels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionConfig;
+    use crate::queries::{generate_queries, QueryConfig};
+
+    fn setup() -> (Collection, Vec<Query>) {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let q = generate_queries(&c, &QueryConfig::default()).unwrap();
+        (c, q)
+    }
+
+    #[test]
+    fn qrels_deterministic() {
+        let (c, q) = setup();
+        let cfg = QrelsConfig::default();
+        let a = generate_qrels(&c, &q, &cfg).unwrap();
+        let b = generate_qrels(&c, &q, &cfg).unwrap();
+        for query in &q {
+            assert_eq!(a.relevant(query.id), b.relevant(query.id));
+        }
+    }
+
+    #[test]
+    fn relevant_docs_contain_query_terms() {
+        let (c, q) = setup();
+        let cfg = QrelsConfig {
+            noise: 0.0,
+            ..QrelsConfig::default()
+        };
+        let qrels = generate_qrels(&c, &q, &cfg).unwrap();
+        for query in &q {
+            let needed =
+                ((cfg.min_match_fraction * query.terms.len() as f64).ceil() as usize).max(1);
+            for &doc in qrels.relevant(query.id) {
+                let matched = query
+                    .terms
+                    .iter()
+                    .filter(|&&t| {
+                        c.postings_for_term(t).iter().any(|p| p.doc == doc)
+                    })
+                    .count();
+                assert!(
+                    matched >= needed,
+                    "doc {doc} matches only {matched}/{needed} terms of query {}",
+                    query.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_zero_is_pure_coordination() {
+        let (c, q) = setup();
+        let no_noise = generate_qrels(
+            &c,
+            &q,
+            &QrelsConfig {
+                noise: 0.0,
+                ..QrelsConfig::default()
+            },
+        )
+        .unwrap();
+        // With noise, judgments may differ but should be mostly the same.
+        let noisy = generate_qrels(&c, &q, &QrelsConfig::default()).unwrap();
+        let mut common = 0usize;
+        let mut total = 0usize;
+        for query in &q {
+            total += no_noise.num_relevant(query.id);
+            common += no_noise
+                .relevant(query.id)
+                .intersection(noisy.relevant(query.id))
+                .count();
+        }
+        if total > 0 {
+            assert!(common as f64 >= 0.9 * total as f64);
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (c, q) = setup();
+        let mut cfg = QrelsConfig::default();
+        cfg.min_match_fraction = 1.5;
+        assert!(generate_qrels(&c, &q, &cfg).is_err());
+        let mut cfg = QrelsConfig::default();
+        cfg.noise = -0.1;
+        assert!(generate_qrels(&c, &q, &cfg).is_err());
+    }
+
+    #[test]
+    fn accessors_on_empty_qrels() {
+        let qrels = Qrels::default();
+        assert!(qrels.is_empty());
+        assert_eq!(qrels.num_relevant(3), 0);
+        assert!(!qrels.is_relevant(3, 7));
+        assert!(qrels.relevant(3).is_empty());
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut qrels = Qrels::default();
+        qrels.insert(1, 10);
+        qrels.insert(1, 11);
+        qrels.insert(2, 10);
+        assert_eq!(qrels.len(), 3);
+        assert!(qrels.is_relevant(1, 10));
+        assert!(!qrels.is_relevant(2, 11));
+    }
+
+    #[test]
+    fn topical_mode_restricts_to_query_topic() {
+        let (c, q) = setup();
+        let cfg = QrelsConfig {
+            mode: QrelsMode::Topical { min_match: 1 },
+            noise: 0.0,
+            ..QrelsConfig::default()
+        };
+        let qrels = generate_qrels(&c, &q, &cfg).unwrap();
+        let mut judged = 0usize;
+        for query in &q {
+            let Some(topic) = query.topic else { continue };
+            for &doc in qrels.relevant(query.id) {
+                judged += 1;
+                assert_eq!(
+                    c.doc_topic()[doc as usize],
+                    topic,
+                    "off-topic doc {doc} judged relevant"
+                );
+                let matched = query
+                    .terms
+                    .iter()
+                    .any(|&t| c.postings_for_term(t).iter().any(|p| p.doc == doc));
+                assert!(matched, "doc {doc} matches no query term");
+            }
+        }
+        assert!(judged > 0, "topical qrels produced no judgments");
+    }
+
+    #[test]
+    fn topical_preset_constructor() {
+        let cfg = QrelsConfig::topical();
+        assert_eq!(cfg.mode, QrelsMode::Topical { min_match: 1 });
+    }
+
+    #[test]
+    fn enough_queries_have_relevant_docs() {
+        // As with real TREC topics, some queries end up with no judged
+        // relevant documents (evaluation skips those); but a workable share
+        // must have at least one.
+        let (c, q) = setup();
+        let qrels = generate_qrels(&c, &q, &QrelsConfig::default()).unwrap();
+        let with_rel = q.iter().filter(|query| qrels.num_relevant(query.id) > 0).count();
+        assert!(
+            with_rel * 4 >= q.len(),
+            "only {with_rel}/{} queries have relevant docs",
+            q.len()
+        );
+    }
+}

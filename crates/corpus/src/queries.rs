@@ -1,0 +1,319 @@
+//! Query workload generation.
+//!
+//! TREC-style topics mix moderately rare content words with the occasional
+//! frequent term. The df-bias of the generated workload is the lever that
+//! decides how often the unsafe fragment-A-only strategy misses query terms
+//! — exactly the trade-off the paper's Step 1 experiment measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::collection::Collection;
+use crate::error::{CorpusError, Result};
+use crate::zipf::Zipf;
+
+/// How query terms are biased over the document-frequency spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DfBias {
+    /// TREC-topic-like: each query targets one latent topic and draws most
+    /// terms from that topic's term set, with the given probability of a
+    /// high-df (frequent, stop-word-like) term per slot. This is the default
+    /// and the workload used by the fragmentation experiments.
+    Topical {
+        /// Probability that a term slot draws from the high-df band.
+        high_df_mix: f64,
+    },
+    /// Mid-to-low-df content terms without topical coherence.
+    TrecLike {
+        /// Probability that a term slot draws from the high-df band.
+        high_df_mix: f64,
+    },
+    /// Uniform over all observed terms.
+    Uniform,
+    /// Only rare terms (lowest df band) — the fragment-A-friendly extreme.
+    RareOnly,
+    /// Only frequent terms (highest df band) — the fragment-A-hostile extreme.
+    FrequentOnly,
+}
+
+/// Configuration of a query workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Minimum terms per query.
+    pub min_terms: usize,
+    /// Maximum terms per query (inclusive).
+    pub max_terms: usize,
+    /// Df bias of term selection.
+    pub bias: DfBias,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            num_queries: 50,
+            min_terms: 2,
+            max_terms: 6,
+            bias: DfBias::Topical { high_df_mix: 0.2 },
+            seed: 0x7121C,
+        }
+    }
+}
+
+/// A ranked-retrieval query: a bag of term ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Query id (dense, 0-based).
+    pub id: u32,
+    /// Term ids (distinct, unordered).
+    pub terms: Vec<u32>,
+    /// The latent topic the query targets, for topical workloads.
+    pub topic: Option<u32>,
+}
+
+/// Generate a deterministic query workload against a collection.
+///
+/// Terms are drawn from df bands of the *observed* vocabulary:
+/// rare = lowest-df third, mid = middle third, high = top df decile.
+pub fn generate_queries(collection: &Collection, config: &QueryConfig) -> Result<Vec<Query>> {
+    if config.num_queries == 0 {
+        return Err(CorpusError::InvalidConfig("num_queries must be > 0".into()));
+    }
+    if config.min_terms == 0 || config.min_terms > config.max_terms {
+        return Err(CorpusError::InvalidConfig(format!(
+            "term range [{}, {}] is invalid",
+            config.min_terms, config.max_terms
+        )));
+    }
+    if let DfBias::TrecLike { high_df_mix } | DfBias::Topical { high_df_mix } = config.bias {
+        if !(0.0..=1.0).contains(&high_df_mix) {
+            return Err(CorpusError::InvalidConfig(
+                "high_df_mix must be in [0, 1]".into(),
+            ));
+        }
+    }
+
+    // Observed terms sorted by df ascending.
+    let mut observed: Vec<u32> = (0..collection.vocab_size() as u32)
+        .filter(|&t| collection.df()[t as usize] > 0)
+        .collect();
+    if observed.is_empty() {
+        return Err(CorpusError::InvalidConfig(
+            "collection has no observed terms".into(),
+        ));
+    }
+    observed.sort_by_key(|&t| collection.df()[t as usize]);
+
+    let n = observed.len();
+    // Skip df == 1 hapaxes for the "rare" band start when possible: real
+    // topics rarely contain one-document terms.
+    let first_df2 = observed
+        .iter()
+        .position(|&t| collection.df()[t as usize] >= 2)
+        .unwrap_or(0);
+    let rare_band = &observed[first_df2..(n / 3).max(first_df2 + 1).min(n)];
+    let mid_band = &observed[n / 3..(2 * n / 3).max(n / 3 + 1)];
+    let high_band = &observed[(9 * n / 10).min(n - 1)..];
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut queries = Vec::with_capacity(config.num_queries);
+    for id in 0..config.num_queries {
+        let k = rng.gen_range(config.min_terms..=config.max_terms);
+        // Topical queries pick one topic and prefer its observed terms.
+        let (topic, topical_terms): (Option<u32>, Vec<u32>) = match config.bias {
+            DfBias::Topical { .. } => {
+                let t = rng.gen_range(0..collection.num_topics() as u32);
+                let terms: Vec<u32> = collection
+                    .topic_terms(t)
+                    .iter()
+                    .copied()
+                    .filter(|&term| collection.df()[term as usize] >= 2)
+                    .collect();
+                (Some(t), terms)
+            }
+            _ => (None, Vec::new()),
+        };
+        // Topic titles favour the topic's characteristic (frequent-within-
+        // topic) words: draw Zipf-weighted over the topic's term list, the
+        // same skew the collection generator used.
+        let topical_zipf = if topical_terms.is_empty() {
+            None
+        } else {
+            Some(Zipf::new(topical_terms.len(), 1.0)?)
+        };
+        let mut terms: Vec<u32> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while terms.len() < k && guard < 1000 {
+            guard += 1;
+            let band: &[u32] = match config.bias {
+                DfBias::Uniform => &observed,
+                DfBias::RareOnly => rare_band,
+                DfBias::FrequentOnly => high_band,
+                DfBias::TrecLike { high_df_mix } => {
+                    if rng.gen::<f64>() < high_df_mix {
+                        high_band
+                    } else if rng.gen::<f64>() < 0.5 {
+                        rare_band
+                    } else {
+                        mid_band
+                    }
+                }
+                DfBias::Topical { high_df_mix } => {
+                    if rng.gen::<f64>() < high_df_mix || topical_terms.is_empty() {
+                        high_band
+                    } else {
+                        // Zipf-weighted draw handled below.
+                        &topical_terms
+                    }
+                }
+            };
+            if band.is_empty() {
+                break;
+            }
+            let t = if std::ptr::eq(band.as_ptr(), topical_terms.as_ptr())
+                && !topical_terms.is_empty()
+            {
+                let z = topical_zipf.as_ref().expect("built with topical_terms");
+                topical_terms[z.sample(&mut rng)]
+            } else {
+                band[rng.gen_range(0..band.len())]
+            };
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+        }
+        if terms.is_empty() {
+            // Degenerate fallback: take the most frequent observed term.
+            terms.push(*observed.last().expect("non-empty observed vocab"));
+        }
+        queries.push(Query {
+            id: id as u32,
+            terms,
+            topic,
+        });
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionConfig;
+
+    fn coll() -> Collection {
+        Collection::generate(CollectionConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let c = coll();
+        let cfg = QueryConfig::default();
+        let a = generate_queries(&c, &cfg).unwrap();
+        let b = generate_queries(&c, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_count_and_term_bounds() {
+        let c = coll();
+        let cfg = QueryConfig {
+            num_queries: 17,
+            min_terms: 2,
+            max_terms: 4,
+            ..QueryConfig::default()
+        };
+        let qs = generate_queries(&c, &cfg).unwrap();
+        assert_eq!(qs.len(), 17);
+        for q in &qs {
+            assert!((1..=4).contains(&q.terms.len()), "query {:?}", q);
+            // Terms are distinct.
+            let mut t = q.terms.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), q.terms.len());
+        }
+    }
+
+    #[test]
+    fn all_terms_are_observed() {
+        let c = coll();
+        let qs = generate_queries(&c, &QueryConfig::default()).unwrap();
+        for q in &qs {
+            for &t in &q.terms {
+                assert!(c.df()[t as usize] > 0, "term {t} has df 0");
+            }
+        }
+    }
+
+    #[test]
+    fn rare_only_picks_low_df() {
+        let c = coll();
+        let cfg = QueryConfig {
+            bias: DfBias::RareOnly,
+            ..QueryConfig::default()
+        };
+        let qs = generate_queries(&c, &cfg).unwrap();
+        let max_df = qs
+            .iter()
+            .flat_map(|q| q.terms.iter())
+            .map(|&t| c.df()[t as usize])
+            .max()
+            .unwrap();
+        let cfg2 = QueryConfig {
+            bias: DfBias::FrequentOnly,
+            ..QueryConfig::default()
+        };
+        let qs2 = generate_queries(&c, &cfg2).unwrap();
+        let min_df_frequent = qs2
+            .iter()
+            .flat_map(|q| q.terms.iter())
+            .map(|&t| c.df()[t as usize])
+            .min()
+            .unwrap();
+        assert!(
+            max_df <= min_df_frequent,
+            "rare band df {max_df} should not exceed frequent band df {min_df_frequent}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = coll();
+        let mut cfg = QueryConfig::default();
+        cfg.num_queries = 0;
+        assert!(generate_queries(&c, &cfg).is_err());
+        let mut cfg = QueryConfig::default();
+        cfg.min_terms = 0;
+        assert!(generate_queries(&c, &cfg).is_err());
+        let mut cfg = QueryConfig::default();
+        cfg.min_terms = 5;
+        cfg.max_terms = 3;
+        assert!(generate_queries(&c, &cfg).is_err());
+        let mut cfg = QueryConfig::default();
+        cfg.bias = DfBias::TrecLike { high_df_mix: 1.5 };
+        assert!(generate_queries(&c, &cfg).is_err());
+    }
+
+    #[test]
+    fn trec_like_mixes_bands() {
+        let c = Collection::generate(CollectionConfig::small()).unwrap();
+        let cfg = QueryConfig {
+            num_queries: 100,
+            bias: DfBias::TrecLike { high_df_mix: 0.3 },
+            ..QueryConfig::default()
+        };
+        let qs = generate_queries(&c, &cfg).unwrap();
+        let dfs: Vec<u32> = qs
+            .iter()
+            .flat_map(|q| q.terms.iter())
+            .map(|&t| c.df()[t as usize])
+            .collect();
+        let max = *dfs.iter().max().unwrap();
+        let min = *dfs.iter().min().unwrap();
+        // A real mixture: spread over at least an order of magnitude.
+        assert!(max >= min.saturating_mul(10), "min={min} max={max}");
+    }
+}

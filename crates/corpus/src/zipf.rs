@@ -1,0 +1,208 @@
+//! Zipf-distributed sampling.
+//!
+//! "Terms in natural language have a Zipf distribution" is the statistical
+//! premise the paper's Step 1 fragmentation exploits. This module provides an
+//! exact (table-based inverse-CDF) Zipf sampler plus the analytic helpers the
+//! experiments use to reason about term-mass geometry — e.g. what fraction of
+//! total token mass the rarest X% of the vocabulary carries.
+
+use rand::Rng;
+
+use crate::error::{CorpusError, Result};
+
+/// A Zipf distribution over ranks `0..n` (rank 0 most probable), with
+/// exponent `s`: `P(rank r) ∝ 1 / (r+1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution; `cdf[r]` = P(rank ≤ r). Last entry is 1.0.
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Result<Zipf> {
+        if n == 0 {
+            return Err(CorpusError::InvalidConfig("Zipf needs n > 0 ranks".into()));
+        }
+        if s.is_nan() || s <= 0.0 || !s.is_finite() {
+            return Err(CorpusError::InvalidConfig(format!(
+                "Zipf exponent must be finite and positive, got {s}"
+            )));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        // Guard against rounding: force exact closure.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cdf, s })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability mass of `rank` (0-based; rank 0 most probable).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Cumulative mass of ranks `0..=rank`.
+    pub fn cdf(&self, rank: usize) -> f64 {
+        if self.cdf.is_empty() {
+            return 0.0;
+        }
+        self.cdf[rank.min(self.cdf.len() - 1)]
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Token-mass fraction carried by the *most frequent* `k` ranks.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf(k - 1)
+        }
+    }
+
+    /// Token-mass fraction carried by the *rarest* `k` ranks — the
+    /// "interesting" terms of the paper's fragmentation argument.
+    pub fn tail_mass(&self, k: usize) -> f64 {
+        let n = self.ranks();
+        if k >= n {
+            1.0
+        } else {
+            1.0 - self.cdf(n - k - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn pmf_ratio_matches_exponent() {
+        let z = Zipf::new(100, 2.0).unwrap();
+        // p(0)/p(1) = 2^s = 4
+        let ratio = z.pmf(0) / z.pmf(1);
+        assert!((ratio - 4.0).abs() < 1e-9, "ratio={ratio}");
+    }
+
+    #[test]
+    fn out_of_range_pmf_is_zero() {
+        let z = Zipf::new(5, 1.0).unwrap();
+        assert_eq!(z.pmf(5), 0.0);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn cdf_closes_at_one() {
+        let z = Zipf::new(7, 1.5).unwrap();
+        assert_eq!(z.cdf(6), 1.0);
+        assert_eq!(z.cdf(100), 1.0);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let z = Zipf::new(50, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 50];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 empirical frequency close to pmf(0).
+        let emp = counts[0] as f64 / trials as f64;
+        assert!((emp - z.pmf(0)).abs() < 0.01, "emp={emp} pmf={}", z.pmf(0));
+        // Monotone-ish head.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn head_and_tail_mass_partition() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        for k in [0usize, 1, 10, 500, 999, 1000] {
+            let h = z.head_mass(k);
+            let t = z.tail_mass(1000 - k);
+            assert!((h + t - 1.0).abs() < 1e-9, "k={k} h={h} t={t}");
+        }
+    }
+
+    #[test]
+    fn steeper_exponent_concentrates_mass() {
+        let flat = Zipf::new(10_000, 1.0).unwrap();
+        let steep = Zipf::new(10_000, 1.5).unwrap();
+        // Top 5% of ranks carry more mass under the steeper law.
+        assert!(steep.head_mass(500) > flat.head_mass(500));
+        // And the rarest 95% of terms carry correspondingly little:
+        // this is the geometry behind the paper's "95% of terms ≈ 5% of
+        // the data" claim.
+        assert!(steep.tail_mass(9_500) < 0.15);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the workload generators.
+
+use proptest::prelude::*;
+
+use moa_corpus::{
+    generate_queries, Collection, CollectionConfig, Correlation, DfBias, FeatureConfig,
+    FeatureLists, QueryConfig, Zipf,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn zipf_pmf_normalizes_and_decreases(n in 1usize..2000, s in 0.2f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        for r in 1..n.min(50) {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+        prop_assert!((z.cdf(n - 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_head_tail_partition(n in 2usize..500, s in 0.5f64..2.0, k in 0usize..500) {
+        let z = Zipf::new(n, s).unwrap();
+        let k = k.min(n);
+        let h = z.head_mass(k);
+        let t = z.tail_mass(n - k);
+        prop_assert!((h + t - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+    }
+
+    #[test]
+    fn collection_invariants(
+        docs in 10usize..120,
+        vocab in 50usize..800,
+        avg_len in 4usize..40,
+        s in 0.8f64..1.8,
+        seed in 0u64..1000,
+    ) {
+        let cfg = CollectionConfig {
+            num_docs: docs,
+            vocab_size: vocab,
+            avg_doc_len: avg_len,
+            zipf_exponent: s,
+            num_topics: 5,
+            topic_mix: 0.3,
+            seed,
+        };
+        let c = Collection::generate(cfg).unwrap();
+        // df/cf/postings consistency.
+        let df_sum: u64 = c.df().iter().map(|&d| u64::from(d)).sum();
+        prop_assert_eq!(df_sum as usize, c.num_postings());
+        let cf_sum: u64 = c.cf().iter().sum();
+        prop_assert_eq!(cf_sum, c.total_tokens());
+        // Every posting's tf ≥ 1 and doc id in range.
+        for p in c.postings() {
+            prop_assert!(p.tf >= 1);
+            prop_assert!((p.doc as usize) < docs);
+            prop_assert!((p.term as usize) < vocab);
+        }
+        // Posting runs match df exactly.
+        for term in 0..vocab as u32 {
+            prop_assert_eq!(
+                c.postings_for_term(term).len(),
+                c.df()[term as usize] as usize
+            );
+        }
+    }
+
+    #[test]
+    fn queries_use_observed_terms(seed in 0u64..200) {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        for bias in [
+            DfBias::Topical { high_df_mix: 0.2 },
+            DfBias::TrecLike { high_df_mix: 0.2 },
+            DfBias::Uniform,
+            DfBias::RareOnly,
+            DfBias::FrequentOnly,
+        ] {
+            let qs = generate_queries(
+                &c,
+                &QueryConfig { bias, seed, num_queries: 5, ..QueryConfig::default() },
+            ).unwrap();
+            prop_assert_eq!(qs.len(), 5);
+            for q in &qs {
+                prop_assert!(!q.terms.is_empty());
+                for &t in &q.terms {
+                    prop_assert!(c.df()[t as usize] > 0, "df-0 term in query");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_lists_invariants(
+        n in 1usize..300,
+        m in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        for corr in [
+            Correlation::Independent,
+            Correlation::Correlated(0.7),
+            Correlation::AntiCorrelated(0.7),
+        ] {
+            let fl = FeatureLists::generate(&FeatureConfig {
+                num_objects: n,
+                num_lists: m,
+                correlation: corr,
+                seed,
+            }).unwrap();
+            prop_assert_eq!(fl.num_objects(), n);
+            prop_assert_eq!(fl.num_lists(), m);
+            for i in 0..m {
+                // Sorted order is a permutation with descending grades.
+                let mut seen = vec![false; n];
+                let mut prev = f64::INFINITY;
+                for r in 0..n {
+                    let (obj, g) = fl.sorted_entry(i, r).unwrap();
+                    prop_assert!(!seen[obj as usize]);
+                    seen[obj as usize] = true;
+                    prop_assert!(g <= prev + 1e-12);
+                    prev = g;
+                    prop_assert!((0.0..=1.0).contains(&g));
+                }
+            }
+        }
+    }
+}

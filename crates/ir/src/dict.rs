@@ -1,0 +1,106 @@
+//! Term dictionary: the string ↔ term-id mapping.
+//!
+//! The synthetic corpus works directly in term ids, but a real engine (and
+//! the examples) need interning. Ids are dense and stable in insertion
+//! order.
+
+use std::collections::HashMap;
+
+/// A bidirectional term dictionary with dense `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_name: HashMap<String, u32>,
+    by_id: Vec<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Intern a term, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(term) {
+            return id;
+        }
+        let id = self.by_id.len() as u32;
+        self.by_id.push(term.to_owned());
+        self.by_name.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Look up an existing term's id.
+    pub fn lookup(&self, term: &str) -> Option<u32> {
+        self.by_name.get(term).copied()
+    }
+
+    /// The term string for an id.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Build a dictionary of synthetic names (`term000000` …) covering a
+    /// generated collection's vocabulary, so ids align with the collection's
+    /// term ids.
+    pub fn synthetic(vocab_size: usize) -> Dictionary {
+        let mut d = Dictionary::new();
+        for i in 0..vocab_size {
+            d.intern(&format!("term{i:06}"));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("database");
+        let b = d.intern("retrieval");
+        let a2 = d.intern("database");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_term_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("multimedia");
+        assert_eq!(d.lookup("multimedia"), Some(id));
+        assert_eq!(d.term(id), Some("multimedia"));
+        assert_eq!(d.lookup("missing"), None);
+        assert_eq!(d.term(999), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+    }
+
+    #[test]
+    fn synthetic_covers_vocab() {
+        let d = Dictionary::synthetic(100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.lookup("term000042"), Some(42));
+        assert!(!d.is_empty());
+        assert!(Dictionary::new().is_empty());
+    }
+}

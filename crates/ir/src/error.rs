@@ -1,0 +1,65 @@
+//! Error types for the IR engine.
+
+use std::fmt;
+
+use moa_storage::StorageError;
+
+/// Errors produced by IR engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Underlying storage kernel error.
+    Storage(StorageError),
+    /// A term id outside the index vocabulary.
+    UnknownTerm(u32),
+    /// An invalid parameter (with human-readable context).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Storage(e) => write!(f, "storage error: {e}"),
+            IrError::UnknownTerm(t) => write!(f, "unknown term id: {t}"),
+            IrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for IrError {
+    fn from(e: StorageError) -> Self {
+        IrError::Storage(e)
+    }
+}
+
+/// Result alias for IR operations.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(IrError::UnknownTerm(7).to_string(), "unknown term id: 7");
+        assert!(IrError::InvalidConfig("x".into()).to_string().contains("x"));
+        let e: IrError = StorageError::Empty.into();
+        assert!(e.to_string().contains("storage error"));
+    }
+
+    #[test]
+    fn source_chains_storage_errors() {
+        use std::error::Error;
+        let e: IrError = StorageError::NotSorted.into();
+        assert!(e.source().is_some());
+        assert!(IrError::UnknownTerm(1).source().is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Set-at-a-time ranked retrieval over the term-major index.
+//!
+//! [`Searcher`] is the *element-addressable* evaluation path: each query
+//! term's posting run is fetched directly (the "recoded" fast layout). The
+//! scan-based BAT evaluation the paper's fragmentation experiment measures
+//! lives in [`crate::fragment`]; both share this module's score accumulation
+//! and top-N logic.
+
+use moa_topn::TopNHeap;
+
+use crate::error::Result;
+use crate::index::InvertedIndex;
+use crate::ranking::RankingModel;
+
+/// Result of a ranked query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Top `(doc, score)` pairs, best first (score desc, doc id asc).
+    pub top: Vec<(u32, f64)>,
+    /// Postings read while evaluating.
+    pub postings_scanned: usize,
+    /// Query terms that contributed at least one posting.
+    pub terms_matched: usize,
+}
+
+/// A reusable query evaluator with a workhorse score accumulator.
+#[derive(Debug)]
+pub struct Searcher<'a> {
+    index: &'a InvertedIndex,
+    model: RankingModel,
+    scores: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl<'a> Searcher<'a> {
+    /// Create a searcher over an index with a ranking model.
+    pub fn new(index: &'a InvertedIndex, model: RankingModel) -> Searcher<'a> {
+        Searcher {
+            index,
+            model,
+            scores: vec![0.0; index.num_docs()],
+            touched: Vec::new(),
+        }
+    }
+
+    /// The ranking model in use.
+    pub fn model(&self) -> RankingModel {
+        self.model
+    }
+
+    /// Evaluate a bag-of-terms query, returning the top `n` documents.
+    pub fn search(&mut self, terms: &[u32], n: usize) -> Result<SearchReport> {
+        let stats = self.index.stats();
+        let mut scanned = 0usize;
+        let mut matched = 0usize;
+        for &term in terms {
+            let df = self.index.df(term)?;
+            let cf = self.index.cf(term)?;
+            let (docs, tfs) = self.index.postings(term)?;
+            if !docs.is_empty() {
+                matched += 1;
+            }
+            for (i, &doc) in docs.iter().enumerate() {
+                let w = self
+                    .model
+                    .term_weight(tfs[i], df, cf, self.index.doc_len(doc), &stats);
+                let slot = &mut self.scores[doc as usize];
+                if *slot == 0.0 {
+                    self.touched.push(doc);
+                }
+                *slot += w;
+                scanned += 1;
+            }
+        }
+
+        let mut heap = TopNHeap::new(n);
+        for &doc in &self.touched {
+            heap.push(doc, self.scores[doc as usize]);
+        }
+        // Sparse reset of the workhorse accumulator.
+        for &doc in &self.touched {
+            self.scores[doc as usize] = 0.0;
+        }
+        self.touched.clear();
+
+        Ok(SearchReport {
+            top: heap.into_sorted_vec(),
+            postings_scanned: scanned,
+            terms_matched: matched,
+        })
+    }
+
+    /// Full ranking of every matching document (reference for metrics).
+    pub fn rank_all(&mut self, terms: &[u32]) -> Result<Vec<(u32, f64)>> {
+        let n = self.index.num_docs();
+        Ok(self.search(terms, n)?.top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_corpus::{Collection, CollectionConfig};
+
+    fn setup() -> (Collection, InvertedIndex) {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        (c, idx)
+    }
+
+    #[test]
+    fn search_returns_scored_ranking() {
+        let (_, idx) = setup();
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let terms = idx.terms_by_df_asc();
+        let q = vec![terms[terms.len() / 2], terms[terms.len() - 1]];
+        let rep = s.search(&q, 10).unwrap();
+        assert!(!rep.top.is_empty());
+        assert!(rep.top.len() <= 10);
+        assert!(rep.top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(rep.postings_scanned > 0);
+        assert_eq!(rep.terms_matched, 2);
+    }
+
+    #[test]
+    fn scores_are_sums_of_term_weights() {
+        let (_, idx) = setup();
+        let model = RankingModel::TfIdf;
+        let mut s = Searcher::new(&idx, model);
+        let terms = idx.terms_by_df_asc();
+        let q = vec![terms[0], terms[terms.len() - 1]];
+        let rep = s.search(&q, 5).unwrap();
+        let stats = idx.stats();
+        for &(doc, score) in &rep.top {
+            let mut expect = 0.0;
+            for &t in &q {
+                let (docs, tfs) = idx.postings(t).unwrap();
+                if let Some(i) = docs.iter().position(|&d| d == doc) {
+                    expect += model.term_weight(
+                        tfs[i],
+                        idx.df(t).unwrap(),
+                        idx.cf(t).unwrap(),
+                        idx.doc_len(doc),
+                        &stats,
+                    );
+                }
+            }
+            assert!((score - expect).abs() < 1e-9, "doc {doc}");
+        }
+    }
+
+    #[test]
+    fn accumulator_resets_between_queries() {
+        let (_, idx) = setup();
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let terms = idx.terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1]];
+        let first = s.search(&q, 5).unwrap();
+        let second = s.search(&q, 5).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn unknown_term_is_error() {
+        let (_, idx) = setup();
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        assert!(s.search(&[u32::MAX], 5).is_err());
+    }
+
+    #[test]
+    fn empty_query_returns_empty() {
+        let (_, idx) = setup();
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let rep = s.search(&[], 5).unwrap();
+        assert!(rep.top.is_empty());
+        assert_eq!(rep.postings_scanned, 0);
+    }
+
+    #[test]
+    fn term_with_no_postings_contributes_nothing() {
+        let (c, idx) = setup();
+        // Find a term with df == 0 (vocabulary is larger than observed).
+        let dead = (0..c.vocab_size() as u32)
+            .find(|&t| c.df()[t as usize] == 0)
+            .expect("tiny collection leaves unseen terms");
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let rep = s.search(&[dead], 5).unwrap();
+        assert!(rep.top.is_empty());
+        assert_eq!(rep.terms_matched, 0);
+    }
+
+    #[test]
+    fn rank_all_is_consistent_with_topn() {
+        let (_, idx) = setup();
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let terms = idx.terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() / 2]];
+        let all = s.rank_all(&q).unwrap();
+        let top5 = s.search(&q, 5).unwrap().top;
+        assert_eq!(&all[..top5.len().min(5)], &top5[..]);
+    }
+
+    #[test]
+    fn models_disagree_but_both_rank() {
+        let (_, idx) = setup();
+        let terms = idx.terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() / 3]];
+        let mut s1 = Searcher::new(&idx, RankingModel::TfIdf);
+        let mut s2 = Searcher::new(
+            &idx,
+            RankingModel::Bm25 { k1: 1.2, b: 0.75 },
+        );
+        let r1 = s1.search(&q, 10).unwrap();
+        let r2 = s2.search(&q, 10).unwrap();
+        assert_eq!(r1.postings_scanned, r2.postings_scanned);
+        assert!(!r1.top.is_empty() && !r2.top.is_empty());
+    }
+}

@@ -1,0 +1,656 @@
+//! Horizontal fragmentation of the term–document matrix (the paper's Step 1).
+//!
+//! In the flattened Moa/MonetDB execution model, the term–document matrix is
+//! a BAT of `(term, doc, tf)` triples and a query's posting retrieval is a
+//! *set-at-a-time selection over that table* — work proportional to the
+//! table's volume, not to the query's result. Fragmenting the table by
+//! document frequency therefore directly cuts query time:
+//!
+//! * **Fragment A** — the "most interesting" (lowest-df, highest-idf) terms;
+//!   a small share of the volume. Evaluating only A is the paper's *unsafe*
+//!   technique: fast, but quality drops when query terms live in B.
+//! * **Fragment B** — the frequent rest, the bulk of the volume. The *safe*
+//!   variant consults an early quality check ([`crate::safety`]) and
+//!   *switches in* fragment B when needed — either by scanning B or through
+//!   a **non-dense index** ([`moa_storage::SparseIndex`]) over B's sorted
+//!   term column, the acceleration the paper proposes.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use moa_storage::{Bat, Column, Scalar, SparseIndex};
+use moa_topn::TopNHeap;
+
+use crate::error::{IrError, Result};
+use crate::index::InvertedIndex;
+use crate::ranking::RankingModel;
+use crate::safety::{SwitchDecision, SwitchPolicy};
+
+/// How the fragment boundary is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FragmentSpec {
+    /// Fragment A holds the rarest terms whose cumulative posting volume
+    /// stays below this fraction of the total (0, 1].
+    VolumeFraction(f64),
+    /// Fragment A holds this fraction of the observed terms, rarest first
+    /// (the paper's "95% most interesting terms" phrasing).
+    TermFraction(f64),
+    /// Fragment A holds every term with `df <=` this threshold.
+    DfThreshold(u32),
+}
+
+/// A flat `(term, doc, tf)` table sorted by term — the BAT realization of
+/// one fragment, with an optional non-dense index on the term column.
+#[derive(Debug, Clone)]
+pub struct TdTable {
+    terms: Vec<u32>,
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+    /// Sorted term column as a BAT (for sparse-index lookups).
+    term_bat: Bat,
+    sparse: Option<SparseIndex>,
+}
+
+/// Scan statistics of one posting-retrieval pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Table entries inspected.
+    pub scanned: usize,
+    /// Entries matching the query terms (and therefore scored).
+    pub matched: usize,
+}
+
+impl TdTable {
+    /// Build a fragment table holding the postings of the selected terms.
+    pub fn from_index(index: &InvertedIndex, keep: impl Fn(u32) -> bool) -> TdTable {
+        let mut terms = Vec::new();
+        let mut docs = Vec::new();
+        let mut tfs = Vec::new();
+        for term in 0..index.vocab_size() as u32 {
+            if !keep(term) {
+                continue;
+            }
+            let (d, t) = index.postings(term).expect("term id in range");
+            for (i, &doc) in d.iter().enumerate() {
+                terms.push(term);
+                docs.push(doc);
+                tfs.push(t[i]);
+            }
+        }
+        let term_bat = Bat::dense(Column::from(terms.clone()));
+        TdTable {
+            terms,
+            docs,
+            tfs,
+            term_bat,
+            sparse: None,
+        }
+    }
+
+    /// Number of `(term, doc, tf)` entries (the fragment's volume).
+    pub fn volume(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether a sparse (non-dense) index has been built.
+    pub fn has_sparse_index(&self) -> bool {
+        self.sparse.is_some()
+    }
+
+    /// Build the non-dense index on the sorted term column with the given
+    /// block size.
+    pub fn build_sparse_index(&mut self, block_size: usize) -> Result<()> {
+        self.sparse = Some(SparseIndex::build(&self.term_bat, block_size)?);
+        Ok(())
+    }
+
+    /// Retrieve the postings of `query_terms` by scanning the whole table
+    /// (the un-indexed BAT selection): cost = volume.
+    pub fn postings_scan(
+        &self,
+        query_terms: &HashSet<u32>,
+        mut on_posting: impl FnMut(u32, u32, u32),
+    ) -> ScanStats {
+        let mut stats = ScanStats {
+            scanned: self.terms.len(),
+            matched: 0,
+        };
+        for i in 0..self.terms.len() {
+            if query_terms.contains(&self.terms[i]) {
+                stats.matched += 1;
+                on_posting(self.terms[i], self.docs[i], self.tfs[i]);
+            }
+        }
+        stats
+    }
+
+    /// Retrieve the postings of `query_terms` through the non-dense index:
+    /// cost = the covering blocks of each term's run. Falls back to a full
+    /// scan when no index has been built.
+    pub fn postings_indexed(
+        &self,
+        query_terms: &HashSet<u32>,
+        mut on_posting: impl FnMut(u32, u32, u32),
+    ) -> Result<ScanStats> {
+        let Some(sparse) = &self.sparse else {
+            return Ok(self.postings_scan(query_terms, on_posting));
+        };
+        let mut stats = ScanStats::default();
+        let mut sorted_terms: Vec<u32> = query_terms.iter().copied().collect();
+        sorted_terms.sort_unstable();
+        for term in sorted_terms {
+            let range = sparse.lookup_range(&Scalar::U32(term), &Scalar::U32(term))?;
+            for i in range.start..range.end {
+                stats.scanned += 1;
+                if self.terms[i] == term {
+                    stats.matched += 1;
+                    on_posting(term, self.docs[i], self.tfs[i]);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// The fragmented term–document matrix plus shared collection statistics.
+#[derive(Debug, Clone)]
+pub struct FragmentedIndex {
+    index: Arc<InvertedIndex>,
+    spec: FragmentSpec,
+    in_a: Vec<bool>,
+    /// Largest df found in fragment A (boundary documentation).
+    df_boundary: u32,
+    a: TdTable,
+    b: TdTable,
+}
+
+impl FragmentedIndex {
+    /// Fragment an index according to `spec`.
+    pub fn build(index: Arc<InvertedIndex>, spec: FragmentSpec) -> Result<FragmentedIndex> {
+        let mut in_a = vec![false; index.vocab_size()];
+        let by_df = index.terms_by_df_asc();
+        let observed = by_df.len();
+        let total_volume: usize = index.num_postings();
+        if observed == 0 || total_volume == 0 {
+            return Err(IrError::InvalidConfig(
+                "cannot fragment an empty index".into(),
+            ));
+        }
+        let mut df_boundary = 0u32;
+        match spec {
+            FragmentSpec::VolumeFraction(f) => {
+                if !(0.0 < f && f <= 1.0) {
+                    return Err(IrError::InvalidConfig(format!(
+                        "volume fraction {f} outside (0, 1]"
+                    )));
+                }
+                let budget = (f * total_volume as f64) as usize;
+                let mut acc = 0usize;
+                for &t in &by_df {
+                    let run = index.df(t)? as usize;
+                    if acc + run > budget && acc > 0 {
+                        break;
+                    }
+                    acc += run;
+                    in_a[t as usize] = true;
+                    df_boundary = df_boundary.max(index.df(t)?);
+                }
+            }
+            FragmentSpec::TermFraction(f) => {
+                if !(0.0 < f && f <= 1.0) {
+                    return Err(IrError::InvalidConfig(format!(
+                        "term fraction {f} outside (0, 1]"
+                    )));
+                }
+                let count = ((f * observed as f64).round() as usize).clamp(1, observed);
+                for &t in by_df.iter().take(count) {
+                    in_a[t as usize] = true;
+                    df_boundary = df_boundary.max(index.df(t)?);
+                }
+            }
+            FragmentSpec::DfThreshold(th) => {
+                for &t in &by_df {
+                    if index.df(t)? <= th {
+                        in_a[t as usize] = true;
+                        df_boundary = df_boundary.max(index.df(t)?);
+                    }
+                }
+            }
+        }
+        let a = TdTable::from_index(&index, |t| in_a[t as usize]);
+        let b = TdTable::from_index(&index, |t| {
+            !in_a[t as usize] && index.df(t).map(|d| d > 0).unwrap_or(false)
+        });
+        Ok(FragmentedIndex {
+            index,
+            spec,
+            in_a,
+            df_boundary,
+            a,
+            b,
+        })
+    }
+
+    /// The fragmentation specification used.
+    pub fn spec(&self) -> FragmentSpec {
+        self.spec
+    }
+
+    /// The underlying unfragmented index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Whether a term belongs to fragment A.
+    pub fn term_in_a(&self, term: u32) -> bool {
+        self.in_a.get(term as usize).copied().unwrap_or(false)
+    }
+
+    /// Largest document frequency of any fragment-A term.
+    pub fn df_boundary(&self) -> u32 {
+        self.df_boundary
+    }
+
+    /// Fragment A (interesting terms).
+    pub fn fragment_a(&self) -> &TdTable {
+        &self.a
+    }
+
+    /// Fragment B (frequent terms).
+    pub fn fragment_b(&self) -> &TdTable {
+        &self.b
+    }
+
+    /// Mutable fragment B, e.g. to build its non-dense index.
+    pub fn fragment_b_mut(&mut self) -> &mut TdTable {
+        &mut self.b
+    }
+
+    /// A's share of the total posting volume.
+    pub fn volume_fraction_a(&self) -> f64 {
+        let total = (self.a.volume() + self.b.volume()).max(1);
+        self.a.volume() as f64 / total as f64
+    }
+
+    /// A's share of the observed terms.
+    pub fn term_fraction_a(&self) -> f64 {
+        let in_a = self
+            .in_a
+            .iter()
+            .enumerate()
+            .filter(|&(t, &ia)| ia && self.index.df(t as u32).map(|d| d > 0).unwrap_or(false))
+            .count();
+        let observed = self.index.terms_by_df_asc().len().max(1);
+        in_a as f64 / observed as f64
+    }
+}
+
+/// Query evaluation strategy over a fragmented index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The unoptimized baseline: scan the full (A + B) volume.
+    FullScan,
+    /// The unsafe technique: scan (and score) fragment A only.
+    AOnly,
+    /// The safe technique: scan A, consult the early quality check, and
+    /// switch in fragment B when needed.
+    Switch {
+        /// Access B through its non-dense index instead of scanning it.
+        use_b_index: bool,
+    },
+}
+
+/// Report of a fragmented query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragSearchReport {
+    /// Top `(doc, score)` pairs, best first.
+    pub top: Vec<(u32, f64)>,
+    /// Total table entries inspected across fragments.
+    pub postings_scanned: usize,
+    /// Entries that matched query terms and were scored.
+    pub postings_scored: usize,
+    /// Whether fragment B was consulted.
+    pub used_b: bool,
+    /// The safety decision, when the strategy made one.
+    pub decision: Option<SwitchDecision>,
+}
+
+/// A reusable evaluator over a fragmented index.
+#[derive(Debug)]
+pub struct FragSearcher {
+    frag: Arc<FragmentedIndex>,
+    model: RankingModel,
+    policy: SwitchPolicy,
+    scores: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl FragSearcher {
+    /// Create an evaluator with a ranking model and switch policy.
+    pub fn new(
+        frag: Arc<FragmentedIndex>,
+        model: RankingModel,
+        policy: SwitchPolicy,
+    ) -> FragSearcher {
+        let n = frag.index().num_docs();
+        FragSearcher {
+            frag,
+            model,
+            policy,
+            scores: vec![0.0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    fn accumulate(&mut self, term: u32, doc: u32, tf: u32) {
+        let index = self.frag.index();
+        let stats = index.stats();
+        let w = self.model.term_weight(
+            tf,
+            index.df(term).unwrap_or(0),
+            index.cf(term).unwrap_or(0),
+            index.doc_len(doc),
+            &stats,
+        );
+        let slot = &mut self.scores[doc as usize];
+        if *slot == 0.0 {
+            self.touched.push(doc);
+        }
+        *slot += w;
+    }
+
+    /// Evaluate a query under the given strategy.
+    pub fn search(
+        &mut self,
+        terms: &[u32],
+        n: usize,
+        strategy: Strategy,
+    ) -> Result<FragSearchReport> {
+        for &t in terms {
+            if t as usize >= self.frag.index().vocab_size() {
+                return Err(IrError::UnknownTerm(t));
+            }
+        }
+        let qset: HashSet<u32> = terms.iter().copied().collect();
+        let mut scanned = 0usize;
+        let mut scored = 0usize;
+        let mut used_b = false;
+        let mut decision = None;
+
+        // Borrow-splitting closure workaround: accumulate via raw parts.
+        let frag = Arc::clone(&self.frag);
+
+        match strategy {
+            Strategy::FullScan => {
+                let mut acc: Vec<(u32, u32, u32)> = Vec::new();
+                let sa = frag.fragment_a().postings_scan(&qset, |t, d, f| {
+                    acc.push((t, d, f));
+                });
+                let sb = frag.fragment_b().postings_scan(&qset, |t, d, f| {
+                    acc.push((t, d, f));
+                });
+                scanned = sa.scanned + sb.scanned;
+                scored = sa.matched + sb.matched;
+                used_b = true;
+                for (t, d, f) in acc {
+                    self.accumulate(t, d, f);
+                }
+            }
+            Strategy::AOnly => {
+                let mut acc: Vec<(u32, u32, u32)> = Vec::new();
+                let sa = frag.fragment_a().postings_scan(&qset, |t, d, f| {
+                    acc.push((t, d, f));
+                });
+                scanned = sa.scanned;
+                scored = sa.matched;
+                for (t, d, f) in acc {
+                    self.accumulate(t, d, f);
+                }
+            }
+            Strategy::Switch { use_b_index } => {
+                // The early check runs before any scanning — it needs only
+                // per-term statistics ("early in the query plan").
+                let d = self.policy.decide(terms, &frag, self.model)?;
+                let need_b = d.use_b;
+                decision = Some(d);
+
+                let mut acc: Vec<(u32, u32, u32)> = Vec::new();
+                let sa = frag.fragment_a().postings_scan(&qset, |t, d2, f| {
+                    acc.push((t, d2, f));
+                });
+                scanned += sa.scanned;
+                scored += sa.matched;
+                if need_b {
+                    used_b = true;
+                    let sb = if use_b_index {
+                        frag.fragment_b().postings_indexed(&qset, |t, d2, f| {
+                            acc.push((t, d2, f));
+                        })?
+                    } else {
+                        frag.fragment_b().postings_scan(&qset, |t, d2, f| {
+                            acc.push((t, d2, f));
+                        })
+                    };
+                    scanned += sb.scanned;
+                    scored += sb.matched;
+                }
+                for (t, d2, f) in acc {
+                    self.accumulate(t, d2, f);
+                }
+            }
+        }
+
+        let mut heap = TopNHeap::new(n);
+        for &doc in &self.touched {
+            heap.push(doc, self.scores[doc as usize]);
+        }
+        for &doc in &self.touched {
+            self.scores[doc as usize] = 0.0;
+        }
+        self.touched.clear();
+
+        Ok(FragSearchReport {
+            top: heap.into_sorted_vec(),
+            postings_scanned: scanned,
+            postings_scored: scored,
+            used_b,
+            decision,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Searcher;
+    use moa_corpus::{Collection, CollectionConfig};
+
+    fn frag(spec: FragmentSpec) -> Arc<FragmentedIndex> {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        Arc::new(FragmentedIndex::build(idx, spec).unwrap())
+    }
+
+    #[test]
+    fn fragments_partition_the_volume() {
+        let f = frag(FragmentSpec::VolumeFraction(0.2));
+        let total = f.index().num_postings();
+        assert_eq!(f.fragment_a().volume() + f.fragment_b().volume(), total);
+        assert!(f.volume_fraction_a() <= 0.2 + 0.05);
+        assert!(f.volume_fraction_a() > 0.0);
+    }
+
+    #[test]
+    fn fragment_a_holds_rarest_terms() {
+        let f = frag(FragmentSpec::TermFraction(0.5));
+        let boundary = f.df_boundary();
+        for t in 0..f.index().vocab_size() as u32 {
+            let df = f.index().df(t).unwrap();
+            if df == 0 {
+                continue;
+            }
+            if f.term_in_a(t) {
+                assert!(df <= boundary);
+            } else {
+                // B terms are at least as frequent as the boundary
+                // (ties may fall either side).
+                assert!(df >= boundary.min(df));
+            }
+        }
+    }
+
+    #[test]
+    fn df_threshold_spec() {
+        let f = frag(FragmentSpec::DfThreshold(3));
+        for t in 0..f.index().vocab_size() as u32 {
+            let df = f.index().df(t).unwrap();
+            if df == 0 {
+                continue;
+            }
+            assert_eq!(f.term_in_a(t), df <= 3, "term {t} df {df}");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        assert!(FragmentedIndex::build(Arc::clone(&idx), FragmentSpec::VolumeFraction(0.0)).is_err());
+        assert!(FragmentedIndex::build(Arc::clone(&idx), FragmentSpec::VolumeFraction(1.5)).is_err());
+        assert!(FragmentedIndex::build(idx, FragmentSpec::TermFraction(-0.1)).is_err());
+    }
+
+    #[test]
+    fn full_scan_equals_unfragmented_search() {
+        let f = frag(FragmentSpec::VolumeFraction(0.3));
+        let model = RankingModel::default();
+        let mut fs = FragSearcher::new(Arc::clone(&f), model, SwitchPolicy::default());
+        let mut reference = Searcher::new(f.index(), model);
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() / 2]];
+        let got = fs.search(&q, 10, Strategy::FullScan).unwrap();
+        let want = reference.search(&q, 10).unwrap();
+        assert_eq!(got.top, want.top);
+        // Full scan inspects the entire volume.
+        assert_eq!(got.postings_scanned, f.index().num_postings());
+    }
+
+    #[test]
+    fn a_only_scans_only_fragment_a() {
+        let f = frag(FragmentSpec::VolumeFraction(0.3));
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[0], terms[terms.len() - 1]];
+        let rep = fs.search(&q, 10, Strategy::AOnly).unwrap();
+        assert_eq!(rep.postings_scanned, f.fragment_a().volume());
+        assert!(!rep.used_b);
+    }
+
+    #[test]
+    fn switch_consults_b_for_frequent_queries() {
+        let f = frag(FragmentSpec::VolumeFraction(0.2));
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        let terms = f.index().terms_by_df_asc();
+        // All-frequent query: the check must demand fragment B.
+        let q = vec![terms[terms.len() - 1], terms[terms.len() - 2]];
+        let rep = fs
+            .search(&q, 10, Strategy::Switch { use_b_index: false })
+            .unwrap();
+        assert!(rep.used_b);
+        assert!(rep.decision.unwrap().use_b);
+        // And its results match the full scan.
+        let full = fs.search(&q, 10, Strategy::FullScan).unwrap();
+        assert_eq!(rep.top, full.top);
+    }
+
+    #[test]
+    fn switch_skips_b_for_rare_queries() {
+        let f = frag(FragmentSpec::TermFraction(0.9));
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[0], terms[1]]; // rarest observed terms
+        let rep = fs
+            .search(&q, 10, Strategy::Switch { use_b_index: false })
+            .unwrap();
+        assert!(!rep.used_b);
+        assert_eq!(rep.postings_scanned, f.fragment_a().volume());
+    }
+
+    #[test]
+    fn b_index_reduces_scanned_volume() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        let mut f = FragmentedIndex::build(idx, FragmentSpec::VolumeFraction(0.2)).unwrap();
+        f.fragment_b_mut().build_sparse_index(64).unwrap();
+        let f = Arc::new(f);
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() - 2]];
+        let indexed = fs
+            .search(&q, 10, Strategy::Switch { use_b_index: true })
+            .unwrap();
+        let scanned = fs
+            .search(&q, 10, Strategy::Switch { use_b_index: false })
+            .unwrap();
+        assert_eq!(indexed.top, scanned.top);
+        assert!(
+            indexed.postings_scanned < scanned.postings_scanned,
+            "indexed {} >= scanned {}",
+            indexed.postings_scanned,
+            scanned.postings_scanned
+        );
+    }
+
+    #[test]
+    fn indexed_lookup_matches_scan_lookup() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        let mut table = TdTable::from_index(&idx, |_| true);
+        table.build_sparse_index(32).unwrap();
+        let terms = idx.terms_by_df_asc();
+        let qset: HashSet<u32> = [terms[0], terms[terms.len() - 1]].into_iter().collect();
+        let mut via_scan = Vec::new();
+        table.postings_scan(&qset, |t, d, f| via_scan.push((t, d, f)));
+        let mut via_index = Vec::new();
+        table
+            .postings_indexed(&qset, |t, d, f| via_index.push((t, d, f)))
+            .unwrap();
+        via_scan.sort_unstable();
+        via_index.sort_unstable();
+        assert_eq!(via_scan, via_index);
+    }
+
+    #[test]
+    fn unknown_query_term_is_error() {
+        let f = frag(FragmentSpec::VolumeFraction(0.5));
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        assert!(fs.search(&[u32::MAX], 5, Strategy::FullScan).is_err());
+    }
+
+    #[test]
+    fn term_fraction_reports_fraction() {
+        let f = frag(FragmentSpec::TermFraction(0.75));
+        let tf = f.term_fraction_a();
+        assert!((tf - 0.75).abs() < 0.02, "term fraction {tf}");
+    }
+}

@@ -1,0 +1,323 @@
+//! The inverted index: a term-major term–document matrix.
+//!
+//! Postings are stored columnar — `(doc, tf)` runs per term, exactly the
+//! flattened BAT representation Moa produces on MonetDB. Collection-wide
+//! statistics (df, cf, max tf, document lengths) are kept alongside; the
+//! ranking models and the fragmentation safety check consume them.
+
+use moa_corpus::Collection;
+use moa_storage::{Bat, Column};
+
+use crate::error::{IrError, Result};
+
+/// Collection statistics needed by ranking models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Average document length in tokens.
+    pub avg_doc_len: f64,
+    /// Total tokens in the collection.
+    pub total_tokens: u64,
+}
+
+/// A term-major inverted index over a document collection.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    stats: CollectionStats,
+    doc_len: Vec<u32>,
+    df: Vec<u32>,
+    cf: Vec<u64>,
+    /// Highest within-document tf of each term (upper bound for the safety
+    /// check's score-contribution estimates).
+    max_tf: Vec<u32>,
+    /// Posting payloads, term-major.
+    post_docs: Vec<u32>,
+    post_tfs: Vec<u32>,
+    /// `term_offsets[t]..term_offsets[t+1]` is term `t`'s run.
+    term_offsets: Vec<usize>,
+}
+
+impl InvertedIndex {
+    /// Build an index from a generated collection.
+    pub fn from_collection(collection: &Collection) -> InvertedIndex {
+        let triples: Vec<(u32, u32, u32)> = collection
+            .postings()
+            .iter()
+            .map(|p| (p.term, p.doc, p.tf))
+            .collect();
+        InvertedIndex::from_sorted_postings(
+            collection.vocab_size(),
+            collection.doc_len().to_vec(),
+            &triples,
+        )
+        .expect("generated collections are non-empty and sorted")
+    }
+
+    /// Build an index from `(term, doc, tf)` triples sorted by `(term,
+    /// doc)`, with the given vocabulary size and per-document token counts.
+    /// Used by [`crate::text::IndexBuilder`] and available for custom
+    /// ingestion pipelines.
+    pub fn from_sorted_postings(
+        vocab: usize,
+        doc_len: Vec<u32>,
+        postings: &[(u32, u32, u32)],
+    ) -> Result<InvertedIndex> {
+        if doc_len.is_empty() {
+            return Err(IrError::InvalidConfig("index needs at least one document".into()));
+        }
+        if postings.windows(2).any(|w| (w[0].0, w[0].1) > (w[1].0, w[1].1)) {
+            return Err(IrError::InvalidConfig(
+                "postings must be sorted by (term, doc)".into(),
+            ));
+        }
+        let mut post_docs = Vec::with_capacity(postings.len());
+        let mut post_tfs = Vec::with_capacity(postings.len());
+        let mut df = vec![0u32; vocab];
+        let mut cf = vec![0u64; vocab];
+        let mut max_tf = vec![0u32; vocab];
+        let mut term_offsets = vec![0usize; vocab + 1];
+        for &(term, doc, tf) in postings {
+            let t = term as usize;
+            if t >= vocab {
+                return Err(IrError::UnknownTerm(term));
+            }
+            if doc as usize >= doc_len.len() {
+                return Err(IrError::InvalidConfig(format!(
+                    "posting references doc {doc} beyond {} documents",
+                    doc_len.len()
+                )));
+            }
+            post_docs.push(doc);
+            post_tfs.push(tf);
+            df[t] += 1;
+            cf[t] += u64::from(tf);
+            max_tf[t] = max_tf[t].max(tf);
+            term_offsets[t + 1] += 1;
+        }
+        for t in 0..vocab {
+            term_offsets[t + 1] += term_offsets[t];
+        }
+        let total_tokens: u64 = doc_len.iter().map(|&l| u64::from(l)).sum();
+        Ok(InvertedIndex {
+            stats: CollectionStats {
+                num_docs: doc_len.len(),
+                avg_doc_len: total_tokens as f64 / doc_len.len() as f64,
+                total_tokens,
+            },
+            doc_len,
+            df,
+            cf,
+            max_tf,
+            post_docs,
+            post_tfs,
+            term_offsets,
+        })
+    }
+
+    /// Collection statistics.
+    pub fn stats(&self) -> CollectionStats {
+        self.stats
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.stats.num_docs
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.df.len()
+    }
+
+    /// Total number of postings (the data volume unit of the fragmentation
+    /// experiments).
+    pub fn num_postings(&self) -> usize {
+        self.post_docs.len()
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: u32) -> Result<u32> {
+        self.df
+            .get(term as usize)
+            .copied()
+            .ok_or(IrError::UnknownTerm(term))
+    }
+
+    /// Collection frequency of a term.
+    pub fn cf(&self, term: u32) -> Result<u64> {
+        self.cf
+            .get(term as usize)
+            .copied()
+            .ok_or(IrError::UnknownTerm(term))
+    }
+
+    /// Highest within-document tf of a term.
+    pub fn max_tf(&self, term: u32) -> Result<u32> {
+        self.max_tf
+            .get(term as usize)
+            .copied()
+            .ok_or(IrError::UnknownTerm(term))
+    }
+
+    /// Length (token count) of a document.
+    pub fn doc_len(&self, doc: u32) -> u32 {
+        self.doc_len.get(doc as usize).copied().unwrap_or(0)
+    }
+
+    /// All document lengths.
+    pub fn doc_lens(&self) -> &[u32] {
+        &self.doc_len
+    }
+
+    /// The posting run of a term: aligned `(docs, tfs)` slices.
+    pub fn postings(&self, term: u32) -> Result<(&[u32], &[u32])> {
+        let t = term as usize;
+        if t >= self.df.len() {
+            return Err(IrError::UnknownTerm(term));
+        }
+        let (s, e) = (self.term_offsets[t], self.term_offsets[t + 1]);
+        Ok((&self.post_docs[s..e], &self.post_tfs[s..e]))
+    }
+
+    /// Materialize a term's postings as a `(doc → tf)` BAT — the
+    /// flattened-Moa view used by the algebra layer.
+    pub fn postings_bat(&self, term: u32) -> Result<Bat> {
+        let (docs, tfs) = self.postings(term)?;
+        Ok(Bat::new(docs.to_vec(), Column::from(tfs.to_vec()))
+            .expect("aligned slices have equal length"))
+    }
+
+    /// Per-term df table as a dense BAT (term oid → df), for the algebra
+    /// and cost layers.
+    pub fn df_bat(&self) -> Bat {
+        Bat::dense(Column::from(self.df.clone()))
+    }
+
+    /// Terms sorted by ascending df (the "most interesting first" order the
+    /// fragmentation uses); ties broken by term id. Terms with df = 0 are
+    /// excluded.
+    pub fn terms_by_df_asc(&self) -> Vec<u32> {
+        let mut terms: Vec<u32> = (0..self.df.len() as u32)
+            .filter(|&t| self.df[t as usize] > 0)
+            .collect();
+        terms.sort_by_key(|&t| (self.df[t as usize], t));
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_corpus::CollectionConfig;
+
+    fn index() -> InvertedIndex {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        InvertedIndex::from_collection(&c)
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        assert_eq!(idx.num_docs(), c.num_docs());
+        assert_eq!(idx.vocab_size(), c.vocab_size());
+        assert_eq!(idx.num_postings(), c.num_postings());
+        assert_eq!(idx.stats().total_tokens, c.total_tokens());
+        let expect_avg = c.total_tokens() as f64 / c.num_docs() as f64;
+        assert!((idx.stats().avg_doc_len - expect_avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn postings_match_collection() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        for term in [0u32, 5, 100, 1999] {
+            let (docs, tfs) = idx.postings(term).unwrap();
+            let expect = c.postings_for_term(term);
+            assert_eq!(docs.len(), expect.len());
+            for (i, p) in expect.iter().enumerate() {
+                assert_eq!(docs[i], p.doc);
+                assert_eq!(tfs[i], p.tf);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_term_is_error() {
+        let idx = index();
+        assert!(matches!(idx.postings(u32::MAX), Err(IrError::UnknownTerm(_))));
+        assert!(idx.df(u32::MAX).is_err());
+        assert!(idx.cf(u32::MAX).is_err());
+        assert!(idx.max_tf(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn max_tf_bounds_all_postings() {
+        let idx = index();
+        for term in 0..idx.vocab_size() as u32 {
+            let (_, tfs) = idx.postings(term).unwrap();
+            let observed_max = tfs.iter().copied().max().unwrap_or(0);
+            assert_eq!(idx.max_tf(term).unwrap(), observed_max);
+        }
+    }
+
+    #[test]
+    fn postings_bat_roundtrip() {
+        let idx = index();
+        let term = idx.terms_by_df_asc().pop().unwrap(); // most frequent
+        let bat = idx.postings_bat(term).unwrap();
+        let (docs, tfs) = idx.postings(term).unwrap();
+        assert_eq!(bat.head_oids(), docs);
+        assert_eq!(bat.tail().as_u32().unwrap(), tfs);
+    }
+
+    #[test]
+    fn terms_by_df_ascending_order() {
+        let idx = index();
+        let terms = idx.terms_by_df_asc();
+        assert!(!terms.is_empty());
+        for w in terms.windows(2) {
+            assert!(idx.df(w[0]).unwrap() <= idx.df(w[1]).unwrap());
+        }
+        // All listed terms occur.
+        assert!(terms.iter().all(|&t| idx.df(t).unwrap() > 0));
+    }
+
+    #[test]
+    fn doc_len_out_of_range_is_zero() {
+        let idx = index();
+        assert_eq!(idx.doc_len(u32::MAX), 0);
+    }
+
+    #[test]
+    fn df_bat_is_dense_over_vocab() {
+        let idx = index();
+        let bat = idx.df_bat();
+        assert_eq!(bat.len(), idx.vocab_size());
+        assert!(bat.props().head_dense);
+    }
+
+    #[test]
+    fn from_sorted_postings_validates_input() {
+        // Unsorted postings rejected.
+        assert!(InvertedIndex::from_sorted_postings(
+            3,
+            vec![2, 2],
+            &[(1, 0, 1), (0, 0, 1)],
+        )
+        .is_err());
+        // Term beyond vocab rejected.
+        assert!(InvertedIndex::from_sorted_postings(2, vec![1], &[(5, 0, 1)]).is_err());
+        // Doc beyond doc_len rejected.
+        assert!(InvertedIndex::from_sorted_postings(2, vec![1], &[(0, 3, 1)]).is_err());
+        // Empty collection rejected.
+        assert!(InvertedIndex::from_sorted_postings(2, vec![], &[]).is_err());
+        // A valid minimal index.
+        let idx =
+            InvertedIndex::from_sorted_postings(2, vec![3, 2], &[(0, 0, 2), (1, 1, 1)]).unwrap();
+        assert_eq!(idx.df(0).unwrap(), 1);
+        assert_eq!(idx.cf(0).unwrap(), 2);
+        assert_eq!(idx.stats().total_tokens, 5);
+    }
+}

@@ -1,0 +1,40 @@
+//! # moa-ir — a set-at-a-time IR engine with df-based fragmentation
+//!
+//! The retrieval substrate of the Moa top-N reproduction, modeled on the
+//! mi Ror engine the paper's group ran at TREC:
+//!
+//! * [`dict`] — term dictionary,
+//! * [`index`] — term-major inverted index with catalog statistics,
+//! * [`ranking`] — TF-IDF / Hiemstra LM / BM25 term weighting,
+//! * [`eval`] — set-at-a-time query evaluation with a reusable accumulator,
+//! * [`fragment`] — horizontal df-based fragmentation of the term–document
+//!   matrix (Step 1 of the paper): the unsafe fragment-A-only strategy, the
+//!   safe switch strategy, and non-dense-index-accelerated fragment-B access,
+//! * [`safety`] — the early quality check that triggers the switch,
+//! * [`metrics`] — precision/recall/AP and ranking-overlap metrics.
+
+#![warn(missing_docs)]
+
+pub mod daat;
+pub mod dict;
+pub mod error;
+pub mod eval;
+pub mod fragment;
+pub mod index;
+pub mod metrics;
+pub mod ranking;
+pub mod safety;
+pub mod text;
+
+pub use daat::{DaatReport, DaatSearcher};
+pub use dict::Dictionary;
+pub use error::{IrError, Result};
+pub use eval::{SearchReport, Searcher};
+pub use fragment::{
+    FragSearchReport, FragSearcher, FragmentSpec, FragmentedIndex, ScanStats, Strategy, TdTable,
+};
+pub use index::{CollectionStats, InvertedIndex};
+pub use metrics::{average_precision, footrule_at, mean_of, overlap_at, precision_at, recall_at};
+pub use ranking::RankingModel;
+pub use safety::{SwitchDecision, SwitchPolicy};
+pub use text::{index_texts, tokenize, IndexBuilder};

@@ -1,0 +1,183 @@
+//! The early quality check ("switch accordingly in time").
+//!
+//! The paper's safe variant inserts "a check early in the query plan that is
+//! able to detect when the answer quality would be better when the other
+//! fragment would be used". The check may only use information available
+//! *before* any postings are scanned: per-term catalog statistics (df, cf,
+//! max tf) and fragment membership.
+//!
+//! The implemented policy bounds each query term's best possible score
+//! contribution with [`crate::ranking::RankingModel::max_term_weight`] and
+//! switches fragment B in when the B-resident terms could account for more
+//! than a configured share of the total attainable score mass.
+
+use crate::error::Result;
+use crate::fragment::FragmentedIndex;
+use crate::ranking::RankingModel;
+
+/// Configuration of the switch policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchPolicy {
+    /// Switch B in when B-terms' upper-bound score share exceeds this
+    /// fraction of the query's total upper bound.
+    pub max_b_share: f64,
+}
+
+impl Default for SwitchPolicy {
+    fn default() -> Self {
+        SwitchPolicy { max_b_share: 0.2 }
+    }
+}
+
+/// The outcome of the early check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchDecision {
+    /// Whether fragment B must be consulted.
+    pub use_b: bool,
+    /// The upper-bound score share of the B-resident query terms.
+    pub b_share: f64,
+    /// Number of query terms resident in fragment B.
+    pub b_terms: usize,
+}
+
+impl SwitchPolicy {
+    /// Decide whether fragment B is needed for this query.
+    pub fn decide(
+        &self,
+        terms: &[u32],
+        frag: &FragmentedIndex,
+        model: RankingModel,
+    ) -> Result<SwitchDecision> {
+        let index = frag.index();
+        let stats = index.stats();
+        let mut total = 0.0f64;
+        let mut b_mass = 0.0f64;
+        let mut b_terms = 0usize;
+        for &t in terms {
+            let df = index.df(t)?;
+            if df == 0 {
+                continue;
+            }
+            let bound = model.max_term_weight(index.max_tf(t)?, df, index.cf(t)?, &stats);
+            total += bound;
+            if !frag.term_in_a(t) {
+                b_mass += bound;
+                b_terms += 1;
+            }
+        }
+        let b_share = if total > 0.0 { b_mass / total } else { 0.0 };
+        Ok(SwitchDecision {
+            use_b: b_share > self.max_b_share,
+            b_share,
+            b_terms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::FragmentSpec;
+    use crate::index::InvertedIndex;
+    use moa_corpus::{Collection, CollectionConfig};
+    use std::sync::Arc;
+
+    fn fixture() -> Arc<FragmentedIndex> {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        Arc::new(FragmentedIndex::build(idx, FragmentSpec::VolumeFraction(0.25)).unwrap())
+    }
+
+    #[test]
+    fn all_a_query_needs_no_b() {
+        let f = fixture();
+        let a_terms: Vec<u32> = (0..f.index().vocab_size() as u32)
+            .filter(|&t| f.term_in_a(t) && f.index().df(t).unwrap() > 0)
+            .take(3)
+            .collect();
+        assert!(!a_terms.is_empty());
+        let d = SwitchPolicy::default()
+            .decide(&a_terms, &f, RankingModel::default())
+            .unwrap();
+        assert!(!d.use_b);
+        assert_eq!(d.b_share, 0.0);
+        assert_eq!(d.b_terms, 0);
+    }
+
+    #[test]
+    fn all_b_query_needs_b() {
+        let f = fixture();
+        let b_terms: Vec<u32> = (0..f.index().vocab_size() as u32)
+            .filter(|&t| !f.term_in_a(t) && f.index().df(t).unwrap() > 0)
+            .take(3)
+            .collect();
+        assert!(!b_terms.is_empty());
+        let d = SwitchPolicy::default()
+            .decide(&b_terms, &f, RankingModel::default())
+            .unwrap();
+        assert!(d.use_b);
+        assert!((d.b_share - 1.0).abs() < 1e-9);
+        assert_eq!(d.b_terms, 3);
+    }
+
+    #[test]
+    fn threshold_controls_decision() {
+        let f = fixture();
+        // A mixed query.
+        let a_term = (0..f.index().vocab_size() as u32)
+            .find(|&t| f.term_in_a(t) && f.index().df(t).unwrap() > 0)
+            .unwrap();
+        let b_term = (0..f.index().vocab_size() as u32)
+            .find(|&t| !f.term_in_a(t) && f.index().df(t).unwrap() > 0)
+            .unwrap();
+        let q = vec![a_term, b_term];
+        let strict = SwitchPolicy { max_b_share: 0.0 };
+        let lax = SwitchPolicy { max_b_share: 1.0 };
+        let model = RankingModel::default();
+        assert!(strict.decide(&q, &f, model).unwrap().use_b);
+        assert!(!lax.decide(&q, &f, model).unwrap().use_b);
+    }
+
+    #[test]
+    fn unseen_terms_are_ignored() {
+        let f = fixture();
+        let dead = (0..f.index().vocab_size() as u32)
+            .find(|&t| f.index().df(t).unwrap() == 0)
+            .unwrap();
+        let d = SwitchPolicy::default()
+            .decide(&[dead], &f, RankingModel::default())
+            .unwrap();
+        assert!(!d.use_b);
+        assert_eq!(d.b_share, 0.0);
+    }
+
+    #[test]
+    fn unknown_term_errors() {
+        let f = fixture();
+        assert!(SwitchPolicy::default()
+            .decide(&[u32::MAX], &f, RankingModel::default())
+            .is_err());
+    }
+
+    #[test]
+    fn b_share_is_monotone_in_b_terms() {
+        let f = fixture();
+        let a_terms: Vec<u32> = (0..f.index().vocab_size() as u32)
+            .filter(|&t| f.term_in_a(t) && f.index().df(t).unwrap() > 0)
+            .take(2)
+            .collect();
+        let b_terms: Vec<u32> = (0..f.index().vocab_size() as u32)
+            .filter(|&t| !f.term_in_a(t) && f.index().df(t).unwrap() > 0)
+            .take(2)
+            .collect();
+        let model = RankingModel::default();
+        let policy = SwitchPolicy::default();
+        let mut q = a_terms.clone();
+        let share0 = policy.decide(&q, &f, model).unwrap().b_share;
+        q.push(b_terms[0]);
+        let share1 = policy.decide(&q, &f, model).unwrap().b_share;
+        q.push(b_terms[1]);
+        let share2 = policy.decide(&q, &f, model).unwrap().b_share;
+        assert!(share0 <= share1 && share1 <= share2);
+    }
+}

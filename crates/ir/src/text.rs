@@ -1,0 +1,176 @@
+//! Indexing real text: tokenizer and incremental index builder.
+//!
+//! The synthetic corpus works in term ids; a downstream user has documents.
+//! This module provides the missing on-ramp: a deterministic tokenizer
+//! (lowercase, alphanumeric runs) and an [`IndexBuilder`] that accumulates
+//! documents and produces the same [`InvertedIndex`] the rest of the stack
+//! (fragmentation, ranking, the Moa algebra) operates on.
+
+use std::collections::HashMap;
+
+use crate::dict::Dictionary;
+use crate::error::{IrError, Result};
+use crate::index::InvertedIndex;
+
+/// Split text into lowercase alphanumeric tokens (Unicode-aware).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Incrementally builds an [`InvertedIndex`] from term-id documents.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    /// Per-document (term → tf) maps.
+    docs: Vec<HashMap<u32, u32>>,
+    /// Token count per document.
+    doc_len: Vec<u32>,
+    /// Highest term id seen.
+    max_term: Option<u32>,
+}
+
+impl IndexBuilder {
+    /// An empty builder.
+    pub fn new() -> IndexBuilder {
+        IndexBuilder::default()
+    }
+
+    /// Add one document given as a token stream of term ids; returns the
+    /// assigned document id.
+    pub fn add_document(&mut self, term_ids: &[u32]) -> u32 {
+        let mut tf: HashMap<u32, u32> = HashMap::new();
+        for &t in term_ids {
+            *tf.entry(t).or_insert(0) += 1;
+            self.max_term = Some(self.max_term.map_or(t, |m| m.max(t)));
+        }
+        self.docs.push(tf);
+        self.doc_len.push(term_ids.len() as u32);
+        (self.docs.len() - 1) as u32
+    }
+
+    /// Number of documents added so far.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Build the index. Fails on an empty builder.
+    pub fn build(self) -> Result<InvertedIndex> {
+        if self.docs.is_empty() {
+            return Err(IrError::InvalidConfig(
+                "cannot build an index from zero documents".into(),
+            ));
+        }
+        let vocab = self.max_term.map_or(0, |m| m as usize + 1);
+        let mut postings: Vec<(u32, u32, u32)> = Vec::new();
+        for (doc, tf_map) in self.docs.iter().enumerate() {
+            for (&term, &tf) in tf_map {
+                postings.push((term, doc as u32, tf));
+            }
+        }
+        postings.sort_unstable();
+        InvertedIndex::from_sorted_postings(vocab, self.doc_len, &postings)
+    }
+}
+
+/// Tokenize and index a batch of texts; returns the dictionary (term string
+/// ↔ id) alongside the index.
+pub fn index_texts<S: AsRef<str>>(texts: &[S]) -> Result<(Dictionary, InvertedIndex)> {
+    let mut dict = Dictionary::new();
+    let mut builder = IndexBuilder::new();
+    for text in texts {
+        let ids: Vec<u32> = tokenize(text.as_ref())
+            .iter()
+            .map(|tok| dict.intern(tok))
+            .collect();
+        builder.add_document(&ids);
+    }
+    Ok((dict, builder.build()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Searcher;
+    use crate::ranking::RankingModel;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Top-N Optimization, issues (in) MM databases!"),
+            vec!["top", "n", "optimization", "issues", "in", "mm", "databases"]
+        );
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   ...   "), Vec::<String>::new());
+        assert_eq!(tokenize("x1 2y"), vec!["x1", "2y"]);
+    }
+
+    #[test]
+    fn builder_produces_consistent_index() {
+        let mut b = IndexBuilder::new();
+        let d0 = b.add_document(&[0, 1, 1, 2]);
+        let d1 = b.add_document(&[1, 3]);
+        assert_eq!((d0, d1), (0, 1));
+        assert_eq!(b.num_docs(), 2);
+        let idx = b.build().unwrap();
+        assert_eq!(idx.num_docs(), 2);
+        assert_eq!(idx.vocab_size(), 4);
+        assert_eq!(idx.df(1).unwrap(), 2);
+        assert_eq!(idx.cf(1).unwrap(), 3);
+        assert_eq!(idx.max_tf(1).unwrap(), 2);
+        assert_eq!(idx.doc_len(0), 4);
+        let (docs, tfs) = idx.postings(1).unwrap();
+        assert_eq!(docs, &[0, 1]);
+        assert_eq!(tfs, &[2, 1]);
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert!(IndexBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn end_to_end_text_retrieval() {
+        let texts = [
+            "multimedia databases rank documents by relevance",
+            "the optimizer rewrites algebra expressions",
+            "ranked retrieval in multimedia databases needs top n optimization",
+            "cooking recipes with fresh tomatoes",
+        ];
+        let (dict, idx) = index_texts(&texts).unwrap();
+        let q: Vec<u32> = ["multimedia", "databases"]
+            .iter()
+            .filter_map(|t| dict.lookup(t))
+            .collect();
+        assert_eq!(q.len(), 2);
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let rep = s.search(&q, 3).unwrap();
+        // Docs 0 and 2 contain both terms; doc 3 contains neither.
+        let top_docs: Vec<u32> = rep.top.iter().map(|&(d, _)| d).collect();
+        assert!(top_docs.contains(&0));
+        assert!(top_docs.contains(&2));
+        assert!(!top_docs.contains(&3));
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let (dict, idx) = index_texts(&["Écoute la Überraschung", "überraschung écoute"]).unwrap();
+        assert!(dict.lookup("écoute").is_some());
+        assert!(dict.lookup("überraschung").is_some());
+        assert_eq!(idx.num_docs(), 2);
+        let t = dict.lookup("écoute").unwrap();
+        assert_eq!(idx.df(t).unwrap(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! A named BAT registry.
+//!
+//! Flattened Moa plans refer to persistent BATs by name (the term–document
+//! matrix, document lengths, fragment tables …). The catalog provides the
+//! shared, thread-safe mapping from names to immutable BAT snapshots.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::bat::Bat;
+use crate::error::{Result, StorageError};
+
+/// Thread-safe name → BAT registry. BATs are immutable once registered;
+/// re-registration under the same name is an error (use [`Catalog::replace`]).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    bats: RwLock<HashMap<String, Arc<Bat>>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a BAT under `name`. Fails if the name is taken.
+    pub fn register(&self, name: &str, bat: Bat) -> Result<Arc<Bat>> {
+        let mut guard = self.bats.write();
+        if guard.contains_key(name) {
+            return Err(StorageError::DuplicateBat(name.to_owned()));
+        }
+        let arc = Arc::new(bat);
+        guard.insert(name.to_owned(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replace (or insert) the BAT under `name`, returning the previous one.
+    pub fn replace(&self, name: &str, bat: Bat) -> Option<Arc<Bat>> {
+        self.bats.write().insert(name.to_owned(), Arc::new(bat))
+    }
+
+    /// Look up a BAT by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Bat>> {
+        self.bats
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownBat(name.to_owned()))
+    }
+
+    /// Remove a BAT, returning it if present.
+    pub fn remove(&self, name: &str) -> Option<Arc<Bat>> {
+        self.bats.write().remove(name)
+    }
+
+    /// Names of all registered BATs, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.bats.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered BATs.
+    pub fn len(&self) -> usize {
+        self.bats.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bats.read().is_empty()
+    }
+
+    /// Total payload bytes across all registered BATs.
+    pub fn byte_size(&self) -> usize {
+        self.bats.read().values().map(|b| b.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn bat() -> Bat {
+        Bat::dense(Column::from(vec![1u32, 2, 3]))
+    }
+
+    #[test]
+    fn register_and_get() {
+        let cat = Catalog::new();
+        cat.register("a", bat()).unwrap();
+        assert_eq!(cat.get("a").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let cat = Catalog::new();
+        cat.register("a", bat()).unwrap();
+        assert!(matches!(
+            cat.register("a", bat()),
+            Err(StorageError::DuplicateBat(_))
+        ));
+    }
+
+    #[test]
+    fn get_unknown_fails() {
+        let cat = Catalog::new();
+        assert!(matches!(cat.get("nope"), Err(StorageError::UnknownBat(_))));
+    }
+
+    #[test]
+    fn replace_swaps() {
+        let cat = Catalog::new();
+        cat.register("a", bat()).unwrap();
+        let old = cat.replace("a", Bat::dense(Column::from(vec![9u32])));
+        assert_eq!(old.unwrap().len(), 3);
+        assert_eq!(cat.get("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remove_and_names() {
+        let cat = Catalog::new();
+        cat.register("b", bat()).unwrap();
+        cat.register("a", bat()).unwrap();
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(cat.remove("a").is_some());
+        assert!(cat.remove("a").is_none());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn byte_size_sums() {
+        let cat = Catalog::new();
+        cat.register("a", bat()).unwrap();
+        cat.register("b", bat()).unwrap();
+        assert_eq!(cat.byte_size(), 24);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::thread;
+        let cat = std::sync::Arc::new(Catalog::new());
+        cat.register("shared", bat()).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let cat = std::sync::Arc::clone(&cat);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        let b = cat.get("shared").unwrap();
+                        assert_eq!(b.len(), 3);
+                        let name = format!("t{i}");
+                        cat.replace(&name, Bat::dense(Column::from(vec![i as u32])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cat.len(), 9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Multiplexed arithmetic kernels (`[+]`, `[*]`, … in MIL terms).
+//!
+//! Score computation in the flattened IR plans is element-wise arithmetic
+//! over aligned BATs: tf × idf, log-smoothing, weighting. These kernels apply
+//! a function positionally and preserve the head.
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+
+/// Apply `f` to each `f64` tail value, preserving heads.
+pub fn map_f64(bat: &Bat, f: impl Fn(f64) -> f64) -> Result<Bat> {
+    let values = bat.tail().as_f64()?;
+    let out: Vec<f64> = values.iter().map(|&v| f(v)).collect();
+    Bat::new(bat.head_oids(), Column::from(out))
+}
+
+/// Apply `f` to each `u32` tail value producing an `f64` tail (e.g. casting
+/// term frequencies into the score domain).
+pub fn map_u32_to_f64(bat: &Bat, f: impl Fn(u32) -> f64) -> Result<Bat> {
+    let values = bat.tail().as_u32()?;
+    let out: Vec<f64> = values.iter().map(|&v| f(v)).collect();
+    Bat::new(bat.head_oids(), Column::from(out))
+}
+
+/// Positionally combine two aligned `f64` BATs with `f`, keeping the left
+/// head. Lengths must match; head alignment is the caller's contract (as in
+/// MIL's multiplexed binary operators).
+pub fn zip_f64(left: &Bat, right: &Bat, f: impl Fn(f64, f64) -> f64) -> Result<Bat> {
+    if left.len() != right.len() {
+        return Err(StorageError::LengthMismatch {
+            left: left.len(),
+            right: right.len(),
+        });
+    }
+    let a = left.tail().as_f64()?;
+    let b = right.tail().as_f64()?;
+    let out: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
+    Bat::new(left.head_oids(), Column::from(out))
+}
+
+/// Multiply every tail value by a constant.
+pub fn scale(bat: &Bat, factor: f64) -> Result<Bat> {
+    map_f64(bat, |v| v * factor)
+}
+
+/// Sum of an `f64` tail.
+pub fn sum_f64(bat: &Bat) -> Result<f64> {
+    Ok(bat.tail().as_f64()?.iter().sum())
+}
+
+/// Maximum of an `f64` tail; `None` when empty.
+pub fn max_f64(bat: &Bat) -> Result<Option<f64>> {
+    Ok(bat
+        .tail()
+        .as_f64()?
+        .iter()
+        .copied()
+        .fold(None, |m: Option<f64>, v| {
+            Some(m.map_or(v, |m| if v.total_cmp(&m).is_gt() { v } else { m }))
+        }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_heads() {
+        let b = Bat::new(vec![4, 7], Column::from(vec![1.0f64, 2.0])).unwrap();
+        let out = map_f64(&b, |v| v + 0.5).unwrap();
+        assert_eq!(out.head_oids(), vec![4, 7]);
+        assert_eq!(out.tail().as_f64().unwrap(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn map_u32_casts() {
+        let b = Bat::dense(Column::from(vec![2u32, 3]));
+        let out = map_u32_to_f64(&b, |tf| (1.0 + f64::from(tf)).ln()).unwrap();
+        assert!((out.tail().as_f64().unwrap()[0] - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zip_multiplies_scores() {
+        let a = Bat::dense(Column::from(vec![2.0f64, 3.0]));
+        let b = Bat::dense(Column::from(vec![10.0f64, 100.0]));
+        let out = zip_f64(&a, &b, |x, y| x * y).unwrap();
+        assert_eq!(out.tail().as_f64().unwrap(), &[20.0, 300.0]);
+    }
+
+    #[test]
+    fn zip_length_mismatch() {
+        let a = Bat::dense(Column::from(vec![1.0f64]));
+        let b = Bat::dense(Column::from(vec![1.0f64, 2.0]));
+        assert!(matches!(
+            zip_f64(&a, &b, |x, _| x),
+            Err(StorageError::LengthMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let b = Bat::dense(Column::from(vec![1.0f64, 2.0, 3.0]));
+        let s = scale(&b, 2.0).unwrap();
+        assert_eq!(sum_f64(&s).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn max_handles_empty_and_nan() {
+        let empty = Bat::dense(Column::from(Vec::<f64>::new()));
+        assert_eq!(max_f64(&empty).unwrap(), None);
+        let with_nan = Bat::dense(Column::from(vec![1.0f64, f64::NAN, 0.5]));
+        // total_cmp puts NaN above all numbers; document that behaviour.
+        assert!(max_f64(&with_nan).unwrap().unwrap().is_nan());
+        let plain = Bat::dense(Column::from(vec![1.0f64, 7.0, 0.5]));
+        assert_eq!(max_f64(&plain).unwrap(), Some(7.0));
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let b = Bat::dense(Column::from(vec!["x".to_string()]));
+        assert!(map_f64(&b, |v| v).is_err());
+        assert!(sum_f64(&b).is_err());
+    }
+}

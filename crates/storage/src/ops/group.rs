@@ -1,0 +1,190 @@
+//! Grouped aggregation kernels.
+//!
+//! Set-at-a-time IR evaluation reduces to grouped aggregation: each query
+//! term contributes `(doc, partial score)` BUNs, and the engine sums the
+//! partials per document. Two implementations are provided: a dense
+//! accumulator array (when the oid domain is known and compact — the common
+//! case for document ids) and a hash-based fallback.
+
+use std::collections::HashMap;
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+
+/// Aggregation functions supported by [`group_aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Sum of values per group.
+    Sum,
+    /// Count of BUNs per group (values ignored).
+    Count,
+    /// Maximum value per group.
+    Max,
+    /// Minimum value per group.
+    Min,
+}
+
+/// Sum `f64` tail values per head oid into a dense accumulator of size
+/// `domain`. Head oids must be `< domain`.
+///
+/// Returns the accumulator; absent oids hold `0.0`.
+pub fn sum_by_head_dense(bat: &Bat, domain: usize) -> Result<Vec<f64>> {
+    let values = bat.tail().as_f64()?;
+    let mut acc = vec![0.0f64; domain];
+    for pos in 0..bat.len() {
+        let oid = bat.head_oid(pos)? as usize;
+        if oid >= domain {
+            return Err(StorageError::OutOfBounds {
+                pos: oid,
+                len: domain,
+            });
+        }
+        acc[oid] += values[pos];
+    }
+    Ok(acc)
+}
+
+/// Accumulate `f64` tail values per head oid into an existing dense
+/// accumulator (the "workhorse" pattern used by batched query evaluation).
+pub fn sum_by_head_into(bat: &Bat, acc: &mut [f64]) -> Result<()> {
+    let values = bat.tail().as_f64()?;
+    for pos in 0..bat.len() {
+        let oid = bat.head_oid(pos)? as usize;
+        if oid >= acc.len() {
+            return Err(StorageError::OutOfBounds {
+                pos: oid,
+                len: acc.len(),
+            });
+        }
+        acc[oid] += values[pos];
+    }
+    Ok(())
+}
+
+/// Hash-based grouped aggregation over `f64` tails keyed by head oid.
+/// Output BUNs are ordered by ascending group oid for determinism.
+pub fn group_aggregate(bat: &Bat, agg: AggFn) -> Result<Bat> {
+    let values = bat.tail().as_f64()?;
+    let mut groups: HashMap<u32, (f64, u64)> = HashMap::new();
+    for pos in 0..bat.len() {
+        let oid = bat.head_oid(pos)?;
+        let v = values[pos];
+        let entry = groups.entry(oid).or_insert_with(|| match agg {
+            AggFn::Sum | AggFn::Count => (0.0, 0),
+            AggFn::Max => (f64::NEG_INFINITY, 0),
+            AggFn::Min => (f64::INFINITY, 0),
+        });
+        entry.1 += 1;
+        match agg {
+            AggFn::Sum => entry.0 += v,
+            AggFn::Count => {}
+            AggFn::Max => entry.0 = entry.0.max(v),
+            AggFn::Min => entry.0 = entry.0.min(v),
+        }
+    }
+    let mut oids: Vec<u32> = groups.keys().copied().collect();
+    oids.sort_unstable();
+    let out: Vec<f64> = oids
+        .iter()
+        .map(|oid| {
+            let (acc, cnt) = groups[oid];
+            match agg {
+                AggFn::Count => cnt as f64,
+                _ => acc,
+            }
+        })
+        .collect();
+    Bat::new(oids, Column::from(out))
+}
+
+/// Count of BUNs per head oid (ascending oid order).
+pub fn count_by_head(bat: &Bat) -> Result<Bat> {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for pos in 0..bat.len() {
+        *counts.entry(bat.head_oid(pos)?).or_insert(0) += 1;
+    }
+    let mut oids: Vec<u32> = counts.keys().copied().collect();
+    oids.sort_unstable();
+    let tallies: Vec<u64> = oids.iter().map(|o| counts[o]).collect();
+    Bat::new(oids, Column::from(tallies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contributions() -> Bat {
+        // doc -> partial score; doc 1 appears twice.
+        Bat::new(
+            vec![1, 0, 1, 3],
+            Column::from(vec![0.5f64, 0.2, 0.25, 1.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_sum_accumulates() {
+        let acc = sum_by_head_dense(&contributions(), 4).unwrap();
+        assert_eq!(acc, vec![0.2, 0.75, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dense_sum_rejects_small_domain() {
+        assert!(matches!(
+            sum_by_head_dense(&contributions(), 2),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn sum_into_reuses_accumulator() {
+        let mut acc = vec![1.0f64; 4];
+        sum_by_head_into(&contributions(), &mut acc).unwrap();
+        assert_eq!(acc, vec![1.2, 1.75, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn group_sum_sorted_by_oid() {
+        let out = group_aggregate(&contributions(), AggFn::Sum).unwrap();
+        assert_eq!(out.head_oids(), vec![0, 1, 3]);
+        assert_eq!(out.tail().as_f64().unwrap(), &[0.2, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn group_count_counts_buns() {
+        let out = group_aggregate(&contributions(), AggFn::Count).unwrap();
+        assert_eq!(out.head_oids(), vec![0, 1, 3]);
+        assert_eq!(out.tail().as_f64().unwrap(), &[1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn group_max_and_min() {
+        let b = contributions();
+        let mx = group_aggregate(&b, AggFn::Max).unwrap();
+        assert_eq!(mx.tail().as_f64().unwrap(), &[0.2, 0.5, 1.0]);
+        let mn = group_aggregate(&b, AggFn::Min).unwrap();
+        assert_eq!(mn.tail().as_f64().unwrap(), &[0.2, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn count_by_head_u64() {
+        let out = count_by_head(&contributions()).unwrap();
+        assert_eq!(out.head_oids(), vec![0, 1, 3]);
+        assert_eq!(out.tail().as_u64().unwrap(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_groups() {
+        let b = Bat::dense(Column::from(Vec::<f64>::new()));
+        assert!(group_aggregate(&b, AggFn::Sum).unwrap().is_empty());
+        assert!(count_by_head(&b).unwrap().is_empty());
+        assert_eq!(sum_by_head_dense(&b, 3).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn group_rejects_non_f64() {
+        let b = Bat::dense(Column::from(vec![1u32]));
+        assert!(group_aggregate(&b, AggFn::Sum).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Join kernels.
+//!
+//! Three MIL-style joins are provided:
+//!
+//! * [`fetch_join`] — positional lookup against a void-headed BAT (O(1) per
+//!   probe); this is the join Moa's flattened plans use to dereference dense
+//!   object ids, e.g. resolving document ids to scores.
+//! * [`hash_join`] — general equi-join between a `u32` tail and a head.
+//! * [`semijoin`] — restrict a BAT to the BUNs whose head appears in a set
+//!   of oids (used to intersect candidate documents between query terms).
+
+use std::collections::HashMap;
+
+use crate::bat::{Bat, Head};
+use crate::error::{Result, StorageError};
+
+/// Positional join: for every BUN `(h, t)` in `left` (with `u32` tail `t`),
+/// look up position `t - base` in the void-headed `right` and emit
+/// `(h, right.tail[t - base])`. Probes that fall outside `right` are errors —
+/// dense fetch joins in flattened Moa plans are total by construction.
+pub fn fetch_join(left: &Bat, right: &Bat) -> Result<Bat> {
+    let base = match right.head() {
+        Head::Void { base } => *base,
+        Head::Oids(_) => {
+            return Err(StorageError::InvalidArgument(
+                "fetch_join requires a void-headed right BAT".into(),
+            ))
+        }
+    };
+    let probes = left.tail().as_u32()?;
+    let mut positions = Vec::with_capacity(probes.len());
+    for &t in probes {
+        let pos = t
+            .checked_sub(base)
+            .map(|p| p as usize)
+            .filter(|&p| p < right.len())
+            .ok_or(StorageError::OutOfBounds {
+                pos: t as usize,
+                len: right.len(),
+            })?;
+        positions.push(pos);
+    }
+    let tail = right.tail().gather(&positions)?;
+    Bat::new(left.head_oids(), tail)
+}
+
+/// Hash equi-join: match `left` tail values (`u32`) against `right` head
+/// oids; emit `(left.head, right.tail)` for every match (inner join,
+/// many-to-many).
+pub fn hash_join(left: &Bat, right: &Bat) -> Result<Bat> {
+    let probes = left.tail().as_u32()?;
+    // Build side: right head oid -> positions.
+    let mut build: HashMap<u32, Vec<usize>> = HashMap::with_capacity(right.len());
+    for pos in 0..right.len() {
+        build.entry(right.head_oid(pos)?).or_default().push(pos);
+    }
+    let mut out_heads = Vec::new();
+    let mut out_positions = Vec::new();
+    for (lpos, &probe) in probes.iter().enumerate() {
+        if let Some(matches) = build.get(&probe) {
+            for &rpos in matches {
+                out_heads.push(left.head_oid(lpos)?);
+                out_positions.push(rpos);
+            }
+        }
+    }
+    let tail = right.tail().gather(&out_positions)?;
+    Bat::new(out_heads, tail)
+}
+
+/// Semijoin: keep the BUNs of `left` whose head oid occurs among `right`'s
+/// head oids.
+pub fn semijoin(left: &Bat, right: &Bat) -> Result<Bat> {
+    let keep: std::collections::HashSet<u32> = (0..right.len())
+        .map(|p| right.head_oid(p))
+        .collect::<Result<_>>()?;
+    let mut positions = Vec::new();
+    for pos in 0..left.len() {
+        if keep.contains(&left.head_oid(pos)?) {
+            positions.push(pos);
+        }
+    }
+    left.gather(&positions)
+}
+
+/// Anti-semijoin: keep the BUNs of `left` whose head oid does **not** occur
+/// among `right`'s head oids.
+pub fn antijoin(left: &Bat, right: &Bat) -> Result<Bat> {
+    let drop: std::collections::HashSet<u32> = (0..right.len())
+        .map(|p| right.head_oid(p))
+        .collect::<Result<_>>()?;
+    let mut positions = Vec::new();
+    for pos in 0..left.len() {
+        if !drop.contains(&left.head_oid(pos)?) {
+            positions.push(pos);
+        }
+    }
+    left.gather(&positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn fetch_join_dense_lookup() {
+        // left: objects -> doc ids; right: dense doc id -> score
+        let left = Bat::new(vec![100, 101], Column::from(vec![2u32, 0])).unwrap();
+        let right = Bat::dense(Column::from(vec![0.5f64, 0.6, 0.7]));
+        let out = fetch_join(&left, &right).unwrap();
+        assert_eq!(out.head_oids(), vec![100, 101]);
+        assert_eq!(out.tail().as_f64().unwrap(), &[0.7, 0.5]);
+    }
+
+    #[test]
+    fn fetch_join_respects_base() {
+        let left = Bat::dense(Column::from(vec![11u32, 10]));
+        let right = Bat::dense_from(10, Column::from(vec![1.0f64, 2.0]));
+        let out = fetch_join(&left, &right).unwrap();
+        assert_eq!(out.tail().as_f64().unwrap(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn fetch_join_out_of_range_probe() {
+        let left = Bat::dense(Column::from(vec![5u32]));
+        let right = Bat::dense(Column::from(vec![1.0f64]));
+        assert!(matches!(
+            fetch_join(&left, &right),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn fetch_join_rejects_materialized_right() {
+        let left = Bat::dense(Column::from(vec![0u32]));
+        let right = Bat::new(vec![0], Column::from(vec![1.0f64])).unwrap();
+        assert!(fetch_join(&left, &right).is_err());
+    }
+
+    #[test]
+    fn hash_join_many_to_many() {
+        let left = Bat::new(vec![1, 2, 3], Column::from(vec![7u32, 8, 7])).unwrap();
+        let right = Bat::new(vec![7, 7, 9], Column::from(vec![70.0f64, 71.0, 90.0])).unwrap();
+        let out = hash_join(&left, &right).unwrap();
+        // left oid 1 matches right oid 7 twice; left oid 3 likewise; oid 2 none.
+        assert_eq!(out.head_oids(), vec![1, 1, 3, 3]);
+        assert_eq!(out.tail().as_f64().unwrap(), &[70.0, 71.0, 70.0, 71.0]);
+    }
+
+    #[test]
+    fn hash_join_empty_sides() {
+        let left = Bat::dense(Column::from(Vec::<u32>::new()));
+        let right = Bat::dense(Column::from(vec![1.0f64]));
+        assert!(hash_join(&left, &right).unwrap().is_empty());
+    }
+
+    #[test]
+    fn semijoin_intersects_heads() {
+        let left = Bat::new(vec![1, 2, 3, 4], Column::from(vec![0.1f64, 0.2, 0.3, 0.4])).unwrap();
+        let right = Bat::new(vec![2, 4, 9], Column::from(vec![0u32, 0, 0])).unwrap();
+        let out = semijoin(&left, &right).unwrap();
+        assert_eq!(out.head_oids(), vec![2, 4]);
+        assert_eq!(out.tail().as_f64().unwrap(), &[0.2, 0.4]);
+    }
+
+    #[test]
+    fn antijoin_subtracts_heads() {
+        let left = Bat::new(vec![1, 2, 3], Column::from(vec![0.1f64, 0.2, 0.3])).unwrap();
+        let right = Bat::new(vec![2], Column::from(vec![0u32])).unwrap();
+        let out = antijoin(&left, &right).unwrap();
+        assert_eq!(out.head_oids(), vec![1, 3]);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let left = Bat::new(vec![5, 6, 7, 8], Column::from(vec![1u32, 2, 3, 4])).unwrap();
+        let right = Bat::new(vec![6, 8], Column::from(vec![0u32, 0])).unwrap();
+        let semi = semijoin(&left, &right).unwrap();
+        let anti = antijoin(&left, &right).unwrap();
+        assert_eq!(semi.len() + anti.len(), left.len());
+    }
+}

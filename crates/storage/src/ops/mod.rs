@@ -1,0 +1,16 @@
+//! Kernel operations over BATs (the MIL-style operator set).
+
+pub mod arith;
+pub mod group;
+pub mod join;
+pub mod select;
+pub mod sort;
+
+pub use arith::{map_f64, map_u32_to_f64, max_f64, scale, sum_f64, zip_f64};
+pub use group::{count_by_head, group_aggregate, sum_by_head_dense, sum_by_head_into, AggFn};
+pub use join::{antijoin, fetch_join, hash_join, semijoin};
+pub use select::{
+    filter_f64, scan_select, select_eq, select_ge_f64, select_heads, select_range,
+    select_range_profiled, uselect_range, SelectProfile,
+};
+pub use sort::{firstn, firstn_positions, order_positions, sort_by_tail, Direction};

@@ -1,0 +1,211 @@
+//! Selection kernels.
+//!
+//! `select_range` implements the MIL-style range select over a BAT tail. On
+//! tails known to be sorted it switches to binary search — the physical
+//! advantage that the paper's Example 1 rewrite unlocks once ordering
+//! knowledge crosses extension boundaries. The `*_profiled` variants report
+//! how many BUNs were actually inspected, which the experiment harness uses
+//! to show scan-volume differences independent of wall-clock noise.
+
+use crate::bat::Bat;
+use crate::column::Scalar;
+use crate::error::Result;
+
+/// Execution profile of a selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SelectProfile {
+    /// BUNs inspected (comparisons performed against the bounds).
+    pub scanned: usize,
+    /// BUNs emitted into the result.
+    pub emitted: usize,
+    /// Whether the sorted-tail binary-search path was taken.
+    pub used_binary_search: bool,
+}
+
+/// Select all BUNs whose tail value lies in `[lo, hi]` (inclusive).
+///
+/// Uses binary search when the tail is ascending-sorted, otherwise a scan.
+pub fn select_range(bat: &Bat, lo: &Scalar, hi: &Scalar) -> Result<Bat> {
+    select_range_profiled(bat, lo, hi).map(|(b, _)| b)
+}
+
+/// [`select_range`] plus an execution profile.
+pub fn select_range_profiled(bat: &Bat, lo: &Scalar, hi: &Scalar) -> Result<(Bat, SelectProfile)> {
+    if bat.props().tail_sorted_asc {
+        let (start, end) = bat.sorted_range(lo, hi)?;
+        let out = bat.slice(start, end)?;
+        let profile = SelectProfile {
+            scanned: usize::BITS as usize - (bat.len().max(1)).leading_zeros() as usize,
+            emitted: out.len(),
+            used_binary_search: true,
+        };
+        return Ok((out, profile));
+    }
+    scan_select(bat, lo, hi)
+}
+
+/// Force the scan path regardless of sortedness (baseline for experiments).
+pub fn scan_select(bat: &Bat, lo: &Scalar, hi: &Scalar) -> Result<(Bat, SelectProfile)> {
+    if !bat.is_empty() {
+        // Validate bound types once so per-element errors cannot occur.
+        bat.tail_value(0)?.total_cmp(lo)?;
+        bat.tail_value(0)?.total_cmp(hi)?;
+    }
+    let mut positions = Vec::new();
+    for pos in 0..bat.len() {
+        let v = bat.tail_value(pos)?;
+        let ge_lo = v.total_cmp(lo)? != std::cmp::Ordering::Less;
+        let le_hi = v.total_cmp(hi)? != std::cmp::Ordering::Greater;
+        if ge_lo && le_hi {
+            positions.push(pos);
+        }
+    }
+    let out = bat.gather(&positions)?;
+    let profile = SelectProfile {
+        scanned: bat.len(),
+        emitted: out.len(),
+        used_binary_search: false,
+    };
+    Ok((out, profile))
+}
+
+/// Select BUNs whose tail equals `value`.
+pub fn select_eq(bat: &Bat, value: &Scalar) -> Result<Bat> {
+    select_range(bat, value, value)
+}
+
+/// Range select returning only the head oids (`uselect` in MIL).
+pub fn uselect_range(bat: &Bat, lo: &Scalar, hi: &Scalar) -> Result<Vec<u32>> {
+    let selected = select_range(bat, lo, hi)?;
+    Ok(selected.head_oids())
+}
+
+/// Select the BUNs at the given tail threshold or above: `tail >= lo`.
+pub fn select_ge_f64(bat: &Bat, lo: f64) -> Result<Bat> {
+    select_range(bat, &Scalar::F64(lo), &Scalar::F64(f64::INFINITY))
+}
+
+/// Positional filter: keep BUNs whose position satisfies the predicate over
+/// the tail as `f64`. Non-numeric tails yield a type error on first access.
+pub fn filter_f64(bat: &Bat, pred: impl Fn(f64) -> bool) -> Result<Bat> {
+    let values = bat.tail().as_f64()?;
+    let positions: Vec<usize> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| if pred(v) { Some(i) } else { None })
+        .collect();
+    bat.gather(&positions)
+}
+
+/// Build a BAT holding only the BUNs whose head oid appears in `oids`.
+/// `oids` need not be sorted; lookup is via a hash set.
+pub fn select_heads(bat: &Bat, oids: &[u32]) -> Result<Bat> {
+    let set: std::collections::HashSet<u32> = oids.iter().copied().collect();
+    let mut positions = Vec::new();
+    for pos in 0..bat.len() {
+        if set.contains(&bat.head_oid(pos)?) {
+            positions.push(pos);
+        }
+    }
+    bat.gather(&positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn unsorted_bat() -> Bat {
+        Bat::dense(Column::from(vec![5u32, 1, 9, 3, 7, 3]))
+    }
+
+    fn sorted_bat() -> Bat {
+        Bat::dense(Column::from(vec![1u32, 3, 3, 5, 7, 9]))
+    }
+
+    #[test]
+    fn scan_select_range_inclusive() {
+        let b = unsorted_bat();
+        let (out, prof) = scan_select(&b, &Scalar::U32(3), &Scalar::U32(7)).unwrap();
+        assert_eq!(out.tail().as_u32().unwrap(), &[5, 3, 7, 3]);
+        assert_eq!(out.head_oids(), vec![0, 3, 4, 5]);
+        assert_eq!(prof.scanned, 6);
+        assert_eq!(prof.emitted, 4);
+        assert!(!prof.used_binary_search);
+    }
+
+    #[test]
+    fn sorted_select_uses_binary_search() {
+        let b = sorted_bat();
+        let (out, prof) = select_range_profiled(&b, &Scalar::U32(3), &Scalar::U32(7)).unwrap();
+        assert_eq!(out.tail().as_u32().unwrap(), &[3, 3, 5, 7]);
+        assert!(prof.used_binary_search);
+        assert!(prof.scanned < b.len());
+    }
+
+    #[test]
+    fn select_results_agree_between_paths() {
+        let b = sorted_bat();
+        let fast = select_range(&b, &Scalar::U32(2), &Scalar::U32(8)).unwrap();
+        let (slow, _) = scan_select(&b, &Scalar::U32(2), &Scalar::U32(8)).unwrap();
+        assert_eq!(fast.tail(), slow.tail());
+        assert_eq!(fast.head_oids(), slow.head_oids());
+    }
+
+    #[test]
+    fn select_eq_matches_duplicates() {
+        let b = unsorted_bat();
+        let out = select_eq(&b, &Scalar::U32(3)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.head_oids(), vec![3, 5]);
+    }
+
+    #[test]
+    fn uselect_returns_oids_only() {
+        let b = unsorted_bat();
+        let oids = uselect_range(&b, &Scalar::U32(5), &Scalar::U32(9)).unwrap();
+        assert_eq!(oids, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        let b = sorted_bat();
+        let out = select_range(&b, &Scalar::U32(100), &Scalar::U32(200)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let b = Bat::dense(Column::from(Vec::<u32>::new()));
+        let out = select_range(&b, &Scalar::U32(0), &Scalar::U32(1)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_is_error_on_both_paths() {
+        assert!(select_range(&sorted_bat(), &Scalar::F64(0.0), &Scalar::F64(1.0)).is_err());
+        assert!(scan_select(&unsorted_bat(), &Scalar::F64(0.0), &Scalar::F64(1.0)).is_err());
+    }
+
+    #[test]
+    fn select_ge_f64_threshold() {
+        let b = Bat::dense(Column::from(vec![0.1f64, 0.9, 0.5, 0.7]));
+        let out = select_ge_f64(&b, 0.5).unwrap();
+        assert_eq!(out.head_oids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn filter_f64_predicate() {
+        let b = Bat::dense(Column::from(vec![0.1f64, 0.9, 0.5]));
+        let out = filter_f64(&b, |v| v > 0.4).unwrap();
+        assert_eq!(out.head_oids(), vec![1, 2]);
+        assert!(filter_f64(&Bat::dense(Column::from(vec![1u32])), |_| true).is_err());
+    }
+
+    #[test]
+    fn select_heads_by_oid_set() {
+        let b = Bat::new(vec![10, 20, 30], Column::from(vec![1.0f64, 2.0, 3.0])).unwrap();
+        let out = select_heads(&b, &[30, 10, 99]).unwrap();
+        assert_eq!(out.head_oids(), vec![10, 30]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Ordering kernels: full sort, argsort, and bounded first-N.
+//!
+//! `firstn` is the storage-level *sort-stop* primitive: it maintains a
+//! bounded heap of N candidates instead of sorting the whole input, which is
+//! the baseline physical realization of a top-N operator that the paper's
+//! optimizer places into plans.
+
+use std::cmp::Ordering;
+
+use crate::bat::Bat;
+use crate::column::Column;
+use crate::error::Result;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smallest first.
+    Asc,
+    /// Largest first.
+    Desc,
+}
+
+impl Direction {
+    fn apply(self, o: Ordering) -> Ordering {
+        match self {
+            Direction::Asc => o,
+            Direction::Desc => o.reverse(),
+        }
+    }
+}
+
+/// Stable argsort of the tail: positions of the BUNs in sorted order.
+pub fn order_positions(bat: &Bat, dir: Direction) -> Result<Vec<usize>> {
+    let mut positions: Vec<usize> = (0..bat.len()).collect();
+    match bat.tail() {
+        Column::U32(v) => positions.sort_by(|&a, &b| dir.apply(v[a].cmp(&v[b]))),
+        Column::U64(v) => positions.sort_by(|&a, &b| dir.apply(v[a].cmp(&v[b]))),
+        Column::F64(v) => positions.sort_by(|&a, &b| dir.apply(v[a].total_cmp(&v[b]))),
+        Column::Str(v) => positions.sort_by(|&a, &b| dir.apply(v[a].cmp(&v[b]))),
+    }
+    Ok(positions)
+}
+
+/// Sort a BAT by its tail (stable).
+pub fn sort_by_tail(bat: &Bat, dir: Direction) -> Result<Bat> {
+    let positions = order_positions(bat, dir)?;
+    bat.gather(&positions)
+}
+
+/// Return the first `n` BUNs in tail order without sorting the whole input.
+///
+/// Uses a bounded binary heap of size `n`; ties broken by position so the
+/// result is identical to `sort_by_tail(bat, dir).slice(0, n)`.
+pub fn firstn(bat: &Bat, n: usize, dir: Direction) -> Result<Bat> {
+    let positions = firstn_positions(bat, n, dir)?;
+    bat.gather(&positions)
+}
+
+/// Positions of the first `n` BUNs in tail order (stable tie-break).
+pub fn firstn_positions(bat: &Bat, n: usize, dir: Direction) -> Result<Vec<usize>> {
+    if n == 0 || bat.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = n.min(bat.len());
+
+    // Comparator: "a ranks before b" in the requested direction, stable.
+    let ranks_before = |a: usize, b: usize| -> bool {
+        let o = match bat.tail() {
+            Column::U32(v) => v[a].cmp(&v[b]),
+            Column::U64(v) => v[a].cmp(&v[b]),
+            Column::F64(v) => v[a].total_cmp(&v[b]),
+            Column::Str(v) => v[a].cmp(&v[b]),
+        };
+        match dir.apply(o) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    };
+
+    // Bounded "worst-of-the-best" selection: `best` holds up to n positions;
+    // `worst` is the index in `best` of the element that would be evicted.
+    let mut best: Vec<usize> = Vec::with_capacity(n);
+    for pos in 0..bat.len() {
+        if best.len() < n {
+            best.push(pos);
+        } else {
+            // Find current worst (linear in n; n is small for top-N use).
+            let mut worst = 0;
+            for i in 1..best.len() {
+                if ranks_before(best[worst], best[i]) {
+                    worst = i;
+                }
+            }
+            if ranks_before(pos, best[worst]) {
+                best[worst] = pos;
+            }
+        }
+    }
+    best.sort_by(|&a, &b| {
+        if ranks_before(a, b) {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    });
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn scores() -> Bat {
+        Bat::new(
+            vec![10, 11, 12, 13, 14, 15],
+            Column::from(vec![0.3f64, 0.9, 0.1, 0.9, 0.5, 0.7]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sort_asc_and_desc() {
+        let b = scores();
+        let asc = sort_by_tail(&b, Direction::Asc).unwrap();
+        assert_eq!(asc.tail().as_f64().unwrap(), &[0.1, 0.3, 0.5, 0.7, 0.9, 0.9]);
+        let desc = sort_by_tail(&b, Direction::Desc).unwrap();
+        assert_eq!(desc.tail().as_f64().unwrap(), &[0.9, 0.9, 0.7, 0.5, 0.3, 0.1]);
+        // Stability: the two 0.9s keep original relative order.
+        assert_eq!(desc.head_oids()[..2], [11, 13]);
+    }
+
+    #[test]
+    fn firstn_equals_sort_prefix() {
+        let b = scores();
+        for n in 0..=7 {
+            for dir in [Direction::Asc, Direction::Desc] {
+                let full = sort_by_tail(&b, dir).unwrap();
+                let take = n.min(b.len());
+                let expect = full.slice(0, take).unwrap();
+                let got = firstn(&b, n, dir).unwrap();
+                assert_eq!(got.head_oids(), expect.head_oids(), "n={n} dir={dir:?}");
+                assert_eq!(got.tail(), expect.tail());
+            }
+        }
+    }
+
+    #[test]
+    fn firstn_zero_and_empty() {
+        let b = scores();
+        assert!(firstn(&b, 0, Direction::Asc).unwrap().is_empty());
+        let empty = Bat::dense(Column::from(Vec::<f64>::new()));
+        assert!(firstn(&empty, 5, Direction::Desc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn firstn_larger_than_input_returns_all_sorted() {
+        let b = scores();
+        let out = firstn(&b, 100, Direction::Desc).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.tail().as_f64().unwrap()[0], 0.9);
+    }
+
+    #[test]
+    fn order_positions_stable_on_strings() {
+        let b = Bat::dense(Column::from(vec![
+            "b".to_string(),
+            "a".to_string(),
+            "b".to_string(),
+        ]));
+        let pos = order_positions(&b, Direction::Asc).unwrap();
+        assert_eq!(pos, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn nan_sorts_last_ascending() {
+        let b = Bat::dense(Column::from(vec![f64::NAN, 1.0, 0.5]));
+        let asc = sort_by_tail(&b, Direction::Asc).unwrap();
+        assert_eq!(asc.head_oids(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn sorted_output_has_sorted_prop() {
+        let b = scores();
+        let asc = sort_by_tail(&b, Direction::Asc).unwrap();
+        assert!(asc.props().tail_sorted_asc);
+    }
+}

@@ -1,0 +1,348 @@
+//! Column statistics: summaries and histograms.
+//!
+//! Statistics serve two masters in this reproduction:
+//!
+//! 1. the cost model of the Moa optimizer (cardinality and selectivity
+//!    estimation — the paper's Step 3), and
+//! 2. the Donjerkovic–Ramakrishnan probabilistic top-N, which picks a score
+//!    cutoff from a histogram such that at least N tuples survive with the
+//!    requested confidence.
+
+use crate::error::{Result, StorageError};
+
+/// Simple numeric summary of a value set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericStats {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum (NaN-free inputs assumed; NaNs are filtered out).
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl NumericStats {
+    /// Compute summary statistics; NaNs are ignored. Errors when no finite
+    /// values remain.
+    pub fn build(values: &[f64]) -> Result<NumericStats> {
+        let mut count = 0usize;
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        if count == 0 {
+            return Err(StorageError::Empty);
+        }
+        Ok(NumericStats {
+            count,
+            min,
+            max,
+            mean: sum / count as f64,
+        })
+    }
+}
+
+/// Equi-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiWidthHistogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EquiWidthHistogram {
+    /// Build with `buckets` equal-width buckets. NaNs are ignored.
+    pub fn build(values: &[f64], buckets: usize) -> Result<EquiWidthHistogram> {
+        if buckets == 0 {
+            return Err(StorageError::InvalidArgument(
+                "bucket count must be positive".into(),
+            ));
+        }
+        let stats = NumericStats::build(values)?;
+        let mut counts = vec![0u64; buckets];
+        let width = (stats.max - stats.min).max(f64::MIN_POSITIVE);
+        let mut total = 0u64;
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            let b = (((v - stats.min) / width) * buckets as f64) as usize;
+            counts[b.min(buckets - 1)] += 1;
+            total += 1;
+        }
+        Ok(EquiWidthHistogram {
+            min: stats.min,
+            max: stats.max,
+            counts,
+            total,
+        })
+    }
+
+    /// Total number of values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Estimate how many values are `>= x`, assuming uniform spread inside
+    /// each bucket.
+    pub fn estimate_count_ge(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return self.total as f64;
+        }
+        if x > self.max {
+            return 0.0;
+        }
+        let buckets = self.counts.len() as f64;
+        let width = (self.max - self.min).max(f64::MIN_POSITIVE) / buckets;
+        let pos = (x - self.min) / width;
+        let idx = (pos as usize).min(self.counts.len() - 1);
+        let frac_into = pos - idx as f64;
+        let partial = self.counts[idx] as f64 * (1.0 - frac_into).clamp(0.0, 1.0);
+        let above: u64 = self.counts[idx + 1..].iter().sum();
+        partial + above as f64
+    }
+
+    /// Estimate the fraction of values in `[lo, hi]`.
+    pub fn estimate_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if self.total == 0 || hi < lo {
+            return 0.0;
+        }
+        let ge_lo = self.estimate_count_ge(lo);
+        let gt_hi = self.estimate_count_ge(hi) - self.estimate_count_at(hi);
+        ((ge_lo - gt_hi) / self.total as f64).clamp(0.0, 1.0)
+    }
+
+    fn estimate_count_at(&self, x: f64) -> f64 {
+        // Density at x: bucket count / bucket capacity of distinct positions.
+        if x < self.min || x > self.max || self.total == 0 {
+            return 0.0;
+        }
+        0.0 // treat point mass as negligible under the uniform assumption
+    }
+
+    /// Smallest cutoff `c` such that the estimated number of values `>= c`
+    /// is at least `n`, i.e. scanning values `>= c` is expected to yield at
+    /// least `n` survivors. Returns `min` when `n` exceeds the population.
+    pub fn cutoff_for_at_least(&self, n: usize) -> f64 {
+        if n as u64 >= self.total {
+            return self.min;
+        }
+        // Walk buckets from the top, accumulating counts.
+        let buckets = self.counts.len();
+        let width = (self.max - self.min).max(f64::MIN_POSITIVE) / buckets as f64;
+        let mut acc = 0u64;
+        for i in (0..buckets).rev() {
+            let c = self.counts[i];
+            if acc + c >= n as u64 {
+                // Interpolate inside bucket i: need (n - acc) values from it.
+                let need = (n as u64 - acc) as f64;
+                let frac = if c == 0 { 0.0 } else { need / c as f64 };
+                let hi_edge = self.min + width * (i as f64 + 1.0);
+                return (hi_edge - frac * width).max(self.min);
+            }
+            acc += c;
+        }
+        self.min
+    }
+}
+
+/// Equi-depth histogram: bucket boundaries at value quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    /// `boundaries[i]` is the upper edge of bucket `i`; ascending.
+    boundaries: Vec<f64>,
+    /// Values per bucket (equal by construction up to rounding).
+    depth: f64,
+    total: usize,
+    min: f64,
+}
+
+impl EquiDepthHistogram {
+    /// Build with `buckets` equal-depth buckets; sorts a copy of the input.
+    pub fn build(values: &[f64], buckets: usize) -> Result<EquiDepthHistogram> {
+        if buckets == 0 {
+            return Err(StorageError::InvalidArgument(
+                "bucket count must be positive".into(),
+            ));
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return Err(StorageError::Empty);
+        }
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let mut boundaries = Vec::with_capacity(buckets);
+        for b in 1..=buckets {
+            let idx = ((b * n) / buckets).saturating_sub(1).min(n - 1);
+            boundaries.push(sorted[idx]);
+        }
+        Ok(EquiDepthHistogram {
+            boundaries,
+            depth: n as f64 / buckets as f64,
+            total: n,
+            min: sorted[0],
+        })
+    }
+
+    /// Total number of values.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Estimate how many values are `>= x` by locating the containing bucket.
+    pub fn estimate_count_ge(&self, x: f64) -> f64 {
+        if x <= self.min {
+            return self.total as f64;
+        }
+        let nb = self.boundaries.len();
+        // Buckets strictly below x contribute nothing.
+        let mut below = 0usize;
+        while below < nb && self.boundaries[below] < x {
+            below += 1;
+        }
+        if below >= nb {
+            return 0.0;
+        }
+        // Interpolate inside bucket `below`.
+        let lo_edge = if below == 0 { self.min } else { self.boundaries[below - 1] };
+        let hi_edge = self.boundaries[below];
+        let frac_above = if hi_edge > lo_edge {
+            ((hi_edge - x) / (hi_edge - lo_edge)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        self.depth * frac_above + self.depth * (nb - below - 1) as f64
+    }
+
+    /// Quantile of the distribution at fraction `q` in `[0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if self.boundaries.is_empty() {
+            return self.min;
+        }
+        let idx = ((q * self.boundaries.len() as f64).ceil() as usize).saturating_sub(1);
+        self.boundaries[idx.min(self.boundaries.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_stats_basic() {
+        let s = NumericStats::build(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+    }
+
+    #[test]
+    fn numeric_stats_skip_nan_and_reject_empty() {
+        let s = NumericStats::build(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert!(NumericStats::build(&[]).is_err());
+        assert!(NumericStats::build(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn equi_width_counts() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let h = EquiWidthHistogram::build(&values, 10).unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.buckets(), 10);
+        // ~50 values are >= 50.
+        let est = h.estimate_count_ge(50.0);
+        assert!((est - 50.0).abs() <= 11.0, "est={est}");
+    }
+
+    #[test]
+    fn equi_width_extremes() {
+        let values: Vec<f64> = (0..10).map(f64::from).collect();
+        let h = EquiWidthHistogram::build(&values, 4).unwrap();
+        assert_eq!(h.estimate_count_ge(-5.0), 10.0);
+        assert_eq!(h.estimate_count_ge(100.0), 0.0);
+    }
+
+    #[test]
+    fn equi_width_selectivity() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let h = EquiWidthHistogram::build(&values, 50).unwrap();
+        let sel = h.estimate_selectivity(250.0, 750.0);
+        assert!((sel - 0.5).abs() < 0.05, "sel={sel}");
+        assert_eq!(h.estimate_selectivity(10.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn cutoff_yields_enough_survivors() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let h = EquiWidthHistogram::build(&values, 100).unwrap();
+        for n in [1usize, 10, 100, 500] {
+            let c = h.cutoff_for_at_least(n);
+            let actual = values.iter().filter(|&&v| v >= c).count();
+            assert!(
+                actual >= n,
+                "cutoff {c} for n={n} yields only {actual} survivors"
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_for_huge_n_is_min() {
+        let values: Vec<f64> = (0..10).map(f64::from).collect();
+        let h = EquiWidthHistogram::build(&values, 4).unwrap();
+        assert_eq!(h.cutoff_for_at_least(10_000), 0.0);
+    }
+
+    #[test]
+    fn equi_depth_quantiles() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let h = EquiDepthHistogram::build(&values, 10).unwrap();
+        assert_eq!(h.total(), 100);
+        assert!((h.quantile(0.5) - 50.0).abs() <= 10.0);
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equi_depth_count_ge() {
+        let values: Vec<f64> = (0..1000).map(f64::from).collect();
+        let h = EquiDepthHistogram::build(&values, 20).unwrap();
+        let est = h.estimate_count_ge(900.0);
+        assert!((est - 100.0).abs() <= 50.0, "est={est}");
+        assert_eq!(h.estimate_count_ge(-1.0), 1000.0);
+        assert_eq!(h.estimate_count_ge(1001.0), 0.0);
+    }
+
+    #[test]
+    fn histograms_reject_zero_buckets_and_empty() {
+        assert!(EquiWidthHistogram::build(&[1.0], 0).is_err());
+        assert!(EquiDepthHistogram::build(&[1.0], 0).is_err());
+        assert!(EquiWidthHistogram::build(&[], 4).is_err());
+        assert!(EquiDepthHistogram::build(&[], 4).is_err());
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let values = vec![5.0; 64];
+        let h = EquiWidthHistogram::build(&values, 8).unwrap();
+        assert_eq!(h.estimate_count_ge(5.0), 64.0);
+        assert_eq!(h.estimate_count_ge(5.1), 0.0);
+        let d = EquiDepthHistogram::build(&values, 8).unwrap();
+        assert_eq!(d.quantile(0.5), 5.0);
+    }
+}

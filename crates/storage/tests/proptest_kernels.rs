@@ -1,0 +1,135 @@
+//! Property-based tests of the BAT kernel invariants.
+
+use proptest::prelude::*;
+
+use moa_storage::ops::{
+    antijoin, firstn, group_aggregate, scan_select, select_range, semijoin, sort_by_tail,
+    sum_by_head_dense, AggFn, Direction,
+};
+use moa_storage::{Bat, Column, Scalar, SparseIndex};
+
+fn u32_bat(values: Vec<u32>) -> Bat {
+    Bat::dense(Column::from(values))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn select_paths_agree(values in proptest::collection::vec(0u32..1000, 0..200),
+                          lo in 0u32..1000, span in 0u32..500) {
+        let hi = lo.saturating_add(span);
+        let unsorted = u32_bat(values.clone());
+        let (scan, _) = scan_select(&unsorted, &Scalar::U32(lo), &Scalar::U32(hi)).unwrap();
+
+        let mut sorted_values = values;
+        sorted_values.sort_unstable();
+        let sorted = u32_bat(sorted_values);
+        let fast = select_range(&sorted, &Scalar::U32(lo), &Scalar::U32(hi)).unwrap();
+        let (slow, _) = scan_select(&sorted, &Scalar::U32(lo), &Scalar::U32(hi)).unwrap();
+
+        // On the sorted input the binary-search and scan paths agree
+        // exactly; on any input the scan result values are within range.
+        prop_assert_eq!(fast.tail(), slow.tail());
+        prop_assert_eq!(fast.head_oids(), slow.head_oids());
+        for v in scan.tail().as_u32().unwrap() {
+            prop_assert!((lo..=hi).contains(v));
+        }
+    }
+
+    #[test]
+    fn sparse_index_agrees_with_select(
+        mut values in proptest::collection::vec(0u32..500, 1..300),
+        block in 1usize..64,
+        lo in 0u32..500, span in 0u32..200,
+    ) {
+        values.sort_unstable();
+        let hi = lo.saturating_add(span);
+        let bat = u32_bat(values);
+        let idx = SparseIndex::build(&bat, block).unwrap();
+        let (via_index, range) = idx
+            .select_range(&bat, &Scalar::U32(lo), &Scalar::U32(hi))
+            .unwrap();
+        let direct = select_range(&bat, &Scalar::U32(lo), &Scalar::U32(hi)).unwrap();
+        prop_assert_eq!(via_index.head_oids(), direct.head_oids());
+        prop_assert!(range.end >= range.start);
+        prop_assert!(range.end <= bat.len());
+    }
+
+    #[test]
+    fn firstn_is_sort_prefix(values in proptest::collection::vec(0u32..1000, 0..150),
+                             n in 0usize..40) {
+        let bat = u32_bat(values);
+        for dir in [Direction::Asc, Direction::Desc] {
+            let sorted = sort_by_tail(&bat, dir).unwrap();
+            let take = n.min(bat.len());
+            let expect = sorted.slice(0, take).unwrap();
+            let got = firstn(&bat, n, dir).unwrap();
+            prop_assert_eq!(got.head_oids(), expect.head_oids());
+            prop_assert_eq!(got.tail(), expect.tail());
+        }
+    }
+
+    #[test]
+    fn semijoin_antijoin_partition(
+        left_heads in proptest::collection::vec(0u32..50, 0..100),
+        right_heads in proptest::collection::vec(0u32..50, 0..100),
+    ) {
+        let left = Bat::new(
+            left_heads.clone(),
+            Column::from(vec![1.0f64; left_heads.len()]),
+        ).unwrap();
+        let right = Bat::new(
+            right_heads.clone(),
+            Column::from(vec![0u32; right_heads.len()]),
+        ).unwrap();
+        let semi = semijoin(&left, &right).unwrap();
+        let anti = antijoin(&left, &right).unwrap();
+        prop_assert_eq!(semi.len() + anti.len(), left.len());
+        let rights: std::collections::HashSet<u32> = right_heads.into_iter().collect();
+        for oid in semi.head_oids() {
+            prop_assert!(rights.contains(&oid));
+        }
+        for oid in anti.head_oids() {
+            prop_assert!(!rights.contains(&oid));
+        }
+    }
+
+    #[test]
+    fn dense_and_hash_aggregation_agree(
+        heads in proptest::collection::vec(0u32..20, 0..100),
+        seedless_scores in proptest::collection::vec(0.0f64..10.0, 0..100),
+    ) {
+        let n = heads.len().min(seedless_scores.len());
+        let bat = Bat::new(
+            heads[..n].to_vec(),
+            Column::from(seedless_scores[..n].to_vec()),
+        ).unwrap();
+        let dense = sum_by_head_dense(&bat, 20).unwrap();
+        let hashed = group_aggregate(&bat, AggFn::Sum).unwrap();
+        for pos in 0..hashed.len() {
+            let oid = hashed.head_oid(pos).unwrap();
+            let v = hashed.tail_value(pos).unwrap().as_f64().unwrap();
+            prop_assert!((v - dense[oid as usize]).abs() < 1e-9);
+        }
+        // Dense entries without a group are exactly zero.
+        let grouped: std::collections::HashSet<u32> = hashed.head_oids().into_iter().collect();
+        for (oid, &v) in dense.iter().enumerate() {
+            if !grouped.contains(&(oid as u32)) {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sortedness_props_are_truthful(values in proptest::collection::vec(0u32..100, 0..100)) {
+        let bat = u32_bat(values.clone());
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let is_sorted = bat.tail().as_u32().unwrap() == sorted.as_slice();
+        prop_assert_eq!(bat.props().tail_sorted_asc, is_sorted);
+        // Sorting always yields the property.
+        let after = sort_by_tail(&bat, Direction::Asc).unwrap();
+        prop_assert!(after.props().tail_sorted_asc);
+    }
+}

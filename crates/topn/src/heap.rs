@@ -1,0 +1,212 @@
+//! Bounded top-N heap (the *sort-stop* physical operator).
+//!
+//! Maintains the N best `(object, score)` pairs seen so far in a min-heap,
+//! so inserting each of `n` candidates costs O(log N) — the classic
+//! replacement for a full O(n log n) sort when only a top-N is needed
+//! (Carey & Kossmann's sort-stop).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry ordered so the *worst* (lowest score, then highest id) is at the
+/// top of a max-heap — i.e. a min-heap over scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    score: f64,
+    obj: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse score order (min-heap by score); on ties the *larger* obj
+        // id is "greater" = evicted first, keeping the smallest ids.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then(self.obj.cmp(&other.obj))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded heap keeping the N highest-scoring objects.
+#[derive(Debug, Clone)]
+pub struct TopNHeap {
+    heap: BinaryHeap<Entry>,
+    capacity: usize,
+    pushes: usize,
+}
+
+impl TopNHeap {
+    /// Create a heap retaining the best `capacity` entries.
+    pub fn new(capacity: usize) -> TopNHeap {
+        TopNHeap {
+            heap: BinaryHeap::with_capacity(capacity.saturating_add(1)),
+            capacity,
+            pushes: 0,
+        }
+    }
+
+    /// Offer an `(obj, score)` pair.
+    pub fn push(&mut self, obj: u32, score: f64) {
+        self.pushes += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push(Entry { score, obj });
+            return;
+        }
+        // Full: compare against the current worst.
+        let worst = self.heap.peek().expect("non-empty when full");
+        let candidate = Entry { score, obj };
+        // candidate beats worst iff worst is "greater" in eviction order.
+        if *worst > candidate {
+            self.heap.pop();
+            self.heap.push(candidate);
+        }
+    }
+
+    /// The score of the N-th (worst retained) entry, if the heap is full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.capacity && self.capacity > 0 {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Current number of retained entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the heap holds `capacity` entries.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.capacity
+    }
+
+    /// Number of `push` calls made.
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+
+    /// Extract the retained entries, best first (score desc, id asc on ties).
+    pub fn into_sorted_vec(self) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.obj, e.score))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Top-N of a `(obj, score)` stream via the bounded heap.
+pub fn topn(items: impl IntoIterator<Item = (u32, f64)>, n: usize) -> Vec<(u32, f64)> {
+    let mut heap = TopNHeap::new(n);
+    for (obj, score) in items {
+        heap.push(obj, score);
+    }
+    heap.into_sorted_vec()
+}
+
+/// Baseline: top-N via a full materialize-and-sort (what a system without a
+/// top-N operator does; the "unoptimized case" in the paper's terms).
+pub fn topn_full_sort(items: impl IntoIterator<Item = (u32, f64)>, n: usize) -> Vec<(u32, f64)> {
+    let mut all: Vec<(u32, f64)> = items.into_iter().collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<(u32, f64)> {
+        vec![
+            (0, 0.3),
+            (1, 0.9),
+            (2, 0.1),
+            (3, 0.9),
+            (4, 0.5),
+            (5, 0.7),
+        ]
+    }
+
+    #[test]
+    fn heap_matches_full_sort() {
+        for n in 0..=7 {
+            assert_eq!(topn(stream(), n), topn_full_sort(stream(), n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn keeps_best_and_orders_desc() {
+        let top = topn(stream(), 3);
+        assert_eq!(top, vec![(1, 0.9), (3, 0.9), (5, 0.7)]);
+    }
+
+    #[test]
+    fn tie_break_is_by_object_id() {
+        let top = topn(vec![(9, 0.5), (2, 0.5), (7, 0.5)], 2);
+        assert_eq!(top, vec![(2, 0.5), (7, 0.5)]);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let mut h = TopNHeap::new(0);
+        h.push(1, 0.5);
+        assert!(h.is_empty());
+        assert!(h.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn threshold_only_when_full() {
+        let mut h = TopNHeap::new(2);
+        assert_eq!(h.threshold(), None);
+        h.push(1, 0.9);
+        assert_eq!(h.threshold(), None);
+        h.push(2, 0.4);
+        assert_eq!(h.threshold(), Some(0.4));
+        h.push(3, 0.6);
+        assert_eq!(h.threshold(), Some(0.6));
+    }
+
+    #[test]
+    fn pushes_counted() {
+        let mut h = TopNHeap::new(1);
+        for (o, s) in stream() {
+            h.push(o, s);
+        }
+        assert_eq!(h.pushes(), 6);
+    }
+
+    #[test]
+    fn negative_and_nan_scores() {
+        let top = topn(vec![(0, -1.0), (1, f64::NAN), (2, -0.5)], 2);
+        // total_cmp sorts NaN above numbers: it wins.
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1], (2, -0.5));
+    }
+
+    #[test]
+    fn larger_n_than_stream() {
+        let top = topn(stream(), 100);
+        assert_eq!(top.len(), 6);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1 || w[1].1.is_nan()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # moa-topn — the top-N algorithm family
+//!
+//! Implementations of every top-N technique the paper surveys as state of
+//! the art, all instrumented with access/tuple counters so experiments can
+//! compare *work*, not just wall time:
+//!
+//! * [`heap`] — bounded-heap top-N (sort-stop) and the full-sort baseline,
+//! * [`fagin`] — Fagin's Algorithm (FA) over m graded lists,
+//! * [`ta`] — the Threshold Algorithm with frontier-bound early stopping,
+//! * [`nra`] — No-Random-Access with `[lower, upper]` bound administration
+//!   (the paper's "upper and lower bound administration"),
+//! * [`stop_after`] — Carey–Kossmann STOP AFTER placement policies
+//!   (conservative / aggressive-with-restart / scan-stop),
+//! * [`prob`] — Donjerkovic–Ramakrishnan probabilistic cutoff top-N driven
+//!   by `moa-storage` histograms.
+//!
+//! Sources are abstracted by [`traits::SortedAccess`] / [`traits::RandomAccess`];
+//! [`traits::InMemoryLists`] is the reference realization.
+
+#![warn(missing_docs)]
+
+pub mod fagin;
+pub mod heap;
+pub mod nra;
+pub mod prob;
+pub mod stop_after;
+pub mod ta;
+pub mod traits;
+
+pub use fagin::{fagin_topn, TopNResult};
+pub use heap::{topn, topn_full_sort, TopNHeap};
+pub use nra::nra_topn;
+pub use prob::{prob_topn, ProbError, ProbTopNReport};
+pub use stop_after::{aggressive, conservative, scan_stop, StopAfterReport};
+pub use ta::ta_topn;
+pub use traits::{AccessStats, Agg, InMemoryLists, RandomAccess, SortedAccess};

@@ -1,0 +1,274 @@
+//! No-Random-Access algorithm (NRA).
+//!
+//! When random access is unavailable or expensive (e.g. postings streamed
+//! from disk), NRA keeps, for every object seen under sorted access, a
+//! *lower* bound (missing grades = 0) and an *upper* bound (missing grades =
+//! the per-list frontier) on its aggregate score. It halts once the N best
+//! lower bounds dominate every other candidate's upper bound and the bound
+//! on unseen objects. This is literally the "upper and lower bound
+//! administration" of the paper's Section 2.
+//!
+//! Grades are assumed to lie in `[0, ∞)`; the missing-grade lower bound is 0.
+
+use std::collections::HashMap;
+
+use crate::fagin::TopNResult;
+use crate::traits::{AccessStats, Agg, SortedAccess};
+
+/// Per-object bookkeeping.
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// Known grades; `None` where not yet seen.
+    grades: Vec<Option<f64>>,
+}
+
+impl Candidate {
+    fn new(m: usize) -> Candidate {
+        Candidate {
+            grades: vec![None; m],
+        }
+    }
+
+    fn lower(&self, agg: &Agg) -> f64 {
+        let filled: Vec<f64> = self.grades.iter().map(|g| g.unwrap_or(0.0)).collect();
+        agg.apply(&filled)
+    }
+
+    fn upper(&self, agg: &Agg, frontier: &[f64]) -> f64 {
+        let filled: Vec<f64> = self
+            .grades
+            .iter()
+            .zip(frontier)
+            .map(|(g, &f)| g.unwrap_or(f))
+            .collect();
+        agg.apply(&filled)
+    }
+}
+
+/// Run NRA for the top `n` objects under `agg` using only sorted access.
+///
+/// The returned scores are the candidates' lower bounds at termination;
+/// they equal the exact scores whenever the object was seen in all lists
+/// (always true once the lists are exhausted). The returned *set* is always
+/// exact for monotone aggregates.
+pub fn nra_topn<S: SortedAccess>(source: &S, n: usize, agg: &Agg) -> TopNResult {
+    let m = source.num_lists();
+    debug_assert!(agg.validate(m), "aggregate/list arity mismatch");
+    let mut stats = AccessStats::default();
+    if n == 0 || m == 0 || source.num_objects() == 0 {
+        return TopNResult {
+            items: Vec::new(),
+            stats,
+        };
+    }
+
+    let mut candidates: HashMap<u32, Candidate> = HashMap::new();
+    let mut frontier = vec![f64::INFINITY; m];
+    let mut rank = 0usize;
+    let mut exhausted = vec![false; m];
+    // The halting test sorts all candidates (O(c log c)); running it every
+    // round would make deep scans quadratic. It is throttled: the interval
+    // grows with the candidate set, so test cost stays amortized-linear.
+    let mut next_check = 0usize;
+
+    loop {
+        let mut any = false;
+        for list in 0..m {
+            if exhausted[list] {
+                continue;
+            }
+            match source.sorted_access(list, rank) {
+                Some((obj, grade)) => {
+                    stats.sorted_accesses += 1;
+                    any = true;
+                    frontier[list] = grade;
+                    candidates
+                        .entry(obj)
+                        .or_insert_with(|| Candidate::new(m))
+                        .grades[list] = Some(grade);
+                }
+                None => {
+                    exhausted[list] = true;
+                    frontier[list] = 0.0; // no unseen grade can exceed 0 here
+                }
+            }
+        }
+        let all_exhausted = exhausted.iter().all(|&e| e);
+        if !any && !all_exhausted {
+            break; // defensive: no progress possible
+        }
+        if rank < next_check && !all_exhausted {
+            rank += 1;
+            continue;
+        }
+        next_check = rank + 1 + candidates.len() / 64;
+
+        // Halting test.
+        let mut scored: Vec<(u32, f64)> = candidates
+            .iter()
+            .map(|(&obj, c)| (obj, c.lower(agg)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        if scored.len() >= n.min(source.num_objects()) {
+            let kth = scored
+                .get(n.saturating_sub(1))
+                .map(|&(_, s)| s)
+                .unwrap_or(f64::NEG_INFINITY);
+            let top_ids: std::collections::HashSet<u32> =
+                scored.iter().take(n).map(|&(o, _)| o).collect();
+            // Upper bound of the best non-top candidate…
+            let mut max_other_upper = f64::NEG_INFINITY;
+            for (&obj, c) in &candidates {
+                if !top_ids.contains(&obj) {
+                    max_other_upper = max_other_upper.max(c.upper(agg, &frontier));
+                }
+            }
+            // …and of any completely unseen object.
+            if candidates.len() < source.num_objects() {
+                max_other_upper = max_other_upper.max(agg.apply(&frontier));
+            }
+            if all_exhausted || max_other_upper <= kth {
+                scored.truncate(n);
+                return TopNResult {
+                    items: scored,
+                    stats,
+                };
+            }
+        } else if all_exhausted {
+            scored.truncate(n);
+            return TopNResult {
+                items: scored,
+                stats,
+            };
+        }
+        rank += 1;
+    }
+
+    // Defensive fallback: report current best lower bounds.
+    let mut scored: Vec<(u32, f64)> = candidates
+        .iter()
+        .map(|(&obj, c)| (obj, c.lower(agg)))
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(n);
+    TopNResult {
+        items: scored,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{InMemoryLists, RandomAccess};
+
+    fn lists() -> InMemoryLists {
+        InMemoryLists::from_grades(vec![
+            vec![0.9, 0.1, 0.5, 0.3, 0.8],
+            vec![0.2, 0.8, 0.6, 0.4, 0.7],
+        ])
+    }
+
+    fn ids(items: &[(u32, f64)]) -> Vec<u32> {
+        items.iter().map(|&(o, _)| o).collect()
+    }
+
+    #[test]
+    fn returns_correct_set_for_all_n() {
+        let l = lists();
+        for n in 1..=5 {
+            let nra = nra_topn(&l, n, &Agg::Sum);
+            let oracle = l.topk_oracle(n, &Agg::Sum);
+            let mut got = ids(&nra.items);
+            let mut want = ids(&oracle);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn reported_scores_are_sound_lower_bounds() {
+        // NRA may halt before fully resolving every candidate; the reported
+        // scores are lower bounds that never exceed the exact score.
+        let l = lists();
+        for n in 1..=5 {
+            let nra = nra_topn(&l, n, &Agg::Sum);
+            for &(obj, reported) in &nra.items {
+                let exact = l.grade(0, obj) + l.grade(1, obj);
+                assert!(
+                    reported <= exact + 1e-12,
+                    "obj {obj}: lower bound {reported} exceeds exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_run_on_single_object_lists_is_exact() {
+        let l = InMemoryLists::from_grades(vec![vec![0.4], vec![0.6]]);
+        let nra = nra_topn(&l, 1, &Agg::Sum);
+        assert_eq!(nra.items, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn no_random_accesses_ever() {
+        let l = lists();
+        for n in 1..=5 {
+            assert_eq!(nra_topn(&l, n, &Agg::Sum).stats.random_accesses, 0);
+        }
+    }
+
+    #[test]
+    fn zero_n_and_empty() {
+        let l = lists();
+        assert!(nra_topn(&l, 0, &Agg::Sum).items.is_empty());
+        let empty = InMemoryLists::from_grades(vec![Vec::new(), Vec::new()]);
+        assert!(nra_topn(&empty, 2, &Agg::Sum).items.is_empty());
+    }
+
+    #[test]
+    fn early_termination_on_skewed_lists() {
+        // One object dominates both lists: NRA should stop well before
+        // exhausting 1000-object lists for n = 1.
+        let n_obj = 1000usize;
+        let mut a: Vec<f64> = (0..n_obj).map(|i| 0.3 * (i as f64 / n_obj as f64)).collect();
+        let mut b = a.clone();
+        a[7] = 1.0;
+        b[7] = 1.0;
+        let l = InMemoryLists::from_grades(vec![a, b]);
+        let nra = nra_topn(&l, 1, &Agg::Sum);
+        assert_eq!(ids(&nra.items), vec![7]);
+        assert!(
+            nra.stats.sorted_accesses < 2 * n_obj,
+            "did {} accesses",
+            nra.stats.sorted_accesses
+        );
+    }
+
+    #[test]
+    fn min_aggregate_set_is_correct() {
+        let l = lists();
+        let nra = nra_topn(&l, 2, &Agg::Min);
+        let oracle = l.topk_oracle(2, &Agg::Min);
+        let mut got = ids(&nra.items);
+        let mut want = ids(&oracle);
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn n_larger_than_universe() {
+        let l = lists();
+        let nra = nra_topn(&l, 99, &Agg::Sum);
+        assert_eq!(nra.items.len(), 5);
+    }
+
+    #[test]
+    fn uneven_universe_single_list() {
+        let l = InMemoryLists::from_grades(vec![vec![0.2, 0.9, 0.4]]);
+        let nra = nra_topn(&l, 2, &Agg::Sum);
+        assert_eq!(ids(&nra.items), vec![1, 2]);
+    }
+}

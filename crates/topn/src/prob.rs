@@ -1,0 +1,220 @@
+//! Probabilistic top-N optimization (Donjerkovic & Ramakrishnan, 1999).
+//!
+//! Instead of a hard guarantee, pick a score cutoff `c` from a histogram so
+//! that *with high confidence* at least N tuples score ≥ c; evaluate the
+//! cheap filter `score ≥ c` first, and restart with a relaxed cutoff if too
+//! few survive. The expected total cost trades the (cheap) first pass
+//! against the (expensive) restart probability — the knob is the confidence
+//! level, and the experiment harness sweeps it to reproduce the interior
+//! cost minimum of the original paper.
+
+use moa_storage::stats::EquiWidthHistogram;
+
+use crate::heap::topn;
+
+/// Outcome of a probabilistic top-N execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbTopNReport {
+    /// The top-n `(object, score)` pairs, best first.
+    pub items: Vec<(u32, f64)>,
+    /// The cutoff used on the first attempt.
+    pub initial_cutoff: f64,
+    /// Tuples that survived the first cutoff.
+    pub first_pass_survivors: usize,
+    /// Number of restarts (0 = the optimistic first pass sufficed).
+    pub restarts: usize,
+    /// Total tuples scanned across all passes (each pass rescans the
+    /// input, as a restarted query plan would).
+    pub tuples_scanned: usize,
+}
+
+/// Error type for probabilistic top-N.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbError {
+    /// Confidence must lie strictly between 0 and 1.
+    InvalidConfidence,
+}
+
+impl std::fmt::Display for ProbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbError::InvalidConfidence => write!(f, "confidence must be in (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+/// Approximate standard-normal quantile (Beasley–Springer–Moro-ish rational
+/// approximation; adequate for confidence levels in [0.5, 0.999]).
+fn normal_quantile(p: f64) -> f64 {
+    // Abramowitz & Stegun 26.2.23.
+    let p = p.clamp(1e-9, 1.0 - 1e-9);
+    let (sign, p) = if p < 0.5 { (-1.0, p) } else { (1.0, 1.0 - p) };
+    let t = (-2.0 * p.ln()).sqrt();
+    let num = 2.30753 + 0.27061 * t;
+    let den = 1.0 + 0.99229 * t + 0.04481 * t * t;
+    sign * (t - num / den)
+}
+
+/// Run probabilistic top-N over `(object, score)` tuples.
+///
+/// `histogram` summarizes the score distribution (in a real system it comes
+/// from the catalog; it may be stale or built from a sample). `confidence`
+/// is the target probability that the first pass yields ≥ `n` survivors.
+pub fn prob_topn(
+    input: &[(u32, f64)],
+    n: usize,
+    histogram: &EquiWidthHistogram,
+    confidence: f64,
+) -> Result<ProbTopNReport, ProbError> {
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(ProbError::InvalidConfidence);
+    }
+    if n == 0 || input.is_empty() {
+        return Ok(ProbTopNReport {
+            items: Vec::new(),
+            initial_cutoff: f64::NEG_INFINITY,
+            first_pass_survivors: 0,
+            restarts: 0,
+            tuples_scanned: 0,
+        });
+    }
+
+    // Inflate the survivor target by a normal margin: ask the histogram for
+    // a cutoff expected to pass n + z·√n tuples.
+    let z = normal_quantile(confidence);
+    let target = (n as f64 + z * (n as f64).sqrt()).ceil().max(n as f64) as usize;
+    let mut cutoff = histogram.cutoff_for_at_least(target);
+    let initial_cutoff = cutoff;
+
+    let mut restarts = 0usize;
+    let mut tuples_scanned = 0usize;
+    let mut first_pass_survivors = 0usize;
+
+    loop {
+        let mut survivors: Vec<(u32, f64)> = Vec::new();
+        for &(obj, score) in input {
+            tuples_scanned += 1;
+            if score >= cutoff {
+                survivors.push((obj, score));
+            }
+        }
+        if restarts == 0 {
+            first_pass_survivors = survivors.len();
+        }
+        if survivors.len() >= n || cutoff == f64::NEG_INFINITY {
+            return Ok(ProbTopNReport {
+                items: topn(survivors, n),
+                initial_cutoff,
+                first_pass_survivors,
+                restarts,
+                tuples_scanned,
+            });
+        }
+        // Restart with a relaxed cutoff: quadruple the target; give up on
+        // cutoffs once the target exceeds the population.
+        restarts += 1;
+        let new_target = target.saturating_mul(4usize.saturating_pow(restarts as u32));
+        cutoff = if (new_target as u64) >= histogram.total() {
+            f64::NEG_INFINITY
+        } else {
+            histogram.cutoff_for_at_least(new_target)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(n: usize) -> Vec<(u32, f64)> {
+        // Deterministic pseudo-random scores in [0, 1000).
+        (0..n as u32)
+            .map(|i| (i, f64::from((i.wrapping_mul(2654435761)) % 1000)))
+            .collect()
+    }
+
+    fn hist(input: &[(u32, f64)]) -> EquiWidthHistogram {
+        let values: Vec<f64> = input.iter().map(|&(_, s)| s).collect();
+        EquiWidthHistogram::build(&values, 50).unwrap()
+    }
+
+    #[test]
+    fn results_match_naive_topn() {
+        let inp = scored(5_000);
+        let h = hist(&inp);
+        for n in [1usize, 10, 100] {
+            let r = prob_topn(&inp, n, &h, 0.95).unwrap();
+            let naive = topn(inp.clone(), n);
+            assert_eq!(r.items, naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn high_confidence_rarely_restarts() {
+        let inp = scored(10_000);
+        let h = hist(&inp);
+        let r = prob_topn(&inp, 50, &h, 0.99).unwrap();
+        assert_eq!(r.restarts, 0);
+        // The cutoff did real filtering: survivors far below the input size.
+        assert!(r.first_pass_survivors < inp.len() / 4);
+    }
+
+    #[test]
+    fn cutoff_decreases_with_confidence() {
+        let inp = scored(10_000);
+        let h = hist(&inp);
+        let lo = prob_topn(&inp, 50, &h, 0.55).unwrap();
+        let hi = prob_topn(&inp, 50, &h, 0.999).unwrap();
+        // Higher confidence → more conservative (lower) cutoff.
+        assert!(hi.initial_cutoff <= lo.initial_cutoff);
+    }
+
+    #[test]
+    fn restart_recovers_from_bad_histogram() {
+        // Histogram believes scores go to 1000, but actual data is shifted
+        // low — the first cutoff passes too few tuples, forcing a restart.
+        let optimistic: Vec<f64> = (0..1000).map(f64::from).collect();
+        let h = EquiWidthHistogram::build(&optimistic, 20).unwrap();
+        let inp: Vec<(u32, f64)> = (0..1000u32).map(|i| (i, f64::from(i % 100))).collect();
+        let r = prob_topn(&inp, 50, &h, 0.9).unwrap();
+        assert!(r.restarts >= 1);
+        assert_eq!(r.items.len(), 50);
+        // Still correct despite the bad estimate.
+        assert_eq!(r.items, topn(inp, 50));
+    }
+
+    #[test]
+    fn invalid_confidence_rejected() {
+        let inp = scored(10);
+        let h = hist(&inp);
+        assert_eq!(prob_topn(&inp, 1, &h, 0.0), Err(ProbError::InvalidConfidence));
+        assert_eq!(prob_topn(&inp, 1, &h, 1.0), Err(ProbError::InvalidConfidence));
+        assert_eq!(prob_topn(&inp, 1, &h, -3.0), Err(ProbError::InvalidConfidence));
+    }
+
+    #[test]
+    fn zero_n_and_empty_input() {
+        let inp = scored(10);
+        let h = hist(&inp);
+        assert!(prob_topn(&inp, 0, &h, 0.9).unwrap().items.is_empty());
+        assert!(prob_topn(&[], 5, &h, 0.9).unwrap().items.is_empty());
+    }
+
+    #[test]
+    fn n_larger_than_population() {
+        let inp = scored(20);
+        let h = hist(&inp);
+        let r = prob_topn(&inp, 100, &h, 0.9).unwrap();
+        assert_eq!(r.items.len(), 20);
+    }
+
+    #[test]
+    fn normal_quantile_sane() {
+        assert!((normal_quantile(0.5)).abs() < 0.01);
+        assert!((normal_quantile(0.975) - 1.96).abs() < 0.02);
+        assert!((normal_quantile(0.025) + 1.96).abs() < 0.02);
+        assert!(normal_quantile(0.99) > 2.0);
+    }
+}

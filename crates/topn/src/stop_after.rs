@@ -1,0 +1,211 @@
+//! STOP AFTER operator policies (Carey & Kossmann, VLDB 1998).
+//!
+//! "Reducing the braking distance of an SQL query engine": a `STOP AFTER n`
+//! clause should stop producing work as soon as n results are guaranteed.
+//! Two placement policies exist when a further predicate sits *above* the
+//! scored input:
+//!
+//! * **Conservative** — run the predicate over the whole input, then take
+//!   the top n survivors. Never restarts; maximal work.
+//! * **Aggressive** — push the stop below the predicate: pull only the best
+//!   `k = ⌈inflation · n / estimated_pass_rate⌉` tuples (by score), filter
+//!   them, and *restart* with a deeper pull if fewer than n survive.
+//!
+//! The experiment harness sweeps the pass-rate estimate to reproduce the
+//! win/lose regimes: a good estimate gives near-minimal work; an optimistic
+//! one causes restarts ("braking too late").
+
+use crate::heap::{topn, TopNHeap};
+
+/// Outcome of a STOP AFTER execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopAfterReport {
+    /// The top-n surviving `(object, score)` pairs, best first.
+    pub items: Vec<(u32, f64)>,
+    /// Tuples pulled through the (expensive) predicate.
+    pub tuples_processed: usize,
+    /// Number of restarts the aggressive policy performed (0 for
+    /// conservative).
+    pub restarts: usize,
+}
+
+/// Conservative policy: evaluate the predicate on every tuple, then top-n.
+pub fn conservative<P>(input: &[(u32, f64)], n: usize, pred: P) -> StopAfterReport
+where
+    P: Fn(u32) -> bool,
+{
+    let mut processed = 0usize;
+    let mut heap = TopNHeap::new(n);
+    for &(obj, score) in input {
+        processed += 1;
+        if pred(obj) {
+            heap.push(obj, score);
+        }
+    }
+    StopAfterReport {
+        items: heap.into_sorted_vec(),
+        tuples_processed: processed,
+        restarts: 0,
+    }
+}
+
+/// Aggressive policy: sort input by score descending (done once, cost not
+/// counted as predicate work), pull the best `k` tuples through the
+/// predicate where `k = ⌈inflation · n / estimated_pass_rate⌉`; if fewer
+/// than `n` survive, restart with `k` doubled, re-processing from the start
+/// of the unprocessed region (already-processed tuples are *not* re-run —
+/// the restart penalty here is the extra pull depth, matching the
+/// re-optimization model of the paper).
+pub fn aggressive<P>(
+    input: &[(u32, f64)],
+    n: usize,
+    estimated_pass_rate: f64,
+    inflation: f64,
+    pred: P,
+) -> StopAfterReport
+where
+    P: Fn(u32) -> bool,
+{
+    let est = estimated_pass_rate.clamp(1e-9, 1.0);
+    let inflation = inflation.max(1.0);
+    if n == 0 || input.is_empty() {
+        return StopAfterReport {
+            items: Vec::new(),
+            tuples_processed: 0,
+            restarts: 0,
+        };
+    }
+
+    let mut sorted: Vec<(u32, f64)> = input.to_vec();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut k = ((inflation * n as f64 / est).ceil() as usize)
+        .max(n)
+        .min(sorted.len());
+    let mut processed = 0usize;
+    let mut restarts = 0usize;
+    let mut survivors: Vec<(u32, f64)> = Vec::with_capacity(n);
+
+    loop {
+        while processed < k {
+            let (obj, score) = sorted[processed];
+            processed += 1;
+            if pred(obj) {
+                survivors.push((obj, score));
+            }
+        }
+        if survivors.len() >= n || processed >= sorted.len() {
+            break;
+        }
+        restarts += 1;
+        k = (k * 2).min(sorted.len());
+    }
+
+    StopAfterReport {
+        items: topn(survivors, n),
+        tuples_processed: processed,
+        restarts,
+    }
+}
+
+/// Scan-stop: when the input is already ordered best-first and no predicate
+/// applies, emitting the first `n` tuples is all the work there is.
+pub fn scan_stop(sorted_input: &[(u32, f64)], n: usize) -> StopAfterReport {
+    let take = n.min(sorted_input.len());
+    StopAfterReport {
+        items: sorted_input[..take].to_vec(),
+        tuples_processed: take,
+        restarts: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> Vec<(u32, f64)> {
+        (0..100u32).map(|i| (i, f64::from(999 - i * 7 % 1000))).collect()
+    }
+
+    #[test]
+    fn conservative_processes_everything() {
+        let inp = input();
+        let r = conservative(&inp, 5, |obj| obj % 2 == 0);
+        assert_eq!(r.tuples_processed, 100);
+        assert_eq!(r.restarts, 0);
+        assert_eq!(r.items.len(), 5);
+        assert!(r.items.iter().all(|&(o, _)| o % 2 == 0));
+    }
+
+    #[test]
+    fn aggressive_with_good_estimate_processes_little() {
+        let inp = input();
+        // Half the tuples pass; estimate is exact.
+        let r = aggressive(&inp, 5, 0.5, 1.5, |obj| obj % 2 == 0);
+        assert!(r.items.len() == 5);
+        assert_eq!(r.restarts, 0);
+        assert!(
+            r.tuples_processed <= 20,
+            "processed {}",
+            r.tuples_processed
+        );
+    }
+
+    #[test]
+    fn aggressive_restarts_on_bad_estimate() {
+        let inp = input();
+        // Only 10% pass but the optimizer believes 90% do.
+        let r = aggressive(&inp, 8, 0.9, 1.0, |obj| obj % 10 == 0);
+        assert!(r.restarts >= 1, "expected restarts, got {}", r.restarts);
+        assert_eq!(r.items.len(), 8);
+    }
+
+    #[test]
+    fn policies_agree_on_results() {
+        let inp = input();
+        let pred = |obj: u32| obj.is_multiple_of(3);
+        let cons = conservative(&inp, 7, pred);
+        let aggr = aggressive(&inp, 7, 0.33, 1.2, pred);
+        assert_eq!(cons.items, aggr.items);
+    }
+
+    #[test]
+    fn aggressive_handles_unsatisfiable_predicate() {
+        let inp = input();
+        let r = aggressive(&inp, 5, 0.5, 1.0, |_| false);
+        assert!(r.items.is_empty());
+        assert_eq!(r.tuples_processed, 100); // had to look at everything
+    }
+
+    #[test]
+    fn scan_stop_touches_only_n() {
+        let mut inp = input();
+        inp.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let r = scan_stop(&inp, 10);
+        assert_eq!(r.items.len(), 10);
+        assert_eq!(r.tuples_processed, 10);
+        assert_eq!(r.items, inp[..10].to_vec());
+    }
+
+    #[test]
+    fn scan_stop_beyond_input() {
+        let inp = vec![(1u32, 0.5)];
+        let r = scan_stop(&inp, 10);
+        assert_eq!(r.items.len(), 1);
+    }
+
+    #[test]
+    fn zero_n_everywhere() {
+        let inp = input();
+        assert!(conservative(&inp, 0, |_| true).items.is_empty());
+        assert!(aggressive(&inp, 0, 0.5, 1.0, |_| true).items.is_empty());
+        assert!(scan_stop(&inp, 0).items.is_empty());
+    }
+
+    #[test]
+    fn conservative_empty_input() {
+        let r = conservative(&[], 5, |_| true);
+        assert!(r.items.is_empty());
+        assert_eq!(r.tuples_processed, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Source and aggregation abstractions for top-N middleware algorithms.
+//!
+//! The Fagin line of work (FA, TA, NRA) models retrieval as m graded lists
+//! over one object universe, accessed either *sorted* (descending grade) or
+//! *random* (grade of a given object). The cost model counts accesses, which
+//! is what the paper's "stop as soon as the top N is certain" argument is
+//! about — so every algorithm in this crate reports an [`AccessStats`].
+
+/// Counts of the two access kinds performed by an algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Number of sorted (sequential, per-list) accesses.
+    pub sorted_accesses: usize,
+    /// Number of random (by-object) accesses.
+    pub random_accesses: usize,
+}
+
+impl AccessStats {
+    /// Total accesses, weighting random accesses by `random_cost` relative
+    /// to sorted accesses (Fagin's middleware cost `s + cR·r`).
+    pub fn middleware_cost(&self, random_cost: f64) -> f64 {
+        self.sorted_accesses as f64 + random_cost * self.random_accesses as f64
+    }
+}
+
+/// Sorted access over m descending-grade lists.
+pub trait SortedAccess {
+    /// Number of lists (m).
+    fn num_lists(&self) -> usize;
+    /// Number of objects in the universe.
+    fn num_objects(&self) -> usize;
+    /// The `rank`-th best `(object, grade)` of `list` (0-based rank),
+    /// or `None` past the end.
+    fn sorted_access(&self, list: usize, rank: usize) -> Option<(u32, f64)>;
+}
+
+/// Random access to the grade of a given object in a given list.
+pub trait RandomAccess: SortedAccess {
+    /// The grade of `obj` in `list`.
+    fn grade(&self, list: usize, obj: u32) -> f64;
+}
+
+/// Monotone aggregation functions over per-list grades.
+///
+/// All variants are monotone in every argument, the property FA/TA/NRA
+/// correctness rests on. `Weighted` reproduces the user-weighted term
+/// combination of Fagin & Maarek ("Allowing users to weight search terms").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Sum of grades.
+    Sum,
+    /// Minimum grade (fuzzy conjunction).
+    Min,
+    /// Maximum grade (fuzzy disjunction).
+    Max,
+    /// Non-negative weighted sum; one weight per list.
+    Weighted(Vec<f64>),
+}
+
+impl Agg {
+    /// Apply the aggregate to a full grade vector.
+    pub fn apply(&self, grades: &[f64]) -> f64 {
+        match self {
+            Agg::Sum => grades.iter().sum(),
+            Agg::Min => grades.iter().copied().fold(f64::INFINITY, f64::min),
+            Agg::Max => grades.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Agg::Weighted(w) => grades.iter().zip(w).map(|(&g, &wi)| g * wi).sum(),
+        }
+    }
+
+    /// Whether the weight vector (if any) matches `m` lists and is valid.
+    pub fn validate(&self, m: usize) -> bool {
+        match self {
+            Agg::Weighted(w) => w.len() == m && w.iter().all(|&x| x >= 0.0 && x.is_finite()),
+            _ => true,
+        }
+    }
+}
+
+/// A plain in-memory realization of m grade lists with precomputed sorted
+/// orders; the reference [`SortedAccess`]/[`RandomAccess`] source.
+#[derive(Debug, Clone)]
+pub struct InMemoryLists {
+    /// `grades[i][obj]`.
+    grades: Vec<Vec<f64>>,
+    /// `order[i]` = object ids of list `i`, best first.
+    order: Vec<Vec<u32>>,
+}
+
+impl InMemoryLists {
+    /// Build from raw per-list grade vectors (`grades[i][obj]`). All lists
+    /// must have equal length. Sorted orders are precomputed with ties
+    /// broken by object id.
+    pub fn from_grades(grades: Vec<Vec<f64>>) -> InMemoryLists {
+        let order = grades
+            .iter()
+            .map(|list| {
+                let mut ids: Vec<u32> = (0..list.len() as u32).collect();
+                ids.sort_by(|&a, &b| {
+                    list[b as usize]
+                        .total_cmp(&list[a as usize])
+                        .then(a.cmp(&b))
+                });
+                ids
+            })
+            .collect();
+        InMemoryLists { grades, order }
+    }
+
+    /// Exact top-k under `agg` by exhaustive scan (the correctness oracle).
+    pub fn topk_oracle(&self, k: usize, agg: &Agg) -> Vec<(u32, f64)> {
+        let n = self.num_objects();
+        let mut all: Vec<(u32, f64)> = (0..n as u32)
+            .map(|o| {
+                let grades: Vec<f64> = (0..self.num_lists()).map(|i| self.grade(i, o)).collect();
+                (o, agg.apply(&grades))
+            })
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+impl SortedAccess for InMemoryLists {
+    fn num_lists(&self) -> usize {
+        self.grades.len()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.grades.first().map_or(0, Vec::len)
+    }
+
+    fn sorted_access(&self, list: usize, rank: usize) -> Option<(u32, f64)> {
+        let obj = *self.order.get(list)?.get(rank)?;
+        Some((obj, self.grades[list][obj as usize]))
+    }
+}
+
+impl RandomAccess for InMemoryLists {
+    fn grade(&self, list: usize, obj: u32) -> f64 {
+        self.grades[list][obj as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lists() -> InMemoryLists {
+        InMemoryLists::from_grades(vec![
+            vec![0.9, 0.1, 0.5, 0.3], // list 0
+            vec![0.2, 0.8, 0.5, 0.4], // list 1
+        ])
+    }
+
+    #[test]
+    fn sorted_access_descends() {
+        let l = lists();
+        assert_eq!(l.sorted_access(0, 0), Some((0, 0.9)));
+        assert_eq!(l.sorted_access(0, 1), Some((2, 0.5)));
+        assert_eq!(l.sorted_access(0, 3), Some((1, 0.1)));
+        assert_eq!(l.sorted_access(0, 4), None);
+        assert_eq!(l.sorted_access(9, 0), None);
+    }
+
+    #[test]
+    fn random_access_grades() {
+        let l = lists();
+        assert_eq!(l.grade(1, 1), 0.8);
+        assert_eq!(l.grade(0, 3), 0.3);
+    }
+
+    #[test]
+    fn agg_apply() {
+        assert_eq!(Agg::Sum.apply(&[0.5, 0.25]), 0.75);
+        assert_eq!(Agg::Min.apply(&[0.5, 0.25]), 0.25);
+        assert_eq!(Agg::Max.apply(&[0.5, 0.25]), 0.5);
+        assert_eq!(Agg::Weighted(vec![2.0, 4.0]).apply(&[0.5, 0.25]), 2.0);
+    }
+
+    #[test]
+    fn agg_validation() {
+        assert!(Agg::Sum.validate(3));
+        assert!(Agg::Weighted(vec![1.0, 2.0]).validate(2));
+        assert!(!Agg::Weighted(vec![1.0]).validate(2));
+        assert!(!Agg::Weighted(vec![-1.0, 2.0]).validate(2));
+        assert!(!Agg::Weighted(vec![f64::NAN, 2.0]).validate(2));
+    }
+
+    #[test]
+    fn oracle_is_sorted_and_correct() {
+        let l = lists();
+        let top = l.topk_oracle(2, &Agg::Sum);
+        // Sums: obj0 1.1, obj1 0.9, obj2 1.0, obj3 0.7.
+        assert_eq!(top, vec![(0, 1.1), (2, 1.0)]);
+    }
+
+    #[test]
+    fn ties_break_by_object_id() {
+        let l = InMemoryLists::from_grades(vec![vec![0.5, 0.5, 0.5]]);
+        assert_eq!(l.sorted_access(0, 0), Some((0, 0.5)));
+        assert_eq!(l.sorted_access(0, 1), Some((1, 0.5)));
+        let top = l.topk_oracle(2, &Agg::Sum);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 1);
+    }
+
+    #[test]
+    fn middleware_cost_weighting() {
+        let s = AccessStats {
+            sorted_accesses: 10,
+            random_accesses: 4,
+        };
+        assert_eq!(s.middleware_cost(1.0), 14.0);
+        assert_eq!(s.middleware_cost(5.0), 30.0);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let l = InMemoryLists::from_grades(vec![Vec::new()]);
+        assert_eq!(l.num_objects(), 0);
+        assert_eq!(l.sorted_access(0, 0), None);
+        assert!(l.topk_oracle(3, &Agg::Sum).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: build a small collection, attach it to a Moa session, and
+//! run a ranked top-10 query through the full stack — algebra, optimizer,
+//! and the fragmented retrieval engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use moa_core::{Env, Expr, IrRuntime, Session};
+use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
+use moa_ir::{FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, Strategy, SwitchPolicy};
+
+fn main() {
+    // 1. A synthetic Zipf-distributed collection (seeded, deterministic).
+    let collection = Collection::generate(CollectionConfig::small()).expect("valid preset");
+    println!(
+        "collection: {} docs, {} observed terms, {} postings",
+        collection.num_docs(),
+        collection.observed_vocab(),
+        collection.num_postings()
+    );
+
+    // 2. Index it and fragment the term-document matrix: fragment A holds
+    //    the 95% rarest ("most interesting") terms.
+    let index = Arc::new(InvertedIndex::from_collection(&collection));
+    let frag = Arc::new(
+        FragmentedIndex::build(Arc::clone(&index), FragmentSpec::TermFraction(0.95))
+            .expect("non-empty index"),
+    );
+    println!(
+        "fragment A: {:.1}% of terms, {:.1}% of volume",
+        100.0 * frag.term_fraction_a(),
+        100.0 * frag.volume_fraction_a()
+    );
+
+    // 3. Attach the retrieval runtime to a Moa session using the safe
+    //    switch strategy.
+    let runtime = Arc::new(IrRuntime::new(
+        frag,
+        RankingModel::default(),
+        SwitchPolicy::default(),
+        Strategy::Switch { use_b_index: false },
+    ));
+    let session = Session::with_ir(runtime);
+
+    // 4. Express "top 10 for this query" in the algebra. The intra-object
+    //    optimizer fuses topn(rank(q)) into the bounded rank_topn operator.
+    let query = generate_queries(&collection, &QueryConfig::default())
+        .expect("valid workload")
+        .remove(0);
+    println!("query terms: {:?}", query.terms);
+    let expr = Expr::mm_topn(
+        Expr::mm_rank(Expr::constant(moa_core::Value::int_list(
+            query.terms.iter().map(|&t| i64::from(t)),
+        ))),
+        10,
+    );
+
+    println!("\n{}", session.explain(&expr));
+
+    let unopt = session.run_unoptimized(&expr, &Env::new()).expect("query runs");
+    let opt = session.run(&expr, &Env::new()).expect("query runs");
+    assert_eq!(opt.value, unopt.value);
+
+    println!("top-10 ({} work units optimized, {} unoptimized):", opt.work, unopt.work);
+    if let moa_core::Value::Ranked(pairs) = &opt.value {
+        for (rank, (doc, score)) in pairs.iter().enumerate() {
+            println!("  {:>2}. doc {:>6}  score {score:.4}", rank + 1, doc);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # moa — Top-N query optimization for multimedia databases
+//!
+//! Umbrella crate of the reproduction of H.E. Blok, *Top N optimization
+//! issues in MM databases* (EDBT 2000). Re-exports the five member crates:
+//!
+//! * [`moa_core`] (re-exported as `core`) — the Moa structured object algebra, the three-layer
+//!   (logical / inter-object / intra-object) optimizer, the cost model, and
+//!   the expression language,
+//! * [`moa_ir`] (as `ir`) — the set-at-a-time retrieval engine with df-based
+//!   horizontal fragmentation, the early quality check, and the
+//!   element-at-a-time comparator,
+//! * [`moa_topn`] (as `topn`) — bounded-heap top-N, Fagin's FA, TA, NRA,
+//!   Carey–Kossmann STOP AFTER, and probabilistic cutoff top-N,
+//! * [`moa_storage`] (as `storage`) — the main-memory BAT kernel with non-dense
+//!   indexes and histograms,
+//! * [`moa_corpus`] (as `corpus`) — seeded synthetic workloads (Zipf collections,
+//!   topical queries and qrels, correlated feature lists).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the paper-to-module mapping,
+//! and `EXPERIMENTS.md` for the measured reproduction of every claim.
+//!
+//! ```
+//! use moa::core::{parse_expr, Env, Session};
+//!
+//! let session = Session::new();
+//! let expr = parse_expr("BAG.count(LIST.projecttobag([4, 5, 6]))").unwrap();
+//! let report = session.run(&expr, &Env::new()).unwrap();
+//! assert_eq!(report.value, moa::core::Value::Int(3));
+//! ```
+
+pub use moa_core as core;
+pub use moa_corpus as corpus;
+pub use moa_ir as ir;
+pub use moa_storage as storage;
+pub use moa_topn as topn;

