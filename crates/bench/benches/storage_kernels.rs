@@ -72,7 +72,9 @@ fn bench_aggregation_and_topn(c: &mut Criterion) {
         let n = 100_000u32;
         let mut rng = StdRng::seed_from_u64(99);
         let contributions = Bat::new(
-            (0..n).map(|_| rng.gen_range(0..n / 10)).collect::<Vec<u32>>(),
+            (0..n)
+                .map(|_| rng.gen_range(0..n / 10))
+                .collect::<Vec<u32>>(),
             Column::from((0..n).map(|_| rng.gen::<f64>()).collect::<Vec<f64>>()),
         )
         .unwrap();
@@ -94,5 +96,10 @@ fn bench_aggregation_and_topn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_select, bench_joins, bench_aggregation_and_topn);
+criterion_group!(
+    benches,
+    bench_select,
+    bench_joins,
+    bench_aggregation_and_topn
+);
 criterion_main!(benches);

@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use moa_corpus::{Correlation, FeatureConfig, FeatureLists};
 use moa_storage::EquiWidthHistogram;
 use moa_topn::{
-    aggressive, conservative, fagin_topn, nra_topn, prob_topn, ta_topn, topn, topn_full_sort,
-    Agg, InMemoryLists,
+    aggressive, conservative, fagin_topn, nra_topn, prob_topn, ta_topn, topn, topn_full_sort, Agg,
+    InMemoryLists,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

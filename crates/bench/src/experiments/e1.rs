@@ -74,7 +74,11 @@ pub fn run(scale: Scale) -> Table {
     ));
     t.note(format!(
         "claim 'quality dropped more than 30%': MAP drop {quality_drop:.1}% — {}",
-        if quality_drop > 30.0 { "HOLDS" } else { "WEAKER at this scale" }
+        if quality_drop > 30.0 {
+            "HOLDS"
+        } else {
+            "WEAKER at this scale"
+        }
     ));
     t
 }

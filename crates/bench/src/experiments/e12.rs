@@ -31,7 +31,10 @@ pub fn run(scale: Scale) -> Table {
 
     let models = [
         ("TF-IDF", RankingModel::TfIdf),
-        ("Hiemstra LM (0.15)", RankingModel::HiemstraLm { lambda: 0.15 }),
+        (
+            "Hiemstra LM (0.15)",
+            RankingModel::HiemstraLm { lambda: 0.15 },
+        ),
         ("BM25 (1.2, 0.75)", RankingModel::Bm25 { k1: 1.2, b: 0.75 }),
     ];
 
@@ -48,8 +51,8 @@ pub fn run(scale: Scale) -> Table {
         } else {
             0.0
         };
-        let saved = 100.0
-            * (1.0 - a_only.postings_scanned as f64 / full.postings_scanned.max(1) as f64);
+        let saved =
+            100.0 * (1.0 - a_only.postings_scanned as f64 / full.postings_scanned.max(1) as f64);
         t.row(vec![
             label.into(),
             format!("{map_full:.4}"),

@@ -47,16 +47,15 @@ pub fn run(scale: Scale) -> Table {
         .build_sparse_index(1024)
         .expect("sorted");
     let frag_indexed = std::sync::Arc::new(frag_indexed);
-    let switch_idx = f.run_strategy(&frag_indexed, Strategy::Switch { use_b_index: true }, policy);
+    let switch_idx = f.run_strategy(
+        &frag_indexed,
+        Strategy::Switch { use_b_index: true },
+        policy,
+    );
 
     let mut t = Table::new(
         "E13: element-at-a-time (IR engine) vs set-based (BAT) evaluation",
-        &[
-            "architecture",
-            "postings scanned",
-            "batch time",
-            "MAP",
-        ],
+        &["architecture", "postings scanned", "batch time", "MAP"],
     );
     let daat_outcome = crate::experiments::fixture::StrategyOutcome {
         rankings: daat_rankings,
@@ -113,7 +112,10 @@ mod tests {
         // Element-at-a-time, unfragmented set-based, and the safe switch
         // configurations rank (essentially) identically.
         assert!((maps[0] - maps[1]).abs() < 1e-9, "DAAT vs full: {maps:?}");
-        assert!((maps[2] - maps[3]).abs() < 1e-9, "switch vs indexed: {maps:?}");
+        assert!(
+            (maps[2] - maps[3]).abs() < 1e-9,
+            "switch vs indexed: {maps:?}"
+        );
     }
 
     #[test]

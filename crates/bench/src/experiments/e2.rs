@@ -72,7 +72,11 @@ pub fn run(scale: Scale) -> Table {
         "claim 'but lowered the speed also quite a lot': switch scans {} vs A-only {} — {}",
         switch.postings_scanned,
         a_only.postings_scanned,
-        if slower_than_a { "HOLDS" } else { "DOES NOT HOLD" }
+        if slower_than_a {
+            "HOLDS"
+        } else {
+            "DOES NOT HOLD"
+        }
     ));
     t
 }

@@ -25,15 +25,18 @@ pub fn run(scale: Scale) -> Table {
     let plain = f.run_strategy(&frag_plain, Strategy::Switch { use_b_index: false }, policy);
 
     // With the non-dense index on B.
-    let mut frag_indexed =
-        moa_ir::FragmentedIndex::build(std::sync::Arc::clone(&f.index), spec)
-            .expect("non-empty index");
+    let mut frag_indexed = moa_ir::FragmentedIndex::build(std::sync::Arc::clone(&f.index), spec)
+        .expect("non-empty index");
     frag_indexed
         .fragment_b_mut()
         .build_sparse_index(1024)
         .expect("sorted term column");
     let frag_indexed = std::sync::Arc::new(frag_indexed);
-    let indexed = f.run_strategy(&frag_indexed, Strategy::Switch { use_b_index: true }, policy);
+    let indexed = f.run_strategy(
+        &frag_indexed,
+        Strategy::Switch { use_b_index: true },
+        policy,
+    );
 
     let map_plain = f.map(&plain);
     let map_indexed = f.map(&indexed);
@@ -72,7 +75,11 @@ pub fn run(scale: Scale) -> Table {
     ));
     t.note(format!(
         "quality unchanged: MAP {map_plain:.4} vs {map_indexed:.4} — {}",
-        if (map_plain - map_indexed).abs() < 1e-9 { "IDENTICAL" } else { "DIFFERS" }
+        if (map_plain - map_indexed).abs() < 1e-9 {
+            "IDENTICAL"
+        } else {
+            "DIFFERS"
+        }
     ));
     t
 }

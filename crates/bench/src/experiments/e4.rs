@@ -32,13 +32,7 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E4: Example 1 — select(projecttobag(l), lo, hi) under three optimizer levels",
-        &[
-            "list size",
-            "plan",
-            "work units",
-            "time",
-            "result card",
-        ],
+        &["list size", "plan", "work units", "time", "result card"],
     );
 
     for &n in sizes {

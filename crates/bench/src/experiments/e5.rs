@@ -85,7 +85,9 @@ pub fn run(scale: Scale) -> Table {
     }
 
     t.note("claim: bound administration allows 'ending the processing as soon as it is certain' — FA/TA/NRA access counts are far below the naive scan for small N");
-    t.note("TA halts no later than FA (instance optimality); anti-correlated lists are the worst case");
+    t.note(
+        "TA halts no later than FA (instance optimality); anti-correlated lists are the worst case",
+    );
     t
 }
 

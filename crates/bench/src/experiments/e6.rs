@@ -47,7 +47,10 @@ pub fn run(scale: Scale) -> Table {
             cons.items.len().to_string(),
         ]);
         // Aggressive with an accurate and an optimistic estimate.
-        for (est_label, est) in [("accurate", true_rate), ("optimistic 10x", true_rate * 10.0)] {
+        for (est_label, est) in [
+            ("accurate", true_rate),
+            ("optimistic 10x", true_rate * 10.0),
+        ] {
             let aggr = aggressive(&input, n, est.min(1.0), 1.5, pred);
             assert_eq!(aggr.items, cons.items, "policies disagree");
             t.row(vec![

@@ -67,7 +67,11 @@ pub fn run(scale: Scale) -> Table {
             (survivors_sum / trials).to_string(),
             format!("{:.2}", restarts as f64 / trials as f64),
             (scanned_sum / trials).to_string(),
-            if all_correct { "yes".into() } else { "NO".into() },
+            if all_correct {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
 

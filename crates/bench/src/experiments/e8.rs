@@ -120,7 +120,11 @@ pub fn run(scale: Scale) -> Table {
     let rho = spearman(&predicted, &measured);
     t.note(format!(
         "Spearman rank correlation predicted vs measured: {rho:.3} — {}",
-        if rho > 0.8 { "HIGH (plan ordering is predicted reliably)" } else { "LOW" }
+        if rho > 0.8 {
+            "HIGH (plan ordering is predicted reliably)"
+        } else {
+            "LOW"
+        }
     ));
 
     // Plan-choice check on Example-1 pairs at three sizes.

@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use moa_corpus::{
-    generate_qrels, generate_queries, Collection, CollectionConfig, Qrels, Query, QueryConfig,
-    QrelsConfig,
+    generate_qrels, generate_queries, Collection, CollectionConfig, Qrels, QrelsConfig, Query,
+    QueryConfig,
 };
 use moa_ir::{
     average_precision, mean_of, overlap_at, FragSearcher, FragmentSpec, FragmentedIndex,
@@ -76,9 +76,7 @@ impl RetrievalFixture {
 
     /// Fragment the fixture's index.
     pub fn fragment(&self, spec: FragmentSpec) -> Arc<FragmentedIndex> {
-        Arc::new(
-            FragmentedIndex::build(Arc::clone(&self.index), spec).expect("non-empty index"),
-        )
+        Arc::new(FragmentedIndex::build(Arc::clone(&self.index), spec).expect("non-empty index"))
     }
 
     /// Run the whole workload under one strategy, measuring work and time.

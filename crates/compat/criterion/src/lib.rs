@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of the criterion API the `moa-bench`
+//! benches use: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. There is no statistical engine: each benchmark runs a short
+//! warm-up plus a fixed number of timed iterations and prints the median
+//! per-iteration time. That is enough to compile the bench targets, smoke
+//! them in CI, and eyeball relative costs — the `moa-bench` `experiments`
+//! binary remains the rigorous measurement path.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter rendering alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs closures under measurement (subset of `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, then the timed ones.
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 5 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: self.iters,
+        };
+        f(&mut b);
+        println!("bench {:<40} median {:>12.3?}", id.id, b.median());
+        self
+    }
+
+    /// Runs a single ungrouped benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+}
+
+/// A named collection of benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::new(&self.name, id.into().id);
+        self.criterion.bench_function(id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark in the group with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Input-size annotations (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

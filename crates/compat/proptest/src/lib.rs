@@ -1,0 +1,186 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of the proptest API the Moa test suites
+//! use: the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, [`strategy::Just`], numeric range
+//! strategies, tuple strategies, and [`collection::vec`].
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! * **Deterministic seeds.** Every test's case stream is derived from an
+//!   FNV-1a hash of `module_path!()::test_name` mixed with
+//!   [`test_runner::ProptestConfig::seed`] (default `0x4D4F_4131`, "MOA1"), so a
+//!   failing case reproduces identically on every machine and run — there
+//!   is no environment-dependent entropy and no persistence file.
+//! * **No shrinking.** A failing case panics immediately and prints the
+//!   generated inputs; with fully deterministic streams, re-running under a
+//!   debugger reproduces the exact case.
+//! * **Uniform generation.** Range strategies sample uniformly instead of
+//!   biasing toward boundary values; the suites compensate by pinning edge
+//!   cases in dedicated unit tests.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines a block of property tests (subset of `proptest::proptest!`).
+///
+/// Supports the `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items, where each
+/// parameter is an identifier optionally prefixed with `mut`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_munch!{ ($cfg) ($name) $body [] $($params)* }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    // Terminal: all parameters consumed — expand the case loop.
+    ( ($cfg:expr) ($name:ident) $body:block
+      [ $( ($p:ident, ($($mutkw:tt)*), $s:expr), )* ] ) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let __test_path = concat!(module_path!(), "::", stringify!($name));
+        for __case in 0..__cfg.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(
+                __test_path,
+                __cfg.seed,
+                u64::from(__case),
+            );
+            $( let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng); )*
+            let __inputs = ::std::vec![
+                $( ::std::format!(concat!(stringify!($p), " = {:?}"), &$p), )*
+            ]
+            .join(", ");
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                move || {
+                    $( let $($mutkw)* $p = $p; )*
+                    $body
+                },
+            ));
+            if let ::std::result::Result::Err(__payload) = __outcome {
+                ::std::eprintln!(
+                    "proptest (offline shim): {} failed at case {}/{} with inputs: {{ {} }}",
+                    __test_path,
+                    __case + 1,
+                    __cfg.cases,
+                    __inputs,
+                );
+                ::std::panic::resume_unwind(__payload);
+            }
+        }
+    }};
+    // `mut name in strategy` followed by more parameters (or trailing comma).
+    ( ($cfg:expr) ($name:ident) $body:block [ $($acc:tt)* ]
+      mut $p:ident in $s:expr, $($rest:tt)* ) => {
+        $crate::__proptest_munch!{ ($cfg) ($name) $body
+            [ $($acc)* ($p, (mut), $s), ] $($rest)* }
+    };
+    // `mut name in strategy` as the final parameter.
+    ( ($cfg:expr) ($name:ident) $body:block [ $($acc:tt)* ]
+      mut $p:ident in $s:expr ) => {
+        $crate::__proptest_munch!{ ($cfg) ($name) $body
+            [ $($acc)* ($p, (mut), $s), ] }
+    };
+    // `name in strategy` followed by more parameters (or trailing comma).
+    ( ($cfg:expr) ($name:ident) $body:block [ $($acc:tt)* ]
+      $p:ident in $s:expr, $($rest:tt)* ) => {
+        $crate::__proptest_munch!{ ($cfg) ($name) $body
+            [ $($acc)* ($p, (), $s), ] $($rest)* }
+    };
+    // `name in strategy` as the final parameter.
+    ( ($cfg:expr) ($name:ident) $body:block [ $($acc:tt)* ]
+      $p:ident in $s:expr ) => {
+        $crate::__proptest_munch!{ ($cfg) ($name) $body
+            [ $($acc)* ($p, (), $s), ] }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type
+/// (subset of `proptest::prop_oneof!`; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            ::std::panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            ::std::panic!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left), stringify!($right), __l, __r,
+                ::std::format!($($fmt)+),
+            );
+        }
+    }};
+}
+
+/// Asserts two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+        );
+    }};
+}

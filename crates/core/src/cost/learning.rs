@@ -58,8 +58,8 @@ impl LearnedDistribution {
             }
         }
         let should_fit = self.fitted.is_none() && self.sample.len() >= self.min_sample;
-        let should_refit = self.fitted.is_some()
-            && self.out_of_support * 10 > self.sample.len().max(1);
+        let should_refit =
+            self.fitted.is_some() && self.out_of_support * 10 > self.sample.len().max(1);
         if should_fit || should_refit {
             self.refit();
         }

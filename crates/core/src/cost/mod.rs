@@ -133,12 +133,13 @@ impl CostModel {
                     (_, "select_ordered") => {
                         let sel = range_selectivity(args, ctx);
                         let out = n * sel;
-                        (out, w.compare * 2.0 * n.max(2.0).log2() + w.materialize * out)
+                        (
+                            out,
+                            w.compare * 2.0 * n.max(2.0).log2() + w.materialize * out,
+                        )
                     }
                     // --- list ops ---
-                    (ExtensionId::List, "sort") => {
-                        (n, w.scan * n * n.max(2.0).log2())
-                    }
+                    (ExtensionId::List, "sort") => (n, w.scan * n * n.max(2.0).log2()),
                     (ExtensionId::List, "topn") => {
                         let k = const_int(args.get(1)).unwrap_or(n);
                         (k.min(n), w.scan * n)
@@ -179,16 +180,13 @@ impl CostModel {
                     (ExtensionId::Set, "projecttolist") => (n, w.scan * n),
                     // --- tuple ops ---
                     (ExtensionId::Tuple, "get" | "arity") => (1.0, w.scan),
-                    (ExtensionId::Tuple, "make") => {
-                        (args.len() as f64, w.scan * args.len() as f64)
-                    }
+                    (ExtensionId::Tuple, "make") => (args.len() as f64, w.scan * args.len() as f64),
                     // --- mmrank ops ---
                     (ExtensionId::MmRank, "rank") => {
                         let ir = ctx.ir.ok_or(CoreError::NoIrRuntime)?;
                         (
                             ir.num_docs,
-                            w.rank_posting * ir.postings_per_query
-                                + w.materialize * ir.num_docs,
+                            w.rank_posting * ir.postings_per_query + w.materialize * ir.num_docs,
                         )
                     }
                     (ExtensionId::MmRank, "rank_topn") => {
@@ -318,7 +316,12 @@ mod tests {
         };
         let cs = m.estimate(&scan, &ctx()).unwrap();
         let co = m.estimate(&ordered, &ctx()).unwrap();
-        assert!(co.cost * 10.0 < cs.cost, "ordered {} vs scan {}", co.cost, cs.cost);
+        assert!(
+            co.cost * 10.0 < cs.cost,
+            "ordered {} vs scan {}",
+            co.cost,
+            cs.cost
+        );
     }
 
     #[test]

@@ -107,7 +107,12 @@ mod tests {
         let out = evaluate(&e, &Env::new(), &registry(), &mut ctx).unwrap();
         assert_eq!(
             out,
-            Value::bag(vec![Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(4)])
+            Value::bag(vec![
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4),
+                Value::Int(4)
+            ])
         );
         assert!(ctx.elements_processed > 0);
     }

@@ -15,7 +15,16 @@ fn render_into(expr: &Expr, depth: usize, out: &mut String) {
         Expr::Const(v) => {
             let s = v.to_string();
             let shown = if s.len() > 48 {
-                format!("{}… ({} elements)", &s[..s.char_indices().take_while(|(i, _)| *i < 45).map(|(i, c)| i + c.len_utf8()).last().unwrap_or(0)], v.cardinality())
+                format!(
+                    "{}… ({} elements)",
+                    &s[..s
+                        .char_indices()
+                        .take_while(|(i, _)| *i < 45)
+                        .map(|(i, c)| i + c.len_utf8())
+                        .last()
+                        .unwrap_or(0)],
+                    v.cardinality()
+                )
             } else {
                 s
             };

@@ -217,7 +217,11 @@ mod tests {
         let big = bag(0..10_000);
         let mut scan_ctx = ExecContext::new();
         BagExt
-            .evaluate("select", &[big.clone(), Value::Int(10), Value::Int(20)], &mut scan_ctx)
+            .evaluate(
+                "select",
+                &[big.clone(), Value::Int(10), Value::Int(20)],
+                &mut scan_ctx,
+            )
             .unwrap();
         let mut bin_ctx = ExecContext::new();
         BagExt
@@ -233,10 +237,22 @@ mod tests {
     #[test]
     fn count_sum_contains() {
         let b = bag([4, 4, 5]);
-        assert_eq!(eval("count", &[b.clone()]).unwrap(), Value::Int(3));
-        assert_eq!(eval("sum", &[b.clone()]).unwrap(), Value::Int(13));
-        assert_eq!(eval("contains", &[b.clone(), Value::Int(4)]).unwrap(), Value::Bool(true));
-        assert_eq!(eval("contains", &[b, Value::Int(9)]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval("count", std::slice::from_ref(&b)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval("sum", std::slice::from_ref(&b)).unwrap(),
+            Value::Int(13)
+        );
+        assert_eq!(
+            eval("contains", &[b.clone(), Value::Int(4)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("contains", &[b, Value::Int(9)]).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -249,7 +265,7 @@ mod tests {
     fn projections() {
         let b = bag([2, 1, 2]);
         assert_eq!(
-            eval("projecttoset", &[b.clone()]).unwrap(),
+            eval("projecttoset", std::slice::from_ref(&b)).unwrap(),
             Value::set(vec![Value::Int(1), Value::Int(2)])
         );
         assert_eq!(
@@ -260,28 +276,48 @@ mod tests {
 
     #[test]
     fn type_errors() {
-        assert!(eval("select", &[Value::int_list([1]), Value::Int(0), Value::Int(1)]).is_err());
+        assert!(eval(
+            "select",
+            &[Value::int_list([1]), Value::Int(0), Value::Int(1)]
+        )
+        .is_err());
         assert!(eval("count", &[Value::Int(3)]).is_err());
-        assert!(matches!(eval("nope", &[]), Err(CoreError::UnknownOp { .. })));
+        assert!(matches!(
+            eval("nope", &[]),
+            Err(CoreError::UnknownOp { .. })
+        ));
     }
 
     #[test]
     fn type_check_signatures() {
         let bi = MoaType::Bag(Box::new(MoaType::Int));
         assert_eq!(
-            BagExt.type_check("select", &[bi.clone(), MoaType::Int, MoaType::Int]).unwrap(),
+            BagExt
+                .type_check("select", &[bi.clone(), MoaType::Int, MoaType::Int])
+                .unwrap(),
             bi
         );
-        assert_eq!(BagExt.type_check("count", &[bi.clone()]).unwrap(), MoaType::Int);
         assert_eq!(
-            BagExt.type_check("projecttoset", &[bi.clone()]).unwrap(),
+            BagExt
+                .type_check("count", std::slice::from_ref(&bi))
+                .unwrap(),
+            MoaType::Int
+        );
+        assert_eq!(
+            BagExt
+                .type_check("projecttoset", std::slice::from_ref(&bi))
+                .unwrap(),
             MoaType::Set(Box::new(MoaType::Int))
         );
         assert_eq!(
-            BagExt.type_check("projecttolist", &[bi.clone()]).unwrap(),
+            BagExt
+                .type_check("projecttolist", std::slice::from_ref(&bi))
+                .unwrap(),
             MoaType::List(Box::new(MoaType::Int))
         );
-        assert!(BagExt.type_check("select", &[MoaType::Int, MoaType::Int, MoaType::Int]).is_err());
+        assert!(BagExt
+            .type_check("select", &[MoaType::Int, MoaType::Int, MoaType::Int])
+            .is_err());
         assert!(BagExt
             .type_check("union", &[bi.clone(), MoaType::Bag(Box::new(MoaType::Str))])
             .is_err());
@@ -290,7 +326,10 @@ mod tests {
     #[test]
     fn empty_bag_edges() {
         let e = Value::bag(vec![]);
-        assert_eq!(eval("count", &[e.clone()]).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval("count", std::slice::from_ref(&e)).unwrap(),
+            Value::Int(0)
+        );
         assert_eq!(
             eval("select", &[e.clone(), Value::Int(0), Value::Int(1)]).unwrap(),
             Value::bag(vec![])

@@ -142,10 +142,7 @@ impl Extension for ListExt {
                 // Physical precondition: ascending order (proven by the
                 // optimizer; verified only in debug builds to keep the
                 // honest O(log n) cost).
-                debug_assert!(
-                    args[0].is_sorted_asc(),
-                    "select_ordered on unsorted input"
-                );
+                debug_assert!(args[0].is_sorted_asc(), "select_ordered on unsorted input");
                 let mut work = 0u64;
                 let (s, e) = sorted_range(items, &args[1], &args[2], &mut work);
                 ctx.work(work + (e - s) as u64);
@@ -177,7 +174,9 @@ impl Extension for ListExt {
                 let mut idx: Vec<usize> = (0..items.len()).collect();
                 idx.sort_by(|&a, &b| items[b].total_cmp(&items[a]).then(a.cmp(&b)));
                 idx.truncate(n);
-                Ok(Value::List(idx.into_iter().map(|i| items[i].clone()).collect()))
+                Ok(Value::List(
+                    idx.into_iter().map(|i| items[i].clone()).collect(),
+                ))
             }
             "firstn" => {
                 expect_arity(self.id(), op, args.len(), 2)?;
@@ -340,16 +339,28 @@ mod tests {
     #[test]
     fn sort_and_reverse() {
         let l = Value::int_list([3, 1, 2]);
-        assert_eq!(eval("sort", &[l.clone()]).unwrap(), Value::int_list([1, 2, 3]));
+        assert_eq!(
+            eval("sort", std::slice::from_ref(&l)).unwrap(),
+            Value::int_list([1, 2, 3])
+        );
         assert_eq!(eval("reverse", &[l]).unwrap(), Value::int_list([2, 1, 3]));
     }
 
     #[test]
     fn length_sum_nth_concat() {
         let l = Value::int_list([4, 5, 6]);
-        assert_eq!(eval("length", &[l.clone()]).unwrap(), Value::Int(3));
-        assert_eq!(eval("sum", &[l.clone()]).unwrap(), Value::Int(15));
-        assert_eq!(eval("nth", &[l.clone(), Value::Int(1)]).unwrap(), Value::Int(5));
+        assert_eq!(
+            eval("length", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval("sum", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(15)
+        );
+        assert_eq!(
+            eval("nth", &[l.clone(), Value::Int(1)]).unwrap(),
+            Value::Int(5)
+        );
         assert!(eval("nth", &[l.clone(), Value::Int(9)]).is_err());
         assert_eq!(
             eval("concat", &[l.clone(), Value::int_list([7])]).unwrap(),
@@ -393,7 +404,9 @@ mod tests {
             .is_err());
         let t = ListExt.type_check("projecttobag", &[li]).unwrap();
         assert_eq!(t, MoaType::Bag(Box::new(MoaType::Int)));
-        assert!(ListExt.type_check("select", &[MoaType::Int, MoaType::Int, MoaType::Int]).is_err());
+        assert!(ListExt
+            .type_check("select", &[MoaType::Int, MoaType::Int, MoaType::Int])
+            .is_err());
     }
 
     #[test]
@@ -403,7 +416,10 @@ mod tests {
             eval("select", &[empty.clone(), Value::Int(0), Value::Int(9)]).unwrap(),
             Value::List(vec![])
         );
-        assert_eq!(eval("topn", &[empty.clone(), Value::Int(5)]).unwrap(), Value::List(vec![]));
+        assert_eq!(
+            eval("topn", &[empty.clone(), Value::Int(5)]).unwrap(),
+            Value::List(vec![])
+        );
         assert_eq!(eval("length", &[empty]).unwrap(), Value::Int(0));
     }
 }

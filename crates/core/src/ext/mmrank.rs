@@ -62,7 +62,9 @@ impl Extension for MmRankExt {
         let expect_ranked = |t: &MoaType| -> Result<()> {
             match t {
                 MoaType::Ranked | MoaType::Any => Ok(()),
-                other => Err(type_err(format!("MMRANK.{op}: expected RANKED, got {other}"))),
+                other => Err(type_err(format!(
+                    "MMRANK.{op}: expected RANKED, got {other}"
+                ))),
             }
         };
         let expect_query = |t: &MoaType| -> Result<()> {
@@ -188,7 +190,10 @@ impl Extension for MmRankExt {
                 let ranked = get_ranked(&args[0], op)?;
                 ctx.work(ranked.len() as u64);
                 Ok(Value::List(
-                    ranked.iter().map(|&(d, _)| Value::Int(i64::from(d))).collect(),
+                    ranked
+                        .iter()
+                        .map(|&(d, _)| Value::Int(i64::from(d)))
+                        .collect(),
                 ))
             }
             "scores" => {
@@ -265,7 +270,9 @@ mod tests {
         let rt = runtime();
         let q = query_value(&rt);
         let mut ctx1 = ExecContext::with_ir(Arc::clone(&rt));
-        let full = MmRankExt.evaluate("rank", &[q.clone()], &mut ctx1).unwrap();
+        let full = MmRankExt
+            .evaluate("rank", std::slice::from_ref(&q), &mut ctx1)
+            .unwrap();
         let top = MmRankExt
             .evaluate("topn", &[full, Value::Int(5)], &mut ctx1)
             .unwrap();
@@ -303,7 +310,9 @@ mod tests {
     fn projections_preserve_rank_order() {
         let ranked = Value::ranked(vec![(9, 0.9), (4, 0.8)]);
         let mut ctx = ExecContext::new();
-        let docs = MmRankExt.evaluate("projecttolist", &[ranked.clone()], &mut ctx).unwrap();
+        let docs = MmRankExt
+            .evaluate("projecttolist", std::slice::from_ref(&ranked), &mut ctx)
+            .unwrap();
         assert_eq!(docs, Value::int_list([9, 4]));
         let scores = MmRankExt.evaluate("scores", &[ranked], &mut ctx).unwrap();
         assert_eq!(
@@ -315,17 +324,28 @@ mod tests {
     #[test]
     fn type_checks() {
         let q = MoaType::List(Box::new(MoaType::Int));
-        assert_eq!(MmRankExt.type_check("rank", &[q.clone()]).unwrap(), MoaType::Ranked);
         assert_eq!(
-            MmRankExt.type_check("rank_topn", &[q, MoaType::Int]).unwrap(),
+            MmRankExt
+                .type_check("rank", std::slice::from_ref(&q))
+                .unwrap(),
             MoaType::Ranked
         );
         assert_eq!(
-            MmRankExt.type_check("projecttolist", &[MoaType::Ranked]).unwrap(),
+            MmRankExt
+                .type_check("rank_topn", &[q, MoaType::Int])
+                .unwrap(),
+            MoaType::Ranked
+        );
+        assert_eq!(
+            MmRankExt
+                .type_check("projecttolist", &[MoaType::Ranked])
+                .unwrap(),
             MoaType::List(Box::new(MoaType::Int))
         );
         assert!(MmRankExt.type_check("rank", &[MoaType::Int]).is_err());
-        assert!(MmRankExt.type_check("topn", &[MoaType::Ranked, MoaType::Str]).is_err());
+        assert!(MmRankExt
+            .type_check("topn", &[MoaType::Ranked, MoaType::Str])
+            .is_err());
         assert!(matches!(
             MmRankExt.type_check("nope", &[]),
             Err(CoreError::UnknownOp { .. })

@@ -16,9 +16,7 @@ pub mod tuple;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use moa_ir::{
-    FragSearcher, FragmentedIndex, RankingModel, Strategy, SwitchPolicy,
-};
+use moa_ir::{FragSearcher, FragmentedIndex, RankingModel, Strategy, SwitchPolicy};
 use parking_lot::Mutex;
 
 use crate::error::{CoreError, Result};
@@ -269,7 +267,14 @@ mod tests {
     fn arity_helper() {
         assert!(expect_arity(ExtensionId::List, "select", 3, 3).is_ok());
         let e = expect_arity(ExtensionId::List, "select", 1, 3).unwrap_err();
-        assert!(matches!(e, CoreError::Arity { expected: 3, found: 1, .. }));
+        assert!(matches!(
+            e,
+            CoreError::Arity {
+                expected: 3,
+                found: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -196,16 +196,23 @@ mod tests {
     fn member_ordered_is_cheaper() {
         let s = set(0..10_000);
         let mut scan = ExecContext::new();
-        SetExt.evaluate("member", &[s.clone(), Value::Int(9_999)], &mut scan).unwrap();
+        SetExt
+            .evaluate("member", &[s.clone(), Value::Int(9_999)], &mut scan)
+            .unwrap();
         let mut bin = ExecContext::new();
-        SetExt.evaluate("member_ordered", &[s, Value::Int(9_999)], &mut bin).unwrap();
+        SetExt
+            .evaluate("member_ordered", &[s, Value::Int(9_999)], &mut bin)
+            .unwrap();
         assert!(bin.elements_processed * 10 < scan.elements_processed);
     }
 
     #[test]
     fn card_and_union_dedupe() {
         assert_eq!(eval("card", &[set([1, 2, 3])]).unwrap(), Value::Int(3));
-        assert_eq!(eval("union", &[set([1, 2]), set([2, 3])]).unwrap(), set([1, 2, 3]));
+        assert_eq!(
+            eval("union", &[set([1, 2]), set([2, 3])]).unwrap(),
+            set([1, 2, 3])
+        );
     }
 
     #[test]
@@ -220,12 +227,19 @@ mod tests {
     fn type_check_and_errors() {
         let si = MoaType::Set(Box::new(MoaType::Int));
         assert_eq!(
-            SetExt.type_check("member", &[si.clone(), MoaType::Int]).unwrap(),
+            SetExt
+                .type_check("member", &[si.clone(), MoaType::Int])
+                .unwrap(),
             MoaType::Bool
         );
-        assert!(SetExt.type_check("member", &[si.clone(), MoaType::Str]).is_err());
+        assert!(SetExt
+            .type_check("member", &[si.clone(), MoaType::Str])
+            .is_err());
         assert_eq!(SetExt.type_check("card", &[si]).unwrap(), MoaType::Int);
         assert!(eval("card", &[Value::Int(1)]).is_err());
-        assert!(matches!(eval("nope", &[]), Err(CoreError::UnknownOp { .. })));
+        assert!(matches!(
+            eval("nope", &[]),
+            Err(CoreError::UnknownOp { .. })
+        ));
     }
 }

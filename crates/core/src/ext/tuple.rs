@@ -45,7 +45,9 @@ impl Extension for TupleExt {
                 expect_arity(self.id(), op, args.len(), 1)?;
                 match &args[0] {
                     MoaType::Tuple(_) | MoaType::Any => Ok(MoaType::Int),
-                    other => Err(type_err(format!("TUPLE.arity: expected TUPLE, got {other}"))),
+                    other => Err(type_err(format!(
+                        "TUPLE.arity: expected TUPLE, got {other}"
+                    ))),
                 }
             }
             "make" => Ok(MoaType::Tuple(args.to_vec())),
@@ -63,9 +65,10 @@ impl Extension for TupleExt {
                 let items = get_tuple(&args[0], op)?;
                 let i = get_usize(&args[1], "index")?;
                 ctx.work(1);
-                items.get(i).cloned().ok_or_else(|| {
-                    CoreError::Runtime(format!("TUPLE.get: index {i} out of range"))
-                })
+                items
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| CoreError::Runtime(format!("TUPLE.get: index {i} out of range")))
             }
             "arity" => {
                 expect_arity(self.id(), op, args.len(), 1)?;
@@ -97,8 +100,14 @@ mod tests {
     #[test]
     fn get_and_arity() {
         let t = Value::Tuple(vec![Value::Int(1), Value::Str("x".into())]);
-        assert_eq!(eval("get", &[t.clone(), Value::Int(1)]).unwrap(), Value::Str("x".into()));
-        assert_eq!(eval("arity", &[t.clone()]).unwrap(), Value::Int(2));
+        assert_eq!(
+            eval("get", &[t.clone(), Value::Int(1)]).unwrap(),
+            Value::Str("x".into())
+        );
+        assert_eq!(
+            eval("arity", std::slice::from_ref(&t)).unwrap(),
+            Value::Int(2)
+        );
         assert!(eval("get", &[t, Value::Int(5)]).is_err());
     }
 
@@ -111,9 +120,16 @@ mod tests {
     #[test]
     fn type_checks() {
         let tt = MoaType::Tuple(vec![MoaType::Int, MoaType::Str]);
-        assert_eq!(TupleExt.type_check("get", &[tt.clone(), MoaType::Int]).unwrap(), MoaType::Any);
+        assert_eq!(
+            TupleExt
+                .type_check("get", &[tt.clone(), MoaType::Int])
+                .unwrap(),
+            MoaType::Any
+        );
         assert_eq!(TupleExt.type_check("arity", &[tt]).unwrap(), MoaType::Int);
-        assert!(TupleExt.type_check("get", &[MoaType::Int, MoaType::Int]).is_err());
+        assert!(TupleExt
+            .type_check("get", &[MoaType::Int, MoaType::Int])
+            .is_err());
         assert!(matches!(
             TupleExt.type_check("nope", &[]),
             Err(CoreError::UnknownOp { .. })

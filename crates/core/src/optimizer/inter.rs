@@ -204,7 +204,12 @@ mod tests {
         let v = evaluate(&e, &Env::new(), &reg, &mut ExecContext::new()).unwrap();
         assert_eq!(
             v,
-            Value::bag(vec![Value::Int(2), Value::Int(3), Value::Int(4), Value::Int(4)])
+            Value::bag(vec![
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4),
+                Value::Int(4)
+            ])
         );
     }
 
@@ -267,7 +272,11 @@ mod tests {
             .contains(&"inter.firstn_over_mm_projecttolist".to_string()));
         // Shape: MMRANK.projecttolist(MMRANK.topn(r, 2)).
         let args = match &after {
-            Expr::Apply { ext: ExtensionId::MmRank, op, args } if op == "projecttolist" => args,
+            Expr::Apply {
+                ext: ExtensionId::MmRank,
+                op,
+                args,
+            } if op == "projecttolist" => args,
             other => panic!("unexpected {other}"),
         };
         assert!(matches!(

@@ -42,15 +42,15 @@ pub fn rules() -> &'static [Rule] {
 
 fn select_to_ordered(e: &Expr, ext: ExtensionId) -> Option<Expr> {
     match e {
-        Expr::Apply {
-            ext: x,
-            op,
-            args,
-        } if *x == ext && op == "select" && provably_sorted_asc(&args[0]) => Some(Expr::Apply {
-            ext,
-            op: "select_ordered".to_owned(),
-            args: args.clone(),
-        }),
+        Expr::Apply { ext: x, op, args }
+            if *x == ext && op == "select" && provably_sorted_asc(&args[0]) =>
+        {
+            Some(Expr::Apply {
+                ext,
+                op: "select_ordered".to_owned(),
+                args: args.clone(),
+            })
+        }
         _ => None,
     }
 }
@@ -85,9 +85,7 @@ fn set_member_ordered(e: &Expr) -> Option<Expr> {
 /// `MMRANK.topn(MMRANK.rank(q), n)` → `MMRANK.rank_topn(q, n)`.
 fn mm_rank_topn_fusion(e: &Expr) -> Option<Expr> {
     let (outer_args, ()) = match e {
-        Expr::Apply { ext, op, args } if *ext == ExtensionId::MmRank && op == "topn" => {
-            (args, ())
-        }
+        Expr::Apply { ext, op, args } if *ext == ExtensionId::MmRank && op == "topn" => (args, ()),
         _ => return None,
     };
     let inner_args = match &outer_args[0] {
@@ -126,7 +124,9 @@ mod tests {
             Value::Int(4),
         );
         let (after, trace) = intra_only().optimize(&e);
-        assert!(trace.fired.contains(&"intra.list_select_ordered".to_string()));
+        assert!(trace
+            .fired
+            .contains(&"intra.list_select_ordered".to_string()));
         assert!(matches!(&after, Expr::Apply { op, .. } if op == "select_ordered"));
         // Semantics preserved.
         let reg = Registry::standard();
@@ -162,7 +162,9 @@ mod tests {
             Value::Int(9),
         );
         let (after, trace) = intra_only().optimize(&e);
-        assert!(trace.fired.contains(&"intra.bag_select_ordered".to_string()));
+        assert!(trace
+            .fired
+            .contains(&"intra.bag_select_ordered".to_string()));
         assert!(matches!(
             &after,
             Expr::Apply { ext: ExtensionId::Bag, op, .. } if op == "select_ordered"
@@ -176,7 +178,9 @@ mod tests {
             Value::Int(5),
         );
         let (after, trace) = intra_only().optimize(&e);
-        assert!(trace.fired.contains(&"intra.set_member_ordered".to_string()));
+        assert!(trace
+            .fired
+            .contains(&"intra.set_member_ordered".to_string()));
         assert!(matches!(&after, Expr::Apply { op, .. } if op == "member_ordered"));
     }
 
@@ -184,7 +188,9 @@ mod tests {
     fn rank_topn_fuses() {
         let e = Expr::mm_topn(Expr::mm_rank(Expr::var("q")), 10);
         let (after, trace) = intra_only().optimize(&e);
-        assert!(trace.fired.contains(&"intra.mm_rank_topn_fusion".to_string()));
+        assert!(trace
+            .fired
+            .contains(&"intra.mm_rank_topn_fusion".to_string()));
         match &after {
             Expr::Apply { ext, op, args } => {
                 assert_eq!(*ext, ExtensionId::MmRank);

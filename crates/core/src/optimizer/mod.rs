@@ -91,15 +91,24 @@ impl Optimizer {
         let mut trace = OptimizerTrace::default();
         let mut current = expr.clone();
         if self.config.logical {
-            current = run_layer(&current, logical::rules(), self.config.max_passes, &mut trace);
+            current = run_layer(
+                &current,
+                logical::rules(),
+                self.config.max_passes,
+                &mut trace,
+            );
         }
         if self.config.inter_object {
             current = run_layer(&current, inter::rules(), self.config.max_passes, &mut trace);
             // Inter-object rewrites may expose new logical opportunities
             // (e.g. pushed-down selects that can fuse).
             if self.config.logical {
-                current =
-                    run_layer(&current, logical::rules(), self.config.max_passes, &mut trace);
+                current = run_layer(
+                    &current,
+                    logical::rules(),
+                    self.config.max_passes,
+                    &mut trace,
+                );
             }
         }
         if self.config.intra_object {

@@ -307,14 +307,8 @@ mod tests {
             parse_expr("\"hi\\n\"").unwrap(),
             Expr::Const(Value::Str("hi\n".into()))
         );
-        assert_eq!(
-            parse_expr("[]").unwrap(),
-            Expr::Const(Value::List(vec![]))
-        );
-        assert_eq!(
-            parse_expr("{||}").unwrap(),
-            Expr::Const(Value::bag(vec![]))
-        );
+        assert_eq!(parse_expr("[]").unwrap(), Expr::Const(Value::List(vec![])));
+        assert_eq!(parse_expr("{||}").unwrap(), Expr::Const(Value::bag(vec![])));
     }
 
     #[test]
@@ -322,7 +316,11 @@ mod tests {
         let e = parse_expr("{|3, 1, 2|}").unwrap();
         assert_eq!(
             e,
-            Expr::Const(Value::bag(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+            Expr::Const(Value::bag(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))
         );
     }
 
@@ -355,8 +353,13 @@ mod tests {
         use crate::exec::{evaluate, Env};
         use crate::ext::{ExecContext, Registry};
         let e = parse_expr("BAG.count(LIST.projecttobag([4, 5, 6]))").unwrap();
-        let v = evaluate(&e, &Env::new(), &Registry::standard(), &mut ExecContext::new())
-            .unwrap();
+        let v = evaluate(
+            &e,
+            &Env::new(),
+            &Registry::standard(),
+            &mut ExecContext::new(),
+        )
+        .unwrap();
         assert_eq!(v, Value::Int(3));
     }
 

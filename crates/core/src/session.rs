@@ -114,8 +114,7 @@ impl Session {
                 // The switch strategy scans A always and B sometimes; cost
                 // with the pessimistic full volume halved as a coarse prior.
                 Strategy::Switch { .. } => {
-                    frag.fragment_a().volume() as f64
-                        + 0.5 * frag.fragment_b().volume() as f64
+                    frag.fragment_a().volume() as f64 + 0.5 * frag.fragment_b().volume() as f64
                 }
             };
             ctx.ir = Some(IrCostInfo {
@@ -139,12 +138,18 @@ impl Session {
         out.push_str("== original plan ==\n");
         out.push_str(&render(expr));
         if let Ok(est) = self.estimate(expr) {
-            out.push_str(&format!("   est. cost {:.0}, rows {:.0}\n", est.cost, est.rows));
+            out.push_str(&format!(
+                "   est. cost {:.0}, rows {:.0}\n",
+                est.cost, est.rows
+            ));
         }
         out.push_str("== optimized plan ==\n");
         out.push_str(&render(&optimized));
         if let Ok(est) = self.estimate(&optimized) {
-            out.push_str(&format!("   est. cost {:.0}, rows {:.0}\n", est.cost, est.rows));
+            out.push_str(&format!(
+                "   est. cost {:.0}, rows {:.0}\n",
+                est.cost, est.rows
+            ));
         }
         out.push_str("== rewrites ==\n");
         if trace.fired.is_empty() {
@@ -180,7 +185,12 @@ mod tests {
         let opt = s.run(&e, &Env::new()).unwrap();
         let raw = s.run_unoptimized(&e, &Env::new()).unwrap();
         assert_eq!(opt.value, raw.value);
-        assert!(opt.work < raw.work, "optimized {} !< raw {}", opt.work, raw.work);
+        assert!(
+            opt.work < raw.work,
+            "optimized {} !< raw {}",
+            opt.work,
+            raw.work
+        );
         assert!(!opt.trace.fired.is_empty());
         assert!(raw.trace.fired.is_empty());
     }

@@ -153,8 +153,7 @@ mod tests {
         assert!(la.compatible(&li));
         assert!(!li.compatible(&bi));
         assert!(MoaType::Any.compatible(&bi));
-        assert!(MoaType::Tuple(vec![MoaType::Int])
-            .compatible(&MoaType::Tuple(vec![MoaType::Any])));
+        assert!(MoaType::Tuple(vec![MoaType::Int]).compatible(&MoaType::Tuple(vec![MoaType::Any])));
         assert!(!MoaType::Tuple(vec![MoaType::Int])
             .compatible(&MoaType::Tuple(vec![MoaType::Int, MoaType::Int])));
     }

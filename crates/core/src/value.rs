@@ -189,7 +189,12 @@ impl Value {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn seq(f: &mut fmt::Formatter<'_>, open: &str, items: &[Value], close: &str) -> fmt::Result {
+        fn seq(
+            f: &mut fmt::Formatter<'_>,
+            open: &str,
+            items: &[Value],
+            close: &str,
+        ) -> fmt::Result {
             f.write_str(open)?;
             for (i, v) in items.iter().enumerate() {
                 if i > 0 {
@@ -305,10 +310,7 @@ mod tests {
             Value::Tuple(vec![Value::Int(1), Value::Bool(false)]).to_string(),
             "(1, false)"
         );
-        assert_eq!(
-            Value::ranked(vec![(2, 0.25)]).to_string(),
-            "rank[2:0.2500]"
-        );
+        assert_eq!(Value::ranked(vec![(2, 0.25)]).to_string(), "rank[2:0.2500]");
     }
 
     #[test]

@@ -354,7 +354,9 @@ mod tests {
     fn postings_sorted_and_consistent() {
         let c = Collection::generate(CollectionConfig::tiny()).unwrap();
         let p = c.postings();
-        assert!(p.windows(2).all(|w| (w[0].term, w[0].doc) < (w[1].term, w[1].doc)));
+        assert!(p
+            .windows(2)
+            .all(|w| (w[0].term, w[0].doc) < (w[1].term, w[1].doc)));
         // df equals number of postings per term.
         for term in 0..c.vocab_size() as u32 {
             assert_eq!(

@@ -89,19 +89,13 @@ impl FeatureLists {
         let mut scores = Vec::with_capacity(m);
         for list in 0..m {
             let mut s = Vec::with_capacity(n);
-            for obj in 0..n {
+            for &lat in latent.iter().take(n) {
                 let noise: f64 = rng.gen();
                 let grade = match config.correlation {
                     Correlation::Independent => noise,
-                    Correlation::Correlated(strength) => {
-                        strength * latent[obj] + (1.0 - strength) * noise
-                    }
+                    Correlation::Correlated(strength) => strength * lat + (1.0 - strength) * noise,
                     Correlation::AntiCorrelated(strength) => {
-                        let base = if list % 2 == 0 {
-                            latent[obj]
-                        } else {
-                            1.0 - latent[obj]
-                        };
+                        let base = if list % 2 == 0 { lat } else { 1.0 - lat };
                         strength * base + (1.0 - strength) * noise
                     }
                 };
@@ -249,10 +243,8 @@ mod tests {
         };
         let fl = FeatureLists::generate(&cfg).unwrap();
         // Top-50 of two lists overlap strongly when correlation is high.
-        let a: std::collections::HashSet<u32> =
-            fl.sorted_order(0)[..50].iter().copied().collect();
-        let b: std::collections::HashSet<u32> =
-            fl.sorted_order(1)[..50].iter().copied().collect();
+        let a: std::collections::HashSet<u32> = fl.sorted_order(0)[..50].iter().copied().collect();
+        let b: std::collections::HashSet<u32> = fl.sorted_order(1)[..50].iter().copied().collect();
         let overlap = a.intersection(&b).count();
         assert!(overlap >= 20, "overlap={overlap}");
     }
@@ -265,10 +257,8 @@ mod tests {
             ..FeatureConfig::small()
         };
         let fl = FeatureLists::generate(&cfg).unwrap();
-        let a: std::collections::HashSet<u32> =
-            fl.sorted_order(0)[..50].iter().copied().collect();
-        let b: std::collections::HashSet<u32> =
-            fl.sorted_order(1)[..50].iter().copied().collect();
+        let a: std::collections::HashSet<u32> = fl.sorted_order(0)[..50].iter().copied().collect();
+        let b: std::collections::HashSet<u32> = fl.sorted_order(1)[..50].iter().copied().collect();
         let overlap = a.intersection(&b).count();
         assert!(overlap <= 5, "overlap={overlap}");
     }

@@ -146,9 +146,8 @@ pub fn generate_qrels(
                 .map(|(&d, _)| d)
                 .collect(),
             _ => {
-                let needed = ((config.min_match_fraction * q.terms.len() as f64).ceil()
-                    as usize)
-                    .max(1);
+                let needed =
+                    ((config.min_match_fraction * q.terms.len() as f64).ceil() as usize).max(1);
                 matches
                     .iter()
                     .filter(|&(_, &m)| m >= needed)
@@ -214,9 +213,7 @@ mod tests {
                 let matched = query
                     .terms
                     .iter()
-                    .filter(|&&t| {
-                        c.postings_for_term(t).iter().any(|p| p.doc == doc)
-                    })
+                    .filter(|&&t| c.postings_for_term(t).iter().any(|p| p.doc == doc))
                     .count();
                 assert!(
                     matched >= needed,
@@ -258,11 +255,15 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let (c, q) = setup();
-        let mut cfg = QrelsConfig::default();
-        cfg.min_match_fraction = 1.5;
+        let cfg = QrelsConfig {
+            min_match_fraction: 1.5,
+            ..QrelsConfig::default()
+        };
         assert!(generate_qrels(&c, &q, &cfg).is_err());
-        let mut cfg = QrelsConfig::default();
-        cfg.noise = -0.1;
+        let cfg = QrelsConfig {
+            noise: -0.1,
+            ..QrelsConfig::default()
+        };
         assert!(generate_qrels(&c, &q, &cfg).is_err());
     }
 
@@ -328,7 +329,10 @@ mod tests {
         // must have at least one.
         let (c, q) = setup();
         let qrels = generate_qrels(&c, &q, &QrelsConfig::default()).unwrap();
-        let with_rel = q.iter().filter(|query| qrels.num_relevant(query.id) > 0).count();
+        let with_rel = q
+            .iter()
+            .filter(|query| qrels.num_relevant(query.id) > 0)
+            .count();
         assert!(
             with_rel * 4 >= q.len(),
             "only {with_rel}/{} queries have relevant docs",

@@ -282,18 +282,26 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let c = coll();
-        let mut cfg = QueryConfig::default();
-        cfg.num_queries = 0;
+        let cfg = QueryConfig {
+            num_queries: 0,
+            ..QueryConfig::default()
+        };
         assert!(generate_queries(&c, &cfg).is_err());
-        let mut cfg = QueryConfig::default();
-        cfg.min_terms = 0;
+        let cfg = QueryConfig {
+            min_terms: 0,
+            ..QueryConfig::default()
+        };
         assert!(generate_queries(&c, &cfg).is_err());
-        let mut cfg = QueryConfig::default();
-        cfg.min_terms = 5;
-        cfg.max_terms = 3;
+        let cfg = QueryConfig {
+            min_terms: 5,
+            max_terms: 3,
+            ..QueryConfig::default()
+        };
         assert!(generate_queries(&c, &cfg).is_err());
-        let mut cfg = QueryConfig::default();
-        cfg.bias = DfBias::TrecLike { high_df_mix: 1.5 };
+        let cfg = QueryConfig {
+            bias: DfBias::TrecLike { high_df_mix: 1.5 },
+            ..QueryConfig::default()
+        };
         assert!(generate_queries(&c, &cfg).is_err());
     }
 

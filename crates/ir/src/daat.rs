@@ -163,7 +163,10 @@ mod tests {
         let q = vec![terms[terms.len() - 1], terms[terms.len() - 1]];
         let d = daat.search(&q, 5).unwrap();
         let s = saat.search(&q, 5).unwrap();
-        assert_eq!(d.top.first().map(|&(doc, _)| doc), s.top.first().map(|&(doc, _)| doc));
+        assert_eq!(
+            d.top.first().map(|&(doc, _)| doc),
+            s.top.first().map(|&(doc, _)| doc)
+        );
         let (ds, ss) = (d.top[0].1, s.top[0].1);
         assert!((ds - ss).abs() < 1e-9);
     }

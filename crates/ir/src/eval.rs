@@ -206,10 +206,7 @@ mod tests {
         let terms = idx.terms_by_df_asc();
         let q = vec![terms[terms.len() - 1], terms[terms.len() / 3]];
         let mut s1 = Searcher::new(&idx, RankingModel::TfIdf);
-        let mut s2 = Searcher::new(
-            &idx,
-            RankingModel::Bm25 { k1: 1.2, b: 0.75 },
-        );
+        let mut s2 = Searcher::new(&idx, RankingModel::Bm25 { k1: 1.2, b: 0.75 });
         let r1 = s1.search(&q, 10).unwrap();
         let r2 = s2.search(&q, 10).unwrap();
         assert_eq!(r1.postings_scanned, r2.postings_scanned);

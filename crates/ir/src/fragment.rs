@@ -515,8 +515,12 @@ mod tests {
     fn invalid_specs_rejected() {
         let c = Collection::generate(CollectionConfig::tiny()).unwrap();
         let idx = Arc::new(InvertedIndex::from_collection(&c));
-        assert!(FragmentedIndex::build(Arc::clone(&idx), FragmentSpec::VolumeFraction(0.0)).is_err());
-        assert!(FragmentedIndex::build(Arc::clone(&idx), FragmentSpec::VolumeFraction(1.5)).is_err());
+        assert!(
+            FragmentedIndex::build(Arc::clone(&idx), FragmentSpec::VolumeFraction(0.0)).is_err()
+        );
+        assert!(
+            FragmentedIndex::build(Arc::clone(&idx), FragmentSpec::VolumeFraction(1.5)).is_err()
+        );
         assert!(FragmentedIndex::build(idx, FragmentSpec::TermFraction(-0.1)).is_err());
     }
 

@@ -64,9 +64,14 @@ impl InvertedIndex {
         postings: &[(u32, u32, u32)],
     ) -> Result<InvertedIndex> {
         if doc_len.is_empty() {
-            return Err(IrError::InvalidConfig("index needs at least one document".into()));
+            return Err(IrError::InvalidConfig(
+                "index needs at least one document".into(),
+            ));
         }
-        if postings.windows(2).any(|w| (w[0].0, w[0].1) > (w[1].0, w[1].1)) {
+        if postings
+            .windows(2)
+            .any(|w| (w[0].0, w[0].1) > (w[1].0, w[1].1))
+        {
             return Err(IrError::InvalidConfig(
                 "postings must be sorted by (term, doc)".into(),
             ));
@@ -246,7 +251,10 @@ mod tests {
     #[test]
     fn unknown_term_is_error() {
         let idx = index();
-        assert!(matches!(idx.postings(u32::MAX), Err(IrError::UnknownTerm(_))));
+        assert!(matches!(
+            idx.postings(u32::MAX),
+            Err(IrError::UnknownTerm(_))
+        ));
         assert!(idx.df(u32::MAX).is_err());
         assert!(idx.cf(u32::MAX).is_err());
         assert!(idx.max_tf(u32::MAX).is_err());
@@ -301,12 +309,9 @@ mod tests {
     #[test]
     fn from_sorted_postings_validates_input() {
         // Unsorted postings rejected.
-        assert!(InvertedIndex::from_sorted_postings(
-            3,
-            vec![2, 2],
-            &[(1, 0, 1), (0, 0, 1)],
-        )
-        .is_err());
+        assert!(
+            InvertedIndex::from_sorted_postings(3, vec![2, 2], &[(1, 0, 1), (0, 0, 1)],).is_err()
+        );
         // Term beyond vocab rejected.
         assert!(InvertedIndex::from_sorted_postings(2, vec![1], &[(5, 0, 1)]).is_err());
         // Doc beyond doc_len rejected.

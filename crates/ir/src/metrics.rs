@@ -92,11 +92,8 @@ pub fn footrule_at(reference: &[u32], other: &[u32], k: usize) -> Option<f64> {
     if k == 0 {
         return None;
     }
-    let pos_other: std::collections::HashMap<u32, usize> = other
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (d, i))
-        .collect();
+    let pos_other: std::collections::HashMap<u32, usize> =
+        other.iter().enumerate().map(|(i, &d)| (d, i)).collect();
     let mut total = 0usize;
     for (i, d) in reference.iter().take(k).enumerate() {
         let displacement = match pos_other.get(d) {

@@ -82,13 +82,7 @@ impl RankingModel {
     /// An upper bound on the contribution any single posting of this term
     /// can make, given the term's maximum within-document tf. Used by the
     /// fragmentation safety check to bound what fragment B could add.
-    pub fn max_term_weight(
-        &self,
-        max_tf: u32,
-        df: u32,
-        cf: u64,
-        stats: &CollectionStats,
-    ) -> f64 {
+    pub fn max_term_weight(&self, max_tf: u32, df: u32, cf: u64, stats: &CollectionStats) -> f64 {
         // Shortest plausible document maximizes all three models' weights.
         let min_dl = 1u32;
         self.term_weight(max_tf, df, cf, min_dl, stats)
@@ -166,7 +160,10 @@ mod tests {
         for m in models() {
             for (tf, df, cf, dl) in [(1u32, 1u32, 1u64, 1u32), (100, 999, 99_999, 10_000)] {
                 let w = m.term_weight(tf, df, cf, dl, &s);
-                assert!(w.is_finite() && w > 0.0, "{m:?} ({tf},{df},{cf},{dl}) => {w}");
+                assert!(
+                    w.is_finite() && w > 0.0,
+                    "{m:?} ({tf},{df},{cf},{dl}) => {w}"
+                );
             }
         }
     }

@@ -110,7 +110,15 @@ mod tests {
     fn tokenizer_lowercases_and_splits() {
         assert_eq!(
             tokenize("Top-N Optimization, issues (in) MM databases!"),
-            vec!["top", "n", "optimization", "issues", "in", "mm", "databases"]
+            vec![
+                "top",
+                "n",
+                "optimization",
+                "issues",
+                "in",
+                "mm",
+                "databases"
+            ]
         );
         assert_eq!(tokenize(""), Vec::<String>::new());
         assert_eq!(tokenize("   ...   "), Vec::<String>::new());

@@ -156,9 +156,7 @@ impl Bat {
     pub fn gather(&self, positions: &[usize]) -> Result<Bat> {
         let tail = self.tail.gather(positions)?;
         let head = match &self.head {
-            Head::Void { base } => {
-                Head::Oids(positions.iter().map(|&p| base + p as u32).collect())
-            }
+            Head::Void { base } => Head::Oids(positions.iter().map(|&p| base + p as u32).collect()),
             Head::Oids(v) => Head::Oids(positions.iter().map(|&p| v[p]).collect()),
         };
         let mut props = Props::default();

@@ -307,7 +307,10 @@ impl Column {
             Column::U32(v) => v.len() * std::mem::size_of::<u32>(),
             Column::U64(v) => v.len() * std::mem::size_of::<u64>(),
             Column::F64(v) => v.len() * std::mem::size_of::<f64>(),
-            Column::Str(v) => v.iter().map(|s| s.len() + std::mem::size_of::<String>()).sum(),
+            Column::Str(v) => v
+                .iter()
+                .map(|s| s.len() + std::mem::size_of::<String>())
+                .sum(),
         }
     }
 }
@@ -350,13 +353,21 @@ mod tests {
     fn push_wrong_type_fails() {
         let mut c = Column::empty(ColumnType::U32);
         let err = c.push(Scalar::F64(1.0)).unwrap_err();
-        assert_eq!(err, StorageError::ScalarType { expected: ColumnType::U32 });
+        assert_eq!(
+            err,
+            StorageError::ScalarType {
+                expected: ColumnType::U32
+            }
+        );
     }
 
     #[test]
     fn get_out_of_bounds() {
         let c = Column::from(vec![1u32]);
-        assert!(matches!(c.get(3), Err(StorageError::OutOfBounds { pos: 3, len: 1 })));
+        assert!(matches!(
+            c.get(3),
+            Err(StorageError::OutOfBounds { pos: 3, len: 1 })
+        ));
     }
 
     #[test]

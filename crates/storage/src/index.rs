@@ -100,12 +100,16 @@ impl SparseIndex {
         // to `lo` may all contain matching values, so we must not skip
         // past them.)
         let first_ge_lo = partition(&self.anchors, |a| {
-            a.total_cmp(lo).map(|o| o == std::cmp::Ordering::Less).unwrap_or(true)
+            a.total_cmp(lo)
+                .map(|o| o == std::cmp::Ordering::Less)
+                .unwrap_or(true)
         });
         let start_block = first_ge_lo.saturating_sub(1);
         // First block whose anchor exceeds hi ends the range.
         let first_gt_hi = partition(&self.anchors, |a| {
-            a.total_cmp(hi).map(|o| o != std::cmp::Ordering::Greater).unwrap_or(true)
+            a.total_cmp(hi)
+                .map(|o| o != std::cmp::Ordering::Greater)
+                .unwrap_or(true)
         });
         let end_block = first_gt_hi; // exclusive
         if end_block <= start_block {
@@ -178,7 +182,10 @@ mod tests {
     #[test]
     fn build_requires_sorted() {
         let b = Bat::dense(Column::from(vec![3u32, 1]));
-        assert!(matches!(SparseIndex::build(&b, 4), Err(StorageError::NotSorted)));
+        assert!(matches!(
+            SparseIndex::build(&b, 4),
+            Err(StorageError::NotSorted)
+        ));
     }
 
     #[test]
@@ -211,8 +218,14 @@ mod tests {
     fn lookup_touches_few_blocks() {
         let b = sorted_bat(1000);
         let idx = SparseIndex::build(&b, 10).unwrap();
-        let range = idx.lookup_range(&Scalar::U32(500), &Scalar::U32(510)).unwrap();
-        assert!(range.blocks_touched <= 3, "touched {}", range.blocks_touched);
+        let range = idx
+            .lookup_range(&Scalar::U32(500), &Scalar::U32(510))
+            .unwrap();
+        assert!(
+            range.blocks_touched <= 3,
+            "touched {}",
+            range.blocks_touched
+        );
         assert!(range.end - range.start <= 30);
     }
 
@@ -239,7 +252,9 @@ mod tests {
     fn range_below_and_above_all_values() {
         let b = Bat::dense(Column::from(vec![10u32, 20, 30, 40]));
         let idx = SparseIndex::build(&b, 2).unwrap();
-        let (hits, _) = idx.select_range(&b, &Scalar::U32(0), &Scalar::U32(5)).unwrap();
+        let (hits, _) = idx
+            .select_range(&b, &Scalar::U32(0), &Scalar::U32(5))
+            .unwrap();
         assert!(hits.is_empty());
         let (hits, _) = idx
             .select_range(&b, &Scalar::U32(41), &Scalar::U32(99))

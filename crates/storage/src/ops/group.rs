@@ -32,7 +32,7 @@ pub enum AggFn {
 pub fn sum_by_head_dense(bat: &Bat, domain: usize) -> Result<Vec<f64>> {
     let values = bat.tail().as_f64()?;
     let mut acc = vec![0.0f64; domain];
-    for pos in 0..bat.len() {
+    for (pos, &v) in values.iter().enumerate() {
         let oid = bat.head_oid(pos)? as usize;
         if oid >= domain {
             return Err(StorageError::OutOfBounds {
@@ -40,7 +40,7 @@ pub fn sum_by_head_dense(bat: &Bat, domain: usize) -> Result<Vec<f64>> {
                 len: domain,
             });
         }
-        acc[oid] += values[pos];
+        acc[oid] += v;
     }
     Ok(acc)
 }
@@ -49,7 +49,7 @@ pub fn sum_by_head_dense(bat: &Bat, domain: usize) -> Result<Vec<f64>> {
 /// accumulator (the "workhorse" pattern used by batched query evaluation).
 pub fn sum_by_head_into(bat: &Bat, acc: &mut [f64]) -> Result<()> {
     let values = bat.tail().as_f64()?;
-    for pos in 0..bat.len() {
+    for (pos, &v) in values.iter().enumerate() {
         let oid = bat.head_oid(pos)? as usize;
         if oid >= acc.len() {
             return Err(StorageError::OutOfBounds {
@@ -57,7 +57,7 @@ pub fn sum_by_head_into(bat: &Bat, acc: &mut [f64]) -> Result<()> {
                 len: acc.len(),
             });
         }
-        acc[oid] += values[pos];
+        acc[oid] += v;
     }
     Ok(())
 }
@@ -67,9 +67,8 @@ pub fn sum_by_head_into(bat: &Bat, acc: &mut [f64]) -> Result<()> {
 pub fn group_aggregate(bat: &Bat, agg: AggFn) -> Result<Bat> {
     let values = bat.tail().as_f64()?;
     let mut groups: HashMap<u32, (f64, u64)> = HashMap::new();
-    for pos in 0..bat.len() {
+    for (pos, &v) in values.iter().enumerate() {
         let oid = bat.head_oid(pos)?;
-        let v = values[pos];
         let entry = groups.entry(oid).or_insert_with(|| match agg {
             AggFn::Sum | AggFn::Count => (0.0, 0),
             AggFn::Max => (f64::NEG_INFINITY, 0),
@@ -116,11 +115,7 @@ mod tests {
 
     fn contributions() -> Bat {
         // doc -> partial score; doc 1 appears twice.
-        Bat::new(
-            vec![1, 0, 1, 3],
-            Column::from(vec![0.5f64, 0.2, 0.25, 1.0]),
-        )
-        .unwrap()
+        Bat::new(vec![1, 0, 1, 3], Column::from(vec![0.5f64, 0.2, 0.25, 1.0])).unwrap()
     }
 
     #[test]

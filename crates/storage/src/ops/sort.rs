@@ -124,9 +124,15 @@ mod tests {
     fn sort_asc_and_desc() {
         let b = scores();
         let asc = sort_by_tail(&b, Direction::Asc).unwrap();
-        assert_eq!(asc.tail().as_f64().unwrap(), &[0.1, 0.3, 0.5, 0.7, 0.9, 0.9]);
+        assert_eq!(
+            asc.tail().as_f64().unwrap(),
+            &[0.1, 0.3, 0.5, 0.7, 0.9, 0.9]
+        );
         let desc = sort_by_tail(&b, Direction::Desc).unwrap();
-        assert_eq!(desc.tail().as_f64().unwrap(), &[0.9, 0.9, 0.7, 0.5, 0.3, 0.1]);
+        assert_eq!(
+            desc.tail().as_f64().unwrap(),
+            &[0.9, 0.9, 0.7, 0.5, 0.3, 0.1]
+        );
         // Stability: the two 0.9s keep original relative order.
         assert_eq!(desc.head_oids()[..2], [11, 13]);
     }

@@ -218,7 +218,11 @@ impl EquiDepthHistogram {
             return 0.0;
         }
         // Interpolate inside bucket `below`.
-        let lo_edge = if below == 0 { self.min } else { self.boundaries[below - 1] };
+        let lo_edge = if below == 0 {
+            self.min
+        } else {
+            self.boundaries[below - 1]
+        };
         let hi_edge = self.boundaries[below];
         let frac_above = if hi_edge > lo_edge {
             ((hi_edge - x) / (hi_edge - lo_edge)).clamp(0.0, 1.0)

@@ -154,10 +154,7 @@ mod tests {
     fn correlated_lists_stop_early() {
         // Identical lists: FA sees the same object at rank 0 in both lists
         // and stops after one round for n = 1.
-        let l = InMemoryLists::from_grades(vec![
-            vec![0.1, 0.9, 0.5],
-            vec![0.1, 0.9, 0.5],
-        ]);
+        let l = InMemoryLists::from_grades(vec![vec![0.1, 0.9, 0.5], vec![0.1, 0.9, 0.5]]);
         let fa = fagin_topn(&l, 1, &Agg::Sum);
         assert_eq!(fa.items[0].0, 1);
         assert_eq!(fa.stats.sorted_accesses, 2);

@@ -104,11 +104,7 @@ impl TopNHeap {
 
     /// Extract the retained entries, best first (score desc, id asc on ties).
     pub fn into_sorted_vec(self) -> Vec<(u32, f64)> {
-        let mut v: Vec<(u32, f64)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.obj, e.score))
-            .collect();
+        let mut v: Vec<(u32, f64)> = self.heap.into_iter().map(|e| (e.obj, e.score)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -137,14 +133,7 @@ mod tests {
     use super::*;
 
     fn stream() -> Vec<(u32, f64)> {
-        vec![
-            (0, 0.3),
-            (1, 0.9),
-            (2, 0.1),
-            (3, 0.9),
-            (4, 0.5),
-            (5, 0.7),
-        ]
+        vec![(0, 0.3), (1, 0.9), (2, 0.1), (3, 0.9), (4, 0.5), (5, 0.7)]
     }
 
     #[test]

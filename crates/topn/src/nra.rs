@@ -232,7 +232,9 @@ mod tests {
         // One object dominates both lists: NRA should stop well before
         // exhausting 1000-object lists for n = 1.
         let n_obj = 1000usize;
-        let mut a: Vec<f64> = (0..n_obj).map(|i| 0.3 * (i as f64 / n_obj as f64)).collect();
+        let mut a: Vec<f64> = (0..n_obj)
+            .map(|i| 0.3 * (i as f64 / n_obj as f64))
+            .collect();
         let mut b = a.clone();
         a[7] = 1.0;
         b[7] = 1.0;

@@ -189,9 +189,18 @@ mod tests {
     fn invalid_confidence_rejected() {
         let inp = scored(10);
         let h = hist(&inp);
-        assert_eq!(prob_topn(&inp, 1, &h, 0.0), Err(ProbError::InvalidConfidence));
-        assert_eq!(prob_topn(&inp, 1, &h, 1.0), Err(ProbError::InvalidConfidence));
-        assert_eq!(prob_topn(&inp, 1, &h, -3.0), Err(ProbError::InvalidConfidence));
+        assert_eq!(
+            prob_topn(&inp, 1, &h, 0.0),
+            Err(ProbError::InvalidConfidence)
+        );
+        assert_eq!(
+            prob_topn(&inp, 1, &h, 1.0),
+            Err(ProbError::InvalidConfidence)
+        );
+        assert_eq!(
+            prob_topn(&inp, 1, &h, -3.0),
+            Err(ProbError::InvalidConfidence)
+        );
     }
 
     #[test]

@@ -124,7 +124,9 @@ mod tests {
     use super::*;
 
     fn input() -> Vec<(u32, f64)> {
-        (0..100u32).map(|i| (i, f64::from(999 - i * 7 % 1000))).collect()
+        (0..100u32)
+            .map(|i| (i, f64::from(999 - i * 7 % 1000)))
+            .collect()
     }
 
     #[test]
@@ -144,11 +146,7 @@ mod tests {
         let r = aggressive(&inp, 5, 0.5, 1.5, |obj| obj % 2 == 0);
         assert!(r.items.len() == 5);
         assert_eq!(r.restarts, 0);
-        assert!(
-            r.tuples_processed <= 20,
-            "processed {}",
-            r.tuples_processed
-        );
+        assert!(r.tuples_processed <= 20, "processed {}", r.tuples_processed);
     }
 
     #[test]

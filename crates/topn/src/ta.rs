@@ -33,11 +33,11 @@ pub fn ta_topn<S: RandomAccess>(source: &S, n: usize, agg: &Agg) -> TopNResult {
 
     loop {
         let mut any = false;
-        for list in 0..m {
+        for (list, front) in frontier.iter_mut().enumerate() {
             if let Some((obj, grade)) = source.sorted_access(list, rank) {
                 stats.sorted_accesses += 1;
                 any = true;
-                frontier[list] = grade;
+                *front = grade;
                 if processed.insert(obj) {
                     for (l, g) in grades.iter_mut().enumerate() {
                         if l == list {
@@ -51,7 +51,7 @@ pub fn ta_topn<S: RandomAccess>(source: &S, n: usize, agg: &Agg) -> TopNResult {
                 }
             } else {
                 // Exhausted list: its frontier no longer bounds anything.
-                frontier[list] = f64::NEG_INFINITY;
+                *front = f64::NEG_INFINITY;
             }
         }
         if !any {
@@ -99,11 +99,7 @@ mod tests {
     #[test]
     fn matches_oracle_for_min_max_weighted() {
         let l = lists();
-        for agg in [
-            Agg::Min,
-            Agg::Max,
-            Agg::Weighted(vec![0.5, 1.5, 1.0]),
-        ] {
+        for agg in [Agg::Min, Agg::Max, Agg::Weighted(vec![0.5, 1.5, 1.0])] {
             let ta = ta_topn(&l, 3, &agg);
             let oracle = l.topk_oracle(3, &agg);
             // Compare object sets and scores (order may differ only on
@@ -121,7 +117,8 @@ mod tests {
                 .map(|l| {
                     (0..40)
                         .map(|i| {
-                            let x = ((i as u32).wrapping_mul(2654435761u32)
+                            let x = ((i as u32)
+                                .wrapping_mul(2654435761u32)
                                 .wrapping_add(l * 97 + seed_shift))
                                 % 1000;
                             f64::from(x) / 1000.0

@@ -1,0 +1,180 @@
+//! Edge-case coverage for the bounded heap and the STOP AFTER policies:
+//! N = 0, N ≥ input length, duplicate scores, and tie-breaking stability.
+//!
+//! Tie-breaking contract, shared by every algorithm in the crate: score
+//! descending, then object id ascending. These tests pin it explicitly so a
+//! future "optimization" cannot silently reorder equal-scored results.
+
+use moa_topn::{aggressive, conservative, scan_stop, topn, topn_full_sort, TopNHeap};
+
+/// All scores equal — result order must be exactly ascending object ids.
+fn all_ties(len: u32) -> Vec<(u32, f64)> {
+    // Feed ids in a scrambled order so stability can't come for free.
+    (0..len).map(|i| ((i * 7 + 3) % len, 0.5)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// heap.rs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn heap_n_zero_returns_empty_for_any_input() {
+    assert!(topn(Vec::new(), 0).is_empty());
+    assert!(topn(all_ties(100), 0).is_empty());
+    assert!(topn_full_sort(all_ties(100), 0).is_empty());
+    let mut h = TopNHeap::new(0);
+    h.push(1, 1.0);
+    h.push(2, f64::NEG_INFINITY);
+    assert!(h.is_empty());
+    assert_eq!(h.len(), 0);
+    assert_eq!(h.threshold(), None);
+    assert_eq!(h.pushes(), 2);
+    assert!(h.into_sorted_vec().is_empty());
+}
+
+#[test]
+fn heap_n_at_and_beyond_input_length_returns_everything_sorted() {
+    let input: Vec<(u32, f64)> = vec![(4, 0.1), (2, 0.9), (0, 0.5), (3, 0.9), (1, 0.0)];
+    let want = vec![(2, 0.9), (3, 0.9), (0, 0.5), (4, 0.1), (1, 0.0)];
+    for n in [input.len(), input.len() + 1, 1000] {
+        assert_eq!(topn(input.clone(), n), want, "n={n}");
+        assert_eq!(topn_full_sort(input.clone(), n), want, "n={n}");
+    }
+}
+
+#[test]
+fn heap_n_zero_on_empty_input() {
+    assert!(topn(Vec::new(), 0).is_empty());
+    assert!(topn_full_sort(Vec::new(), 0).is_empty());
+    assert!(topn(Vec::new(), 5).is_empty());
+}
+
+#[test]
+fn duplicate_scores_tie_break_by_ascending_object_id() {
+    for len in [1u32, 2, 5, 17, 64] {
+        for n in [
+            1usize,
+            2,
+            (len / 2) as usize,
+            len as usize,
+            len as usize + 3,
+        ] {
+            let got = topn(all_ties(len), n);
+            let want: Vec<(u32, f64)> = (0..(n.min(len as usize)) as u32)
+                .map(|i| (i, 0.5))
+                .collect();
+            assert_eq!(got, want, "len={len} n={n}");
+            assert_eq!(
+                topn_full_sort(all_ties(len), n),
+                want,
+                "full sort len={len} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tie_breaking_is_stable_under_eviction_pressure() {
+    // Two score classes; the heap must keep the *smallest ids* of the upper
+    // class even when larger ids of the same score arrive first and the heap
+    // churns through evictions of the lower class.
+    let mut input: Vec<(u32, f64)> = Vec::new();
+    for id in (50..100u32).rev() {
+        input.push((id, 0.9)); // upper class, descending ids first
+    }
+    for id in 0..50u32 {
+        input.push((id, 0.1)); // lower class
+    }
+    let got = topn(input.clone(), 10);
+    let want: Vec<(u32, f64)> = (50..60).map(|i| (i, 0.9)).collect();
+    assert_eq!(got, want);
+    assert_eq!(topn_full_sort(input, 10), want);
+}
+
+#[test]
+fn heap_threshold_tracks_worst_retained_with_duplicates() {
+    let mut h = TopNHeap::new(3);
+    for (obj, score) in [(0u32, 0.5), (1, 0.5), (2, 0.5), (3, 0.5)] {
+        h.push(obj, score);
+    }
+    assert!(h.is_full());
+    assert_eq!(h.threshold(), Some(0.5));
+    // With all-equal scores, the three *smallest ids* are retained.
+    assert_eq!(h.into_sorted_vec(), vec![(0, 0.5), (1, 0.5), (2, 0.5)]);
+}
+
+// ---------------------------------------------------------------------------
+// stop_after.rs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stop_after_n_zero_processes_predictably() {
+    let input = all_ties(40);
+    let cons = conservative(&input, 0, |_| true);
+    assert!(cons.items.is_empty());
+    // Conservative has no stop to exploit: it still filters everything.
+    assert_eq!(cons.tuples_processed, input.len());
+    let aggr = aggressive(&input, 0, 0.5, 1.0, |_| true);
+    assert!(aggr.items.is_empty());
+    // Aggressive short-circuits: no predicate work at all.
+    assert_eq!(aggr.tuples_processed, 0);
+    assert_eq!(aggr.restarts, 0);
+    assert!(scan_stop(&input, 0).items.is_empty());
+}
+
+#[test]
+fn stop_after_n_at_least_input_length_returns_all_survivors() {
+    let input: Vec<(u32, f64)> = (0..30u32).map(|i| (i, f64::from(i % 7))).collect();
+    let pred = |obj: u32| obj.is_multiple_of(2);
+    let mut want: Vec<(u32, f64)> = input.iter().copied().filter(|&(o, _)| pred(o)).collect();
+    want.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for n in [input.len(), input.len() + 25] {
+        let cons = conservative(&input, n, pred);
+        assert_eq!(cons.items, want, "conservative n={n}");
+        let aggr = aggressive(&input, n, 0.5, 1.0, pred);
+        assert_eq!(aggr.items, want, "aggressive n={n}");
+        // Asking for ≥ everything forces the aggressive policy through the
+        // whole input, restarts included.
+        assert_eq!(aggr.tuples_processed, input.len());
+    }
+}
+
+#[test]
+fn stop_after_duplicate_scores_are_tie_stable_across_policies() {
+    let input = all_ties(60);
+    let pred = |obj: u32| !obj.is_multiple_of(3);
+    let cons = conservative(&input, 12, pred);
+    // Smallest surviving ids, ascending, all with the tied score.
+    let want: Vec<(u32, f64)> = (0..60u32)
+        .filter(|o| o % 3 != 0)
+        .take(12)
+        .map(|o| (o, 0.5))
+        .collect();
+    assert_eq!(cons.items, want);
+    // A bad estimate changes work, never results or their order.
+    for est in [0.01f64, 0.66, 1.0] {
+        let aggr = aggressive(&input, 12, est, 1.0, pred);
+        assert_eq!(aggr.items, want, "est={est}");
+    }
+}
+
+#[test]
+fn stop_after_empty_input_everywhere() {
+    assert!(conservative(&[], 5, |_| true).items.is_empty());
+    let aggr = aggressive(&[], 5, 0.5, 1.0, |_| true);
+    assert!(aggr.items.is_empty());
+    assert_eq!(aggr.tuples_processed, 0);
+    assert!(scan_stop(&[], 5).items.is_empty());
+}
+
+#[test]
+fn scan_stop_edge_lengths() {
+    let sorted: Vec<(u32, f64)> = (0..10u32).map(|i| (i, 1.0 - f64::from(i) / 10.0)).collect();
+    assert!(scan_stop(&sorted, 0).items.is_empty());
+    let exact = scan_stop(&sorted, 10);
+    assert_eq!(exact.items, sorted);
+    assert_eq!(exact.tuples_processed, 10);
+    let beyond = scan_stop(&sorted, 11);
+    assert_eq!(beyond.items, sorted);
+    assert_eq!(beyond.tuples_processed, 10);
+}

@@ -19,8 +19,7 @@ use moa_ir::{
 
 fn main() {
     let collection = Collection::generate(CollectionConfig::small()).expect("valid preset");
-    let queries =
-        generate_queries(&collection, &QueryConfig::default()).expect("valid workload");
+    let queries = generate_queries(&collection, &QueryConfig::default()).expect("valid workload");
     let qrels =
         generate_qrels(&collection, &queries, &QrelsConfig::default()).expect("valid qrels");
     let index = Arc::new(InvertedIndex::from_collection(&collection));
@@ -48,14 +47,19 @@ fn main() {
         "strategy", "postings scanned", "batch time", "MAP", "queries w/ B"
     );
     for (label, strategy) in strategies {
-        let mut searcher =
-            FragSearcher::new(Arc::clone(&frag), RankingModel::default(), SwitchPolicy::default());
+        let mut searcher = FragSearcher::new(
+            Arc::clone(&frag),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
         let t0 = std::time::Instant::now();
         let mut scanned = 0usize;
         let mut used_b = 0usize;
         let mut aps: Vec<Option<f64>> = Vec::new();
         for q in &queries {
-            let rep = searcher.search(&q.terms, 1_000, strategy).expect("valid query");
+            let rep = searcher
+                .search(&q.terms, 1_000, strategy)
+                .expect("valid query");
             scanned += rep.postings_scanned;
             used_b += usize::from(rep.used_b);
             let ranking: Vec<u32> = rep.top.iter().map(|&(d, _)| d).collect();

@@ -55,5 +55,8 @@ fn main() {
         );
     }
 
-    println!("\nEXPLAIN of the fully optimized plan:\n{}", full.explain(&big));
+    println!(
+        "\nEXPLAIN of the fully optimized plan:\n{}",
+        full.explain(&big)
+    );
 }

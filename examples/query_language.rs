@@ -11,10 +11,17 @@ use moa_core::{parse_expr, Env, Session, Value};
 fn main() {
     let session = Session::new();
     let mut env = Env::new();
-    env.bind("measurements", Value::int_list((0..50_000).map(|i| i % 1000)));
+    env.bind(
+        "measurements",
+        Value::int_list((0..50_000).map(|i| i % 1000)),
+    );
     env.bind(
         "sorted_scores",
-        Value::list((0..100_000).map(|i| Value::Float(f64::from(i) / 1000.0)).collect()),
+        Value::list(
+            (0..100_000)
+                .map(|i| Value::Float(f64::from(i) / 1000.0))
+                .collect(),
+        ),
     );
 
     let programs = [
@@ -35,14 +42,15 @@ fn main() {
         println!("────────────────────────────────────────────────────────");
         println!("query: {src}\n");
         let expr = parse_expr(src).expect("well-formed program");
-        let ty = session
-            .type_check(&expr, &env)
-            .expect("well-typed program");
+        let ty = session.type_check(&expr, &env).expect("well-typed program");
         println!("type: {ty}");
         println!("{}", session.explain(&expr));
         let optimized = session.run(&expr, &env).expect("executes");
         let baseline = session.run_unoptimized(&expr, &env).expect("executes");
-        assert_eq!(optimized.value, baseline.value, "optimizer must preserve semantics");
+        assert_eq!(
+            optimized.value, baseline.value,
+            "optimizer must preserve semantics"
+        );
         let summary = match &optimized.value {
             Value::Int(i) => format!("INT {i}"),
             v => format!("{} elements", v.cardinality()),

@@ -60,11 +60,16 @@ fn main() {
 
     println!("\n{}", session.explain(&expr));
 
-    let unopt = session.run_unoptimized(&expr, &Env::new()).expect("query runs");
+    let unopt = session
+        .run_unoptimized(&expr, &Env::new())
+        .expect("query runs");
     let opt = session.run(&expr, &Env::new()).expect("query runs");
     assert_eq!(opt.value, unopt.value);
 
-    println!("top-10 ({} work units optimized, {} unoptimized):", opt.work, unopt.work);
+    println!(
+        "top-10 ({} work units optimized, {} unoptimized):",
+        opt.work, unopt.work
+    );
     if let moa_core::Value::Ranked(pairs) = &opt.value {
         for (rank, (doc, score)) in pairs.iter().enumerate() {
             println!("  {:>2}. doc {:>6}  score {score:.4}", rank + 1, doc);

@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use moa_core::{Env, Expr, IrRuntime, Session, Value};
 use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
-use moa_ir::{
-    FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, Strategy, SwitchPolicy,
-};
+use moa_ir::{FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, Strategy, SwitchPolicy};
 
 fn runtime(strategy: Strategy) -> (Collection, Arc<IrRuntime>) {
     let collection = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
@@ -25,8 +23,7 @@ fn runtime(strategy: Strategy) -> (Collection, Arc<IrRuntime>) {
 }
 
 fn first_query(collection: &Collection) -> Vec<i64> {
-    let queries =
-        generate_queries(collection, &QueryConfig::default()).expect("valid workload");
+    let queries = generate_queries(collection, &QueryConfig::default()).expect("valid workload");
     queries[0].terms.iter().map(|&t| i64::from(t)).collect()
 }
 
@@ -35,10 +32,7 @@ fn ranked_query_through_the_full_stack() {
     let (collection, rt) = runtime(Strategy::FullScan);
     let session = Session::with_ir(rt);
     let terms = first_query(&collection);
-    let expr = Expr::mm_topn(
-        Expr::mm_rank(Expr::constant(Value::int_list(terms))),
-        10,
-    );
+    let expr = Expr::mm_topn(Expr::mm_rank(Expr::constant(Value::int_list(terms))), 10);
     let report = session.run(&expr, &Env::new()).expect("query runs");
     let ranked = report.value.as_ranked().expect("ranked result");
     assert!(!ranked.is_empty());
@@ -61,12 +55,11 @@ fn optimizer_preserves_query_results_across_strategies() {
         let (collection, rt) = runtime(strategy);
         let session = Session::with_ir(rt);
         let terms = first_query(&collection);
-        let expr = Expr::mm_topn(
-            Expr::mm_rank(Expr::constant(Value::int_list(terms))),
-            5,
-        );
+        let expr = Expr::mm_topn(Expr::mm_rank(Expr::constant(Value::int_list(terms))), 5);
         let optimized = session.run(&expr, &Env::new()).expect("query runs");
-        let baseline = session.run_unoptimized(&expr, &Env::new()).expect("query runs");
+        let baseline = session
+            .run_unoptimized(&expr, &Env::new())
+            .expect("query runs");
         assert_eq!(
             optimized.value, baseline.value,
             "optimization changed results under {strategy:?}"
@@ -87,7 +80,9 @@ fn cross_extension_pipeline_over_ranked_results() {
         5,
     );
     let optimized = session.run(&expr, &Env::new()).expect("query runs");
-    let baseline = session.run_unoptimized(&expr, &Env::new()).expect("query runs");
+    let baseline = session
+        .run_unoptimized(&expr, &Env::new())
+        .expect("query runs");
     assert_eq!(optimized.value, baseline.value);
     assert!(
         optimized.work < baseline.work,
@@ -115,10 +110,7 @@ fn switch_strategy_matches_full_scan_when_b_is_needed() {
         terms.reverse();
         terms.into_iter().take(3).map(i64::from).collect()
     };
-    let expr = Expr::mm_topn(
-        Expr::mm_rank(Expr::constant(Value::int_list(frequent))),
-        10,
-    );
+    let expr = Expr::mm_topn(Expr::mm_rank(Expr::constant(Value::int_list(frequent))), 10);
     let switch_session = Session::with_ir(rt_switch);
     let full_session = Session::with_ir(rt_full);
     let sw = switch_session.run(&expr, &Env::new()).expect("runs");
@@ -134,10 +126,7 @@ fn type_checking_guards_cross_crate_plans() {
     let bad = Expr::mm_rank(Expr::projecttobag(Expr::constant(Value::int_list([1, 2]))));
     assert!(session.type_check(&bad, &Env::new()).is_err());
     // Well-typed pipeline checks out.
-    let good = Expr::mm_topn(
-        Expr::mm_rank(Expr::constant(Value::int_list([1, 2]))),
-        3,
-    );
+    let good = Expr::mm_topn(Expr::mm_rank(Expr::constant(Value::int_list([1, 2]))), 3);
     assert_eq!(
         session.type_check(&good, &Env::new()).unwrap(),
         moa_core::MoaType::Ranked

@@ -53,8 +53,7 @@ fn a_only_results_are_a_subset_of_scoring_signal() {
         let a_only = searcher
             .search(&q.terms, collection.num_docs(), Strategy::AOnly)
             .expect("query");
-        let full_docs: std::collections::HashSet<u32> =
-            full.top.iter().map(|&(d, _)| d).collect();
+        let full_docs: std::collections::HashSet<u32> = full.top.iter().map(|&(d, _)| d).collect();
         for &(d, score) in &a_only.top {
             assert!(full_docs.contains(&d), "doc {d} only in A-only result");
             // A-only scores never exceed the full score.
@@ -88,7 +87,10 @@ fn rare_only_queries_never_switch() {
             let rep = searcher
                 .search(&q.terms, 10, Strategy::Switch { use_b_index: false })
                 .expect("query");
-            assert!(!rep.used_b, "switched for all-A query (boundary df {boundary})");
+            assert!(
+                !rep.used_b,
+                "switched for all-A query (boundary df {boundary})"
+            );
             ran += 1;
         }
     }
@@ -130,10 +132,11 @@ fn frequent_only_queries_always_switch() {
 fn sparse_index_on_b_changes_cost_not_results() {
     let collection = Collection::generate(CollectionConfig::tiny()).expect("preset");
     let index = Arc::new(InvertedIndex::from_collection(&collection));
-    let mut frag =
-        FragmentedIndex::build(Arc::clone(&index), FragmentSpec::VolumeFraction(0.15))
-            .expect("non-empty");
-    frag.fragment_b_mut().build_sparse_index(128).expect("sorted term column");
+    let mut frag = FragmentedIndex::build(Arc::clone(&index), FragmentSpec::VolumeFraction(0.15))
+        .expect("non-empty");
+    frag.fragment_b_mut()
+        .build_sparse_index(128)
+        .expect("sorted term column");
     let frag = Arc::new(frag);
     let queries = generate_queries(&collection, &QueryConfig::default()).expect("workload");
     let mut searcher = FragSearcher::new(

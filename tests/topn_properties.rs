@@ -13,15 +13,9 @@ use moa_topn::{
     InMemoryLists, RandomAccess, SortedAccess,
 };
 
-fn grades_strategy(
-    max_lists: usize,
-    max_objects: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn grades_strategy(max_lists: usize, max_objects: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1..=max_lists, 0..=max_objects).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0.0f64..1.0, n..=n),
-            m..=m,
-        )
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n..=n), m..=m)
     })
 }
 
