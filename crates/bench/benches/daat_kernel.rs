@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the bounds-pruned query kernel (E14 in
+//! microbenchmark form): MaxScore DAAT vs the exhaustive cursor merge,
+//! galloping `seek` vs linear advance, and the `TopNHeap::would_enter`
+//! fast-reject.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, Query, QueryConfig};
+use moa_ir::{DaatSearcher, InvertedIndex, RankingModel};
+use moa_topn::TopNHeap;
+
+fn fixture() -> (InvertedIndex, Vec<Query>) {
+    let c = Collection::generate(CollectionConfig::small()).expect("valid preset");
+    let queries = generate_queries(
+        &c,
+        &QueryConfig {
+            num_queries: 20,
+            bias: DfBias::TrecLike { high_df_mix: 0.5 },
+            seed: 0xDAA7,
+            ..QueryConfig::default()
+        },
+    )
+    .expect("valid workload");
+    (InvertedIndex::from_collection(&c), queries)
+}
+
+fn bench_daat(c: &mut Criterion) {
+    let (index, queries) = fixture();
+    let mut g = c.benchmark_group("daat");
+    for n in [10usize, 100] {
+        let daat = DaatSearcher::new(&index, RankingModel::default());
+        g.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, &n| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(daat.search_exhaustive(&q.terms, n).expect("valid query"));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("maxscore_pruned", n), &n, |b, &n| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(daat.search(&q.terms, n).expect("valid query"));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cursor_seek(c: &mut Criterion) {
+    let (index, _) = fixture();
+    // The most frequent term has the longest run: the seek stress case.
+    let term = *index.terms_by_df_asc().last().expect("non-empty index");
+    let (docs, _) = index.postings(term).expect("term in range");
+    let targets: Vec<u32> = docs.iter().copied().step_by(7).collect();
+    let mut g = c.benchmark_group("posting_cursor");
+    g.bench_function("galloping_seek", |b| {
+        b.iter(|| {
+            let mut cur = index.cursor(term).expect("term in range");
+            let mut skipped = 0usize;
+            for &t in &targets {
+                skipped += cur.seek(black_box(t));
+            }
+            skipped
+        })
+    });
+    g.bench_function("linear_advance", |b| {
+        b.iter(|| {
+            let mut cur = index.cursor(term).expect("term in range");
+            let mut skipped = 0usize;
+            for &t in &targets {
+                while cur.doc().is_some_and(|d| d < black_box(t)) {
+                    cur.advance();
+                    skipped += 1;
+                }
+            }
+            skipped
+        })
+    });
+    g.finish();
+}
+
+fn bench_would_enter(c: &mut Criterion) {
+    let mut heap = TopNHeap::new(10);
+    for i in 0..10_000u32 {
+        heap.push(i, f64::from(i % 997));
+    }
+    let mut g = c.benchmark_group("topn_heap");
+    g.bench_function("would_enter_reject", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..10_000u32 {
+                if heap.would_enter(black_box(f64::from(i % 991)), i) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_daat, bench_cursor_seek, bench_would_enter);
+criterion_main!(benches);

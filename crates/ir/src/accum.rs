@@ -1,0 +1,110 @@
+//! Sparse score accumulator shared by the set-at-a-time evaluators.
+//!
+//! [`crate::eval::Searcher`] and [`crate::fragment::FragSearcher`] both
+//! accumulate per-document partial scores in a dense array but touch only
+//! the documents their query terms reach. An *epoch marker* distinguishes
+//! this query's slots from stale ones, so a legitimately-zero partial
+//! score (e.g. an idf of exactly zero when `df == N`) can never be
+//! mistaken for "untouched" and double-counted, and no O(num_docs) reset
+//! is needed between queries.
+
+/// A reusable sparse accumulator: dense score slots, epoch-marked
+/// touched tracking, lazy reset.
+#[derive(Debug, Clone)]
+pub struct EpochAccumulator {
+    scores: Vec<f64>,
+    /// `epoch[doc] == cur_epoch` iff `scores[doc]` belongs to this query.
+    epoch: Vec<u32>,
+    cur_epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl EpochAccumulator {
+    /// Create an accumulator over `num_docs` score slots.
+    pub fn new(num_docs: usize) -> EpochAccumulator {
+        EpochAccumulator {
+            scores: vec![0.0; num_docs],
+            epoch: vec![0; num_docs],
+            cur_epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Add `w` to `doc`'s partial score, registering the document as
+    /// touched on first contact (even when `w == 0.0`).
+    #[inline]
+    pub fn add(&mut self, doc: u32, w: f64) {
+        let slot = doc as usize;
+        if self.epoch[slot] != self.cur_epoch {
+            self.epoch[slot] = self.cur_epoch;
+            self.scores[slot] = 0.0;
+            self.touched.push(doc);
+        }
+        self.scores[slot] += w;
+    }
+
+    /// The documents touched by the current query, in first-touch order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// The current partial score of a touched document.
+    #[inline]
+    pub fn score(&self, doc: u32) -> f64 {
+        self.scores[doc as usize]
+    }
+
+    /// Finish the current query: clear the touched list and bump the
+    /// epoch so every slot reads as untouched again. One full marker
+    /// clear every 2^32 queries keeps the wraparound sound.
+    pub fn retire(&mut self) {
+        self.touched.clear();
+        self.cur_epoch = self.cur_epoch.wrapping_add(1);
+        if self.cur_epoch == 0 {
+            self.epoch.fill(0);
+            self.cur_epoch = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_contribution_is_touched_exactly_once() {
+        let mut acc = EpochAccumulator::new(4);
+        acc.add(2, 0.0);
+        acc.add(2, 0.0);
+        acc.add(1, 1.5);
+        assert_eq!(acc.touched(), &[2, 1]);
+        assert_eq!(acc.score(2), 0.0);
+        assert_eq!(acc.score(1), 1.5);
+    }
+
+    #[test]
+    fn retire_resets_lazily() {
+        let mut acc = EpochAccumulator::new(3);
+        acc.add(0, 2.0);
+        acc.retire();
+        assert!(acc.touched().is_empty());
+        acc.add(0, 1.0);
+        assert_eq!(acc.score(0), 1.0, "stale score must not leak");
+        assert_eq!(acc.touched(), &[0]);
+    }
+
+    #[test]
+    fn epoch_wraparound_stays_sound() {
+        let mut acc = EpochAccumulator::new(2);
+        acc.add(0, 1.0);
+        acc.retire();
+        // Force the wrap: the next retire rolls cur_epoch over 0.
+        acc.cur_epoch = u32::MAX;
+        acc.add(1, 3.0);
+        acc.retire();
+        assert_eq!(acc.cur_epoch, 1);
+        acc.add(1, 0.5);
+        assert_eq!(acc.score(1), 0.5);
+        assert_eq!(acc.touched(), &[1]);
+    }
+}

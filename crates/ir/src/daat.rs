@@ -1,4 +1,4 @@
-//! Document-at-a-time (element-at-a-time) evaluation.
+//! Document-at-a-time (element-at-a-time) evaluation, bounds-pruned.
 //!
 //! The paper's Step 1 observes: *"databases preferably operate set-based in
 //! contrast with the element-at-a-time operation of most IR systems, \[so\]
@@ -8,92 +8,525 @@
 //! INQUERY-class engines do — so the set-based/element-at-a-time gap can be
 //! measured (experiment E13) instead of asserted.
 //!
-//! The work of a DAAT query is proportional to the *query terms' postings*;
-//! the work of an unfragmented set-based (BAT-scan) query is proportional
-//! to the *collection volume*. Fragmentation is exactly the device that
-//! closes this gap while keeping evaluation set-based.
+//! [`DaatSearcher::search`] goes further than a plain merge: it applies the
+//! same score-upper-bound machinery that powers the TA threshold and the
+//! fragmentation safety check *inside* the hot loop, MaxScore-style:
+//!
+//! 1. query terms are sorted by their maximum possible contribution —
+//!    the exact per-term posting maximum the
+//!    [`crate::scorer::ScoreKernel`] precomputes at build time,
+//! 2. terms whose cumulative bound cannot lift any document into the
+//!    current top-N ([`moa_topn::TopNHeap::would_enter`]) become
+//!    *non-essential*: their cursors are never merged, only `seek`-ed
+//!    ([`crate::index::PostingCursor`], galloping skip),
+//! 3. a document whose partial score plus the remaining bound cannot enter
+//!    the heap is abandoned early (`bound_exits`).
+//!
+//! Results are **bit-exact** with the exhaustive merge
+//! ([`DaatSearcher::search_exhaustive`]) and with the set-at-a-time
+//! evaluator: per-document contributions are summed in original query-term
+//! order, and all paths share the [`crate::scorer::ScoreKernel`] so every
+//! weight is the identical `f64`. Only the work differs — `postings_scanned`
+//! shrinks, `docs_skipped`/`seeks`/`bound_exits` account for the saving.
+
+use std::sync::OnceLock;
 
 use moa_topn::TopNHeap;
 
 use crate::error::Result;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, PostingCursor};
 use crate::ranking::RankingModel;
+use crate::scorer::{ScoreBounds, ScoreKernel, TermScorer};
 
 /// Result of a document-at-a-time evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DaatReport {
     /// Top `(doc, score)` pairs, best first.
     pub top: Vec<(u32, f64)>,
-    /// Postings consumed (the element-at-a-time work measure).
+    /// Postings consumed and scored (the element-at-a-time work measure).
     pub postings_scanned: usize,
     /// Cursor-advance operations performed.
     pub cursor_advances: usize,
+    /// Postings bypassed without scoring (via galloping seeks or pruned
+    /// tails). `postings_scanned + docs_skipped` equals the exhaustive
+    /// merge's posting volume.
+    pub docs_skipped: usize,
+    /// Galloping `seek` calls issued on non-essential cursors.
+    pub seeks: usize,
+    /// Documents abandoned because partial score + remaining bound could
+    /// not enter the top-N heap.
+    pub bound_exits: usize,
 }
 
-/// A document-at-a-time evaluator over per-term posting cursors.
+/// A document-at-a-time evaluator over per-term posting cursors, with a
+/// per-index scoring kernel built once and reused across queries.
 #[derive(Debug)]
 pub struct DaatSearcher<'a> {
     index: &'a InvertedIndex,
-    model: RankingModel,
+    kernel: ScoreKernel,
+    /// Per-term bound tables, built lazily on the first pruned search —
+    /// exhaustive-only users never pay the two full scoring passes.
+    bounds: OnceLock<ScoreBounds>,
+}
+
+/// Per-query-term evaluation state: cursor, precomputed scorer, bounds.
+struct TermState<'p> {
+    cursor: PostingCursor<'p>,
+    scorer: TermScorer,
+    /// Upper bound on any single posting's contribution (exact per-term
+    /// posting maximum).
+    max_weight: f64,
+    /// Per-fine-block exact contribution maxima (block-max pruning).
+    block_max: &'p [f64],
+    /// Per-fine-block last document ids, aligned with `block_max`.
+    block_last: &'p [u32],
+    /// Coarse-block maxima (deep-skip widening).
+    coarse_max: &'p [f64],
+    /// Coarse-block last document ids, aligned with `coarse_max`.
+    coarse_last: &'p [u32],
+    /// Position in the original query (bit-exact summation order).
+    qpos: usize,
+}
+
+impl TermState<'_> {
+    /// Block-max bound of the current posting's block.
+    #[inline]
+    fn local_bound(&self) -> f64 {
+        self.block_max[self.cursor.position() / ScoreBounds::BLOCK_POSTINGS]
+    }
+
+    /// Last document id of the current posting's block — the horizon up
+    /// to which [`TermState::local_bound`] stays valid.
+    #[inline]
+    fn current_block_last(&self) -> u32 {
+        self.block_last[self.cursor.position() / ScoreBounds::BLOCK_POSTINGS]
+    }
+
+    /// Coarse-block bound of the current posting's block.
+    #[inline]
+    fn coarse_bound(&self) -> f64 {
+        self.coarse_max[self.cursor.position() / ScoreBounds::COARSE_BLOCK_POSTINGS]
+    }
+
+    /// Last document id of the current posting's coarse block.
+    #[inline]
+    fn current_coarse_last(&self) -> u32 {
+        self.coarse_last[self.cursor.position() / ScoreBounds::COARSE_BLOCK_POSTINGS]
+    }
+
+    /// Block-max bound on this term's contribution to `target`, found by
+    /// a *shallow* block-boundary search (no posting is touched and the
+    /// cursor does not move): the block holding the first posting ≥
+    /// `target`. 0.0 when the run is exhausted before `target`.
+    #[inline]
+    fn shallow_bound(&self, target: u32) -> f64 {
+        let k0 = self.cursor.position() / ScoreBounds::BLOCK_POSTINGS;
+        if k0 >= self.block_last.len() {
+            return 0.0;
+        }
+        let k = k0 + self.block_last[k0..].partition_point(|&d| d < target);
+        self.block_max.get(k).copied().unwrap_or(0.0)
+    }
 }
 
 impl<'a> DaatSearcher<'a> {
-    /// Create an evaluator with the given ranking model.
+    /// Create an evaluator with the given ranking model, materializing the
+    /// per-document norm table once.
     pub fn new(index: &'a InvertedIndex, model: RankingModel) -> DaatSearcher<'a> {
-        DaatSearcher { index, model }
+        DaatSearcher {
+            index,
+            kernel: ScoreKernel::new(model, index),
+            bounds: OnceLock::new(),
+        }
     }
 
-    /// Evaluate a query document-at-a-time, returning the top `n`.
-    pub fn search(&self, terms: &[u32], n: usize) -> Result<DaatReport> {
-        let stats = self.index.stats();
-        // One cursor per term: (docs, tfs, position, df, cf).
-        struct Cursor<'p> {
-            docs: &'p [u32],
-            tfs: &'p [u32],
-            pos: usize,
-            df: u32,
-            cf: u64,
-        }
-        let mut cursors = Vec::with_capacity(terms.len());
-        for &t in terms {
-            let (docs, tfs) = self.index.postings(t)?;
-            cursors.push(Cursor {
-                docs,
-                tfs,
-                pos: 0,
-                df: self.index.df(t)?,
-                cf: self.index.cf(t)?,
+    fn bounds(&self) -> &ScoreBounds {
+        self.bounds
+            .get_or_init(|| ScoreBounds::new(&self.kernel, self.index))
+    }
+
+    /// The scoring kernel (per-index precomputed state) in use.
+    pub fn kernel(&self) -> &ScoreKernel {
+        &self.kernel
+    }
+
+    fn term_states<'s>(&'s self, terms: &[u32]) -> Result<Vec<TermState<'s>>> {
+        let bounds = self.bounds();
+        let mut states = Vec::with_capacity(terms.len());
+        for (qpos, &t) in terms.iter().enumerate() {
+            let df = self.index.df(t)?;
+            let cf = self.index.cf(t)?;
+            let scorer = self.kernel.term_scorer(df, cf);
+            let max_weight = bounds.term_max_weight(t);
+            let (block_max, block_last) = bounds.term_blocks(t);
+            let (coarse_max, coarse_last) = bounds.term_coarse_blocks(t);
+            states.push(TermState {
+                cursor: self.index.cursor(t)?,
+                scorer,
+                max_weight,
+                block_max,
+                block_last,
+                coarse_max,
+                coarse_last,
+                qpos,
             });
         }
+        Ok(states)
+    }
+
+    /// Evaluate a query document-at-a-time with MaxScore pruning,
+    /// returning the top `n`. Bit-exact with
+    /// [`DaatSearcher::search_exhaustive`]; strictly less work whenever
+    /// the heap threshold disqualifies low-bound terms.
+    pub fn search(&self, terms: &[u32], n: usize) -> Result<DaatReport> {
+        let mut states = self.term_states(terms)?;
+        let m = states.len();
+        // Ascending bound order: the cheapest terms come first so a prefix
+        // of them can be declared non-essential as the threshold rises.
+        states.sort_by(|a, b| {
+            a.max_weight
+                .total_cmp(&b.max_weight)
+                .then(a.qpos.cmp(&b.qpos))
+        });
+        // prefix_bound[k] = sum of the k smallest per-term bounds: the most
+        // any document matching only terms[..k] can score.
+        let mut prefix_bound = vec![0.0f64; m + 1];
+        for (i, s) in states.iter().enumerate() {
+            prefix_bound[i + 1] = prefix_bound[i] + s.max_weight;
+        }
+
+        let mut heap = TopNHeap::new(n);
+        let mut scanned = 0usize;
+        let mut advances = 0usize;
+        let mut skipped = 0usize;
+        let mut seeks = 0usize;
+        let mut bound_exits = 0usize;
+        // Per-document contributions, indexed by original query position so
+        // the final sum replays the exhaustive merge's addition order.
+        let mut contrib = vec![0.0f64; m];
+        // Reused per-candidate scratch: matching essential cursor indices
+        // (descending bound order), their exact suffix bounds, and the
+        // non-essential shallow block bounds with prefix sums.
+        let mut matching: Vec<usize> = Vec::with_capacity(m);
+        let mut suffix_bound: Vec<f64> = Vec::with_capacity(m + 1);
+        let mut ne_prefix: Vec<f64> = Vec::with_capacity(m + 1);
+
+        // Terms [0, first_essential) are non-essential: their cumulative
+        // bound cannot enter the heap, so no document found *only* there
+        // can make the top-N. Doc id 0 is the most favorable tie-break, so
+        // using it keeps the partition conservative for every document.
+        let mut first_essential = 0usize;
+        // Contiguous mirror of each cursor's current doc (u32::MAX when
+        // exhausted): the min-scan and match tests run over this dense
+        // array instead of striding through the larger `TermState`s.
+        let mut cur: Vec<u32> = states
+            .iter()
+            .map(|s| s.cursor.doc().unwrap_or(u32::MAX))
+            .collect();
+
+        // Phase 1 — warm-up merge: while the heap is not full every
+        // candidate enters, so no bound bookkeeping pays off yet (the
+        // partition is necessarily empty too). A plain merge fills the
+        // heap as fast as possible.
+        while !heap.is_full() && m > 0 {
+            let next_doc = cur.iter().copied().min().unwrap_or(u32::MAX);
+            if next_doc == u32::MAX {
+                break; // input exhausted before the heap filled
+            }
+            for i in 0..m {
+                if cur[i] == next_doc {
+                    let s = &mut states[i];
+                    contrib[s.qpos] = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
+                    s.cursor.advance();
+                    cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+                    scanned += 1;
+                    advances += 1;
+                }
+            }
+            // Sum in original query order (bit-exact with the exhaustive
+            // merge).
+            let mut score = 0.0f64;
+            for &c in contrib.iter() {
+                score += c;
+            }
+            heap.push(next_doc, score);
+            contrib.fill(0.0);
+        }
+        while first_essential < m && !heap.would_enter(prefix_bound[first_essential + 1], 0) {
+            first_essential += 1;
+        }
+
+        // Phase 2 — bounds-pruned scan.
+        loop {
+            if first_essential >= m && m > 0 {
+                // No remaining document can enter the heap at all.
+                break;
+            }
+
+            // The next candidate is the minimum current doc across the
+            // essential cursors.
+            let next_doc = cur[first_essential..]
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(u32::MAX);
+            if next_doc == u32::MAX {
+                break; // all essential cursors exhausted
+            }
+
+            // Cheap first gate (no allocation, no block search): matching
+            // cursors' current-block maxima plus the *global* bound of the
+            // non-essential prefix. Most candidates match only weak terms
+            // and die here — and because the same bound holds for every
+            // document up to the matching blocks' boundaries (capped by
+            // the non-matching essential cursors' current documents, whose
+            // arrival would change the matching set), the whole range is
+            // skipped in one galloping move per cursor (block-max deep
+            // skip, Ding–Suel style).
+            let mut gate = prefix_bound[first_essential];
+            let mut skip_to = u32::MAX;
+            let mut nonmatch_cap = u32::MAX;
+            for i in first_essential..m {
+                let d = cur[i];
+                if d == next_doc {
+                    let s = &states[i];
+                    gate += s.local_bound();
+                    skip_to = skip_to.min(s.current_block_last().saturating_add(1));
+                } else {
+                    nonmatch_cap = nonmatch_cap.min(d);
+                }
+            }
+            skip_to = skip_to.min(nonmatch_cap);
+            if !heap.would_enter(gate, next_doc) {
+                bound_exits += 1;
+                // Try widening the skip with the coarse blocks: if even
+                // the looser coarse bound cannot enter, the whole coarse
+                // range is dead and one gallop clears it. Pointless when
+                // another essential cursor's document already caps the
+                // skip below the fine-block boundary.
+                if skip_to < nonmatch_cap {
+                    let mut coarse_gate = prefix_bound[first_essential];
+                    let mut coarse_to = u32::MAX;
+                    for i in first_essential..m {
+                        if cur[i] == next_doc {
+                            let s = &states[i];
+                            coarse_gate += s.coarse_bound();
+                            coarse_to = coarse_to.min(s.current_coarse_last().saturating_add(1));
+                        }
+                    }
+                    if !heap.would_enter(coarse_gate, next_doc) {
+                        skip_to = coarse_to.min(nonmatch_cap).max(skip_to);
+                    }
+                }
+                let single_step = skip_to == next_doc.saturating_add(1);
+                for i in first_essential..m {
+                    if cur[i] == next_doc {
+                        let s = &mut states[i];
+                        if single_step {
+                            // The posting after the current one is already
+                            // >= skip_to: a plain advance beats a gallop.
+                            s.cursor.advance();
+                            advances += 1;
+                            skipped += 1;
+                        } else {
+                            seeks += 1;
+                            skipped += s.cursor.seek(skip_to);
+                        }
+                        cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+                    }
+                }
+                continue;
+            }
+
+            // Matching essential cursors, strongest bound first
+            // (descending, i.e. reverse of the ascending sort).
+            matching.clear();
+            for i in (first_essential..m).rev() {
+                if cur[i] == next_doc {
+                    matching.push(i);
+                }
+            }
+
+            // Fast path for the single-source candidate with nothing
+            // non-essential to probe: its score is one weight, so skip
+            // the suffix/probe machinery and push directly (0.0 + w is
+            // bit-identical to the exhaustive merge's sum).
+            if first_essential == 0 && matching.len() == 1 {
+                let i = matching[0];
+                let s = &mut states[i];
+                let w = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
+                s.cursor.advance();
+                cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+                scanned += 1;
+                advances += 1;
+                heap.push(next_doc, w);
+                while first_essential < m && !heap.would_enter(prefix_bound[first_essential + 1], 0)
+                {
+                    first_essential += 1;
+                }
+                continue;
+            }
+            // Non-essential block-max bounds for this candidate, found by
+            // shallow block-boundary searches (cursors do not move).
+            // ne_prefix[j + 1] = the most non-essential terms 0..=j can
+            // add to `next_doc`.
+            ne_prefix.clear();
+            ne_prefix.push(0.0);
+            for s in &states[..first_essential] {
+                let b = ne_prefix[ne_prefix.len() - 1] + s.shallow_bound(next_doc);
+                ne_prefix.push(b);
+            }
+            let ne_total = ne_prefix[first_essential];
+            // suffix_bound[k] = the most that matching cursors k.. plus
+            // every non-essential term can still add — block-max local
+            // bounds, built by exact summation (no subtractive drift) so
+            // the pruning bound is never below the true remainder.
+            suffix_bound.resize(matching.len() + 1, 0.0);
+            suffix_bound[matching.len()] = ne_total;
+            for k in (0..matching.len()).rev() {
+                suffix_bound[k] = suffix_bound[k + 1] + states[matching[k]].local_bound();
+            }
+
+            // Second gate: same matching bounds but with the non-essential
+            // part tightened from the global prefix to shallow block
+            // maxima at `next_doc`.
+            if !heap.would_enter(suffix_bound[0], next_doc) {
+                bound_exits += 1;
+                for &i in &matching {
+                    let s = &mut states[i];
+                    s.cursor.advance();
+                    cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+                    advances += 1;
+                    skipped += 1;
+                }
+                continue;
+            }
+
+            // Score strongest-first, shrinking the remaining bound with
+            // each actual weight so hopeless documents are abandoned
+            // mid-scoring.
+            let mut partial = 0.0f64;
+            let mut abandoned = false;
+            for (k, &i) in matching.iter().enumerate() {
+                let s = &mut states[i];
+                if abandoned {
+                    s.cursor.advance();
+                    advances += 1;
+                    skipped += 1;
+                } else {
+                    let w = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
+                    contrib[s.qpos] = w;
+                    partial += w;
+                    s.cursor.advance();
+                    scanned += 1;
+                    advances += 1;
+                    if !heap.would_enter(partial + suffix_bound[k + 1], next_doc) {
+                        bound_exits += 1;
+                        abandoned = true;
+                    }
+                }
+                cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+            }
+
+            // Probe the non-essential terms, strongest bound first, bailing
+            // out as soon as the remaining bound cannot reach the heap.
+            let mut completed = !abandoned;
+            if completed {
+                for j in (0..first_essential).rev() {
+                    if !heap.would_enter(partial + ne_prefix[j + 1], next_doc) {
+                        bound_exits += 1;
+                        completed = false;
+                        break;
+                    }
+                    let s = &mut states[j];
+                    seeks += 1;
+                    skipped += s.cursor.seek(next_doc);
+                    if s.cursor.doc() == Some(next_doc) {
+                        let w = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
+                        contrib[s.qpos] = w;
+                        partial += w;
+                        s.cursor.advance();
+                        scanned += 1;
+                        advances += 1;
+                    }
+                    cur[j] = s.cursor.doc().unwrap_or(u32::MAX);
+                }
+            }
+
+            if completed {
+                // Re-sum in original query order: identical floating-point
+                // addition sequence to the exhaustive/naive paths.
+                let mut score = 0.0f64;
+                for &c in contrib.iter() {
+                    score += c;
+                }
+                heap.push(next_doc, score);
+                // The threshold may have tightened: grow the non-essential
+                // prefix (it never shrinks).
+                while first_essential < m && !heap.would_enter(prefix_bound[first_essential + 1], 0)
+                {
+                    first_essential += 1;
+                }
+            }
+            contrib.fill(0.0);
+        }
+
+        // Account for the pruned tails so the work ledger balances.
+        for s in &states {
+            skipped += s.cursor.remaining();
+        }
+
+        Ok(DaatReport {
+            top: heap.into_sorted_vec(),
+            postings_scanned: scanned,
+            cursor_advances: advances,
+            docs_skipped: skipped,
+            seeks,
+            bound_exits,
+        })
+    }
+
+    /// Evaluate a query document-at-a-time with the plain exhaustive
+    /// cursor merge — every posting of every query term is consumed. The
+    /// unpruned baseline that experiment E14 measures [`Self::search`]
+    /// against, and the element-at-a-time work reference of E13.
+    pub fn search_exhaustive(&self, terms: &[u32], n: usize) -> Result<DaatReport> {
+        // Lightweight per-term state: the plain merge needs no bound
+        // tables, so this path never triggers the lazy `ScoreBounds`
+        // build.
+        let mut states: Vec<(PostingCursor<'_>, TermScorer)> = terms
+            .iter()
+            .map(|&t| {
+                Ok((
+                    self.index.cursor(t)?,
+                    self.kernel
+                        .term_scorer(self.index.df(t)?, self.index.cf(t)?),
+                ))
+            })
+            .collect::<Result<_>>()?;
 
         let mut heap = TopNHeap::new(n);
         let mut scanned = 0usize;
         let mut advances = 0usize;
 
         loop {
-            // The next document is the minimum current doc across cursors.
             let mut next_doc = u32::MAX;
-            for c in &cursors {
-                if c.pos < c.docs.len() {
-                    next_doc = next_doc.min(c.docs[c.pos]);
+            for (cursor, _) in &states {
+                if let Some(d) = cursor.doc() {
+                    next_doc = next_doc.min(d);
                 }
             }
             if next_doc == u32::MAX {
                 break; // all cursors exhausted
             }
             // Accumulate this document's score from every matching cursor
-            // and advance those cursors (element-at-a-time).
+            // and advance those cursors (element-at-a-time). States are in
+            // query order, so the addition order matches the naive paths.
             let mut score = 0.0f64;
-            for c in &mut cursors {
-                if c.pos < c.docs.len() && c.docs[c.pos] == next_doc {
-                    score += self.model.term_weight(
-                        c.tfs[c.pos],
-                        c.df,
-                        c.cf,
-                        self.index.doc_len(next_doc),
-                        &stats,
-                    );
-                    c.pos += 1;
+            for (cursor, scorer) in &mut states {
+                if cursor.doc() == Some(next_doc) {
+                    score += self.kernel.weight(scorer, cursor.tf(), next_doc);
+                    cursor.advance();
                     scanned += 1;
                     advances += 1;
                 }
@@ -105,6 +538,9 @@ impl<'a> DaatSearcher<'a> {
             top: heap.into_sorted_vec(),
             postings_scanned: scanned,
             cursor_advances: advances,
+            docs_skipped: 0,
+            seeks: 0,
+            bound_exits: 0,
         })
     }
 }
@@ -113,12 +549,20 @@ impl<'a> DaatSearcher<'a> {
 mod tests {
     use super::*;
     use crate::eval::Searcher;
-    use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
+    use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, QueryConfig};
 
     fn setup() -> (Collection, InvertedIndex) {
         let c = Collection::generate(CollectionConfig::tiny()).unwrap();
         let idx = InvertedIndex::from_collection(&c);
         (c, idx)
+    }
+
+    fn models() -> Vec<RankingModel> {
+        vec![
+            RankingModel::TfIdf,
+            RankingModel::HiemstraLm { lambda: 0.15 },
+            RankingModel::Bm25 { k1: 1.2, b: 0.75 },
+        ]
     }
 
     #[test]
@@ -131,24 +575,91 @@ mod tests {
         for q in queries.iter().take(15) {
             let d = daat.search(&q.terms, 20).unwrap();
             let s = saat.search(&q.terms, 20).unwrap();
-            assert_eq!(d.top.len(), s.top.len(), "query {:?}", q.terms);
-            for ((dd, ds), (sd, ss)) in d.top.iter().zip(&s.top) {
-                assert_eq!(dd, sd);
-                assert!((ds - ss).abs() < 1e-9);
+            assert_eq!(d.top, s.top, "query {:?}", q.terms);
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_bit_exactly_for_all_models() {
+        let (c, idx) = setup();
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        for model in models() {
+            let daat = DaatSearcher::new(&idx, model);
+            for q in queries.iter().take(12) {
+                for n in [1usize, 5, 20, idx.num_docs()] {
+                    let pruned = daat.search(&q.terms, n).unwrap();
+                    let full = daat.search_exhaustive(&q.terms, n).unwrap();
+                    assert_eq!(pruned.top, full.top, "{model:?} {:?} n={n}", q.terms);
+                }
             }
         }
     }
 
     #[test]
-    fn daat_work_equals_query_postings() {
+    fn pruning_work_ledger_balances() {
+        let (c, idx) = setup();
+        let daat = DaatSearcher::new(&idx, RankingModel::default());
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        for q in queries.iter().take(12) {
+            let volume: usize = q.terms.iter().map(|&t| idx.df(t).unwrap() as usize).sum();
+            let rep = daat.search(&q.terms, 10).unwrap();
+            assert_eq!(
+                rep.postings_scanned + rep.docs_skipped,
+                volume,
+                "query {:?}",
+                q.terms
+            );
+            assert!(rep.postings_scanned <= volume);
+        }
+    }
+
+    #[test]
+    fn pruned_scans_fewer_postings_at_small_n() {
+        let (c, idx) = setup();
+        // Frequent terms + small n: the regime where bounds pay off.
+        let daat = DaatSearcher::new(&idx, RankingModel::default());
+        let queries = generate_queries(
+            &c,
+            &QueryConfig {
+                num_queries: 20,
+                bias: DfBias::TrecLike { high_df_mix: 0.3 },
+                ..QueryConfig::default()
+            },
+        )
+        .unwrap();
+        let mut pruned_total = 0usize;
+        let mut full_total = 0usize;
+        let mut any_pruning = false;
+        for q in &queries {
+            let pruned = daat.search(&q.terms, 5).unwrap();
+            let full = daat.search_exhaustive(&q.terms, 5).unwrap();
+            pruned_total += pruned.postings_scanned;
+            full_total += full.postings_scanned;
+            if pruned.docs_skipped > 0 {
+                any_pruning = true;
+                assert!(pruned.seeks > 0 || pruned.bound_exits > 0 || pruned.docs_skipped > 0);
+            }
+        }
+        assert!(any_pruning, "no query pruned anything");
+        assert!(
+            pruned_total < full_total,
+            "pruned {pruned_total} >= exhaustive {full_total}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_work_equals_query_postings() {
         let (_, idx) = setup();
         let daat = DaatSearcher::new(&idx, RankingModel::default());
         let terms = idx.terms_by_df_asc();
         let q = vec![terms[terms.len() - 1], terms[terms.len() / 2]];
         let expect: usize = q.iter().map(|&t| idx.df(t).unwrap() as usize).sum();
-        let rep = daat.search(&q, 10).unwrap();
+        let rep = daat.search_exhaustive(&q, 10).unwrap();
         assert_eq!(rep.postings_scanned, expect);
         assert_eq!(rep.cursor_advances, expect);
+        assert_eq!(rep.docs_skipped, 0);
+        assert_eq!(rep.seeks, 0);
+        assert_eq!(rep.bound_exits, 0);
     }
 
     #[test]
@@ -163,22 +674,36 @@ mod tests {
         let q = vec![terms[terms.len() - 1], terms[terms.len() - 1]];
         let d = daat.search(&q, 5).unwrap();
         let s = saat.search(&q, 5).unwrap();
-        assert_eq!(
-            d.top.first().map(|&(doc, _)| doc),
-            s.top.first().map(|&(doc, _)| doc)
-        );
-        let (ds, ss) = (d.top[0].1, s.top[0].1);
-        assert!((ds - ss).abs() < 1e-9);
+        assert_eq!(d.top, s.top);
     }
 
     #[test]
     fn empty_query_and_unknown_term() {
         let (_, idx) = setup();
         let daat = DaatSearcher::new(&idx, RankingModel::default());
-        let rep = daat.search(&[], 5).unwrap();
-        assert!(rep.top.is_empty());
-        assert_eq!(rep.postings_scanned, 0);
+        for rep in [
+            daat.search(&[], 5).unwrap(),
+            daat.search_exhaustive(&[], 5).unwrap(),
+        ] {
+            assert!(rep.top.is_empty());
+            assert_eq!(rep.postings_scanned, 0);
+        }
         assert!(daat.search(&[u32::MAX], 5).is_err());
+        assert!(daat.search_exhaustive(&[u32::MAX], 5).is_err());
+    }
+
+    #[test]
+    fn n_zero_prunes_everything() {
+        let (_, idx) = setup();
+        let daat = DaatSearcher::new(&idx, RankingModel::default());
+        let terms = idx.terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() / 2]];
+        let rep = daat.search(&q, 0).unwrap();
+        assert!(rep.top.is_empty());
+        // A zero-capacity heap rejects everything: nothing is ever scored.
+        assert_eq!(rep.postings_scanned, 0);
+        let volume: usize = q.iter().map(|&t| idx.df(t).unwrap() as usize).sum();
+        assert_eq!(rep.docs_skipped, volume);
     }
 
     #[test]

@@ -3,14 +3,22 @@
 //! [`Searcher`] is the *element-addressable* evaluation path: each query
 //! term's posting run is fetched directly (the "recoded" fast layout). The
 //! scan-based BAT evaluation the paper's fragmentation experiment measures
-//! lives in [`crate::fragment`]; both share this module's score accumulation
-//! and top-N logic.
+//! lives in [`crate::fragment`]; both share the [`crate::scorer`] kernel
+//! (precomputed term constants + cached per-document norms) and this
+//! module's accumulate-then-top-N shape.
+//!
+//! The sparse accumulator marks touched slots with a query *epoch* rather
+//! than a `score == 0.0` sentinel, so a legitimately-zero partial score
+//! (e.g. an idf of exactly zero when `df == N`) can never double-push a
+//! document, and no O(num_docs) reset is needed between queries.
 
 use moa_topn::TopNHeap;
 
+use crate::accum::EpochAccumulator;
 use crate::error::Result;
 use crate::index::InvertedIndex;
 use crate::ranking::RankingModel;
+use crate::scorer::ScoreKernel;
 
 /// Result of a ranked query evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,9 +35,8 @@ pub struct SearchReport {
 #[derive(Debug)]
 pub struct Searcher<'a> {
     index: &'a InvertedIndex,
-    model: RankingModel,
-    scores: Vec<f64>,
-    touched: Vec<u32>,
+    kernel: ScoreKernel,
+    accum: EpochAccumulator,
 }
 
 impl<'a> Searcher<'a> {
@@ -37,51 +44,41 @@ impl<'a> Searcher<'a> {
     pub fn new(index: &'a InvertedIndex, model: RankingModel) -> Searcher<'a> {
         Searcher {
             index,
-            model,
-            scores: vec![0.0; index.num_docs()],
-            touched: Vec::new(),
+            kernel: ScoreKernel::new(model, index),
+            accum: EpochAccumulator::new(index.num_docs()),
         }
     }
 
     /// The ranking model in use.
     pub fn model(&self) -> RankingModel {
-        self.model
+        self.kernel.model()
     }
 
     /// Evaluate a bag-of-terms query, returning the top `n` documents.
     pub fn search(&mut self, terms: &[u32], n: usize) -> Result<SearchReport> {
-        let stats = self.index.stats();
         let mut scanned = 0usize;
         let mut matched = 0usize;
         for &term in terms {
             let df = self.index.df(term)?;
             let cf = self.index.cf(term)?;
+            let scorer = self.kernel.term_scorer(df, cf);
             let (docs, tfs) = self.index.postings(term)?;
             if !docs.is_empty() {
                 matched += 1;
             }
             for (i, &doc) in docs.iter().enumerate() {
-                let w = self
-                    .model
-                    .term_weight(tfs[i], df, cf, self.index.doc_len(doc), &stats);
-                let slot = &mut self.scores[doc as usize];
-                if *slot == 0.0 {
-                    self.touched.push(doc);
-                }
-                *slot += w;
+                let w = self.kernel.weight(&scorer, tfs[i], doc);
+                self.accum.add(doc, w);
                 scanned += 1;
             }
         }
 
         let mut heap = TopNHeap::new(n);
-        for &doc in &self.touched {
-            heap.push(doc, self.scores[doc as usize]);
+        for &doc in self.accum.touched() {
+            heap.push(doc, self.accum.score(doc));
         }
-        // Sparse reset of the workhorse accumulator.
-        for &doc in &self.touched {
-            self.scores[doc as usize] = 0.0;
-        }
-        self.touched.clear();
+        // Epoch bump retires this query's slots without any reset pass.
+        self.accum.retire();
 
         Ok(SearchReport {
             top: heap.into_sorted_vec(),
@@ -165,6 +162,31 @@ mod tests {
         let (_, idx) = setup();
         let mut s = Searcher::new(&idx, RankingModel::default());
         assert!(s.search(&[u32::MAX], 5).is_err());
+    }
+
+    #[test]
+    fn zero_weight_terms_do_not_double_push() {
+        // Term 0 occurs in every document, so its TF-IDF idf is ln(1) = 0
+        // and its contributions are legitimately zero. A `score == 0.0`
+        // "untouched" sentinel would re-push those docs when a later term
+        // touches them; the epoch marker must count each doc exactly once.
+        let idx = InvertedIndex::from_sorted_postings(
+            2,
+            vec![5, 5, 5],
+            &[(0, 0, 1), (0, 1, 1), (0, 2, 1), (1, 0, 2), (1, 1, 1)],
+        )
+        .unwrap();
+        let mut s = Searcher::new(&idx, RankingModel::TfIdf);
+        let rep = s.search(&[0, 1], 10).unwrap();
+        assert_eq!(rep.top.len(), 3, "each doc exactly once: {:?}", rep.top);
+        let mut docs: Vec<u32> = rep.top.iter().map(|&(d, _)| d).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 1, 2]);
+        // Doc 2 matched only the zero-idf term: retained with score 0.
+        assert_eq!(rep.top.last().map(|&(d, s)| (d, s)), Some((2, 0.0)));
+        // And the accumulator stays sound on the next query.
+        let again = s.search(&[0, 1], 10).unwrap();
+        assert_eq!(rep, again);
     }
 
     #[test]

@@ -21,10 +21,12 @@ use std::sync::Arc;
 use moa_storage::{Bat, Column, Scalar, SparseIndex};
 use moa_topn::TopNHeap;
 
+use crate::accum::EpochAccumulator;
 use crate::error::{IrError, Result};
 use crate::index::InvertedIndex;
 use crate::ranking::RankingModel;
 use crate::safety::{SwitchDecision, SwitchPolicy};
+use crate::scorer::{ScoreKernel, TermScorer};
 
 /// How the fragment boundary is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -315,14 +317,17 @@ pub struct FragSearchReport {
     pub decision: Option<SwitchDecision>,
 }
 
-/// A reusable evaluator over a fragmented index.
+/// A reusable evaluator over a fragmented index. Scoring goes through the
+/// shared [`ScoreKernel`] (precomputed per-term constants and cached
+/// per-document norms), and the sparse accumulator uses an epoch marker —
+/// the same query kernel as [`crate::eval::Searcher`] and
+/// [`crate::daat::DaatSearcher`].
 #[derive(Debug)]
 pub struct FragSearcher {
     frag: Arc<FragmentedIndex>,
-    model: RankingModel,
+    kernel: ScoreKernel,
     policy: SwitchPolicy,
-    scores: Vec<f64>,
-    touched: Vec<u32>,
+    accum: EpochAccumulator,
 }
 
 impl FragSearcher {
@@ -333,30 +338,40 @@ impl FragSearcher {
         policy: SwitchPolicy,
     ) -> FragSearcher {
         let n = frag.index().num_docs();
+        let kernel = ScoreKernel::new(model, frag.index());
         FragSearcher {
             frag,
-            model,
+            kernel,
             policy,
-            scores: vec![0.0; n],
-            touched: Vec::new(),
+            accum: EpochAccumulator::new(n),
         }
     }
 
-    fn accumulate(&mut self, term: u32, doc: u32, tf: u32) {
+    /// Precompute one scorer per query term. Queries hold a handful of
+    /// terms, so the per-posting lookup in [`FragSearcher::accumulate`]
+    /// is a linear scan over this small list — no hashing in the hot
+    /// loop.
+    fn term_scorers(&self, terms: &[u32]) -> Vec<(u32, TermScorer)> {
         let index = self.frag.index();
-        let stats = index.stats();
-        let w = self.model.term_weight(
-            tf,
-            index.df(term).unwrap_or(0),
-            index.cf(term).unwrap_or(0),
-            index.doc_len(doc),
-            &stats,
-        );
-        let slot = &mut self.scores[doc as usize];
-        if *slot == 0.0 {
-            self.touched.push(doc);
-        }
-        *slot += w;
+        terms
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    self.kernel
+                        .term_scorer(index.df(t).unwrap_or(0), index.cf(t).unwrap_or(0)),
+                )
+            })
+            .collect()
+    }
+
+    fn accumulate(&mut self, scorers: &[(u32, TermScorer)], term: u32, doc: u32, tf: u32) {
+        let scorer = scorers
+            .iter()
+            .find_map(|(t, s)| (*t == term).then_some(s))
+            .expect("scorer prebuilt per query term");
+        let w = self.kernel.weight(scorer, tf, doc);
+        self.accum.add(doc, w);
     }
 
     /// Evaluate a query under the given strategy.
@@ -372,6 +387,7 @@ impl FragSearcher {
             }
         }
         let qset: HashSet<u32> = terms.iter().copied().collect();
+        let scorers = self.term_scorers(terms);
         let mut scanned = 0usize;
         let mut scored = 0usize;
         let mut used_b = false;
@@ -393,7 +409,7 @@ impl FragSearcher {
                 scored = sa.matched + sb.matched;
                 used_b = true;
                 for (t, d, f) in acc {
-                    self.accumulate(t, d, f);
+                    self.accumulate(&scorers, t, d, f);
                 }
             }
             Strategy::AOnly => {
@@ -404,13 +420,13 @@ impl FragSearcher {
                 scanned = sa.scanned;
                 scored = sa.matched;
                 for (t, d, f) in acc {
-                    self.accumulate(t, d, f);
+                    self.accumulate(&scorers, t, d, f);
                 }
             }
             Strategy::Switch { use_b_index } => {
                 // The early check runs before any scanning — it needs only
                 // per-term statistics ("early in the query plan").
-                let d = self.policy.decide(terms, &frag, self.model)?;
+                let d = self.policy.decide(terms, &frag, self.kernel.model())?;
                 let need_b = d.use_b;
                 decision = Some(d);
 
@@ -435,19 +451,16 @@ impl FragSearcher {
                     scored += sb.matched;
                 }
                 for (t, d2, f) in acc {
-                    self.accumulate(t, d2, f);
+                    self.accumulate(&scorers, t, d2, f);
                 }
             }
         }
 
         let mut heap = TopNHeap::new(n);
-        for &doc in &self.touched {
-            heap.push(doc, self.scores[doc as usize]);
+        for &doc in self.accum.touched() {
+            heap.push(doc, self.accum.score(doc));
         }
-        for &doc in &self.touched {
-            self.scores[doc as usize] = 0.0;
-        }
-        self.touched.clear();
+        self.accum.retire();
 
         Ok(FragSearchReport {
             top: heap.into_sorted_vec(),

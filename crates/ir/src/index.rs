@@ -185,6 +185,14 @@ impl InvertedIndex {
         Ok((&self.post_docs[s..e], &self.post_tfs[s..e]))
     }
 
+    /// A skippable cursor over a term's posting run, for
+    /// document-at-a-time merging with bounds-based pruning
+    /// ([`crate::daat::DaatSearcher`]).
+    pub fn cursor(&self, term: u32) -> Result<PostingCursor<'_>> {
+        let (docs, tfs) = self.postings(term)?;
+        Ok(PostingCursor { docs, tfs, pos: 0 })
+    }
+
     /// Materialize a term's postings as a `(doc → tf)` BAT — the
     /// flattened-Moa view used by the algebra layer.
     pub fn postings_bat(&self, term: u32) -> Result<Bat> {
@@ -208,6 +216,108 @@ impl InvertedIndex {
             .collect();
         terms.sort_by_key(|&t| (self.df[t as usize], t));
         terms
+    }
+}
+
+/// A forward cursor over one term's posting run with a galloping
+/// (exponential + binary search) `seek` — the skip primitive behind the
+/// MaxScore-pruned DAAT kernel.
+///
+/// Postings are doc-sorted, so `seek(d)` lands on the first posting whose
+/// document id is ≥ `d` in O(log gap) probes instead of the O(gap) linear
+/// scan a plain merge pays.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    docs: &'a [u32],
+    tfs: &'a [u32],
+    pos: usize,
+}
+
+impl PostingCursor<'_> {
+    /// The current posting's document id, or `None` when exhausted.
+    #[inline]
+    pub fn doc(&self) -> Option<u32> {
+        self.docs.get(self.pos).copied()
+    }
+
+    /// The current posting's term frequency (0 when exhausted).
+    #[inline]
+    pub fn tf(&self) -> u32 {
+        self.tfs.get(self.pos).copied().unwrap_or(0)
+    }
+
+    /// Advance to the next posting.
+    #[inline]
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// The cursor's position within the posting run (0-based; equals
+    /// `len()` when exhausted). Block-max pruning divides this by the
+    /// block size to find the current block.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every posting has been consumed.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.docs.len()
+    }
+
+    /// Postings not yet consumed (including the current one).
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.docs.len() - self.pos.min(self.docs.len())
+    }
+
+    /// Total postings in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the run has no postings at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Advance to the first posting with document id ≥ `target` by
+    /// galloping: double a probe stride until it overshoots, then binary
+    /// search the bracketed window. Never moves backwards. Returns the
+    /// number of postings skipped over (positions passed without being
+    /// scored), the pruning work-saved measure.
+    pub fn seek(&mut self, target: u32) -> usize {
+        let start = self.pos;
+        let n = self.docs.len();
+        if start >= n || self.docs[start] >= target {
+            return 0;
+        }
+        // Gallop: maintain docs[lo] < target, grow the stride until the
+        // probe reaches `target` or falls off the run.
+        let mut lo = start;
+        let mut step = 1usize;
+        loop {
+            let probe = lo + step;
+            if probe >= n || self.docs[probe] >= target {
+                break;
+            }
+            lo = probe;
+            step <<= 1;
+        }
+        let mut hi = (lo + step).min(n); // docs[hi] >= target, or hi == n
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.docs[mid] < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.pos = hi;
+        hi - start
     }
 }
 
@@ -304,6 +414,83 @@ mod tests {
         let bat = idx.df_bat();
         assert_eq!(bat.len(), idx.vocab_size());
         assert!(bat.props().head_dense);
+    }
+
+    #[test]
+    fn cursor_walks_postings_in_order() {
+        let idx = index();
+        let term = *idx.terms_by_df_asc().last().unwrap();
+        let (docs, tfs) = idx.postings(term).unwrap();
+        let mut c = idx.cursor(term).unwrap();
+        assert_eq!(c.len(), docs.len());
+        for (i, &d) in docs.iter().enumerate() {
+            assert_eq!(c.doc(), Some(d));
+            assert_eq!(c.tf(), tfs[i]);
+            assert_eq!(c.remaining(), docs.len() - i);
+            c.advance();
+        }
+        assert!(c.is_exhausted());
+        assert_eq!(c.doc(), None);
+        assert_eq!(c.tf(), 0);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_seek_matches_linear_scan() {
+        let idx = index();
+        for term in idx.terms_by_df_asc() {
+            let (docs, _) = idx.postings(term).unwrap();
+            // Seek to every doc id around each posting and compare with
+            // the linear-scan definition: first posting with doc >= target.
+            for &target in docs
+                .iter()
+                .flat_map(|&d| [d.saturating_sub(1), d, d + 1])
+                .chain([0, u32::MAX])
+                .collect::<Vec<u32>>()
+                .iter()
+            {
+                let mut c = idx.cursor(term).unwrap();
+                let skipped = c.seek(target);
+                let expect = docs.iter().position(|&d| d >= target);
+                assert_eq!(
+                    c.doc(),
+                    expect.map(|i| docs[i]),
+                    "term {term} target {target}"
+                );
+                assert_eq!(skipped, expect.unwrap_or(docs.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_seek_is_monotone_and_counts_skips() {
+        let idx = index();
+        let term = *idx.terms_by_df_asc().last().unwrap();
+        let (docs, _) = idx.postings(term).unwrap();
+        let mut c = idx.cursor(term).unwrap();
+        // Seeking backwards (or to the current doc) never moves the cursor.
+        c.seek(docs[docs.len() / 2]);
+        let here = c.doc();
+        assert_eq!(c.seek(0), 0);
+        assert_eq!(c.doc(), here);
+        // Total skips + scored positions account for the whole run.
+        let mut c = idx.cursor(term).unwrap();
+        let mut skipped = 0usize;
+        let mut visited = 0usize;
+        for (i, &d) in docs.iter().enumerate().step_by(3) {
+            skipped += c.seek(d);
+            assert_eq!(c.doc(), Some(docs[i]));
+            visited += 1;
+            c.advance();
+        }
+        skipped += c.remaining();
+        assert_eq!(skipped + visited, docs.len());
+    }
+
+    #[test]
+    fn unknown_term_cursor_is_error() {
+        let idx = index();
+        assert!(idx.cursor(u32::MAX).is_err());
     }
 
     #[test]

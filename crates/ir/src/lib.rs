@@ -6,7 +6,13 @@
 //! * [`dict`] — term dictionary,
 //! * [`index`] — term-major inverted index with catalog statistics,
 //! * [`ranking`] — TF-IDF / Hiemstra LM / BM25 term weighting,
-//! * [`eval`] — set-at-a-time query evaluation with a reusable accumulator,
+//! * [`scorer`] — the shared scoring kernel: per-term precomputed
+//!   constants ([`TermScorer`]) and per-index cached document norms
+//!   ([`ScoreKernel`]), bit-exact with [`RankingModel::term_weight`],
+//! * [`eval`] — set-at-a-time query evaluation with a reusable epoch
+//!   accumulator,
+//! * [`daat`] — document-at-a-time evaluation with MaxScore bounds
+//!   pruning over galloping [`index::PostingCursor`]s,
 //! * [`fragment`] — horizontal df-based fragmentation of the term–document
 //!   matrix (Step 1 of the paper): the unsafe fragment-A-only strategy, the
 //!   safe switch strategy, and non-dense-index-accelerated fragment-B access,
@@ -15,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accum;
 pub mod daat;
 pub mod dict;
 pub mod error;
@@ -24,8 +31,10 @@ pub mod index;
 pub mod metrics;
 pub mod ranking;
 pub mod safety;
+pub mod scorer;
 pub mod text;
 
+pub use accum::EpochAccumulator;
 pub use daat::{DaatReport, DaatSearcher};
 pub use dict::Dictionary;
 pub use error::{IrError, Result};
@@ -33,8 +42,9 @@ pub use eval::{SearchReport, Searcher};
 pub use fragment::{
     FragSearchReport, FragSearcher, FragmentSpec, FragmentedIndex, ScanStats, Strategy, TdTable,
 };
-pub use index::{CollectionStats, InvertedIndex};
+pub use index::{CollectionStats, InvertedIndex, PostingCursor};
 pub use metrics::{average_precision, footrule_at, mean_of, overlap_at, precision_at, recall_at};
 pub use ranking::RankingModel;
 pub use safety::{SwitchDecision, SwitchPolicy};
+pub use scorer::{ScoreBounds, ScoreKernel, TermScorer};
 pub use text::{index_texts, tokenize, IndexBuilder};

@@ -11,6 +11,7 @@
 //! * BM25 — the Robertson/Sparck-Jones baseline.
 
 use crate::index::CollectionStats;
+use crate::scorer::TermScorer;
 
 /// A per-term document scoring model. Scores are summed over query terms
 /// (bag-of-words, conjunctive-free evaluation).
@@ -45,6 +46,10 @@ impl RankingModel {
     /// `df`, collection frequency `cf`, and collection statistics.
     ///
     /// Returns 0.0 for degenerate inputs (`tf == 0` or `df == 0`).
+    ///
+    /// Delegates to [`TermScorer`] and [`RankingModel::doc_norm`] — the
+    /// precomputed hot paths execute the identical floating-point
+    /// operations, so naive and bounds-pruned evaluation agree bit-exactly.
     pub fn term_weight(
         &self,
         tf: u32,
@@ -53,29 +58,19 @@ impl RankingModel {
         doc_len: u32,
         stats: &CollectionStats,
     ) -> f64 {
-        if tf == 0 || df == 0 {
-            return 0.0;
-        }
-        let tf = f64::from(tf);
-        let df = f64::from(df);
-        let n = stats.num_docs as f64;
+        TermScorer::new(*self, df, cf, stats).weight(tf, self.doc_norm(doc_len, stats))
+    }
+
+    /// The per-document length-normalization factor of this model:
+    /// `1/√dl` for TF-IDF, `1/dl` for Hiemstra, and the BM25 denominator
+    /// norm `k1·(1 − b + b·dl/avgdl)`. [`crate::scorer::ScoreKernel`]
+    /// caches this per document so the per-posting work is a multiply-add.
+    pub fn doc_norm(&self, doc_len: u32, stats: &CollectionStats) -> f64 {
         let dl = f64::from(doc_len.max(1));
         match *self {
-            RankingModel::TfIdf => {
-                let idf = (n / df).ln();
-                (1.0 + tf.ln()) * idf / dl.sqrt()
-            }
-            RankingModel::HiemstraLm { lambda } => {
-                let lambda = lambda.clamp(1e-6, 1.0 - 1e-6);
-                let cf = cf.max(1) as f64;
-                let c = stats.total_tokens.max(1) as f64;
-                (1.0 + (lambda * tf * c) / ((1.0 - lambda) * cf * dl)).ln()
-            }
-            RankingModel::Bm25 { k1, b } => {
-                let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
-                let norm = k1 * (1.0 - b + b * dl / stats.avg_doc_len.max(1.0));
-                idf * (tf * (k1 + 1.0)) / (tf + norm)
-            }
+            RankingModel::TfIdf => dl.sqrt().recip(),
+            RankingModel::HiemstraLm { .. } => dl.recip(),
+            RankingModel::Bm25 { k1, b } => k1 * (1.0 - b + b * dl / stats.avg_doc_len.max(1.0)),
         }
     }
 

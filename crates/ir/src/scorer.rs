@@ -1,0 +1,502 @@
+//! Precomputed term scorers: the shared scoring kernel of all three
+//! engine paths.
+//!
+//! [`RankingModel::term_weight`] re-derives per-term constants (idf, the
+//! Hiemstra λ·|C|/((1−λ)·cf) factor, BM25 norm pieces) and the
+//! per-document length normalization on *every posting*. That is fine for
+//! a reference implementation, but it is exactly the per-element overhead
+//! the paper's bounds-based program wants out of the hot loop. This module
+//! splits the computation by variability:
+//!
+//! * [`TermScorer`] — per *query term* constants, computed once per query,
+//! * [`ScoreKernel`] — per *index + model* state: a cached per-document
+//!   length-norm table, computed once per searcher,
+//!
+//! so the per-posting work collapses to a multiply-add (plus one `ln`
+//! where the model's formula demands it).
+//!
+//! **Bit-exactness contract:** [`RankingModel::term_weight`] *delegates*
+//! to this module, so the naive paths and the precomputed hot paths
+//! execute the identical floating-point operations and produce identical
+//! `f64` results — the differential oracle can require exact equality
+//! instead of tolerances. A proptest in `crates/ir/tests/proptest_scorer.rs`
+//! pins this down.
+
+use crate::index::{CollectionStats, InvertedIndex};
+use crate::ranking::RankingModel;
+
+/// Per-query-term precomputed scoring constants for one ranking model.
+///
+/// Construct via [`ScoreKernel::term_scorer`] (hot path, shares the
+/// kernel's statistics) or [`TermScorer::new`] (standalone). The weight of
+/// a posting is [`TermScorer::weight`] given the document's norm from the
+/// model's [`RankingModel::doc_norm`] — precomputed per document by
+/// [`ScoreKernel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TermScorer {
+    /// Degenerate term (df = 0): every weight is 0.
+    Zero,
+    /// TF-IDF: weight = `(1 + ln tf) · idf · norm`, norm = `1/√dl`.
+    TfIdf {
+        /// Precomputed `ln(N / df)`.
+        idf: f64,
+    },
+    /// Hiemstra LM: weight = `ln(1 + factor · tf · norm)`, norm = `1/dl`.
+    Hiemstra {
+        /// Precomputed `λ·|C| / ((1−λ)·cf)`.
+        factor: f64,
+    },
+    /// BM25: weight = `idf · tf·(k1+1) / (tf + norm)`,
+    /// norm = `k1·(1 − b + b·dl/avgdl)`.
+    Bm25 {
+        /// Precomputed Robertson/Sparck-Jones idf.
+        idf: f64,
+        /// Precomputed `k1 + 1`.
+        k1_plus_1: f64,
+    },
+}
+
+impl TermScorer {
+    /// Precompute the per-term constants of `model` for a term with the
+    /// given document and collection frequencies.
+    pub fn new(model: RankingModel, df: u32, cf: u64, stats: &CollectionStats) -> TermScorer {
+        if df == 0 {
+            return TermScorer::Zero;
+        }
+        let df = f64::from(df);
+        let n = stats.num_docs as f64;
+        match model {
+            RankingModel::TfIdf => TermScorer::TfIdf { idf: (n / df).ln() },
+            RankingModel::HiemstraLm { lambda } => {
+                let lambda = lambda.clamp(1e-6, 1.0 - 1e-6);
+                let cf = cf.max(1) as f64;
+                let c = stats.total_tokens.max(1) as f64;
+                TermScorer::Hiemstra {
+                    factor: (lambda * c) / ((1.0 - lambda) * cf),
+                }
+            }
+            RankingModel::Bm25 { k1, .. } => TermScorer::Bm25 {
+                idf: ((n - df + 0.5) / (df + 0.5) + 1.0).ln(),
+                k1_plus_1: k1 + 1.0,
+            },
+        }
+    }
+
+    /// The score contribution of a posting with term frequency `tf` in a
+    /// document whose precomputed norm (see [`RankingModel::doc_norm`]) is
+    /// `norm`. A multiply-add, plus one `ln` for TF-IDF and Hiemstra.
+    #[inline]
+    pub fn weight(&self, tf: u32, norm: f64) -> f64 {
+        if tf == 0 {
+            return 0.0;
+        }
+        let tf = f64::from(tf);
+        match *self {
+            TermScorer::Zero => 0.0,
+            TermScorer::TfIdf { idf } => (1.0 + tf.ln()) * idf * norm,
+            TermScorer::Hiemstra { factor } => (1.0 + factor * tf * norm).ln(),
+            TermScorer::Bm25 { idf, k1_plus_1 } => idf * (tf * k1_plus_1) / (tf + norm),
+        }
+    }
+}
+
+/// Per-index, per-model scoring state: the cached per-document length-norm
+/// table plus the collection statistics and the dl = 1 norm that upper
+/// bounds sit on. Cheap to build — O(num_docs).
+///
+/// Build once per searcher ([`crate::eval::Searcher`],
+/// [`crate::daat::DaatSearcher`], [`crate::fragment::FragSearcher`] all
+/// own one); queries then pay only [`ScoreKernel::term_scorer`] per term
+/// and [`ScoreKernel::weight`] per posting. The heavier per-term bound
+/// tables live in [`ScoreBounds`], built only by the evaluator that
+/// prunes on them (DAAT).
+#[derive(Debug, Clone)]
+pub struct ScoreKernel {
+    model: RankingModel,
+    stats: CollectionStats,
+    /// `norms[doc]` = `model.doc_norm(doc_len(doc), stats)`.
+    norms: Vec<f64>,
+    /// The norm of the shortest plausible document (dl = 1) — every
+    /// model's weight is maximized there, so analytic upper bounds
+    /// (`max_tf` at dl = 1, the safety check's estimate) use it.
+    norm_dl1: f64,
+}
+
+/// One granularity level of block-max metadata (see [`ScoreBounds`]).
+#[derive(Debug, Clone, Default)]
+struct BlockMeta {
+    max: Vec<f64>,
+    last: Vec<u32>,
+    offsets: Vec<usize>,
+}
+
+impl BlockMeta {
+    fn build(index: &InvertedIndex, model: RankingModel, norms: &[f64], block: usize) -> BlockMeta {
+        let stats = index.stats();
+        let mut meta = BlockMeta {
+            max: Vec::new(),
+            last: Vec::new(),
+            offsets: Vec::with_capacity(index.vocab_size() + 1),
+        };
+        meta.offsets.push(0);
+        for t in 0..index.vocab_size() as u32 {
+            let (docs, tfs) = index.postings(t).expect("term id in range");
+            if !docs.is_empty() {
+                let scorer = TermScorer::new(
+                    model,
+                    index.df(t).expect("term id in range"),
+                    index.cf(t).expect("term id in range"),
+                    &stats,
+                );
+                for (b, block_docs) in docs.chunks(block).enumerate() {
+                    let base = b * block;
+                    let mut bmax = 0.0f64;
+                    for (i, &doc) in block_docs.iter().enumerate() {
+                        bmax = bmax.max(scorer.weight(tfs[base + i], norms[doc as usize]));
+                    }
+                    meta.max.push(bmax);
+                    meta.last.push(*block_docs.last().expect("non-empty chunk"));
+                }
+            }
+            meta.offsets.push(meta.max.len());
+        }
+        meta
+    }
+
+    /// Derive a coarser level by grouping every `factor` blocks of this
+    /// level: the group max of maxima and the group's last document id.
+    /// Bit-identical to a direct build at `factor ×` this level's block
+    /// size, at a fraction of the cost (no postings are rescored).
+    fn coarsen(&self, factor: usize) -> BlockMeta {
+        let mut meta = BlockMeta {
+            max: Vec::with_capacity(self.max.len().div_ceil(factor)),
+            last: Vec::new(),
+            offsets: Vec::with_capacity(self.offsets.len()),
+        };
+        meta.offsets.push(0);
+        for t in 0..self.offsets.len().saturating_sub(1) {
+            let (s, e) = (self.offsets[t], self.offsets[t + 1]);
+            let mut start = s;
+            while start < e {
+                let end = (start + factor).min(e);
+                let group_max = self.max[start..end].iter().copied().fold(0.0f64, f64::max);
+                meta.max.push(group_max);
+                meta.last.push(self.last[end - 1]);
+                start = end;
+            }
+            meta.offsets.push(meta.max.len());
+        }
+        meta
+    }
+
+    fn term(&self, term: u32) -> (&[f64], &[u32]) {
+        let t = term as usize;
+        if t + 1 >= self.offsets.len() {
+            return (&[], &[]);
+        }
+        let (s, e) = (self.offsets[t], self.offsets[t + 1]);
+        (&self.max[s..e], &self.last[s..e])
+    }
+}
+
+/// Per-term score upper bounds for one `(index, model)` pair: exact
+/// per-term contribution maxima plus block-max metadata (Ding–Suel
+/// style) at two granularities. The *fine* level
+/// ([`ScoreBounds::BLOCK_POSTINGS`]-posting blocks) gives tight
+/// candidate bounds — a single outlier posting (high tf in a very short
+/// document) inflates only its own small block; the *coarse* level
+/// ([`ScoreBounds::COARSE_BLOCK_POSTINGS`]) trades tightness for reach,
+/// letting a failing bound skip a wide document range in one move.
+///
+/// Building the tables costs one scoring pass per level over every
+/// posting, so only evaluators that prune on bounds construct them
+/// ([`crate::daat::DaatSearcher`]); the plain accumulating searchers get
+/// by with the cheap [`ScoreKernel`].
+#[derive(Debug, Clone)]
+pub struct ScoreBounds {
+    /// `term_max[t]` = the exact maximum contribution any posting of term
+    /// `t` makes — far tighter than the `max_tf`-at-dl-1 analytic bound
+    /// while remaining sound: it is a *reachable* maximum of the very
+    /// same floating-point evaluation the hot loop performs.
+    term_max: Vec<f64>,
+    fine: BlockMeta,
+    coarse: BlockMeta,
+}
+
+impl ScoreBounds {
+    /// Postings per fine block-max block (candidate-bound granularity).
+    pub const BLOCK_POSTINGS: usize = 8;
+
+    /// Postings per coarse block-max block (deep-skip granularity).
+    pub const COARSE_BLOCK_POSTINGS: usize = 64;
+
+    /// Build the bound tables for `kernel` over `index` (one scoring pass
+    /// per granularity level).
+    pub fn new(kernel: &ScoreKernel, index: &InvertedIndex) -> ScoreBounds {
+        let fine = BlockMeta::build(index, kernel.model(), &kernel.norms, Self::BLOCK_POSTINGS);
+        // COARSE_BLOCK_POSTINGS is an exact multiple of BLOCK_POSTINGS,
+        // so the coarse level rolls up from the fine level without
+        // rescoring any posting.
+        const _: () =
+            assert!(ScoreBounds::COARSE_BLOCK_POSTINGS.is_multiple_of(ScoreBounds::BLOCK_POSTINGS));
+        let coarse = fine.coarsen(Self::COARSE_BLOCK_POSTINGS / Self::BLOCK_POSTINGS);
+        // A term's exact maximum is the max over its fine block maxima.
+        let term_max = (0..index.vocab_size() as u32)
+            .map(|t| fine.term(t).0.iter().copied().fold(0.0f64, f64::max))
+            .collect();
+        ScoreBounds {
+            term_max,
+            fine,
+            coarse,
+        }
+    }
+
+    /// The exact maximum contribution any posting of `term` makes under
+    /// the kernel's model — the per-term upper bound MaxScore pruning
+    /// runs on. 0.0 for unobserved or out-of-range terms.
+    #[inline]
+    pub fn term_max_weight(&self, term: u32) -> f64 {
+        self.term_max.get(term as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The fine block-max metadata of a term: per-block exact
+    /// contribution maxima and per-block last document ids, aligned.
+    /// Block `b` covers postings `b * BLOCK_POSTINGS ..` of the term's
+    /// run. Empty for unobserved or out-of-range terms.
+    #[inline]
+    pub fn term_blocks(&self, term: u32) -> (&[f64], &[u32]) {
+        self.fine.term(term)
+    }
+
+    /// The coarse block-max metadata of a term (same layout as
+    /// [`ScoreBounds::term_blocks`], `COARSE_BLOCK_POSTINGS` postings per
+    /// block) — looser bounds over wider ranges, used to widen a deep
+    /// skip once the fine bound has already failed.
+    #[inline]
+    pub fn term_coarse_blocks(&self, term: u32) -> (&[f64], &[u32]) {
+        self.coarse.term(term)
+    }
+}
+
+impl ScoreKernel {
+    /// Build the kernel for `model` over `index`, materializing the
+    /// per-document norm table.
+    pub fn new(model: RankingModel, index: &InvertedIndex) -> ScoreKernel {
+        let stats = index.stats();
+        let norms: Vec<f64> = index
+            .doc_lens()
+            .iter()
+            .map(|&dl| model.doc_norm(dl, &stats))
+            .collect();
+        ScoreKernel {
+            model,
+            stats,
+            norms,
+            norm_dl1: model.doc_norm(1, &stats),
+        }
+    }
+
+    /// The ranking model this kernel scores with.
+    pub fn model(&self) -> RankingModel {
+        self.model
+    }
+
+    /// The collection statistics the kernel was built from.
+    pub fn stats(&self) -> CollectionStats {
+        self.stats
+    }
+
+    /// Precompute the scorer of one query term.
+    pub fn term_scorer(&self, df: u32, cf: u64) -> TermScorer {
+        TermScorer::new(self.model, df, cf, &self.stats)
+    }
+
+    /// The cached length norm of a document.
+    #[inline]
+    pub fn norm(&self, doc: u32) -> f64 {
+        self.norms[doc as usize]
+    }
+
+    /// Score one posting: `scorer`'s weight for `tf` occurrences in `doc`.
+    #[inline]
+    pub fn weight(&self, scorer: &TermScorer, tf: u32, doc: u32) -> f64 {
+        scorer.weight(tf, self.norms[doc as usize])
+    }
+
+    /// An upper bound on the contribution any posting of this term can
+    /// make, given the term's maximum within-document tf. Identical
+    /// floating-point path to [`RankingModel::max_term_weight`].
+    pub fn max_weight(&self, scorer: &TermScorer, max_tf: u32) -> f64 {
+        scorer.weight(max_tf, self.norm_dl1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_corpus::{Collection, CollectionConfig};
+
+    fn stats() -> CollectionStats {
+        CollectionStats {
+            num_docs: 1_000,
+            avg_doc_len: 100.0,
+            total_tokens: 100_000,
+        }
+    }
+
+    fn models() -> Vec<RankingModel> {
+        vec![
+            RankingModel::TfIdf,
+            RankingModel::HiemstraLm { lambda: 0.15 },
+            RankingModel::Bm25 { k1: 1.2, b: 0.75 },
+        ]
+    }
+
+    #[test]
+    fn scorer_is_bit_exact_with_term_weight() {
+        let s = stats();
+        for m in models() {
+            for (tf, df, cf, dl) in [
+                (1u32, 1u32, 1u64, 1u32),
+                (3, 10, 50, 100),
+                (100, 999, 99_999, 10_000),
+                (0, 10, 50, 100),
+                (5, 0, 0, 100),
+            ] {
+                let scorer = TermScorer::new(m, df, cf, &s);
+                let got = scorer.weight(tf, m.doc_norm(dl, &s));
+                let want = m.term_weight(tf, df, cf, dl, &s);
+                assert_eq!(got.to_bits(), want.to_bits(), "{m:?} ({tf},{df},{cf},{dl})");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_norm_table_matches_doc_norm() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        for m in models() {
+            let kernel = ScoreKernel::new(m, &idx);
+            let s = idx.stats();
+            for doc in 0..idx.num_docs() as u32 {
+                assert_eq!(
+                    kernel.norm(doc).to_bits(),
+                    m.doc_norm(idx.doc_len(doc), &s).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_weight_matches_term_weight_on_real_postings() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        let s = idx.stats();
+        for m in models() {
+            let kernel = ScoreKernel::new(m, &idx);
+            for term in idx.terms_by_df_asc().iter().take(50) {
+                let df = idx.df(*term).unwrap();
+                let cf = idx.cf(*term).unwrap();
+                let scorer = kernel.term_scorer(df, cf);
+                let (docs, tfs) = idx.postings(*term).unwrap();
+                for (i, &doc) in docs.iter().enumerate() {
+                    let got = kernel.weight(&scorer, tfs[i], doc);
+                    let want = m.term_weight(tfs[i], df, cf, idx.doc_len(doc), &s);
+                    assert_eq!(got.to_bits(), want.to_bits(), "{m:?} term {term} doc {doc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_weight_bounds_every_posting() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        for m in models() {
+            let kernel = ScoreKernel::new(m, &idx);
+            for term in idx.terms_by_df_asc() {
+                let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
+                let bound = kernel.max_weight(&scorer, idx.max_tf(term).unwrap());
+                let (docs, tfs) = idx.postings(term).unwrap();
+                for (i, &doc) in docs.iter().enumerate() {
+                    let w = kernel.weight(&scorer, tfs[i], doc);
+                    assert!(w <= bound, "{m:?} term {term}: {w} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn term_max_weight_is_tight_and_bounded_by_analytic_max() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        for m in models() {
+            let kernel = ScoreKernel::new(m, &idx);
+            let bounds = ScoreBounds::new(&kernel, &idx);
+            for term in idx.terms_by_df_asc() {
+                let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
+                let (docs, tfs) = idx.postings(term).unwrap();
+                let observed = docs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &doc)| kernel.weight(&scorer, tfs[i], doc))
+                    .fold(0.0f64, f64::max);
+                // Tight: the bound is exactly the observed maximum...
+                assert_eq!(bounds.term_max_weight(term).to_bits(), observed.to_bits());
+                // ...and never looser than the max_tf @ dl=1 analytic bound.
+                let analytic = kernel.max_weight(&scorer, idx.max_tf(term).unwrap());
+                assert!(bounds.term_max_weight(term) <= analytic);
+            }
+        }
+        let kernel = ScoreKernel::new(RankingModel::default(), &idx);
+        let bounds = ScoreBounds::new(&kernel, &idx);
+        assert_eq!(bounds.term_max_weight(u32::MAX), 0.0);
+        assert!(bounds.term_blocks(u32::MAX).0.is_empty());
+        assert!(bounds.term_coarse_blocks(u32::MAX).0.is_empty());
+    }
+
+    #[test]
+    fn block_maxima_cover_their_blocks_and_roll_up() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        for m in models() {
+            let kernel = ScoreKernel::new(m, &idx);
+            let bounds = ScoreBounds::new(&kernel, &idx);
+            for term in idx.terms_by_df_asc() {
+                let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
+                let (docs, tfs) = idx.postings(term).unwrap();
+                for (level, block) in [
+                    (bounds.term_blocks(term), ScoreBounds::BLOCK_POSTINGS),
+                    (
+                        bounds.term_coarse_blocks(term),
+                        ScoreBounds::COARSE_BLOCK_POSTINGS,
+                    ),
+                ] {
+                    let (bmax, blast) = level;
+                    assert_eq!(bmax.len(), docs.len().div_ceil(block));
+                    for (b, chunk) in docs.chunks(block).enumerate() {
+                        assert_eq!(blast[b], *chunk.last().unwrap());
+                        for (i, &doc) in chunk.iter().enumerate() {
+                            let w = kernel.weight(&scorer, tfs[b * block + i], doc);
+                            assert!(w <= bmax[b], "{m:?} term {term} block {b}");
+                        }
+                    }
+                    // Every block bound is itself bounded by the term max.
+                    for &bm in bmax {
+                        assert!(bm <= bounds.term_max_weight(term));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_scorer_for_dead_terms() {
+        let s = stats();
+        for m in models() {
+            let scorer = TermScorer::new(m, 0, 0, &s);
+            assert_eq!(scorer, TermScorer::Zero);
+            assert_eq!(scorer.weight(5, 1.0), 0.0);
+        }
+    }
+}

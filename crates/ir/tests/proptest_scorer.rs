@@ -1,0 +1,120 @@
+//! Property tests pinning the precomputed scoring kernel to the
+//! reference `RankingModel::term_weight` path.
+//!
+//! The query kernels (set-at-a-time, DAAT, fragmented scan) all score
+//! through `TermScorer` constants and the `ScoreKernel` norm table; the
+//! differential oracle relies on those weights agreeing with the naive
+//! formula to the last bit. These properties sweep the parameter space
+//! far beyond the seeded workloads.
+
+use proptest::prelude::*;
+
+use moa_ir::{CollectionStats, InvertedIndex, RankingModel, ScoreBounds, ScoreKernel, TermScorer};
+
+fn models_for(lambda: f64, k1: f64, b: f64) -> Vec<RankingModel> {
+    vec![
+        RankingModel::TfIdf,
+        RankingModel::HiemstraLm { lambda },
+        RankingModel::Bm25 { k1, b },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `TermScorer::weight` with the model's doc norm reproduces
+    /// `term_weight` within 1e-12 (in fact bit-exactly, since
+    /// `term_weight` delegates to the same floating-point path).
+    #[test]
+    fn term_scorer_matches_term_weight(
+        tf in 0u32..500,
+        df in 0u32..50_000,
+        cf_extra in 0u64..100_000,
+        doc_len in 0u32..50_000,
+        num_docs in 1usize..1_000_000,
+        avg_doc_len in 1.0f64..10_000.0,
+        total_tokens in 1u64..1_000_000_000,
+        lambda in 0.0f64..1.0,
+        k1 in 0.1f64..3.0,
+        b in 0.0f64..1.0,
+    ) {
+        let stats = CollectionStats { num_docs, avg_doc_len, total_tokens };
+        let cf = u64::from(df) + cf_extra;
+        for model in models_for(lambda, k1, b) {
+            let scorer = TermScorer::new(model, df, cf, &stats);
+            let got = scorer.weight(tf, model.doc_norm(doc_len, &stats));
+            let want = model.term_weight(tf, df, cf, doc_len, &stats);
+            prop_assert!(got.is_finite() && want.is_finite(), "{model:?}: non-finite");
+            prop_assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "{model:?} (tf={tf}, df={df}, cf={cf}, dl={doc_len}): {got} vs {want}"
+            );
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "{:?}: not bit-exact", model);
+        }
+    }
+
+    /// On a randomly built index the kernel's cached norm table and the
+    /// bounds tables agree with per-posting `term_weight`, and every
+    /// bound is sound.
+    #[test]
+    fn kernel_and_bounds_match_term_weight_on_random_indexes(
+        num_docs in 1usize..40,
+        vocab in 1usize..20,
+        density in 1usize..8,
+        seed in 0u64..10_000,
+        lambda in 0.05f64..0.95,
+    ) {
+        // Deterministic pseudo-random postings from the seed (xorshift).
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let doc_len: Vec<u32> = (0..num_docs).map(|_| (next() % 500) as u32 + 1).collect();
+        let mut postings = Vec::new();
+        for t in 0..vocab as u32 {
+            for d in 0..num_docs as u32 {
+                if next() % 8 < density as u64 {
+                    postings.push((t, d, (next() % 9) as u32 + 1));
+                }
+            }
+        }
+        let index = InvertedIndex::from_sorted_postings(vocab, doc_len, &postings).unwrap();
+        let stats = index.stats();
+        for model in models_for(lambda, 1.2, 0.75) {
+            let kernel = ScoreKernel::new(model, &index);
+            let bounds = ScoreBounds::new(&kernel, &index);
+            for term in 0..vocab as u32 {
+                let df = index.df(term).unwrap();
+                let cf = index.cf(term).unwrap();
+                let scorer = kernel.term_scorer(df, cf);
+                let (docs, tfs) = index.postings(term).unwrap();
+                let mut observed_max = 0.0f64;
+                for (i, &doc) in docs.iter().enumerate() {
+                    let got = kernel.weight(&scorer, tfs[i], doc);
+                    let want = model.term_weight(tfs[i], df, cf, index.doc_len(doc), &stats);
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
+                    observed_max = observed_max.max(got);
+                }
+                prop_assert_eq!(
+                    bounds.term_max_weight(term).to_bits(),
+                    observed_max.to_bits()
+                );
+                // Block bounds cover their postings.
+                let (bmax, _) = bounds.term_blocks(term);
+                for (bi, chunk) in docs.chunks(ScoreBounds::BLOCK_POSTINGS).enumerate() {
+                    for (i, &doc) in chunk.iter().enumerate() {
+                        let w = kernel.weight(
+                            &scorer,
+                            tfs[bi * ScoreBounds::BLOCK_POSTINGS + i],
+                            doc,
+                        );
+                        prop_assert!(w <= bmax[bi]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -64,13 +64,34 @@ impl TopNHeap {
             return;
         }
         // Full: compare against the current worst.
-        let worst = self.heap.peek().expect("non-empty when full");
-        let candidate = Entry { score, obj };
-        // candidate beats worst iff worst is "greater" in eviction order.
-        if *worst > candidate {
+        if self.would_enter(score, obj) {
             self.heap.pop();
-            self.heap.push(candidate);
+            self.heap.push(Entry { score, obj });
         }
+    }
+
+    /// Whether offering `(obj, score)` right now would change the retained
+    /// set — a threshold compare with no `Entry` churn, the fast-reject
+    /// that bounds-pruned evaluation (MaxScore DAAT) calls per candidate.
+    ///
+    /// Tie-aware: at `score ==` the threshold, the candidate enters only
+    /// if its id beats the current worst's id (score desc, id asc
+    /// contract). Upper-bound pruning stays sound because for a fixed
+    /// `obj` the answer is monotone in `score`: if a document's score
+    /// *upper bound* would not enter, its true score cannot either.
+    #[inline]
+    pub fn would_enter(&self, score: f64, obj: u32) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let Some(worst) = self.heap.peek() else {
+            return true;
+        };
+        if self.heap.len() < self.capacity {
+            return true;
+        }
+        // Candidate beats worst iff worst is "greater" in eviction order.
+        *worst > Entry { score, obj }
     }
 
     /// The score of the N-th (worst retained) entry, if the heap is full.
@@ -173,6 +194,47 @@ mod tests {
         assert_eq!(h.threshold(), Some(0.4));
         h.push(3, 0.6);
         assert_eq!(h.threshold(), Some(0.6));
+    }
+
+    #[test]
+    fn would_enter_tracks_push_outcomes() {
+        let mut h = TopNHeap::new(2);
+        // Not full: everything would enter.
+        assert!(h.would_enter(0.0, 7));
+        assert!(h.would_enter(f64::NEG_INFINITY, 0));
+        h.push(5, 0.5);
+        assert!(h.would_enter(0.1, 9));
+        h.push(9, 0.9);
+        // Full with worst = (5, 0.5).
+        assert!(!h.would_enter(0.4, 1));
+        assert!(h.would_enter(0.6, 1));
+        // Push must agree with the prediction.
+        assert!(h.would_enter(0.7, 3));
+        h.push(3, 0.7);
+        assert_eq!(h.threshold(), Some(0.7));
+    }
+
+    #[test]
+    fn would_enter_tie_on_threshold_respects_id_order() {
+        let mut h = TopNHeap::new(2);
+        h.push(4, 0.5);
+        h.push(8, 0.9);
+        // Worst retained is (4, 0.5). A tied score enters only with a
+        // smaller id (score desc, id asc contract).
+        assert!(h.would_enter(0.5, 2), "smaller id must enter on tie");
+        assert!(!h.would_enter(0.5, 4), "equal entry must not re-enter");
+        assert!(!h.would_enter(0.5, 6), "larger id must lose the tie");
+        h.push(2, 0.5);
+        assert_eq!(h.clone().into_sorted_vec(), vec![(8, 0.9), (2, 0.5)]);
+        // And the losing tie push indeed changed nothing.
+        h.push(6, 0.5);
+        assert_eq!(h.into_sorted_vec(), vec![(8, 0.9), (2, 0.5)]);
+    }
+
+    #[test]
+    fn would_enter_zero_capacity_rejects_everything() {
+        let h = TopNHeap::new(0);
+        assert!(!h.would_enter(f64::INFINITY, 0));
     }
 
     #[test]

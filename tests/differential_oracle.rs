@@ -529,6 +529,92 @@ fn every_engine_path_matches_the_posting_scan_oracle() {
 }
 
 #[test]
+fn pruned_daat_is_bit_exact_with_the_naive_oracle_for_every_model_and_n() {
+    // The MaxScore-pruned DAAT kernel must reproduce the naive full-scan
+    // oracle *exactly* — same documents, same order, same f64 bits — for
+    // every ranking model and for N below, at, and beyond the matching-set
+    // size. Bit-equality (not tolerance) is possible because
+    // `RankingModel::term_weight` delegates to the same `TermScorer` +
+    // `doc_norm` floating-point path the pruned kernel executes, and the
+    // kernel sums per-document contributions in query-term order.
+    let models = [
+        RankingModel::TfIdf,
+        RankingModel::HiemstraLm { lambda: 0.15 },
+        RankingModel::Bm25 { k1: 1.2, b: 0.75 },
+    ];
+    for (label, config) in e2e_collections() {
+        let collection = Collection::generate(config).expect("valid collection config");
+        let index = Arc::new(InvertedIndex::from_collection(&collection));
+        let queries = generate_queries(
+            &collection,
+            &QueryConfig {
+                num_queries: 10,
+                seed: 0xDAA7,
+                ..QueryConfig::default()
+            },
+        )
+        .expect("valid workload");
+        for model in models {
+            let daat = DaatSearcher::new(&index, model);
+            for (qi, q) in queries.iter().enumerate() {
+                let scored = naive_document_scores(&collection, model, &q.terms);
+                // N = 1, N = 10, and N >= every match (the full ranking).
+                for n in [1usize, 10, scored.len() + 7] {
+                    let oracle = oracle_topn(&scored, n);
+                    let rep = daat.search(&q.terms, n).expect("pruned daat query");
+                    assert_eq!(
+                        rep.top, oracle,
+                        "{label} q{qi} n={n} {model:?}: pruned DAAT != naive oracle"
+                    );
+                    // The work ledger must balance: scored + bypassed
+                    // postings account for the query's full volume.
+                    let volume: usize =
+                        q.terms.iter().map(|&t| index.df(t).unwrap() as usize).sum();
+                    assert_eq!(
+                        rep.postings_scanned + rep.docs_skipped,
+                        volume,
+                        "{label} q{qi} n={n} {model:?}: work ledger"
+                    );
+                    // With n beyond every match nothing may be pruned.
+                    if n > scored.len() {
+                        assert_eq!(rep.postings_scanned, volume);
+                        assert_eq!(rep.bound_exits, 0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_and_exhaustive_daat_agree_bit_for_bit_on_seeded_workloads() {
+    for (label, config) in e2e_collections() {
+        let collection = Collection::generate(config).expect("valid collection config");
+        let index = Arc::new(InvertedIndex::from_collection(&collection));
+        let daat = DaatSearcher::new(&index, RankingModel::default());
+        let queries = generate_queries(
+            &collection,
+            &QueryConfig {
+                num_queries: 12,
+                seed: 0xB177,
+                ..QueryConfig::default()
+            },
+        )
+        .expect("valid workload");
+        for q in &queries {
+            for n in [1usize, 5, 10, 50] {
+                let pruned = daat.search(&q.terms, n).expect("pruned query");
+                let full = daat
+                    .search_exhaustive(&q.terms, n)
+                    .expect("exhaustive query");
+                assert_eq!(pruned.top, full.top, "{label} {:?} n={n}", q.terms);
+                assert!(pruned.postings_scanned <= full.postings_scanned);
+            }
+        }
+    }
+}
+
+#[test]
 fn unsafe_a_only_strategy_error_is_one_sided_and_bounded() {
     // A-only is the paper's deliberately *unsafe* strategy: it may lose
     // score mass from fragment B but can never invent documents or inflate
