@@ -31,14 +31,14 @@ fn bench_daat(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, &n| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(daat.search_exhaustive(&q.terms, n).expect("valid query"));
+                    let _ = black_box(daat.search_exhaustive(&q.terms, n).expect("valid query"));
                 }
             })
         });
         g.bench_with_input(BenchmarkId::new("maxscore_pruned", n), &n, |b, &n| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(daat.search(&q.terms, n).expect("valid query"));
+                    let _ = black_box(daat.search(&q.terms, n).expect("valid query"));
                 }
             })
         });

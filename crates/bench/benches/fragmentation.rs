@@ -46,7 +46,11 @@ fn bench_strategies(c: &mut Criterion) {
 
     let cases: Vec<(&str, Arc<FragmentedIndex>, Strategy)> = vec![
         ("full_scan", Arc::clone(&f.frag_plain), Strategy::FullScan),
-        ("a_only", Arc::clone(&f.frag_plain), Strategy::AOnly),
+        (
+            "a_only",
+            Arc::clone(&f.frag_plain),
+            Strategy::AOnly { use_a_index: false },
+        ),
         (
             "switch_scan",
             Arc::clone(&f.frag_plain),

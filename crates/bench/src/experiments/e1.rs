@@ -23,7 +23,7 @@ pub fn run(scale: Scale) -> Table {
     let policy = SwitchPolicy::default();
 
     let full = f.run_strategy(&frag, Strategy::FullScan, policy);
-    let a_only = f.run_strategy(&frag, Strategy::AOnly, policy);
+    let a_only = f.run_strategy(&frag, Strategy::AOnly { use_a_index: false }, policy);
 
     let map_full = f.map(&full);
     let map_a = f.map(&a_only);

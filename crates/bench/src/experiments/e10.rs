@@ -36,7 +36,7 @@ pub fn run(scale: Scale) -> Table {
 
     for &budget in &[0.02f64, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00] {
         let frag = f.fragment(FragmentSpec::VolumeFraction(budget));
-        let out = f.run_strategy(&frag, Strategy::AOnly, policy);
+        let out = f.run_strategy(&frag, Strategy::AOnly { use_a_index: false }, policy);
         t.row(vec![
             format!("{:.0}%", budget * 100.0),
             format!("{:.1}%", frag.volume_fraction_a() * 100.0),

@@ -19,9 +19,13 @@
 //! from this PR on.
 
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, Query, QueryConfig};
-use moa_ir::{DaatSearcher, InvertedIndex, RankingModel};
+use moa_ir::{
+    DaatSearcher, ExecReport, ExhaustiveDaatOp, InvertedIndex, PrunedDaatOp, RankingModel,
+    RetrievalOp, ScoreKernel,
+};
 use moa_topn::TopNHeap;
 
 use crate::harness::{fmt_duration, time_median, Scale, Table};
@@ -30,24 +34,20 @@ use crate::harness::{fmt_duration, time_median, Scale, Table};
 /// where bounds-pruning has the most room.
 const TOP_N: usize = 10;
 
-/// One measured (query mix × ranking model) configuration.
+/// One measured (query mix × ranking model) configuration. Work totals
+/// are aggregated [`ExecReport`]s from the unified physical operators —
+/// no per-field counter copying.
 pub struct CaseResult {
     /// Query-mix label (`topical`, `trec_like`, `frequent_only`).
     pub mix: &'static str,
     /// Ranking-model label (`tfidf`, `hiemstra`, `bm25`).
     pub model: &'static str,
-    /// Postings scored by the exhaustive cursor merge.
-    pub postings_exhaustive: usize,
-    /// Postings scored by the pruned kernel.
-    pub postings_pruned: usize,
-    /// Postings bypassed without scoring.
-    pub docs_skipped: usize,
-    /// Galloping seeks issued.
-    pub seeks: usize,
-    /// Documents abandoned on the partial-score bound.
-    pub bound_exits: usize,
+    /// Aggregated unified counters of the exhaustive cursor merge.
+    pub exhaustive: ExecReport,
+    /// Aggregated unified counters of the pruned kernel.
+    pub pruned: ExecReport,
     /// Batch wall time of the seed's merge (per-posting `term_weight`
-    /// recomputation — the baseline this PR's kernel replaced).
+    /// recomputation — the baseline the query kernel replaced).
     pub wall_naive: std::time::Duration,
     /// Batch wall time of the exhaustive merge on the precomputed kernel.
     pub wall_exhaustive: std::time::Duration,
@@ -58,7 +58,7 @@ pub struct CaseResult {
 impl CaseResult {
     /// Postings-scanned reduction factor (exhaustive / pruned).
     pub fn scan_reduction(&self) -> f64 {
-        self.postings_exhaustive as f64 / self.postings_pruned.max(1) as f64
+        self.exhaustive.postings_scanned as f64 / self.pruned.postings_scanned.max(1) as f64
     }
 
     /// Wall-time speedup of the pruned kernel over the seed baseline.
@@ -167,22 +167,32 @@ pub fn measure(scale: Scale) -> Vec<CaseResult> {
         .expect("valid workload config");
 
         for (model_label, model) in ranking_models() {
-            let daat = DaatSearcher::new(&index, model);
+            // One kernel and one (lazily built) bound-table set per
+            // (index, model), shared by every searcher view — the sharing
+            // the physical layer's `with_shared` constructors exist for.
+            let kernel = Arc::new(ScoreKernel::new(model, &index));
+            let bounds = Arc::new(OnceLock::new());
+            let daat = DaatSearcher::with_shared(&index, Arc::clone(&kernel), Arc::clone(&bounds));
+            let mut pruned_op = PrunedDaatOp(DaatSearcher::with_shared(
+                &index,
+                Arc::clone(&kernel),
+                Arc::clone(&bounds),
+            ));
+            let mut exhaustive_op = ExhaustiveDaatOp(DaatSearcher::with_shared(
+                &index,
+                Arc::clone(&kernel),
+                Arc::clone(&bounds),
+            ));
 
             // Exactness first: the pruned kernel must reproduce the
             // exhaustive merge — and the seed's naive merge — bit-for-bit
             // on every query before its speed means anything. The same
-            // pass collects the (deterministic) work counters.
-            let mut postings_exhaustive = 0usize;
-            let mut postings_pruned = 0usize;
-            let mut docs_skipped = 0usize;
-            let mut seeks = 0usize;
-            let mut bound_exits = 0usize;
+            // pass aggregates the (deterministic) unified counters.
+            let mut pruned_total = ExecReport::default();
+            let mut exhaustive_total = ExecReport::default();
             for q in &queries {
-                let pruned = daat.search(&q.terms, TOP_N).expect("valid query");
-                let full = daat
-                    .search_exhaustive(&q.terms, TOP_N)
-                    .expect("valid query");
+                let pruned = pruned_op.execute(&q.terms, TOP_N).expect("valid query");
+                let full = exhaustive_op.execute(&q.terms, TOP_N).expect("valid query");
                 assert_eq!(
                     pruned.top, full.top,
                     "pruned DAAT diverged ({mix_label}, {model_label}, {:?})",
@@ -194,11 +204,8 @@ pub fn measure(scale: Scale) -> Vec<CaseResult> {
                     "pruned DAAT diverged from seed baseline ({mix_label}, {model_label}, {:?})",
                     q.terms
                 );
-                postings_exhaustive += full.postings_scanned;
-                postings_pruned += pruned.postings_scanned;
-                docs_skipped += pruned.docs_skipped;
-                seeks += pruned.seeks;
-                bound_exits += pruned.bound_exits;
+                pruned_total.absorb(&pruned);
+                exhaustive_total.absorb(&full);
             }
 
             // Median-of-5 batch wall times (one warm-up pass each).
@@ -209,7 +216,7 @@ pub fn measure(scale: Scale) -> Vec<CaseResult> {
             });
             let wall_exhaustive = time_median(5, || {
                 for q in &queries {
-                    std::hint::black_box(
+                    let _ = std::hint::black_box(
                         daat.search_exhaustive(&q.terms, TOP_N)
                             .expect("valid query"),
                     );
@@ -217,18 +224,16 @@ pub fn measure(scale: Scale) -> Vec<CaseResult> {
             });
             let wall_pruned = time_median(5, || {
                 for q in &queries {
-                    std::hint::black_box(daat.search(&q.terms, TOP_N).expect("valid query"));
+                    let _ =
+                        std::hint::black_box(daat.search(&q.terms, TOP_N).expect("valid query"));
                 }
             });
 
             results.push(CaseResult {
                 mix: mix_label,
                 model: model_label,
-                postings_exhaustive,
-                postings_pruned,
-                docs_skipped,
-                seeks,
-                bound_exits,
+                exhaustive: exhaustive_total,
+                pruned: pruned_total,
                 wall_naive,
                 wall_exhaustive,
                 wall_pruned,
@@ -256,11 +261,11 @@ pub fn to_json(scale: Scale, results: &[CaseResult]) -> String {
              \"wall_ns_naive\": {}, \"wall_ns_exhaustive\": {}, \"wall_ns_pruned\": {}}}{comma}",
             r.mix,
             r.model,
-            r.postings_exhaustive,
-            r.postings_pruned,
-            r.docs_skipped,
-            r.seeks,
-            r.bound_exits,
+            r.exhaustive.postings_scanned,
+            r.pruned.postings_scanned,
+            r.pruned.docs_skipped,
+            r.pruned.seeks,
+            r.pruned.bound_exits,
             r.scan_reduction(),
             r.time_speedup_vs_naive(),
             r.wall_naive.as_nanos(),
@@ -302,11 +307,11 @@ pub fn run(scale: Scale) -> Table {
         t.row(vec![
             r.mix.into(),
             r.model.into(),
-            r.postings_exhaustive.to_string(),
-            r.postings_pruned.to_string(),
+            r.exhaustive.postings_scanned.to_string(),
+            r.pruned.postings_scanned.to_string(),
             format!("{:.2}x", r.scan_reduction()),
-            r.seeks.to_string(),
-            r.bound_exits.to_string(),
+            r.pruned.seeks.to_string(),
+            r.pruned.bound_exits.to_string(),
             fmt_duration(r.wall_naive),
             fmt_duration(r.wall_exhaustive),
             fmt_duration(r.wall_pruned),
@@ -347,8 +352,8 @@ mod tests {
         assert_eq!(results.len(), 9, "3 mixes x 3 models");
         for r in &results {
             assert_eq!(
-                r.postings_pruned + r.docs_skipped,
-                r.postings_exhaustive,
+                r.pruned.postings_scanned + r.pruned.docs_skipped,
+                r.exhaustive.postings_scanned,
                 "work ledger must balance ({}, {})",
                 r.mix,
                 r.model

@@ -162,7 +162,11 @@ mod tests {
         let f = RetrievalFixture::build(Scale::Quick);
         let frag = f.fragment(FragmentSpec::TermFraction(0.95));
         let full = f.run_strategy(&frag, Strategy::FullScan, SwitchPolicy::default());
-        let a_only = f.run_strategy(&frag, Strategy::AOnly, SwitchPolicy::default());
+        let a_only = f.run_strategy(
+            &frag,
+            Strategy::AOnly { use_a_index: false },
+            SwitchPolicy::default(),
+        );
         // A-only scans strictly less and can never beat full-scan overlap
         // with itself.
         assert!(a_only.postings_scanned < full.postings_scanned);

@@ -43,10 +43,24 @@ impl LearnedDistribution {
         }
     }
 
+    /// Upper bound on retained observations: beyond it the oldest half is
+    /// dropped, keeping memory and refit cost constant for long-lived
+    /// profiling loops (e.g. the planner observing every served query)
+    /// while biasing the fit toward recent data.
+    const MAX_SAMPLE: usize = 4096;
+
     /// Observe one value (profiling hook; called as operators touch data).
     pub fn observe(&mut self, value: f64) {
         if value.is_nan() {
             return;
+        }
+        if self.sample.len() >= Self::MAX_SAMPLE {
+            self.sample.drain(..Self::MAX_SAMPLE / 2);
+            // The fitted histogram must forget the evicted observations
+            // too, or answers would reflect day-one data indefinitely.
+            if self.fitted.is_some() {
+                self.refit();
+            }
         }
         self.sample.push(value);
         if let Some(h) = &self.fitted {
@@ -97,6 +111,17 @@ impl LearnedDistribution {
     /// top-N over non-text feature data); `None` until fitted.
     pub fn cutoff_for_at_least(&self, n: usize) -> Option<f64> {
         self.fitted.as_ref().map(|h| h.cutoff_for_at_least(n))
+    }
+
+    /// The learned distribution's median — the cutoff that roughly half
+    /// the *fitted* observations lie at or above; `None` until fitted.
+    /// Sized against the histogram's own total (not the live sample
+    /// count), so it stays a median as observations keep arriving
+    /// between refits.
+    pub fn median(&self) -> Option<f64> {
+        self.fitted
+            .as_ref()
+            .map(|h| h.cutoff_for_at_least(((h.total() as usize).div_ceil(2)).max(1)))
     }
 
     fn refit(&mut self) {
@@ -164,6 +189,36 @@ mod tests {
         d.observe(2.0);
         assert_eq!(d.observations(), 2);
         assert!(d.is_fitted());
+    }
+
+    #[test]
+    fn sample_window_is_bounded_and_refits_on_eviction() {
+        let mut d = LearnedDistribution::new(10, 8);
+        for i in 0..(LearnedDistribution::MAX_SAMPLE * 3) {
+            d.observe(i as f64);
+        }
+        assert!(d.observations() <= LearnedDistribution::MAX_SAMPLE);
+        // Still fitted, and the fit reflects the surviving window, not
+        // the evicted day-one data: everything below the window's start
+        // counts as zero.
+        assert!(d.is_fitted());
+        let window_start = (LearnedDistribution::MAX_SAMPLE * 3 - d.observations()) as f64;
+        assert_eq!(
+            d.count_ge(window_start * 0.5).unwrap(),
+            d.count_ge(0.0).unwrap()
+        );
+        assert!(d.count_ge(window_start + 1.0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn median_tracks_the_distribution_center() {
+        let mut d = LearnedDistribution::new(50, 32);
+        d.observe_all(&(0..1000).map(f64::from).collect::<Vec<_>>());
+        let m = d.median().unwrap();
+        assert!((m - 500.0).abs() < 60.0, "median {m}");
+        // Unlike a raw cutoff_for_at_least(observations/2), the median
+        // stays centered as more observations arrive without a refit.
+        assert!(LearnedDistribution::new(10, 8).median().is_none());
     }
 
     #[test]

@@ -32,22 +32,31 @@ pub struct CostWeights {
     pub materialize: f64,
     /// Cost per posting scanned during ranking.
     pub rank_posting: f64,
+    /// Expected fraction of the non-rarest posting volume the
+    /// MaxScore-pruned DAAT kernel still scans at small N. The physical
+    /// planner's calibration pass refits this weight from measured
+    /// `ExecReport` counters (see `moa_core::planner::Planner::observe`).
+    pub daat_prune: f64,
 }
 
 impl Default for CostWeights {
     fn default() -> Self {
-        // The executor counts every touched element as one unit.
+        // The executor counts every touched element as one unit; the
+        // pruning fraction starts at the middle of the reduction band
+        // experiment E14 measured (2.3x–3.4x), pending calibration.
         CostWeights {
             scan: 1.0,
             compare: 1.0,
             materialize: 1.0,
             rank_posting: 1.0,
+            daat_prune: 0.35,
         }
     }
 }
 
 /// A cost estimate for a (sub)expression.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct Estimate {
     /// Estimated output cardinality.
     pub rows: f64,
@@ -56,7 +65,7 @@ pub struct Estimate {
 }
 
 /// Catalog information about the attached IR collection, for costing
-/// MMRANK operators.
+/// MMRANK operators and pricing physical retrieval alternatives.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IrCostInfo {
     /// Number of documents.
@@ -64,6 +73,50 @@ pub struct IrCostInfo {
     /// Postings volume the configured strategy scans per query (e.g. the
     /// full volume for `FullScan`, fragment A's volume for `AOnly`).
     pub postings_per_query: f64,
+    /// Fragment A's table volume (entries).
+    pub volume_a: f64,
+    /// Fragment B's table volume (entries).
+    pub volume_b: f64,
+    /// Whether fragment A carries a non-dense index.
+    pub a_indexed: bool,
+    /// Whether fragment B carries a non-dense index.
+    pub b_indexed: bool,
+    /// The non-dense indexes' block granularity (per-term lookup slack).
+    pub index_block: f64,
+}
+
+impl IrCostInfo {
+    /// Info with only the collection-level figures (no fragment catalog) —
+    /// enough for the algebra-level MMRANK estimates.
+    pub fn basic(num_docs: f64, postings_per_query: f64) -> IrCostInfo {
+        IrCostInfo {
+            num_docs,
+            postings_per_query,
+            volume_a: 0.0,
+            volume_b: postings_per_query,
+            a_indexed: false,
+            b_indexed: false,
+            index_block: 0.0,
+        }
+    }
+
+    /// Read the fragment catalog's figures, with the caller-supplied
+    /// postings-per-query prior — the single construction path shared by
+    /// the session's algebra estimator and the physical planner, so the
+    /// two can never disagree about the catalog snapshot.
+    pub fn from_catalog(frag: &moa_ir::FragmentedIndex, postings_per_query: f64) -> IrCostInfo {
+        let a = frag.fragment_a();
+        let b = frag.fragment_b();
+        IrCostInfo {
+            num_docs: frag.index().num_docs() as f64,
+            postings_per_query,
+            volume_a: a.volume() as f64,
+            volume_b: b.volume() as f64,
+            a_indexed: a.has_sparse_index(),
+            b_indexed: b.has_sparse_index(),
+            index_block: a.sparse_block_size().or(b.sparse_block_size()).unwrap_or(0) as f64,
+        }
+    }
 }
 
 /// Estimation context: variable cardinalities plus optional IR info.
@@ -351,10 +404,7 @@ mod tests {
         let e = Expr::mm_rank(Expr::var("q"));
         assert!(m.estimate(&e, &ctx()).is_err());
         let mut c = ctx();
-        c.ir = Some(IrCostInfo {
-            num_docs: 10_000.0,
-            postings_per_query: 50_000.0,
-        });
+        c.ir = Some(IrCostInfo::basic(10_000.0, 50_000.0));
         let est = m.estimate(&e, &c).unwrap();
         assert_eq!(est.rows, 10_000.0);
         assert!(est.cost >= 50_000.0);
@@ -364,10 +414,7 @@ mod tests {
     fn fused_rank_topn_is_cheaper_than_rank_then_topn() {
         let m = CostModel::default();
         let mut c = ctx();
-        c.ir = Some(IrCostInfo {
-            num_docs: 10_000.0,
-            postings_per_query: 50_000.0,
-        });
+        c.ir = Some(IrCostInfo::basic(10_000.0, 50_000.0));
         let unfused = Expr::mm_topn(Expr::mm_rank(Expr::var("q")), 10);
         let fused = Expr::Apply {
             ext: ExtensionId::MmRank,

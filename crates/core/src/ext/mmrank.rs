@@ -135,27 +135,38 @@ impl Extension for MmRankExt {
                 let terms = get_query_terms(&args[0], op)?;
                 let ir = ctx.ir.clone().ok_or(CoreError::NoIrRuntime)?;
                 let n = ir.num_docs();
-                let (top, scanned) = ir.rank(&terms, n)?;
-                ctx.work(scanned as u64 + top.len() as u64);
+                let out = ir.rank(&terms, n)?;
+                ctx.work(out.postings_scanned as u64 + out.top.len() as u64);
+                let est = out
+                    .est_cost
+                    .map(|c| format!(", est. cost {c:.0}"))
+                    .unwrap_or_default();
                 ctx.note(format!(
-                    "MMRANK.rank: {} postings scanned, {} docs materialized",
-                    scanned,
-                    top.len()
+                    "MMRANK.rank via {}: {} postings scanned, {} docs materialized{est}",
+                    out.operator,
+                    out.postings_scanned,
+                    out.top.len()
                 ));
-                Ok(Value::Ranked(top))
+                Ok(Value::Ranked(out.top))
             }
             "rank_topn" => {
                 expect_arity(self.id(), op, args.len(), 2)?;
                 let terms = get_query_terms(&args[0], op)?;
                 let n = get_usize(&args[1], "n")?;
                 let ir = ctx.ir.clone().ok_or(CoreError::NoIrRuntime)?;
-                let (top, scanned) = ir.rank(&terms, n)?;
-                ctx.work(scanned as u64 + top.len() as u64);
+                let out = ir.rank(&terms, n)?;
+                ctx.work(out.postings_scanned as u64 + out.top.len() as u64);
+                let est = out
+                    .est_cost
+                    .map(|c| format!(", est. cost {c:.0}"))
+                    .unwrap_or_default();
                 ctx.note(format!(
-                    "MMRANK.rank_topn: fused top-{n}, {scanned} postings scanned, {} docs materialized",
-                    top.len()
+                    "MMRANK.rank_topn via {}: fused top-{n}, {} postings scanned, {} docs materialized{est}",
+                    out.operator,
+                    out.postings_scanned,
+                    out.top.len()
                 ));
-                Ok(Value::Ranked(top))
+                Ok(Value::Ranked(out.top))
             }
             "topn" => {
                 expect_arity(self.id(), op, args.len(), 2)?;

@@ -16,36 +16,103 @@ pub mod tuple;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use moa_ir::{FragSearcher, FragmentedIndex, RankingModel, Strategy, SwitchPolicy};
+use moa_ir::{EngineSet, FragmentedIndex, PhysicalPlan, RankingModel, Strategy, SwitchPolicy};
 use parking_lot::Mutex;
 
+use crate::cost::IrCostInfo;
 use crate::error::{CoreError, Result};
 use crate::expr::ExtensionId;
+use crate::planner::{PlanDecision, Planner};
 use crate::types::MoaType;
 use crate::value::Value;
 
-/// Shared multimedia-retrieval runtime for the MMRANK extension: a
-/// fragmented index plus the evaluation strategy the physical plan selected.
+/// How the runtime selects the physical retrieval operator per query.
+#[derive(Debug)]
+pub enum RetrievalMode {
+    /// Always execute one fixed physical plan (the pre-planner behavior).
+    Fixed(PhysicalPlan),
+    /// Let the cost-driven planner pick per query, calibrating its
+    /// weights from the measured execution counters as it goes.
+    Planned(Planner),
+}
+
+/// The outcome of one ranked retrieval through the runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
+pub struct RankOutcome {
+    /// Top `(doc, score)` pairs, best first.
+    pub top: Vec<(u32, f64)>,
+    /// Unified work counter (elements inspected).
+    pub postings_scanned: usize,
+    /// The physical operator that executed the query.
+    pub operator: &'static str,
+    /// The planner's cost estimate for the chosen operator (`None` in
+    /// fixed mode).
+    pub est_cost: Option<f64>,
+}
+
+/// Shared multimedia-retrieval runtime for the MMRANK extension: the
+/// unified engine set plus either a fixed physical plan or the
+/// cost-driven planner that picks one per query.
 #[derive(Debug)]
 pub struct IrRuntime {
     frag: Arc<FragmentedIndex>,
-    strategy: Strategy,
-    searcher: Mutex<FragSearcher>,
+    model: RankingModel,
+    policy: SwitchPolicy,
+    inner: Mutex<RuntimeInner>,
+}
+
+#[derive(Debug)]
+struct RuntimeInner {
+    engines: EngineSet,
+    mode: RetrievalMode,
 }
 
 impl IrRuntime {
-    /// Create a runtime over a fragmented index.
+    /// Create a runtime that always executes one fragmented strategy
+    /// (backwards-compatible constructor).
     pub fn new(
         frag: Arc<FragmentedIndex>,
         model: RankingModel,
         policy: SwitchPolicy,
         strategy: Strategy,
     ) -> IrRuntime {
-        let searcher = FragSearcher::new(Arc::clone(&frag), model, policy);
+        IrRuntime::fixed(frag, model, policy, PhysicalPlan::Fragmented(strategy))
+    }
+
+    /// Create a runtime pinned to one physical plan.
+    pub fn fixed(
+        frag: Arc<FragmentedIndex>,
+        model: RankingModel,
+        policy: SwitchPolicy,
+        plan: PhysicalPlan,
+    ) -> IrRuntime {
+        IrRuntime::with_mode(frag, model, policy, RetrievalMode::Fixed(plan))
+    }
+
+    /// Create a runtime whose physical operator is chosen per query by
+    /// the cost-driven planner.
+    pub fn planned(
+        frag: Arc<FragmentedIndex>,
+        model: RankingModel,
+        policy: SwitchPolicy,
+        planner: Planner,
+    ) -> IrRuntime {
+        IrRuntime::with_mode(frag, model, policy, RetrievalMode::Planned(planner))
+    }
+
+    fn with_mode(
+        frag: Arc<FragmentedIndex>,
+        model: RankingModel,
+        policy: SwitchPolicy,
+        mode: RetrievalMode,
+    ) -> IrRuntime {
+        let engines = EngineSet::new(Arc::clone(&frag), model, policy);
         IrRuntime {
             frag,
-            strategy,
-            searcher: Mutex::new(searcher),
+            model,
+            policy,
+            inner: Mutex::new(RuntimeInner { engines, mode }),
         }
     }
 
@@ -59,20 +126,94 @@ impl IrRuntime {
         self.frag.index().num_docs()
     }
 
-    /// The configured evaluation strategy.
-    pub fn strategy(&self) -> Strategy {
-        self.strategy
+    /// The ranking model in use.
+    pub fn model(&self) -> RankingModel {
+        self.model
     }
 
-    /// Rank the collection for `terms`, returning the top `n` and the
-    /// number of postings scanned.
-    pub fn rank(&self, terms: &[u32], n: usize) -> Result<(Vec<(u32, f64)>, usize)> {
-        let report = self
-            .searcher
-            .lock()
-            .search(terms, n, self.strategy)
-            .map_err(CoreError::Ir)?;
-        Ok((report.top, report.postings_scanned))
+    /// The physical plan a fixed-mode runtime executes (`None` when the
+    /// planner decides per query).
+    pub fn fixed_plan(&self) -> Option<PhysicalPlan> {
+        match &self.inner.lock().mode {
+            RetrievalMode::Fixed(p) => Some(*p),
+            RetrievalMode::Planned(_) => None,
+        }
+    }
+
+    /// Catalog-level cost information for the algebra estimator: the
+    /// fragment volumes plus a postings-per-query prior matched to the
+    /// runtime's mode.
+    pub fn cost_info(&self) -> IrCostInfo {
+        let a = self.frag.fragment_a().volume() as f64;
+        let b = self.frag.fragment_b().volume() as f64;
+        let prior = match self.fixed_plan() {
+            Some(PhysicalPlan::Fragmented(Strategy::FullScan)) => a + b,
+            Some(PhysicalPlan::Fragmented(Strategy::AOnly { .. })) => a,
+            // The switch strategy scans A always and B sometimes; cost
+            // with the pessimistic full volume halved as a coarse prior.
+            Some(PhysicalPlan::Fragmented(Strategy::Switch { .. })) => a + 0.5 * b,
+            // Cursor/accumulator paths touch only the query terms' runs;
+            // without a query in hand, half the volume is the prior.
+            Some(PhysicalPlan::PrunedDaat)
+            | Some(PhysicalPlan::ExhaustiveDaat)
+            | Some(PhysicalPlan::SetAtATime)
+            | None => 0.5 * (a + b),
+        };
+        IrCostInfo::from_catalog(&self.frag, prior)
+    }
+
+    /// Enumerate and price the physical alternatives for one query — the
+    /// EXPLAIN hook. In planned mode the session's planner prices; in
+    /// fixed mode a default planner prices the same alternatives so the
+    /// pinned operator can be compared against them.
+    pub fn plan_for(&self, terms: &[u32], n: usize) -> Result<PlanDecision> {
+        match &self.inner.lock().mode {
+            RetrievalMode::Planned(planner) => {
+                planner.plan(terms, n, &self.frag, self.model, self.policy)
+            }
+            RetrievalMode::Fixed(_) => {
+                Planner::default().plan(terms, n, &self.frag, self.model, self.policy)
+            }
+        }
+    }
+
+    /// Rank the collection for `terms`, returning the top `n` with the
+    /// executing operator's name and (in planned mode) its cost estimate.
+    /// Planned executions feed their measured counters back into the
+    /// planner's weights (calibration).
+    pub fn rank(&self, terms: &[u32], n: usize) -> Result<RankOutcome> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        match &mut inner.mode {
+            RetrievalMode::Fixed(plan) => {
+                let plan = *plan;
+                let report = inner
+                    .engines
+                    .execute(plan, terms, n)
+                    .map_err(CoreError::Ir)?;
+                Ok(RankOutcome {
+                    top: report.top,
+                    postings_scanned: report.postings_scanned,
+                    operator: plan.name(),
+                    est_cost: None,
+                })
+            }
+            RetrievalMode::Planned(planner) => {
+                let decision = planner.plan(terms, n, &self.frag, self.model, self.policy)?;
+                let plan = decision.chosen;
+                let report = inner
+                    .engines
+                    .execute(plan, terms, n)
+                    .map_err(CoreError::Ir)?;
+                planner.observe(plan, &decision.profile, &report);
+                Ok(RankOutcome {
+                    top: report.top,
+                    postings_scanned: report.postings_scanned,
+                    operator: plan.name(),
+                    est_cost: Some(decision.chosen_alternative().cost),
+                })
+            }
+        }
     }
 }
 

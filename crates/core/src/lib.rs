@@ -13,6 +13,9 @@
 //!   Example 1 of the paper), and E-ADT-style *intra-object* physical
 //!   choice,
 //! * [`cost`] — the single centralized cost model (Step 3),
+//! * [`planner`] — the cost-driven physical retrieval planner: prices
+//!   every engine path behind `moa_ir::physical` and executes the winner,
+//!   calibrating its weights from measured counters (Step 3),
 //! * [`session`] — the user-facing façade: optimize, execute, EXPLAIN.
 //!
 //! ```
@@ -42,6 +45,7 @@ pub mod expr;
 pub mod ext;
 pub mod optimizer;
 pub mod parse;
+pub mod planner;
 pub mod session;
 pub mod types;
 pub mod value;
@@ -55,6 +59,7 @@ pub use expr::{Expr, ExtensionId};
 pub use ext::{ExecContext, Extension, IrRuntime, Registry};
 pub use optimizer::{Optimizer, OptimizerConfig, OptimizerTrace};
 pub use parse::parse_expr;
+pub use planner::{PlanAlternative, PlanDecision, Planner, PlannerConfig, QueryProfile};
 pub use session::{RunReport, Session};
 pub use types::MoaType;
 pub use value::Value;

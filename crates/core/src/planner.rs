@@ -1,0 +1,592 @@
+//! The cost-driven physical retrieval planner (the paper's Step 3, made
+//! executable).
+//!
+//! Before this layer, the four retrieval paths — MaxScore-pruned DAAT, the
+//! exhaustive cursor merge, the set-at-a-time engine, and the fragmented
+//! scan strategies — were chosen *by hand* in each experiment. The planner
+//! makes strategy selection a first-class, cost-driven decision, in the
+//! Cascades spirit of separating the logical operator (`rank the
+//! collection for these terms, keep N`) from its physical alternatives
+//! ([`PhysicalPlan`]):
+//!
+//! 1. [`QueryProfile::build`] reads the catalog only — per-term document
+//!    frequencies, fragment residency and volumes, index availability, N —
+//!    exactly the information available "early in the query plan",
+//! 2. [`Planner::plan`] prices every alternative with the session's
+//!    [`CostWeights`] and returns a [`PlanDecision`]: the chosen operator
+//!    next to every rejected alternative and its estimate (EXPLAIN prints
+//!    this verbatim),
+//! 3. [`Planner::observe`] closes the loop: measured
+//!    [`ExecReport`] counters are fed back into the weights through a
+//!    [`LearnedDistribution`] (the paper's "learned by the system by means
+//!    of profiling"), so the pruned-DAAT volume prediction tracks the
+//!    collection actually being served.
+
+use moa_ir::{
+    ExecReport, FragmentedIndex, PhysicalPlan, RankingModel, Strategy, SwitchDecision, SwitchPolicy,
+};
+
+use crate::cost::learning::LearnedDistribution;
+use crate::cost::{CostModel, IrCostInfo};
+use crate::error::Result;
+
+/// The per-query catalog profile plans are priced against: the df profile
+/// of the query terms, the fragment volume fractions, N, and collection
+/// statistics.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct QueryProfile {
+    /// Document frequency per query position (duplicated terms appear
+    /// once per occurrence — the cursor and accumulator paths scan a
+    /// duplicated term's run once per occurrence).
+    pub dfs: Vec<f64>,
+    /// Total query posting volume (Σ dfs).
+    pub volume: f64,
+    /// The rarest query term's run length (0 for an empty query).
+    pub df_min: f64,
+    /// Distinct query terms resident in fragment A. The fragmented
+    /// gather paths dedup the query's term set, so indexed-access
+    /// estimates are sized per *distinct* term, not per position.
+    pub a_terms: usize,
+    /// Distinct query terms resident in fragment B.
+    pub b_terms: usize,
+    /// Σ df over distinct A-resident terms.
+    pub a_query_postings: f64,
+    /// Σ df over distinct B-resident terms.
+    pub b_query_postings: f64,
+    /// The requested ranking depth.
+    pub n: f64,
+    /// Collection- and fragment-level catalog figures.
+    pub ir: IrCostInfo,
+}
+
+impl QueryProfile {
+    /// Read the profile from the catalog (no postings are touched).
+    pub fn build(terms: &[u32], n: usize, frag: &FragmentedIndex) -> Result<QueryProfile> {
+        let index = frag.index();
+        let mut dfs = Vec::with_capacity(terms.len());
+        let mut volume = 0.0f64;
+        let mut df_min = f64::INFINITY;
+        let mut a_terms = 0usize;
+        let mut b_terms = 0usize;
+        let mut a_query_postings = 0.0f64;
+        let mut b_query_postings = 0.0f64;
+        let mut seen: Vec<u32> = Vec::with_capacity(terms.len());
+        for &t in terms {
+            let df = f64::from(index.df(t)?);
+            dfs.push(df);
+            volume += df;
+            df_min = df_min.min(df);
+            if seen.contains(&t) {
+                continue; // fragment gathers visit each distinct term once
+            }
+            seen.push(t);
+            if frag.term_in_a(t) {
+                a_terms += 1;
+                a_query_postings += df;
+            } else if df > 0.0 {
+                b_terms += 1;
+                b_query_postings += df;
+            }
+        }
+        if !df_min.is_finite() {
+            df_min = 0.0;
+        }
+        Ok(QueryProfile {
+            dfs,
+            volume,
+            df_min,
+            a_terms,
+            b_terms,
+            a_query_postings,
+            b_query_postings,
+            n: n as f64,
+            ir: IrCostInfo::from_catalog(frag, volume),
+        })
+    }
+}
+
+/// One priced physical alternative.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct PlanAlternative {
+    /// The physical operator.
+    pub plan: PhysicalPlan,
+    /// Predicted `postings_scanned` (the unified work counter).
+    pub est_postings: f64,
+    /// Weighted abstract cost (`rank_posting × est_postings +
+    /// materialize × output`).
+    pub cost: f64,
+    /// Whether this plan's top-N is guaranteed bit-identical to the
+    /// naive full-scan oracle.
+    pub exact: bool,
+    /// Whether the plan can run as priced (indexed variants need their
+    /// non-dense index built).
+    pub feasible: bool,
+    /// One-line pricing / rejection rationale.
+    pub reason: String,
+}
+
+/// The planner's verdict: the chosen operator next to every rejected
+/// alternative with its estimate.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct PlanDecision {
+    /// The winning physical operator.
+    pub chosen: PhysicalPlan,
+    /// Every enumerated alternative, cheapest first.
+    pub alternatives: Vec<PlanAlternative>,
+    /// The early quality check's verdict (computed at plan time from
+    /// catalog statistics only).
+    pub switch: SwitchDecision,
+    /// The catalog profile the pricing used.
+    pub profile: QueryProfile,
+}
+
+impl PlanDecision {
+    /// The chosen plan's priced alternative entry.
+    pub fn chosen_alternative(&self) -> &PlanAlternative {
+        self.alternatives
+            .iter()
+            .find(|a| a.plan == self.chosen)
+            .expect("chosen plan is always enumerated")
+    }
+
+    /// Render the decision as EXPLAIN text: chosen operator first, then
+    /// every rejected alternative with its cost estimate.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for alt in &self.alternatives {
+            let marker = if alt.plan == self.chosen { "->" } else { "  " };
+            let exact = if alt.exact { "exact" } else { "approx" };
+            let feas = if alt.feasible { "" } else { " (infeasible)" };
+            out.push_str(&format!(
+                "{marker} {:<20} est. cost {:>10.0}, postings {:>10.0}, {exact}{feas}  [{}]\n",
+                alt.plan.name(),
+                alt.cost,
+                alt.est_postings,
+                alt.reason
+            ));
+        }
+        out
+    }
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// When set (the default), only plans whose top-N is guaranteed exact
+    /// may be chosen; unsafe/approximate plans are still priced and shown.
+    pub require_exact: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            require_exact: true,
+        }
+    }
+}
+
+/// The cost-driven physical retrieval planner.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// The cost model whose weights price the alternatives (and receive
+    /// the calibration feedback).
+    pub model: CostModel,
+    /// Configuration.
+    pub config: PlannerConfig,
+    /// Observed pruned-DAAT scan fractions (profiling, per the paper's
+    /// learned-distribution proposal).
+    observed_prune: LearnedDistribution,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new(CostModel::default(), PlannerConfig::default())
+    }
+}
+
+impl Planner {
+    /// Create a planner with the given cost model and configuration.
+    pub fn new(model: CostModel, config: PlannerConfig) -> Planner {
+        Planner {
+            model,
+            config,
+            observed_prune: LearnedDistribution::new(8, 16),
+        }
+    }
+
+    /// Enumerate and price every physical alternative for one query,
+    /// returning the cost-chosen winner next to the rejected plans.
+    pub fn plan(
+        &self,
+        terms: &[u32],
+        n: usize,
+        frag: &FragmentedIndex,
+        model: RankingModel,
+        policy: SwitchPolicy,
+    ) -> Result<PlanDecision> {
+        let profile = QueryProfile::build(terms, n, frag)?;
+        let switch = policy.decide(terms, frag, model)?;
+        let w = self.model.weights;
+        let out_rows = profile.n.min(profile.ir.num_docs);
+        let price = |est: f64| w.rank_posting * est + w.materialize * out_rows;
+
+        let mut alternatives: Vec<PlanAlternative> = Vec::with_capacity(PhysicalPlan::ALL.len());
+        for plan in PhysicalPlan::ALL {
+            let ir = profile.ir;
+            let (est, exact, feasible, reason) = match plan {
+                PhysicalPlan::PrunedDaat => {
+                    if profile.n >= ir.num_docs {
+                        (
+                            profile.volume,
+                            true,
+                            true,
+                            "N admits every document: bounds cannot prune".to_owned(),
+                        )
+                    } else {
+                        let est = profile.df_min
+                            + w.daat_prune * (profile.volume - profile.df_min).max(0.0);
+                        (
+                            est,
+                            true,
+                            true,
+                            format!("df_min + {:.2} x rest (calibrated)", w.daat_prune),
+                        )
+                    }
+                }
+                PhysicalPlan::ExhaustiveDaat => (
+                    profile.volume,
+                    true,
+                    true,
+                    "every query posting merged".to_owned(),
+                ),
+                PhysicalPlan::SetAtATime => (
+                    profile.volume,
+                    true,
+                    true,
+                    "every query posting accumulated".to_owned(),
+                ),
+                PhysicalPlan::Fragmented(Strategy::FullScan) => (
+                    ir.volume_a + ir.volume_b,
+                    true,
+                    true,
+                    "full table scan".to_owned(),
+                ),
+                PhysicalPlan::Fragmented(Strategy::AOnly { use_a_index }) => {
+                    let (est, feasible, how) = if use_a_index {
+                        (
+                            profile.a_query_postings + profile.a_terms as f64 * ir.index_block,
+                            ir.a_indexed,
+                            "A runs via non-dense index",
+                        )
+                    } else {
+                        (ir.volume_a, true, "fragment A scanned")
+                    };
+                    (
+                        est,
+                        false,
+                        feasible,
+                        format!("{how}; drops B-resident score mass"),
+                    )
+                }
+                PhysicalPlan::Fragmented(Strategy::Switch { use_b_index }) => {
+                    let b_cost = if !switch.use_b {
+                        0.0
+                    } else if use_b_index {
+                        profile.b_query_postings + profile.b_terms as f64 * ir.index_block
+                    } else {
+                        ir.volume_b
+                    };
+                    let feasible = !use_b_index || ir.b_indexed || !switch.use_b;
+                    let how = if switch.use_b {
+                        "check demands B: complete scores"
+                    } else {
+                        "check waives B: quality-bounded, not exact"
+                    };
+                    (ir.volume_a + b_cost, switch.use_b, feasible, how.to_owned())
+                }
+            };
+            alternatives.push(PlanAlternative {
+                plan,
+                est_postings: est,
+                cost: price(est),
+                exact,
+                feasible,
+                reason,
+            });
+        }
+
+        // Choose the cheapest eligible plan; PhysicalPlan::ALL's order
+        // breaks exact cost ties (stable sort), and PrunedDaat is always
+        // eligible so a winner exists.
+        let eligible = |a: &PlanAlternative| a.feasible && (a.exact || !self.config.require_exact);
+        let chosen = alternatives
+            .iter()
+            .filter(|a| eligible(a))
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .map(|a| a.plan)
+            .expect("PrunedDaat is always eligible");
+        alternatives.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+        Ok(PlanDecision {
+            chosen,
+            alternatives,
+            switch,
+            profile,
+        })
+    }
+
+    /// Feed one measured execution back into the cost weights: the pruned
+    /// DAAT kernel's observed scan fraction refits
+    /// [`crate::cost::CostWeights::daat_prune`] through the learned
+    /// distribution (median of the observed fractions) — profiling-based
+    /// calibration exactly as the paper proposes for unknown
+    /// distributions.
+    pub fn observe(&mut self, plan: PhysicalPlan, profile: &QueryProfile, report: &ExecReport) {
+        if plan != PhysicalPlan::PrunedDaat {
+            return;
+        }
+        let rest = profile.volume - profile.df_min;
+        if rest <= 0.0 || profile.n >= profile.ir.num_docs {
+            return;
+        }
+        let fraction = ((report.postings_scanned as f64 - profile.df_min) / rest).clamp(0.0, 1.0);
+        self.observed_prune.observe(fraction);
+        // Median of the learned distribution (sized against the fitted
+        // histogram's own total, so it stays a median as observations
+        // keep arriving between refits).
+        if let Some(m) = self.observed_prune.median() {
+            self.model.weights.daat_prune = m.clamp(0.01, 1.0);
+        }
+    }
+
+    /// Number of calibration observations absorbed so far.
+    pub fn observations(&self) -> usize {
+        self.observed_prune.observations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
+    use moa_ir::{EngineSet, FragmentSpec, InvertedIndex};
+    use std::sync::Arc;
+
+    fn fixture(index_fragments: bool) -> (Collection, Arc<FragmentedIndex>) {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        let mut frag = FragmentedIndex::build(idx, FragmentSpec::TermFraction(0.9)).unwrap();
+        if index_fragments {
+            frag.fragment_a_mut().build_sparse_index(64).unwrap();
+            frag.fragment_b_mut().build_sparse_index(64).unwrap();
+        }
+        (c, Arc::new(frag))
+    }
+
+    #[test]
+    fn profile_reads_catalog_only() {
+        let (_, frag) = fixture(true);
+        let terms = frag.index().terms_by_df_asc();
+        let q = vec![terms[0], terms[terms.len() - 1], terms[0]];
+        let p = QueryProfile::build(&q, 10, &frag).unwrap();
+        assert_eq!(p.dfs.len(), 3);
+        assert_eq!(p.volume, p.dfs.iter().sum::<f64>());
+        assert_eq!(
+            p.df_min,
+            p.dfs.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+        // q holds 3 positions but only 2 distinct terms: the fragment
+        // residency counters are distinct-term-based (the gather paths
+        // dedup), so a duplicated term is counted once.
+        assert_eq!(p.a_terms + p.b_terms, 2);
+        let single = QueryProfile::build(&q[..2], 10, &frag).unwrap();
+        assert_eq!(p.a_query_postings, single.a_query_postings);
+        assert_eq!(p.b_query_postings, single.b_query_postings);
+        assert!(p.ir.a_indexed && p.ir.b_indexed);
+        assert_eq!(p.ir.index_block, 64.0);
+        assert!(QueryProfile::build(&[u32::MAX], 10, &frag).is_err());
+    }
+
+    #[test]
+    fn exact_mode_never_chooses_an_unsafe_plan() {
+        let (c, frag) = fixture(true);
+        let planner = Planner::default();
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        for q in queries.iter().take(12) {
+            for n in [1usize, 10, c.num_docs()] {
+                let d = planner
+                    .plan(
+                        &q.terms,
+                        n,
+                        &frag,
+                        RankingModel::default(),
+                        SwitchPolicy::default(),
+                    )
+                    .unwrap();
+                let chosen = d.chosen_alternative();
+                assert!(
+                    chosen.exact,
+                    "{:?} chose approximate {}",
+                    q.terms,
+                    chosen.plan.name()
+                );
+                assert!(chosen.feasible);
+                assert_eq!(d.alternatives.len(), PhysicalPlan::ALL.len());
+                // Alternatives are sorted cheapest-first.
+                for w in d.alternatives.windows(2) {
+                    assert!(w[0].cost <= w[1].cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quality_mode_may_choose_the_unsafe_fragment_a_path() {
+        let (_, frag) = fixture(true);
+        let planner = Planner::new(
+            CostModel::default(),
+            PlannerConfig {
+                require_exact: false,
+            },
+        );
+        // An all-A rare-term query: A-only via the index is the cheapest
+        // plan by far, and with exactness waived it may win.
+        let terms = frag.index().terms_by_df_asc();
+        let q = vec![terms[0], terms[1]];
+        let d = planner
+            .plan(
+                &q,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        assert!(matches!(
+            d.chosen,
+            PhysicalPlan::Fragmented(Strategy::AOnly { .. })
+                | PhysicalPlan::Fragmented(Strategy::Switch { .. })
+                | PhysicalPlan::PrunedDaat
+        ));
+        // The unsafe plans must at least be priced.
+        assert!(d
+            .alternatives
+            .iter()
+            .any(|a| !a.exact && a.cost.is_finite()));
+    }
+
+    #[test]
+    fn unindexed_fragments_make_indexed_plans_infeasible() {
+        let (c, frag) = fixture(false);
+        let planner = Planner::default();
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let d = planner
+            .plan(
+                &queries[0].terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        for alt in &d.alternatives {
+            if alt.plan == PhysicalPlan::Fragmented(Strategy::AOnly { use_a_index: true }) {
+                assert!(!alt.feasible);
+            }
+        }
+    }
+
+    #[test]
+    fn n_beyond_collection_disables_the_pruning_discount() {
+        let (c, frag) = fixture(true);
+        let planner = Planner::default();
+        let terms = frag.index().terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() - 2]];
+        let small = planner
+            .plan(
+                &q,
+                5,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        let all = planner
+            .plan(
+                &q,
+                c.num_docs(),
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        let est = |d: &PlanDecision| {
+            d.alternatives
+                .iter()
+                .find(|a| a.plan == PhysicalPlan::PrunedDaat)
+                .unwrap()
+                .est_postings
+        };
+        assert!(est(&small) < est(&all));
+        assert_eq!(est(&all), all.profile.volume);
+    }
+
+    #[test]
+    fn calibration_moves_the_prune_weight_toward_measurements() {
+        let (c, frag) = fixture(true);
+        let mut planner = Planner::default();
+        let mut engines = EngineSet::new(
+            Arc::clone(&frag),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let before = planner.model.weights.daat_prune;
+        for q in queries.iter().take(20) {
+            let d = planner
+                .plan(
+                    &q.terms,
+                    10,
+                    &frag,
+                    RankingModel::default(),
+                    SwitchPolicy::default(),
+                )
+                .unwrap();
+            let rep = engines
+                .execute(PhysicalPlan::PrunedDaat, &q.terms, 10)
+                .unwrap();
+            planner.observe(PhysicalPlan::PrunedDaat, &d.profile, &rep);
+        }
+        assert!(planner.observations() > 0);
+        let after = planner.model.weights.daat_prune;
+        assert!(after > 0.0 && after <= 1.0);
+        // With 20 observations the learned median has replaced the
+        // default prior (equality would be a one-in-a-million fluke).
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn render_marks_the_chosen_operator() {
+        let (c, frag) = fixture(true);
+        let planner = Planner::default();
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let d = planner
+            .plan(
+                &queries[0].terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        let text = d.render();
+        assert!(text.contains("->"));
+        assert!(text.contains(d.chosen.name()));
+        for plan in PhysicalPlan::ALL {
+            assert!(text.contains(plan.name()), "missing {}", plan.name());
+        }
+    }
+}

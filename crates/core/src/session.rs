@@ -3,16 +3,15 @@
 
 use std::sync::Arc;
 
-use crate::cost::{CostContext, CostModel, Estimate, IrCostInfo};
+use crate::cost::{CostContext, CostModel, Estimate};
 use crate::error::Result;
 use crate::exec::{evaluate, infer_type, Env};
 use crate::explain::render;
-use crate::expr::Expr;
+use crate::expr::{Expr, ExtensionId};
 use crate::ext::{ExecContext, IrRuntime, Registry};
 use crate::optimizer::{Optimizer, OptimizerConfig, OptimizerTrace};
 use crate::types::MoaType;
 use crate::value::Value;
-use moa_ir::Strategy;
 
 /// The result of running an expression through the session.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,20 +106,7 @@ impl Session {
     pub fn cost_context(&self) -> CostContext {
         let mut ctx = CostContext::new();
         if let Some(ir) = &self.ir {
-            let frag = ir.fragments();
-            let postings = match ir.strategy() {
-                Strategy::FullScan => frag.index().num_postings() as f64,
-                Strategy::AOnly => frag.fragment_a().volume() as f64,
-                // The switch strategy scans A always and B sometimes; cost
-                // with the pessimistic full volume halved as a coarse prior.
-                Strategy::Switch { .. } => {
-                    frag.fragment_a().volume() as f64 + 0.5 * frag.fragment_b().volume() as f64
-                }
-            };
-            ctx.ir = Some(IrCostInfo {
-                num_docs: frag.index().num_docs() as f64,
-                postings_per_query: postings,
-            });
+            ctx.ir = Some(ir.cost_info());
         }
         ctx
     }
@@ -130,8 +116,10 @@ impl Session {
         self.cost_model.estimate(expr, &self.cost_context())
     }
 
-    /// Human-readable EXPLAIN: original plan, optimized plan, trace, and
-    /// cost estimates where available.
+    /// Human-readable EXPLAIN: original plan, optimized plan, trace, cost
+    /// estimates where available, and — when the plan ranks a constant
+    /// query over an attached IR runtime — the chosen physical retrieval
+    /// operator next to its rejected alternatives.
     pub fn explain(&self, expr: &Expr) -> String {
         let (optimized, trace) = self.optimizer.optimize(expr);
         let mut out = String::new();
@@ -159,8 +147,55 @@ impl Session {
                 out.push_str(&format!("   {r}\n"));
             }
         }
+        if let Some(ir) = &self.ir {
+            if let Some((terms, n)) = find_const_rank_query(&optimized) {
+                out.push_str("== physical retrieval ==\n");
+                if n.is_none() {
+                    // A non-constant N means the pricing below assumes the
+                    // full collection; execution replans with the real N.
+                    out.push_str("   (N not constant; priced for N = num_docs)\n");
+                }
+                let n = n.unwrap_or_else(|| ir.num_docs());
+                match ir.plan_for(&terms, n) {
+                    Ok(decision) => {
+                        if ir.fixed_plan().is_some() {
+                            out.push_str("   (strategy pinned; planner shown for comparison)\n");
+                        }
+                        out.push_str(&decision.render());
+                    }
+                    Err(e) => out.push_str(&format!("   (not plannable: {e})\n")),
+                }
+            }
+        }
         out
     }
+}
+
+/// Find the first MMRANK `rank`/`rank_topn` application whose query is a
+/// constant term list, returning the term ids and (for the fused form)
+/// the constant N.
+fn find_const_rank_query(expr: &Expr) -> Option<(Vec<u32>, Option<usize>)> {
+    if let Expr::Apply { ext, op, args } = expr {
+        if *ext == ExtensionId::MmRank && (op == "rank" || op == "rank_topn") {
+            if let Some(Expr::Const(v)) = args.first() {
+                if let Some(items) = v.as_list() {
+                    let terms: Option<Vec<u32>> = items
+                        .iter()
+                        .map(|t| t.as_int().and_then(|i| u32::try_from(i).ok()))
+                        .collect();
+                    if let Some(terms) = terms {
+                        let n = match args.get(1) {
+                            Some(Expr::Const(Value::Int(i))) if *i >= 0 => Some(*i as usize),
+                            _ => None,
+                        };
+                        return Some((terms, n));
+                    }
+                }
+            }
+        }
+        return args.iter().find_map(find_const_rank_query);
+    }
+    None
 }
 
 impl Default for Session {

@@ -29,7 +29,7 @@
 //! weight is the identical `f64`. Only the work differs — `postings_scanned`
 //! shrinks, `docs_skipped`/`seeks`/`bound_exits` account for the saving.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use moa_topn::TopNHeap;
 
@@ -40,6 +40,7 @@ use crate::scorer::{ScoreBounds, ScoreKernel, TermScorer};
 
 /// Result of a document-at-a-time evaluation.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct DaatReport {
     /// Top `(doc, score)` pairs, best first.
     pub top: Vec<(u32, f64)>,
@@ -56,6 +57,8 @@ pub struct DaatReport {
     /// Documents abandoned because partial score + remaining bound could
     /// not enter the top-N heap.
     pub bound_exits: usize,
+    /// Documents whose exact score was computed and offered to the heap.
+    pub candidates: usize,
 }
 
 /// A document-at-a-time evaluator over per-term posting cursors, with a
@@ -63,10 +66,12 @@ pub struct DaatReport {
 #[derive(Debug)]
 pub struct DaatSearcher<'a> {
     index: &'a InvertedIndex,
-    kernel: ScoreKernel,
+    kernel: Arc<ScoreKernel>,
     /// Per-term bound tables, built lazily on the first pruned search —
-    /// exhaustive-only users never pay the two full scoring passes.
-    bounds: OnceLock<ScoreBounds>,
+    /// exhaustive-only users never pay the two full scoring passes. Shared
+    /// (`Arc`) so the physical layer can hand out per-query searcher views
+    /// without rebuilding the tables.
+    bounds: Arc<OnceLock<ScoreBounds>>,
 }
 
 /// Per-query-term evaluation state: cursor, precomputed scorer, bounds.
@@ -133,10 +138,26 @@ impl<'a> DaatSearcher<'a> {
     /// Create an evaluator with the given ranking model, materializing the
     /// per-document norm table once.
     pub fn new(index: &'a InvertedIndex, model: RankingModel) -> DaatSearcher<'a> {
+        DaatSearcher::with_shared(
+            index,
+            Arc::new(ScoreKernel::new(model, index)),
+            Arc::new(OnceLock::new()),
+        )
+    }
+
+    /// Create an evaluator view over shared per-index state. `kernel` must
+    /// have been built for `index` with the desired ranking model; `bounds`
+    /// caches the lazily built bound tables across views (pass the same
+    /// `Arc` every time so the two scoring passes happen at most once).
+    pub fn with_shared(
+        index: &'a InvertedIndex,
+        kernel: Arc<ScoreKernel>,
+        bounds: Arc<OnceLock<ScoreBounds>>,
+    ) -> DaatSearcher<'a> {
         DaatSearcher {
             index,
-            kernel: ScoreKernel::new(model, index),
-            bounds: OnceLock::new(),
+            kernel,
+            bounds,
         }
     }
 
@@ -476,6 +497,7 @@ impl<'a> DaatSearcher<'a> {
             skipped += s.cursor.remaining();
         }
 
+        let candidates = heap.pushes();
         Ok(DaatReport {
             top: heap.into_sorted_vec(),
             postings_scanned: scanned,
@@ -483,6 +505,7 @@ impl<'a> DaatSearcher<'a> {
             docs_skipped: skipped,
             seeks,
             bound_exits,
+            candidates,
         })
     }
 
@@ -534,6 +557,7 @@ impl<'a> DaatSearcher<'a> {
             heap.push(next_doc, score);
         }
 
+        let candidates = heap.pushes();
         Ok(DaatReport {
             top: heap.into_sorted_vec(),
             postings_scanned: scanned,
@@ -541,6 +565,7 @@ impl<'a> DaatSearcher<'a> {
             docs_skipped: 0,
             seeks: 0,
             bound_exits: 0,
+            candidates,
         })
     }
 }

@@ -12,6 +12,8 @@
 //! (e.g. an idf of exactly zero when `df == N`) can never double-push a
 //! document, and no O(num_docs) reset is needed between queries.
 
+use std::sync::Arc;
+
 use moa_topn::TopNHeap;
 
 use crate::accum::EpochAccumulator;
@@ -22,6 +24,7 @@ use crate::scorer::ScoreKernel;
 
 /// Result of a ranked query evaluation.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct SearchReport {
     /// Top `(doc, score)` pairs, best first (score desc, doc id asc).
     pub top: Vec<(u32, f64)>,
@@ -29,24 +32,45 @@ pub struct SearchReport {
     pub postings_scanned: usize,
     /// Query terms that contributed at least one posting.
     pub terms_matched: usize,
+    /// Documents whose score was accumulated and offered to the heap.
+    pub candidates: usize,
 }
 
 /// A reusable query evaluator with a workhorse score accumulator.
 #[derive(Debug)]
 pub struct Searcher<'a> {
     index: &'a InvertedIndex,
-    kernel: ScoreKernel,
+    kernel: Arc<ScoreKernel>,
     accum: EpochAccumulator,
 }
 
 impl<'a> Searcher<'a> {
     /// Create a searcher over an index with a ranking model.
     pub fn new(index: &'a InvertedIndex, model: RankingModel) -> Searcher<'a> {
+        let kernel = Arc::new(ScoreKernel::new(model, index));
+        let accum = EpochAccumulator::new(index.num_docs());
+        Searcher::with_state(index, kernel, accum)
+    }
+
+    /// Create a searcher view over shared per-index state. `kernel` must
+    /// have been built for `index` with the desired model; `accum` is the
+    /// (possibly reused) score accumulator, sized to the index — the
+    /// physical layer swaps one accumulator through short-lived views.
+    pub fn with_state(
+        index: &'a InvertedIndex,
+        kernel: Arc<ScoreKernel>,
+        accum: EpochAccumulator,
+    ) -> Searcher<'a> {
         Searcher {
             index,
-            kernel: ScoreKernel::new(model, index),
-            accum: EpochAccumulator::new(index.num_docs()),
+            kernel,
+            accum,
         }
+    }
+
+    /// Tear the searcher down into its reusable accumulator.
+    pub fn into_accum(self) -> EpochAccumulator {
+        self.accum
     }
 
     /// The ranking model in use.
@@ -56,6 +80,13 @@ impl<'a> Searcher<'a> {
 
     /// Evaluate a bag-of-terms query, returning the top `n` documents.
     pub fn search(&mut self, terms: &[u32], n: usize) -> Result<SearchReport> {
+        // Validate every term before touching the accumulator: a mid-query
+        // error must not strand partial scores in a shared accumulator
+        // (the physical layer reuses one across queries), or the next
+        // query would inherit stale touched documents.
+        for &term in terms {
+            let _ = self.index.df(term)?;
+        }
         let mut scanned = 0usize;
         let mut matched = 0usize;
         for &term in terms {
@@ -80,10 +111,12 @@ impl<'a> Searcher<'a> {
         // Epoch bump retires this query's slots without any reset pass.
         self.accum.retire();
 
+        let candidates = heap.pushes();
         Ok(SearchReport {
             top: heap.into_sorted_vec(),
             postings_scanned: scanned,
             terms_matched: matched,
+            candidates,
         })
     }
 
@@ -162,6 +195,21 @@ mod tests {
         let (_, idx) = setup();
         let mut s = Searcher::new(&idx, RankingModel::default());
         assert!(s.search(&[u32::MAX], 5).is_err());
+    }
+
+    #[test]
+    fn failed_query_leaves_the_accumulator_clean() {
+        // A query that errors after a valid term must not strand partial
+        // scores: the next query on the same (shared) accumulator has to
+        // answer exactly as a fresh searcher would.
+        let (_, idx) = setup();
+        let mut s = Searcher::new(&idx, RankingModel::default());
+        let terms = idx.terms_by_df_asc();
+        let good = vec![terms[terms.len() - 1]];
+        let want = s.search(&good, 5).unwrap();
+        assert!(s.search(&[good[0], u32::MAX], 5).is_err());
+        let again = s.search(&good, 5).unwrap();
+        assert_eq!(want, again, "stale accumulator state leaked");
     }
 
     #[test]

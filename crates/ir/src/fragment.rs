@@ -16,7 +16,7 @@
 //!   term column, the acceleration the paper proposes.
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use moa_storage::{Bat, Column, Scalar, SparseIndex};
 use moa_topn::TopNHeap;
@@ -26,7 +26,7 @@ use crate::error::{IrError, Result};
 use crate::index::InvertedIndex;
 use crate::ranking::RankingModel;
 use crate::safety::{SwitchDecision, SwitchPolicy};
-use crate::scorer::{ScoreKernel, TermScorer};
+use crate::scorer::{ScoreBounds, ScoreKernel, TermScorer};
 
 /// How the fragment boundary is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,11 +55,14 @@ pub struct TdTable {
 
 /// Scan statistics of one posting-retrieval pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use]
 pub struct ScanStats {
     /// Table entries inspected.
     pub scanned: usize,
-    /// Entries matching the query terms (and therefore scored).
+    /// Entries matching the query terms (and therefore gathered).
     pub matched: usize,
+    /// Sparse-index range lookups issued (0 for plain scans).
+    pub lookups: usize,
 }
 
 impl TdTable {
@@ -99,6 +102,12 @@ impl TdTable {
         self.sparse.is_some()
     }
 
+    /// The sparse index's block size (lookup granularity), when built —
+    /// the cost model's slack term for indexed access.
+    pub fn sparse_block_size(&self) -> Option<usize> {
+        self.sparse.as_ref().map(SparseIndex::block_size)
+    }
+
     /// Build the non-dense index on the sorted term column with the given
     /// block size.
     pub fn build_sparse_index(&mut self, block_size: usize) -> Result<()> {
@@ -116,6 +125,7 @@ impl TdTable {
         let mut stats = ScanStats {
             scanned: self.terms.len(),
             matched: 0,
+            lookups: 0,
         };
         for i in 0..self.terms.len() {
             if query_terms.contains(&self.terms[i]) {
@@ -142,6 +152,7 @@ impl TdTable {
         sorted_terms.sort_unstable();
         for term in sorted_terms {
             let range = sparse.lookup_range(&Scalar::U32(term), &Scalar::U32(term))?;
+            stats.lookups += 1;
             for i in range.start..range.end {
                 stats.scanned += 1;
                 if self.terms[i] == term {
@@ -263,6 +274,11 @@ impl FragmentedIndex {
         &self.b
     }
 
+    /// Mutable fragment A, e.g. to build its non-dense index.
+    pub fn fragment_a_mut(&mut self) -> &mut TdTable {
+        &mut self.a
+    }
+
     /// Mutable fragment B, e.g. to build its non-dense index.
     pub fn fragment_b_mut(&mut self) -> &mut TdTable {
         &mut self.b
@@ -292,8 +308,11 @@ impl FragmentedIndex {
 pub enum Strategy {
     /// The unoptimized baseline: scan the full (A + B) volume.
     FullScan,
-    /// The unsafe technique: scan (and score) fragment A only.
-    AOnly,
+    /// The unsafe technique: retrieve (and score) fragment A only.
+    AOnly {
+        /// Access A through its non-dense index instead of scanning it.
+        use_a_index: bool,
+    },
     /// The safe technique: scan A, consult the early quality check, and
     /// switch in fragment B when needed.
     Switch {
@@ -304,30 +323,74 @@ pub enum Strategy {
 
 /// Report of a fragmented query evaluation.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct FragSearchReport {
     /// Top `(doc, score)` pairs, best first.
     pub top: Vec<(u32, f64)>,
     /// Total table entries inspected across fragments.
     pub postings_scanned: usize,
-    /// Entries that matched query terms and were scored.
+    /// Score probes actually evaluated (one per query *position* × matched
+    /// posting of a surviving candidate — duplicated query terms probe
+    /// twice, exactly as the naive evaluators score twice).
     pub postings_scored: usize,
+    /// Score probes bypassed because the document's upper bound could not
+    /// enter the top-N heap. `postings_scored + postings_pruned` equals the
+    /// total probe volume of the gathered postings.
+    pub postings_pruned: usize,
+    /// Documents whose exact score was computed and offered to the heap.
+    pub candidates: usize,
+    /// Documents abandoned by the upper-bound test before any scoring.
+    pub bound_exits: usize,
+    /// Sparse-index range lookups issued while gathering.
+    pub seeks: usize,
     /// Whether fragment B was consulted.
     pub used_b: bool,
     /// The safety decision, when the strategy made one.
     pub decision: Option<SwitchDecision>,
 }
 
+impl FragSearchReport {
+    fn empty() -> FragSearchReport {
+        FragSearchReport {
+            top: Vec::new(),
+            postings_scanned: 0,
+            postings_scored: 0,
+            postings_pruned: 0,
+            candidates: 0,
+            bound_exits: 0,
+            seeks: 0,
+            used_b: false,
+            decision: None,
+        }
+    }
+}
+
 /// A reusable evaluator over a fragmented index. Scoring goes through the
 /// shared [`ScoreKernel`] (precomputed per-term constants and cached
-/// per-document norms), and the sparse accumulator uses an epoch marker —
+/// per-document norms), and the sparse accumulators use epoch markers —
 /// the same query kernel as [`crate::eval::Searcher`] and
 /// [`crate::daat::DaatSearcher`].
+///
+/// Evaluation is *gather–bound–score*: one set-at-a-time pass per fragment
+/// gathers the query terms' postings into per-term buckets (the scan cost
+/// the fragmentation experiments measure), a bound pass accumulates each
+/// touched document's score **upper bound** from the catalog's per-term
+/// maxima, and only documents whose bound still passes
+/// [`moa_topn::TopNHeap::would_enter`] are scored exactly — in original
+/// query-position order, so surviving scores are bit-identical to the
+/// set-at-a-time and document-at-a-time evaluators. Fragment-B probes of
+/// hopeless documents are thereby skipped instead of paying full scoring.
 #[derive(Debug)]
 pub struct FragSearcher {
     frag: Arc<FragmentedIndex>,
-    kernel: ScoreKernel,
+    kernel: Arc<ScoreKernel>,
     policy: SwitchPolicy,
-    accum: EpochAccumulator,
+    /// The per-term block-max bound tables, built lazily on the first
+    /// search and shared (same `Arc`) with the DAAT kernel when both run
+    /// under one [`crate::physical::EngineSet`].
+    bound_tables: Arc<OnceLock<ScoreBounds>>,
+    /// Scratch: per-document score upper bounds of the current query.
+    ub_accum: EpochAccumulator,
 }
 
 impl FragSearcher {
@@ -337,41 +400,34 @@ impl FragSearcher {
         model: RankingModel,
         policy: SwitchPolicy,
     ) -> FragSearcher {
+        let kernel = Arc::new(ScoreKernel::new(model, frag.index()));
+        FragSearcher::with_shared(frag, kernel, Arc::new(OnceLock::new()), policy)
+    }
+
+    /// Create an evaluator sharing existing per-index state: `kernel` must
+    /// have been built for the same index and the desired ranking model,
+    /// and `bound_tables` caches the lazily built [`ScoreBounds`] across
+    /// engine paths — the physical layer builds both once per
+    /// `(index, model)` and shares them everywhere.
+    pub fn with_shared(
+        frag: Arc<FragmentedIndex>,
+        kernel: Arc<ScoreKernel>,
+        bound_tables: Arc<OnceLock<ScoreBounds>>,
+        policy: SwitchPolicy,
+    ) -> FragSearcher {
         let n = frag.index().num_docs();
-        let kernel = ScoreKernel::new(model, frag.index());
         FragSearcher {
             frag,
             kernel,
             policy,
-            accum: EpochAccumulator::new(n),
+            bound_tables,
+            ub_accum: EpochAccumulator::new(n),
         }
     }
 
-    /// Precompute one scorer per query term. Queries hold a handful of
-    /// terms, so the per-posting lookup in [`FragSearcher::accumulate`]
-    /// is a linear scan over this small list — no hashing in the hot
-    /// loop.
-    fn term_scorers(&self, terms: &[u32]) -> Vec<(u32, TermScorer)> {
-        let index = self.frag.index();
-        terms
-            .iter()
-            .map(|&t| {
-                (
-                    t,
-                    self.kernel
-                        .term_scorer(index.df(t).unwrap_or(0), index.cf(t).unwrap_or(0)),
-                )
-            })
-            .collect()
-    }
-
-    fn accumulate(&mut self, scorers: &[(u32, TermScorer)], term: u32, doc: u32, tf: u32) {
-        let scorer = scorers
-            .iter()
-            .find_map(|(t, s)| (*t == term).then_some(s))
-            .expect("scorer prebuilt per query term");
-        let w = self.kernel.weight(scorer, tf, doc);
-        self.accum.add(doc, w);
+    /// The fragmented index this searcher evaluates over.
+    pub fn fragments(&self) -> &Arc<FragmentedIndex> {
+        &self.frag
     }
 
     /// Evaluate a query under the given strategy.
@@ -381,47 +437,65 @@ impl FragSearcher {
         n: usize,
         strategy: Strategy,
     ) -> Result<FragSearchReport> {
+        let index_vocab = self.frag.index().vocab_size();
         for &t in terms {
-            if t as usize >= self.frag.index().vocab_size() {
+            if t as usize >= index_vocab {
                 return Err(IrError::UnknownTerm(t));
             }
         }
+        if terms.is_empty() {
+            // Pinned behavior: the empty query touches nothing on every
+            // engine path (no scan, no decision, empty top).
+            return Ok(FragSearchReport::empty());
+        }
         let qset: HashSet<u32> = terms.iter().copied().collect();
-        let scorers = self.term_scorers(terms);
+
+        // Distinct query terms in first-occurrence order; gathered postings
+        // land in one doc-sorted bucket per distinct term (a term's run
+        // lives entirely in one fragment and both gather paths visit it in
+        // ascending document order).
+        let mut distinct: Vec<u32> = Vec::new();
+        for &t in terms {
+            if !distinct.contains(&t) {
+                distinct.push(t);
+            }
+        }
+        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); distinct.len()];
+        let gather = |buckets: &mut Vec<Vec<(u32, u32)>>, t: u32, d: u32, f: u32| {
+            let i = distinct
+                .iter()
+                .position(|&x| x == t)
+                .expect("gathered posting belongs to a query term");
+            buckets[i].push((d, f));
+        };
+
+        let frag = Arc::clone(&self.frag);
         let mut scanned = 0usize;
-        let mut scored = 0usize;
+        let mut seeks = 0usize;
         let mut used_b = false;
         let mut decision = None;
 
-        // Borrow-splitting closure workaround: accumulate via raw parts.
-        let frag = Arc::clone(&self.frag);
-
         match strategy {
             Strategy::FullScan => {
-                let mut acc: Vec<(u32, u32, u32)> = Vec::new();
-                let sa = frag.fragment_a().postings_scan(&qset, |t, d, f| {
-                    acc.push((t, d, f));
-                });
-                let sb = frag.fragment_b().postings_scan(&qset, |t, d, f| {
-                    acc.push((t, d, f));
-                });
+                let sa = frag
+                    .fragment_a()
+                    .postings_scan(&qset, |t, d, f| gather(&mut buckets, t, d, f));
+                let sb = frag
+                    .fragment_b()
+                    .postings_scan(&qset, |t, d, f| gather(&mut buckets, t, d, f));
                 scanned = sa.scanned + sb.scanned;
-                scored = sa.matched + sb.matched;
                 used_b = true;
-                for (t, d, f) in acc {
-                    self.accumulate(&scorers, t, d, f);
-                }
             }
-            Strategy::AOnly => {
-                let mut acc: Vec<(u32, u32, u32)> = Vec::new();
-                let sa = frag.fragment_a().postings_scan(&qset, |t, d, f| {
-                    acc.push((t, d, f));
-                });
+            Strategy::AOnly { use_a_index } => {
+                let sa = if use_a_index {
+                    frag.fragment_a()
+                        .postings_indexed(&qset, |t, d, f| gather(&mut buckets, t, d, f))?
+                } else {
+                    frag.fragment_a()
+                        .postings_scan(&qset, |t, d, f| gather(&mut buckets, t, d, f))
+                };
                 scanned = sa.scanned;
-                scored = sa.matched;
-                for (t, d, f) in acc {
-                    self.accumulate(&scorers, t, d, f);
-                }
+                seeks = sa.lookups;
             }
             Strategy::Switch { use_b_index } => {
                 // The early check runs before any scanning — it needs only
@@ -430,42 +504,162 @@ impl FragSearcher {
                 let need_b = d.use_b;
                 decision = Some(d);
 
-                let mut acc: Vec<(u32, u32, u32)> = Vec::new();
-                let sa = frag.fragment_a().postings_scan(&qset, |t, d2, f| {
-                    acc.push((t, d2, f));
-                });
+                let sa = frag
+                    .fragment_a()
+                    .postings_scan(&qset, |t, d2, f| gather(&mut buckets, t, d2, f));
                 scanned += sa.scanned;
-                scored += sa.matched;
                 if need_b {
                     used_b = true;
                     let sb = if use_b_index {
-                        frag.fragment_b().postings_indexed(&qset, |t, d2, f| {
-                            acc.push((t, d2, f));
-                        })?
+                        frag.fragment_b()
+                            .postings_indexed(&qset, |t, d2, f| gather(&mut buckets, t, d2, f))?
                     } else {
-                        frag.fragment_b().postings_scan(&qset, |t, d2, f| {
-                            acc.push((t, d2, f));
-                        })
+                        frag.fragment_b()
+                            .postings_scan(&qset, |t, d2, f| gather(&mut buckets, t, d2, f))
                     };
                     scanned += sb.scanned;
-                    scored += sb.matched;
-                }
-                for (t, d2, f) in acc {
-                    self.accumulate(&scorers, t, d2, f);
+                    seeks += sb.lookups;
                 }
             }
         }
 
-        let mut heap = TopNHeap::new(n);
-        for &doc in self.accum.touched() {
-            heap.push(doc, self.accum.score(doc));
+        // Per-position scorers and bucket links.
+        let index = frag.index();
+        let m = terms.len();
+        let mut scorers: Vec<TermScorer> = Vec::with_capacity(m);
+        let mut bucket_of: Vec<usize> = Vec::with_capacity(m);
+        for &t in terms {
+            scorers.push(self.kernel.term_scorer(index.df(t)?, index.cf(t)?));
+            bucket_of.push(
+                distinct
+                    .iter()
+                    .position(|&x| x == t)
+                    .expect("every position has a distinct-term bucket"),
+            );
         }
-        self.accum.retire();
+
+        // The bound lookups below index the *index-built* block-max
+        // tables by bucket position, which is sound only because a
+        // gathered bucket is the term's full index run in order (a term's
+        // postings live entirely in one fragment, and both gather paths
+        // emit the run ascending). Pin that cross-module invariant in
+        // debug builds before pruning on it.
+        #[cfg(debug_assertions)]
+        for (di, &t) in distinct.iter().enumerate() {
+            let b = &buckets[di];
+            debug_assert!(
+                b.is_empty() || b.len() == index.df(t)? as usize,
+                "bucket for term {t} is a partial run ({} of {} postings)",
+                b.len(),
+                index.df(t)?
+            );
+            debug_assert!(
+                b.windows(2).all(|w| w[0].0 < w[1].0),
+                "bucket for term {t} is not in ascending document order"
+            );
+        }
+
+        // Fast path: when the heap can admit every matching document, the
+        // bound machinery cannot prune anything — accumulate exact scores
+        // directly (position by position: the canonical addition order)
+        // and skip the table build, the bound pass, and the sort.
+        let matched_total: usize = buckets.iter().map(Vec::len).sum();
+        if n >= matched_total.min(index.num_docs()) {
+            let mut scored = 0usize;
+            for (p, &bi) in bucket_of.iter().enumerate() {
+                for &(doc, tf) in &buckets[bi] {
+                    self.ub_accum
+                        .add(doc, self.kernel.weight(&scorers[p], tf, doc));
+                    scored += 1;
+                }
+            }
+            let mut heap = TopNHeap::new(n);
+            for &doc in self.ub_accum.touched() {
+                heap.push(doc, self.ub_accum.score(doc));
+            }
+            let candidates = heap.pushes();
+            self.ub_accum.retire();
+            return Ok(FragSearchReport {
+                top: heap.into_sorted_vec(),
+                postings_scanned: scanned,
+                postings_scored: scored,
+                postings_pruned: 0,
+                candidates,
+                bound_exits: 0,
+                seeks,
+                used_b,
+                decision,
+            });
+        }
+
+        // The shared block-max bound tables — the same [`ScoreBounds`]
+        // the pruned DAAT kernel runs on, built lazily once per
+        // `(index, model)` and shared across engine paths. Bucket
+        // position i sits in fine block i / 8 (the invariant asserted
+        // above), so the block's exact maximum bounds that posting's
+        // weight.
+        let kernel = Arc::clone(&self.kernel);
+        let bound_tables = Arc::clone(&self.bound_tables);
+        let tables = bound_tables.get_or_init(|| ScoreBounds::new(&kernel, index));
+
+        // Bound pass: accumulate each touched document's score upper bound
+        // position by position from the fine block maxima. The sequential
+        // accumulation mirrors the exact canonical sum's addition order,
+        // and floating-point rounding is monotone, so `bound >= exact
+        // score` holds slot for slot.
+        for &bi in bucket_of.iter() {
+            let (block_max, _) = tables.term_blocks(distinct[bi]);
+            for (i, &(doc, _)) in buckets[bi].iter().enumerate() {
+                self.ub_accum
+                    .add(doc, block_max[i / ScoreBounds::BLOCK_POSTINGS]);
+            }
+        }
+        let mut docs: Vec<(u32, f64)> = self
+            .ub_accum
+            .touched()
+            .iter()
+            .map(|&d| (d, self.ub_accum.score(d)))
+            .collect();
+        // Highest bound first (ties by ascending doc id): the heap
+        // threshold tightens as fast as possible, maximizing skips.
+        docs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // Score pass: only documents whose bound would still enter the
+        // heap are scored — exactly, in original query-position order.
+        let mut heap = TopNHeap::new(n);
+        let mut scored = 0usize;
+        let mut candidates = 0usize;
+        let mut bound_exits = 0usize;
+        for &(doc, ub) in &docs {
+            if !heap.would_enter(ub, doc) {
+                bound_exits += 1;
+                continue;
+            }
+            candidates += 1;
+            let mut score = 0.0f64;
+            for (p, &bi) in bucket_of.iter().enumerate() {
+                let bucket = &buckets[bi];
+                if let Ok(i) = bucket.binary_search_by_key(&doc, |&(d, _)| d) {
+                    score += self.kernel.weight(&scorers[p], bucket[i].1, doc);
+                    scored += 1;
+                }
+            }
+            heap.push(doc, score);
+        }
+        self.ub_accum.retire();
+        // Every (position, membership) probe belongs to exactly one
+        // document — scored if it survived, bypassed otherwise — so the
+        // pruned count is the probe volume minus the scored probes.
+        let probe_total: usize = bucket_of.iter().map(|&bi| buckets[bi].len()).sum();
 
         Ok(FragSearchReport {
             top: heap.into_sorted_vec(),
             postings_scanned: scanned,
             postings_scored: scored,
+            postings_pruned: probe_total - scored,
+            candidates,
+            bound_exits,
+            seeks,
             used_b,
             decision,
         })
@@ -562,9 +756,106 @@ mod tests {
         );
         let terms = f.index().terms_by_df_asc();
         let q = vec![terms[0], terms[terms.len() - 1]];
-        let rep = fs.search(&q, 10, Strategy::AOnly).unwrap();
+        let rep = fs
+            .search(&q, 10, Strategy::AOnly { use_a_index: false })
+            .unwrap();
         assert_eq!(rep.postings_scanned, f.fragment_a().volume());
         assert!(!rep.used_b);
+    }
+
+    #[test]
+    fn a_index_reduces_a_only_scanned_volume() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        let mut f = FragmentedIndex::build(idx, FragmentSpec::TermFraction(0.9)).unwrap();
+        f.fragment_a_mut().build_sparse_index(64).unwrap();
+        let f = Arc::new(f);
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[0], terms[1]];
+        let indexed = fs
+            .search(&q, 10, Strategy::AOnly { use_a_index: true })
+            .unwrap();
+        let scanned = fs
+            .search(&q, 10, Strategy::AOnly { use_a_index: false })
+            .unwrap();
+        assert_eq!(indexed.top, scanned.top);
+        assert!(indexed.seeks > 0);
+        assert!(
+            indexed.postings_scanned < scanned.postings_scanned,
+            "indexed {} >= scanned {}",
+            indexed.postings_scanned,
+            scanned.postings_scanned
+        );
+    }
+
+    #[test]
+    fn duplicate_query_terms_accumulate_twice_like_the_saat_engine() {
+        let f = frag(FragmentSpec::VolumeFraction(0.3));
+        let model = RankingModel::default();
+        let mut fs = FragSearcher::new(Arc::clone(&f), model, SwitchPolicy::default());
+        let mut reference = Searcher::new(f.index(), model);
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() - 1], terms[0]];
+        let got = fs.search(&q, 10, Strategy::FullScan).unwrap();
+        let want = reference.search(&q, 10).unwrap();
+        assert_eq!(got.top, want.top, "duplicated term must contribute twice");
+    }
+
+    #[test]
+    fn empty_query_touches_nothing_under_every_strategy() {
+        let f = frag(FragmentSpec::VolumeFraction(0.3));
+        let mut fs = FragSearcher::new(
+            Arc::clone(&f),
+            RankingModel::default(),
+            SwitchPolicy::default(),
+        );
+        for strategy in [
+            Strategy::FullScan,
+            Strategy::AOnly { use_a_index: false },
+            Strategy::AOnly { use_a_index: true },
+            Strategy::Switch { use_b_index: false },
+            Strategy::Switch { use_b_index: true },
+        ] {
+            let rep = fs.search(&[], 10, strategy).unwrap();
+            assert!(rep.top.is_empty());
+            assert_eq!(rep.postings_scanned, 0, "{strategy:?}");
+            assert_eq!(rep.postings_scored, 0);
+            assert!(!rep.used_b);
+            assert!(rep.decision.is_none());
+        }
+    }
+
+    #[test]
+    fn bound_pruning_skips_probes_without_changing_the_topn() {
+        let f = frag(FragmentSpec::VolumeFraction(0.3));
+        let model = RankingModel::default();
+        let mut fs = FragSearcher::new(Arc::clone(&f), model, SwitchPolicy::default());
+        let terms = f.index().terms_by_df_asc();
+        let q = vec![terms[terms.len() - 1], terms[terms.len() - 2], terms[0]];
+        // Small n: most touched documents cannot enter, so their probes
+        // are skipped on the upper bound.
+        let small = fs.search(&q, 3, Strategy::FullScan).unwrap();
+        assert!(small.bound_exits > 0, "no document was pruned");
+        assert!(small.postings_pruned > 0);
+        // Large n admits everything: nothing may be pruned, and the small
+        // top-N must be a prefix of the large one.
+        let large = fs
+            .search(&q, f.index().num_docs(), Strategy::FullScan)
+            .unwrap();
+        assert_eq!(large.bound_exits, 0);
+        assert_eq!(large.postings_pruned, 0);
+        assert_eq!(&large.top[..small.top.len()], &small.top[..]);
+        // The probe ledger balances: scored + pruned probes equal the
+        // unpruned probe volume.
+        assert_eq!(
+            small.postings_scored + small.postings_pruned,
+            large.postings_scored
+        );
     }
 
     #[test]
@@ -643,9 +934,9 @@ mod tests {
         let terms = idx.terms_by_df_asc();
         let qset: HashSet<u32> = [terms[0], terms[terms.len() - 1]].into_iter().collect();
         let mut via_scan = Vec::new();
-        table.postings_scan(&qset, |t, d, f| via_scan.push((t, d, f)));
+        let _ = table.postings_scan(&qset, |t, d, f| via_scan.push((t, d, f)));
         let mut via_index = Vec::new();
-        table
+        let _ = table
             .postings_indexed(&qset, |t, d, f| via_index.push((t, d, f)))
             .unwrap();
         via_scan.sort_unstable();

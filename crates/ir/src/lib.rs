@@ -17,6 +17,10 @@
 //!   matrix (Step 1 of the paper): the unsafe fragment-A-only strategy, the
 //!   safe switch strategy, and non-dense-index-accelerated fragment-B access,
 //! * [`safety`] — the early quality check that triggers the switch,
+//! * [`physical`] — the unified physical retrieval layer: every engine
+//!   path as a [`RetrievalOp`] with unified [`ExecReport`] counters,
+//!   dispatched by [`EngineSet`] so a cost-driven planner can pick among
+//!   them,
 //! * [`metrics`] — precision/recall/AP and ranking-overlap metrics.
 
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod eval;
 pub mod fragment;
 pub mod index;
 pub mod metrics;
+pub mod physical;
 pub mod ranking;
 pub mod safety;
 pub mod scorer;
@@ -44,6 +49,10 @@ pub use fragment::{
 };
 pub use index::{CollectionStats, InvertedIndex, PostingCursor};
 pub use metrics::{average_precision, footrule_at, mean_of, overlap_at, precision_at, recall_at};
+pub use physical::{
+    EngineSet, ExecReport, ExhaustiveDaatOp, FragmentedOp, PhysicalPlan, PrunedDaatOp, RetrievalOp,
+    SetAtATimeOp,
+};
 pub use ranking::RankingModel;
 pub use safety::{SwitchDecision, SwitchPolicy};
 pub use scorer::{ScoreBounds, ScoreKernel, TermScorer};

@@ -31,6 +31,7 @@ impl Default for SwitchPolicy {
 
 /// The outcome of the early check.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct SwitchDecision {
     /// Whether fragment B must be consulted.
     pub use_b: bool,

@@ -15,6 +15,7 @@ use crate::traits::{AccessStats, Agg, RandomAccess};
 
 /// Result of a middleware top-N run.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct TopNResult {
     /// The top `n` `(object, score)` pairs, best first.
     pub items: Vec<(u32, f64)>,

@@ -14,6 +14,7 @@ use crate::heap::topn;
 
 /// Outcome of a probabilistic top-N execution.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct ProbTopNReport {
     /// The top-n `(object, score)` pairs, best first.
     pub items: Vec<(u32, f64)>,

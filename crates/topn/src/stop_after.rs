@@ -19,6 +19,7 @@ use crate::heap::{topn, TopNHeap};
 
 /// Outcome of a STOP AFTER execution.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct StopAfterReport {
     /// The top-n surviving `(object, score)` pairs, best first.
     pub items: Vec<(u32, f64)>,

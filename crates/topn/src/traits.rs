@@ -8,6 +8,7 @@
 
 /// Counts of the two access kinds performed by an algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use]
 pub struct AccessStats {
     /// Number of sorted (sequential, per-list) accesses.
     pub sorted_accesses: usize,

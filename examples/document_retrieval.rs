@@ -38,7 +38,10 @@ fn main() {
 
     let strategies = [
         ("full scan (unoptimized)", Strategy::FullScan),
-        ("fragment A only (unsafe)", Strategy::AOnly),
+        (
+            "fragment A only (unsafe)",
+            Strategy::AOnly { use_a_index: false },
+        ),
         ("switch (safe)", Strategy::Switch { use_b_index: false }),
     ];
 

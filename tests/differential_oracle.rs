@@ -19,14 +19,14 @@
 
 use std::sync::Arc;
 
-use moa_core::{Env, Expr, IrRuntime, Session, Value};
+use moa_core::{Env, Expr, IrRuntime, Planner, Session, Value};
 use moa_corpus::{
     generate_queries, Collection, CollectionConfig, Correlation, FeatureConfig, FeatureLists,
     QueryConfig,
 };
 use moa_ir::{
-    DaatSearcher, FragSearcher, FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel,
-    Searcher, Strategy, SwitchPolicy,
+    DaatSearcher, EngineSet, FragSearcher, FragmentSpec, FragmentedIndex, InvertedIndex,
+    PhysicalPlan, RankingModel, Searcher, Strategy, SwitchPolicy,
 };
 use moa_storage::EquiWidthHistogram;
 use moa_topn::{
@@ -615,6 +615,139 @@ fn pruned_and_exhaustive_daat_agree_bit_for_bit_on_seeded_workloads() {
 }
 
 #[test]
+fn planner_executed_topn_is_bit_identical_to_the_oracle_for_every_exact_strategy() {
+    // The cost-driven planner may pick any *exact* physical operator: the
+    // answer must be bit-identical to the naive full-scan oracle no
+    // matter which one wins — same documents, same order, same f64 bits —
+    // for every ranking model and for N below, at, and beyond the
+    // matching-set size. The rejected exact alternatives are executed
+    // too: a plan the planner *could* pick under other weights must be
+    // just as exact.
+    let models = [
+        RankingModel::TfIdf,
+        RankingModel::HiemstraLm { lambda: 0.15 },
+        RankingModel::Bm25 { k1: 1.2, b: 0.75 },
+    ];
+    for (label, config) in e2e_collections() {
+        let collection = Collection::generate(config).expect("valid collection config");
+        let index = Arc::new(InvertedIndex::from_collection(&collection));
+        let mut frag = FragmentedIndex::build(Arc::clone(&index), FragmentSpec::TermFraction(0.9))
+            .expect("non-empty collection");
+        frag.fragment_a_mut()
+            .build_sparse_index(128)
+            .expect("sorted");
+        frag.fragment_b_mut()
+            .build_sparse_index(128)
+            .expect("sorted");
+        let frag = Arc::new(frag);
+        let queries = generate_queries(
+            &collection,
+            &QueryConfig {
+                num_queries: 6,
+                seed: 0x9AB5,
+                ..QueryConfig::default()
+            },
+        )
+        .expect("valid workload");
+        for model in models {
+            let planner = Planner::default();
+            let mut engines = EngineSet::new(Arc::clone(&frag), model, SwitchPolicy::default());
+            for (qi, q) in queries.iter().enumerate() {
+                let scored = naive_document_scores(&collection, model, &q.terms);
+                for n in [1usize, 10, scored.len() + 7] {
+                    let oracle = oracle_topn(&scored, n);
+                    let decision = planner
+                        .plan(&q.terms, n, &frag, model, SwitchPolicy::default())
+                        .expect("plannable query");
+                    let chosen = decision.chosen_alternative();
+                    assert!(chosen.exact && chosen.feasible, "{label}: unsafe pick");
+                    for alt in &decision.alternatives {
+                        if !(alt.exact && alt.feasible) {
+                            continue;
+                        }
+                        let rep = engines
+                            .execute(alt.plan, &q.terms, n)
+                            .expect("executable plan");
+                        assert_eq!(
+                            rep.top,
+                            oracle,
+                            "{label} q{qi} n={n} {model:?}: {} != naive oracle",
+                            alt.plan.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_duplicate_queries_agree_across_every_engine_path() {
+    // Pinned behavior: the empty query returns an empty ranking with zero
+    // work on every path, and a duplicated query term contributes once
+    // per occurrence (bag-of-words semantics) on every path — both
+    // bit-identical to the naive oracle.
+    for (label, config) in e2e_collections() {
+        let collection = Collection::generate(config).expect("valid collection config");
+        let model = RankingModel::default();
+        let index = Arc::new(InvertedIndex::from_collection(&collection));
+        let frag = Arc::new(
+            FragmentedIndex::build(Arc::clone(&index), FragmentSpec::TermFraction(0.9))
+                .expect("non-empty collection"),
+        );
+        let mut engines = EngineSet::new(Arc::clone(&frag), model, SwitchPolicy::default());
+        let all_plans = PhysicalPlan::ALL;
+
+        // Empty query: empty answer, nothing inspected, on every plan.
+        for plan in all_plans {
+            let rep = engines.execute(plan, &[], 10).expect("empty query runs");
+            assert!(rep.top.is_empty(), "{label}: {} non-empty", plan.name());
+            assert_eq!(
+                rep.postings_scanned,
+                0,
+                "{label}: {} scanned on empty query",
+                plan.name()
+            );
+        }
+
+        // Duplicated term: the oracle scores it once per occurrence.
+        let terms = index.terms_by_df_asc();
+        let q = vec![
+            terms[terms.len() - 1],
+            terms[terms.len() - 1],
+            terms[terms.len() / 2],
+        ];
+        let scored = naive_document_scores(&collection, model, &q);
+        for n in [1usize, 10, scored.len() + 3] {
+            let oracle = oracle_topn(&scored, n);
+            for plan in [
+                PhysicalPlan::PrunedDaat,
+                PhysicalPlan::ExhaustiveDaat,
+                PhysicalPlan::SetAtATime,
+                PhysicalPlan::Fragmented(Strategy::FullScan),
+            ] {
+                let rep = engines.execute(plan, &q, n).expect("duplicate query runs");
+                assert_eq!(
+                    rep.top,
+                    oracle,
+                    "{label} n={n}: {} mishandles duplicate terms",
+                    plan.name()
+                );
+            }
+        }
+
+        // Unknown terms error uniformly.
+        for plan in all_plans {
+            assert!(
+                engines.execute(plan, &[u32::MAX], 5).is_err(),
+                "{label}: {} accepted an unknown term",
+                plan.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn unsafe_a_only_strategy_error_is_one_sided_and_bounded() {
     // A-only is the paper's deliberately *unsafe* strategy: it may lose
     // score mass from fragment B but can never invent documents or inflate
@@ -641,7 +774,11 @@ fn unsafe_a_only_strategy_error_is_one_sided_and_bounded() {
             let scored = naive_document_scores(&collection, model, &q.terms);
             let full: std::collections::HashMap<u32, f64> = scored.iter().copied().collect();
             let a_only = searcher
-                .search(&q.terms, collection.num_docs(), Strategy::AOnly)
+                .search(
+                    &q.terms,
+                    collection.num_docs(),
+                    Strategy::AOnly { use_a_index: false },
+                )
                 .expect("a-only query");
             for &(doc, score) in &a_only.top {
                 let exact = full

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use moa_core::{Env, Expr, IrRuntime, Session, Value};
+use moa_core::{Env, Expr, IrRuntime, Planner, Session, Value};
 use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
 use moa_ir::{FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, Strategy, SwitchPolicy};
 
@@ -49,7 +49,7 @@ fn ranked_query_through_the_full_stack() {
 fn optimizer_preserves_query_results_across_strategies() {
     for strategy in [
         Strategy::FullScan,
-        Strategy::AOnly,
+        Strategy::AOnly { use_a_index: false },
         Strategy::Switch { use_b_index: false },
     ] {
         let (collection, rt) = runtime(strategy);
@@ -139,4 +139,68 @@ fn mmrank_without_runtime_fails_cleanly() {
     let expr = Expr::mm_rank(Expr::constant(Value::int_list([1])));
     let err = session.run(&expr, &Env::new()).unwrap_err();
     assert_eq!(err, moa_core::CoreError::NoIrRuntime);
+}
+
+fn planned_runtime() -> (Collection, Arc<IrRuntime>) {
+    let collection = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
+    let index = Arc::new(InvertedIndex::from_collection(&collection));
+    let frag = Arc::new(
+        FragmentedIndex::build(index, FragmentSpec::TermFraction(0.95)).expect("non-empty"),
+    );
+    let rt = Arc::new(IrRuntime::planned(
+        frag,
+        RankingModel::default(),
+        SwitchPolicy::default(),
+        Planner::default(),
+    ));
+    (collection, rt)
+}
+
+#[test]
+fn planned_runtime_matches_fixed_full_scan_and_names_its_operator() {
+    let (collection, rt_planned) = planned_runtime();
+    let (_, rt_full) = runtime(Strategy::FullScan);
+    let planned = Session::with_ir(Arc::clone(&rt_planned));
+    let full = Session::with_ir(rt_full);
+    let terms = first_query(&collection);
+    let expr = Expr::mm_topn(Expr::mm_rank(Expr::constant(Value::int_list(terms))), 10);
+    let p = planned.run(&expr, &Env::new()).expect("planned run");
+    let f = full.run(&expr, &Env::new()).expect("full run");
+    // The planner may pick any exact operator: results are bit-identical.
+    assert_eq!(p.value, f.value);
+    // The chosen physical operator (and its cost estimate) surfaces in
+    // the execution notes.
+    assert!(
+        p.notes
+            .iter()
+            .any(|n| n.contains("via") && n.contains("est. cost")),
+        "notes missing the planner decision: {:?}",
+        p.notes
+    );
+    // A planned runtime reports no fixed plan.
+    assert!(rt_planned.fixed_plan().is_none());
+}
+
+#[test]
+fn explain_surfaces_the_physical_alternatives() {
+    let (collection, rt) = planned_runtime();
+    let session = Session::with_ir(rt);
+    let terms = first_query(&collection);
+    let expr = Expr::mm_topn(Expr::mm_rank(Expr::constant(Value::int_list(terms))), 10);
+    let text = session.explain(&expr);
+    assert!(text.contains("== physical retrieval =="), "{text}");
+    // The chosen operator is marked and every alternative is priced.
+    assert!(text.contains("->"));
+    for name in [
+        "pruned_daat",
+        "set_at_a_time",
+        "frag_full_scan",
+        "frag_switch",
+    ] {
+        assert!(
+            text.contains(name),
+            "missing alternative {name} in:\n{text}"
+        );
+    }
+    assert!(text.contains("est. cost"));
 }

@@ -51,7 +51,11 @@ fn a_only_results_are_a_subset_of_scoring_signal() {
             .search(&q.terms, collection.num_docs(), Strategy::FullScan)
             .expect("query");
         let a_only = searcher
-            .search(&q.terms, collection.num_docs(), Strategy::AOnly)
+            .search(
+                &q.terms,
+                collection.num_docs(),
+                Strategy::AOnly { use_a_index: false },
+            )
             .expect("query");
         let full_docs: std::collections::HashSet<u32> = full.top.iter().map(|&(d, _)| d).collect();
         for &(d, score) in &a_only.top {
