@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use moa_core::Planner;
 use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, Query, QueryConfig};
@@ -58,6 +59,12 @@ pub struct MixResult {
     pub best_postings: usize,
     /// Histogram of chosen operators.
     pub picks: BTreeMap<&'static str, usize>,
+    /// Total wall time spent executing the planner's picks.
+    pub chosen_wall: Duration,
+    /// Total execution wall time per strategy over the whole mix (every
+    /// exact, feasible alternative runs for the hindsight oracle, so the
+    /// bench trajectory tracks latency alongside the postings counters).
+    pub strategy_wall: BTreeMap<&'static str, Duration>,
     /// The calibrated pruned-DAAT weight after the mix's workload.
     pub calibrated_prune: f64,
 }
@@ -121,10 +128,19 @@ pub fn measure(scale: Scale) -> Vec<MixResult> {
 
         let mut planner = Planner::default();
         let mut engines = EngineSet::new(Arc::clone(&frag), model, policy);
+        // Warm the engine set's lazily built ScoreBounds tables (shared
+        // by the pruned-DAAT and fragmented paths) before any timed
+        // window: the one-time build must not be billed to whichever
+        // strategy happens to run first.
+        let _ = engines
+            .execute(PhysicalPlan::PrunedDaat, &queries[0].terms, TOP_N)
+            .expect("valid query");
         let mut matches = 0usize;
         let mut chosen_postings = 0usize;
         let mut best_postings = 0usize;
         let mut picks: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut chosen_wall = Duration::ZERO;
+        let mut strategy_wall: BTreeMap<&'static str, Duration> = BTreeMap::new();
 
         for q in &queries {
             let decision = planner
@@ -137,9 +153,17 @@ pub fn measure(scale: Scale) -> Vec<MixResult> {
             let mut measured: Vec<(PhysicalPlan, ExecReport)> = Vec::new();
             for alt in &decision.alternatives {
                 if alt.exact && alt.feasible {
+                    let t0 = Instant::now();
                     let rep = engines
                         .execute(alt.plan, &q.terms, TOP_N)
                         .expect("valid query");
+                    let wall = t0.elapsed();
+                    *strategy_wall
+                        .entry(alt.plan.name())
+                        .or_insert(Duration::ZERO) += wall;
+                    if alt.plan == decision.chosen {
+                        chosen_wall += wall;
+                    }
                     measured.push((alt.plan, rep));
                 }
             }
@@ -181,6 +205,8 @@ pub fn measure(scale: Scale) -> Vec<MixResult> {
             chosen_postings,
             best_postings,
             picks,
+            chosen_wall,
+            strategy_wall,
             calibrated_prune: planner.model.weights.daat_prune,
         });
     }
@@ -201,11 +227,17 @@ pub fn to_json(scale: Scale, results: &[MixResult]) -> String {
             .iter()
             .map(|(name, count)| format!("\"{name}\": {count}"))
             .collect();
+        let walls: Vec<String> = r
+            .strategy_wall
+            .iter()
+            .map(|(name, wall)| format!("\"{name}\": {}", wall.as_micros()))
+            .collect();
         let _ = writeln!(
             out,
             "    {{\"mix\": \"{}\", \"queries\": {}, \"matches\": {}, \
              \"match_rate\": {:.3}, \"chosen_postings\": {}, \"best_postings\": {}, \
              \"regression\": {:.4}, \"calibrated_prune\": {:.4}, \
+             \"chosen_wall_us\": {}, \"strategy_wall_us\": {{{}}}, \
              \"picks\": {{{}}}}}{comma}",
             r.mix,
             r.queries,
@@ -215,6 +247,8 @@ pub fn to_json(scale: Scale, results: &[MixResult]) -> String {
             r.best_postings,
             r.regression(),
             r.calibrated_prune,
+            r.chosen_wall.as_micros(),
+            walls.join(", "),
             picks.join(", "),
         );
     }
@@ -242,6 +276,7 @@ pub fn run(scale: Scale) -> Table {
             "postings (planner)",
             "postings (hindsight)",
             "regression",
+            "wall (planner)",
             "picks",
         ],
     );
@@ -258,6 +293,7 @@ pub fn run(scale: Scale) -> Table {
             r.chosen_postings.to_string(),
             r.best_postings.to_string(),
             format!("{:+.1}%", r.regression() * 100.0),
+            crate::harness::fmt_duration(r.chosen_wall),
             picks.join(" "),
         ]);
     }
@@ -267,6 +303,7 @@ pub fn run(scale: Scale) -> Table {
         MAX_REGRESSION * 100.0
     ));
     t.note("every exact alternative executed per query; all verified to return the identical top-N before work is compared");
+    t.note("per-strategy execution wall time recorded alongside the postings counters (strategy_wall_us in the JSON)");
     t.note(format!("machine-readable copy written to {json_path}"));
 
     // The acceptance gate doubles as the CI regression check.

@@ -17,6 +17,7 @@
 //! | E13 | §3 Step 1: set-based vs element-at-a-time architectures     | [`e13`]|
 //! | E14 | §2/§3: bounds-pruned DAAT (MaxScore) vs exhaustive merge    | [`e14`]|
 //! | E15 | §3 Step 3: cost-driven planner vs best-in-hindsight         | [`e15`]|
+//! | E16 | serving: sharded scaling + cross-shard threshold propagation| [`e16`]|
 
 pub mod e1;
 pub mod e10;
@@ -25,6 +26,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -55,17 +57,18 @@ pub fn run(id: &str, scale: Scale) -> Vec<Table> {
         "e13" => vec![e13::run(scale)],
         "e14" => vec![e14::run(scale)],
         "e15" => vec![e15::run(scale)],
+        "e16" => vec![e16::run(scale)],
         "all" => {
             let ids = [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15",
+                "e14", "e15", "e16",
             ];
             ids.iter().flat_map(|i| run(i, scale)).collect()
         }
         other => vec![{
             let mut t = Table::new("unknown experiment", &["id"]);
             t.row(vec![other.to_owned()]);
-            t.note("known ids: e1..e15, all");
+            t.note("known ids: e1..e16, all");
             t
         }],
     }

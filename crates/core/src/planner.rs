@@ -36,9 +36,13 @@ use crate::error::Result;
 #[derive(Debug, Clone)]
 #[must_use]
 pub struct QueryProfile {
-    /// Document frequency per query position (duplicated terms appear
-    /// once per occurrence — the cursor and accumulator paths scan a
-    /// duplicated term's run once per occurrence).
+    /// Resident posting-run length per query position (duplicated terms
+    /// appear once per occurrence — the cursor and accumulator paths scan
+    /// a duplicated term's run once per occurrence). Equals the document
+    /// frequency on an index built from a whole collection; on a
+    /// document-partition shard it is the *shard-local* run, so a
+    /// per-shard planner prices the work actually resident on its shard
+    /// rather than the collection-wide catalog figure.
     pub dfs: Vec<f64>,
     /// Total query posting volume (Σ dfs).
     pub volume: f64,
@@ -73,7 +77,10 @@ impl QueryProfile {
         let mut b_query_postings = 0.0f64;
         let mut seen: Vec<u32> = Vec::with_capacity(terms.len());
         for &t in terms {
-            let df = f64::from(index.df(t)?);
+            // Work is proportional to the postings physically present
+            // (`run_len`), not the catalog df — the two only differ on
+            // document-partition shards, where df stays collection-wide.
+            let df = index.run_len(t)? as f64;
             dfs.push(df);
             volume += df;
             df_min = df_min.min(df);

@@ -1,0 +1,111 @@
+//! Property tests for the planner's calibration substrate:
+//! `cost::learning::LearnedDistribution`.
+//!
+//! The closed planning loop feeds every measured execution into a
+//! learned distribution and adopts its median as the pruned-DAAT cost
+//! weight. A median that escaped the observed sample window would poison
+//! every subsequent plan price, so these properties pin it inside the
+//! window for *arbitrary* `observe()` sequences — any length (eviction
+//! included), any value mix, NaNs interleaved.
+
+use proptest::prelude::*;
+
+use moa_core::LearnedDistribution;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever is observed, in whatever order, a fitted median lies
+    /// within the closed [min, max] window of the observations. (The
+    /// retained sample is always a subset of the full sequence, and the
+    /// fitted histogram's support never leaves the retained sample.)
+    #[test]
+    fn median_stays_within_the_observed_window(
+        values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..400),
+        min_sample in 2usize..64,
+        buckets in 1usize..40,
+    ) {
+        let mut d = LearnedDistribution::new(min_sample, buckets);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (i, &v) in values.iter().enumerate() {
+            d.observe(v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            if let Some(m) = d.median() {
+                prop_assert!(
+                    (lo..=hi).contains(&m),
+                    "after {} observations: median {m} outside [{lo}, {hi}]",
+                    i + 1
+                );
+            }
+        }
+        // Once enough observations exist the fit must have happened.
+        if values.len() >= min_sample {
+            prop_assert!(d.is_fitted());
+            prop_assert!(d.median().is_some());
+        }
+    }
+
+    /// NaN observations are dropped without disturbing the window: the
+    /// median of a NaN-interleaved sequence still sits inside the window
+    /// of the finite values alone.
+    #[test]
+    fn nan_observations_never_widen_the_window(
+        values in proptest::collection::vec(0.0f64..1.0, 8..100),
+        nan_every in 1usize..5,
+    ) {
+        let mut d = LearnedDistribution::new(4, 8);
+        for (i, &v) in values.iter().enumerate() {
+            d.observe(v);
+            if i % nan_every == 0 {
+                d.observe(f64::NAN);
+            }
+        }
+        prop_assert_eq!(d.observations(), values.len());
+        let m = d.median().expect("enough finite observations to fit");
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((lo..=hi).contains(&m), "median {m} outside [{lo}, {hi}]");
+    }
+
+    /// A constant stream's median collapses onto that constant (up to
+    /// one histogram bucket of interpolation slack).
+    #[test]
+    fn constant_stream_median_is_the_constant(
+        c in -1.0e3f64..1.0e3,
+        reps in 8usize..200,
+        buckets in 1usize..32,
+    ) {
+        let mut d = LearnedDistribution::new(4, buckets);
+        for _ in 0..reps {
+            d.observe(c);
+        }
+        let m = d.median().expect("fitted");
+        prop_assert!(
+            (m - c).abs() <= 1e-6 * c.abs().max(1.0),
+            "median {m} drifted from constant {c}"
+        );
+    }
+
+    /// The window property survives eviction: sequences longer than the
+    /// retention cap keep the median inside the all-time window (the
+    /// retained suffix is a subset of it), and the sample stays bounded.
+    #[test]
+    fn long_sequences_stay_bounded_and_windowed(
+        seed_values in proptest::collection::vec(0.0f64..100.0, 16..64),
+        rounds in 1usize..4,
+    ) {
+        let mut d = LearnedDistribution::new(8, 16);
+        // Replay the block enough times to cross the 4096-entry cap.
+        let total = rounds * 4096 / seed_values.len().max(1) + 1;
+        for _ in 0..total {
+            d.observe_all(&seed_values);
+        }
+        prop_assert!(d.observations() <= 4096);
+        let m = d.median().expect("fitted long ago");
+        let lo = seed_values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = seed_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((lo..=hi).contains(&m), "median {m} outside [{lo}, {hi}]");
+    }
+}

@@ -37,6 +37,7 @@ use crate::error::Result;
 use crate::index::{InvertedIndex, PostingCursor};
 use crate::ranking::RankingModel;
 use crate::scorer::{ScoreBounds, ScoreKernel, TermScorer};
+use crate::threshold::BoundGate;
 
 /// Result of a document-at-a-time evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +201,17 @@ impl<'a> DaatSearcher<'a> {
     /// [`DaatSearcher::search_exhaustive`]; strictly less work whenever
     /// the heap threshold disqualifies low-bound terms.
     pub fn search(&self, terms: &[u32], n: usize) -> Result<DaatReport> {
+        self.search_gated(terms, n, &BoundGate::none())
+    }
+
+    /// [`DaatSearcher::search`] with a cross-engine threshold hook: every
+    /// pruning gate additionally consults `gate` (documents whose bound
+    /// falls strictly below the propagated global threshold are skipped
+    /// even while the local heap still has room for them), and every heap
+    /// insertion publishes the local N-th score back through the gate.
+    /// The *local* top-N may therefore lose tail entries that cannot make
+    /// the global top-N; the cross-shard merge remains bit-exact.
+    pub fn search_gated(&self, terms: &[u32], n: usize, gate: &BoundGate) -> Result<DaatReport> {
         let mut states = self.term_states(terms)?;
         let m = states.len();
         // Ascending bound order: the cheapest terms come first so a prefix
@@ -248,8 +260,15 @@ impl<'a> DaatSearcher<'a> {
         // Phase 1 — warm-up merge: while the heap is not full every
         // candidate enters, so no bound bookkeeping pays off yet (the
         // partition is necessarily empty too). A plain merge fills the
-        // heap as fast as possible.
-        while !heap.is_full() && m > 0 {
+        // heap as fast as possible. With a cross-engine gate that already
+        // *carries a signal* the premise fails — a peer has published a
+        // threshold that may disqualify early documents wholesale — so
+        // the merge stops as soon as the gate lights up and the
+        // bounds-pruned scan takes over (it handles an under-full heap
+        // fine: `would_enter` admits everything until capacity, and the
+        // gate prunes off the propagated threshold from the very next
+        // posting).
+        while !heap.is_full() && m > 0 && !gate.has_signal() {
             let next_doc = cur.iter().copied().min().unwrap_or(u32::MAX);
             if next_doc == u32::MAX {
                 break; // input exhausted before the heap filled
@@ -271,9 +290,13 @@ impl<'a> DaatSearcher<'a> {
                 score += c;
             }
             heap.push(next_doc, score);
+            gate.publish(&heap);
             contrib.fill(0.0);
         }
-        while first_essential < m && !heap.would_enter(prefix_bound[first_essential + 1], 0) {
+        while first_essential < m
+            && !(heap.would_enter(prefix_bound[first_essential + 1], 0)
+                && gate.admits(prefix_bound[first_essential + 1]))
+        {
             first_essential += 1;
         }
 
@@ -304,21 +327,21 @@ impl<'a> DaatSearcher<'a> {
             // arrival would change the matching set), the whole range is
             // skipped in one galloping move per cursor (block-max deep
             // skip, Ding–Suel style).
-            let mut gate = prefix_bound[first_essential];
+            let mut gate_bound = prefix_bound[first_essential];
             let mut skip_to = u32::MAX;
             let mut nonmatch_cap = u32::MAX;
             for i in first_essential..m {
                 let d = cur[i];
                 if d == next_doc {
                     let s = &states[i];
-                    gate += s.local_bound();
+                    gate_bound += s.local_bound();
                     skip_to = skip_to.min(s.current_block_last().saturating_add(1));
                 } else {
                     nonmatch_cap = nonmatch_cap.min(d);
                 }
             }
             skip_to = skip_to.min(nonmatch_cap);
-            if !heap.would_enter(gate, next_doc) {
+            if !(heap.would_enter(gate_bound, next_doc) && gate.admits(gate_bound)) {
                 bound_exits += 1;
                 // Try widening the skip with the coarse blocks: if even
                 // the looser coarse bound cannot enter, the whole coarse
@@ -335,7 +358,7 @@ impl<'a> DaatSearcher<'a> {
                             coarse_to = coarse_to.min(s.current_coarse_last().saturating_add(1));
                         }
                     }
-                    if !heap.would_enter(coarse_gate, next_doc) {
+                    if !(heap.would_enter(coarse_gate, next_doc) && gate.admits(coarse_gate)) {
                         skip_to = coarse_to.min(nonmatch_cap).max(skip_to);
                     }
                 }
@@ -381,7 +404,10 @@ impl<'a> DaatSearcher<'a> {
                 scanned += 1;
                 advances += 1;
                 heap.push(next_doc, w);
-                while first_essential < m && !heap.would_enter(prefix_bound[first_essential + 1], 0)
+                gate.publish(&heap);
+                while first_essential < m
+                    && !(heap.would_enter(prefix_bound[first_essential + 1], 0)
+                        && gate.admits(prefix_bound[first_essential + 1]))
                 {
                     first_essential += 1;
                 }
@@ -411,7 +437,7 @@ impl<'a> DaatSearcher<'a> {
             // Second gate: same matching bounds but with the non-essential
             // part tightened from the global prefix to shallow block
             // maxima at `next_doc`.
-            if !heap.would_enter(suffix_bound[0], next_doc) {
+            if !(heap.would_enter(suffix_bound[0], next_doc) && gate.admits(suffix_bound[0])) {
                 bound_exits += 1;
                 for &i in &matching {
                     let s = &mut states[i];
@@ -441,7 +467,8 @@ impl<'a> DaatSearcher<'a> {
                     s.cursor.advance();
                     scanned += 1;
                     advances += 1;
-                    if !heap.would_enter(partial + suffix_bound[k + 1], next_doc) {
+                    let rest = partial + suffix_bound[k + 1];
+                    if !(heap.would_enter(rest, next_doc) && gate.admits(rest)) {
                         bound_exits += 1;
                         abandoned = true;
                     }
@@ -454,7 +481,8 @@ impl<'a> DaatSearcher<'a> {
             let mut completed = !abandoned;
             if completed {
                 for j in (0..first_essential).rev() {
-                    if !heap.would_enter(partial + ne_prefix[j + 1], next_doc) {
+                    let rest = partial + ne_prefix[j + 1];
+                    if !(heap.would_enter(rest, next_doc) && gate.admits(rest)) {
                         bound_exits += 1;
                         completed = false;
                         break;
@@ -482,9 +510,12 @@ impl<'a> DaatSearcher<'a> {
                     score += c;
                 }
                 heap.push(next_doc, score);
+                gate.publish(&heap);
                 // The threshold may have tightened: grow the non-essential
                 // prefix (it never shrinks).
-                while first_essential < m && !heap.would_enter(prefix_bound[first_essential + 1], 0)
+                while first_essential < m
+                    && !(heap.would_enter(prefix_bound[first_essential + 1], 0)
+                        && gate.admits(prefix_bound[first_essential + 1]))
                 {
                     first_essential += 1;
                 }

@@ -27,6 +27,7 @@ use crate::index::InvertedIndex;
 use crate::ranking::RankingModel;
 use crate::safety::{SwitchDecision, SwitchPolicy};
 use crate::scorer::{ScoreBounds, ScoreKernel, TermScorer};
+use crate::threshold::BoundGate;
 
 /// How the fragment boundary is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -437,6 +438,21 @@ impl FragSearcher {
         n: usize,
         strategy: Strategy,
     ) -> Result<FragSearchReport> {
+        self.search_gated(terms, n, strategy, &BoundGate::none())
+    }
+
+    /// [`FragSearcher::search`] with a cross-engine threshold hook: the
+    /// bound-pruned score pass additionally skips documents whose upper
+    /// bound falls strictly below the propagated global threshold, and
+    /// every heap insertion publishes the local N-th score back through
+    /// the gate (see [`crate::threshold`]).
+    pub fn search_gated(
+        &mut self,
+        terms: &[u32],
+        n: usize,
+        strategy: Strategy,
+        gate: &BoundGate,
+    ) -> Result<FragSearchReport> {
         let index_vocab = self.frag.index().vocab_size();
         for &t in terms {
             if t as usize >= index_vocab {
@@ -548,10 +564,10 @@ impl FragSearcher {
         for (di, &t) in distinct.iter().enumerate() {
             let b = &buckets[di];
             debug_assert!(
-                b.is_empty() || b.len() == index.df(t)? as usize,
+                b.is_empty() || b.len() == index.run_len(t)?,
                 "bucket for term {t} is a partial run ({} of {} postings)",
                 b.len(),
-                index.df(t)?
+                index.run_len(t)?
             );
             debug_assert!(
                 b.windows(2).all(|w| w[0].0 < w[1].0),
@@ -577,6 +593,9 @@ impl FragSearcher {
             for &doc in self.ub_accum.touched() {
                 heap.push(doc, self.ub_accum.score(doc));
             }
+            // Even the unpruned path publishes its N-th score: other
+            // shards' gates tighten off it.
+            gate.publish(&heap);
             let candidates = heap.pushes();
             self.ub_accum.retire();
             return Ok(FragSearchReport {
@@ -631,7 +650,7 @@ impl FragSearcher {
         let mut candidates = 0usize;
         let mut bound_exits = 0usize;
         for &(doc, ub) in &docs {
-            if !heap.would_enter(ub, doc) {
+            if !(heap.would_enter(ub, doc) && gate.admits(ub)) {
                 bound_exits += 1;
                 continue;
             }
@@ -645,6 +664,7 @@ impl FragSearcher {
                 }
             }
             heap.push(doc, score);
+            gate.publish(&heap);
         }
         self.ub_accum.retire();
         // Every (position, membership) probe belongs to exactly one

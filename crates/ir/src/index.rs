@@ -175,6 +175,20 @@ impl InvertedIndex {
         &self.doc_len
     }
 
+    /// Length of a term's *resident* posting run. Equals `df` on an index
+    /// built from a whole collection; on a document-partition shard
+    /// ([`InvertedIndex::shard_by_docs`]) it is the number of postings
+    /// physically present in this shard, while `df` stays the collection-
+    /// wide catalog statistic. Work estimates (planner pricing, scan
+    /// volumes) should use this; ranking-model inputs should use `df`.
+    pub fn run_len(&self, term: u32) -> Result<usize> {
+        let t = term as usize;
+        if t >= self.df.len() {
+            return Err(IrError::UnknownTerm(term));
+        }
+        Ok(self.term_offsets[t + 1] - self.term_offsets[t])
+    }
+
     /// The posting run of a term: aligned `(docs, tfs)` slices.
     pub fn postings(&self, term: u32) -> Result<(&[u32], &[u32])> {
         let t = term as usize;
@@ -205,6 +219,89 @@ impl InvertedIndex {
     /// and cost layers.
     pub fn df_bat(&self) -> Bat {
         Bat::dense(Column::from(self.df.clone()))
+    }
+
+    /// Build a document-partition *shard* of this index: only postings
+    /// whose document passes `keep` are retained, while **every catalog
+    /// statistic stays global** — `df`, `cf`, `max_tf`, the per-document
+    /// lengths, and the collection stats are copied from the full index
+    /// unchanged. Ranking-model weights computed on the shard are
+    /// therefore bit-identical to the unsharded index (same `f64`
+    /// constants, same per-document norms, same document ids), which is
+    /// what lets `moa_serve` merge shard-local top-N heaps into the exact
+    /// single-engine answer. Shard-local *work* figures come from
+    /// [`InvertedIndex::run_len`] and [`InvertedIndex::num_postings`],
+    /// which do reflect only the resident postings.
+    pub fn shard_by_docs(&self, keep: impl Fn(u32) -> bool) -> InvertedIndex {
+        let vocab = self.vocab_size();
+        let mut post_docs = Vec::new();
+        let mut post_tfs = Vec::new();
+        let mut term_offsets = vec![0usize; vocab + 1];
+        for t in 0..vocab {
+            let (s, e) = (self.term_offsets[t], self.term_offsets[t + 1]);
+            for i in s..e {
+                let doc = self.post_docs[i];
+                if keep(doc) {
+                    post_docs.push(doc);
+                    post_tfs.push(self.post_tfs[i]);
+                }
+            }
+            term_offsets[t + 1] = post_docs.len();
+        }
+        InvertedIndex {
+            stats: self.stats,
+            doc_len: self.doc_len.clone(),
+            df: self.df.clone(),
+            cf: self.cf.clone(),
+            max_tf: self.max_tf.clone(),
+            post_docs,
+            post_tfs,
+            term_offsets,
+        }
+    }
+
+    /// Partition this index into `shards` document-partition shards in
+    /// **one pass** over the postings: `assign(doc)` names each
+    /// document's shard (values ≥ `shards` are clamped to the last).
+    /// Each shard is exactly what [`InvertedIndex::shard_by_docs`] would
+    /// have produced for its predicate, at 1/P of the construction cost —
+    /// the constructor the shard fan-out uses.
+    pub fn shard_by_docs_multi(
+        &self,
+        shards: usize,
+        assign: impl Fn(u32) -> usize,
+    ) -> Vec<InvertedIndex> {
+        let p = shards.max(1);
+        let vocab = self.vocab_size();
+        let mut docs: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut tfs: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut offsets: Vec<Vec<usize>> = vec![vec![0usize; vocab + 1]; p];
+        for t in 0..vocab {
+            let (s, e) = (self.term_offsets[t], self.term_offsets[t + 1]);
+            for i in s..e {
+                let doc = self.post_docs[i];
+                let shard = assign(doc).min(p - 1);
+                docs[shard].push(doc);
+                tfs[shard].push(self.post_tfs[i]);
+            }
+            for shard in 0..p {
+                offsets[shard][t + 1] = docs[shard].len();
+            }
+        }
+        docs.into_iter()
+            .zip(tfs)
+            .zip(offsets)
+            .map(|((post_docs, post_tfs), term_offsets)| InvertedIndex {
+                stats: self.stats,
+                doc_len: self.doc_len.clone(),
+                df: self.df.clone(),
+                cf: self.cf.clone(),
+                max_tf: self.max_tf.clone(),
+                post_docs,
+                post_tfs,
+                term_offsets,
+            })
+            .collect()
     }
 
     /// Terms sorted by ascending df (the "most interesting first" order the
@@ -491,6 +588,81 @@ mod tests {
     fn unknown_term_cursor_is_error() {
         let idx = index();
         assert!(idx.cursor(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn run_len_equals_df_on_an_unsharded_index() {
+        let idx = index();
+        for t in 0..idx.vocab_size() as u32 {
+            assert_eq!(idx.run_len(t).unwrap(), idx.df(t).unwrap() as usize);
+        }
+        assert!(idx.run_len(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn shard_by_docs_keeps_global_catalog_and_partitions_postings() {
+        let idx = index();
+        let p = 3u32;
+        let shards: Vec<InvertedIndex> =
+            (0..p).map(|s| idx.shard_by_docs(|d| d % p == s)).collect();
+        for shard in &shards {
+            // Catalog statistics are global...
+            assert_eq!(shard.stats(), idx.stats());
+            assert_eq!(shard.num_docs(), idx.num_docs());
+            assert_eq!(shard.vocab_size(), idx.vocab_size());
+            for t in 0..idx.vocab_size() as u32 {
+                assert_eq!(shard.df(t).unwrap(), idx.df(t).unwrap());
+                assert_eq!(shard.cf(t).unwrap(), idx.cf(t).unwrap());
+                assert_eq!(shard.max_tf(t).unwrap(), idx.max_tf(t).unwrap());
+            }
+        }
+        // ...while the postings partition exactly: per term, concatenating
+        // the shard runs in shard order of each doc recovers the full run.
+        let mut total = 0usize;
+        for shard in &shards {
+            total += shard.num_postings();
+        }
+        assert_eq!(total, idx.num_postings());
+        for t in 0..idx.vocab_size() as u32 {
+            let (docs, tfs) = idx.postings(t).unwrap();
+            let mut rebuilt: Vec<(u32, u32)> = Vec::new();
+            for shard in &shards {
+                let (d, f) = shard.postings(t).unwrap();
+                assert!(d.windows(2).all(|w| w[0] < w[1]), "shard run stays sorted");
+                rebuilt.extend(d.iter().copied().zip(f.iter().copied()));
+            }
+            rebuilt.sort_by_key(|&(d, _)| d);
+            let expect: Vec<(u32, u32)> = docs.iter().copied().zip(tfs.iter().copied()).collect();
+            assert_eq!(rebuilt, expect, "term {t}");
+            // Shard-local run lengths sum to the global df.
+            let run_sum: usize = shards.iter().map(|s| s.run_len(t).unwrap()).sum();
+            assert_eq!(run_sum, idx.df(t).unwrap() as usize);
+        }
+    }
+
+    #[test]
+    fn multi_way_shard_equals_per_predicate_sharding() {
+        let idx = index();
+        for p in [1usize, 3, 4] {
+            let multi = idx.shard_by_docs_multi(p, |d| d as usize % p);
+            assert_eq!(multi.len(), p);
+            for (s, shard) in multi.iter().enumerate() {
+                let want = idx.shard_by_docs(|d| d as usize % p == s);
+                for t in 0..idx.vocab_size() as u32 {
+                    assert_eq!(
+                        shard.postings(t).unwrap(),
+                        want.postings(t).unwrap(),
+                        "p={p} shard {s} term {t}"
+                    );
+                }
+                assert_eq!(shard.stats(), want.stats());
+                assert_eq!(shard.num_postings(), want.num_postings());
+            }
+        }
+        // Out-of-range assignments clamp to the last shard.
+        let clamped = idx.shard_by_docs_multi(2, |_| 99);
+        assert_eq!(clamped[0].num_postings(), 0);
+        assert_eq!(clamped[1].num_postings(), idx.num_postings());
     }
 
     #[test]

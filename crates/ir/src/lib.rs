@@ -38,6 +38,7 @@ pub mod ranking;
 pub mod safety;
 pub mod scorer;
 pub mod text;
+pub mod threshold;
 
 pub use accum::EpochAccumulator;
 pub use daat::{DaatReport, DaatSearcher};
@@ -57,3 +58,4 @@ pub use ranking::RankingModel;
 pub use safety::{SwitchDecision, SwitchPolicy};
 pub use scorer::{ScoreBounds, ScoreKernel, TermScorer};
 pub use text::{index_texts, tokenize, IndexBuilder};
+pub use threshold::{BoundGate, SharedThreshold};

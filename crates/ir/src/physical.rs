@@ -31,6 +31,7 @@ use crate::fragment::{FragSearchReport, FragSearcher, FragmentedIndex, Strategy}
 use crate::ranking::RankingModel;
 use crate::safety::SwitchPolicy;
 use crate::scorer::{ScoreBounds, ScoreKernel};
+use crate::threshold::BoundGate;
 
 /// A physical retrieval alternative — the plan enumeration space of the
 /// cost-driven planner.
@@ -241,10 +242,43 @@ pub struct EngineSet {
     frag_searcher: FragSearcher,
 }
 
+// The serving layer moves engine sets onto scoped shard threads and
+// shares kernels and thresholds across them; pin the thread-safety of the
+// whole engine stack at compile time so a non-Send field can never sneak
+// in and silently un-thread the shard executor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineSet>();
+    assert_send_sync::<ScoreKernel>();
+    assert_send_sync::<ScoreBounds>();
+    assert_send_sync::<EpochAccumulator>();
+    assert_send_sync::<FragSearcher>();
+    assert_send_sync::<crate::threshold::SharedThreshold>();
+    assert_send_sync::<BoundGate>();
+};
+
 impl EngineSet {
     /// Build the engine set for one `(fragmented index, model, policy)`.
     pub fn new(frag: Arc<FragmentedIndex>, model: RankingModel, policy: SwitchPolicy) -> EngineSet {
         let kernel = Arc::new(ScoreKernel::new(model, frag.index()));
+        EngineSet::with_kernel(frag, kernel, policy)
+    }
+
+    /// Build the engine set around an existing scoring kernel. The shard
+    /// fan-out uses this: document-partition shards carry the *global*
+    /// catalog statistics ([`crate::index::InvertedIndex::shard_by_docs`]),
+    /// so one kernel (per-document norm table + collection stats) is
+    /// bit-identical for every shard and is built once and shared, while
+    /// the [`ScoreBounds`] tables stay per-shard (they depend on the
+    /// shard-resident postings). `kernel` must have been built for the
+    /// same collection statistics, document lengths, and ranking model as
+    /// `frag.index()` — an index sharded from the kernel's source index
+    /// satisfies this by construction.
+    pub fn with_kernel(
+        frag: Arc<FragmentedIndex>,
+        kernel: Arc<ScoreKernel>,
+        policy: SwitchPolicy,
+    ) -> EngineSet {
         let daat_bounds: Arc<OnceLock<ScoreBounds>> = Arc::new(OnceLock::new());
         let saat_accum = EpochAccumulator::new(frag.index().num_docs());
         // The fragmented path prunes on the very same bound tables the
@@ -283,14 +317,29 @@ impl EngineSet {
     /// Execute `plan` for a query, dispatching through the uniform
     /// [`RetrievalOp`] interface.
     pub fn execute(&mut self, plan: PhysicalPlan, terms: &[u32], n: usize) -> Result<ExecReport> {
-        match plan {
+        self.execute_gated(plan, terms, n, &BoundGate::none())
+    }
+
+    /// [`EngineSet::execute`] with a cross-engine threshold hook. The
+    /// pruning paths (pruned DAAT, the fragmented bound-score pass)
+    /// consult and feed `gate` inside their hot loops; the exhaustive
+    /// paths cannot skip work on it but still publish their N-th score so
+    /// concurrent engines tighten off this one's result.
+    pub fn execute_gated(
+        &mut self,
+        plan: PhysicalPlan,
+        terms: &[u32],
+        n: usize,
+        gate: &BoundGate,
+    ) -> Result<ExecReport> {
+        let report: Result<ExecReport> = match plan {
             PhysicalPlan::PrunedDaat => {
-                let mut op = PrunedDaatOp(DaatSearcher::with_shared(
+                let daat = DaatSearcher::with_shared(
                     self.frag.index(),
                     Arc::clone(&self.kernel),
                     Arc::clone(&self.daat_bounds),
-                ));
-                op.execute(terms, n)
+                );
+                daat.search_gated(terms, n, gate).map(ExecReport::from)
             }
             PhysicalPlan::ExhaustiveDaat => {
                 let mut op = ExhaustiveDaatOp(DaatSearcher::with_shared(
@@ -313,14 +362,20 @@ impl EngineSet {
                 self.saat_accum = op.0.into_accum();
                 report
             }
-            PhysicalPlan::Fragmented(strategy) => {
-                let mut op = FragmentedOp {
-                    searcher: &mut self.frag_searcher,
-                    strategy,
-                };
-                op.execute(terms, n)
+            PhysicalPlan::Fragmented(strategy) => self
+                .frag_searcher
+                .search_gated(terms, n, strategy, gate)
+                .map(ExecReport::from),
+        };
+        let report = report?;
+        // A complete top-N proves N documents of at least the tail score
+        // exist, whichever path produced it.
+        if report.top.len() == n {
+            if let Some(&(_, tail)) = report.top.last() {
+                gate.publish_score(tail);
             }
         }
+        Ok(report)
     }
 }
 
@@ -332,11 +387,17 @@ mod tests {
     use moa_corpus::{generate_queries, Collection, CollectionConfig, QueryConfig};
 
     fn engines() -> (Collection, EngineSet) {
-        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let c = Collection::generate(CollectionConfig::tiny())
+            .expect("tiny preset is a valid collection config");
         let idx = Arc::new(InvertedIndex::from_collection(&c));
-        let mut frag = FragmentedIndex::build(idx, FragmentSpec::TermFraction(0.9)).unwrap();
-        frag.fragment_a_mut().build_sparse_index(64).unwrap();
-        frag.fragment_b_mut().build_sparse_index(64).unwrap();
+        let mut frag = FragmentedIndex::build(idx, FragmentSpec::TermFraction(0.9))
+            .expect("a generated collection is never empty");
+        frag.fragment_a_mut()
+            .build_sparse_index(64)
+            .expect("fragment term column is sorted");
+        frag.fragment_b_mut()
+            .build_sparse_index(64)
+            .expect("fragment term column is sorted");
         let set = EngineSet::new(
             Arc::new(frag),
             RankingModel::default(),
@@ -358,12 +419,17 @@ mod tests {
     #[test]
     fn every_exact_plan_returns_the_identical_topn() {
         let (c, mut set) = engines();
-        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let queries = generate_queries(&c, &QueryConfig::default())
+            .expect("default query workload fits the tiny collection");
         for q in queries.iter().take(10) {
             for n in [1usize, 10, c.num_docs()] {
-                let reference = set.execute(PhysicalPlan::SetAtATime, &q.terms, n).unwrap();
+                let reference = set
+                    .execute(PhysicalPlan::SetAtATime, &q.terms, n)
+                    .expect("generated query terms are all in vocabulary");
                 for plan in exact_plans() {
-                    let rep = set.execute(plan, &q.terms, n).unwrap();
+                    let rep = set
+                        .execute(plan, &q.terms, n)
+                        .expect("generated query terms are all in vocabulary");
                     assert_eq!(
                         rep.top,
                         reference.top,
@@ -379,20 +445,25 @@ mod tests {
     #[test]
     fn unified_counters_are_populated_per_path() {
         let (c, mut set) = engines();
-        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let queries = generate_queries(&c, &QueryConfig::default())
+            .expect("default query workload fits the tiny collection");
         let q = &queries[0];
-        let daat = set.execute(PhysicalPlan::PrunedDaat, &q.terms, 5).unwrap();
+        let daat = set
+            .execute(PhysicalPlan::PrunedDaat, &q.terms, 5)
+            .expect("generated query terms are all in vocabulary");
         assert!(daat.postings_scanned > 0);
         assert!(daat.candidates > 0);
         let frag = set
             .execute(PhysicalPlan::Fragmented(Strategy::FullScan), &q.terms, 5)
-            .unwrap();
+            .expect("generated query terms are all in vocabulary");
         assert_eq!(
             frag.postings_scanned,
             set.fragments().index().num_postings(),
             "full scan inspects the whole volume"
         );
-        let saat = set.execute(PhysicalPlan::SetAtATime, &q.terms, 5).unwrap();
+        let saat = set
+            .execute(PhysicalPlan::SetAtATime, &q.terms, 5)
+            .expect("generated query terms are all in vocabulary");
         assert_eq!(saat.docs_skipped, 0);
         assert_eq!(saat.seeks, 0);
     }
@@ -430,14 +501,17 @@ mod tests {
     #[test]
     fn trait_object_dispatch_works() {
         let (c, set) = engines();
-        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let queries = generate_queries(&c, &QueryConfig::default())
+            .expect("default query workload fits the tiny collection");
         let q = &queries[0];
         let index = Arc::clone(set.fragments());
         let daat = DaatSearcher::new(index.index(), RankingModel::default());
         let mut pruned = PrunedDaatOp(daat);
         let ops: Vec<&mut dyn RetrievalOp> = vec![&mut pruned];
         for op in ops {
-            let rep = op.execute(&q.terms, 5).unwrap();
+            let rep = op
+                .execute(&q.terms, 5)
+                .expect("generated query terms are all in vocabulary");
             assert!(!rep.top.is_empty());
             assert_eq!(op.name(), "pruned_daat");
         }

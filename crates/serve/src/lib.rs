@@ -1,0 +1,39 @@
+//! # moa-serve — the sharded parallel serving layer
+//!
+//! The paper makes top-N retrieval cheap by *horizontally fragmenting*
+//! the term–document table; this crate takes that device to its parallel
+//! conclusion for a serving deployment:
+//!
+//! * [`shard`] — [`ShardedEngine`]: document-partition the collection
+//!   into P shards ([`ShardSpec`]), build one df-fragmented table and one
+//!   [`moa_ir::EngineSet`] per shard (sharing a single scoring kernel),
+//!   let each shard's own `moa_core` planner pick its physical operator
+//!   from shard-local catalog statistics, execute shards on scoped
+//!   threads, and fold the shard-local heaps with the tie-stable k-way
+//!   merge ([`moa_topn::kway_merge_sorted`]);
+//! * cross-shard **bound propagation** — one
+//!   [`moa_ir::SharedThreshold`] per query carries each shard's running
+//!   N-th score to all others, so the `would_enter`/block-max pruning
+//!   gates tighten *mid-flight* off competition the shard cannot see
+//!   locally (soundness argument in [`moa_ir::threshold`]);
+//! * [`service`] — [`ServeSession`]: the batch query front end
+//!   ([`ServeSession::submit_many`]) with per-query work aggregation,
+//!   wall-time accounting, and an EXPLAIN that renders the per-shard plan
+//!   table.
+//!
+//! Exactness: for every exact physical plan, the merged sharded answer is
+//! **bit-identical** to a single unsharded engine — shards score with
+//! global catalog statistics ([`moa_ir::InvertedIndex::shard_by_docs`]),
+//! so every `(doc, score)` pair is the same `f64` it would be unsharded,
+//! and the differential oracle pins this across ranking models, N, and
+//! shard counts.
+
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod shard;
+
+pub use service::{BatchReport, ServeConfig, ServeSession, ServeStats};
+pub use shard::{
+    BatchQuery, EngineShard, QueryResponse, ServeMode, ShardOutcome, ShardSpec, ShardedEngine,
+};

@@ -1,0 +1,255 @@
+//! The batch query service: the front end `moa_serve` exposes to callers.
+//!
+//! [`ServeSession`] wraps a [`ShardedEngine`] with the ergonomics a
+//! serving deployment needs: single-query [`ServeSession::submit`],
+//! batched [`ServeSession::submit_many`] with per-query [`ExecReport`]
+//! aggregation and batch wall-time, running service counters, and an
+//! EXPLAIN ([`ServeSession::explain`]) that prices a query on every shard
+//! and renders the per-shard plan table without executing anything.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use moa_core::Result;
+use moa_ir::{ExecReport, FragmentSpec, InvertedIndex, RankingModel, SwitchPolicy};
+
+use crate::shard::{BatchQuery, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Document partitioning.
+    pub shard_spec: ShardSpec,
+    /// Per-shard df-fragmentation of the term–document table.
+    pub frag_spec: FragmentSpec,
+    /// Ranking model (shared by every shard).
+    pub model: RankingModel,
+    /// Switch policy for the fragmented strategies.
+    pub policy: SwitchPolicy,
+    /// Operator selection: per-shard planner or one pinned plan.
+    pub mode: ServeMode,
+    /// Cross-shard threshold propagation (on by default; turning it off
+    /// is the ablation E16 measures).
+    pub propagate: bool,
+    /// Build each shard fragment's non-dense index with this block size.
+    pub sparse_block: Option<usize>,
+}
+
+impl ServeConfig {
+    /// A planned, propagating configuration over `shards` range-partition
+    /// shards — the default serving posture.
+    pub fn planned(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shard_spec: ShardSpec::Range { shards },
+            frag_spec: FragmentSpec::TermFraction(0.95),
+            model: RankingModel::default(),
+            policy: SwitchPolicy::default(),
+            mode: ServeMode::Planned,
+            propagate: true,
+            sparse_block: Some(1024),
+        }
+    }
+}
+
+/// The outcome of one [`ServeSession::submit_many`] call.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
+pub struct BatchReport {
+    /// Per-query responses, in submission order.
+    pub responses: Vec<QueryResponse>,
+    /// Wall-clock time of the whole batch (shard threads included).
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Work counters absorbed over every query of the batch.
+    pub fn total_work(&self) -> ExecReport {
+        let mut total = ExecReport::default();
+        for r in &self.responses {
+            total.absorb(&r.work);
+        }
+        total
+    }
+
+    /// Each shard's total busy time over the batch (planning + execution
+    /// on its thread), indexed by shard id.
+    pub fn shard_busy(&self) -> Vec<Duration> {
+        let shards = self.responses.first().map_or(0, |r| r.shards.len());
+        let mut busy = vec![Duration::ZERO; shards];
+        for r in &self.responses {
+            for o in &r.shards {
+                busy[o.shard] += o.busy;
+            }
+        }
+        busy
+    }
+
+    /// The batch's critical path: the busiest shard's total busy time —
+    /// the wall-clock floor for a deployment with one core per shard.
+    /// [`BatchReport::wall`] converges to this as cores cover shards; on
+    /// fewer cores the measured wall approaches the *sum* of the busy
+    /// times instead.
+    pub fn critical_path(&self) -> Duration {
+        self.shard_busy()
+            .into_iter()
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Running service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered since the session was built.
+    pub queries_served: usize,
+    /// Batches answered.
+    pub batches_served: usize,
+    /// Total postings scanned across all shards and queries.
+    pub postings_scanned: usize,
+}
+
+/// A sharded serving session.
+pub struct ServeSession {
+    engine: ShardedEngine,
+    config: ServeConfig,
+    stats: ServeStats,
+}
+
+impl ServeSession {
+    /// Partition `index` per `config` and stand the service up.
+    pub fn new(index: Arc<InvertedIndex>, config: ServeConfig) -> Result<ServeSession> {
+        let engine = ShardedEngine::build(
+            index,
+            config.shard_spec,
+            config.frag_spec,
+            config.model,
+            config.policy,
+            config.sparse_block,
+        )?;
+        Ok(ServeSession {
+            engine,
+            config,
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// The underlying sharded engine.
+    pub fn engine(&self) -> &ShardedEngine {
+        &self.engine
+    }
+
+    /// Running service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Answer one query.
+    pub fn submit(&mut self, terms: &[u32], n: usize) -> Result<QueryResponse> {
+        let response = self
+            .engine
+            .execute(terms, n, self.config.mode, self.config.propagate)?;
+        self.stats.queries_served += 1;
+        self.stats.postings_scanned += response.work.postings_scanned;
+        Ok(response)
+    }
+
+    /// Answer a batch: one shard thread works through every query of the
+    /// batch (spawn cost amortized batch-wide), responses come back in
+    /// submission order with per-query aggregated [`ExecReport`]s and the
+    /// batch's wall-clock time.
+    pub fn submit_many(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
+        let t0 = Instant::now();
+        let responses =
+            self.engine
+                .execute_batch(queries, self.config.mode, self.config.propagate)?;
+        let wall = t0.elapsed();
+        self.stats.queries_served += responses.len();
+        self.stats.batches_served += 1;
+        for r in &responses {
+            self.stats.postings_scanned += r.work.postings_scanned;
+        }
+        Ok(BatchReport { responses, wall })
+    }
+
+    /// [`ServeSession::submit_many`] in profiling mode: shards run
+    /// sequentially on the caller's thread
+    /// ([`ShardedEngine::execute_batch_sequential`]), so work counters
+    /// and per-shard busy times are deterministic and free of scheduler
+    /// interference. Answers are identical to the threaded path.
+    pub fn submit_many_sequential(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
+        let t0 = Instant::now();
+        let responses = self.engine.execute_batch_sequential(
+            queries,
+            self.config.mode,
+            self.config.propagate,
+        )?;
+        let wall = t0.elapsed();
+        self.stats.queries_served += responses.len();
+        self.stats.batches_served += 1;
+        for r in &responses {
+            self.stats.postings_scanned += r.work.postings_scanned;
+        }
+        Ok(BatchReport { responses, wall })
+    }
+
+    /// Price a query on every shard and render the per-shard plan table —
+    /// nothing is executed. Each row is one shard's chosen operator with
+    /// its cost and volume estimates from that shard's catalog; the
+    /// closing lines summarize partitioning and propagation. Under
+    /// [`ServeMode::Fixed`] the pinned operator is shown alongside what
+    /// each shard's planner *would* have picked.
+    pub fn explain(&self, terms: &[u32], n: usize) -> Result<String> {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== sharded retrieval plan ({} shards, {}) ==",
+            self.engine.num_shards(),
+            self.engine.spec().describe()
+        );
+        let pinned = match self.config.mode {
+            ServeMode::Fixed(p) => Some(p),
+            ServeMode::Planned => None,
+        };
+        if let Some(p) = pinned {
+            let _ = writeln!(
+                out,
+                "   (operator pinned to {}; planner picks shown for comparison)",
+                p.name()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>10}  {:<20}  {:>12}  {:>14}",
+            "shard", "postings", "operator", "est. cost", "est. postings"
+        );
+        for shard in self.engine.shards() {
+            let decision = shard.plan(terms, n)?;
+            let chosen = decision.chosen_alternative();
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>10}  {:<20}  {:>12.0}  {:>14.0}",
+                shard.id(),
+                shard.num_postings(),
+                chosen.plan.name(),
+                chosen.cost,
+                chosen.est_postings,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "   threshold propagation: {}",
+            if self.config.propagate { "on" } else { "off" }
+        );
+        let _ = writeln!(
+            out,
+            "   merge: tie-stable k-way over shard-local top-{n} heaps (score desc, doc asc)"
+        );
+        Ok(out)
+    }
+}

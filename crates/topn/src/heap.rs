@@ -129,6 +129,83 @@ impl TopNHeap {
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
+
+    /// Fold another heap's retained entries into this one, keeping this
+    /// heap's capacity and the usual (score desc, id asc) retention order
+    /// — the shard-merge primitive: each shard ranks its own partition
+    /// into a local heap, and the coordinator folds the local heaps into
+    /// one global top-N. Offering an entry already retained (same object
+    /// *and* score) is the caller's bug; partitioned inputs never produce
+    /// one. Counts one push per folded entry.
+    pub fn merge_from(&mut self, other: &TopNHeap) {
+        for e in &other.heap {
+            self.push(e.obj, e.score);
+        }
+    }
+}
+
+/// Merge already-sorted `(obj, score)` rankings — each descending by
+/// score with ascending-id ties, as [`TopNHeap::into_sorted_vec`] emits —
+/// into the global top `n` under the same order. A k-way streaming merge:
+/// ties across lists resolve by object id (*tie-stable*: equal-scored
+/// objects come out in ascending id order no matter which lists they came
+/// from), and no more than `n` entries are materialized.
+pub fn kway_merge_sorted(lists: &[&[(u32, f64)]], n: usize) -> Vec<(u32, f64)> {
+    /// Heap entry: the head of one list, ordered best-first.
+    struct Head {
+        obj: u32,
+        score: f64,
+        list: usize,
+        pos: usize,
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Max-heap: higher score first, then *smaller* id first.
+            self.score
+                .total_cmp(&other.score)
+                .then(other.obj.cmp(&self.obj))
+        }
+    }
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heads: BinaryHeap<Head> = lists
+        .iter()
+        .enumerate()
+        .filter_map(|(li, l)| {
+            l.first().map(|&(obj, score)| Head {
+                obj,
+                score,
+                list: li,
+                pos: 0,
+            })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n.min(lists.iter().map(|l| l.len()).sum()));
+    while out.len() < n {
+        let Some(head) = heads.pop() else {
+            break;
+        };
+        out.push((head.obj, head.score));
+        if let Some(&(obj, score)) = lists[head.list].get(head.pos + 1) {
+            heads.push(Head {
+                obj,
+                score,
+                list: head.list,
+                pos: head.pos + 1,
+            });
+        }
+    }
+    out
 }
 
 /// Top-N of a `(obj, score)` stream via the bounded heap.
@@ -244,6 +321,116 @@ mod tests {
             h.push(o, s);
         }
         assert_eq!(h.pushes(), 6);
+    }
+
+    #[test]
+    fn merge_from_equals_pushing_the_union() {
+        // Partition a stream across three "shards", rank each locally,
+        // merge the local heaps: identical to one heap over the union.
+        for n in 1..=7 {
+            let mut merged = TopNHeap::new(n);
+            for shard in 0..3u32 {
+                let mut local = TopNHeap::new(n);
+                for (o, s) in stream().into_iter().filter(|&(o, _)| o % 3 == shard) {
+                    local.push(o, s);
+                }
+                merged.merge_from(&local);
+            }
+            assert_eq!(
+                merged.into_sorted_vec(),
+                topn(stream(), n),
+                "n={n}: merged shard heaps diverge from the global heap"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_from_respects_capacity_and_ties() {
+        let mut a = TopNHeap::new(2);
+        a.push(9, 0.5);
+        a.push(1, 0.9);
+        let mut b = TopNHeap::new(5); // differing capacity is fine
+        b.push(2, 0.5);
+        b.push(7, 0.5);
+        a.merge_from(&b);
+        // Tie at 0.5 resolves by ascending id: 2 beats 7 and 9.
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.into_sorted_vec(), vec![(1, 0.9), (2, 0.5)]);
+    }
+
+    #[test]
+    fn merge_from_empty_is_a_noop() {
+        let mut a = TopNHeap::new(3);
+        a.push(1, 0.4);
+        a.merge_from(&TopNHeap::new(3));
+        assert_eq!(a.into_sorted_vec(), vec![(1, 0.4)]);
+        let mut empty = TopNHeap::new(3);
+        let mut other = TopNHeap::new(3);
+        other.push(2, 0.8);
+        empty.merge_from(&other);
+        assert_eq!(empty.into_sorted_vec(), vec![(2, 0.8)]);
+    }
+
+    #[test]
+    fn kway_merge_matches_global_sort() {
+        // Split a stream into lists by id residue, sort each like
+        // into_sorted_vec does, and merge: identical to the global top-N.
+        let items = vec![
+            (0, 0.3),
+            (1, 0.9),
+            (2, 0.1),
+            (3, 0.9),
+            (4, 0.5),
+            (5, 0.7),
+            (6, 0.5),
+            (7, 0.5),
+            (8, 0.0),
+        ];
+        for parts in 1..=4u32 {
+            let lists: Vec<Vec<(u32, f64)>> = (0..parts)
+                .map(|p| {
+                    let mut l: Vec<(u32, f64)> = items
+                        .iter()
+                        .copied()
+                        .filter(|&(o, _)| o % parts == p)
+                        .collect();
+                    l.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                    l
+                })
+                .collect();
+            let refs: Vec<&[(u32, f64)]> = lists.iter().map(Vec::as_slice).collect();
+            for n in 0..=items.len() + 2 {
+                assert_eq!(
+                    kway_merge_sorted(&refs, n),
+                    topn_full_sort(items.clone(), n),
+                    "parts={parts} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kway_merge_tie_stability_across_lists() {
+        // Equal scores interleave by ascending object id regardless of
+        // which list holds them.
+        let a = [(4, 0.5), (6, 0.5)];
+        let b = [(1, 0.5), (9, 0.5)];
+        let c = [(0, 0.5)];
+        let merged = kway_merge_sorted(&[&a, &b, &c], 5);
+        assert_eq!(
+            merged,
+            vec![(0, 0.5), (1, 0.5), (4, 0.5), (6, 0.5), (9, 0.5)]
+        );
+    }
+
+    #[test]
+    fn kway_merge_degenerate_inputs() {
+        assert!(kway_merge_sorted(&[], 5).is_empty());
+        let empty: &[(u32, f64)] = &[];
+        assert!(kway_merge_sorted(&[empty, empty], 5).is_empty());
+        let one = [(3, 0.2)];
+        assert_eq!(kway_merge_sorted(&[empty, &one], 5), vec![(3, 0.2)]);
+        assert!(kway_merge_sorted(&[&one], 0).is_empty());
     }
 
     #[test]

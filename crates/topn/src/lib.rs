@@ -28,7 +28,7 @@ pub mod ta;
 pub mod traits;
 
 pub use fagin::{fagin_topn, TopNResult};
-pub use heap::{topn, topn_full_sort, TopNHeap};
+pub use heap::{kway_merge_sorted, topn, topn_full_sort, TopNHeap};
 pub use nra::nra_topn;
 pub use prob::{prob_topn, ProbError, ProbTopNReport};
 pub use stop_after::{aggressive, conservative, scan_stop, StopAfterReport};

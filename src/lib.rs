@@ -14,7 +14,10 @@
 //! * [`moa_storage`] (as `storage`) — the main-memory BAT kernel with non-dense
 //!   indexes and histograms,
 //! * [`moa_corpus`] (as `corpus`) — seeded synthetic workloads (Zipf collections,
-//!   topical queries and qrels, correlated feature lists).
+//!   topical queries and qrels, correlated feature lists),
+//! * [`moa_serve`] (as `serve`) — the sharded parallel serving layer:
+//!   per-shard planned execution over document partitions, cross-shard
+//!   score-threshold propagation, and the batched query service.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the paper-to-module mapping,
 //! and `EXPERIMENTS.md` for the measured reproduction of every claim.
@@ -31,5 +34,6 @@
 pub use moa_core as core;
 pub use moa_corpus as corpus;
 pub use moa_ir as ir;
+pub use moa_serve as serve;
 pub use moa_storage as storage;
 pub use moa_topn as topn;

@@ -615,6 +615,63 @@ fn pruned_and_exhaustive_daat_agree_bit_for_bit_on_seeded_workloads() {
 }
 
 #[test]
+fn sharded_serving_is_bit_identical_to_single_shard_and_the_naive_oracle() {
+    // The serving layer's merged answer is pinned twice: against the
+    // from-scratch posting-scan oracle in this file (independent of all
+    // library code), and *bit-for-bit* against a single-shard engine —
+    // for every ranking model, N below/at/beyond the matching set, and
+    // shard counts 2 and 4, with cross-shard threshold propagation on.
+    use moa_serve::{ServeConfig, ServeSession, ShardSpec};
+    let models = [
+        RankingModel::TfIdf,
+        RankingModel::HiemstraLm { lambda: 0.15 },
+        RankingModel::Bm25 { k1: 1.2, b: 0.75 },
+    ];
+    for (label, config) in e2e_collections() {
+        let collection = Collection::generate(config).expect("valid collection config");
+        let index = Arc::new(InvertedIndex::from_collection(&collection));
+        let queries = generate_queries(
+            &collection,
+            &QueryConfig {
+                num_queries: 6,
+                seed: 0x5E11,
+                ..QueryConfig::default()
+            },
+        )
+        .expect("valid workload");
+        for model in models {
+            let session_config = |shards: usize| ServeConfig {
+                shard_spec: ShardSpec::Range { shards },
+                model,
+                ..ServeConfig::planned(shards)
+            };
+            let mut single = ServeSession::new(Arc::clone(&index), session_config(1))
+                .expect("single-shard session");
+            for shards in [2usize, 4] {
+                let mut sharded = ServeSession::new(Arc::clone(&index), session_config(shards))
+                    .expect("sharded session");
+                for (qi, q) in queries.iter().enumerate() {
+                    let scored = naive_document_scores(&collection, model, &q.terms);
+                    for n in [1usize, 10, scored.len() + 3] {
+                        let oracle = oracle_topn(&scored, n);
+                        let want = single.submit(&q.terms, n).expect("single-shard query");
+                        let got = sharded.submit(&q.terms, n).expect("sharded query");
+                        assert_eq!(
+                            got.top, want.top,
+                            "{label} q{qi} n={n} {model:?} x{shards}: sharded != single-shard"
+                        );
+                        assert_eq!(
+                            got.top, oracle,
+                            "{label} q{qi} n={n} {model:?} x{shards}: sharded != naive oracle"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn planner_executed_topn_is_bit_identical_to_the_oracle_for_every_exact_strategy() {
     // The cost-driven planner may pick any *exact* physical operator: the
     // answer must be bit-identical to the naive full-scan oracle no
