@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks of the block-compressed posting storage
+//! (E17 in microbenchmark form): bulk streaming decode vs cursor walk vs
+//! a pre-decoded flat scan, header-binary-search `seek` on the packed
+//! layout, and the raw bit-unpack kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use moa_corpus::{Collection, CollectionConfig};
+use moa_ir::InvertedIndex;
+use moa_storage::pack::{pack_into, unpack_from, unpack_one};
+
+fn fixture() -> InvertedIndex {
+    let c = Collection::generate(CollectionConfig::small()).expect("valid preset");
+    InvertedIndex::from_collection(&c)
+}
+
+fn bench_full_scan(c: &mut Criterion) {
+    let index = fixture();
+    let terms = index.terms_by_df_asc();
+    // Flat baseline: what scanning costs once the decode is already paid.
+    let flat: Vec<(Vec<u32>, Vec<u32>)> = terms
+        .iter()
+        .map(|&t| index.decode_postings(t).expect("term in range"))
+        .collect();
+    let mut g = c.benchmark_group("block_decode");
+    g.bench_function("bulk_for_each", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &t in &terms {
+                index
+                    .for_each_posting(t, |d, f| acc += u64::from(d) ^ u64::from(f))
+                    .expect("term in range");
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("cursor_walk_lazy_tf", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &t in &terms {
+                let mut cur = index.cursor(t).expect("term in range");
+                while let Some(d) = cur.doc() {
+                    acc += u64::from(d) ^ u64::from(cur.tf());
+                    cur.advance();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("flat_predecoded_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (docs, tfs) in &flat {
+                for (i, &d) in docs.iter().enumerate() {
+                    acc += u64::from(d) ^ u64::from(tfs[i]);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_seek(c: &mut Criterion) {
+    let index = fixture();
+    // The most frequent term has the longest run: the seek stress case.
+    let term = *index.terms_by_df_asc().last().expect("non-empty index");
+    let (docs, _) = index.decode_postings(term).expect("term in range");
+    let mut g = c.benchmark_group("block_seek");
+    for stride in [7usize, 211] {
+        let targets: Vec<u32> = docs.iter().copied().step_by(stride).collect();
+        g.bench_with_input(
+            BenchmarkId::new("header_binary_seek", stride),
+            &stride,
+            |b, _| {
+                b.iter(|| {
+                    let mut cur = index.cursor(term).expect("term in range");
+                    let mut skipped = 0usize;
+                    for &t in &targets {
+                        skipped += cur.seek(black_box(t));
+                    }
+                    skipped
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pack_kernels(c: &mut Criterion) {
+    let values: Vec<u32> = (0..128u32)
+        .map(|i| (i.wrapping_mul(2654435761)) & 0x1FFF)
+        .collect();
+    let mut words = Vec::new();
+    pack_into(&values, 13, &mut words);
+    let mut out = [0u32; 128];
+    let mut g = c.benchmark_group("pack_kernels");
+    g.bench_function("unpack_128x13bit", |b| {
+        b.iter(|| {
+            unpack_from(black_box(&words), 13, 128, &mut out);
+            black_box(out[127])
+        })
+    });
+    g.bench_function("unpack_one_x128", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..128 {
+                acc ^= unpack_one(black_box(&words), 13, i);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("pack_128x13bit", |b| {
+        b.iter(|| {
+            let mut w = Vec::with_capacity(26);
+            pack_into(black_box(&values), 13, &mut w);
+            black_box(w.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_scan, bench_seek, bench_pack_kernels);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn bench_cursor_seek(c: &mut Criterion) {
     let (index, _) = fixture();
     // The most frequent term has the longest run: the seek stress case.
     let term = *index.terms_by_df_asc().last().expect("non-empty index");
-    let (docs, _) = index.postings(term).expect("term in range");
+    let (docs, _) = index.decode_postings(term).expect("term in range");
     let targets: Vec<u32> = docs.iter().copied().step_by(7).collect();
     let mut g = c.benchmark_group("posting_cursor");
     g.bench_function("galloping_seek", |b| {

@@ -18,6 +18,7 @@
 //! | E14 | §2/§3: bounds-pruned DAAT (MaxScore) vs exhaustive merge    | [`e14`]|
 //! | E15 | §3 Step 3: cost-driven planner vs best-in-hindsight         | [`e15`]|
 //! | E16 | serving: sharded scaling + cross-shard threshold propagation| [`e16`]|
+//! | E17 | storage: block-compressed postings — decode + wall time     | [`e17`]|
 
 pub mod e1;
 pub mod e10;
@@ -27,6 +28,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -58,17 +60,18 @@ pub fn run(id: &str, scale: Scale) -> Vec<Table> {
         "e14" => vec![e14::run(scale)],
         "e15" => vec![e15::run(scale)],
         "e16" => vec![e16::run(scale)],
+        "e17" => vec![e17::run(scale)],
         "all" => {
             let ids = [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16",
+                "e14", "e15", "e16", "e17",
             ];
             ids.iter().flat_map(|i| run(i, scale)).collect()
         }
         other => vec![{
             let mut t = Table::new("unknown experiment", &["id"]);
             t.row(vec![other.to_owned()]);
-            t.note("known ids: e1..e16, all");
+            t.note("known ids: e1..e17, all");
             t
         }],
     }

@@ -1,0 +1,139 @@
+//! Offline stand-in for the `fxhash` crate (the rustc-hash "Fx" hasher).
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the subset the engine uses: [`FxHasher`] — the multiply-rotate
+//! hash Firefox and rustc use for their internal tables — plus the
+//! [`FxHashMap`] / [`FxHashSet`] aliases. Unlike std's default SipHash,
+//! Fx is not DoS-resistant; it trades that for a few instructions per
+//! byte, which is the right trade for interning a *bounded, trusted*
+//! vocabulary (`moa_ir::dict::Dictionary`) where the string hash sits on
+//! the term-lookup hot path.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplication constant (64-bit golden-ratio-derived, from
+/// rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher: `hash = (rot5(hash) ^ word) * SEED`
+/// per input word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the tail length in so "ab" and "ab\0" cannot collide
+            // by construction.
+            self.add_to_hash(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (stateless, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value with [`FxHasher`] (convenience mirroring `fxhash::hash64`).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        for s in ["", "a", "database", "a-much-longer-term-exceeding-8-bytes"] {
+            assert_eq!(hash64(s), hash64(s));
+        }
+        assert_ne!(hash64("database"), hash64("databases"));
+        assert_ne!(hash64("ab"), hash64("ab\0"));
+    }
+
+    #[test]
+    fn map_and_set_work_with_string_keys() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("term{i:06}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get("term000042"), Some(&42));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // Sanity: hashing a dense term vocabulary spreads over the low
+        // bits (no systematic bucket collapse for a power-of-two table).
+        let mut buckets = [0usize; 64];
+        for i in 0..6400u32 {
+            buckets[(hash64(&format!("term{i:06}")) & 63) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(min > 0, "empty bucket: degenerate distribution");
+        assert!(max < 400, "bucket with {max} of 6400: degenerate");
+    }
+}

@@ -37,19 +37,30 @@ pub struct CostWeights {
     /// planner's calibration pass refits this weight from measured
     /// `ExecReport` counters (see `moa_core::planner::Planner::observe`).
     pub daat_prune: f64,
+    /// Per-posting surcharge of the cursor/accumulator paths on the
+    /// block-compressed storage: postings there are delta-unpacked on
+    /// access, while the fragmented table paths scan flat `(term, doc,
+    /// tf)` arrays. Priced as `decode_posting × est_postings` on top of
+    /// `rank_posting` for the three decode-paying plans, so the planner's
+    /// relative pricing of cursor vs fragmented access reflects the
+    /// layout. E17's decode microbenchmark puts the unpack at roughly a
+    /// tenth of the full per-posting scoring cost.
+    pub decode_posting: f64,
 }
 
 impl Default for CostWeights {
     fn default() -> Self {
         // The executor counts every touched element as one unit; the
         // pruning fraction starts at the middle of the reduction band
-        // experiment E14 measured (2.3x–3.4x), pending calibration.
+        // experiment E14 measured on the block layout (2.0x–3.0x),
+        // pending calibration.
         CostWeights {
             scan: 1.0,
             compare: 1.0,
             materialize: 1.0,
             rank_posting: 1.0,
-            daat_prune: 0.35,
+            daat_prune: 0.4,
+            decode_posting: 0.1,
         }
     }
 }

@@ -122,7 +122,9 @@ pub struct PlanAlternative {
     /// Predicted `postings_scanned` (the unified work counter).
     pub est_postings: f64,
     /// Weighted abstract cost (`rank_posting × est_postings +
-    /// materialize × output`).
+    /// materialize × output`, plus `decode_posting × est_postings` on the
+    /// cursor/accumulator paths that unpack the block-compressed
+    /// storage).
     pub cost: f64,
     /// Whether this plan's top-N is guaranteed bit-identical to the
     /// naive full-scan oracle.
@@ -315,10 +317,18 @@ impl Planner {
                     (ir.volume_a + b_cost, switch.use_b, feasible, how.to_owned())
                 }
             };
+            // The cursor/accumulator paths run on the block-compressed
+            // storage and pay a per-posting unpack; the fragmented table
+            // paths scan flat arrays and do not.
+            let decodes = matches!(
+                plan,
+                PhysicalPlan::PrunedDaat | PhysicalPlan::ExhaustiveDaat | PhysicalPlan::SetAtATime
+            );
+            let decode_cost = if decodes { w.decode_posting * est } else { 0.0 };
             alternatives.push(PlanAlternative {
                 plan,
                 est_postings: est,
-                cost: price(est),
+                cost: price(est) + decode_cost,
                 exact,
                 feasible,
                 reason,

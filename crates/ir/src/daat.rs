@@ -18,9 +18,18 @@
 //! 2. terms whose cumulative bound cannot lift any document into the
 //!    current top-N ([`moa_topn::TopNHeap::would_enter`]) become
 //!    *non-essential*: their cursors are never merged, only `seek`-ed
-//!    ([`crate::index::PostingCursor`], galloping skip),
+//!    (header binary search + single-block unpack on the block-compressed
+//!    storage of [`crate::blocks`]),
 //! 3. a document whose partial score plus the remaining bound cannot enter
 //!    the heap is abandoned early (`bound_exits`).
+//!
+//! The pruning metadata is **colocated with the storage**: each
+//! 128-posting storage block has one [`crate::scorer::BlockBound`]
+//! (`last_doc` + exact block-max score) in a contiguous per-term array, so
+//! a skip decision costs one 16-byte load — and a rejected block's packed
+//! payload is never decoded at all. Term frequencies decode lazily, so
+//! even a *scored* candidate inside a block whose siblings were pruned
+//! pays only the block's doc half plus one tf unpack.
 //!
 //! Results are **bit-exact** with the exhaustive merge
 //! ([`DaatSearcher::search_exhaustive`]) and with the set-at-a-time
@@ -28,18 +37,45 @@
 //! order, and all paths share the [`crate::scorer::ScoreKernel`] so every
 //! weight is the identical `f64`. Only the work differs — `postings_scanned`
 //! shrinks, `docs_skipped`/`seeks`/`bound_exits` account for the saving.
+//!
+//! The `_into` entry points ([`DaatSearcher::search_into`],
+//! [`DaatSearcher::search_exhaustive_into`]) run on a caller-owned
+//! [`QueryScratch`] and leave the ranking in `scratch.out`: after the
+//! first query at a given shape they perform **zero heap allocations**
+//! (see `crates/ir/tests/alloc_steady_state.rs`).
 
 use std::sync::{Arc, OnceLock};
 
-use moa_topn::TopNHeap;
-
 use crate::error::Result;
-use crate::index::{InvertedIndex, PostingCursor};
+use crate::index::InvertedIndex;
 use crate::ranking::RankingModel;
-use crate::scorer::{ScoreBounds, ScoreKernel, TermScorer};
+use crate::scorer::{BlockBound, ScoreBounds, ScoreKernel};
+use crate::scratch::{QueryScratch, TermMeta};
 use crate::threshold::BoundGate;
 
-/// Result of a document-at-a-time evaluation.
+/// Work counters of one document-at-a-time evaluation (results live in
+/// the scratch's `out` buffer on the `_into` paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use]
+pub struct DaatStats {
+    /// Postings consumed and scored (the element-at-a-time work measure).
+    pub postings_scanned: usize,
+    /// Cursor-advance operations performed.
+    pub cursor_advances: usize,
+    /// Postings bypassed without scoring (via seeks or pruned tails).
+    /// `postings_scanned + docs_skipped` equals the exhaustive merge's
+    /// posting volume.
+    pub docs_skipped: usize,
+    /// Skip (`seek`) calls issued.
+    pub seeks: usize,
+    /// Documents abandoned because partial score + remaining bound could
+    /// not enter the top-N heap.
+    pub bound_exits: usize,
+    /// Documents whose exact score was computed and offered to the heap.
+    pub candidates: usize,
+}
+
+/// Result of a document-at-a-time evaluation (owning form).
 #[derive(Debug, Clone, PartialEq)]
 #[must_use]
 pub struct DaatReport {
@@ -62,77 +98,52 @@ pub struct DaatReport {
     pub candidates: usize,
 }
 
-/// A document-at-a-time evaluator over per-term posting cursors, with a
-/// per-index scoring kernel built once and reused across queries.
+impl DaatStats {
+    fn into_report(self, top: Vec<(u32, f64)>) -> DaatReport {
+        DaatReport {
+            top,
+            postings_scanned: self.postings_scanned,
+            cursor_advances: self.cursor_advances,
+            docs_skipped: self.docs_skipped,
+            seeks: self.seeks,
+            bound_exits: self.bound_exits,
+            candidates: self.candidates,
+        }
+    }
+}
+
+/// A document-at-a-time evaluator over block-compressed posting cursors,
+/// with a per-index scoring kernel built once and reused across queries.
 #[derive(Debug)]
 pub struct DaatSearcher<'a> {
     index: &'a InvertedIndex,
     kernel: Arc<ScoreKernel>,
     /// Per-term bound tables, built lazily on the first pruned search —
-    /// exhaustive-only users never pay the two full scoring passes. Shared
+    /// exhaustive-only users never pay the full scoring pass. Shared
     /// (`Arc`) so the physical layer can hand out per-query searcher views
     /// without rebuilding the tables.
     bounds: Arc<OnceLock<ScoreBounds>>,
 }
 
-/// Per-query-term evaluation state: cursor, precomputed scorer, bounds.
-struct TermState<'p> {
-    cursor: PostingCursor<'p>,
-    scorer: TermScorer,
-    /// Upper bound on any single posting's contribution (exact per-term
-    /// posting maximum).
-    max_weight: f64,
-    /// Per-fine-block exact contribution maxima (block-max pruning).
-    block_max: &'p [f64],
-    /// Per-fine-block last document ids, aligned with `block_max`.
-    block_last: &'p [u32],
-    /// Coarse-block maxima (deep-skip widening).
-    coarse_max: &'p [f64],
-    /// Coarse-block last document ids, aligned with `coarse_max`.
-    coarse_last: &'p [u32],
-    /// Position in the original query (bit-exact summation order).
-    qpos: usize,
+/// Block-bound of term `meta`'s current block — the one-cache-line skip
+/// record (valid only while the cursor is not exhausted).
+#[inline]
+fn local_bound(bounds: &ScoreBounds, meta: &TermMeta, block: usize) -> BlockBound {
+    bounds.at(meta.bounds_start as usize + block)
 }
 
-impl TermState<'_> {
-    /// Block-max bound of the current posting's block.
-    #[inline]
-    fn local_bound(&self) -> f64 {
-        self.block_max[self.cursor.position() / ScoreBounds::BLOCK_POSTINGS]
+/// Block-max bound on `meta`'s contribution to `target`, found by a
+/// *shallow* block-boundary search from the cursor's current block (no
+/// posting is decoded and the cursor does not move). 0.0 when the run is
+/// exhausted before `target`.
+#[inline]
+fn shallow_bound(bounds: &ScoreBounds, meta: &TermMeta, block: usize, target: u32) -> f64 {
+    let bb = bounds.slice(meta.bounds_start, meta.bounds_len);
+    if block >= bb.len() {
+        return 0.0;
     }
-
-    /// Last document id of the current posting's block — the horizon up
-    /// to which [`TermState::local_bound`] stays valid.
-    #[inline]
-    fn current_block_last(&self) -> u32 {
-        self.block_last[self.cursor.position() / ScoreBounds::BLOCK_POSTINGS]
-    }
-
-    /// Coarse-block bound of the current posting's block.
-    #[inline]
-    fn coarse_bound(&self) -> f64 {
-        self.coarse_max[self.cursor.position() / ScoreBounds::COARSE_BLOCK_POSTINGS]
-    }
-
-    /// Last document id of the current posting's coarse block.
-    #[inline]
-    fn current_coarse_last(&self) -> u32 {
-        self.coarse_last[self.cursor.position() / ScoreBounds::COARSE_BLOCK_POSTINGS]
-    }
-
-    /// Block-max bound on this term's contribution to `target`, found by
-    /// a *shallow* block-boundary search (no posting is touched and the
-    /// cursor does not move): the block holding the first posting ≥
-    /// `target`. 0.0 when the run is exhausted before `target`.
-    #[inline]
-    fn shallow_bound(&self, target: u32) -> f64 {
-        let k0 = self.cursor.position() / ScoreBounds::BLOCK_POSTINGS;
-        if k0 >= self.block_last.len() {
-            return 0.0;
-        }
-        let k = k0 + self.block_last[k0..].partition_point(|&d| d < target);
-        self.block_max.get(k).copied().unwrap_or(0.0)
-    }
+    let k = block + bb[block..].partition_point(|b| b.last_doc < target);
+    bb.get(k).map_or(0.0, |b| b.max_score)
 }
 
 impl<'a> DaatSearcher<'a> {
@@ -149,7 +160,7 @@ impl<'a> DaatSearcher<'a> {
     /// Create an evaluator view over shared per-index state. `kernel` must
     /// have been built for `index` with the desired ranking model; `bounds`
     /// caches the lazily built bound tables across views (pass the same
-    /// `Arc` every time so the two scoring passes happen at most once).
+    /// `Arc` every time so the scoring pass happens at most once).
     pub fn with_shared(
         index: &'a InvertedIndex,
         kernel: Arc<ScoreKernel>,
@@ -172,34 +183,11 @@ impl<'a> DaatSearcher<'a> {
         &self.kernel
     }
 
-    fn term_states<'s>(&'s self, terms: &[u32]) -> Result<Vec<TermState<'s>>> {
-        let bounds = self.bounds();
-        let mut states = Vec::with_capacity(terms.len());
-        for (qpos, &t) in terms.iter().enumerate() {
-            let df = self.index.df(t)?;
-            let cf = self.index.cf(t)?;
-            let scorer = self.kernel.term_scorer(df, cf);
-            let max_weight = bounds.term_max_weight(t);
-            let (block_max, block_last) = bounds.term_blocks(t);
-            let (coarse_max, coarse_last) = bounds.term_coarse_blocks(t);
-            states.push(TermState {
-                cursor: self.index.cursor(t)?,
-                scorer,
-                max_weight,
-                block_max,
-                block_last,
-                coarse_max,
-                coarse_last,
-                qpos,
-            });
-        }
-        Ok(states)
-    }
-
     /// Evaluate a query document-at-a-time with MaxScore pruning,
     /// returning the top `n`. Bit-exact with
     /// [`DaatSearcher::search_exhaustive`]; strictly less work whenever
-    /// the heap threshold disqualifies low-bound terms.
+    /// the heap threshold disqualifies low-bound terms. Allocating
+    /// convenience wrapper over [`DaatSearcher::search_into`].
     pub fn search(&self, terms: &[u32], n: usize) -> Result<DaatReport> {
         self.search_gated(terms, n, &BoundGate::none())
     }
@@ -212,50 +200,82 @@ impl<'a> DaatSearcher<'a> {
     /// The *local* top-N may therefore lose tail entries that cannot make
     /// the global top-N; the cross-shard merge remains bit-exact.
     pub fn search_gated(&self, terms: &[u32], n: usize, gate: &BoundGate) -> Result<DaatReport> {
-        let mut states = self.term_states(terms)?;
-        let m = states.len();
+        let mut scratch = QueryScratch::new();
+        let stats = self.search_into(terms, n, gate, &mut scratch)?;
+        Ok(stats.into_report(std::mem::take(&mut scratch.out)))
+    }
+
+    /// The MaxScore + block-max pruned kernel on a caller-owned
+    /// [`QueryScratch`]: the top `n` lands in `scratch.out` (best first)
+    /// and the counters come back by value. Steady-state calls (same or
+    /// smaller query shape as previously seen by this scratch) perform
+    /// zero heap allocations.
+    pub fn search_into(
+        &self,
+        terms: &[u32],
+        n: usize,
+        gate: &BoundGate,
+        scratch: &mut QueryScratch,
+    ) -> Result<DaatStats> {
+        let bounds = self.bounds();
+        let blocks = self.index.blocks();
+        let m = terms.len();
+        scratch.begin(m, n);
+        let QueryScratch {
+            metas,
+            pos,
+            bufs,
+            cur,
+            contrib,
+            prefix_bound,
+            matching,
+            suffix_bound,
+            ne_prefix,
+            heap,
+            out,
+        } = scratch;
+
+        for (qpos, &t) in terms.iter().enumerate() {
+            let df = self.index.df(t)?;
+            let cf = self.index.cf(t)?;
+            let (bounds_start, bounds_len) = bounds.term_range(t);
+            metas.push(TermMeta {
+                term: t,
+                qpos: qpos as u32,
+                scorer: self.kernel.term_scorer(df, cf),
+                max_weight: bounds.term_max_weight(t),
+                bounds_start,
+                bounds_len,
+            });
+        }
         // Ascending bound order: the cheapest terms come first so a prefix
         // of them can be declared non-essential as the threshold rises.
-        states.sort_by(|a, b| {
+        // (Unstable sort: the (max_weight, qpos) key is unique per entry.)
+        metas.sort_unstable_by(|a, b| {
             a.max_weight
                 .total_cmp(&b.max_weight)
                 .then(a.qpos.cmp(&b.qpos))
         });
         // prefix_bound[k] = sum of the k smallest per-term bounds: the most
         // any document matching only terms[..k] can score.
-        let mut prefix_bound = vec![0.0f64; m + 1];
-        for (i, s) in states.iter().enumerate() {
-            prefix_bound[i + 1] = prefix_bound[i] + s.max_weight;
+        prefix_bound.push(0.0);
+        for i in 0..m {
+            prefix_bound.push(prefix_bound[i] + metas[i].max_weight);
         }
-
-        let mut heap = TopNHeap::new(n);
-        let mut scanned = 0usize;
-        let mut advances = 0usize;
-        let mut skipped = 0usize;
-        let mut seeks = 0usize;
-        let mut bound_exits = 0usize;
+        // Open one cursor per term; `cur` mirrors each cursor's current doc
+        // (u32::MAX when exhausted) so the min-scan and match tests run
+        // over a dense array.
+        for i in 0..m {
+            let view = blocks.view(metas[i].term);
+            let p = view.start(&mut bufs[i]);
+            cur.push(view.doc_at(&p, &bufs[i]).unwrap_or(u32::MAX));
+            pos.push(p);
+        }
         // Per-document contributions, indexed by original query position so
         // the final sum replays the exhaustive merge's addition order.
-        let mut contrib = vec![0.0f64; m];
-        // Reused per-candidate scratch: matching essential cursor indices
-        // (descending bound order), their exact suffix bounds, and the
-        // non-essential shallow block bounds with prefix sums.
-        let mut matching: Vec<usize> = Vec::with_capacity(m);
-        let mut suffix_bound: Vec<f64> = Vec::with_capacity(m + 1);
-        let mut ne_prefix: Vec<f64> = Vec::with_capacity(m + 1);
+        contrib.resize(m, 0.0);
 
-        // Terms [0, first_essential) are non-essential: their cumulative
-        // bound cannot enter the heap, so no document found *only* there
-        // can make the top-N. Doc id 0 is the most favorable tie-break, so
-        // using it keeps the partition conservative for every document.
-        let mut first_essential = 0usize;
-        // Contiguous mirror of each cursor's current doc (u32::MAX when
-        // exhausted): the min-scan and match tests run over this dense
-        // array instead of striding through the larger `TermState`s.
-        let mut cur: Vec<u32> = states
-            .iter()
-            .map(|s| s.cursor.doc().unwrap_or(u32::MAX))
-            .collect();
+        let mut stats = DaatStats::default();
 
         // Phase 1 — warm-up merge: while the heap is not full every
         // candidate enters, so no bound bookkeeping pays off yet (the
@@ -275,12 +295,14 @@ impl<'a> DaatSearcher<'a> {
             }
             for i in 0..m {
                 if cur[i] == next_doc {
-                    let s = &mut states[i];
-                    contrib[s.qpos] = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
-                    s.cursor.advance();
-                    cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
-                    scanned += 1;
-                    advances += 1;
+                    let meta = metas[i];
+                    let view = blocks.view(meta.term);
+                    let tf = view.tf_at(&pos[i], &bufs[i]);
+                    contrib[meta.qpos as usize] = self.kernel.weight(&meta.scorer, tf, next_doc);
+                    view.advance(&mut pos[i], &mut bufs[i]);
+                    cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
+                    stats.postings_scanned += 1;
+                    stats.cursor_advances += 1;
                 }
             }
             // Sum in original query order (bit-exact with the exhaustive
@@ -290,9 +312,14 @@ impl<'a> DaatSearcher<'a> {
                 score += c;
             }
             heap.push(next_doc, score);
-            gate.publish(&heap);
+            gate.publish(heap);
             contrib.fill(0.0);
         }
+        // Terms [0, first_essential) are non-essential: their cumulative
+        // bound cannot enter the heap, so no document found *only* there
+        // can make the top-N. Doc id 0 is the most favorable tie-break, so
+        // using it keeps the partition conservative for every document.
+        let mut first_essential = 0usize;
         while first_essential < m
             && !(heap.would_enter(prefix_bound[first_essential + 1], 0)
                 && gate.admits(prefix_bound[first_essential + 1]))
@@ -318,78 +345,55 @@ impl<'a> DaatSearcher<'a> {
                 break; // all essential cursors exhausted
             }
 
-            // Cheap first gate (no allocation, no block search): matching
-            // cursors' current-block maxima plus the *global* bound of the
-            // non-essential prefix. Most candidates match only weak terms
-            // and die here — and because the same bound holds for every
-            // document up to the matching blocks' boundaries (capped by
-            // the non-matching essential cursors' current documents, whose
-            // arrival would change the matching set), the whole range is
-            // skipped in one galloping move per cursor (block-max deep
-            // skip, Ding–Suel style).
+            // Cheap first gate: matching cursors' current-block maxima
+            // plus the *global* bound of the non-essential prefix. Each
+            // matching term contributes one 16-byte BlockBound load —
+            // last_doc and max_score together. Most candidates match only
+            // weak terms and die here, and because the same bound holds
+            // for every document up to the matching blocks' boundaries
+            // (capped by the non-matching essential cursors' current
+            // documents, whose arrival would change the matching set), the
+            // whole storage-block range is skipped in one seek per cursor
+            // without decoding any rejected block (Ding–Suel style).
             let mut gate_bound = prefix_bound[first_essential];
             let mut skip_to = u32::MAX;
             let mut nonmatch_cap = u32::MAX;
+            matching.clear();
             for i in first_essential..m {
                 let d = cur[i];
                 if d == next_doc {
-                    let s = &states[i];
-                    gate_bound += s.local_bound();
-                    skip_to = skip_to.min(s.current_block_last().saturating_add(1));
+                    let b = local_bound(bounds, &metas[i], pos[i].block);
+                    gate_bound += b.max_score;
+                    skip_to = skip_to.min(b.last_doc.saturating_add(1));
+                    matching.push(i);
                 } else {
                     nonmatch_cap = nonmatch_cap.min(d);
                 }
             }
             skip_to = skip_to.min(nonmatch_cap);
             if !(heap.would_enter(gate_bound, next_doc) && gate.admits(gate_bound)) {
-                bound_exits += 1;
-                // Try widening the skip with the coarse blocks: if even
-                // the looser coarse bound cannot enter, the whole coarse
-                // range is dead and one gallop clears it. Pointless when
-                // another essential cursor's document already caps the
-                // skip below the fine-block boundary.
-                if skip_to < nonmatch_cap {
-                    let mut coarse_gate = prefix_bound[first_essential];
-                    let mut coarse_to = u32::MAX;
-                    for i in first_essential..m {
-                        if cur[i] == next_doc {
-                            let s = &states[i];
-                            coarse_gate += s.coarse_bound();
-                            coarse_to = coarse_to.min(s.current_coarse_last().saturating_add(1));
-                        }
-                    }
-                    if !(heap.would_enter(coarse_gate, next_doc) && gate.admits(coarse_gate)) {
-                        skip_to = coarse_to.min(nonmatch_cap).max(skip_to);
-                    }
-                }
+                stats.bound_exits += 1;
                 let single_step = skip_to == next_doc.saturating_add(1);
-                for i in first_essential..m {
-                    if cur[i] == next_doc {
-                        let s = &mut states[i];
-                        if single_step {
-                            // The posting after the current one is already
-                            // >= skip_to: a plain advance beats a gallop.
-                            s.cursor.advance();
-                            advances += 1;
-                            skipped += 1;
-                        } else {
-                            seeks += 1;
-                            skipped += s.cursor.seek(skip_to);
-                        }
-                        cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+                for &i in matching.iter() {
+                    let view = blocks.view(metas[i].term);
+                    if single_step {
+                        // The posting after the current one is already
+                        // >= skip_to: a plain advance beats a seek.
+                        view.advance(&mut pos[i], &mut bufs[i]);
+                        stats.cursor_advances += 1;
+                        stats.docs_skipped += 1;
+                    } else {
+                        stats.seeks += 1;
+                        stats.docs_skipped += view.seek(&mut pos[i], &mut bufs[i], skip_to);
                     }
+                    cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
                 }
                 continue;
             }
 
-            // Matching essential cursors, strongest bound first
-            // (descending, i.e. reverse of the ascending sort).
-            matching.clear();
-            for i in (first_essential..m).rev() {
-                if cur[i] == next_doc {
-                    matching.push(i);
-                }
-            }
+            // Strongest bound first for scoring (descending, i.e. reverse
+            // of the ascending gate order).
+            matching.reverse();
 
             // Fast path for the single-source candidate with nothing
             // non-essential to probe: its score is one weight, so skip
@@ -397,14 +401,16 @@ impl<'a> DaatSearcher<'a> {
             // bit-identical to the exhaustive merge's sum).
             if first_essential == 0 && matching.len() == 1 {
                 let i = matching[0];
-                let s = &mut states[i];
-                let w = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
-                s.cursor.advance();
-                cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
-                scanned += 1;
-                advances += 1;
+                let meta = metas[i];
+                let view = blocks.view(meta.term);
+                let tf = view.tf_at(&pos[i], &bufs[i]);
+                let w = self.kernel.weight(&meta.scorer, tf, next_doc);
+                view.advance(&mut pos[i], &mut bufs[i]);
+                cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
+                stats.postings_scanned += 1;
+                stats.cursor_advances += 1;
                 heap.push(next_doc, w);
-                gate.publish(&heap);
+                gate.publish(heap);
                 while first_essential < m
                     && !(heap.would_enter(prefix_bound[first_essential + 1], 0)
                         && gate.admits(prefix_bound[first_essential + 1]))
@@ -414,13 +420,13 @@ impl<'a> DaatSearcher<'a> {
                 continue;
             }
             // Non-essential block-max bounds for this candidate, found by
-            // shallow block-boundary searches (cursors do not move).
-            // ne_prefix[j + 1] = the most non-essential terms 0..=j can
-            // add to `next_doc`.
+            // shallow block-boundary searches (cursors do not move, no
+            // payload is decoded). ne_prefix[j + 1] = the most
+            // non-essential terms 0..=j can add to `next_doc`.
             ne_prefix.clear();
             ne_prefix.push(0.0);
-            for s in &states[..first_essential] {
-                let b = ne_prefix[ne_prefix.len() - 1] + s.shallow_bound(next_doc);
+            for j in 0..first_essential {
+                let b = ne_prefix[j] + shallow_bound(bounds, &metas[j], pos[j].block, next_doc);
                 ne_prefix.push(b);
             }
             let ne_total = ne_prefix[first_essential];
@@ -431,20 +437,22 @@ impl<'a> DaatSearcher<'a> {
             suffix_bound.resize(matching.len() + 1, 0.0);
             suffix_bound[matching.len()] = ne_total;
             for k in (0..matching.len()).rev() {
-                suffix_bound[k] = suffix_bound[k + 1] + states[matching[k]].local_bound();
+                let i = matching[k];
+                suffix_bound[k] =
+                    suffix_bound[k + 1] + local_bound(bounds, &metas[i], pos[i].block).max_score;
             }
 
             // Second gate: same matching bounds but with the non-essential
             // part tightened from the global prefix to shallow block
             // maxima at `next_doc`.
             if !(heap.would_enter(suffix_bound[0], next_doc) && gate.admits(suffix_bound[0])) {
-                bound_exits += 1;
-                for &i in &matching {
-                    let s = &mut states[i];
-                    s.cursor.advance();
-                    cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
-                    advances += 1;
-                    skipped += 1;
+                stats.bound_exits += 1;
+                for &i in matching.iter() {
+                    let view = blocks.view(metas[i].term);
+                    view.advance(&mut pos[i], &mut bufs[i]);
+                    cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
+                    stats.cursor_advances += 1;
+                    stats.docs_skipped += 1;
                 }
                 continue;
             }
@@ -454,26 +462,29 @@ impl<'a> DaatSearcher<'a> {
             // mid-scoring.
             let mut partial = 0.0f64;
             let mut abandoned = false;
-            for (k, &i) in matching.iter().enumerate() {
-                let s = &mut states[i];
+            for k in 0..matching.len() {
+                let i = matching[k];
+                let meta = metas[i];
+                let view = blocks.view(meta.term);
                 if abandoned {
-                    s.cursor.advance();
-                    advances += 1;
-                    skipped += 1;
+                    view.advance(&mut pos[i], &mut bufs[i]);
+                    stats.cursor_advances += 1;
+                    stats.docs_skipped += 1;
                 } else {
-                    let w = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
-                    contrib[s.qpos] = w;
+                    let tf = view.tf_at(&pos[i], &bufs[i]);
+                    let w = self.kernel.weight(&meta.scorer, tf, next_doc);
+                    contrib[meta.qpos as usize] = w;
                     partial += w;
-                    s.cursor.advance();
-                    scanned += 1;
-                    advances += 1;
+                    view.advance(&mut pos[i], &mut bufs[i]);
+                    stats.postings_scanned += 1;
+                    stats.cursor_advances += 1;
                     let rest = partial + suffix_bound[k + 1];
                     if !(heap.would_enter(rest, next_doc) && gate.admits(rest)) {
-                        bound_exits += 1;
+                        stats.bound_exits += 1;
                         abandoned = true;
                     }
                 }
-                cur[i] = s.cursor.doc().unwrap_or(u32::MAX);
+                cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
             }
 
             // Probe the non-essential terms, strongest bound first, bailing
@@ -483,22 +494,24 @@ impl<'a> DaatSearcher<'a> {
                 for j in (0..first_essential).rev() {
                     let rest = partial + ne_prefix[j + 1];
                     if !(heap.would_enter(rest, next_doc) && gate.admits(rest)) {
-                        bound_exits += 1;
+                        stats.bound_exits += 1;
                         completed = false;
                         break;
                     }
-                    let s = &mut states[j];
-                    seeks += 1;
-                    skipped += s.cursor.seek(next_doc);
-                    if s.cursor.doc() == Some(next_doc) {
-                        let w = self.kernel.weight(&s.scorer, s.cursor.tf(), next_doc);
-                        contrib[s.qpos] = w;
+                    let meta = metas[j];
+                    let view = blocks.view(meta.term);
+                    stats.seeks += 1;
+                    stats.docs_skipped += view.seek(&mut pos[j], &mut bufs[j], next_doc);
+                    if view.doc_at(&pos[j], &bufs[j]) == Some(next_doc) {
+                        let tf = view.tf_at(&pos[j], &bufs[j]);
+                        let w = self.kernel.weight(&meta.scorer, tf, next_doc);
+                        contrib[meta.qpos as usize] = w;
                         partial += w;
-                        s.cursor.advance();
-                        scanned += 1;
-                        advances += 1;
+                        view.advance(&mut pos[j], &mut bufs[j]);
+                        stats.postings_scanned += 1;
+                        stats.cursor_advances += 1;
                     }
-                    cur[j] = s.cursor.doc().unwrap_or(u32::MAX);
+                    cur[j] = view.doc_at(&pos[j], &bufs[j]).unwrap_or(u32::MAX);
                 }
             }
 
@@ -510,7 +523,7 @@ impl<'a> DaatSearcher<'a> {
                     score += c;
                 }
                 heap.push(next_doc, score);
-                gate.publish(&heap);
+                gate.publish(heap);
                 // The threshold may have tightened: grow the non-essential
                 // prefix (it never shrinks).
                 while first_essential < m
@@ -524,80 +537,96 @@ impl<'a> DaatSearcher<'a> {
         }
 
         // Account for the pruned tails so the work ledger balances.
-        for s in &states {
-            skipped += s.cursor.remaining();
+        for i in 0..m {
+            let len = blocks.view(metas[i].term).len();
+            stats.docs_skipped += len - (pos[i].base + pos[i].idx).min(len);
         }
 
-        let candidates = heap.pushes();
-        Ok(DaatReport {
-            top: heap.into_sorted_vec(),
-            postings_scanned: scanned,
-            cursor_advances: advances,
-            docs_skipped: skipped,
-            seeks,
-            bound_exits,
-            candidates,
-        })
+        stats.candidates = heap.pushes();
+        heap.extract_sorted_into(out);
+        Ok(stats)
     }
 
     /// Evaluate a query document-at-a-time with the plain exhaustive
     /// cursor merge — every posting of every query term is consumed. The
-    /// unpruned baseline that experiment E14 measures [`Self::search`]
+    /// unpruned baseline that experiments E14/E17 measure [`Self::search`]
     /// against, and the element-at-a-time work reference of E13.
+    /// Allocating wrapper over [`DaatSearcher::search_exhaustive_into`].
     pub fn search_exhaustive(&self, terms: &[u32], n: usize) -> Result<DaatReport> {
-        // Lightweight per-term state: the plain merge needs no bound
-        // tables, so this path never triggers the lazy `ScoreBounds`
-        // build.
-        let mut states: Vec<(PostingCursor<'_>, TermScorer)> = terms
-            .iter()
-            .map(|&t| {
-                Ok((
-                    self.index.cursor(t)?,
-                    self.kernel
-                        .term_scorer(self.index.df(t)?, self.index.cf(t)?),
-                ))
-            })
-            .collect::<Result<_>>()?;
+        let mut scratch = QueryScratch::new();
+        let stats = self.search_exhaustive_into(terms, n, &mut scratch)?;
+        Ok(stats.into_report(std::mem::take(&mut scratch.out)))
+    }
 
-        let mut heap = TopNHeap::new(n);
-        let mut scanned = 0usize;
-        let mut advances = 0usize;
+    /// The exhaustive cursor merge on a caller-owned scratch. Never
+    /// triggers the lazy [`ScoreBounds`] build — the plain merge needs no
+    /// bound tables.
+    pub fn search_exhaustive_into(
+        &self,
+        terms: &[u32],
+        n: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<DaatStats> {
+        let blocks = self.index.blocks();
+        let m = terms.len();
+        scratch.begin(m, n);
+        let QueryScratch {
+            metas,
+            pos,
+            bufs,
+            cur,
+            heap,
+            out,
+            ..
+        } = scratch;
+        // States stay in query order, so the addition order matches the
+        // naive paths.
+        for (qpos, &t) in terms.iter().enumerate() {
+            let df = self.index.df(t)?;
+            let cf = self.index.cf(t)?;
+            metas.push(TermMeta {
+                term: t,
+                qpos: qpos as u32,
+                scorer: self.kernel.term_scorer(df, cf),
+                max_weight: 0.0,
+                bounds_start: 0,
+                bounds_len: 0,
+            });
+        }
+        for i in 0..m {
+            let view = blocks.view(metas[i].term);
+            let p = view.start(&mut bufs[i]);
+            cur.push(view.doc_at(&p, &bufs[i]).unwrap_or(u32::MAX));
+            pos.push(p);
+        }
 
+        let mut stats = DaatStats::default();
         loop {
-            let mut next_doc = u32::MAX;
-            for (cursor, _) in &states {
-                if let Some(d) = cursor.doc() {
-                    next_doc = next_doc.min(d);
-                }
-            }
+            let next_doc = cur.iter().copied().min().unwrap_or(u32::MAX);
             if next_doc == u32::MAX {
                 break; // all cursors exhausted
             }
             // Accumulate this document's score from every matching cursor
-            // and advance those cursors (element-at-a-time). States are in
-            // query order, so the addition order matches the naive paths.
+            // and advance those cursors (element-at-a-time).
             let mut score = 0.0f64;
-            for (cursor, scorer) in &mut states {
-                if cursor.doc() == Some(next_doc) {
-                    score += self.kernel.weight(scorer, cursor.tf(), next_doc);
-                    cursor.advance();
-                    scanned += 1;
-                    advances += 1;
+            for i in 0..m {
+                if cur[i] == next_doc {
+                    let meta = metas[i];
+                    let view = blocks.view(meta.term);
+                    let tf = view.tf_at(&pos[i], &bufs[i]);
+                    score += self.kernel.weight(&meta.scorer, tf, next_doc);
+                    view.advance(&mut pos[i], &mut bufs[i]);
+                    cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
+                    stats.postings_scanned += 1;
+                    stats.cursor_advances += 1;
                 }
             }
             heap.push(next_doc, score);
         }
 
-        let candidates = heap.pushes();
-        Ok(DaatReport {
-            top: heap.into_sorted_vec(),
-            postings_scanned: scanned,
-            cursor_advances: advances,
-            docs_skipped: 0,
-            seeks: 0,
-            bound_exits: 0,
-            candidates,
-        })
+        stats.candidates = heap.pushes();
+        heap.extract_sorted_into(out);
+        Ok(stats)
     }
 }
 
@@ -647,6 +676,39 @@ mod tests {
                     let full = daat.search_exhaustive(&q.terms, n).unwrap();
                     assert_eq!(pruned.top, full.top, "{model:?} {:?} n={n}", q.terms);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        // One scratch reused across queries of varying widths and depths
+        // answers exactly as a fresh scratch per query.
+        let (c, idx) = setup();
+        let daat = DaatSearcher::new(&idx, RankingModel::default());
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let mut reused = QueryScratch::new();
+        for q in queries.iter().take(15) {
+            for n in [1usize, 10] {
+                let stats = daat
+                    .search_into(&q.terms, n, &BoundGate::none(), &mut reused)
+                    .unwrap();
+                let fresh = daat.search(&q.terms, n).unwrap();
+                assert_eq!(reused.out, fresh.top, "query {:?} n={n}", q.terms);
+                assert_eq!(stats.postings_scanned, fresh.postings_scanned);
+                assert_eq!(stats.docs_skipped, fresh.docs_skipped);
+                assert_eq!(stats.seeks, fresh.seeks);
+                assert_eq!(stats.bound_exits, fresh.bound_exits);
+                assert_eq!(stats.candidates, fresh.candidates);
+                // Exhaustive reuse through the same scratch too.
+                let ex = daat
+                    .search_exhaustive_into(&q.terms, n, &mut reused)
+                    .unwrap();
+                assert_eq!(reused.out, fresh.top);
+                assert_eq!(
+                    ex.postings_scanned,
+                    stats.postings_scanned + stats.docs_skipped
+                );
             }
         }
     }

@@ -93,15 +93,20 @@ impl<'a> Searcher<'a> {
             let df = self.index.df(term)?;
             let cf = self.index.cf(term)?;
             let scorer = self.kernel.term_scorer(df, cf);
-            let (docs, tfs) = self.index.postings(term)?;
-            if !docs.is_empty() {
+            if self.index.run_len(term)? > 0 {
                 matched += 1;
             }
-            for (i, &doc) in docs.iter().enumerate() {
-                let w = self.kernel.weight(&scorer, tfs[i], doc);
-                self.accum.add(doc, w);
+            // Stream the run straight off the block-compressed storage
+            // (block-by-block decode on a stack buffer, no allocation);
+            // document order matches the flat layout, so the accumulation
+            // order — and every resulting f64 — is unchanged.
+            let kernel = &self.kernel;
+            let accum = &mut self.accum;
+            self.index.for_each_posting(term, |doc, tf| {
+                let w = kernel.weight(&scorer, tf, doc);
+                accum.add(doc, w);
                 scanned += 1;
-            }
+            })?;
         }
 
         let mut heap = TopNHeap::new(n);
@@ -164,7 +169,7 @@ mod tests {
         for &(doc, score) in &rep.top {
             let mut expect = 0.0;
             for &t in &q {
-                let (docs, tfs) = idx.postings(t).unwrap();
+                let (docs, tfs) = idx.decode_postings(t).unwrap();
                 if let Some(i) = docs.iter().position(|&d| d == doc) {
                     expect += model.term_weight(
                         tfs[i],

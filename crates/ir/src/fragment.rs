@@ -76,12 +76,13 @@ impl TdTable {
             if !keep(term) {
                 continue;
             }
-            let (d, t) = index.postings(term).expect("term id in range");
-            for (i, &doc) in d.iter().enumerate() {
-                terms.push(term);
-                docs.push(doc);
-                tfs.push(t[i]);
-            }
+            index
+                .for_each_posting(term, |doc, tf| {
+                    terms.push(term);
+                    docs.push(doc);
+                    tfs.push(tf);
+                })
+                .expect("term id in range");
         }
         let term_bat = Bat::dense(Column::from(terms.clone()));
         TdTable {
@@ -614,23 +615,24 @@ impl FragSearcher {
         // The shared block-max bound tables — the same [`ScoreBounds`]
         // the pruned DAAT kernel runs on, built lazily once per
         // `(index, model)` and shared across engine paths. Bucket
-        // position i sits in fine block i / 8 (the invariant asserted
-        // above), so the block's exact maximum bounds that posting's
-        // weight.
+        // position i sits in storage block i / BLOCK_POSTINGS (the
+        // invariant asserted above), so that block's exact maximum
+        // bounds the posting's weight.
         let kernel = Arc::clone(&self.kernel);
         let bound_tables = Arc::clone(&self.bound_tables);
         let tables = bound_tables.get_or_init(|| ScoreBounds::new(&kernel, index));
 
         // Bound pass: accumulate each touched document's score upper bound
-        // position by position from the fine block maxima. The sequential
-        // accumulation mirrors the exact canonical sum's addition order,
-        // and floating-point rounding is monotone, so `bound >= exact
-        // score` holds slot for slot.
+        // position by position from the storage-block maxima (one
+        // `BlockBound` per 128-posting block, colocated with the block
+        // headers). The sequential accumulation mirrors the exact
+        // canonical sum's addition order, and floating-point rounding is
+        // monotone, so `bound >= exact score` holds slot for slot.
         for &bi in bucket_of.iter() {
-            let (block_max, _) = tables.term_blocks(distinct[bi]);
+            let block_bounds = tables.term_blocks(distinct[bi]);
             for (i, &(doc, _)) in buckets[bi].iter().enumerate() {
                 self.ub_accum
-                    .add(doc, block_max[i / ScoreBounds::BLOCK_POSTINGS]);
+                    .add(doc, block_bounds[i / ScoreBounds::BLOCK_POSTINGS].max_score);
             }
         }
         let mut docs: Vec<(u32, f64)> = self

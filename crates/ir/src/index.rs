@@ -1,13 +1,21 @@
 //! The inverted index: a term-major term–document matrix.
 //!
-//! Postings are stored columnar — `(doc, tf)` runs per term, exactly the
-//! flattened BAT representation Moa produces on MonetDB. Collection-wide
-//! statistics (df, cf, max tf, document lengths) are kept alongside; the
-//! ranking models and the fragmentation safety check consume them.
+//! Postings are stored in the block-compressed format of
+//! [`crate::blocks`] — fixed 128-entry blocks, delta-encoded bit-packed
+//! document ids with term frequencies packed alongside, and one contiguous
+//! per-block header array — rather than flat `(doc, tf)` arrays. The
+//! element-at-a-time paths read it through decode-on-demand cursors
+//! ([`PostingCursor`], or the scratch-backed cursor state the DAAT kernel
+//! drives directly); set-based consumers stream whole runs with
+//! [`InvertedIndex::for_each_posting`] or materialize them with
+//! [`InvertedIndex::decode_postings`]. Collection-wide statistics (df, cf,
+//! max tf, document lengths) are kept alongside; the ranking models and
+//! the fragmentation safety check consume them.
 
 use moa_corpus::Collection;
 use moa_storage::{Bat, Column};
 
+use crate::blocks::{BlockListBuilder, BlockPostingList, CursorBuf, CursorPos, TermView};
 use crate::error::{IrError, Result};
 
 /// Collection statistics needed by ranking models.
@@ -31,11 +39,8 @@ pub struct InvertedIndex {
     /// Highest within-document tf of each term (upper bound for the safety
     /// check's score-contribution estimates).
     max_tf: Vec<u32>,
-    /// Posting payloads, term-major.
-    post_docs: Vec<u32>,
-    post_tfs: Vec<u32>,
-    /// `term_offsets[t]..term_offsets[t+1]` is term `t`'s run.
-    term_offsets: Vec<usize>,
+    /// Block-compressed posting payloads, term-major.
+    blocks: BlockPostingList,
 }
 
 impl InvertedIndex {
@@ -57,7 +62,9 @@ impl InvertedIndex {
     /// Build an index from `(term, doc, tf)` triples sorted by `(term,
     /// doc)`, with the given vocabulary size and per-document token counts.
     /// Used by [`crate::text::IndexBuilder`] and available for custom
-    /// ingestion pipelines.
+    /// ingestion pipelines. This is the single block-encode point: every
+    /// construction path (text ingestion, synthetic collections, document
+    /// sharding) funnels through here.
     pub fn from_sorted_postings(
         vocab: usize,
         doc_len: Vec<u32>,
@@ -68,20 +75,21 @@ impl InvertedIndex {
                 "index needs at least one document".into(),
             ));
         }
+        // Strict order: a duplicate (term, doc) pair is malformed input
+        // (one posting per term-document cell; builders aggregate tfs),
+        // and the delta encoder requires strictly increasing doc ids
+        // within a run.
         if postings
             .windows(2)
-            .any(|w| (w[0].0, w[0].1) > (w[1].0, w[1].1))
+            .any(|w| (w[0].0, w[0].1) >= (w[1].0, w[1].1))
         {
             return Err(IrError::InvalidConfig(
-                "postings must be sorted by (term, doc)".into(),
+                "postings must be strictly sorted by (term, doc) with no duplicates".into(),
             ));
         }
-        let mut post_docs = Vec::with_capacity(postings.len());
-        let mut post_tfs = Vec::with_capacity(postings.len());
         let mut df = vec![0u32; vocab];
         let mut cf = vec![0u64; vocab];
         let mut max_tf = vec![0u32; vocab];
-        let mut term_offsets = vec![0usize; vocab + 1];
         for &(term, doc, tf) in postings {
             let t = term as usize;
             if t >= vocab {
@@ -93,15 +101,25 @@ impl InvertedIndex {
                     doc_len.len()
                 )));
             }
-            post_docs.push(doc);
-            post_tfs.push(tf);
             df[t] += 1;
             cf[t] += u64::from(tf);
             max_tf[t] = max_tf[t].max(tf);
-            term_offsets[t + 1] += 1;
         }
-        for t in 0..vocab {
-            term_offsets[t + 1] += term_offsets[t];
+        // Encode term by term: `postings` is (term, doc)-sorted, so each
+        // term's triples form one doc-ascending run.
+        let mut builder = BlockListBuilder::new();
+        let mut run_docs: Vec<u32> = Vec::new();
+        let mut run_tfs: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        for t in 0..vocab as u32 {
+            run_docs.clear();
+            run_tfs.clear();
+            while i < postings.len() && postings[i].0 == t {
+                run_docs.push(postings[i].1);
+                run_tfs.push(postings[i].2);
+                i += 1;
+            }
+            builder.push_run(&run_docs, &run_tfs);
         }
         let total_tokens: u64 = doc_len.iter().map(|&l| u64::from(l)).sum();
         Ok(InvertedIndex {
@@ -114,9 +132,7 @@ impl InvertedIndex {
             df,
             cf,
             max_tf,
-            post_docs,
-            post_tfs,
-            term_offsets,
+            blocks: builder.finish(),
         })
     }
 
@@ -138,7 +154,7 @@ impl InvertedIndex {
     /// Total number of postings (the data volume unit of the fragmentation
     /// experiments).
     pub fn num_postings(&self) -> usize {
-        self.post_docs.len()
+        self.blocks.num_postings()
     }
 
     /// Document frequency of a term.
@@ -182,37 +198,57 @@ impl InvertedIndex {
     /// wide catalog statistic. Work estimates (planner pricing, scan
     /// volumes) should use this; ranking-model inputs should use `df`.
     pub fn run_len(&self, term: u32) -> Result<usize> {
-        let t = term as usize;
-        if t >= self.df.len() {
+        if term as usize >= self.df.len() {
             return Err(IrError::UnknownTerm(term));
         }
-        Ok(self.term_offsets[t + 1] - self.term_offsets[t])
+        Ok(self.blocks.run_len(term))
     }
 
-    /// The posting run of a term: aligned `(docs, tfs)` slices.
-    pub fn postings(&self, term: u32) -> Result<(&[u32], &[u32])> {
-        let t = term as usize;
-        if t >= self.df.len() {
+    /// The block-compressed posting store — block headers, packed payload,
+    /// per-term views. The DAAT kernel and the bound-table builder operate
+    /// on it directly.
+    pub fn blocks(&self) -> &BlockPostingList {
+        &self.blocks
+    }
+
+    /// Stream a term's postings in document order through `f(doc, tf)` —
+    /// the allocation-free full-run path of the set-at-a-time evaluator
+    /// and the table builders.
+    pub fn for_each_posting(&self, term: u32, f: impl FnMut(u32, u32)) -> Result<()> {
+        if term as usize >= self.df.len() {
             return Err(IrError::UnknownTerm(term));
         }
-        let (s, e) = (self.term_offsets[t], self.term_offsets[t + 1]);
-        Ok((&self.post_docs[s..e], &self.post_tfs[s..e]))
+        self.blocks.for_each(term, f);
+        Ok(())
+    }
+
+    /// Materialize a term's posting run as owned `(docs, tfs)` vectors.
+    /// Pays one decode pass plus two allocations — use
+    /// [`InvertedIndex::for_each_posting`] or a cursor on hot paths.
+    pub fn decode_postings(&self, term: u32) -> Result<(Vec<u32>, Vec<u32>)> {
+        if term as usize >= self.df.len() {
+            return Err(IrError::UnknownTerm(term));
+        }
+        Ok(self.blocks.decode_term(term))
     }
 
     /// A skippable cursor over a term's posting run, for
     /// document-at-a-time merging with bounds-based pruning
-    /// ([`crate::daat::DaatSearcher`]).
+    /// ([`crate::daat::DaatSearcher`]). Owns its decode buffer (one heap
+    /// allocation); the DAAT kernel's scratch-pooled path avoids even that
+    /// via [`crate::scratch::QueryScratch`].
     pub fn cursor(&self, term: u32) -> Result<PostingCursor<'_>> {
-        let (docs, tfs) = self.postings(term)?;
-        Ok(PostingCursor { docs, tfs, pos: 0 })
+        if term as usize >= self.df.len() {
+            return Err(IrError::UnknownTerm(term));
+        }
+        Ok(PostingCursor::new(self.blocks.view(term)))
     }
 
     /// Materialize a term's postings as a `(doc → tf)` BAT — the
     /// flattened-Moa view used by the algebra layer.
     pub fn postings_bat(&self, term: u32) -> Result<Bat> {
-        let (docs, tfs) = self.postings(term)?;
-        Ok(Bat::new(docs.to_vec(), Column::from(tfs.to_vec()))
-            .expect("aligned slices have equal length"))
+        let (docs, tfs) = self.decode_postings(term)?;
+        Ok(Bat::new(docs, Column::from(tfs)).expect("aligned decode halves have equal length"))
     }
 
     /// Per-term df table as a dense BAT (term oid → df), for the algebra
@@ -233,39 +269,16 @@ impl InvertedIndex {
     /// [`InvertedIndex::run_len`] and [`InvertedIndex::num_postings`],
     /// which do reflect only the resident postings.
     pub fn shard_by_docs(&self, keep: impl Fn(u32) -> bool) -> InvertedIndex {
-        let vocab = self.vocab_size();
-        let mut post_docs = Vec::new();
-        let mut post_tfs = Vec::new();
-        let mut term_offsets = vec![0usize; vocab + 1];
-        for t in 0..vocab {
-            let (s, e) = (self.term_offsets[t], self.term_offsets[t + 1]);
-            for i in s..e {
-                let doc = self.post_docs[i];
-                if keep(doc) {
-                    post_docs.push(doc);
-                    post_tfs.push(self.post_tfs[i]);
-                }
-            }
-            term_offsets[t + 1] = post_docs.len();
-        }
-        InvertedIndex {
-            stats: self.stats,
-            doc_len: self.doc_len.clone(),
-            df: self.df.clone(),
-            cf: self.cf.clone(),
-            max_tf: self.max_tf.clone(),
-            post_docs,
-            post_tfs,
-            term_offsets,
-        }
+        let mut shards = self.shard_by_docs_multi(2, |d| usize::from(!keep(d)));
+        shards.swap_remove(0)
     }
 
     /// Partition this index into `shards` document-partition shards in
     /// **one pass** over the postings: `assign(doc)` names each
     /// document's shard (values ≥ `shards` are clamped to the last).
-    /// Each shard is exactly what [`InvertedIndex::shard_by_docs`] would
-    /// have produced for its predicate, at 1/P of the construction cost —
-    /// the constructor the shard fan-out uses.
+    /// Each shard re-encodes its resident runs into its own block store;
+    /// catalog statistics stay global (see
+    /// [`InvertedIndex::shard_by_docs`]).
     pub fn shard_by_docs_multi(
         &self,
         shards: usize,
@@ -273,33 +286,32 @@ impl InvertedIndex {
     ) -> Vec<InvertedIndex> {
         let p = shards.max(1);
         let vocab = self.vocab_size();
+        let mut builders: Vec<BlockListBuilder> = (0..p).map(|_| BlockListBuilder::new()).collect();
         let mut docs: Vec<Vec<u32>> = vec![Vec::new(); p];
         let mut tfs: Vec<Vec<u32>> = vec![Vec::new(); p];
-        let mut offsets: Vec<Vec<usize>> = vec![vec![0usize; vocab + 1]; p];
-        for t in 0..vocab {
-            let (s, e) = (self.term_offsets[t], self.term_offsets[t + 1]);
-            for i in s..e {
-                let doc = self.post_docs[i];
+        for t in 0..vocab as u32 {
+            for s in 0..p {
+                docs[s].clear();
+                tfs[s].clear();
+            }
+            self.blocks.for_each(t, |doc, tf| {
                 let shard = assign(doc).min(p - 1);
                 docs[shard].push(doc);
-                tfs[shard].push(self.post_tfs[i]);
-            }
-            for shard in 0..p {
-                offsets[shard][t + 1] = docs[shard].len();
+                tfs[shard].push(tf);
+            });
+            for s in 0..p {
+                builders[s].push_run(&docs[s], &tfs[s]);
             }
         }
-        docs.into_iter()
-            .zip(tfs)
-            .zip(offsets)
-            .map(|((post_docs, post_tfs), term_offsets)| InvertedIndex {
+        builders
+            .into_iter()
+            .map(|b| InvertedIndex {
                 stats: self.stats,
                 doc_len: self.doc_len.clone(),
                 df: self.df.clone(),
                 cf: self.cf.clone(),
                 max_tf: self.max_tf.clone(),
-                post_docs,
-                post_tfs,
-                term_offsets,
+                blocks: b.finish(),
             })
             .collect()
     }
@@ -316,105 +328,94 @@ impl InvertedIndex {
     }
 }
 
-/// A forward cursor over one term's posting run with a galloping
-/// (exponential + binary search) `seek` — the skip primitive behind the
+/// A forward cursor over one term's block-compressed posting run:
+/// decode-on-demand (documents on block entry, term frequencies only when
+/// scored) with a `seek` that binary-searches the contiguous block-header
+/// array and unpacks a single block — the skip primitive behind the
 /// MaxScore-pruned DAAT kernel.
 ///
-/// Postings are doc-sorted, so `seek(d)` lands on the first posting whose
-/// document id is ≥ `d` in O(log gap) probes instead of the O(gap) linear
-/// scan a plain merge pays.
+/// This standalone form owns its decode buffer (one boxed [`CursorBuf`]).
+/// The query kernel's hot path keeps the same state in pooled scratch
+/// arrays instead ([`crate::scratch::QueryScratch`]) so steady-state
+/// queries allocate nothing; both drive the identical [`TermView`] core.
 #[derive(Debug, Clone)]
 pub struct PostingCursor<'a> {
-    docs: &'a [u32],
-    tfs: &'a [u32],
-    pos: usize,
+    view: TermView<'a>,
+    pos: CursorPos,
+    buf: Box<CursorBuf>,
 }
 
-impl PostingCursor<'_> {
+impl<'a> PostingCursor<'a> {
+    fn new(view: TermView<'a>) -> PostingCursor<'a> {
+        let mut buf = Box::new(CursorBuf::new());
+        let pos = view.start(&mut buf);
+        PostingCursor { view, pos, buf }
+    }
+
     /// The current posting's document id, or `None` when exhausted.
     #[inline]
     pub fn doc(&self) -> Option<u32> {
-        self.docs.get(self.pos).copied()
+        self.view.doc_at(&self.pos, &self.buf)
     }
 
-    /// The current posting's term frequency (0 when exhausted).
+    /// The current posting's term frequency (0 when exhausted): one
+    /// point-unpack off the packed payload.
     #[inline]
     pub fn tf(&self) -> u32 {
-        self.tfs.get(self.pos).copied().unwrap_or(0)
+        self.view.tf_at(&self.pos, &self.buf)
     }
 
     /// Advance to the next posting.
     #[inline]
     pub fn advance(&mut self) {
-        self.pos += 1;
+        self.view.advance(&mut self.pos, &mut self.buf);
     }
 
     /// The cursor's position within the posting run (0-based; equals
-    /// `len()` when exhausted). Block-max pruning divides this by the
-    /// block size to find the current block.
+    /// `len()` when exhausted). Block-max pruning divides this by
+    /// [`crate::blocks::BLOCK_LEN`] to find the current block.
     #[inline]
     pub fn position(&self) -> usize {
-        self.pos
+        self.pos.base + self.pos.idx
+    }
+
+    /// Index of the current block within the run.
+    #[inline]
+    pub fn block_index(&self) -> usize {
+        self.pos.block
     }
 
     /// Whether every posting has been consumed.
     #[inline]
     pub fn is_exhausted(&self) -> bool {
-        self.pos >= self.docs.len()
+        self.position() >= self.view.len()
     }
 
     /// Postings not yet consumed (including the current one).
     #[inline]
     pub fn remaining(&self) -> usize {
-        self.docs.len() - self.pos.min(self.docs.len())
+        self.view.len() - self.position().min(self.view.len())
     }
 
     /// Total postings in the run.
     #[inline]
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.view.len()
     }
 
     /// Whether the run has no postings at all.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.view.is_empty()
     }
 
-    /// Advance to the first posting with document id ≥ `target` by
-    /// galloping: double a probe stride until it overshoots, then binary
-    /// search the bracketed window. Never moves backwards. Returns the
-    /// number of postings skipped over (positions passed without being
-    /// scored), the pruning work-saved measure.
+    /// Advance to the first posting with document id ≥ `target`: binary
+    /// search over the block headers (`last_doc` fields, one contiguous
+    /// array), then one block unpack and an in-block search. Never moves
+    /// backwards. Returns the number of postings skipped over (positions
+    /// passed without being scored), the pruning work-saved measure.
     pub fn seek(&mut self, target: u32) -> usize {
-        let start = self.pos;
-        let n = self.docs.len();
-        if start >= n || self.docs[start] >= target {
-            return 0;
-        }
-        // Gallop: maintain docs[lo] < target, grow the stride until the
-        // probe reaches `target` or falls off the run.
-        let mut lo = start;
-        let mut step = 1usize;
-        loop {
-            let probe = lo + step;
-            if probe >= n || self.docs[probe] >= target {
-                break;
-            }
-            lo = probe;
-            step <<= 1;
-        }
-        let mut hi = (lo + step).min(n); // docs[hi] >= target, or hi == n
-        while lo + 1 < hi {
-            let mid = lo + (hi - lo) / 2;
-            if self.docs[mid] < target {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        self.pos = hi;
-        hi - start
+        self.view.seek(&mut self.pos, &mut self.buf, target)
     }
 }
 
@@ -441,17 +442,23 @@ mod tests {
     }
 
     #[test]
-    fn postings_match_collection() {
+    fn postings_decode_to_collection() {
         let c = Collection::generate(CollectionConfig::tiny()).unwrap();
         let idx = InvertedIndex::from_collection(&c);
         for term in [0u32, 5, 100, 1999] {
-            let (docs, tfs) = idx.postings(term).unwrap();
+            let (docs, tfs) = idx.decode_postings(term).unwrap();
             let expect = c.postings_for_term(term);
             assert_eq!(docs.len(), expect.len());
             for (i, p) in expect.iter().enumerate() {
                 assert_eq!(docs[i], p.doc);
                 assert_eq!(tfs[i], p.tf);
             }
+            // The streaming path yields the identical sequence.
+            let mut streamed = Vec::new();
+            idx.for_each_posting(term, |d, t| streamed.push((d, t)))
+                .unwrap();
+            let zipped: Vec<(u32, u32)> = docs.into_iter().zip(tfs).collect();
+            assert_eq!(streamed, zipped);
         }
     }
 
@@ -459,21 +466,45 @@ mod tests {
     fn unknown_term_is_error() {
         let idx = index();
         assert!(matches!(
-            idx.postings(u32::MAX),
+            idx.decode_postings(u32::MAX),
             Err(IrError::UnknownTerm(_))
         ));
         assert!(idx.df(u32::MAX).is_err());
         assert!(idx.cf(u32::MAX).is_err());
         assert!(idx.max_tf(u32::MAX).is_err());
+        assert!(idx.for_each_posting(u32::MAX, |_, _| {}).is_err());
     }
 
     #[test]
     fn max_tf_bounds_all_postings() {
         let idx = index();
         for term in 0..idx.vocab_size() as u32 {
-            let (_, tfs) = idx.postings(term).unwrap();
+            let (_, tfs) = idx.decode_postings(term).unwrap();
             let observed_max = tfs.iter().copied().max().unwrap_or(0);
             assert_eq!(idx.max_tf(term).unwrap(), observed_max);
+        }
+    }
+
+    #[test]
+    fn block_headers_cover_runs() {
+        let idx = index();
+        for term in idx.terms_by_df_asc() {
+            let (docs, tfs) = idx.decode_postings(term).unwrap();
+            let view = idx.blocks().view(term);
+            assert_eq!(view.len(), docs.len());
+            assert_eq!(
+                view.num_blocks(),
+                docs.len().div_ceil(crate::blocks::BLOCK_LEN)
+            );
+            for (b, chunk) in docs.chunks(crate::blocks::BLOCK_LEN).enumerate() {
+                let h = view.headers()[b];
+                assert_eq!(h.first_doc, chunk[0]);
+                assert_eq!(h.last_doc, *chunk.last().unwrap());
+                assert_eq!(usize::from(h.len), chunk.len());
+                let base = b * crate::blocks::BLOCK_LEN;
+                let tf_max = tfs[base..base + chunk.len()].iter().copied().max().unwrap();
+                assert_eq!(h.max_tf, tf_max);
+            }
         }
     }
 
@@ -482,7 +513,7 @@ mod tests {
         let idx = index();
         let term = idx.terms_by_df_asc().pop().unwrap(); // most frequent
         let bat = idx.postings_bat(term).unwrap();
-        let (docs, tfs) = idx.postings(term).unwrap();
+        let (docs, tfs) = idx.decode_postings(term).unwrap();
         assert_eq!(bat.head_oids(), docs);
         assert_eq!(bat.tail().as_u32().unwrap(), tfs);
     }
@@ -517,7 +548,7 @@ mod tests {
     fn cursor_walks_postings_in_order() {
         let idx = index();
         let term = *idx.terms_by_df_asc().last().unwrap();
-        let (docs, tfs) = idx.postings(term).unwrap();
+        let (docs, tfs) = idx.decode_postings(term).unwrap();
         let mut c = idx.cursor(term).unwrap();
         assert_eq!(c.len(), docs.len());
         for (i, &d) in docs.iter().enumerate() {
@@ -536,7 +567,7 @@ mod tests {
     fn cursor_seek_matches_linear_scan() {
         let idx = index();
         for term in idx.terms_by_df_asc() {
-            let (docs, _) = idx.postings(term).unwrap();
+            let (docs, _) = idx.decode_postings(term).unwrap();
             // Seek to every doc id around each posting and compare with
             // the linear-scan definition: first posting with doc >= target.
             for &target in docs
@@ -563,7 +594,7 @@ mod tests {
     fn cursor_seek_is_monotone_and_counts_skips() {
         let idx = index();
         let term = *idx.terms_by_df_asc().last().unwrap();
-        let (docs, _) = idx.postings(term).unwrap();
+        let (docs, _) = idx.decode_postings(term).unwrap();
         let mut c = idx.cursor(term).unwrap();
         // Seeking backwards (or to the current doc) never moves the cursor.
         c.seek(docs[docs.len() / 2]);
@@ -624,15 +655,15 @@ mod tests {
         }
         assert_eq!(total, idx.num_postings());
         for t in 0..idx.vocab_size() as u32 {
-            let (docs, tfs) = idx.postings(t).unwrap();
+            let (docs, tfs) = idx.decode_postings(t).unwrap();
             let mut rebuilt: Vec<(u32, u32)> = Vec::new();
             for shard in &shards {
-                let (d, f) = shard.postings(t).unwrap();
+                let (d, f) = shard.decode_postings(t).unwrap();
                 assert!(d.windows(2).all(|w| w[0] < w[1]), "shard run stays sorted");
-                rebuilt.extend(d.iter().copied().zip(f.iter().copied()));
+                rebuilt.extend(d.into_iter().zip(f));
             }
             rebuilt.sort_by_key(|&(d, _)| d);
-            let expect: Vec<(u32, u32)> = docs.iter().copied().zip(tfs.iter().copied()).collect();
+            let expect: Vec<(u32, u32)> = docs.into_iter().zip(tfs).collect();
             assert_eq!(rebuilt, expect, "term {t}");
             // Shard-local run lengths sum to the global df.
             let run_sum: usize = shards.iter().map(|s| s.run_len(t).unwrap()).sum();
@@ -650,8 +681,8 @@ mod tests {
                 let want = idx.shard_by_docs(|d| d as usize % p == s);
                 for t in 0..idx.vocab_size() as u32 {
                     assert_eq!(
-                        shard.postings(t).unwrap(),
-                        want.postings(t).unwrap(),
+                        shard.decode_postings(t).unwrap(),
+                        want.decode_postings(t).unwrap(),
                         "p={p} shard {s} term {t}"
                     );
                 }
@@ -671,6 +702,9 @@ mod tests {
         assert!(
             InvertedIndex::from_sorted_postings(3, vec![2, 2], &[(1, 0, 1), (0, 0, 1)],).is_err()
         );
+        // Duplicate (term, doc) pairs rejected with a typed error (the
+        // delta encoder requires strictly increasing doc ids per run).
+        assert!(InvertedIndex::from_sorted_postings(1, vec![2], &[(0, 0, 1), (0, 0, 1)]).is_err());
         // Term beyond vocab rejected.
         assert!(InvertedIndex::from_sorted_postings(2, vec![1], &[(5, 0, 1)]).is_err());
         // Doc beyond doc_len rejected.
@@ -683,5 +717,16 @@ mod tests {
         assert_eq!(idx.df(0).unwrap(), 1);
         assert_eq!(idx.cf(0).unwrap(), 2);
         assert_eq!(idx.stats().total_tokens, 5);
+    }
+
+    #[test]
+    fn block_storage_is_compact() {
+        let idx = index();
+        let flat = idx.num_postings() * 8;
+        assert!(
+            idx.blocks().storage_bytes() < flat,
+            "block storage {} >= flat {flat}",
+            idx.blocks().storage_bytes()
+        );
     }
 }

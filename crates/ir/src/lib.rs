@@ -3,8 +3,12 @@
 //! The retrieval substrate of the Moa top-N reproduction, modeled on the
 //! mi Ror engine the paper's group ran at TREC:
 //!
-//! * [`dict`] — term dictionary,
-//! * [`index`] — term-major inverted index with catalog statistics,
+//! * [`dict`] — term dictionary (FxHash-interned),
+//! * [`blocks`] — block-compressed posting storage: 128-entry blocks,
+//!   delta-encoded bit-packed payloads, contiguous per-block headers,
+//!   decode-on-demand cursors,
+//! * [`index`] — term-major inverted index over the block storage, with
+//!   catalog statistics,
 //! * [`ranking`] — TF-IDF / Hiemstra LM / BM25 term weighting,
 //! * [`scorer`] — the shared scoring kernel: per-term precomputed
 //!   constants ([`TermScorer`]) and per-index cached document norms
@@ -12,7 +16,10 @@
 //! * [`eval`] — set-at-a-time query evaluation with a reusable epoch
 //!   accumulator,
 //! * [`daat`] — document-at-a-time evaluation with MaxScore bounds
-//!   pruning over galloping [`index::PostingCursor`]s,
+//!   pruning over skippable [`index::PostingCursor`]s, block-max bounds
+//!   colocated with the storage blocks,
+//! * [`scratch`] — the reusable per-query execution arena
+//!   ([`QueryScratch`]): steady-state queries allocate nothing,
 //! * [`fragment`] — horizontal df-based fragmentation of the term–document
 //!   matrix (Step 1 of the paper): the unsafe fragment-A-only strategy, the
 //!   safe switch strategy, and non-dense-index-accelerated fragment-B access,
@@ -26,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod accum;
+pub mod blocks;
 pub mod daat;
 pub mod dict;
 pub mod error;
@@ -37,11 +45,13 @@ pub mod physical;
 pub mod ranking;
 pub mod safety;
 pub mod scorer;
+pub mod scratch;
 pub mod text;
 pub mod threshold;
 
 pub use accum::EpochAccumulator;
-pub use daat::{DaatReport, DaatSearcher};
+pub use blocks::{BlockHeader, BlockPostingList, CursorBuf, BLOCK_LEN};
+pub use daat::{DaatReport, DaatSearcher, DaatStats};
 pub use dict::Dictionary;
 pub use error::{IrError, Result};
 pub use eval::{SearchReport, Searcher};
@@ -56,6 +66,7 @@ pub use physical::{
 };
 pub use ranking::RankingModel;
 pub use safety::{SwitchDecision, SwitchPolicy};
-pub use scorer::{ScoreBounds, ScoreKernel, TermScorer};
+pub use scorer::{BlockBound, ScoreBounds, ScoreKernel, TermScorer};
+pub use scratch::QueryScratch;
 pub use text::{index_texts, tokenize, IndexBuilder};
 pub use threshold::{BoundGate, SharedThreshold};

@@ -24,13 +24,14 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::accum::EpochAccumulator;
-use crate::daat::{DaatReport, DaatSearcher};
+use crate::daat::{DaatReport, DaatSearcher, DaatStats};
 use crate::error::Result;
 use crate::eval::{SearchReport, Searcher};
 use crate::fragment::{FragSearchReport, FragSearcher, FragmentedIndex, Strategy};
 use crate::ranking::RankingModel;
 use crate::safety::SwitchPolicy;
 use crate::scorer::{ScoreBounds, ScoreKernel};
+use crate::scratch::QueryScratch;
 use crate::threshold::BoundGate;
 
 /// A physical retrieval alternative — the plan enumeration space of the
@@ -128,6 +129,21 @@ impl From<DaatReport> for ExecReport {
             seeks: r.seeks,
             bound_exits: r.bound_exits,
             candidates: r.candidates,
+        }
+    }
+}
+
+impl DaatStats {
+    /// Pair scratch-path counters with an owned ranking into the unified
+    /// report shape.
+    fn with_top(self, top: Vec<(u32, f64)>) -> ExecReport {
+        ExecReport {
+            top,
+            postings_scanned: self.postings_scanned,
+            docs_skipped: self.docs_skipped,
+            seeks: self.seeks,
+            bound_exits: self.bound_exits,
+            candidates: self.candidates,
         }
     }
 }
@@ -240,6 +256,12 @@ pub struct EngineSet {
     daat_bounds: Arc<OnceLock<ScoreBounds>>,
     saat_accum: EpochAccumulator,
     frag_searcher: FragSearcher,
+    /// The reusable query-execution arena of this engine's DAAT paths:
+    /// cursor decode buffers, bound work lists, heap, and result storage
+    /// all persist across queries, so steady-state execution allocates
+    /// only the returned report's ranking. One per engine set means one
+    /// per `moa_serve` shard — the per-shard scratch pool.
+    scratch: QueryScratch,
 }
 
 // The serving layer moves engine sets onto scoped shard threads and
@@ -249,6 +271,7 @@ pub struct EngineSet {
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<EngineSet>();
+    assert_send_sync::<QueryScratch>();
     assert_send_sync::<ScoreKernel>();
     assert_send_sync::<ScoreBounds>();
     assert_send_sync::<EpochAccumulator>();
@@ -296,6 +319,7 @@ impl EngineSet {
             daat_bounds,
             saat_accum,
             frag_searcher,
+            scratch: QueryScratch::new(),
         }
     }
 
@@ -339,15 +363,17 @@ impl EngineSet {
                     Arc::clone(&self.kernel),
                     Arc::clone(&self.daat_bounds),
                 );
-                daat.search_gated(terms, n, gate).map(ExecReport::from)
+                daat.search_into(terms, n, gate, &mut self.scratch)
+                    .map(|stats| stats.with_top(self.scratch.out.clone()))
             }
             PhysicalPlan::ExhaustiveDaat => {
-                let mut op = ExhaustiveDaatOp(DaatSearcher::with_shared(
+                let daat = DaatSearcher::with_shared(
                     self.frag.index(),
                     Arc::clone(&self.kernel),
                     Arc::clone(&self.daat_bounds),
-                ));
-                op.execute(terms, n)
+                );
+                daat.search_exhaustive_into(terms, n, &mut self.scratch)
+                    .map(|stats| stats.with_top(self.scratch.out.clone()))
             }
             PhysicalPlan::SetAtATime => {
                 // Swap the long-lived accumulator through a short-lived

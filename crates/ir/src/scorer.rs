@@ -22,6 +22,7 @@
 //! instead of tolerances. A proptest in `crates/ir/tests/proptest_scorer.rs`
 //! pins this down.
 
+use crate::blocks::{CursorBuf, BLOCK_LEN};
 use crate::index::{CollectionStats, InvertedIndex};
 use crate::ranking::RankingModel;
 
@@ -108,8 +109,8 @@ impl TermScorer {
 /// [`crate::daat::DaatSearcher`], [`crate::fragment::FragSearcher`] all
 /// own one); queries then pay only [`ScoreKernel::term_scorer`] per term
 /// and [`ScoreKernel::weight`] per posting. The heavier per-term bound
-/// tables live in [`ScoreBounds`], built only by the evaluator that
-/// prunes on them (DAAT).
+/// tables live in [`ScoreBounds`], built only by the evaluators that
+/// prune on them.
 #[derive(Debug, Clone)]
 pub struct ScoreKernel {
     model: RankingModel,
@@ -122,96 +123,33 @@ pub struct ScoreKernel {
     norm_dl1: f64,
 }
 
-/// One granularity level of block-max metadata (see [`ScoreBounds`]).
-#[derive(Debug, Clone, Default)]
-struct BlockMeta {
-    max: Vec<f64>,
-    last: Vec<u32>,
-    offsets: Vec<usize>,
-}
-
-impl BlockMeta {
-    fn build(index: &InvertedIndex, model: RankingModel, norms: &[f64], block: usize) -> BlockMeta {
-        let stats = index.stats();
-        let mut meta = BlockMeta {
-            max: Vec::new(),
-            last: Vec::new(),
-            offsets: Vec::with_capacity(index.vocab_size() + 1),
-        };
-        meta.offsets.push(0);
-        for t in 0..index.vocab_size() as u32 {
-            let (docs, tfs) = index.postings(t).expect("term id in range");
-            if !docs.is_empty() {
-                let scorer = TermScorer::new(
-                    model,
-                    index.df(t).expect("term id in range"),
-                    index.cf(t).expect("term id in range"),
-                    &stats,
-                );
-                for (b, block_docs) in docs.chunks(block).enumerate() {
-                    let base = b * block;
-                    let mut bmax = 0.0f64;
-                    for (i, &doc) in block_docs.iter().enumerate() {
-                        bmax = bmax.max(scorer.weight(tfs[base + i], norms[doc as usize]));
-                    }
-                    meta.max.push(bmax);
-                    meta.last.push(*block_docs.last().expect("non-empty chunk"));
-                }
-            }
-            meta.offsets.push(meta.max.len());
-        }
-        meta
-    }
-
-    /// Derive a coarser level by grouping every `factor` blocks of this
-    /// level: the group max of maxima and the group's last document id.
-    /// Bit-identical to a direct build at `factor ×` this level's block
-    /// size, at a fraction of the cost (no postings are rescored).
-    fn coarsen(&self, factor: usize) -> BlockMeta {
-        let mut meta = BlockMeta {
-            max: Vec::with_capacity(self.max.len().div_ceil(factor)),
-            last: Vec::new(),
-            offsets: Vec::with_capacity(self.offsets.len()),
-        };
-        meta.offsets.push(0);
-        for t in 0..self.offsets.len().saturating_sub(1) {
-            let (s, e) = (self.offsets[t], self.offsets[t + 1]);
-            let mut start = s;
-            while start < e {
-                let end = (start + factor).min(e);
-                let group_max = self.max[start..end].iter().copied().fold(0.0f64, f64::max);
-                meta.max.push(group_max);
-                meta.last.push(self.last[end - 1]);
-                start = end;
-            }
-            meta.offsets.push(meta.max.len());
-        }
-        meta
-    }
-
-    fn term(&self, term: u32) -> (&[f64], &[u32]) {
-        let t = term as usize;
-        if t + 1 >= self.offsets.len() {
-            return (&[], &[]);
-        }
-        let (s, e) = (self.offsets[t], self.offsets[t + 1]);
-        (&self.max[s..e], &self.last[s..e])
-    }
+/// One block's skip-decision record: the block's last document id next to
+/// the exact maximum score contribution of any posting inside it. The two
+/// fields the DAAT gate reads — "how far may I skip?" and "can this block
+/// matter?" — share a single 16-byte entry, so a block decision touches
+/// exactly one cache line of one contiguous array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockBound {
+    /// Last document id of the block (the horizon this bound covers).
+    pub last_doc: u32,
+    /// Exact maximum contribution of any posting in the block.
+    pub max_score: f64,
 }
 
 /// Per-term score upper bounds for one `(index, model)` pair: exact
-/// per-term contribution maxima plus block-max metadata (Ding–Suel
-/// style) at two granularities. The *fine* level
-/// ([`ScoreBounds::BLOCK_POSTINGS`]-posting blocks) gives tight
-/// candidate bounds — a single outlier posting (high tf in a very short
-/// document) inflates only its own small block; the *coarse* level
-/// ([`ScoreBounds::COARSE_BLOCK_POSTINGS`]) trades tightness for reach,
-/// letting a failing bound skip a wide document range in one move.
+/// per-term contribution maxima plus per-block maxima **colocated with
+/// the storage geometry** — one [`BlockBound`] per
+/// [`crate::blocks::BLOCK_LEN`]-posting storage block, in the same order
+/// as the block headers. The earlier two-level (8/64-posting) block-max
+/// side tables are folded into this single array: the skip machinery now
+/// reasons at exactly the granularity the payload is packed at, so a
+/// failing bound always clears a whole storage block (no partially
+/// decoded blocks), and the gate's data is one load away.
 ///
-/// Building the tables costs one scoring pass per level over every
-/// posting, so only evaluators that prune on bounds construct them
-/// ([`crate::daat::DaatSearcher`]); the plain accumulating searchers get
-/// by with the cheap [`ScoreKernel`].
+/// Building the tables costs one scoring pass over every posting, so only
+/// evaluators that prune on bounds construct them
+/// ([`crate::daat::DaatSearcher`], [`crate::fragment::FragSearcher`]);
+/// the plain accumulating searchers get by with the cheap [`ScoreKernel`].
 #[derive(Debug, Clone)]
 pub struct ScoreBounds {
     /// `term_max[t]` = the exact maximum contribution any posting of term
@@ -219,36 +157,59 @@ pub struct ScoreBounds {
     /// while remaining sound: it is a *reachable* maximum of the very
     /// same floating-point evaluation the hot loop performs.
     term_max: Vec<f64>,
-    fine: BlockMeta,
-    coarse: BlockMeta,
+    /// All terms' block bounds, term-major, aligned with the storage
+    /// blocks of [`InvertedIndex::blocks`].
+    blocks: Vec<BlockBound>,
+    /// `offsets[t]..offsets[t + 1]` is term `t`'s bound range.
+    offsets: Vec<usize>,
 }
 
 impl ScoreBounds {
-    /// Postings per fine block-max block (candidate-bound granularity).
-    pub const BLOCK_POSTINGS: usize = 8;
+    /// Postings per block-max block — the storage block length: bounds are
+    /// colocated with the physical blocks.
+    pub const BLOCK_POSTINGS: usize = BLOCK_LEN;
 
-    /// Postings per coarse block-max block (deep-skip granularity).
-    pub const COARSE_BLOCK_POSTINGS: usize = 64;
-
-    /// Build the bound tables for `kernel` over `index` (one scoring pass
-    /// per granularity level).
+    /// Build the bound tables for `kernel` over `index`: one streaming
+    /// scoring pass over every posting, block by block.
     pub fn new(kernel: &ScoreKernel, index: &InvertedIndex) -> ScoreBounds {
-        let fine = BlockMeta::build(index, kernel.model(), &kernel.norms, Self::BLOCK_POSTINGS);
-        // COARSE_BLOCK_POSTINGS is an exact multiple of BLOCK_POSTINGS,
-        // so the coarse level rolls up from the fine level without
-        // rescoring any posting.
-        const _: () =
-            assert!(ScoreBounds::COARSE_BLOCK_POSTINGS.is_multiple_of(ScoreBounds::BLOCK_POSTINGS));
-        let coarse = fine.coarsen(Self::COARSE_BLOCK_POSTINGS / Self::BLOCK_POSTINGS);
-        // A term's exact maximum is the max over its fine block maxima.
-        let term_max = (0..index.vocab_size() as u32)
-            .map(|t| fine.term(t).0.iter().copied().fold(0.0f64, f64::max))
-            .collect();
-        ScoreBounds {
-            term_max,
-            fine,
-            coarse,
+        let store = index.blocks();
+        let vocab = index.vocab_size();
+        let mut bounds = ScoreBounds {
+            term_max: Vec::with_capacity(vocab),
+            blocks: Vec::new(),
+            offsets: Vec::with_capacity(vocab + 1),
+        };
+        bounds.offsets.push(0);
+        let mut buf = CursorBuf::new();
+        for t in 0..vocab as u32 {
+            let view = store.view(t);
+            let mut tmax = 0.0f64;
+            if !view.is_empty() {
+                let scorer = TermScorer::new(
+                    kernel.model,
+                    index.df(t).expect("term id in range"),
+                    index.cf(t).expect("term id in range"),
+                    &kernel.stats,
+                );
+                for (b, header) in view.headers().iter().enumerate() {
+                    view.decode_docs(b, &mut buf);
+                    view.decode_tfs(b, &mut buf);
+                    let mut bmax = 0.0f64;
+                    for i in 0..usize::from(header.len) {
+                        let w = scorer.weight(buf.tfs[i], kernel.norms[buf.docs[i] as usize]);
+                        bmax = bmax.max(w);
+                    }
+                    bounds.blocks.push(BlockBound {
+                        last_doc: header.last_doc,
+                        max_score: bmax,
+                    });
+                    tmax = tmax.max(bmax);
+                }
+            }
+            bounds.term_max.push(tmax);
+            bounds.offsets.push(bounds.blocks.len());
         }
+        bounds
     }
 
     /// The exact maximum contribution any posting of `term` makes under
@@ -259,22 +220,41 @@ impl ScoreBounds {
         self.term_max.get(term as usize).copied().unwrap_or(0.0)
     }
 
-    /// The fine block-max metadata of a term: per-block exact
-    /// contribution maxima and per-block last document ids, aligned.
-    /// Block `b` covers postings `b * BLOCK_POSTINGS ..` of the term's
-    /// run. Empty for unobserved or out-of-range terms.
+    /// The block bounds of a term, aligned with its storage blocks: entry
+    /// `b` covers postings `b * BLOCK_POSTINGS ..` of the term's run.
+    /// Empty for unobserved or out-of-range terms.
     #[inline]
-    pub fn term_blocks(&self, term: u32) -> (&[f64], &[u32]) {
-        self.fine.term(term)
+    pub fn term_blocks(&self, term: u32) -> &[BlockBound] {
+        let t = term as usize;
+        if t + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.blocks[self.offsets[t]..self.offsets[t + 1]]
     }
 
-    /// The coarse block-max metadata of a term (same layout as
-    /// [`ScoreBounds::term_blocks`], `COARSE_BLOCK_POSTINGS` postings per
-    /// block) — looser bounds over wider ranges, used to widen a deep
-    /// skip once the fine bound has already failed.
+    /// A term's `(start, len)` range within the flat bound array — cached
+    /// per query term so the hot gates index with [`ScoreBounds::at`] /
+    /// [`ScoreBounds::slice`] instead of re-resolving the offsets.
     #[inline]
-    pub fn term_coarse_blocks(&self, term: u32) -> (&[f64], &[u32]) {
-        self.coarse.term(term)
+    pub(crate) fn term_range(&self, term: u32) -> (u32, u32) {
+        let t = term as usize;
+        if t + 1 >= self.offsets.len() {
+            return (0, 0);
+        }
+        let s = self.offsets[t];
+        (s as u32, (self.offsets[t + 1] - s) as u32)
+    }
+
+    /// One entry of the flat bound array (see [`ScoreBounds::term_range`]).
+    #[inline]
+    pub(crate) fn at(&self, idx: usize) -> BlockBound {
+        self.blocks[idx]
+    }
+
+    /// A cached range of the flat bound array.
+    #[inline]
+    pub(crate) fn slice(&self, start: u32, len: u32) -> &[BlockBound] {
+        &self.blocks[start as usize..(start + len) as usize]
     }
 }
 
@@ -398,7 +378,7 @@ mod tests {
                 let df = idx.df(*term).unwrap();
                 let cf = idx.cf(*term).unwrap();
                 let scorer = kernel.term_scorer(df, cf);
-                let (docs, tfs) = idx.postings(*term).unwrap();
+                let (docs, tfs) = idx.decode_postings(*term).unwrap();
                 for (i, &doc) in docs.iter().enumerate() {
                     let got = kernel.weight(&scorer, tfs[i], doc);
                     let want = m.term_weight(tfs[i], df, cf, idx.doc_len(doc), &s);
@@ -417,7 +397,7 @@ mod tests {
             for term in idx.terms_by_df_asc() {
                 let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
                 let bound = kernel.max_weight(&scorer, idx.max_tf(term).unwrap());
-                let (docs, tfs) = idx.postings(term).unwrap();
+                let (docs, tfs) = idx.decode_postings(term).unwrap();
                 for (i, &doc) in docs.iter().enumerate() {
                     let w = kernel.weight(&scorer, tfs[i], doc);
                     assert!(w <= bound, "{m:?} term {term}: {w} > {bound}");
@@ -435,7 +415,7 @@ mod tests {
             let bounds = ScoreBounds::new(&kernel, &idx);
             for term in idx.terms_by_df_asc() {
                 let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
-                let (docs, tfs) = idx.postings(term).unwrap();
+                let (docs, tfs) = idx.decode_postings(term).unwrap();
                 let observed = docs
                     .iter()
                     .enumerate()
@@ -451,12 +431,11 @@ mod tests {
         let kernel = ScoreKernel::new(RankingModel::default(), &idx);
         let bounds = ScoreBounds::new(&kernel, &idx);
         assert_eq!(bounds.term_max_weight(u32::MAX), 0.0);
-        assert!(bounds.term_blocks(u32::MAX).0.is_empty());
-        assert!(bounds.term_coarse_blocks(u32::MAX).0.is_empty());
+        assert!(bounds.term_blocks(u32::MAX).is_empty());
     }
 
     #[test]
-    fn block_maxima_cover_their_blocks_and_roll_up() {
+    fn block_bounds_align_with_storage_blocks_and_cover_them() {
         let c = Collection::generate(CollectionConfig::tiny()).unwrap();
         let idx = InvertedIndex::from_collection(&c);
         for m in models() {
@@ -464,27 +443,23 @@ mod tests {
             let bounds = ScoreBounds::new(&kernel, &idx);
             for term in idx.terms_by_df_asc() {
                 let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
-                let (docs, tfs) = idx.postings(term).unwrap();
-                for (level, block) in [
-                    (bounds.term_blocks(term), ScoreBounds::BLOCK_POSTINGS),
-                    (
-                        bounds.term_coarse_blocks(term),
-                        ScoreBounds::COARSE_BLOCK_POSTINGS,
-                    ),
-                ] {
-                    let (bmax, blast) = level;
-                    assert_eq!(bmax.len(), docs.len().div_ceil(block));
-                    for (b, chunk) in docs.chunks(block).enumerate() {
-                        assert_eq!(blast[b], *chunk.last().unwrap());
-                        for (i, &doc) in chunk.iter().enumerate() {
-                            let w = kernel.weight(&scorer, tfs[b * block + i], doc);
-                            assert!(w <= bmax[b], "{m:?} term {term} block {b}");
-                        }
+                let (docs, tfs) = idx.decode_postings(term).unwrap();
+                let bb = bounds.term_blocks(term);
+                let headers = idx.blocks().view(term).headers();
+                assert_eq!(bb.len(), docs.len().div_ceil(ScoreBounds::BLOCK_POSTINGS));
+                assert_eq!(bb.len(), headers.len());
+                for (b, chunk) in docs.chunks(ScoreBounds::BLOCK_POSTINGS).enumerate() {
+                    // Colocated geometry: the bound's horizon is the
+                    // storage block's last document.
+                    assert_eq!(bb[b].last_doc, *chunk.last().unwrap());
+                    assert_eq!(bb[b].last_doc, headers[b].last_doc);
+                    for (i, &doc) in chunk.iter().enumerate() {
+                        let w =
+                            kernel.weight(&scorer, tfs[b * ScoreBounds::BLOCK_POSTINGS + i], doc);
+                        assert!(w <= bb[b].max_score, "{m:?} term {term} block {b}");
                     }
                     // Every block bound is itself bounded by the term max.
-                    for &bm in bmax {
-                        assert!(bm <= bounds.term_max_weight(term));
-                    }
+                    assert!(bb[b].max_score <= bounds.term_max_weight(term));
                 }
             }
         }

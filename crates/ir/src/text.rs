@@ -139,9 +139,9 @@ mod tests {
         assert_eq!(idx.cf(1).unwrap(), 3);
         assert_eq!(idx.max_tf(1).unwrap(), 2);
         assert_eq!(idx.doc_len(0), 4);
-        let (docs, tfs) = idx.postings(1).unwrap();
-        assert_eq!(docs, &[0, 1]);
-        assert_eq!(tfs, &[2, 1]);
+        let (docs, tfs) = idx.decode_postings(1).unwrap();
+        assert_eq!(docs, vec![0, 1]);
+        assert_eq!(tfs, vec![2, 1]);
     }
 
     #[test]

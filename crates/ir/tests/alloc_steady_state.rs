@@ -1,0 +1,148 @@
+//! Counting-allocator proof of the zero-allocation steady state.
+//!
+//! The block-layout PR's contract: once a [`QueryScratch`] has served one
+//! query of a given shape, every further query through
+//! [`DaatSearcher::search_into`] / [`DaatSearcher::search_exhaustive_into`]
+//! performs **zero heap allocations** — cursor decode buffers, bound work
+//! lists, the top-N heap, and the result vector are all reused arena
+//! state. A `#[global_allocator]` wrapper counts every allocation and
+//! reallocation; the steady-state phase must leave the counter untouched.
+//!
+//! (This is an integration test so the counting allocator owns the whole
+//! test binary; unit tests in the crate keep the system allocator.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, QueryConfig};
+use moa_ir::{BoundGate, DaatSearcher, InvertedIndex, QueryScratch, RankingModel};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_queries_allocate_nothing() {
+    let collection = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
+    let index = InvertedIndex::from_collection(&collection);
+    let daat = DaatSearcher::new(&index, RankingModel::default());
+    let gate = BoundGate::none();
+    let mut scratch = QueryScratch::new();
+
+    // A mixed workload: several widths, both frequent and rare terms.
+    let queries = generate_queries(
+        &collection,
+        &QueryConfig {
+            num_queries: 12,
+            bias: DfBias::TrecLike { high_df_mix: 0.5 },
+            seed: 0xA110C,
+            ..QueryConfig::default()
+        },
+    )
+    .expect("valid workload");
+    let n = 10usize;
+
+    // Warm-up: first contact grows every arena buffer to the workload's
+    // high-water mark and triggers the one-time lazy ScoreBounds build.
+    let mut expected: Vec<Vec<(u32, f64)>> = Vec::new();
+    for q in &queries {
+        let _ = daat
+            .search_into(&q.terms, n, &gate, &mut scratch)
+            .expect("valid query");
+        let _ = daat
+            .search_exhaustive_into(&q.terms, n, &mut scratch)
+            .expect("valid query");
+        expected.push(scratch.out.clone());
+    }
+
+    // Steady state: the same workload, five more rounds, pruned and
+    // exhaustive — not a single allocation (or reallocation) allowed.
+    let before = allocations();
+    let mut checksum = 0usize;
+    for _ in 0..5 {
+        for q in &queries {
+            let stats = daat
+                .search_into(&q.terms, n, &gate, &mut scratch)
+                .expect("valid query");
+            checksum += stats.postings_scanned + scratch.out.len();
+            let stats = daat
+                .search_exhaustive_into(&q.terms, n, &mut scratch)
+                .expect("valid query");
+            checksum += stats.postings_scanned + scratch.out.len();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state queries performed {} heap allocations",
+        after - before
+    );
+    assert!(checksum > 0, "the measured loop really executed queries");
+
+    // And the arena-path answers still match the warm-up round's results
+    // (reuse never changes an answer).
+    for (i, q) in queries.iter().enumerate() {
+        let _ = daat
+            .search_exhaustive_into(&q.terms, n, &mut scratch)
+            .expect("valid query");
+        assert_eq!(scratch.out, expected[i], "query {i} diverged after reuse");
+    }
+}
+
+#[test]
+fn shrinking_and_regrowing_queries_stay_allocation_free_once_seen() {
+    let collection = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
+    let index = InvertedIndex::from_collection(&collection);
+    let daat = DaatSearcher::new(&index, RankingModel::Bm25 { k1: 1.2, b: 0.75 });
+    let gate = BoundGate::none();
+    let mut scratch = QueryScratch::new();
+    let terms = index.terms_by_df_asc();
+    let widest: Vec<u32> = terms.iter().rev().take(6).copied().collect();
+
+    // Warm with the widest shape and the largest N the test will use.
+    let _ = daat
+        .search_into(&widest, 20, &gate, &mut scratch)
+        .expect("valid query");
+
+    // Narrower queries and smaller N fit inside the warmed arena.
+    let before = allocations();
+    for w in 1..=widest.len() {
+        for n in [1usize, 5, 20] {
+            let _ = daat
+                .search_into(&widest[..w], n, &gate, &mut scratch)
+                .expect("valid query");
+        }
+    }
+    assert_eq!(allocations() - before, 0, "narrower shapes reallocated");
+}

@@ -1,0 +1,179 @@
+//! Property tests pinning the block-compressed posting storage to the
+//! flat layout, bit for bit.
+//!
+//! The whole PR rests on the encoding being lossless: the differential
+//! oracle can only stay bit-identical if delta + bit-pack encode→decode
+//! reproduces every `(doc, tf)` pair exactly. These properties sweep
+//! arbitrary sorted posting lists — including runs of equal gaps (the
+//! width-0 delta case), all-equal tfs, single-posting runs, and final
+//! partial blocks — through build → decode, through the streaming path,
+//! and through cursor walks and seeks.
+
+use proptest::prelude::*;
+
+use moa_ir::blocks::{BlockListBuilder, CursorBuf, BLOCK_LEN};
+
+/// Deterministic pseudo-random sorted posting list from compact knobs:
+/// `n` postings, gaps in [1, max_gap] (max_gap = 1 forces consecutive
+/// docs → width-0 delta blocks), tfs in [1, max_tf] (max_tf = 1 forces
+/// width-0... 1-bit tf blocks).
+fn make_run(n: usize, max_gap: u32, max_tf: u32, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut doc = (next() % 1000) as u32;
+    let mut docs = Vec::with_capacity(n);
+    let mut tfs = Vec::with_capacity(n);
+    for _ in 0..n {
+        docs.push(doc);
+        tfs.push((next() % u64::from(max_tf)) as u32 + 1);
+        doc = doc + 1 + (next() % u64::from(max_gap)) as u32;
+    }
+    (docs, tfs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Encode→decode round-trips arbitrary sorted runs exactly — the flat
+    /// layout is recovered bit for bit, through both the materializing
+    /// and the streaming decoder.
+    #[test]
+    fn encode_decode_roundtrips_exactly(
+        n in 0usize..900,
+        max_gap in 1u32..5_000,
+        max_tf in 1u32..300,
+        seed in 0u64..100_000,
+    ) {
+        let (docs, tfs) = make_run(n, max_gap, max_tf, seed);
+        let mut b = BlockListBuilder::new();
+        b.push_run(&docs, &tfs);
+        let list = b.finish();
+        prop_assert_eq!(list.num_postings(), n);
+        prop_assert_eq!(list.run_len(0), n);
+        let (got_docs, got_tfs) = list.decode_term(0);
+        prop_assert_eq!(&got_docs, &docs);
+        prop_assert_eq!(&got_tfs, &tfs);
+        let mut streamed = Vec::with_capacity(n);
+        list.for_each(0, |d, t| streamed.push((d, t)));
+        let flat: Vec<(u32, u32)> = docs.iter().copied().zip(tfs.iter().copied()).collect();
+        prop_assert_eq!(streamed, flat);
+        // Headers tile the run: every block's len is BLOCK_LEN except a
+        // final partial block, and first/last bracket the block exactly.
+        let view = list.view(0);
+        prop_assert_eq!(view.num_blocks(), n.div_ceil(BLOCK_LEN));
+        for (bi, h) in view.headers().iter().enumerate() {
+            let lo = bi * BLOCK_LEN;
+            let hi = (lo + BLOCK_LEN).min(n);
+            prop_assert_eq!(usize::from(h.len), hi - lo);
+            prop_assert_eq!(h.first_doc, docs[lo]);
+            prop_assert_eq!(h.last_doc, docs[hi - 1]);
+            let want_tf = tfs[lo..hi].iter().copied().max().unwrap_or(0);
+            prop_assert_eq!(h.max_tf, want_tf);
+        }
+    }
+
+    /// Equal-gap runs (consecutive docs) produce width-0 delta blocks and
+    /// still round-trip; all-ones tfs pack at 1 bit.
+    #[test]
+    fn degenerate_widths_roundtrip(
+        n in 1usize..600,
+        start in 0u32..1_000_000,
+        gap in 1u32..4,
+    ) {
+        let docs: Vec<u32> = (0..n as u32).map(|i| start + i * gap).collect();
+        let tfs = vec![1u32; n];
+        let mut b = BlockListBuilder::new();
+        b.push_run(&docs, &tfs);
+        let list = b.finish();
+        let view = list.view(0);
+        for h in view.headers() {
+            if gap == 1 {
+                prop_assert_eq!(h.doc_bits, 0, "consecutive docs need no delta bits");
+            }
+            prop_assert_eq!(h.tf_bits, 1);
+        }
+        prop_assert_eq!(list.decode_term(0), (docs, tfs));
+    }
+
+    /// Cursor walks and seeks agree with the flat layout's linear-scan
+    /// semantics on arbitrary runs.
+    #[test]
+    fn cursor_semantics_match_flat_linear_scan(
+        n in 1usize..700,
+        max_gap in 1u32..600,
+        max_tf in 1u32..50,
+        seed in 0u64..100_000,
+        stride in 1usize..40,
+    ) {
+        let (docs, tfs) = make_run(n, max_gap, max_tf, seed);
+        let mut b = BlockListBuilder::new();
+        b.push_run(&docs, &tfs);
+        let list = b.finish();
+        let view = list.view(0);
+
+        // Full walk: every (doc, tf) in order.
+        let mut buf = CursorBuf::new();
+        let mut pos = view.start(&mut buf);
+        for i in 0..n {
+            prop_assert_eq!(view.doc_at(&pos, &buf), Some(docs[i]));
+            prop_assert_eq!(view.tf_at(&pos, &buf), tfs[i]);
+            view.advance(&mut pos, &mut buf);
+        }
+        prop_assert_eq!(view.doc_at(&pos, &buf), None);
+
+        // Strided seeks: first posting >= target, with an exact skip
+        // ledger (skipped + visited = run length).
+        let mut buf = CursorBuf::new();
+        let mut pos = view.start(&mut buf);
+        let mut skipped = 0usize;
+        let mut visited = 0usize;
+        for (i, &d) in docs.iter().enumerate().step_by(stride) {
+            skipped += view.seek(&mut pos, &mut buf, d);
+            prop_assert_eq!(view.doc_at(&pos, &buf), Some(docs[i]));
+            prop_assert_eq!(view.tf_at(&pos, &buf), tfs[i]);
+            visited += 1;
+            view.advance(&mut pos, &mut buf);
+        }
+        skipped += n - (pos.base + pos.idx).min(n);
+        prop_assert_eq!(skipped + visited, n);
+
+        // Seeking past the last doc exhausts; seeking to 0 from the start
+        // is a no-op.
+        let mut buf = CursorBuf::new();
+        let mut pos = view.start(&mut buf);
+        prop_assert_eq!(view.seek(&mut pos, &mut buf, 0), 0);
+        let last = *docs.last().expect("non-empty run");
+        if last < u32::MAX {
+            view.seek(&mut pos, &mut buf, last + 1);
+            prop_assert_eq!(view.doc_at(&pos, &buf), None);
+        }
+    }
+
+    /// Multi-term lists keep runs independent: pushing several runs and
+    /// decoding each recovers each flat input, and empty runs in between
+    /// stay empty.
+    #[test]
+    fn multi_term_lists_roundtrip(
+        n1 in 0usize..300,
+        n2 in 0usize..300,
+        seed in 0u64..100_000,
+    ) {
+        let (d1, t1) = make_run(n1, 700, 9, seed);
+        let (d2, t2) = make_run(n2, 3, 2, seed.wrapping_add(1));
+        let mut b = BlockListBuilder::new();
+        b.push_run(&d1, &t1);
+        b.push_run(&[], &[]);
+        b.push_run(&d2, &t2);
+        let list = b.finish();
+        prop_assert_eq!(list.num_terms(), 3);
+        prop_assert_eq!(list.num_postings(), n1 + n2);
+        prop_assert_eq!(list.decode_term(0), (d1, t1));
+        prop_assert_eq!(list.run_len(1), 0);
+        prop_assert_eq!(list.decode_term(2), (d2, t2));
+    }
+}

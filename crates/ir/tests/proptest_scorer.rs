@@ -90,7 +90,7 @@ proptest! {
                 let df = index.df(term).unwrap();
                 let cf = index.cf(term).unwrap();
                 let scorer = kernel.term_scorer(df, cf);
-                let (docs, tfs) = index.postings(term).unwrap();
+                let (docs, tfs) = index.decode_postings(term).unwrap();
                 let mut observed_max = 0.0f64;
                 for (i, &doc) in docs.iter().enumerate() {
                     let got = kernel.weight(&scorer, tfs[i], doc);
@@ -102,16 +102,18 @@ proptest! {
                     bounds.term_max_weight(term).to_bits(),
                     observed_max.to_bits()
                 );
-                // Block bounds cover their postings.
-                let (bmax, _) = bounds.term_blocks(term);
+                // Block bounds cover their postings and share the storage
+                // blocks' horizons.
+                let bb = bounds.term_blocks(term);
                 for (bi, chunk) in docs.chunks(ScoreBounds::BLOCK_POSTINGS).enumerate() {
+                    prop_assert_eq!(bb[bi].last_doc, *chunk.last().unwrap());
                     for (i, &doc) in chunk.iter().enumerate() {
                         let w = kernel.weight(
                             &scorer,
                             tfs[bi * ScoreBounds::BLOCK_POSTINGS + i],
                             doc,
                         );
-                        prop_assert!(w <= bmax[bi]);
+                        prop_assert!(w <= bb[bi].max_score);
                     }
                 }
             }

@@ -20,6 +20,13 @@
 //!    propagated [`SharedThreshold`] only ever prunes documents that
 //!    cannot appear in the merged top-N (see [`moa_ir::threshold`]).
 //!
+//! Each shard's [`EngineSet`] owns its own `moa_ir::QueryScratch` — the
+//! zero-allocation query arena of the block-compressed posting layout —
+//! so a serving deployment gets one scratch pool per shard thread for
+//! free: shard threads never contend on allocator locks in steady state,
+//! and a batch's queries reuse the same cursor decode buffers and heap
+//! storage across the whole batch.
+//!
 //! Per-shard physical planning falls out of the same construction: each
 //! shard owns a `moa_core` [`Planner`] fed by *shard-local* work figures
 //! (`run_len`-based query volumes, shard fragment volumes), so a shard

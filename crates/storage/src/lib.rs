@@ -15,6 +15,8 @@
 //! * [`ops::group`] — grouped aggregation (dense and hash-based),
 //! * [`ops::arith`] — multiplexed element-wise arithmetic,
 //! * [`index`] — non-dense (sparse) block indexes over sorted BATs,
+//! * [`pack`] — fixed-width bit-packing kernels (the physical substrate of
+//!   the block-compressed posting storage in `moa-ir`),
 //! * [`stats`] — numeric summaries and equi-width/equi-depth histograms,
 //! * [`catalog`] — a thread-safe named BAT registry.
 //!
@@ -30,6 +32,7 @@ pub mod column;
 pub mod error;
 pub mod index;
 pub mod ops;
+pub mod pack;
 pub mod stats;
 
 pub use bat::{Bat, Head, Props};

@@ -53,6 +53,18 @@ impl TopNHeap {
         }
     }
 
+    /// Reset the heap for a new query at `capacity`, keeping the backing
+    /// allocation: the pooled-scratch query paths reuse one heap per
+    /// engine so steady-state queries allocate nothing. Grows the buffer
+    /// only when `capacity` exceeds every previously seen capacity.
+    pub fn reset(&mut self, capacity: usize) {
+        self.heap.clear();
+        self.pushes = 0;
+        self.capacity = capacity;
+        // After clear() len == 0, so this reserves relative to empty.
+        self.heap.reserve(capacity.saturating_add(1));
+    }
+
     /// Offer an `(obj, score)` pair.
     pub fn push(&mut self, obj: u32, score: f64) {
         self.pushes += 1;
@@ -128,6 +140,18 @@ impl TopNHeap {
         let mut v: Vec<(u32, f64)> = self.heap.into_iter().map(|e| (e.obj, e.score)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
+    }
+
+    /// Drain the retained entries into `out`, best first (score desc, id
+    /// asc on ties) — the allocation-free extraction: `out` is cleared and
+    /// refilled in place, the heap empties but keeps its buffer for the
+    /// next [`TopNHeap::reset`]. The sort is unstable, which is safe
+    /// because the (score, id) eviction order is a total order over the
+    /// retained entries (ids are unique).
+    pub fn extract_sorted_into(&mut self, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        out.extend(self.heap.drain().map(|e| (e.obj, e.score)));
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     }
 
     /// Fold another heap's retained entries into this one, keeping this
@@ -369,6 +393,33 @@ mod tests {
         other.push(2, 0.8);
         empty.merge_from(&other);
         assert_eq!(empty.into_sorted_vec(), vec![(2, 0.8)]);
+    }
+
+    #[test]
+    fn reset_reuses_the_heap_across_queries() {
+        let mut h = TopNHeap::new(3);
+        for (o, s) in stream() {
+            h.push(o, s);
+        }
+        let mut out = Vec::new();
+        h.extract_sorted_into(&mut out);
+        assert_eq!(out, topn(stream(), 3));
+        assert!(h.is_empty(), "extract drains the heap");
+        // A fresh query at a different capacity behaves like a new heap.
+        h.reset(2);
+        assert_eq!(h.pushes(), 0);
+        for (o, s) in stream() {
+            h.push(o, s);
+        }
+        h.extract_sorted_into(&mut out);
+        assert_eq!(out, topn(stream(), 2));
+        // Extraction order ties resolve by ascending id, as into_sorted_vec.
+        h.reset(3);
+        h.push(9, 0.5);
+        h.push(2, 0.5);
+        h.push(7, 0.5);
+        h.extract_sorted_into(&mut out);
+        assert_eq!(out, vec![(2, 0.5), (7, 0.5), (9, 0.5)]);
     }
 
     #[test]
