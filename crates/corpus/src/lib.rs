@@ -30,5 +30,7 @@ pub use collection::{Collection, CollectionConfig, Posting};
 pub use error::{CorpusError, Result};
 pub use features::{Correlation, FeatureConfig, FeatureLists};
 pub use qrels::{generate_qrels, Qrels, QrelsConfig, QrelsMode};
-pub use queries::{generate_queries, DfBias, Query, QueryConfig};
+pub use queries::{
+    generate_queries, generate_query_stream, DfBias, Query, QueryConfig, StreamConfig,
+};
 pub use zipf::Zipf;

@@ -198,6 +198,56 @@ pub fn generate_queries(collection: &Collection, config: &QueryConfig) -> Result
     Ok(queries)
 }
 
+/// Configuration of a sustained query *stream*: a pool of distinct
+/// queries replayed under Zipf popularity, the arrival pattern a serving
+/// deployment actually sees ("a few queries are hot, most are rare" —
+/// the same statistical law the paper exploits for terms, applied one
+/// level up, to whole queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// The pool of distinct queries popularity ranks are drawn over.
+    pub pool: QueryConfig,
+    /// Total arrivals in the stream (repeats expected; a pool query's
+    /// arrival count follows its Zipf rank).
+    pub length: usize,
+    /// Zipf exponent of the popularity law over pool ranks (rank 0 —
+    /// the first pool query — is the hottest).
+    pub exponent: f64,
+    /// RNG seed of the arrival sequence (independent of the pool seed,
+    /// so the same pool can be replayed under different popularity
+    /// draws).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            pool: QueryConfig::default(),
+            length: 200,
+            exponent: 1.0,
+            seed: 0x57E4,
+        }
+    }
+}
+
+/// Generate a deterministic sustained query stream: `length` arrivals
+/// drawn from a [`generate_queries`] pool under a Zipf popularity law
+/// over pool ranks. Returned queries keep their pool `id`, so stream
+/// consumers can key caches or popularity counters by it.
+pub fn generate_query_stream(collection: &Collection, config: &StreamConfig) -> Result<Vec<Query>> {
+    if config.length == 0 {
+        return Err(CorpusError::InvalidConfig(
+            "stream length must be > 0".into(),
+        ));
+    }
+    let pool = generate_queries(collection, &config.pool)?;
+    let popularity = Zipf::new(pool.len(), config.exponent)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    Ok((0..config.length)
+        .map(|_| pool[popularity.sample(&mut rng)].clone())
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +353,63 @@ mod tests {
             ..QueryConfig::default()
         };
         assert!(generate_queries(&c, &cfg).is_err());
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_sized() {
+        let c = coll();
+        let cfg = StreamConfig {
+            length: 120,
+            ..StreamConfig::default()
+        };
+        let a = generate_query_stream(&c, &cfg).unwrap();
+        let b = generate_query_stream(&c, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+        // Every arrival is a pool query (ids within the pool range).
+        assert!(a.iter().all(|q| (q.id as usize) < cfg.pool.num_queries));
+    }
+
+    #[test]
+    fn stream_popularity_is_zipf_skewed() {
+        let c = coll();
+        let cfg = StreamConfig {
+            length: 2000,
+            exponent: 1.2,
+            ..StreamConfig::default()
+        };
+        let stream = generate_query_stream(&c, &cfg).unwrap();
+        let mut counts = vec![0usize; cfg.pool.num_queries];
+        for q in &stream {
+            counts[q.id as usize] += 1;
+        }
+        // Rank 0 is the hottest query and repeats many times; the tail
+        // still appears (no query is starved out of a long stream).
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(counts[0], max, "pool rank 0 must be the hottest");
+        assert!(max >= stream.len() / 10, "no popularity skew: max={max}");
+        assert!(counts.iter().filter(|&&c| c > 0).count() > cfg.pool.num_queries / 2);
+    }
+
+    #[test]
+    fn stream_rejects_bad_configs() {
+        let c = coll();
+        assert!(generate_query_stream(
+            &c,
+            &StreamConfig {
+                length: 0,
+                ..StreamConfig::default()
+            }
+        )
+        .is_err());
+        assert!(generate_query_stream(
+            &c,
+            &StreamConfig {
+                exponent: -1.0,
+                ..StreamConfig::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]

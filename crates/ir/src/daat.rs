@@ -233,6 +233,7 @@ impl<'a> DaatSearcher<'a> {
             ne_prefix,
             heap,
             out,
+            ..
         } = scratch;
 
         for (qpos, &t) in terms.iter().enumerate() {

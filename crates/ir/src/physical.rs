@@ -338,6 +338,15 @@ impl EngineSet {
         self.policy
     }
 
+    /// Lifetime count of DAAT queries served out of this engine's owned
+    /// [`QueryScratch`] arena. A persistent serving worker that reuses one
+    /// engine set across a whole query stream accumulates the stream here —
+    /// the observable the pool hand-off tests pin instead of trusting that
+    /// no per-batch arena was silently created.
+    pub fn scratch_queries(&self) -> u64 {
+        self.scratch.queries_begun()
+    }
+
     /// Execute `plan` for a query, dispatching through the uniform
     /// [`RetrievalOp`] interface.
     pub fn execute(&mut self, plan: PhysicalPlan, terms: &[u32], n: usize) -> Result<ExecReport> {

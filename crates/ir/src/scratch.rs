@@ -79,6 +79,12 @@ pub struct QueryScratch {
     /// The current query's results, best first — filled by the `_into`
     /// search entry points in place of an allocated report.
     pub out: Vec<(u32, f64)>,
+    /// Queries this arena has begun serving over its lifetime. Never
+    /// reset: a serving worker that truly reuses one arena across a whole
+    /// stream shows the stream's length here, which is how the pool
+    /// teardown tests prove the scratch hand-off (worker-owned arena in,
+    /// same arena back out) rather than assuming it.
+    queries_begun: u64,
 }
 
 impl QueryScratch {
@@ -97,13 +103,21 @@ impl QueryScratch {
             ne_prefix: Vec::new(),
             heap: TopNHeap::new(0),
             out: Vec::new(),
+            queries_begun: 0,
         }
+    }
+
+    /// Lifetime count of queries this arena has begun serving (monotone;
+    /// survives across batches and worker hand-offs).
+    pub fn queries_begun(&self) -> u64 {
+        self.queries_begun
     }
 
     /// Prepare the per-term arrays for a query of `m` terms: clears the
     /// per-query state and grows the decode-buffer pool if this query is
     /// wider than any seen before.
     pub(crate) fn begin(&mut self, m: usize, n: usize) {
+        self.queries_begun += 1;
         self.metas.clear();
         self.pos.clear();
         self.cur.clear();

@@ -18,7 +18,11 @@
 //! (ties at the threshold are never pruned — the tie-break by document id
 //! is left to the final k-way merge). Publication and reads use `Relaxed`
 //! ordering: the bound is monotone under `fetch_max`, and no other memory
-//! is synchronized through it.
+//! is synchronized through it. NaN scores are rejected at the
+//! [`SharedThreshold::offer`] boundary: the order-preserving encoding
+//! ranks a positive-sign NaN *above* `+∞`, so one NaN reaching the
+//! `fetch_max` would freeze the threshold at an unsound maximum and prune
+//! every document on every shard.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,8 +65,22 @@ impl SharedThreshold {
 
     /// Raise the bound to `score` if it is higher than the current bound
     /// (never lowers it).
+    ///
+    /// **NaN guard.** A NaN is silently ignored. The order-preserving
+    /// encoding maps a positive-sign NaN *above* `+∞` (its exponent and
+    /// mantissa bits are all-ones-plus), so a raw `fetch_max` on
+    /// `encode(NaN)` would poison the threshold into pruning every
+    /// document on every shard — an unsound bound smuggled in through one
+    /// bad score. No ranking model in this workspace produces NaN, but the
+    /// gate is the serving layer's last line of defense, so the guard is
+    /// enforced here rather than assumed upstream. Ignoring is the sound
+    /// direction: the threshold only ever under-estimates the global N-th
+    /// score, and skipping an offer merely leaves it looser.
     #[inline]
     pub fn offer(&self, score: f64) {
+        if score.is_nan() {
+            return;
+        }
         self.0.fetch_max(encode(score), Ordering::Relaxed);
     }
 
@@ -189,6 +207,62 @@ mod tests {
         assert_eq!(t.get(), 1.5);
         t.offer(2.0);
         assert_eq!(t.get(), 2.0);
+    }
+
+    #[test]
+    fn nan_offers_are_ignored() {
+        let t = SharedThreshold::new();
+        t.offer(f64::NAN);
+        assert_eq!(
+            t.get(),
+            f64::NEG_INFINITY,
+            "a NaN must not move the threshold"
+        );
+        t.offer(1.25);
+        t.offer(f64::NAN);
+        assert_eq!(t.get(), 1.25, "a NaN must not poison an existing bound");
+        // And the gate built on it keeps admitting correctly.
+        let t = Arc::new(SharedThreshold::new());
+        let g = BoundGate::shared(Arc::clone(&t));
+        t.offer(f64::NAN);
+        assert!(g.admits(-1.0e300), "NaN offer must leave the gate open");
+        assert!(!g.has_signal());
+    }
+
+    #[test]
+    fn subnormals_and_signed_zero_order_and_round_trip() {
+        let subnormal = f64::from_bits(1); // smallest positive subnormal
+        let neg_subnormal = f64::from_bits(1 | (1 << 63));
+        let values = [
+            -f64::MIN_POSITIVE,
+            neg_subnormal,
+            -0.0,
+            0.0,
+            subnormal,
+            f64::MIN_POSITIVE,
+        ];
+        for w in values.windows(2) {
+            assert!(encode(w[0]) < encode(w[1]), "{:e} vs {:e}", w[0], w[1]);
+        }
+        for v in values {
+            assert_eq!(
+                decode(encode(v)).to_bits(),
+                v.to_bits(),
+                "{v:e} must round-trip bit-exactly"
+            );
+        }
+        // Monotone max across the subnormal range through the public API.
+        let t = SharedThreshold::new();
+        t.offer(neg_subnormal);
+        assert_eq!(t.get().to_bits(), neg_subnormal.to_bits());
+        t.offer(-0.0);
+        assert_eq!(t.get().to_bits(), (-0.0f64).to_bits());
+        t.offer(0.0);
+        assert_eq!(t.get().to_bits(), 0.0f64.to_bits());
+        t.offer(subnormal);
+        assert_eq!(t.get().to_bits(), subnormal.to_bits());
+        t.offer(neg_subnormal); // lower: ignored
+        assert_eq!(t.get().to_bits(), subnormal.to_bits());
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property tests pinning the cross-shard threshold's order-preserving
+//! `f64`↔`u64` encoding through the public `SharedThreshold` API.
+//!
+//! The serving layer folds every shard's running N-th score into one
+//! `AtomicU64` via `fetch_max` over an encoded key; soundness of the
+//! whole cross-shard pruning protocol rests on that encoding agreeing
+//! with the float total order for *every* input the engines can produce —
+//! negative scores (log-probability models go negative), signed zeros,
+//! and subnormals included. These properties sweep raw bit patterns, far
+//! beyond the scores the seeded workloads happen to generate.
+
+use proptest::prelude::*;
+
+use moa_ir::SharedThreshold;
+
+/// Map an arbitrary bit pattern onto a non-NaN `f64` (NaN payloads are
+/// redirected to signed infinities so every case stays orderable — the
+/// NaN path has its own dedicated property below).
+fn orderable(bits: u64) -> f64 {
+    let v = f64::from_bits(bits);
+    if v.is_nan() {
+        if bits & (1 << 63) != 0 {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        v
+    }
+}
+
+/// IEEE-754 total order on non-NaN doubles: by sign, then magnitude,
+/// with −0.0 < +0.0 — the order the encoded `fetch_max` must realize.
+/// `f64::total_cmp` is the independent std oracle for exactly this order.
+fn total_order_max(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Offering two arbitrary non-NaN scores leaves the threshold at
+    /// their total-order maximum, bit-exactly — order preservation of
+    /// the encoding, observed through `fetch_max`, for negatives, signed
+    /// zeros, and subnormals alike.
+    #[test]
+    fn fetch_max_realizes_the_float_total_order(
+        bits_a in 0u64..=u64::MAX,
+        bits_b in 0u64..=u64::MAX,
+    ) {
+        let (a, b) = (orderable(bits_a), orderable(bits_b));
+        let t = SharedThreshold::new();
+        t.offer(a);
+        t.offer(b);
+        let want = total_order_max(a, b);
+        prop_assert_eq!(
+            t.get().to_bits(),
+            want.to_bits(),
+            "offer({:e}), offer({:e}) settled at {:e}",
+            a,
+            b,
+            t.get()
+        );
+        // Offer order must not matter.
+        let u = SharedThreshold::new();
+        u.offer(b);
+        u.offer(a);
+        prop_assert_eq!(u.get().to_bits(), want.to_bits());
+    }
+
+    /// A single offer round-trips bit-exactly (the decode really inverts
+    /// the encode): whatever score a shard publishes is exactly the bound
+    /// every other shard reads, including the sign of zero and subnormal
+    /// payloads.
+    #[test]
+    fn published_scores_round_trip_bit_exactly(bits in 0u64..=u64::MAX) {
+        let v = orderable(bits);
+        let t = SharedThreshold::new();
+        t.offer(v);
+        prop_assert_eq!(t.get().to_bits(), v.to_bits(), "offer({:e})", v);
+    }
+
+    /// The bound is monotone under arbitrary offer sequences: it always
+    /// equals the running total-order maximum and never moves backwards.
+    #[test]
+    fn threshold_is_the_running_maximum(
+        seq in proptest::collection::vec(0u64..=u64::MAX, 1..24),
+    ) {
+        let t = SharedThreshold::new();
+        let mut running = f64::NEG_INFINITY;
+        for bits in seq {
+            let v = orderable(bits);
+            t.offer(v);
+            running = total_order_max(running, v);
+            prop_assert_eq!(
+                t.get().to_bits(),
+                running.to_bits(),
+                "after offer({:e})",
+                v
+            );
+        }
+    }
+
+    /// NaN payloads of either sign are ignored wherever they land in the
+    /// offer sequence: the threshold stays exactly where the non-NaN
+    /// offers put it (the encoding would otherwise rank a positive NaN
+    /// above +∞ and freeze the gate shut).
+    #[test]
+    fn nan_payloads_never_move_the_threshold(
+        payload in 1u64..(1u64 << 52),
+        sign in 0u64..=1,
+        real in 0u64..=u64::MAX,
+    ) {
+        let nan = f64::from_bits((0x7FFu64 << 52) | payload | (sign << 63));
+        prop_assert!(nan.is_nan());
+        let v = orderable(real);
+        let t = SharedThreshold::new();
+        t.offer(nan);
+        prop_assert_eq!(t.get().to_bits(), f64::NEG_INFINITY.to_bits());
+        t.offer(v);
+        t.offer(nan);
+        prop_assert_eq!(t.get().to_bits(), v.to_bits(), "offer({:e})", v);
+    }
+}

@@ -8,18 +8,26 @@
 //!   into P shards ([`ShardSpec`]), build one df-fragmented table and one
 //!   [`moa_ir::EngineSet`] per shard (sharing a single scoring kernel),
 //!   let each shard's own `moa_core` planner pick its physical operator
-//!   from shard-local catalog statistics, execute shards on scoped
-//!   threads, and fold the shard-local heaps with the tie-stable k-way
-//!   merge ([`moa_topn::kway_merge_sorted`]);
+//!   from shard-local catalog statistics, and fold the shard-local heaps
+//!   with the tie-stable k-way merge ([`moa_topn::kway_merge_sorted`]);
+//! * [`pool`] — [`ShardPool`]: the persistent serving runtime — one
+//!   long-lived worker thread per shard owning that shard's engine set
+//!   and zero-allocation scratch arena for the life of the stream, a
+//!   submission queue with batched admission ([`ShardPool::submit`] →
+//!   [`BatchTicket`]), and drain-on-shutdown that hands the shards back.
+//!   This replaced the scoped-thread-per-batch path for serving: spawn/
+//!   join per batch cost more than the queries themselves (the E16 wall
+//!   regression; E18 gates the pool against both alternatives);
 //! * cross-shard **bound propagation** — one
 //!   [`moa_ir::SharedThreshold`] per query carries each shard's running
 //!   N-th score to all others, so the `would_enter`/block-max pruning
 //!   gates tighten *mid-flight* off competition the shard cannot see
 //!   locally (soundness argument in [`moa_ir::threshold`]);
-//! * [`service`] — [`ServeSession`]: the batch query front end
-//!   ([`ServeSession::submit_many`]) with per-query work aggregation,
-//!   wall-time accounting, and an EXPLAIN that renders the per-shard plan
-//!   table.
+//! * [`service`] — [`ServeSession`]: the query front end — batched
+//!   [`ServeSession::submit_many`] with per-query work aggregation and
+//!   wall-time accounting, the streaming pair [`ServeSession::enqueue`] /
+//!   [`ServeSession::collect`] that overlaps merge and admission with
+//!   shard service, and an EXPLAIN that renders the per-shard plan table.
 //!
 //! Exactness: for every exact physical plan, the merged sharded answer is
 //! **bit-identical** to a single unsharded engine — shards score with
@@ -30,10 +38,13 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod service;
 pub mod shard;
 
-pub use service::{BatchReport, ServeConfig, ServeSession, ServeStats};
+pub use pool::{BatchTicket, ExplainRow, ShardPool};
+pub use service::{BatchReport, PendingBatch, ServeConfig, ServeSession, ServeStats, ShardBusy};
 pub use shard::{
-    BatchQuery, EngineShard, QueryResponse, ServeMode, ShardOutcome, ShardSpec, ShardedEngine,
+    merge_columns, BatchQuery, EngineShard, QueryResponse, ServeMode, ShardOutcome, ShardSpec,
+    ShardedEngine,
 };

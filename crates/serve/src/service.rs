@@ -1,11 +1,19 @@
 //! The batch query service: the front end `moa_serve` exposes to callers.
 //!
-//! [`ServeSession`] wraps a [`ShardedEngine`] with the ergonomics a
-//! serving deployment needs: single-query [`ServeSession::submit`],
-//! batched [`ServeSession::submit_many`] with per-query [`ExecReport`]
-//! aggregation and batch wall-time, running service counters, and an
-//! EXPLAIN ([`ServeSession::explain`]) that prices a query on every shard
-//! and renders the per-shard plan table without executing anything.
+//! [`ServeSession`] stands a persistent [`ShardPool`] up over a sharded
+//! engine and wraps it with the ergonomics a serving deployment needs:
+//! single-query [`ServeSession::submit`], batched
+//! [`ServeSession::submit_many`] with per-query [`ExecReport`]
+//! aggregation and batch wall-time, the streaming pair
+//! [`ServeSession::enqueue`] / [`ServeSession::collect`] that overlaps
+//! merge and admission with shard service, running service counters, and
+//! an EXPLAIN ([`ServeSession::explain`]) that prices a query on every
+//! shard and renders the per-shard plan table without executing anything.
+//!
+//! Shard workers are long-lived: batch submission costs two `mpsc` sends
+//! per shard, not a thread spawn/join — the regression the scoped-thread
+//! runtime paid per batch (see [`crate::pool`]) and the E18 sustained-load
+//! harness now gates against.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -14,7 +22,8 @@ use std::time::{Duration, Instant};
 use moa_core::Result;
 use moa_ir::{ExecReport, FragmentSpec, InvertedIndex, RankingModel, SwitchPolicy};
 
-use crate::shard::{BatchQuery, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
+use crate::pool::{BatchTicket, ShardPool};
+use crate::shard::{BatchQuery, EngineShard, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
 
 /// Session configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,13 +61,26 @@ impl ServeConfig {
     }
 }
 
+/// One shard's accumulated busy time over a batch, with the number of
+/// per-query samples behind it. A batch that errored early (or an empty
+/// batch) leaves `samples == 0` — an *absence of evidence*, which
+/// [`BatchReport::critical_path`] surfaces as `None` rather than letting
+/// a zero masquerade as a measured duration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardBusy {
+    /// Total busy time (planning + execution on the shard's thread).
+    pub busy: Duration,
+    /// Number of query outcomes the total aggregates.
+    pub samples: usize,
+}
+
 /// The outcome of one [`ServeSession::submit_many`] call.
 #[derive(Debug, Clone, PartialEq)]
 #[must_use]
 pub struct BatchReport {
     /// Per-query responses, in submission order.
     pub responses: Vec<QueryResponse>,
-    /// Wall-clock time of the whole batch (shard threads included).
+    /// Wall-clock time from admission to the last merged response.
     pub wall: Duration,
 }
 
@@ -72,14 +94,22 @@ impl BatchReport {
         total
     }
 
-    /// Each shard's total busy time over the batch (planning + execution
-    /// on its thread), indexed by shard id.
-    pub fn shard_busy(&self) -> Vec<Duration> {
-        let shards = self.responses.first().map_or(0, |r| r.shards.len());
-        let mut busy = vec![Duration::ZERO; shards];
+    /// Each shard's total busy time over the batch, indexed by shard id,
+    /// with its sample count. The vector spans every shard id any
+    /// response mentions; ids no response reported stay at zero samples.
+    pub fn shard_busy(&self) -> Vec<ShardBusy> {
+        let shards = self
+            .responses
+            .iter()
+            .flat_map(|r| r.shards.iter())
+            .map(|o| o.shard + 1)
+            .max()
+            .unwrap_or(0);
+        let mut busy = vec![ShardBusy::default(); shards];
         for r in &self.responses {
             for o in &r.shards {
-                busy[o.shard] += o.busy;
+                busy[o.shard].busy += o.busy;
+                busy[o.shard].samples += 1;
             }
         }
         busy
@@ -87,14 +117,15 @@ impl BatchReport {
 
     /// The batch's critical path: the busiest shard's total busy time —
     /// the wall-clock floor for a deployment with one core per shard.
-    /// [`BatchReport::wall`] converges to this as cores cover shards; on
-    /// fewer cores the measured wall approaches the *sum* of the busy
-    /// times instead.
-    pub fn critical_path(&self) -> Duration {
+    /// `None` when the batch produced no shard outcomes at all (empty
+    /// batch): there is no measurement, and `Duration::ZERO` would read
+    /// as an impossibly fast one.
+    pub fn critical_path(&self) -> Option<Duration> {
         self.shard_busy()
             .into_iter()
+            .filter(|b| b.samples > 0)
+            .map(|b| b.busy)
             .max()
-            .unwrap_or(Duration::ZERO)
     }
 }
 
@@ -105,19 +136,48 @@ pub struct ServeStats {
     pub queries_served: usize,
     /// Batches answered.
     pub batches_served: usize,
-    /// Total postings scanned across all shards and queries.
+    /// Queries answered by another in-batch position's execution
+    /// (admission-time request coalescing; see [`crate::pool`]).
+    pub queries_coalesced: usize,
+    /// Total postings scanned across all shards and queries — work
+    /// *performed*, so a coalesced query's shared scan counts once.
     pub postings_scanned: usize,
 }
 
-/// A sharded serving session.
+/// A batch admitted by [`ServeSession::enqueue`] and not yet collected.
+/// Shard workers are already serving it; redeem with
+/// [`ServeSession::collect`]. Dropping it abandons the responses (the
+/// workers still finish the work).
+#[must_use = "collect() the pending batch or its responses are discarded"]
+pub struct PendingBatch {
+    ticket: BatchTicket,
+    started: Instant,
+}
+
+impl PendingBatch {
+    /// Redeem the batch without a session — the escape hatch for batches
+    /// that outlive their session (enqueued before
+    /// [`ServeSession::shutdown`], collected after). Responses bypass the
+    /// session counters; prefer [`ServeSession::collect`] otherwise.
+    pub fn wait(self) -> Result<BatchReport> {
+        let responses = self.ticket.wait()?;
+        Ok(BatchReport {
+            responses,
+            wall: self.started.elapsed(),
+        })
+    }
+}
+
+/// A sharded serving session over a persistent worker pool.
 pub struct ServeSession {
-    engine: ShardedEngine,
+    pool: ShardPool,
     config: ServeConfig,
     stats: ServeStats,
 }
 
 impl ServeSession {
-    /// Partition `index` per `config` and stand the service up.
+    /// Partition `index` per `config`, build one engine per shard, and
+    /// move each onto its own long-lived worker thread.
     pub fn new(index: Arc<InvertedIndex>, config: ServeConfig) -> Result<ServeSession> {
         let engine = ShardedEngine::build(
             index,
@@ -128,7 +188,7 @@ impl ServeSession {
             config.sparse_block,
         )?;
         Ok(ServeSession {
-            engine,
+            pool: ShardPool::new(engine),
             config,
             stats: ServeStats::default(),
         })
@@ -139,9 +199,9 @@ impl ServeSession {
         self.config
     }
 
-    /// The underlying sharded engine.
-    pub fn engine(&self) -> &ShardedEngine {
-        &self.engine
+    /// The worker pool the session serves from.
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
     }
 
     /// Running service counters.
@@ -151,23 +211,77 @@ impl ServeSession {
 
     /// Answer one query.
     pub fn submit(&mut self, terms: &[u32], n: usize) -> Result<QueryResponse> {
-        let response = self
-            .engine
-            .execute(terms, n, self.config.mode, self.config.propagate)?;
+        let queries = [BatchQuery {
+            terms: terms.to_vec(),
+            n,
+        }];
+        let mut responses = self
+            .pool
+            .submit(&queries, self.config.mode, self.config.propagate)
+            .wait()?;
+        let response = responses.pop().expect("one response per submitted query");
         self.stats.queries_served += 1;
         self.stats.postings_scanned += response.work.postings_scanned;
         Ok(response)
     }
 
-    /// Answer a batch: one shard thread works through every query of the
-    /// batch (spawn cost amortized batch-wide), responses come back in
-    /// submission order with per-query aggregated [`ExecReport`]s and the
-    /// batch's wall-clock time.
+    /// Answer a batch: every shard worker runs its column of the batch
+    /// concurrently, responses come back in submission order with
+    /// per-query aggregated [`ExecReport`]s and the batch's wall-clock
+    /// time. Equivalent to [`ServeSession::enqueue`] followed immediately
+    /// by [`ServeSession::collect`].
     pub fn submit_many(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
+        let pending = self.enqueue(queries);
+        self.collect(pending)
+    }
+
+    /// Admit a batch to the shard workers and return without waiting.
+    /// The caller may enqueue further batches (they queue per worker, in
+    /// admission order) or do unrelated work — e.g. merge the previous
+    /// batch — while the shards serve this one.
+    pub fn enqueue(&mut self, queries: &[BatchQuery]) -> PendingBatch {
+        let started = Instant::now();
+        let ticket = self
+            .pool
+            .submit(queries, self.config.mode, self.config.propagate);
+        PendingBatch { ticket, started }
+    }
+
+    /// Wait for an admitted batch, fold the shard columns with the
+    /// tie-stable merge, and account it to the session counters. `wall`
+    /// spans admission to merge completion.
+    pub fn collect(&mut self, pending: PendingBatch) -> Result<BatchReport> {
+        let coalesced = pending.ticket.coalesced();
+        let expand = pending.ticket.expansion().to_vec();
+        let responses = pending.ticket.wait()?;
+        let wall = pending.started.elapsed();
+        self.stats.queries_served += responses.len();
+        self.stats.batches_served += 1;
+        self.stats.queries_coalesced += coalesced;
+        // Count each *performed* scan once: a position is a first
+        // occurrence (a real execution, not a coalesced clone) iff its
+        // distinct index equals the number of distinct indices seen so
+        // far — they are assigned in first-occurrence order.
+        let mut seen = 0usize;
+        for (r, &u) in responses.iter().zip(&expand) {
+            if u == seen {
+                self.stats.postings_scanned += r.work.postings_scanned;
+                seen += 1;
+            }
+        }
+        Ok(BatchReport { responses, wall })
+    }
+
+    /// [`ServeSession::submit_many`] in profiling mode: shard workers run
+    /// one at a time in shard order ([`ShardPool::submit_sequential`]),
+    /// so work counters and per-shard busy times are deterministic and
+    /// free of scheduler interference. Answers are identical to the
+    /// concurrent path.
+    pub fn submit_many_sequential(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
         let t0 = Instant::now();
         let responses =
-            self.engine
-                .execute_batch(queries, self.config.mode, self.config.propagate)?;
+            self.pool
+                .submit_sequential(queries, self.config.mode, self.config.propagate)?;
         let wall = t0.elapsed();
         self.stats.queries_served += responses.len();
         self.stats.batches_served += 1;
@@ -177,25 +291,13 @@ impl ServeSession {
         Ok(BatchReport { responses, wall })
     }
 
-    /// [`ServeSession::submit_many`] in profiling mode: shards run
-    /// sequentially on the caller's thread
-    /// ([`ShardedEngine::execute_batch_sequential`]), so work counters
-    /// and per-shard busy times are deterministic and free of scheduler
-    /// interference. Answers are identical to the threaded path.
-    pub fn submit_many_sequential(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
-        let t0 = Instant::now();
-        let responses = self.engine.execute_batch_sequential(
-            queries,
-            self.config.mode,
-            self.config.propagate,
-        )?;
-        let wall = t0.elapsed();
-        self.stats.queries_served += responses.len();
-        self.stats.batches_served += 1;
-        for r in &responses {
-            self.stats.postings_scanned += r.work.postings_scanned;
-        }
-        Ok(BatchReport { responses, wall })
+    /// Drain and stop: workers finish everything already admitted, then
+    /// hand their shards back (planner calibration and scratch arenas
+    /// intact). A [`PendingBatch`] enqueued before shutdown can still be
+    /// collected afterwards — no query is dropped by teardown — though
+    /// its responses no longer reach the session counters.
+    pub fn shutdown(self) -> Vec<EngineShard> {
+        self.pool.shutdown()
     }
 
     /// Price a query on every shard and render the per-shard plan table —
@@ -209,8 +311,8 @@ impl ServeSession {
         let _ = writeln!(
             out,
             "== sharded retrieval plan ({} shards, {}) ==",
-            self.engine.num_shards(),
-            self.engine.spec().describe()
+            self.pool.num_shards(),
+            self.pool.spec().describe()
         );
         let pinned = match self.config.mode {
             ServeMode::Fixed(p) => Some(p),
@@ -228,17 +330,11 @@ impl ServeSession {
             "{:>5}  {:>10}  {:<20}  {:>12}  {:>14}",
             "shard", "postings", "operator", "est. cost", "est. postings"
         );
-        for shard in self.engine.shards() {
-            let decision = shard.plan(terms, n)?;
-            let chosen = decision.chosen_alternative();
+        for row in self.pool.explain_rows(terms, n)? {
             let _ = writeln!(
                 out,
                 "{:>5}  {:>10}  {:<20}  {:>12.0}  {:>14.0}",
-                shard.id(),
-                shard.num_postings(),
-                chosen.plan.name(),
-                chosen.cost,
-                chosen.est_postings,
+                row.shard, row.postings, row.plan_name, row.cost, row.est_postings,
             );
         }
         let _ = writeln!(
@@ -251,5 +347,79 @@ impl ServeSession {
             "   merge: tie-stable k-way over shard-local top-{n} heaps (score desc, doc asc)"
         );
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moa_ir::PhysicalPlan;
+
+    use crate::shard::ShardOutcome;
+
+    fn outcome(shard: usize, busy_us: u64) -> ShardOutcome {
+        ShardOutcome {
+            shard,
+            plan: PhysicalPlan::ExhaustiveDaat,
+            est_cost: None,
+            report: ExecReport::default(),
+            busy: Duration::from_micros(busy_us),
+        }
+    }
+
+    fn response(shards: Vec<ShardOutcome>) -> QueryResponse {
+        QueryResponse {
+            top: Vec::new(),
+            work: ExecReport::default(),
+            shards,
+        }
+    }
+
+    #[test]
+    fn empty_batch_has_no_critical_path() {
+        // An empty batch yields no shard outcomes: there is no
+        // measurement, and the old code's Duration::ZERO "busiest shard"
+        // read as an impossibly fast one.
+        let report = BatchReport {
+            responses: Vec::new(),
+            wall: Duration::from_micros(5),
+        };
+        assert!(report.shard_busy().is_empty());
+        assert_eq!(report.critical_path(), None);
+    }
+
+    #[test]
+    fn shard_busy_counts_samples_and_sums_busy_time() {
+        let report = BatchReport {
+            responses: vec![
+                response(vec![outcome(0, 10), outcome(1, 40)]),
+                response(vec![outcome(0, 30), outcome(1, 5)]),
+            ],
+            wall: Duration::from_micros(90),
+        };
+        let busy = report.shard_busy();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].busy, Duration::from_micros(40));
+        assert_eq!(busy[0].samples, 2);
+        assert_eq!(busy[1].busy, Duration::from_micros(45));
+        assert_eq!(busy[1].samples, 2);
+        assert_eq!(report.critical_path(), Some(Duration::from_micros(45)));
+    }
+
+    #[test]
+    fn unsampled_shards_never_win_the_critical_path() {
+        // Shard 1 reported no outcome at all (e.g. every response came
+        // from a narrower shard set): its zero total must not be offered
+        // as the "busiest" figure, and its sample count exposes the gap.
+        let report = BatchReport {
+            responses: vec![response(vec![outcome(1, 25)])],
+            wall: Duration::from_micros(30),
+        };
+        let busy = report.shard_busy();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].samples, 0);
+        assert_eq!(busy[0].busy, Duration::ZERO);
+        assert_eq!(busy[1].samples, 1);
+        assert_eq!(report.critical_path(), Some(Duration::from_micros(25)));
     }
 }

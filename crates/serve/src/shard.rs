@@ -190,9 +190,18 @@ impl EngineShard {
         )
     }
 
+    /// Lifetime count of DAAT queries served out of this shard's owned
+    /// scratch arena (see [`EngineSet::scratch_queries`]) — the pool
+    /// teardown tests read this off the shards handed back by
+    /// [`crate::pool::ShardPool::shutdown`] to prove one arena served the
+    /// whole stream.
+    pub fn scratch_queries(&self) -> u64 {
+        self.engines.scratch_queries()
+    }
+
     /// Execute one query on this shard under `mode`, pruning and
     /// publishing through `gate`.
-    fn run_one(
+    pub(crate) fn run_one(
         &mut self,
         query: &BatchQuery,
         mode: ServeMode,
@@ -336,7 +345,7 @@ impl ShardedEngine {
     ) -> Result<Vec<QueryResponse>> {
         // With one shard there is no peer to propagate to or from:
         // the gate would only echo the local heap at atomic-load cost.
-        let gates = Self::gates(queries, propagate && self.shards.len() > 1);
+        let gates = gates(queries, propagate && self.shards.len() > 1);
         let num_shards = self.shards.len();
         // One slot per shard; each thread owns exactly one slot, the
         // mutex makes the cross-thread hand-off safe and keeps the shim's
@@ -363,7 +372,7 @@ impl ShardedEngine {
         for slot in slots.into_inner() {
             per_shard.push(slot.expect("every scoped shard thread fills its slot before joining"));
         }
-        Self::merge_columns(queries, per_shard)
+        merge_columns(queries, per_shard)
     }
 
     /// [`ShardedEngine::execute_batch`] without threads: shards run one
@@ -381,7 +390,7 @@ impl ShardedEngine {
     ) -> Result<Vec<QueryResponse>> {
         // With one shard there is no peer to propagate to or from:
         // the gate would only echo the local heap at atomic-load cost.
-        let gates = Self::gates(queries, propagate && self.shards.len() > 1);
+        let gates = gates(queries, propagate && self.shards.len() > 1);
         let per_shard: Vec<Vec<Result<ShardOutcome>>> = self
             .shards
             .iter_mut()
@@ -393,57 +402,76 @@ impl ShardedEngine {
                     .collect()
             })
             .collect();
-        Self::merge_columns(queries, per_shard)
+        merge_columns(queries, per_shard)
     }
 
-    /// One gate per query: shared thresholds under propagation, inert
-    /// gates otherwise.
-    fn gates(queries: &[BatchQuery], propagate: bool) -> Vec<BoundGate> {
-        queries
-            .iter()
-            .map(|_| {
-                if propagate {
-                    BoundGate::shared(Arc::new(SharedThreshold::new()))
-                } else {
-                    BoundGate::none()
-                }
-            })
-            .collect()
+    /// Decompose the engine into its owned shards plus the shared
+    /// construction artifacts. This is the hand-off into
+    /// [`crate::pool::ShardPool`]: each [`EngineShard`] (and with it the
+    /// shard's engine set, planner, and scratch arena) moves onto its own
+    /// long-lived worker thread, and [`crate::pool::ShardPool::shutdown`]
+    /// hands the same shards back.
+    pub fn into_parts(
+        self,
+    ) -> (
+        Vec<EngineShard>,
+        ShardSpec,
+        Arc<InvertedIndex>,
+        Arc<ScoreKernel>,
+    ) {
+        (self.shards, self.spec, self.index, self.kernel)
     }
+}
 
-    /// Fold per-shard outcome columns into per-query responses: tie-stable
-    /// k-way merge of the shard-local heaps plus counter aggregation.
-    fn merge_columns(
-        queries: &[BatchQuery],
-        mut per_shard: Vec<Vec<Result<ShardOutcome>>>,
-    ) -> Result<Vec<QueryResponse>> {
-        let mut responses = Vec::with_capacity(queries.len());
-        for (qi, q) in queries.iter().enumerate() {
-            let mut outcomes = Vec::with_capacity(per_shard.len());
-            for shard_results in &mut per_shard {
-                // Take ownership of this query's outcome from the shard's
-                // result column; errors surface per query.
-                let outcome = std::mem::replace(
-                    &mut shard_results[qi],
-                    Err(CoreError::Type("outcome already taken".into())),
-                );
-                outcomes.push(outcome?);
+/// One gate per query: shared thresholds under propagation, inert gates
+/// otherwise.
+pub(crate) fn gates(queries: &[BatchQuery], propagate: bool) -> Vec<BoundGate> {
+    queries
+        .iter()
+        .map(|_| {
+            if propagate {
+                BoundGate::shared(Arc::new(SharedThreshold::new()))
+            } else {
+                BoundGate::none()
             }
-            let lists: Vec<&[(u32, f64)]> =
-                outcomes.iter().map(|o| o.report.top.as_slice()).collect();
-            let top = kway_merge_sorted(&lists, q.n);
-            let mut work = ExecReport::default();
-            for o in &outcomes {
-                work.absorb(&o.report);
-            }
-            responses.push(QueryResponse {
-                top,
-                work,
-                shards: outcomes,
-            });
+        })
+        .collect()
+}
+
+/// Fold per-shard outcome columns into per-query responses: tie-stable
+/// k-way merge of the shard-local heaps plus counter aggregation. Shared
+/// by the scoped-thread paths, the sequential profiling path, and the
+/// worker pool (whose tickets expose the raw columns so callers may defer
+/// this merge off the service critical path).
+pub fn merge_columns(
+    queries: &[BatchQuery],
+    mut per_shard: Vec<Vec<Result<ShardOutcome>>>,
+) -> Result<Vec<QueryResponse>> {
+    let mut responses = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let mut outcomes = Vec::with_capacity(per_shard.len());
+        for shard_results in &mut per_shard {
+            // Take ownership of this query's outcome from the shard's
+            // result column; errors surface per query.
+            let outcome = std::mem::replace(
+                &mut shard_results[qi],
+                Err(CoreError::Type("outcome already taken".into())),
+            );
+            outcomes.push(outcome?);
         }
-        Ok(responses)
+        let lists: Vec<&[(u32, f64)]> = outcomes.iter().map(|o| o.report.top.as_slice()).collect();
+        let top = kway_merge_sorted(&lists, q.n);
+        let mut work = ExecReport::default();
+        for o in &outcomes {
+            work.absorb(&o.report);
+        }
+        responses.push(QueryResponse {
+            top,
+            work,
+            shards: outcomes,
+        });
     }
+    Ok(responses)
 }
 
 #[cfg(test)]
