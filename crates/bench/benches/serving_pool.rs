@@ -102,16 +102,14 @@ fn bench_streaming(c: &mut Criterion) {
         b.iter(|| {
             let mut pending = VecDeque::new();
             for chunk in &chunks {
-                pending.push_back(pipelined.enqueue(chunk));
+                pending.push_back(pipelined.enqueue(chunk).expect("blocking admission"));
                 if pending.len() > 1 {
-                    let report = pipelined
-                        .collect(pending.pop_front().expect("non-empty"))
-                        .expect("in-vocabulary batch");
+                    let report = pipelined.collect(pending.pop_front().expect("non-empty"));
                     let _ = black_box(report);
                 }
             }
             while let Some(p) = pending.pop_front() {
-                let _ = black_box(pipelined.collect(p).expect("in-vocabulary batch"));
+                let _ = black_box(pipelined.collect(p));
             }
         })
     });
@@ -160,13 +158,7 @@ fn bench_coalescing(c: &mut Criterion) {
     });
     let mut reference = session(&index, 4);
     g.bench_function("sequential_per_position", |b| {
-        b.iter(|| {
-            black_box(
-                reference
-                    .submit_many_sequential(&zipf)
-                    .expect("in-vocabulary batch"),
-            )
-        })
+        b.iter(|| black_box(reference.submit_many_sequential(&zipf)))
     });
     g.finish();
 }

@@ -116,7 +116,7 @@ pub fn measure(scale: Scale) -> Vec<ServingResult> {
     // The answers every configuration must reproduce.
     let reference = session(&index, 1, false)
         .submit_many(&batch)
-        .expect("in-vocabulary batch");
+        .expect("blocking admission never sheds");
 
     let mut results = Vec::new();
     for propagate in [false, true] {
@@ -127,13 +127,11 @@ pub fn measure(scale: Scale) -> Vec<ServingResult> {
             // so the calibration state every later figure rests on is
             // deterministic (a concurrent warm-up would feed the planners
             // interleaving-dependent counters).
-            let warm = svc
-                .submit_many_sequential(&batch)
-                .expect("in-vocabulary batch");
+            let warm = svc.submit_many_sequential(&batch);
             for (qi, (got, want)) in warm
-                .responses
+                .expect_ok()
                 .iter()
-                .zip(reference.responses.iter())
+                .zip(reference.expect_ok().iter())
                 .enumerate()
             {
                 assert_eq!(
@@ -145,18 +143,14 @@ pub fn measure(scale: Scale) -> Vec<ServingResult> {
             // Steady-state work figure from the deterministic sequential
             // replay (propagation order is then fixed, so the committed
             // posting counts reproduce run to run).
-            let steady = svc
-                .submit_many_sequential(&batch)
-                .expect("in-vocabulary batch");
+            let steady = svc.submit_many_sequential(&batch);
             let postings = steady.total_work().postings_scanned;
             // Median sequential critical path over replays: the
             // sequential run's busy times are free of scheduler
             // interference on oversubscribed hosts.
             let mut paths = Vec::with_capacity(RUNS);
             for _ in 0..RUNS {
-                let prof = svc
-                    .submit_many_sequential(&batch)
-                    .expect("in-vocabulary batch");
+                let prof = svc.submit_many_sequential(&batch);
                 paths.push(
                     prof.critical_path()
                         .expect("non-empty batch has shard outcomes"),

@@ -66,7 +66,7 @@ pub fn time_best_interleaved(k: usize, routines: &mut [&mut dyn FnMut()]) -> Vec
 /// reported figure is a latency that actually occurred — no
 /// interpolation inventing values between observations — and the p100
 /// tail is the true maximum. The convention serving dashboards use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Percentiles {
     /// Median (p50).
     pub p50: Duration,

@@ -73,6 +73,11 @@ pub struct DaatStats {
     pub bound_exits: usize,
     /// Documents whose exact score was computed and offered to the heap.
     pub candidates: usize,
+    /// Whether the evaluation was truncated by an expired per-query
+    /// deadline ([`crate::deadline::DeadlineGate`]). The heap's contents
+    /// are exact scores of the documents evaluated so far; the counters
+    /// describe the work actually performed.
+    pub timed_out: bool,
 }
 
 /// Result of a document-at-a-time evaluation (owning form).
@@ -96,6 +101,9 @@ pub struct DaatReport {
     pub bound_exits: usize,
     /// Documents whose exact score was computed and offered to the heap.
     pub candidates: usize,
+    /// Whether the evaluation was truncated by an expired per-query
+    /// deadline (partial but exact top; honest work counters).
+    pub timed_out: bool,
 }
 
 impl DaatStats {
@@ -108,6 +116,7 @@ impl DaatStats {
             seeks: self.seeks,
             bound_exits: self.bound_exits,
             candidates: self.candidates,
+            timed_out: self.timed_out,
         }
     }
 }
@@ -290,6 +299,12 @@ impl<'a> DaatSearcher<'a> {
         // gate prunes off the propagated threshold from the very next
         // posting).
         while !heap.is_full() && m > 0 && !gate.has_signal() {
+            // Deadline poll at the candidate boundary: truncation only —
+            // every score already in the heap is exact.
+            if gate.expired() {
+                stats.timed_out = true;
+                break;
+            }
             let next_doc = cur.iter().copied().min().unwrap_or(u32::MAX);
             if next_doc == u32::MAX {
                 break; // input exhausted before the heap filled
@@ -330,6 +345,12 @@ impl<'a> DaatSearcher<'a> {
 
         // Phase 2 — bounds-pruned scan.
         loop {
+            // Deadline poll at the candidate boundary (phase 1 may have
+            // already observed expiry; never start phase 2 then).
+            if stats.timed_out || gate.expired() {
+                stats.timed_out = true;
+                break;
+            }
             if first_essential >= m && m > 0 {
                 // No remaining document can enter the heap at all.
                 break;
@@ -568,6 +589,20 @@ impl<'a> DaatSearcher<'a> {
         n: usize,
         scratch: &mut QueryScratch,
     ) -> Result<DaatStats> {
+        self.search_exhaustive_gated_into(terms, n, &BoundGate::none(), scratch)
+    }
+
+    /// [`DaatSearcher::search_exhaustive_into`] with a gate hook: the
+    /// exhaustive merge cannot prune on a threshold, but it polls the
+    /// gate's per-query deadline at each candidate boundary and truncates
+    /// honestly once the budget is spent.
+    pub fn search_exhaustive_gated_into(
+        &self,
+        terms: &[u32],
+        n: usize,
+        gate: &BoundGate,
+        scratch: &mut QueryScratch,
+    ) -> Result<DaatStats> {
         let blocks = self.index.blocks();
         let m = terms.len();
         scratch.begin(m, n);
@@ -606,6 +641,12 @@ impl<'a> DaatSearcher<'a> {
             let next_doc = cur.iter().copied().min().unwrap_or(u32::MAX);
             if next_doc == u32::MAX {
                 break; // all cursors exhausted
+            }
+            // Deadline poll at the candidate boundary — the exhaustive
+            // merge degrades to a document-id-prefix evaluation.
+            if gate.expired() {
+                stats.timed_out = true;
+                break;
             }
             // Accumulate this document's score from every matching cursor
             // and advance those cursors (element-at-a-time).

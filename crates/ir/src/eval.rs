@@ -34,6 +34,14 @@ pub struct SearchReport {
     pub terms_matched: usize,
     /// Documents whose score was accumulated and offered to the heap.
     pub candidates: usize,
+    /// Whether the evaluation was truncated by an expired per-query
+    /// deadline. The accumulator path checks between term runs (coarse:
+    /// a single giant run is uninterruptible). A document's accumulated
+    /// sum is only exact once *every* run has been consumed, so a
+    /// timed-out evaluation returns an **empty** `top` — partial sums
+    /// are not exact scores and are never surfaced as a ranking — while
+    /// the counters stay honest about the work performed.
+    pub timed_out: bool,
 }
 
 /// A reusable query evaluator with a workhorse score accumulator.
@@ -80,6 +88,20 @@ impl<'a> Searcher<'a> {
 
     /// Evaluate a bag-of-terms query, returning the top `n` documents.
     pub fn search(&mut self, terms: &[u32], n: usize) -> Result<SearchReport> {
+        self.search_gated(terms, n, &crate::threshold::BoundGate::none())
+    }
+
+    /// [`Searcher::search`] with a gate hook: the accumulator path cannot
+    /// prune on a threshold, but it polls the gate's per-query deadline
+    /// between term runs. On expiry it retires the accumulator cleanly
+    /// and reports `timed_out` with an empty ranking (partial sums are
+    /// not exact scores; see [`SearchReport::timed_out`]).
+    pub fn search_gated(
+        &mut self,
+        terms: &[u32],
+        n: usize,
+        gate: &crate::threshold::BoundGate,
+    ) -> Result<SearchReport> {
         // Validate every term before touching the accumulator: a mid-query
         // error must not strand partial scores in a shared accumulator
         // (the physical layer reuses one across queries), or the next
@@ -89,7 +111,15 @@ impl<'a> Searcher<'a> {
         }
         let mut scanned = 0usize;
         let mut matched = 0usize;
+        let mut timed_out = false;
         for &term in terms {
+            // Deadline poll at the run boundary: an expired query stops
+            // consuming runs; the retire below keeps the shared
+            // accumulator clean for the next query.
+            if gate.expired() {
+                timed_out = true;
+                break;
+            }
             let df = self.index.df(term)?;
             let cf = self.index.cf(term)?;
             let scorer = self.kernel.term_scorer(df, cf);
@@ -110,10 +140,13 @@ impl<'a> Searcher<'a> {
         }
 
         let mut heap = TopNHeap::new(n);
-        for &doc in self.accum.touched() {
-            heap.push(doc, self.accum.score(doc));
+        if !timed_out {
+            for &doc in self.accum.touched() {
+                heap.push(doc, self.accum.score(doc));
+            }
         }
-        // Epoch bump retires this query's slots without any reset pass.
+        // Epoch bump retires this query's slots without any reset pass —
+        // including the partial sums of a timed-out query.
         self.accum.retire();
 
         let candidates = heap.pushes();
@@ -122,6 +155,7 @@ impl<'a> Searcher<'a> {
             postings_scanned: scanned,
             terms_matched: matched,
             candidates,
+            timed_out,
         })
     }
 

@@ -349,6 +349,12 @@ pub struct FragSearchReport {
     pub used_b: bool,
     /// The safety decision, when the strategy made one.
     pub decision: Option<SwitchDecision>,
+    /// Whether the evaluation was truncated by an expired per-query
+    /// deadline. Gathers are uninterruptible (the scan closures own the
+    /// pass); the poll sites are the gather/score boundaries and each
+    /// document of the bound-pruned score pass, so everything in `top`
+    /// is an exactly scored document.
+    pub timed_out: bool,
 }
 
 impl FragSearchReport {
@@ -363,6 +369,7 @@ impl FragSearchReport {
             seeks: 0,
             used_b: false,
             decision: None,
+            timed_out: false,
         }
     }
 }
@@ -430,6 +437,14 @@ impl FragSearcher {
     /// The fragmented index this searcher evaluates over.
     pub fn fragments(&self) -> &Arc<FragmentedIndex> {
         &self.frag
+    }
+
+    /// Retire any scratch state an abandoned evaluation may have left
+    /// mid-accumulation (e.g. a panic caught at a serving-worker
+    /// boundary): the epoch bump invalidates partial sums in O(1),
+    /// restoring the accumulator invariant the next query relies on.
+    pub fn reset_scratch(&mut self) {
+        self.ub_accum.retire();
     }
 
     /// Evaluate a query under the given strategy.
@@ -576,6 +591,24 @@ impl FragSearcher {
             );
         }
 
+        // Deadline poll at the gather/score boundary: the gathers above
+        // are uninterruptible, but an overloaded worker stops here before
+        // paying any scoring. Nothing entered the accumulator yet.
+        if gate.expired() {
+            return Ok(FragSearchReport {
+                top: Vec::new(),
+                postings_scanned: scanned,
+                postings_scored: 0,
+                postings_pruned: 0,
+                candidates: 0,
+                bound_exits: 0,
+                seeks,
+                used_b,
+                decision,
+                timed_out: true,
+            });
+        }
+
         // Fast path: when the heap can admit every matching document, the
         // bound machinery cannot prune anything — accumulate exact scores
         // directly (position by position: the canonical addition order)
@@ -583,7 +616,15 @@ impl FragSearcher {
         let matched_total: usize = buckets.iter().map(Vec::len).sum();
         if n >= matched_total.min(index.num_docs()) {
             let mut scored = 0usize;
+            let mut timed_out = false;
             for (p, &bi) in bucket_of.iter().enumerate() {
+                // Poll per position run: a document's accumulated sum is
+                // exact only once every position has contributed, so on
+                // expiry the partial sums are discarded, never ranked.
+                if gate.expired() {
+                    timed_out = true;
+                    break;
+                }
                 for &(doc, tf) in &buckets[bi] {
                     self.ub_accum
                         .add(doc, self.kernel.weight(&scorers[p], tf, doc));
@@ -591,12 +632,14 @@ impl FragSearcher {
                 }
             }
             let mut heap = TopNHeap::new(n);
-            for &doc in self.ub_accum.touched() {
-                heap.push(doc, self.ub_accum.score(doc));
+            if !timed_out {
+                for &doc in self.ub_accum.touched() {
+                    heap.push(doc, self.ub_accum.score(doc));
+                }
+                // Even the unpruned path publishes its N-th score: other
+                // shards' gates tighten off it.
+                gate.publish(&heap);
             }
-            // Even the unpruned path publishes its N-th score: other
-            // shards' gates tighten off it.
-            gate.publish(&heap);
             let candidates = heap.pushes();
             self.ub_accum.retire();
             return Ok(FragSearchReport {
@@ -609,6 +652,7 @@ impl FragSearcher {
                 seeks,
                 used_b,
                 decision,
+                timed_out,
             });
         }
 
@@ -651,7 +695,15 @@ impl FragSearcher {
         let mut scored = 0usize;
         let mut candidates = 0usize;
         let mut bound_exits = 0usize;
+        let mut timed_out = false;
         for &(doc, ub) in &docs {
+            // Deadline poll per candidate: each heap entry is a fully,
+            // exactly scored document, so truncation here leaves an
+            // honest partial top-N.
+            if gate.expired() {
+                timed_out = true;
+                break;
+            }
             if !(heap.would_enter(ub, doc) && gate.admits(ub)) {
                 bound_exits += 1;
                 continue;
@@ -684,6 +736,7 @@ impl FragSearcher {
             seeks,
             used_b,
             decision,
+            timed_out,
         })
     }
 }

@@ -20,6 +20,9 @@
 //!   colocated with the storage blocks,
 //! * [`scratch`] — the reusable per-query execution arena
 //!   ([`QueryScratch`]): steady-state queries allocate nothing,
+//! * [`deadline`] — per-query deadline budgets ([`DeadlineGate`]) polled
+//!   at evaluation-loop boundaries for graceful degradation under
+//!   overload (partial-but-exact rankings, honest counters),
 //! * [`fragment`] — horizontal df-based fragmentation of the term–document
 //!   matrix (Step 1 of the paper): the unsafe fragment-A-only strategy, the
 //!   safe switch strategy, and non-dense-index-accelerated fragment-B access,
@@ -35,6 +38,7 @@
 pub mod accum;
 pub mod blocks;
 pub mod daat;
+pub mod deadline;
 pub mod dict;
 pub mod error;
 pub mod eval;
@@ -52,6 +56,7 @@ pub mod threshold;
 pub use accum::EpochAccumulator;
 pub use blocks::{BlockHeader, BlockPostingList, CursorBuf, BLOCK_LEN};
 pub use daat::{DaatReport, DaatSearcher, DaatStats};
+pub use deadline::DeadlineGate;
 pub use dict::Dictionary;
 pub use error::{IrError, Result};
 pub use eval::{SearchReport, Searcher};

@@ -105,18 +105,26 @@ pub struct ExecReport {
     /// Documents whose exact score was computed and offered to the top-N
     /// heap.
     pub candidates: usize,
+    /// Whether the evaluation was truncated by an expired per-query
+    /// deadline ([`crate::deadline::DeadlineGate`]): `top` holds only
+    /// exactly scored documents found before expiry, and the counters
+    /// describe the work actually performed — never the work skipped by
+    /// truncation.
+    pub partial: bool,
 }
 
 impl ExecReport {
     /// Fold another report's counters into this one (the `top` ranking is
     /// left untouched) — the aggregation primitive the experiments use
-    /// instead of copying fields by hand.
+    /// instead of copying fields by hand. Partiality is sticky: an
+    /// aggregate over any truncated execution is itself partial.
     pub fn absorb(&mut self, other: &ExecReport) {
         self.postings_scanned += other.postings_scanned;
         self.docs_skipped += other.docs_skipped;
         self.seeks += other.seeks;
         self.bound_exits += other.bound_exits;
         self.candidates += other.candidates;
+        self.partial |= other.partial;
     }
 }
 
@@ -129,6 +137,7 @@ impl From<DaatReport> for ExecReport {
             seeks: r.seeks,
             bound_exits: r.bound_exits,
             candidates: r.candidates,
+            partial: r.timed_out,
         }
     }
 }
@@ -144,6 +153,7 @@ impl DaatStats {
             seeks: self.seeks,
             bound_exits: self.bound_exits,
             candidates: self.candidates,
+            partial: self.timed_out,
         }
     }
 }
@@ -157,6 +167,7 @@ impl From<SearchReport> for ExecReport {
             seeks: 0,
             bound_exits: 0,
             candidates: r.candidates,
+            partial: r.timed_out,
         }
     }
 }
@@ -170,6 +181,7 @@ impl From<FragSearchReport> for ExecReport {
             seeks: r.seeks,
             bound_exits: r.bound_exits,
             candidates: r.candidates,
+            partial: r.timed_out,
         }
     }
 }
@@ -278,6 +290,7 @@ const _: () = {
     assert_send_sync::<FragSearcher>();
     assert_send_sync::<crate::threshold::SharedThreshold>();
     assert_send_sync::<BoundGate>();
+    assert_send_sync::<crate::deadline::DeadlineGate>();
 };
 
 impl EngineSet {
@@ -347,6 +360,18 @@ impl EngineSet {
         self.scratch.queries_begun()
     }
 
+    /// Restore every piece of cross-query execution state to a sound
+    /// baseline after an *abandoned* evaluation — one that unwound out of
+    /// an engine path mid-query (a panic caught at a serving-worker
+    /// boundary). The epoch accumulators retire their current epoch in
+    /// O(1), invalidating any partial sums; the scratch arena needs no
+    /// action (every entry re-`begin`s it). Index, kernel, and bound
+    /// tables are immutable during execution and stay shared.
+    pub fn reset_execution_state(&mut self) {
+        self.saat_accum.retire();
+        self.frag_searcher.reset_scratch();
+    }
+
     /// Execute `plan` for a query, dispatching through the uniform
     /// [`RetrievalOp`] interface.
     pub fn execute(&mut self, plan: PhysicalPlan, terms: &[u32], n: usize) -> Result<ExecReport> {
@@ -381,20 +406,17 @@ impl EngineSet {
                     Arc::clone(&self.kernel),
                     Arc::clone(&self.daat_bounds),
                 );
-                daat.search_exhaustive_into(terms, n, &mut self.scratch)
+                daat.search_exhaustive_gated_into(terms, n, gate, &mut self.scratch)
                     .map(|stats| stats.with_top(self.scratch.out.clone()))
             }
             PhysicalPlan::SetAtATime => {
                 // Swap the long-lived accumulator through a short-lived
                 // searcher view: no per-query O(num_docs) allocation.
                 let accum = std::mem::replace(&mut self.saat_accum, EpochAccumulator::new(0));
-                let mut op = SetAtATimeOp(Searcher::with_state(
-                    self.frag.index(),
-                    Arc::clone(&self.kernel),
-                    accum,
-                ));
-                let report = op.execute(terms, n);
-                self.saat_accum = op.0.into_accum();
+                let mut searcher =
+                    Searcher::with_state(self.frag.index(), Arc::clone(&self.kernel), accum);
+                let report = searcher.search_gated(terms, n, gate).map(ExecReport::from);
+                self.saat_accum = searcher.into_accum();
                 report
             }
             PhysicalPlan::Fragmented(strategy) => self
@@ -513,6 +535,7 @@ mod tests {
             seeks: 2,
             bound_exits: 1,
             candidates: 4,
+            partial: false,
         };
         total.absorb(&a);
         total.absorb(&a);
@@ -522,6 +545,13 @@ mod tests {
         assert_eq!(total.bound_exits, 2);
         assert_eq!(total.candidates, 8);
         assert!(total.top.is_empty(), "absorb must not merge rankings");
+        assert!(!total.partial);
+        let p = ExecReport {
+            partial: true,
+            ..ExecReport::default()
+        };
+        total.absorb(&p);
+        assert!(total.partial, "partiality must be sticky under absorb");
     }
 
     #[test]

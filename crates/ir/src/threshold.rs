@@ -29,6 +29,8 @@ use std::sync::Arc;
 
 use moa_topn::TopNHeap;
 
+use crate::deadline::DeadlineGate;
+
 /// Map an `f64` onto a `u64` whose unsigned order matches the float's
 /// total order (negatives flipped, positives offset past them) — the
 /// standard trick that lets one `fetch_max` maintain a float maximum.
@@ -99,22 +101,55 @@ impl Default for SharedThreshold {
 
 /// The pruning-gate hook: either inert (single-engine execution, the
 /// default) or backed by a [`SharedThreshold`] that other shards are
-/// raising concurrently.
+/// raising concurrently. Optionally carries a per-query [`DeadlineGate`]
+/// the evaluation loops poll at their block boundaries (graceful
+/// degradation under overload — see [`crate::deadline`]).
 #[derive(Debug, Clone, Default)]
 pub struct BoundGate {
     shared: Option<Arc<SharedThreshold>>,
+    deadline: Option<Arc<DeadlineGate>>,
 }
 
 impl BoundGate {
     /// The inert gate: admits every bound, publishes nothing.
     pub fn none() -> BoundGate {
-        BoundGate { shared: None }
+        BoundGate {
+            shared: None,
+            deadline: None,
+        }
     }
 
     /// A gate propagating through `threshold`.
     pub fn shared(threshold: Arc<SharedThreshold>) -> BoundGate {
         BoundGate {
             shared: Some(threshold),
+            deadline: None,
+        }
+    }
+
+    /// Attach a per-query deadline: evaluation loops polling this gate
+    /// truncate (honestly, with exact partial results) once the budget is
+    /// spent. The same `Arc` is shared by every shard serving the query,
+    /// so expiry observed anywhere stops the work everywhere.
+    pub fn with_deadline(mut self, deadline: Arc<DeadlineGate>) -> BoundGate {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<&Arc<DeadlineGate>> {
+        self.deadline.as_ref()
+    }
+
+    /// Poll the per-query deadline (always `false` without one). Called
+    /// at evaluation-loop boundaries; never changes pruning decisions —
+    /// a query that completes without observing expiry is bit-identical
+    /// to one executed with no deadline at all.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match &self.deadline {
+            None => false,
+            Some(d) => d.poll(),
         }
     }
 

@@ -35,16 +35,35 @@
 //! so every `(doc, score)` pair is the same `f64` it would be unsharded,
 //! and the differential oracle pins this across ranking models, N, and
 //! shard counts.
+//!
+//! Overload and failure semantics (see DESIGN.md "Failure & overload
+//! semantics"): admission is *bounded* per worker
+//! ([`admission::QueueGauge`], [`AdmissionPolicy`]) so a saturated pool
+//! backpressures or sheds ([`ServeError::Shed`]) instead of queueing
+//! without limit; per-query *deadline budgets* degrade to exact-prefix
+//! `partial` responses rather than errors; and a worker panic is
+//! *isolated* — the affected positions fail typed
+//! ([`ServeError::ShardFailed`]), the worker (or its respawned
+//! replacement, over the retained shard) keeps serving, and shutdown
+//! reports the panic history instead of re-panicking
+//! ([`pool::PoolShutdown`]). The E19 resilience experiment drives all
+//! three under injected faults at multiples of calibrated capacity.
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod fault;
 pub mod pool;
 pub mod service;
 pub mod shard;
 
-pub use pool::{BatchTicket, ExplainRow, ShardPool};
+pub use admission::{AdmissionPolicy, QueueGauge};
+pub use fault::{
+    panic_message, silence_worker_panics, ServeError, ServeResult, ShardPanic, WorkerFault,
+};
+pub use pool::{BatchTicket, ExplainRow, PoolConfig, PoolShutdown, ShardPool};
 pub use service::{BatchReport, PendingBatch, ServeConfig, ServeSession, ServeStats, ShardBusy};
 pub use shard::{
-    merge_columns, BatchQuery, EngineShard, QueryResponse, ServeMode, ShardOutcome, ShardSpec,
-    ShardedEngine,
+    merge_columns, BatchQuery, EngineShard, QueryResponse, ServeMode, ShardColumn, ShardOutcome,
+    ShardSpec, ShardedEngine,
 };

@@ -7,18 +7,37 @@
 //! the wall-time regression E16 measured (0.44–0.76× sequential at 2–8
 //! shards). [`ShardPool`] removes the per-batch setup entirely:
 //!
-//! * **One long-lived worker thread per shard.** Construction moves each
+//! * **One long-lived worker thread per shard.** Construction parks each
 //!   [`EngineShard`] — its fragmented table, engine set, planner, and
-//!   zero-allocation `QueryScratch` arena — onto its own thread, where it
-//!   stays for the life of the pool. The arena is reused across every
-//!   query of every batch of the stream; steady-state submissions
+//!   zero-allocation `QueryScratch` arena — in a shared slot owned by its
+//!   worker thread for the life of the pool. The arena is reused across
+//!   every query of every batch of the stream; steady-state submissions
 //!   allocate only the per-batch bookkeeping (queries, gates, result
 //!   columns), never per-posting or per-candidate state.
-//! * **A submission queue with batched admission.** [`ShardPool::submit`]
-//!   enqueues one [`Job`] per worker over `std::sync::mpsc` channels and
-//!   returns a [`BatchTicket`] immediately. Callers overlap their own
-//!   work — merging the *previous* batch, admitting the next — with shard
-//!   service; that pipelining is what the E18 load generator drives.
+//! * **Bounded admission.** Every worker queue carries a
+//!   [`QueueGauge`] bounded at [`PoolConfig::queue_depth`];
+//!   [`ShardPool::submit`] admits under an [`AdmissionPolicy`] — block
+//!   for room (backpressure), shed with [`ServeError::Shed`], or admit
+//!   only into idle workers. A saturated pool can no longer grow its
+//!   queues (and its memory) without limit; E19 drives this at multiples
+//!   of calibrated capacity and gates on the recorded high-water marks.
+//! * **Per-query deadlines.** With [`PoolConfig::deadline`] set, every
+//!   distinct query is admitted with one `moa_ir` `DeadlineGate` shared
+//!   by all shards (queueing time counts against the budget). An expired
+//!   query comes back `Ok` with `partial == true`: an exact prefix of
+//!   the ranking plus honest work counters, not an error — see
+//!   `moa_ir::deadline` for the soundness argument.
+//! * **Worker fault isolation.** Each query executes under
+//!   `catch_unwind`: a panic fails *that position* with
+//!   [`ServeError::ShardFailed`] (the shard's execution scratch is
+//!   recovered via its epoch accumulators) and the worker keeps serving.
+//!   A worker thread that dies outright (see [`WorkerFault::Crash`])
+//!   loses only the jobs on its queue — tickets synthesize
+//!   `ShardFailed` columns for them — and the next submission respawns
+//!   the worker over the *retained* shard slot: index, planner
+//!   calibration, and arena survive the crash. Respawns and captured
+//!   panic payloads are observable ([`ShardPool::respawns`],
+//!   [`ShardPool::panic_log`]).
 //! * **Admission-time request coalescing.** Queries with identical
 //!   `(terms, n)` inside one admitted batch execute **once**; the ticket
 //!   fans the shared answer out to every duplicate position at
@@ -27,9 +46,7 @@
 //!   under the Zipf-skewed popularity real query streams exhibit (the
 //!   paper's "millions of users" regime), the hottest query alone is a
 //!   double-digit percentage of traffic, making coalescing the single
-//!   biggest throughput lever the admission queue owns. The scoped and
-//!   sequential paths execute every admitted query individually; they are
-//!   the baselines E18 measures the pool against.
+//!   biggest throughput lever the admission queue owns.
 //! * **Identical answers.** Workers run the same
 //!   [`EngineShard::run_one`](crate::shard::EngineShard) column loop and
 //!   the ticket folds columns with the same tie-stable
@@ -41,28 +58,81 @@
 //! * **Drain on shutdown.** `mpsc` receivers keep yielding buffered
 //!   messages after every sender is dropped, so [`ShardPool::shutdown`]
 //!   (drop all job senders, then join) lets each worker finish every job
-//!   already queued before it observes disconnect and returns its shard.
-//!   No query is ever dropped by teardown: a [`BatchTicket`] collected
-//!   *after* `shutdown` still yields the full response set. Shutdown
-//!   hands the [`EngineShard`]s back to the caller, scratch arenas
-//!   included — their lifetime query counters prove one arena served the
-//!   whole stream.
+//!   already queued before it observes disconnect. Shutdown never
+//!   panics: workers that died are reported as [`ShardPanic`]s on the
+//!   returned [`PoolShutdown`], and every [`EngineShard`] — including a
+//!   dead worker's — is recovered from its slot, scratch arenas
+//!   included.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use moa_core::{CoreError, Result};
-use moa_ir::{BoundGate, InvertedIndex, RankingModel, ScoreKernel};
+use moa_ir::{BoundGate, DeadlineGate, InvertedIndex, RankingModel, ScoreKernel};
+use parking_lot::Mutex;
 
+use crate::admission::{AdmissionPolicy, QueueGauge};
+use crate::fault::{panic_message, ServeError, ServeResult, ShardPanic, WorkerFault};
 use crate::shard::{
-    gates, merge_columns, BatchQuery, EngineShard, QueryResponse, ServeMode, ShardOutcome,
+    gates, merge_columns, BatchQuery, EngineShard, QueryResponse, ServeMode, ShardColumn,
     ShardSpec, ShardedEngine,
 };
 
-/// One shard's result column for a batch: outcome `i` answers query `i`.
-pub type ShardColumn = Vec<Result<ShardOutcome>>;
+/// How long a blocked (backpressured) admission waits between queue
+/// re-checks; bounded so a worker that dies mid-wait is noticed and
+/// respawned instead of deadlocking the submitter.
+const BLOCK_RECHECK: Duration = Duration::from_millis(10);
+
+/// Pool runtime configuration: the overload posture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Per-worker queue bound: admitted-but-unfinished batch jobs
+    /// (clamped ≥ 1). Queue memory is `O(queue_depth × batch size)` by
+    /// construction.
+    pub queue_depth: usize,
+    /// Per-query deadline budget, applied at admission (queueing time
+    /// counts against it). `None` disables deadlines entirely — gates
+    /// carry no deadline and the evaluation loops skip even the poll.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            queue_depth: 64,
+            deadline: None,
+        }
+    }
+}
+
+/// What [`ShardPool::shutdown`] hands back: every shard (planners
+/// calibrated by the stream, scratch arenas carrying their lifetime
+/// query counts) plus the full panic history — both workers healed
+/// mid-stream and workers found dead at teardown. Teardown itself never
+/// panics.
+#[must_use = "shutdown hands back the shards and the panic history"]
+pub struct PoolShutdown {
+    /// The engine shards, in shard order — recovered from their slots
+    /// even when their worker died.
+    pub shards: Vec<EngineShard>,
+    /// Every worker panic the pool observed, in the order captured.
+    pub panics: Vec<ShardPanic>,
+}
+
+impl PoolShutdown {
+    /// Whether no worker ever panicked.
+    pub fn is_clean(&self) -> bool {
+        self.panics.is_empty()
+    }
+
+    /// Take just the shards (asserting nothing about panics).
+    pub fn into_shards(self) -> Vec<EngineShard> {
+        self.shards
+    }
+}
 
 /// One priced EXPLAIN row, computed on the owning worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,13 +157,18 @@ enum Job {
     Explain {
         terms: Vec<u32>,
         n: usize,
-        reply: Sender<Result<ExplainRow>>,
+        reply: Sender<ServeResult<ExplainRow>>,
     },
+    /// Adjust the worker's fault state (tests and the E19 resilience
+    /// harness). Rides the ordinary queue: takes effect in admission
+    /// order, costs no gauge slot.
+    Fault(WorkerFault),
 }
 
 /// One admitted batch, shared by every worker. The gates are built once
 /// at admission so all shards prune against the same per-query
-/// [`moa_ir::SharedThreshold`]s.
+/// [`moa_ir::SharedThreshold`]s (and, with deadlines on, poll the same
+/// per-query [`DeadlineGate`]s).
 struct BatchJob {
     queries: Arc<[BatchQuery]>,
     mode: ServeMode,
@@ -103,51 +178,151 @@ struct BatchJob {
     done: Sender<(usize, ShardColumn)>,
 }
 
+/// The shared slot a worker's [`EngineShard`] lives in. The worker locks
+/// it per job; the pool takes the shard back out at shutdown — or leaves
+/// it in place across a respawn, which is what makes crash recovery
+/// O(1): no index rebuild, no planner reset.
+type ShardSlot = Arc<Mutex<Option<EngineShard>>>;
+
 struct Worker {
+    /// The shard this worker serves (== its index in the pool).
+    id: usize,
     tx: Sender<Job>,
-    handle: JoinHandle<EngineShard>,
+    handle: JoinHandle<()>,
+    slot: ShardSlot,
+    gauge: Arc<QueueGauge>,
 }
 
-/// The worker thread body: serve jobs until every sender is gone, then
-/// hand the shard back through the join. The `mpsc` disconnect contract
-/// (buffered jobs drain before `recv` errors) is the pool's whole
-/// shutdown story.
-fn worker_loop(mut shard: EngineShard, rx: Receiver<Job>) -> EngineShard {
+fn spawn_worker(
+    id: usize,
+    slot: ShardSlot,
+    rx: Receiver<Job>,
+    gauge: Arc<QueueGauge>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("moa-shard-{id}"))
+        .spawn(move || worker_loop(id, slot, rx, gauge))
+        .expect("spawning a shard worker thread")
+}
+
+/// Execute one query under the per-query panic guard. A panic — from the
+/// engine or from an armed poison term — fails only this position: the
+/// shard's execution scratch is recovered (epoch-bump retire, O(1)) and
+/// the worker moves on to the next query.
+fn run_guarded(
+    shard: &mut EngineShard,
+    id: usize,
+    q: &BatchQuery,
+    mode: ServeMode,
+    gate: &BoundGate,
+    poison: Option<u32>,
+) -> ServeResult<crate::shard::ShardOutcome> {
+    let poisoned = poison.is_some_and(|t| q.terms.contains(&t));
+    match catch_unwind(AssertUnwindSafe(|| {
+        if poisoned {
+            panic!("injected poison term in query");
+        }
+        shard.run_one(q, mode, gate)
+    })) {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(e)) => Err(ServeError::Engine(e)),
+        Err(payload) => {
+            shard.recover();
+            Err(ServeError::ShardFailed {
+                shard: id,
+                panic: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// The worker thread body: serve jobs until every sender is gone. The
+/// `mpsc` disconnect contract (buffered jobs drain before `recv` errors)
+/// is the pool's whole shutdown story. The shard stays in its slot at
+/// all times — in particular it is still there if this thread dies, so
+/// the respawn path and teardown can always recover it.
+fn worker_loop(id: usize, slot: ShardSlot, rx: Receiver<Job>, gauge: Arc<QueueGauge>) {
+    // Worker-local fault state; an armed poison term panics inside the
+    // per-query guard. A respawned worker starts disarmed.
+    let mut poison: Option<u32> = None;
     while let Ok(job) = rx.recv() {
         match job {
             Job::Batch(job) => {
-                let column: ShardColumn = job
-                    .queries
-                    .iter()
-                    .enumerate()
-                    .map(|(qi, q)| shard.run_one(q, job.mode, &job.gates[qi]))
-                    .collect();
+                let column: ShardColumn = {
+                    let mut guard = slot.lock();
+                    let shard = guard
+                        .as_mut()
+                        .expect("the slot holds the shard while its worker serves");
+                    job.queries
+                        .iter()
+                        .enumerate()
+                        .map(|(qi, q)| run_guarded(shard, id, q, job.mode, &job.gates[qi], poison))
+                        .collect()
+                };
+                // Release *before* delivering: a caller that has
+                // collected every column can rely on the slots already
+                // being free (an idle-only resubmission right after a
+                // collect must not race the release).
+                gauge.release();
                 // The ticket may have been dropped (caller abandoned the
                 // batch); the work is done either way.
-                let _ = job.done.send((shard.id(), column));
+                let _ = job.done.send((id, column));
             }
             Job::Explain { terms, n, reply } => {
-                let row = shard.plan(&terms, n).map(|decision| {
-                    let chosen = decision.chosen_alternative();
-                    ExplainRow {
-                        shard: shard.id(),
-                        postings: shard.num_postings(),
-                        plan_name: chosen.plan.name(),
-                        cost: chosen.cost,
-                        est_postings: chosen.est_postings,
-                    }
-                });
+                let row = {
+                    let guard = slot.lock();
+                    let shard = guard
+                        .as_ref()
+                        .expect("the slot holds the shard while its worker serves");
+                    shard
+                        .plan(&terms, n)
+                        .map(|decision| {
+                            let chosen = decision.chosen_alternative();
+                            ExplainRow {
+                                shard: id,
+                                postings: shard.num_postings(),
+                                plan_name: chosen.plan.name(),
+                                cost: chosen.cost,
+                                est_postings: chosen.est_postings,
+                            }
+                        })
+                        .map_err(ServeError::Engine)
+                };
                 let _ = reply.send(row);
             }
+            Job::Fault(fault) => match fault {
+                WorkerFault::PoisonTerm(t) => poison = Some(t),
+                WorkerFault::ClearPoison => poison = None,
+                // Outside the per-query guard: the thread dies with its
+                // queue, exercising ticket synthesis and respawn.
+                WorkerFault::Crash => panic!("injected worker crash"),
+                WorkerFault::Stall(d) => std::thread::sleep(d),
+            },
         }
     }
-    shard
+}
+
+/// A column of [`ServeError::ShardFailed`] standing in for a worker that
+/// died before answering: its queued jobs vanished with its channel, and
+/// the ticket owes every position an answer.
+fn lost_column(shard: usize, len: usize) -> ShardColumn {
+    (0..len)
+        .map(|_| {
+            Err(ServeError::ShardFailed {
+                shard,
+                panic: "worker terminated before answering".to_string(),
+            })
+        })
+        .collect()
 }
 
 /// An in-flight batch: redeem it with [`BatchTicket::wait`] for merged
-/// responses, or [`BatchTicket::wait_columns`] to take the raw per-shard
-/// columns and defer the merge off the service critical path (submit the
-/// next batch first, then merge — the overlap the E18 pool driver uses).
+/// per-query results, or [`BatchTicket::wait_columns`] to take the raw
+/// per-shard columns and defer the merge off the service critical path
+/// (submit the next batch first, then merge — the overlap the E18 pool
+/// driver uses). Waiting never fails and never deadlocks: a worker that
+/// died mid-batch yields a synthesized [`ServeError::ShardFailed`]
+/// column instead of a hang.
 #[must_use = "an unredeemed ticket discards the batch's responses"]
 pub struct BatchTicket {
     /// The *distinct* queries dispatched to the workers (admission
@@ -193,41 +368,55 @@ impl BatchTicket {
         &self.expand
     }
 
-    /// Block until every shard's column has arrived and return them in
-    /// shard order, alongside the *distinct* queries they answer (the
-    /// coalesced view — one column entry per distinct query, not per
-    /// admitted position; [`BatchTicket::wait`] re-expands).
-    pub fn wait_columns(self) -> Result<(Arc<[BatchQuery]>, Vec<ShardColumn>)> {
+    /// Block until every live shard's column has arrived and return the
+    /// columns in shard order, alongside the *distinct* queries they
+    /// answer (one column entry per distinct query, not per admitted
+    /// position; [`BatchTicket::wait`] re-expands). A shard whose worker
+    /// died before answering yields a synthesized all-
+    /// [`ServeError::ShardFailed`] column — the dead worker's queued job
+    /// dropped its reply sender with the channel, so the disconnect is
+    /// observed, not waited out.
+    pub fn wait_columns(self) -> (Arc<[BatchQuery]>, Vec<ShardColumn>) {
         let mut columns: Vec<Option<ShardColumn>> = (0..self.num_shards).map(|_| None).collect();
-        for _ in 0..self.num_shards {
-            let (shard, column) = self
-                .rx
-                .recv()
-                .map_err(|_| CoreError::Type("shard worker disconnected mid-batch".to_string()))?;
-            columns[shard] = Some(column);
+        let mut received = 0usize;
+        while received < self.num_shards {
+            match self.rx.recv() {
+                Ok((shard, column)) => {
+                    if columns[shard].replace(column).is_none() {
+                        received += 1;
+                    }
+                }
+                // Every sender is gone: the workers that were going to
+                // answer have answered; the rest are dead.
+                Err(_) => break,
+            }
         }
+        let len = self.queries.len();
         let columns = columns
             .into_iter()
-            .map(|c| c.expect("each worker reports its own shard id exactly once"))
+            .enumerate()
+            .map(|(shard, c)| c.unwrap_or_else(|| lost_column(shard, len)))
             .collect();
-        Ok((self.queries, columns))
+        (self.queries, columns)
     }
 
-    /// Block until every shard has finished, fold the columns with the
-    /// tie-stable k-way merge, and fan coalesced answers back out: one
-    /// response per *admitted* query, in submission order. A duplicate
-    /// position's response clones its distinct query's execution — top-N,
+    /// Block until every live shard has finished, fold the columns with
+    /// the tie-stable k-way merge, and fan coalesced answers back out:
+    /// one result per *admitted* query, in submission order. A duplicate
+    /// position's result clones its distinct query's execution — top-N,
     /// work counters, and per-shard outcomes included — because that
-    /// execution is what answered it.
-    pub fn wait(mut self) -> Result<Vec<QueryResponse>> {
+    /// execution is what answered it. Per-query failures (engine errors,
+    /// shard panics) surface as that position's `Err`; the call itself
+    /// cannot fail.
+    pub fn wait(mut self) -> Vec<ServeResult<QueryResponse>> {
         let expand = std::mem::take(&mut self.expand);
-        let (queries, columns) = self.wait_columns()?;
-        let distinct = merge_columns(&queries, columns)?;
+        let (queries, columns) = self.wait_columns();
+        let distinct = merge_columns(&queries, columns);
         if distinct.len() == expand.len() {
             // No duplicates: the expansion is the identity.
-            return Ok(distinct);
+            return distinct;
         }
-        Ok(expand.into_iter().map(|u| distinct[u].clone()).collect())
+        expand.into_iter().map(|u| distinct[u].clone()).collect()
     }
 }
 
@@ -237,22 +426,42 @@ pub struct ShardPool {
     spec: ShardSpec,
     index: Arc<InvertedIndex>,
     kernel: Arc<ScoreKernel>,
+    config: PoolConfig,
+    /// Workers respawned over their retained shard after a crash.
+    respawns: usize,
+    /// Wall-clock cost of each respawn (join + thread spawn).
+    recoveries: Vec<Duration>,
+    /// Panic payloads captured from dead workers, in capture order.
+    panic_log: Vec<ShardPanic>,
 }
 
 impl ShardPool {
-    /// Stand the pool up from a built engine: every shard moves onto its
-    /// own long-lived worker thread.
+    /// Stand the pool up from a built engine with the default
+    /// [`PoolConfig`] (queue depth 64, no deadline).
     pub fn new(engine: ShardedEngine) -> ShardPool {
+        ShardPool::with_config(engine, PoolConfig::default())
+    }
+
+    /// Stand the pool up from a built engine: every shard is parked in a
+    /// retained slot and served by its own long-lived worker thread,
+    /// with admission bounded per `config`.
+    pub fn with_config(engine: ShardedEngine, config: PoolConfig) -> ShardPool {
         let (shards, spec, index, kernel) = engine.into_parts();
         let workers = shards
             .into_iter()
             .map(|shard| {
+                let id = shard.id();
+                let slot: ShardSlot = Arc::new(Mutex::new(Some(shard)));
+                let gauge = Arc::new(QueueGauge::new(config.queue_depth));
                 let (tx, rx) = channel();
-                let handle = std::thread::Builder::new()
-                    .name(format!("moa-shard-{}", shard.id()))
-                    .spawn(move || worker_loop(shard, rx))
-                    .expect("spawning a shard worker thread");
-                Worker { tx, handle }
+                let handle = spawn_worker(id, Arc::clone(&slot), rx, Arc::clone(&gauge));
+                Worker {
+                    id,
+                    tx,
+                    handle,
+                    slot,
+                    gauge,
+                }
             })
             .collect();
         ShardPool {
@@ -260,6 +469,10 @@ impl ShardPool {
             spec,
             index,
             kernel,
+            config,
+            respawns: 0,
+            recoveries: Vec::new(),
+            panic_log: Vec::new(),
         }
     }
 
@@ -283,11 +496,189 @@ impl ShardPool {
         self.kernel.model()
     }
 
-    /// Admit a batch: coalesce duplicate queries, build the per-query
-    /// gates, enqueue the job on every worker, and return a
-    /// [`BatchTicket`] without waiting. Workers run their columns
-    /// concurrently; with `propagate`, shards prune against each other's
-    /// running thresholds exactly as the scoped path does.
+    /// The runtime configuration in force.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// The per-worker queue bound actually enforced (the configured
+    /// depth, clamped ≥ 1).
+    pub fn queue_bound(&self) -> usize {
+        self.workers.first().map_or(1, |w| w.gauge.bound())
+    }
+
+    /// The deepest any worker queue has ever been — never exceeds
+    /// [`ShardPool::queue_bound`]; the ceiling E19 gates on.
+    pub fn queue_high_water(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.gauge.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Current per-worker queue depths (admitted, unfinished jobs), in
+    /// shard order.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.workers.iter().map(|w| w.gauge.depth()).collect()
+    }
+
+    /// Workers respawned over their retained shard after a crash.
+    pub fn respawns(&self) -> usize {
+        self.respawns
+    }
+
+    /// Wall-clock cost of each respawn, in the order they happened.
+    pub fn recoveries(&self) -> &[Duration] {
+        &self.recoveries
+    }
+
+    /// Every worker panic captured so far (shutdown appends any found at
+    /// teardown and reports the full history on [`PoolShutdown`]).
+    pub fn panic_log(&self) -> &[ShardPanic] {
+        &self.panic_log
+    }
+
+    /// Respawn every dead worker over its retained shard; returns how
+    /// many were respawned. Submission paths call this automatically;
+    /// it is public so a harness can measure recovery without
+    /// submitting.
+    pub fn heal(&mut self) -> usize {
+        (0..self.workers.len())
+            .filter(|&i| self.heal_worker(i))
+            .count()
+    }
+
+    /// If worker `i` is dead: capture its panic, reset its gauge (its
+    /// queued jobs died with its channel), and respawn it over the
+    /// retained shard slot. Returns whether a respawn happened.
+    fn heal_worker(&mut self, i: usize) -> bool {
+        if !self.workers[i].handle.is_finished() {
+            return false;
+        }
+        self.respawn_worker(i);
+        true
+    }
+
+    /// Unconditionally respawn worker `i` over its retained shard,
+    /// joining the old thread (which may still be unwinding — a failed
+    /// send proves its receiver is gone before `is_finished` turns true)
+    /// and capturing its panic payload.
+    fn respawn_worker(&mut self, i: usize) {
+        let t0 = Instant::now();
+        let w = &mut self.workers[i];
+        w.gauge.reset();
+        let (tx, rx) = channel();
+        let handle = spawn_worker(w.id, Arc::clone(&w.slot), rx, Arc::clone(&w.gauge));
+        drop(std::mem::replace(&mut w.tx, tx));
+        let dead = std::mem::replace(&mut w.handle, handle);
+        let id = w.id;
+        match dead.join() {
+            // A worker only exits cleanly on channel disconnect, which
+            // cannot happen while the pool holds its sender; record the
+            // anomaly as a panic-free death.
+            Ok(()) => self.panic_log.push(ShardPanic {
+                shard: id,
+                message: "worker exited without a panic payload".to_string(),
+            }),
+            Err(payload) => self.panic_log.push(ShardPanic {
+                shard: id,
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+        self.respawns += 1;
+        self.recoveries.push(t0.elapsed());
+    }
+
+    /// Acquire one gauge slot per worker under `policy`. On refusal,
+    /// roll back every slot already acquired and report the refusing
+    /// shard.
+    fn admit(&mut self, policy: AdmissionPolicy) -> ServeResult<()> {
+        for i in 0..self.workers.len() {
+            let refused = match policy {
+                AdmissionPolicy::Block => {
+                    loop {
+                        if self.workers[i].gauge.try_acquire().is_ok() {
+                            break;
+                        }
+                        // A worker that died mid-wait would never drain
+                        // its queue: notice and respawn instead of
+                        // blocking forever.
+                        if self.workers[i].handle.is_finished() {
+                            self.heal_worker(i);
+                            continue;
+                        }
+                        self.workers[i].gauge.wait_for_room(BLOCK_RECHECK);
+                    }
+                    None
+                }
+                AdmissionPolicy::Shed => self.workers[i].gauge.try_acquire().err(),
+                AdmissionPolicy::TryNow => self.workers[i].gauge.try_acquire_idle().err(),
+            };
+            if let Some(depth) = refused {
+                for w in &self.workers[..i] {
+                    w.gauge.release();
+                }
+                return Err(ServeError::Shed {
+                    shard: self.workers[i].id,
+                    depth,
+                    bound: self.workers[i].gauge.bound(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One gate per distinct query: shared thresholds under propagation,
+    /// plus one [`DeadlineGate`] per query when the pool runs with a
+    /// deadline budget. The gate is shared by every shard, so the query
+    /// has *one* budget, not one per shard — and it starts at admission,
+    /// so queueing time counts against it.
+    fn build_gates(&self, queries: &[BatchQuery], propagate: bool) -> Vec<BoundGate> {
+        // With one shard there is no peer to propagate to or from.
+        let gs = gates(queries, propagate && self.workers.len() > 1);
+        match self.config.deadline {
+            None => gs,
+            Some(budget) => gs
+                .into_iter()
+                .map(|g| g.with_deadline(Arc::new(DeadlineGate::after(budget))))
+                .collect(),
+        }
+    }
+
+    /// Send a job to worker `i`, respawning and re-sending if its thread
+    /// died since the last heal (e.g. a queued [`WorkerFault::Crash`]
+    /// ran). `counted` marks jobs that hold a gauge slot: the respawn
+    /// resets the gauge, so the slot is re-acquired before the re-send.
+    fn send_job(&mut self, i: usize, job: Job, counted: bool) {
+        if let Err(send_err) = self.workers[i].tx.send(job) {
+            // The failed send proves the receiver is gone even if the
+            // thread is still unwinding: respawn unconditionally.
+            self.respawn_worker(i);
+            if counted {
+                self.workers[i]
+                    .gauge
+                    .try_acquire()
+                    .expect("a freshly respawned worker's queue is empty");
+            }
+            self.workers[i]
+                .tx
+                .send(send_err.0)
+                .expect("a freshly spawned worker holds its receiver");
+        }
+    }
+
+    /// Admit a batch: heal any dead workers, acquire one bounded queue
+    /// slot per worker under `policy`, coalesce duplicate queries, build
+    /// the per-query gates (thresholds, and deadlines when configured),
+    /// enqueue the job on every worker, and return a [`BatchTicket`]
+    /// without waiting. Workers run their columns concurrently; with
+    /// `propagate`, shards prune against each other's running thresholds
+    /// exactly as the scoped path does.
+    ///
+    /// Refusal is all-or-nothing: [`ServeError::Shed`] means *no* worker
+    /// received the batch (acquired slots are rolled back), so a shed
+    /// batch can be retried verbatim.
     ///
     /// Coalescing: positions with identical `(terms, n)` dispatch **one**
     /// execution; [`BatchTicket::wait`] clones the shared answer back
@@ -296,7 +687,15 @@ impl ShardPool {
     /// function of index, model, and query — and under Zipf-skewed
     /// streams the saved executions are the pool's dominant throughput
     /// win (see E18).
-    pub fn submit(&self, queries: &[BatchQuery], mode: ServeMode, propagate: bool) -> BatchTicket {
+    pub fn submit(
+        &mut self,
+        queries: &[BatchQuery],
+        mode: ServeMode,
+        propagate: bool,
+        policy: AdmissionPolicy,
+    ) -> ServeResult<BatchTicket> {
+        self.heal();
+        self.admit(policy)?;
         let mut first: HashMap<(&[u32], usize), usize> = HashMap::with_capacity(queries.len());
         let mut distinct: Vec<BatchQuery> = Vec::with_capacity(queries.len());
         let mut expand: Vec<usize> = Vec::with_capacity(queries.len());
@@ -309,8 +708,7 @@ impl ShardPool {
             expand.push(slot);
         }
         let queries: Arc<[BatchQuery]> = distinct.into();
-        // With one shard there is no peer to propagate to or from.
-        let gates = gates(&queries, propagate && self.workers.len() > 1);
+        let gates = self.build_gates(&queries, propagate);
         let (done, rx) = channel();
         let job = Arc::new(BatchJob {
             queries: Arc::clone(&queries),
@@ -318,18 +716,15 @@ impl ShardPool {
             gates,
             done,
         });
-        for worker in &self.workers {
-            worker
-                .tx
-                .send(Job::Batch(Arc::clone(&job)))
-                .expect("shard worker outlives the pool that owns it");
+        for i in 0..self.workers.len() {
+            self.send_job(i, Job::Batch(Arc::clone(&job)), true);
         }
-        BatchTicket {
+        Ok(BatchTicket {
             queries,
             expand,
             rx,
             num_shards: self.workers.len(),
-        }
+        })
     }
 
     /// The profiling twin of [`ShardPool::submit`]: workers run one at a
@@ -340,17 +735,29 @@ impl ShardPool {
     /// [`ShardedEngine::execute_batch_sequential`], on the workers'
     /// threads. No admission coalescing: every position executes, which
     /// is what makes this the per-position bit-identity reference for
-    /// [`ShardPool::submit`]'s coalesced fan-out.
+    /// [`ShardPool::submit`]'s coalesced fan-out. Admission blocks for
+    /// queue room (the submitter waits for each column anyway).
     pub fn submit_sequential(
-        &self,
+        &mut self,
         queries: &[BatchQuery],
         mode: ServeMode,
         propagate: bool,
-    ) -> Result<Vec<QueryResponse>> {
+    ) -> Vec<ServeResult<QueryResponse>> {
+        self.heal();
         let queries: Arc<[BatchQuery]> = queries.into();
-        let gates = gates(&queries, propagate && self.workers.len() > 1);
-        let mut columns = Vec::with_capacity(self.workers.len());
-        for worker in &self.workers {
+        let gates = self.build_gates(&queries, propagate);
+        let mut columns: Vec<ShardColumn> = Vec::with_capacity(self.workers.len());
+        for i in 0..self.workers.len() {
+            loop {
+                if self.workers[i].gauge.try_acquire().is_ok() {
+                    break;
+                }
+                if self.workers[i].handle.is_finished() {
+                    self.heal_worker(i);
+                    continue;
+                }
+                self.workers[i].gauge.wait_for_room(BLOCK_RECHECK);
+            }
             let (done, rx) = channel();
             let job = Arc::new(BatchJob {
                 queries: Arc::clone(&queries),
@@ -360,74 +767,109 @@ impl ShardPool {
                 gates: gates.clone(),
                 done,
             });
-            worker
-                .tx
-                .send(Job::Batch(job))
-                .expect("shard worker outlives the pool that owns it");
-            let (_, column) = rx
-                .recv()
-                .map_err(|_| CoreError::Type("shard worker disconnected mid-batch".to_string()))?;
+            self.send_job(i, Job::Batch(job), true);
+            let column = match rx.recv() {
+                Ok((_, column)) => column,
+                // The worker died with this job on its queue; the next
+                // submission (or heal) respawns it.
+                Err(_) => lost_column(i, queries.len()),
+            };
             columns.push(column);
         }
         merge_columns(&queries, columns)
     }
 
+    /// Inject a fault into one shard worker (tests and the E19
+    /// resilience harness). The fault rides the worker's ordinary job
+    /// queue, so it takes effect after everything already admitted. A
+    /// dead worker is healed first so the injection always lands.
+    pub fn inject_fault(&mut self, shard: usize, fault: WorkerFault) {
+        self.heal_worker(shard);
+        self.send_job(shard, Job::Fault(fault), false);
+    }
+
     /// Price a query on every shard (nothing executes): one EXPLAIN row
     /// per shard, in shard order. Rows are computed on the workers, so an
-    /// EXPLAIN queues behind any batches already admitted.
-    pub fn explain_rows(&self, terms: &[u32], n: usize) -> Result<Vec<ExplainRow>> {
+    /// EXPLAIN queues behind any batches already admitted (but bypasses
+    /// the admission gauges — pricing is not load).
+    pub fn explain_rows(&mut self, terms: &[u32], n: usize) -> ServeResult<Vec<ExplainRow>> {
+        self.heal();
         let mut pending = Vec::with_capacity(self.workers.len());
-        for worker in &self.workers {
+        for i in 0..self.workers.len() {
             let (reply, rx) = channel();
-            worker
-                .tx
-                .send(Job::Explain {
+            self.send_job(
+                i,
+                Job::Explain {
                     terms: terms.to_vec(),
                     n,
                     reply,
-                })
-                .expect("shard worker outlives the pool that owns it");
+                },
+                false,
+            );
             pending.push(rx);
         }
         pending
             .into_iter()
-            .map(|rx| {
-                rx.recv().map_err(|_| {
-                    CoreError::Type("shard worker disconnected during explain".to_string())
-                })?
+            .enumerate()
+            .map(|(i, rx)| {
+                rx.recv().unwrap_or_else(|_| {
+                    Err(ServeError::ShardFailed {
+                        shard: i,
+                        panic: "worker terminated during explain".to_string(),
+                    })
+                })
             })
             .collect()
     }
 
-    /// Drain and stop: drop every job sender (workers finish all queued
-    /// jobs, then observe disconnect), join the threads, and hand back
-    /// the [`EngineShard`]s in shard order — planners calibrated by the
-    /// stream, scratch arenas carrying their lifetime query counts.
-    pub fn shutdown(mut self) -> Vec<EngineShard> {
-        teardown(std::mem::take(&mut self.workers))
+    /// Drain and stop: drop every job sender (live workers finish all
+    /// queued jobs, then observe disconnect), join the threads *capturing*
+    /// any panic payloads instead of re-panicking, and recover every
+    /// [`EngineShard`] from its slot — including the shards of workers
+    /// that died. The returned [`PoolShutdown`] carries the shards in
+    /// shard order plus the pool's full panic history.
+    pub fn shutdown(mut self) -> PoolShutdown {
+        let workers = std::mem::take(&mut self.workers);
+        let mut panics = std::mem::take(&mut self.panic_log);
+        let shards = teardown(workers, &mut panics);
+        PoolShutdown { shards, panics }
     }
 }
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
-            teardown(std::mem::take(&mut self.workers));
+            let mut panics = std::mem::take(&mut self.panic_log);
+            let _ = teardown(std::mem::take(&mut self.workers), &mut panics);
         }
     }
 }
 
 /// Two passes: drop *every* sender before joining *any* worker, so a
-/// worker blocked on `recv` is released no matter the join order.
-fn teardown(workers: Vec<Worker>) -> Vec<EngineShard> {
-    let handles: Vec<JoinHandle<EngineShard>> = workers
+/// worker blocked on `recv` is released no matter the join order. Joins
+/// capture panic payloads into `panics` instead of propagating them, and
+/// the shards come back from their retained slots — present even when
+/// the worker died.
+fn teardown(workers: Vec<Worker>, panics: &mut Vec<ShardPanic>) -> Vec<EngineShard> {
+    let parts: Vec<(usize, JoinHandle<()>, ShardSlot)> = workers
         .into_iter()
         .map(|worker| {
             drop(worker.tx);
-            worker.handle
+            (worker.id, worker.handle, worker.slot)
         })
         .collect();
-    handles
+    parts
         .into_iter()
-        .map(|handle| handle.join().expect("shard worker panicked"))
+        .map(|(id, handle, slot)| {
+            if let Err(payload) = handle.join() {
+                panics.push(ShardPanic {
+                    shard: id,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+            slot.lock()
+                .take()
+                .expect("a stopped worker leaves its shard in the slot")
+        })
         .collect()
 }

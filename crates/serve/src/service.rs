@@ -14,16 +14,26 @@
 //! per shard, not a thread spawn/join — the regression the scoped-thread
 //! runtime paid per batch (see [`crate::pool`]) and the E18 sustained-load
 //! harness now gates against.
+//!
+//! Overload and failure semantics ride through from the pool: admission
+//! is bounded ([`ServeConfig::queue_depth`], [`ServeConfig::admission`]),
+//! a shed batch surfaces as [`ServeError::Shed`] from
+//! [`ServeSession::enqueue`] before any work happens, per-query deadline
+//! budgets ([`ServeConfig::deadline`]) degrade to `partial` responses
+//! instead of erroring, and a worker panic fails only the affected
+//! positions ([`ServeError::ShardFailed`]) while the session keeps
+//! serving. [`ServeStats`] counts each posture.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use moa_core::Result;
 use moa_ir::{ExecReport, FragmentSpec, InvertedIndex, RankingModel, SwitchPolicy};
 
-use crate::pool::{BatchTicket, ShardPool};
-use crate::shard::{BatchQuery, EngineShard, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
+use crate::admission::AdmissionPolicy;
+use crate::fault::{ServeError, ServeResult};
+use crate::pool::{BatchTicket, PoolConfig, PoolShutdown, ShardPool};
+use crate::shard::{BatchQuery, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
 
 /// Session configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,11 +53,23 @@ pub struct ServeConfig {
     pub propagate: bool,
     /// Build each shard fragment's non-dense index with this block size.
     pub sparse_block: Option<usize>,
+    /// Per-worker queue bound: admitted-but-unfinished batch jobs
+    /// (clamped ≥ 1 by the pool).
+    pub queue_depth: usize,
+    /// What a full worker queue means for a new batch: backpressure
+    /// (block), shed, or idle-only admission.
+    pub admission: AdmissionPolicy,
+    /// Per-query deadline budget, started at admission (queueing counts
+    /// against it). Expired queries return `Ok` with
+    /// [`QueryResponse::partial`] set. `None` disables deadlines.
+    pub deadline: Option<Duration>,
 }
 
 impl ServeConfig {
     /// A planned, propagating configuration over `shards` range-partition
-    /// shards — the default serving posture.
+    /// shards — the default serving posture: deep blocking queues, no
+    /// deadline (closed-loop callers that always collect what they
+    /// enqueue neither shed nor time out under these defaults).
     pub fn planned(shards: usize) -> ServeConfig {
         ServeConfig {
             shard_spec: ShardSpec::Range { shards },
@@ -57,6 +79,9 @@ impl ServeConfig {
             mode: ServeMode::Planned,
             propagate: true,
             sparse_block: Some(1024),
+            queue_depth: 64,
+            admission: AdmissionPolicy::Block,
+            deadline: None,
         }
     }
 }
@@ -74,21 +99,51 @@ pub struct ShardBusy {
     pub samples: usize,
 }
 
-/// The outcome of one [`ServeSession::submit_many`] call.
+/// The outcome of one [`ServeSession::submit_many`] call. Failures are
+/// per position: one query's shard panic or engine error leaves its
+/// batch-mates' responses intact.
 #[derive(Debug, Clone, PartialEq)]
 #[must_use]
 pub struct BatchReport {
-    /// Per-query responses, in submission order.
-    pub responses: Vec<QueryResponse>,
+    /// Per-query results, in submission order: `Ok` responses (possibly
+    /// `partial` under a deadline) or that position's typed failure.
+    pub responses: Vec<ServeResult<QueryResponse>>,
     /// Wall-clock time from admission to the last merged response.
     pub wall: Duration,
 }
 
 impl BatchReport {
-    /// Work counters absorbed over every query of the batch.
+    /// The successful responses, in submission order (failed positions
+    /// skipped).
+    pub fn ok_responses(&self) -> impl Iterator<Item = &QueryResponse> {
+        self.responses.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// Every response, asserting that no position failed — the
+    /// convenience for callers (tests, benchmarks) that submit known-good
+    /// batches with no faults in play.
+    ///
+    /// # Panics
+    /// If any position failed.
+    pub fn expect_ok(&self) -> Vec<&QueryResponse> {
+        self.responses
+            .iter()
+            .map(|r| r.as_ref().expect("no position of this batch failed"))
+            .collect()
+    }
+
+    /// Positions that failed, with their errors.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &ServeError)> {
+        self.responses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Work counters absorbed over every successful query of the batch.
     pub fn total_work(&self) -> ExecReport {
         let mut total = ExecReport::default();
-        for r in &self.responses {
+        for r in self.ok_responses() {
             total.absorb(&r.work);
         }
         total
@@ -96,17 +151,17 @@ impl BatchReport {
 
     /// Each shard's total busy time over the batch, indexed by shard id,
     /// with its sample count. The vector spans every shard id any
-    /// response mentions; ids no response reported stay at zero samples.
+    /// successful response mentions; ids no response reported stay at
+    /// zero samples.
     pub fn shard_busy(&self) -> Vec<ShardBusy> {
         let shards = self
-            .responses
-            .iter()
+            .ok_responses()
             .flat_map(|r| r.shards.iter())
             .map(|o| o.shard + 1)
             .max()
             .unwrap_or(0);
         let mut busy = vec![ShardBusy::default(); shards];
-        for r in &self.responses {
+        for r in self.ok_responses() {
             for o in &r.shards {
                 busy[o.shard].busy += o.busy;
                 busy[o.shard].samples += 1;
@@ -132,7 +187,8 @@ impl BatchReport {
 /// Running service counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Queries answered since the session was built.
+    /// Queries answered (`Ok`, full or partial) since the session was
+    /// built.
     pub queries_served: usize,
     /// Batches answered.
     pub batches_served: usize,
@@ -142,6 +198,16 @@ pub struct ServeStats {
     /// Total postings scanned across all shards and queries — work
     /// *performed*, so a coalesced query's shared scan counts once.
     pub postings_scanned: usize,
+    /// Queries rejected at admission (the whole batch sheds at once;
+    /// nothing executed for them).
+    pub queries_shed: usize,
+    /// Queries that failed in flight (worker panic or engine error).
+    pub queries_failed: usize,
+    /// Queries answered `Ok` but `partial`: their deadline budget
+    /// expired and they returned an exact prefix of the ranking.
+    pub queries_partial: usize,
+    /// Shard workers respawned over their retained shard after a crash.
+    pub worker_respawns: usize,
 }
 
 /// A batch admitted by [`ServeSession::enqueue`] and not yet collected.
@@ -159,12 +225,12 @@ impl PendingBatch {
     /// that outlive their session (enqueued before
     /// [`ServeSession::shutdown`], collected after). Responses bypass the
     /// session counters; prefer [`ServeSession::collect`] otherwise.
-    pub fn wait(self) -> Result<BatchReport> {
-        let responses = self.ticket.wait()?;
-        Ok(BatchReport {
+    pub fn wait(self) -> BatchReport {
+        let responses = self.ticket.wait();
+        BatchReport {
             responses,
             wall: self.started.elapsed(),
-        })
+        }
     }
 }
 
@@ -178,7 +244,7 @@ pub struct ServeSession {
 impl ServeSession {
     /// Partition `index` per `config`, build one engine per shard, and
     /// move each onto its own long-lived worker thread.
-    pub fn new(index: Arc<InvertedIndex>, config: ServeConfig) -> Result<ServeSession> {
+    pub fn new(index: Arc<InvertedIndex>, config: ServeConfig) -> ServeResult<ServeSession> {
         let engine = ShardedEngine::build(
             index,
             config.shard_spec,
@@ -187,8 +253,12 @@ impl ServeSession {
             config.policy,
             config.sparse_block,
         )?;
+        let pool_config = PoolConfig {
+            queue_depth: config.queue_depth,
+            deadline: config.deadline,
+        };
         Ok(ServeSession {
-            pool: ShardPool::new(engine),
+            pool: ShardPool::with_config(engine, pool_config),
             config,
             stats: ServeStats::default(),
         })
@@ -204,58 +274,76 @@ impl ServeSession {
         &self.pool
     }
 
-    /// Running service counters.
+    /// Mutable pool access — fault injection and healing for tests and
+    /// the E19 resilience harness.
+    pub fn pool_mut(&mut self) -> &mut ShardPool {
+        &mut self.pool
+    }
+
+    /// Running service counters (respawns read live off the pool).
     pub fn stats(&self) -> ServeStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.worker_respawns = self.pool.respawns();
+        stats
     }
 
     /// Answer one query.
-    pub fn submit(&mut self, terms: &[u32], n: usize) -> Result<QueryResponse> {
+    pub fn submit(&mut self, terms: &[u32], n: usize) -> ServeResult<QueryResponse> {
         let queries = [BatchQuery {
             terms: terms.to_vec(),
             n,
         }];
-        let mut responses = self
-            .pool
-            .submit(&queries, self.config.mode, self.config.propagate)
-            .wait()?;
-        let response = responses.pop().expect("one response per submitted query");
-        self.stats.queries_served += 1;
-        self.stats.postings_scanned += response.work.postings_scanned;
-        Ok(response)
+        let report = self.submit_many(&queries)?;
+        let mut responses = report.responses;
+        responses.pop().expect("one result per submitted query")
     }
 
     /// Answer a batch: every shard worker runs its column of the batch
-    /// concurrently, responses come back in submission order with
+    /// concurrently, results come back in submission order with
     /// per-query aggregated [`ExecReport`]s and the batch's wall-clock
     /// time. Equivalent to [`ServeSession::enqueue`] followed immediately
-    /// by [`ServeSession::collect`].
-    pub fn submit_many(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
-        let pending = self.enqueue(queries);
-        self.collect(pending)
+    /// by [`ServeSession::collect`]. The outer error is admission only
+    /// ([`ServeError::Shed`]: nothing executed, retry the batch verbatim);
+    /// in-flight failures surface per position inside the report.
+    pub fn submit_many(&mut self, queries: &[BatchQuery]) -> ServeResult<BatchReport> {
+        let pending = self.enqueue(queries)?;
+        Ok(self.collect(pending))
     }
 
     /// Admit a batch to the shard workers and return without waiting.
     /// The caller may enqueue further batches (they queue per worker, in
-    /// admission order) or do unrelated work — e.g. merge the previous
-    /// batch — while the shards serve this one.
-    pub fn enqueue(&mut self, queries: &[BatchQuery]) -> PendingBatch {
+    /// admission order, up to [`ServeConfig::queue_depth`]) or do
+    /// unrelated work — e.g. merge the previous batch — while the shards
+    /// serve this one. Under [`AdmissionPolicy::Shed`] / `TryNow`, a
+    /// saturated pool refuses here with [`ServeError::Shed`] before any
+    /// work happens.
+    pub fn enqueue(&mut self, queries: &[BatchQuery]) -> ServeResult<PendingBatch> {
         let started = Instant::now();
         let ticket = self
             .pool
-            .submit(queries, self.config.mode, self.config.propagate);
-        PendingBatch { ticket, started }
+            .submit(
+                queries,
+                self.config.mode,
+                self.config.propagate,
+                self.config.admission,
+            )
+            .inspect_err(|e| {
+                if e.is_shed() {
+                    self.stats.queries_shed += queries.len();
+                }
+            })?;
+        Ok(PendingBatch { ticket, started })
     }
 
     /// Wait for an admitted batch, fold the shard columns with the
     /// tie-stable merge, and account it to the session counters. `wall`
-    /// spans admission to merge completion.
-    pub fn collect(&mut self, pending: PendingBatch) -> Result<BatchReport> {
+    /// spans admission to merge completion. Never fails: per-position
+    /// errors stay in the report.
+    pub fn collect(&mut self, pending: PendingBatch) -> BatchReport {
         let coalesced = pending.ticket.coalesced();
         let expand = pending.ticket.expansion().to_vec();
-        let responses = pending.ticket.wait()?;
+        let responses = pending.ticket.wait();
         let wall = pending.started.elapsed();
-        self.stats.queries_served += responses.len();
         self.stats.batches_served += 1;
         self.stats.queries_coalesced += coalesced;
         // Count each *performed* scan once: a position is a first
@@ -264,39 +352,61 @@ impl ServeSession {
         // far — they are assigned in first-occurrence order.
         let mut seen = 0usize;
         for (r, &u) in responses.iter().zip(&expand) {
-            if u == seen {
-                self.stats.postings_scanned += r.work.postings_scanned;
+            let first_occurrence = u == seen;
+            if first_occurrence {
                 seen += 1;
             }
+            match r {
+                Ok(resp) => {
+                    self.stats.queries_served += 1;
+                    if resp.partial {
+                        self.stats.queries_partial += 1;
+                    }
+                    if first_occurrence {
+                        self.stats.postings_scanned += resp.work.postings_scanned;
+                    }
+                }
+                Err(_) => self.stats.queries_failed += 1,
+            }
         }
-        Ok(BatchReport { responses, wall })
+        BatchReport { responses, wall }
     }
 
     /// [`ServeSession::submit_many`] in profiling mode: shard workers run
     /// one at a time in shard order ([`ShardPool::submit_sequential`]),
     /// so work counters and per-shard busy times are deterministic and
     /// free of scheduler interference. Answers are identical to the
-    /// concurrent path.
-    pub fn submit_many_sequential(&mut self, queries: &[BatchQuery]) -> Result<BatchReport> {
+    /// concurrent path. Admission blocks (never sheds).
+    pub fn submit_many_sequential(&mut self, queries: &[BatchQuery]) -> BatchReport {
         let t0 = Instant::now();
         let responses =
             self.pool
-                .submit_sequential(queries, self.config.mode, self.config.propagate)?;
+                .submit_sequential(queries, self.config.mode, self.config.propagate);
         let wall = t0.elapsed();
-        self.stats.queries_served += responses.len();
         self.stats.batches_served += 1;
         for r in &responses {
-            self.stats.postings_scanned += r.work.postings_scanned;
+            match r {
+                Ok(resp) => {
+                    self.stats.queries_served += 1;
+                    if resp.partial {
+                        self.stats.queries_partial += 1;
+                    }
+                    self.stats.postings_scanned += resp.work.postings_scanned;
+                }
+                Err(_) => self.stats.queries_failed += 1,
+            }
         }
-        Ok(BatchReport { responses, wall })
+        BatchReport { responses, wall }
     }
 
     /// Drain and stop: workers finish everything already admitted, then
     /// hand their shards back (planner calibration and scratch arenas
-    /// intact). A [`PendingBatch`] enqueued before shutdown can still be
-    /// collected afterwards — no query is dropped by teardown — though
-    /// its responses no longer reach the session counters.
-    pub fn shutdown(self) -> Vec<EngineShard> {
+    /// intact) along with the pool's panic history — teardown never
+    /// panics, even if workers did. A [`PendingBatch`] enqueued before
+    /// shutdown can still be collected afterwards — no query is dropped
+    /// by teardown — though its responses no longer reach the session
+    /// counters.
+    pub fn shutdown(self) -> PoolShutdown {
         self.pool.shutdown()
     }
 
@@ -306,7 +416,7 @@ impl ServeSession {
     /// closing lines summarize partitioning and propagation. Under
     /// [`ServeMode::Fixed`] the pinned operator is shown alongside what
     /// each shard's planner *would* have picked.
-    pub fn explain(&self, terms: &[u32], n: usize) -> Result<String> {
+    pub fn explain(&mut self, terms: &[u32], n: usize) -> ServeResult<String> {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -367,12 +477,13 @@ mod tests {
         }
     }
 
-    fn response(shards: Vec<ShardOutcome>) -> QueryResponse {
-        QueryResponse {
+    fn response(shards: Vec<ShardOutcome>) -> ServeResult<QueryResponse> {
+        Ok(QueryResponse {
             top: Vec::new(),
             work: ExecReport::default(),
+            partial: false,
             shards,
-        }
+        })
     }
 
     #[test]

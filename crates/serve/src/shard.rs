@@ -38,13 +38,20 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use moa_core::{CoreError, Planner, Result};
+use moa_core::{Planner, Result};
 use moa_ir::{
     BoundGate, EngineSet, ExecReport, FragmentSpec, FragmentedIndex, InvertedIndex, PhysicalPlan,
     RankingModel, ScoreKernel, SharedThreshold, SwitchPolicy,
 };
 use moa_topn::kway_merge_sorted;
 use parking_lot::Mutex;
+
+use crate::fault::{ServeError, ServeResult};
+
+/// One shard's result column for a batch: entry `i` answers query `i`.
+/// Produced by the worker pool and the scoped/sequential paths alike;
+/// folded per query by [`merge_columns`].
+pub type ShardColumn = Vec<ServeResult<ShardOutcome>>;
 
 /// How documents are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +151,13 @@ pub struct QueryResponse {
     /// Work counters absorbed across every shard (`top` is left to the
     /// merged ranking above).
     pub work: ExecReport,
+    /// Whether any shard ran out of its deadline budget: `top` is an
+    /// exact *prefix* of the full answer — every `(doc, score)` in it is
+    /// bit-exact, but documents a timed-out shard never reached may be
+    /// missing. `work` counts only work actually performed. Not an
+    /// error: a partial ranking under overload is the service degrading
+    /// honestly (see `moa_ir::deadline`).
+    pub partial: bool,
     /// Per-shard operator choices and reports.
     pub shards: Vec<ShardOutcome>,
 }
@@ -221,8 +235,13 @@ impl EngineShard {
             .execute_gated(plan, &query.terms, query.n, gate)?;
         if let Some(profile) = profile {
             // Close the calibration loop with this shard's own
-            // measurement; other shards learn from their own.
-            self.planner.observe(plan, &profile, &report);
+            // measurement; other shards learn from their own. A partial
+            // (deadline-expired) report is truncated work, not a
+            // measurement of the operator — feeding it to the planner
+            // would teach it that overloaded plans are cheap.
+            if !report.partial {
+                self.planner.observe(plan, &profile, &report);
+            }
         }
         Ok(ShardOutcome {
             shard: self.id,
@@ -231,6 +250,15 @@ impl EngineShard {
             report,
             busy: t0.elapsed(),
         })
+    }
+
+    /// Reset the shard's per-query execution scratch after a caught
+    /// panic: the epoch accumulators retire (O(1) epoch bump — any
+    /// half-written partial sums become stale), leaving the shard ready
+    /// for its next query. Index, planner calibration, and arena
+    /// capacity are untouched.
+    pub(crate) fn recover(&mut self) {
+        self.engines.reset_execution_state();
     }
 }
 
@@ -321,7 +349,7 @@ impl ShardedEngine {
         n: usize,
         mode: ServeMode,
         propagate: bool,
-    ) -> Result<QueryResponse> {
+    ) -> ServeResult<QueryResponse> {
         let queries = [BatchQuery {
             terms: terms.to_vec(),
             n,
@@ -342,7 +370,7 @@ impl ShardedEngine {
         queries: &[BatchQuery],
         mode: ServeMode,
         propagate: bool,
-    ) -> Result<Vec<QueryResponse>> {
+    ) -> ServeResult<Vec<QueryResponse>> {
         // With one shard there is no peer to propagate to or from:
         // the gate would only echo the local heap at atomic-load cost.
         let gates = gates(queries, propagate && self.shards.len() > 1);
@@ -350,17 +378,21 @@ impl ShardedEngine {
         // One slot per shard; each thread owns exactly one slot, the
         // mutex makes the cross-thread hand-off safe and keeps the shim's
         // `parking_lot` API in the loop.
-        let slots: Mutex<Vec<Option<Vec<Result<ShardOutcome>>>>> =
+        let slots: Mutex<Vec<Option<ShardColumn>>> =
             Mutex::new((0..num_shards).map(|_| None).collect());
         thread::scope(|scope| {
             for shard in self.shards.iter_mut() {
                 let gates = &gates;
                 let slots = &slots;
                 scope.spawn(move || {
-                    let outcomes: Vec<Result<ShardOutcome>> = queries
+                    let outcomes: ShardColumn = queries
                         .iter()
                         .enumerate()
-                        .map(|(qi, q)| shard.run_one(q, mode, &gates[qi]))
+                        .map(|(qi, q)| {
+                            shard
+                                .run_one(q, mode, &gates[qi])
+                                .map_err(ServeError::Engine)
+                        })
                         .collect();
                     let id = shard.id;
                     slots.lock()[id] = Some(outcomes);
@@ -368,11 +400,11 @@ impl ShardedEngine {
             }
         });
 
-        let mut per_shard: Vec<Vec<Result<ShardOutcome>>> = Vec::with_capacity(num_shards);
+        let mut per_shard: Vec<ShardColumn> = Vec::with_capacity(num_shards);
         for slot in slots.into_inner() {
             per_shard.push(slot.expect("every scoped shard thread fills its slot before joining"));
         }
-        merge_columns(queries, per_shard)
+        merge_columns(queries, per_shard).into_iter().collect()
     }
 
     /// [`ShardedEngine::execute_batch`] without threads: shards run one
@@ -387,22 +419,26 @@ impl ShardedEngine {
         queries: &[BatchQuery],
         mode: ServeMode,
         propagate: bool,
-    ) -> Result<Vec<QueryResponse>> {
+    ) -> ServeResult<Vec<QueryResponse>> {
         // With one shard there is no peer to propagate to or from:
         // the gate would only echo the local heap at atomic-load cost.
         let gates = gates(queries, propagate && self.shards.len() > 1);
-        let per_shard: Vec<Vec<Result<ShardOutcome>>> = self
+        let per_shard: Vec<ShardColumn> = self
             .shards
             .iter_mut()
             .map(|shard| {
                 queries
                     .iter()
                     .enumerate()
-                    .map(|(qi, q)| shard.run_one(q, mode, &gates[qi]))
+                    .map(|(qi, q)| {
+                        shard
+                            .run_one(q, mode, &gates[qi])
+                            .map_err(ServeError::Engine)
+                    })
                     .collect()
             })
             .collect();
-        merge_columns(queries, per_shard)
+        merge_columns(queries, per_shard).into_iter().collect()
     }
 
     /// Decompose the engine into its owned shards plus the shared
@@ -438,26 +474,47 @@ pub(crate) fn gates(queries: &[BatchQuery], propagate: bool) -> Vec<BoundGate> {
         .collect()
 }
 
-/// Fold per-shard outcome columns into per-query responses: tie-stable
+/// Fold per-shard outcome columns into per-query results: tie-stable
 /// k-way merge of the shard-local heaps plus counter aggregation. Shared
 /// by the scoped-thread paths, the sequential profiling path, and the
 /// worker pool (whose tickets expose the raw columns so callers may defer
 /// this merge off the service critical path).
+///
+/// Failures are **per query**: a query every shard answered merges into
+/// an `Ok` response even when its batch-mates failed, and a failed
+/// query reports the first error in shard order (engine errors and
+/// shard-panic failures alike) without taking its neighbours down. A
+/// response is `partial` iff any shard's report was (deadline expiry) —
+/// its `top` is then an exact prefix, not the full answer.
 pub fn merge_columns(
     queries: &[BatchQuery],
-    mut per_shard: Vec<Vec<Result<ShardOutcome>>>,
-) -> Result<Vec<QueryResponse>> {
+    mut per_shard: Vec<ShardColumn>,
+) -> Vec<ServeResult<QueryResponse>> {
     let mut responses = Vec::with_capacity(queries.len());
     for (qi, q) in queries.iter().enumerate() {
         let mut outcomes = Vec::with_capacity(per_shard.len());
+        let mut failure: Option<ServeError> = None;
         for shard_results in &mut per_shard {
             // Take ownership of this query's outcome from the shard's
-            // result column; errors surface per query.
+            // result column.
             let outcome = std::mem::replace(
                 &mut shard_results[qi],
-                Err(CoreError::Type("outcome already taken".into())),
+                Err(ServeError::Engine(moa_core::CoreError::Type(
+                    "outcome already taken".into(),
+                ))),
             );
-            outcomes.push(outcome?);
+            match outcome {
+                Ok(o) => outcomes.push(o),
+                Err(e) => {
+                    if failure.is_none() {
+                        failure = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = failure {
+            responses.push(Err(e));
+            continue;
         }
         let lists: Vec<&[(u32, f64)]> = outcomes.iter().map(|o| o.report.top.as_slice()).collect();
         let top = kway_merge_sorted(&lists, q.n);
@@ -465,13 +522,15 @@ pub fn merge_columns(
         for o in &outcomes {
             work.absorb(&o.report);
         }
-        responses.push(QueryResponse {
+        let partial = work.partial;
+        responses.push(Ok(QueryResponse {
             top,
             work,
+            partial,
             shards: outcomes,
-        });
+        }));
     }
-    Ok(responses)
+    responses
 }
 
 #[cfg(test)]

@@ -1,0 +1,462 @@
+//! Fault, overload, and degradation regressions for the serving pool:
+//! every failure posture ISSUE 7 introduces is pinned end to end against
+//! a healthy reference session.
+//!
+//! * admission — `Shed` refuses exactly at the configured bound and the
+//!   pool recovers after drain; `TryNow` admits only an idle pool;
+//!   `Block` backpressures (measurably waits) instead of refusing, and
+//!   the queue high-water mark never exceeds the bound;
+//! * deadlines — an expired budget degrades to an `Ok` **partial**
+//!   response whose every reported score is bit-identical to the full
+//!   run's score for that document (exact prefix, honest counters);
+//! * isolation — a poison-term panic inside the per-query guard fails
+//!   only the poisoned position; a worker crash fails the in-flight
+//!   batch with typed errors, the next submission respawns the worker
+//!   over the retained shard, and answers return bit-identical;
+//! * teardown — dropping an admitted ticket neither deadlocks workers
+//!   nor leaks queue slots, and `shutdown` *reports* worker panics
+//!   instead of re-panicking the drain.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, Query, QueryConfig};
+use moa_ir::{InvertedIndex, PhysicalPlan};
+use moa_serve::{
+    silence_worker_panics, AdmissionPolicy, BatchQuery, ServeConfig, ServeError, ServeMode,
+    ServeSession, WorkerFault,
+};
+
+fn fixture() -> (Collection, Arc<InvertedIndex>, Vec<Query>) {
+    let c = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
+    let idx = Arc::new(InvertedIndex::from_collection(&c));
+    let queries = generate_queries(
+        &c,
+        &QueryConfig {
+            num_queries: 8,
+            bias: DfBias::TrecLike { high_df_mix: 0.4 },
+            seed: 0x51A2,
+            ..QueryConfig::default()
+        },
+    )
+    .expect("valid workload");
+    (c, idx, queries)
+}
+
+/// A session with the overload knobs under test; everything else is the
+/// default planned posture.
+fn session(
+    idx: &Arc<InvertedIndex>,
+    shards: usize,
+    queue_depth: usize,
+    admission: AdmissionPolicy,
+    deadline: Option<Duration>,
+) -> ServeSession {
+    let config = ServeConfig {
+        mode: ServeMode::Fixed(PhysicalPlan::PrunedDaat),
+        sparse_block: Some(64),
+        queue_depth,
+        admission,
+        deadline,
+        ..ServeConfig::planned(shards)
+    };
+    ServeSession::new(Arc::clone(idx), config).expect("tiny index shards cleanly")
+}
+
+fn batch_of(queries: &[Query], n: usize) -> Vec<BatchQuery> {
+    queries
+        .iter()
+        .map(|q| BatchQuery {
+            terms: q.terms.clone(),
+            n,
+        })
+        .collect()
+}
+
+#[test]
+fn dropped_ticket_neither_deadlocks_workers_nor_leaks_queue_slots() {
+    // Satellite: a caller that enqueues and walks away abandons its
+    // responses, nothing else. The workers still finish the jobs (the
+    // queue drains back to zero — no leaked admission slots), and the
+    // pool keeps answering correctly afterwards.
+    let (_, idx, queries) = fixture();
+    let batch = batch_of(&queries, 10);
+    let mut svc = session(&idx, 2, 2, AdmissionPolicy::Block, None);
+    let mut reference = session(&idx, 2, 2, AdmissionPolicy::Block, None);
+    drop(svc.enqueue(&batch).expect("blocking admission"));
+    // The abandoned batch's slots must come back without anyone waiting
+    // on its ticket.
+    let t0 = Instant::now();
+    while svc.pool().queue_depths().iter().any(|&d| d > 0) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "queue never drained after the ticket was dropped: depths {:?}",
+            svc.pool().queue_depths()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The pool is fully live: a fresh batch admits (two slots exist and
+    // both are free again) and answers bit-identically.
+    let got = svc.submit_many(&batch).expect("queue drained");
+    let want = reference.submit_many(&batch).expect("idle pool admits");
+    for (qi, (g, w)) in got
+        .expect_ok()
+        .iter()
+        .zip(want.expect_ok().iter())
+        .enumerate()
+    {
+        assert_eq!(
+            g.top, w.top,
+            "q{qi}: answers diverged after a dropped ticket"
+        );
+    }
+    let outcome = svc.shutdown();
+    assert!(
+        outcome.is_clean(),
+        "no worker panicked: {:?}",
+        outcome.panics
+    );
+}
+
+#[test]
+fn shed_policy_refuses_at_the_bound_and_recovers_after_drain() {
+    let (_, idx, queries) = fixture();
+    let batch = batch_of(&queries[..4], 10);
+    let mut svc = session(&idx, 1, 2, AdmissionPolicy::Shed, None);
+    let mut reference = session(&idx, 1, 2, AdmissionPolicy::Shed, None);
+    // Hold the single worker busy so saturation is deterministic.
+    svc.pool_mut()
+        .inject_fault(0, WorkerFault::Stall(Duration::from_millis(300)));
+    let p1 = svc.enqueue(&batch).expect("depth 0 of bound 2 admits");
+    let p2 = svc.enqueue(&batch).expect("depth 1 of bound 2 admits");
+    // Third batch: the queue is exactly at its bound. Shed, typed.
+    let refused = svc.enqueue(&batch);
+    match refused {
+        Err(ServeError::Shed {
+            shard,
+            depth,
+            bound,
+        }) => {
+            assert_eq!(shard, 0);
+            assert_eq!(depth, 2);
+            assert_eq!(bound, 2);
+        }
+        Err(other) => panic!("expected Shed at the bound, got {other:?}"),
+        Ok(_) => panic!("expected Shed at the bound, got an admission"),
+    }
+    assert_eq!(svc.stats().queries_shed, batch.len());
+    // Nothing executed for the shed batch, and nothing over-admitted:
+    // the high-water mark is exactly the bound.
+    assert_eq!(svc.pool().queue_high_water(), 2);
+    // The admitted batches were untouched by the refusal (all-or-nothing
+    // admission): both drain and answer bit-identically.
+    let want = reference.submit_many(&batch).expect("idle pool admits");
+    for (bi, pending) in [p1, p2].into_iter().enumerate() {
+        let got = svc.collect(pending);
+        for (qi, (g, w)) in got
+            .expect_ok()
+            .iter()
+            .zip(want.expect_ok().iter())
+            .enumerate()
+        {
+            assert_eq!(g.top, w.top, "batch {bi} q{qi}: admitted batch diverged");
+        }
+    }
+    // After drain the same batch is retriable verbatim.
+    let retried = svc.submit_many(&batch).expect("drained pool admits again");
+    for (qi, (g, w)) in retried
+        .expect_ok()
+        .iter()
+        .zip(want.expect_ok().iter())
+        .enumerate()
+    {
+        assert_eq!(g.top, w.top, "q{qi}: retried shed batch diverged");
+    }
+    assert!(svc.pool().queue_high_water() <= 2);
+}
+
+#[test]
+fn try_now_admits_only_an_idle_pool() {
+    let (_, idx, queries) = fixture();
+    let batch = batch_of(&queries[..3], 10);
+    let mut svc = session(&idx, 2, 4, AdmissionPolicy::TryNow, None);
+    for shard in 0..2 {
+        svc.pool_mut()
+            .inject_fault(shard, WorkerFault::Stall(Duration::from_millis(200)));
+    }
+    let p1 = svc.enqueue(&batch).expect("idle pool admits");
+    // One batch in flight: far below the bound of 4, but not idle.
+    let refused = match svc.enqueue(&batch) {
+        Ok(_) => panic!("TryNow must refuse a non-idle pool"),
+        Err(e) => e,
+    };
+    assert!(refused.is_shed(), "expected Shed, got {refused:?}");
+    let first = svc.collect(p1);
+    assert_eq!(first.expect_ok().len(), batch.len());
+    // Drained back to idle: admitted again.
+    let second = svc.submit_many(&batch).expect("idle pool admits again");
+    for (qi, (g, w)) in second
+        .expect_ok()
+        .iter()
+        .zip(first.expect_ok().iter())
+        .enumerate()
+    {
+        assert_eq!(
+            g.top, w.top,
+            "q{qi}: answers diverged across idle admissions"
+        );
+    }
+}
+
+#[test]
+fn block_policy_backpressures_instead_of_refusing() {
+    let (_, idx, queries) = fixture();
+    let batch = batch_of(&queries[..2], 10);
+    let mut svc = session(&idx, 1, 1, AdmissionPolicy::Block, None);
+    svc.pool_mut()
+        .inject_fault(0, WorkerFault::Stall(Duration::from_millis(250)));
+    let p1 = svc.enqueue(&batch).expect("depth 0 of bound 1 admits");
+    // The queue is at its bound and the worker is stalled: Block must
+    // wait for the slot rather than refuse, so this admission cannot
+    // return before the worker finishes the first batch.
+    let t0 = Instant::now();
+    let p2 = svc.enqueue(&batch).expect("Block never sheds");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(100),
+        "admission returned in {:?} — it cannot have waited for the stalled worker",
+        t0.elapsed()
+    );
+    // Backpressure, not over-admission: the bound held throughout.
+    assert_eq!(svc.pool().queue_high_water(), 1);
+    let first = svc.collect(p1);
+    let second = svc.collect(p2);
+    for (qi, (g, w)) in first
+        .expect_ok()
+        .iter()
+        .zip(second.expect_ok().iter())
+        .enumerate()
+    {
+        assert_eq!(g.top, w.top, "q{qi}: backpressured batch diverged");
+    }
+    assert_eq!(svc.stats().queries_shed, 0);
+}
+
+#[test]
+fn deadline_expiry_degrades_to_partial_with_honest_exact_scores() {
+    let (c, idx, queries) = fixture();
+    let batch = batch_of(&queries[..4], 10);
+    // A budget of one nanosecond has always expired by the first gate
+    // poll: every query degrades instead of erroring.
+    let mut svc = session(
+        &idx,
+        2,
+        4,
+        AdmissionPolicy::Block,
+        Some(Duration::from_nanos(1)),
+    );
+    let mut full = session(&idx, 2, 4, AdmissionPolicy::Block, None);
+    let got = svc.submit_many(&batch).expect("blocking admission");
+    // The full-budget reference ranks the entire matching set, giving us
+    // every document's exact score to check the partial prefix against.
+    let all_docs: Vec<BatchQuery> = batch
+        .iter()
+        .map(|q| BatchQuery {
+            terms: q.terms.clone(),
+            n: c.num_docs(),
+        })
+        .collect();
+    let want = full.submit_many(&all_docs).expect("blocking admission");
+    for (qi, (g, w)) in got
+        .expect_ok()
+        .iter()
+        .zip(want.expect_ok().iter())
+        .enumerate()
+    {
+        assert!(
+            g.partial,
+            "q{qi}: expired budget must mark the response partial"
+        );
+        // Honesty: whatever made it into the heap is exact — each
+        // (doc, score) matches the full run bit for bit. The timed-out
+        // run performed no more work than the full one.
+        for &(doc, score) in &g.top {
+            let exact = w
+                .top
+                .iter()
+                .find(|(d, _)| *d == doc)
+                .unwrap_or_else(|| panic!("q{qi}: partial doc {doc} not in the full ranking"));
+            assert_eq!(
+                score.to_bits(),
+                exact.1.to_bits(),
+                "q{qi} doc {doc}: partial score is not the exact score"
+            );
+        }
+        assert!(
+            g.work.postings_scanned <= w.work.postings_scanned,
+            "q{qi}: a timed-out query cannot scan more than the full run"
+        );
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.queries_partial, batch.len());
+    assert_eq!(stats.queries_served, batch.len());
+    assert_eq!(stats.queries_failed, 0);
+}
+
+#[test]
+fn poison_term_fails_only_its_position_and_the_worker_survives() {
+    silence_worker_panics();
+    let (_, idx, queries) = fixture();
+    let poison = queries[0].terms[0];
+    let clean: Vec<Query> = queries
+        .iter()
+        .filter(|q| !q.terms.contains(&poison))
+        .take(2)
+        .cloned()
+        .collect();
+    assert!(
+        !clean.is_empty(),
+        "fixture needs a query free of the poison term"
+    );
+    let mut batch = batch_of(&clean, 10);
+    batch.insert(
+        1,
+        BatchQuery {
+            terms: queries[0].terms.clone(),
+            n: 10,
+        },
+    );
+    let poisoned_pos = 1usize;
+    let mut svc = session(&idx, 2, 4, AdmissionPolicy::Block, None);
+    let mut reference = session(&idx, 2, 4, AdmissionPolicy::Block, None);
+    svc.pool_mut()
+        .inject_fault(0, WorkerFault::PoisonTerm(poison));
+    let got = svc.submit_many(&batch).expect("blocking admission");
+    let want = reference.submit_many(&batch).expect("blocking admission");
+    for (qi, (g, w)) in got
+        .responses
+        .iter()
+        .zip(want.expect_ok().iter())
+        .enumerate()
+    {
+        if qi == poisoned_pos {
+            match g {
+                Err(ServeError::ShardFailed { shard, panic }) => {
+                    assert_eq!(*shard, 0, "the poison was armed on shard 0");
+                    assert!(
+                        panic.contains("injected poison term"),
+                        "payload must survive to the caller: {panic:?}"
+                    );
+                }
+                other => panic!("poisoned position must fail typed, got {other:?}"),
+            }
+        } else {
+            let g = g.as_ref().expect("clean positions are unaffected");
+            assert_eq!(g.top, w.top, "q{qi}: clean position diverged");
+        }
+    }
+    // The panic was caught inside the per-query guard: the worker never
+    // died, so nothing respawned.
+    assert_eq!(svc.pool().respawns(), 0);
+    assert_eq!(svc.stats().queries_failed, 1);
+    assert_eq!(svc.stats().queries_served, batch.len() - 1);
+    // Disarmed, the same batch fully succeeds and matches the reference.
+    svc.pool_mut().inject_fault(0, WorkerFault::ClearPoison);
+    let healed = svc.submit_many(&batch).expect("blocking admission");
+    for (qi, (g, w)) in healed
+        .expect_ok()
+        .iter()
+        .zip(want.expect_ok().iter())
+        .enumerate()
+    {
+        assert_eq!(g.top, w.top, "q{qi}: disarmed batch diverged");
+    }
+}
+
+#[test]
+fn crash_fails_the_in_flight_batch_and_the_respawned_worker_matches() {
+    silence_worker_panics();
+    let (_, idx, queries) = fixture();
+    let batch = batch_of(&queries[..3], 10);
+    let mut svc = session(&idx, 2, 4, AdmissionPolicy::Block, None);
+    let mut reference = session(&idx, 2, 4, AdmissionPolicy::Block, None);
+    // The stall keeps worker 1 demonstrably alive while the crash and
+    // the batch queue behind it — the batch is always admitted to a
+    // doomed worker, never to one already healed.
+    svc.pool_mut()
+        .inject_fault(1, WorkerFault::Stall(Duration::from_millis(100)));
+    svc.pool_mut().inject_fault(1, WorkerFault::Crash);
+    let got = svc
+        .submit_many(&batch)
+        .expect("worker 1 alive at admission");
+    // Worker 1 died with the batch queued behind the crash: its column
+    // is lost, and every position fails typed (shard 0's fine answers
+    // cannot stand in for the missing shard).
+    for (qi, r) in got.responses.iter().enumerate() {
+        match r {
+            Err(ServeError::ShardFailed { shard, panic }) => {
+                assert_eq!(*shard, 1, "q{qi}: the lost column is shard 1's");
+                assert!(
+                    panic.contains("worker terminated before answering"),
+                    "q{qi}: {panic:?}"
+                );
+            }
+            other => panic!("q{qi}: lost column must fail typed, got {other:?}"),
+        }
+    }
+    assert_eq!(svc.stats().queries_failed, batch.len());
+    // The next submission heals: one respawn over the retained shard,
+    // the panic payload preserved in the log, and answers bit-identical
+    // to a never-faulted session.
+    let healed = svc.submit_many(&batch).expect("respawned pool admits");
+    let want = reference.submit_many(&batch).expect("blocking admission");
+    for (qi, (g, w)) in healed
+        .expect_ok()
+        .iter()
+        .zip(want.expect_ok().iter())
+        .enumerate()
+    {
+        assert_eq!(g.top, w.top, "q{qi}: respawned worker diverged");
+    }
+    assert_eq!(svc.pool().respawns(), 1);
+    assert_eq!(svc.stats().worker_respawns, 1);
+    assert_eq!(svc.pool().recoveries().len(), 1);
+    let log = svc.pool().panic_log();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].shard, 1);
+    assert!(
+        log[0].message.contains("injected worker crash"),
+        "payload: {:?}",
+        log[0].message
+    );
+    let outcome = svc.shutdown();
+    assert!(
+        !outcome.is_clean(),
+        "the healed pool still reports its panic history"
+    );
+    assert_eq!(outcome.shards.len(), 2, "both shards come back");
+}
+
+#[test]
+fn shutdown_reports_worker_panics_instead_of_repanicking() {
+    silence_worker_panics();
+    let (_, idx, _) = fixture();
+    let mut svc = session(&idx, 2, 4, AdmissionPolicy::Block, None);
+    svc.pool_mut().inject_fault(0, WorkerFault::Crash);
+    // Teardown joins the dying worker and *captures* its payload — the
+    // drain itself must not panic, and the retained shard still comes
+    // back for both the dead and the healthy worker.
+    let outcome = svc.shutdown();
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.panics.len(), 1);
+    assert_eq!(outcome.panics[0].shard, 0);
+    assert!(
+        outcome.panics[0].message.contains("injected worker crash"),
+        "payload: {:?}",
+        outcome.panics[0].message
+    );
+    let shards = outcome.into_shards();
+    assert_eq!(shards.len(), 2);
+    for (s, shard) in shards.iter().enumerate() {
+        assert_eq!(shard.id(), s);
+    }
+}

@@ -132,11 +132,15 @@ fn pooled_batches_match_sequential_and_oracle_for_every_plan_model_and_shard_cou
                     let mode = ServeMode::Fixed(plan);
                     let mut pooled = session(&idx, shards, mode, model, propagate);
                     let mut reference = session(&idx, shards, mode, model, propagate);
-                    let got = pooled.submit_many(&batch).expect("in-vocabulary batch");
-                    let want = reference
-                        .submit_many_sequential(&batch)
-                        .expect("in-vocabulary batch");
-                    for (qi, (g, w)) in got.responses.iter().zip(want.responses.iter()).enumerate()
+                    let got = pooled
+                        .submit_many(&batch)
+                        .expect("blocking admission never sheds");
+                    let want = reference.submit_many_sequential(&batch);
+                    for (qi, (g, w)) in got
+                        .expect_ok()
+                        .iter()
+                        .zip(want.expect_ok().iter())
+                        .enumerate()
                     {
                         assert_eq!(
                             g.top,
@@ -146,7 +150,7 @@ fn pooled_batches_match_sequential_and_oracle_for_every_plan_model_and_shard_cou
                         );
                     }
                     if exact_plans().contains(&plan) {
-                        for (qi, (q, g)) in batch.iter().zip(got.responses.iter()).enumerate() {
+                        for (qi, (q, g)) in batch.iter().zip(got.expect_ok().iter()).enumerate() {
                             let oracle = naive_topn(&c, model, &q.terms, q.n);
                             assert_eq!(
                                 g.top,
@@ -242,12 +246,17 @@ fn coalesced_duplicates_match_per_position_execution_bit_for_bit() {
             RankingModel::default(),
             true,
         );
-        let got = pooled.submit_many(&batch).expect("in-vocabulary batch");
-        let want = reference
-            .submit_many_sequential(&batch)
-            .expect("in-vocabulary batch");
+        let got = pooled
+            .submit_many(&batch)
+            .expect("blocking admission never sheds");
+        let want = reference.submit_many_sequential(&batch);
         assert_eq!(got.responses.len(), batch.len());
-        for (qi, (g, w)) in got.responses.iter().zip(want.responses.iter()).enumerate() {
+        for (qi, (g, w)) in got
+            .expect_ok()
+            .iter()
+            .zip(want.expect_ok().iter())
+            .enumerate()
+        {
             assert_eq!(g.top, w.top, "x{shards} q{qi}: coalesced != per-position");
             let oracle = naive_topn(&c, RankingModel::default(), &batch[qi].terms, batch[qi].n);
             assert_eq!(g.top, oracle, "x{shards} q{qi}: coalesced != naive oracle");
@@ -296,27 +305,27 @@ fn streaming_enqueue_collect_overlap_matches_one_shot_submission() {
     let mut pending = std::collections::VecDeque::new();
     let mut collected = Vec::new();
     for batch in &batches {
-        pending.push_back(streamed.enqueue(batch));
+        pending.push_back(streamed.enqueue(batch).expect("blocking admission"));
         // Keep two batches in flight: collect the older one only after
         // the newer is already admitted.
         if pending.len() > 2 {
-            let report = streamed
-                .collect(pending.pop_front().expect("non-empty"))
-                .expect("in-vocabulary batch");
+            let report = streamed.collect(pending.pop_front().expect("non-empty"));
             collected.push(report);
         }
     }
     while let Some(p) = pending.pop_front() {
-        collected.push(streamed.collect(p).expect("in-vocabulary batch"));
+        collected.push(streamed.collect(p));
     }
     assert_eq!(collected.len(), batches.len());
     for (bi, (batch, report)) in batches.iter().zip(collected.iter()).enumerate() {
-        let want = oneshot.submit_many(batch).expect("in-vocabulary batch");
+        let want = oneshot
+            .submit_many(batch)
+            .expect("blocking admission never sheds");
         assert_eq!(report.responses.len(), batch.len());
         for (qi, (g, w)) in report
-            .responses
+            .expect_ok()
             .iter()
-            .zip(want.responses.iter())
+            .zip(want.expect_ok().iter())
             .enumerate()
         {
             assert_eq!(g.top, w.top, "batch {bi} q{qi}: streamed != one-shot");
@@ -353,17 +362,25 @@ fn shutdown_drains_in_flight_batches_and_returns_the_calibrated_shards() {
         })
         .collect();
     // A warm batch through the normal path...
-    let warm = svc.submit_many(&batch).expect("in-vocabulary batch");
+    let warm = svc
+        .submit_many(&batch)
+        .expect("blocking admission never sheds");
     // ...then one admitted but NOT collected before teardown begins.
-    let in_flight = svc.enqueue(&batch);
-    let engines = svc.shutdown();
+    let in_flight = svc.enqueue(&batch).expect("blocking admission");
+    let outcome = svc.shutdown();
+    assert!(
+        outcome.is_clean(),
+        "no worker panicked: {:?}",
+        outcome.panics
+    );
+    let engines = outcome.shards;
     // The drained responses match the warm replay answer for answer.
-    let drained = in_flight.wait().expect("shutdown drains admitted batches");
+    let drained = in_flight.wait();
     assert_eq!(drained.responses.len(), batch.len());
     for (qi, (g, w)) in drained
-        .responses
+        .expect_ok()
         .iter()
-        .zip(warm.responses.iter())
+        .zip(warm.expect_ok().iter())
         .enumerate()
     {
         assert_eq!(g.top, w.top, "q{qi}: drained batch diverged");

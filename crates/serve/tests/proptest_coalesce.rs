@@ -1,0 +1,142 @@
+//! Property test pinning admission-time request coalescing against
+//! adversarial duplicate batches.
+//!
+//! The pool coalesces batch positions with identical `(terms, n)` into
+//! one execution and fans the shared answer back out
+//! ([`moa_serve::ShardPool::submit`]). The property: for *any* batch —
+//! duplicates in any arrangement, the same term set in permuted order
+//! (which must NOT coalesce: the key is the exact term sequence, and
+//! `f64` summation order is semantic), the same terms under a different
+//! `n` (must not coalesce either), and empty queries included — the
+//! coalesced answers are **bit-identical**, position for position, to
+//! the non-coalescing sequential schedule executing every position
+//! individually.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, Query, QueryConfig};
+use moa_ir::{InvertedIndex, PhysicalPlan, RankingModel};
+use moa_serve::{BatchQuery, ServeConfig, ServeMode, ServeSession, ShardSpec};
+
+struct Ctx {
+    pooled: ServeSession,
+    reference: ServeSession,
+    queries: Vec<Query>,
+}
+
+/// One fixture for every case: the index build dominates a case's cost,
+/// and under a pinned plan both sessions are pure in their answers, so
+/// reuse cannot leak state between cases.
+fn ctx() -> &'static Mutex<Ctx> {
+    static CTX: OnceLock<Mutex<Ctx>> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let c = Collection::generate(CollectionConfig::tiny()).expect("valid preset");
+        let idx = Arc::new(InvertedIndex::from_collection(&c));
+        let queries = generate_queries(
+            &c,
+            &QueryConfig {
+                num_queries: 6,
+                bias: DfBias::TrecLike { high_df_mix: 0.4 },
+                seed: 0xC0A1,
+                ..QueryConfig::default()
+            },
+        )
+        .expect("valid workload");
+        let session = || {
+            let config = ServeConfig {
+                shard_spec: ShardSpec::Range { shards: 3 },
+                model: RankingModel::default(),
+                mode: ServeMode::Fixed(PhysicalPlan::PrunedDaat),
+                sparse_block: Some(64),
+                ..ServeConfig::planned(3)
+            };
+            ServeSession::new(Arc::clone(&idx), config).expect("tiny index shards cleanly")
+        };
+        Mutex::new(Ctx {
+            pooled: session(),
+            reference: session(),
+            queries,
+        })
+    })
+}
+
+const N_CHOICES: [usize; 3] = [1, 5, 10];
+
+/// Decode one generated position: `slot == queries.len()` is the empty
+/// query; `reverse` permutes the term order (same term *set*, different
+/// coalescing key and different `f64` summation order).
+fn decode(queries: &[Query], slot: usize, n_sel: usize, reverse: bool) -> BatchQuery {
+    let mut terms = if slot == queries.len() {
+        Vec::new()
+    } else {
+        queries[slot].terms.clone()
+    };
+    if reverse {
+        terms.reverse();
+    }
+    BatchQuery {
+        terms,
+        n: N_CHOICES[n_sel],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coalesced execution of an arbitrary duplicate-laden batch is
+    /// bit-identical, per position, to executing every position
+    /// individually on the deterministic sequential schedule.
+    #[test]
+    fn coalesced_batches_match_per_position_execution_bit_for_bit(
+        shape in proptest::collection::vec(
+            (0usize..=6, 0usize..3, 0usize..2),
+            0..12,
+        ),
+    ) {
+        let mut guard = ctx().lock().expect("no prior case panicked");
+        let Ctx { pooled, reference, queries } = &mut *guard;
+        let batch: Vec<BatchQuery> = shape
+            .iter()
+            .map(|&(slot, n_sel, rev)| decode(queries, slot.min(queries.len()), n_sel, rev == 1))
+            .collect();
+        let got = pooled
+            .submit_many(&batch)
+            .expect("blocking admission never sheds");
+        let want = reference.submit_many_sequential(&batch);
+        prop_assert_eq!(got.responses.len(), batch.len());
+        prop_assert_eq!(want.responses.len(), batch.len());
+        for (qi, (g, w)) in got.responses.iter().zip(want.responses.iter()).enumerate() {
+            match (g, w) {
+                (Ok(g), Ok(w)) => {
+                    prop_assert!(!g.partial, "q{}: no deadline is configured", qi);
+                    prop_assert_eq!(
+                        g.top.len(),
+                        w.top.len(),
+                        "q{} (terms {:?}, n {}): result sizes diverged",
+                        qi,
+                        &batch[qi].terms,
+                        batch[qi].n
+                    );
+                    for (ri, (a, b)) in g.top.iter().zip(w.top.iter()).enumerate() {
+                        prop_assert_eq!(a.0, b.0, "q{} rank {}: docs diverged", qi, ri);
+                        prop_assert_eq!(
+                            a.1.to_bits(),
+                            b.1.to_bits(),
+                            "q{} rank {} doc {}: {:e} != {:e}",
+                            qi, ri, a.0, a.1, b.1
+                        );
+                    }
+                }
+                (g, w) => prop_assert_eq!(
+                    g, w,
+                    "q{} (terms {:?}, n {}): outcomes diverged",
+                    qi,
+                    &batch[qi].terms,
+                    batch[qi].n
+                ),
+            }
+        }
+    }
+}
