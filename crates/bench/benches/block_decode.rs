@@ -1,12 +1,12 @@
 //! Criterion microbenchmarks of the block-compressed posting storage
 //! (E17 in microbenchmark form): bulk streaming decode vs cursor walk vs
-//! a pre-decoded flat scan, header-binary-search `seek` on the packed
-//! layout, and the raw bit-unpack kernels.
+//! a pre-decoded flat scan, and header-binary-search `seek` on the
+//! packed layout. The raw bit-unpack kernels live in the dedicated
+//! `pack_kernels` bench.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use moa_corpus::{Collection, CollectionConfig};
 use moa_ir::InvertedIndex;
-use moa_storage::pack::{pack_into, unpack_from, unpack_one};
 
 fn fixture() -> InvertedIndex {
     let c = Collection::generate(CollectionConfig::small()).expect("valid preset");
@@ -86,38 +86,5 @@ fn bench_seek(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_pack_kernels(c: &mut Criterion) {
-    let values: Vec<u32> = (0..128u32)
-        .map(|i| (i.wrapping_mul(2654435761)) & 0x1FFF)
-        .collect();
-    let mut words = Vec::new();
-    pack_into(&values, 13, &mut words);
-    let mut out = [0u32; 128];
-    let mut g = c.benchmark_group("pack_kernels");
-    g.bench_function("unpack_128x13bit", |b| {
-        b.iter(|| {
-            unpack_from(black_box(&words), 13, 128, &mut out);
-            black_box(out[127])
-        })
-    });
-    g.bench_function("unpack_one_x128", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for i in 0..128 {
-                acc ^= unpack_one(black_box(&words), 13, i);
-            }
-            black_box(acc)
-        })
-    });
-    g.bench_function("pack_128x13bit", |b| {
-        b.iter(|| {
-            let mut w = Vec::with_capacity(26);
-            pack_into(black_box(&values), 13, &mut w);
-            black_box(w.len())
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_full_scan, bench_seek, bench_pack_kernels);
+criterion_group!(benches, bench_full_scan, bench_seek);
 criterion_main!(benches);

@@ -6,29 +6,33 @@
 //! time barely moved — the constant factor per posting (flat-array
 //! pointer chasing, block-max side tables, per-query allocations)
 //! dominated. This experiment pins the storage side of the fix with
-//! numbers that CI tracks from this PR on:
+//! numbers that CI tracks:
 //!
 //! * **decode throughput** — ns/posting for bulk streaming
-//!   ([`moa_ir::BlockPostingList::for_each`]) and for a cursor walk
-//!   (doc prefix-sum + lazy point-unpacked tfs): the price every scan
-//!   pays for compression,
-//! * **footprint** — bytes/posting of headers + packed payload vs the
-//!   flat layout's 8,
+//!   ([`moa_ir::BlockPostingList::for_each`], now a fused word-parallel
+//!   delta + prefix-sum kernel) and for a cursor walk (fused doc decode
+//!   + mini-block lazy tfs): the price every scan pays for compression,
+//! * **footprint** — bytes/posting of headers + packed payload + the
+//!   16-byte per-block bound records (quantized mini-block nibbles
+//!   included) vs the flat layout's 8,
 //! * **the E14 matrix on the new layout** — seed-naive vs exhaustive vs
 //!   pruned wall times per (mix × model), with the `prune_overhead_ratio`
 //!   gate: pruning must not cost more wall time than it saves on the
 //!   trec_like mixes.
 //!
-//! The run writes `BENCH_blocks.json`; if a committed copy already
-//! exists, its decode throughput is read *first* and the fresh
-//! measurement is gated against it (≤ [`DECODE_REGRESSION_FACTOR`]×) —
-//! the scan-throughput smoke CI runs on every push.
+//! `BENCH_blocks.json` holds **both** scales: a `"quick"` and a `"full"`
+//! section, each written by a run at that scale while the other section
+//! is preserved verbatim. CI runs Quick on every push and additionally
+//! re-asserts the *committed* Full section's speedup floors, so the
+//! committed FT-scale claim (best bandwidth-mix ≥
+//! [`FULL_BEST_SPEEDUP_FLOOR`]x the seed's naive merge) cannot silently
+//! rot while only Quick runs.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use moa_corpus::{Collection, CollectionConfig};
-use moa_ir::InvertedIndex;
+use moa_ir::{BlockBound, InvertedIndex};
 
 use crate::experiments::e14::{self, CaseResult};
 use crate::harness::{time_best_interleaved, Scale, Table};
@@ -38,22 +42,45 @@ use crate::harness::{time_best_interleaved, Scale, Table};
 /// scheduler noise).
 pub const DECODE_REGRESSION_FACTOR: f64 = 2.5;
 
-/// Footprint gate: the packed layout must stay clearly under the flat
-/// layout's 8 bytes/posting on the benchmark collection. The bound is
-/// not tighter because the Zipf vocabulary's long tail of df ≤ 2 terms
-/// pays a whole 20-byte block header per micro-run — long runs pack at
-/// well under 2 bytes/posting, but the tail's header overhead dominates
-/// the collection-wide average on a 20k-term vocabulary.
-pub const BYTES_PER_POSTING_GATE: f64 = 6.0;
+/// Footprint gate at FT scale, side tables included: headers + packed
+/// payload + the 16-byte per-block [`BlockBound`] records (block max,
+/// last doc, and the eight 4-bit mini-block maxima riding in the former
+/// padding) must stay under 4.6 bytes/posting. Long runs amortize the
+/// fixed per-run overhead, so this is the scale where the compression
+/// claim is meaningful — and it is re-asserted from the committed
+/// `"full"` section on every Quick CI run.
+pub const BYTES_PER_POSTING_GATE_FULL: f64 = 4.6;
+
+/// Footprint gate at Quick scale. The small collection's Zipf
+/// vocabulary is mostly df ≤ 2 micro-runs, each paying a whole block
+/// header + 16-byte bound record, so the collection-wide average sits
+/// far above the FT-scale figure; the gate only catches gross layout
+/// regressions here.
+pub const BYTES_PER_POSTING_GATE_QUICK: f64 = 6.5;
+
+/// Cursor-vs-bulk ceiling: the cursor walk (fused doc decode +
+/// mini-block lazy tfs) must stay within 1.5x of the bulk streaming
+/// decode per posting. The seed's point-unpacking cursor sat at ~2.5x;
+/// the word-parallel kernels close the gap, and this gate keeps it
+/// closed.
+pub const CURSOR_VS_BULK_CEILING: f64 = 1.5;
 
 /// Wall-time floor on the bandwidth-bound mixes (trec_like and
-/// frequent_only): the pruned kernel on *compressed* storage must stay
-/// within 15% of the seed's flat-array naive merge even in the worst
-/// (model × mix) cell (measured worst on the reference host: 0.92x)...
+/// frequent_only) at Quick scale: the pruned kernel on *compressed*
+/// storage must stay within 15% of the seed's flat-array naive merge
+/// even in the worst (model × mix) cell...
 pub const WORST_SPEEDUP_FLOOR: f64 = 0.85;
 
-/// ...and beat it by ≥ 20% in the best cell.
+/// ...and beat it by ≥ 20% in the best cell at Quick scale.
 pub const BEST_SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Full-scale floors, asserted on a Full run's fresh measurement AND on
+/// the committed `"full"` section during every Quick CI run: the best
+/// bandwidth-mix cell must beat the seed naive merge by ≥ 1.5x...
+pub const FULL_BEST_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// ...and the worst cell must not fall below 0.95x of it.
+pub const FULL_WORST_SPEEDUP_FLOOR: f64 = 0.95;
 
 /// Decode-side measurements.
 pub struct DecodeResult {
@@ -61,9 +88,10 @@ pub struct DecodeResult {
     pub postings: usize,
     /// Bulk streaming decode (docs + tfs) per posting.
     pub bulk_ns: f64,
-    /// Cursor walk (doc decode + lazy tf point-unpack) per posting.
+    /// Cursor walk (fused doc decode + mini-block lazy tfs) per posting.
     pub cursor_ns: f64,
-    /// Block storage footprint per posting (headers + payload).
+    /// Storage footprint per posting: headers + payload + per-block
+    /// bound records (mini-block nibbles included).
     pub bytes_per_posting: f64,
 }
 
@@ -87,47 +115,59 @@ pub fn measure_decode(scale: Scale) -> DecodeResult {
         }
         std::hint::black_box(acc);
     };
+    // The cursor walk reuses one decode buffer across terms, exactly as
+    // the DAAT kernel's query scratch does — the per-posting figure must
+    // price the decode kernels, not a per-term 1 KiB buffer allocation
+    // the query engines never pay.
+    let mut walk_buf = moa_ir::CursorBuf::new();
     let mut cursor_walk = || {
         let mut acc = 0u64;
         for &t in &terms {
-            let mut c = index.cursor(t).expect("term in range");
-            while let Some(d) = c.doc() {
-                acc += u64::from(d) ^ u64::from(c.tf());
-                c.advance();
+            let view = index.blocks().view(t);
+            let mut pos = view.start(&mut walk_buf);
+            while let Some(d) = view.doc_at(&pos, &walk_buf) {
+                acc += u64::from(d) ^ u64::from(view.tf_at(&mut pos, &mut walk_buf));
+                view.advance(&mut pos, &mut walk_buf);
             }
         }
         std::hint::black_box(acc);
     };
     let walls = time_best_interleaved(9, &mut [&mut bulk, &mut cursor_walk]);
     let per = |w: Duration| w.as_nanos() as f64 / postings.max(1) as f64;
+    let bound_bytes = index.blocks().num_blocks() * std::mem::size_of::<BlockBound>();
     DecodeResult {
         postings,
         bulk_ns: per(walls[0]),
         cursor_ns: per(walls[1]),
-        bytes_per_posting: index.blocks().storage_bytes() as f64 / postings.max(1) as f64,
+        bytes_per_posting: (index.blocks().storage_bytes() + bound_bytes) as f64
+            / postings.max(1) as f64,
     }
 }
 
-/// Render the combined measurements as machine-readable JSON.
-pub fn to_json(scale: Scale, decode: &DecodeResult, cases: &[CaseResult]) -> String {
+/// Render one scale's measurements as a JSON object (no trailing
+/// newline) — the `"quick"` / `"full"` section body of
+/// `BENCH_blocks.json`.
+pub fn section_json(decode: &DecodeResult, cases: &[CaseResult]) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"experiment\": \"e17\",");
-    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(out, "  \"postings\": {},", decode.postings);
-    let _ = writeln!(out, "  \"decode_ns_per_posting\": {:.3},", decode.bulk_ns);
-    let _ = writeln!(out, "  \"cursor_ns_per_posting\": {:.3},", decode.cursor_ns);
+    let _ = writeln!(out, "    \"postings\": {},", decode.postings);
+    let _ = writeln!(out, "    \"decode_ns_per_posting\": {:.3},", decode.bulk_ns);
     let _ = writeln!(
         out,
-        "  \"bytes_per_posting\": {:.3},",
+        "    \"cursor_ns_per_posting\": {:.3},",
+        decode.cursor_ns
+    );
+    let _ = writeln!(
+        out,
+        "    \"bytes_per_posting\": {:.3},",
         decode.bytes_per_posting
     );
-    let _ = writeln!(out, "  \"flat_bytes_per_posting\": 8.0,");
-    let _ = writeln!(out, "  \"cases\": [");
+    let _ = writeln!(out, "    \"flat_bytes_per_posting\": 8.0,");
+    let _ = writeln!(out, "    \"cases\": [");
     for (i, r) in cases.iter().enumerate() {
         let comma = if i + 1 < cases.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"mix\": \"{}\", \"model\": \"{}\", \"scan_reduction\": {:.3}, \
+            "      {{\"mix\": \"{}\", \"model\": \"{}\", \"scan_reduction\": {:.3}, \
              \"speedup_vs_naive\": {:.3}, \"prune_overhead_ratio\": {:.3}}}{comma}",
             r.mix,
             r.model,
@@ -136,16 +176,55 @@ pub fn to_json(scale: Scale, decode: &DecodeResult, cases: &[CaseResult]) -> Str
             r.prune_overhead_ratio(),
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("    ]\n  }");
     out
 }
 
-/// Extract `"decode_ns_per_posting": <float>` from a committed JSON copy
-/// (no JSON dependency in the workspace; the field is written by
-/// [`to_json`] on one line).
+/// Assemble the combined two-section document from section bodies
+/// (either may be `None`, rendered as JSON `null`).
+pub fn combined_json(quick: Option<&str>, full: Option<&str>) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e17\",\n");
+    let _ = writeln!(out, "  \"quick\": {},", quick.unwrap_or("null"));
+    let _ = writeln!(out, "  \"full\": {}", full.unwrap_or("null"));
+    out.push_str("}\n");
+    out
+}
+
+/// Extract the balanced-brace object following `"<key>":` from a
+/// committed combined document. Returns `None` for a missing key or a
+/// `null` section.
+pub fn section_of<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\":");
+    let at = json.find(&marker)? + marker.len();
+    let rest = json[at..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract `"decode_ns_per_posting": <float>` from a section (no JSON
+/// dependency in the workspace; the field is written on one line).
 pub fn parse_decode_ns(json: &str) -> Option<f64> {
-    let key = "\"decode_ns_per_posting\":";
-    let at = json.find(key)? + key.len();
+    parse_f64_field(json, "decode_ns_per_posting")
+}
+
+fn parse_f64_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = json.find(&key)? + key.len();
     let rest = json[at..].trim_start();
     let end = rest
         .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
@@ -153,16 +232,50 @@ pub fn parse_decode_ns(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Run E17: measure, gate against the committed snapshot, rewrite
-/// `BENCH_blocks.json`, and enforce the layout's acceptance gates.
+/// Pull every bandwidth-bound case's `speedup_vs_naive` out of a
+/// section: one case per line, written by [`section_json`].
+pub fn parse_bandwidth_speedups(section: &str) -> Vec<f64> {
+    section
+        .lines()
+        .filter(|l| {
+            l.contains("\"mix\": \"trec_like\"") || l.contains("\"mix\": \"frequent_only\"")
+        })
+        .filter_map(|l| parse_f64_field(l, "speedup_vs_naive"))
+        .collect()
+}
+
+fn assert_speedup_floors(cases: &[CaseResult], worst_floor: f64, best_floor: f64, label: &str) {
+    let band: Vec<f64> = cases
+        .iter()
+        .filter(|r| r.mix == "trec_like" || r.mix == "frequent_only")
+        .map(|r| r.time_speedup_vs_naive())
+        .collect();
+    let worst = band.iter().copied().fold(f64::INFINITY, f64::min);
+    let best = band.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        worst >= worst_floor,
+        "{label}: worst bandwidth-mix speedup {worst:.2}x below the {worst_floor} floor"
+    );
+    assert!(
+        best >= best_floor,
+        "{label}: best bandwidth-mix speedup {best:.2}x below the {best_floor} floor"
+    );
+}
+
+/// Run E17: measure, gate against the committed snapshot, rewrite this
+/// scale's section of `BENCH_blocks.json` (preserving the other
+/// section), and enforce the layout's acceptance gates.
 pub fn run(scale: Scale) -> Table {
     let json_path =
         std::env::var("MOA_BENCH_BLOCKS_JSON").unwrap_or_else(|_| "BENCH_blocks.json".to_owned());
     // Read the committed reference BEFORE overwriting it.
-    let committed_ns = std::fs::read_to_string(&json_path)
-        .ok()
-        .as_deref()
-        .and_then(parse_decode_ns);
+    let committed = std::fs::read_to_string(&json_path).ok();
+    let my_key = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let committed_mine = committed.as_deref().and_then(|j| section_of(j, my_key));
+    let committed_ns = committed_mine.and_then(parse_decode_ns);
 
     let decode = measure_decode(scale);
     let cases = e14::measure(scale);
@@ -180,46 +293,86 @@ pub fn run(scale: Scale) -> Table {
         );
     }
 
-    let json = to_json(scale, &decode, &cases);
+    // Rewrite this scale's section, preserving the other verbatim.
+    let mine = section_json(&decode, &cases);
+    let other_key = if my_key == "quick" { "full" } else { "quick" };
+    let other = committed.as_deref().and_then(|j| section_of(j, other_key));
+    let json = match scale {
+        Scale::Quick => combined_json(Some(&mine), other),
+        Scale::Full => combined_json(other, Some(&mine)),
+    };
     if let Err(e) = std::fs::write(&json_path, &json) {
         eprintln!("e17: could not write {json_path}: {e}");
     }
 
-    // Gate 2 — footprint.
+    // Gate 2 — footprint, side tables (mini-block nibbles) included, at
+    // this scale's bound.
+    let bytes_gate = match scale {
+        Scale::Quick => BYTES_PER_POSTING_GATE_QUICK,
+        Scale::Full => BYTES_PER_POSTING_GATE_FULL,
+    };
     assert!(
-        decode.bytes_per_posting <= BYTES_PER_POSTING_GATE,
-        "block storage at {:.2} bytes/posting exceeds the {BYTES_PER_POSTING_GATE} gate",
+        decode.bytes_per_posting <= bytes_gate,
+        "block storage at {:.2} bytes/posting exceeds the {bytes_gate} gate",
         decode.bytes_per_posting
     );
-    // Gate 3 — pruning must not cost wall time on trec_like (the e14
+    // Gate 3 — the cursor walk must stay close to the bulk decode: the
+    // word-parallel kernels + mini-block tf lookahead closed the gap
+    // the seed's per-posting point unpacks left.
+    assert!(
+        decode.cursor_ns <= decode.bulk_ns * CURSOR_VS_BULK_CEILING,
+        "cursor walk at {:.2} ns/posting exceeds {CURSOR_VS_BULK_CEILING}x the bulk \
+         decode ({:.2} ns/posting)",
+        decode.cursor_ns,
+        decode.bulk_ns
+    );
+    // Gate 4 — pruning must not cost wall time on trec_like (the e14
     // anomaly this layout fixed), enforced by e14's shared gate on this
     // run's own measurement.
     let ratio_ceiling = e14::assert_prune_overhead_gate(&cases, scale);
-    // Gate 4 — wall time vs the seed's flat naive merge on the
-    // bandwidth-bound mixes (enforced at the committed-benchmark scale
-    // only; Full-scale pruning effectiveness is tracked, not gated —
-    // see PRUNE_OVERHEAD_GATE_FULL's rationale).
-    if scale == Scale::Quick {
-        let band: Vec<&CaseResult> = cases
-            .iter()
-            .filter(|r| r.mix == "trec_like" || r.mix == "frequent_only")
-            .collect();
-        let worst = band
-            .iter()
-            .map(|r| r.time_speedup_vs_naive())
-            .fold(f64::INFINITY, f64::min);
-        let best = band
-            .iter()
-            .map(|r| r.time_speedup_vs_naive())
-            .fold(0.0f64, f64::max);
-        assert!(
-            worst >= WORST_SPEEDUP_FLOOR,
-            "worst bandwidth-mix speedup {worst:.2}x below the {WORST_SPEEDUP_FLOOR} floor"
-        );
-        assert!(
-            best >= BEST_SPEEDUP_FLOOR,
-            "best bandwidth-mix speedup {best:.2}x below the {BEST_SPEEDUP_FLOOR} floor"
-        );
+    // Gate 5 — wall time vs the seed's flat naive merge on the
+    // bandwidth-bound mixes, at this scale's floors.
+    match scale {
+        Scale::Quick => {
+            assert_speedup_floors(&cases, WORST_SPEEDUP_FLOOR, BEST_SPEEDUP_FLOOR, "quick");
+            // Gate 5b — the *committed* Full section must keep meeting
+            // its floors on every Quick CI run: the FT-scale claim is
+            // re-checked even when only Quick is re-measured.
+            if let Some(full) = committed.as_deref().and_then(|j| section_of(j, "full")) {
+                let speedups = parse_bandwidth_speedups(full);
+                assert!(
+                    !speedups.is_empty(),
+                    "committed full section has no bandwidth-mix cases"
+                );
+                let worst = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+                let best = speedups.iter().copied().fold(0.0f64, f64::max);
+                assert!(
+                    best >= FULL_BEST_SPEEDUP_FLOOR,
+                    "committed Full best speedup {best:.2}x below the \
+                     {FULL_BEST_SPEEDUP_FLOOR} floor"
+                );
+                assert!(
+                    worst >= FULL_WORST_SPEEDUP_FLOOR,
+                    "committed Full worst speedup {worst:.2}x below the \
+                     {FULL_WORST_SPEEDUP_FLOOR} floor"
+                );
+                if let Some(bytes) = parse_f64_field(full, "bytes_per_posting") {
+                    assert!(
+                        bytes <= BYTES_PER_POSTING_GATE_FULL,
+                        "committed Full footprint {bytes:.2} B/posting exceeds the \
+                         {BYTES_PER_POSTING_GATE_FULL} gate"
+                    );
+                }
+            }
+        }
+        Scale::Full => {
+            assert_speedup_floors(
+                &cases,
+                FULL_WORST_SPEEDUP_FLOOR,
+                FULL_BEST_SPEEDUP_FLOOR,
+                "full",
+            );
+        }
     }
 
     let mut t = Table::new(
@@ -235,11 +388,15 @@ pub fn run(scale: Scale) -> Table {
         format!("{:.2} ns/posting", decode.bulk_ns),
     ]);
     t.row(vec![
-        "cursor walk (lazy tf)".into(),
-        format!("{:.2} ns/posting", decode.cursor_ns),
+        "cursor walk (mini-block lazy tf)".into(),
+        format!(
+            "{:.2} ns/posting ({:.2}x bulk)",
+            decode.cursor_ns,
+            decode.cursor_ns / decode.bulk_ns.max(f64::MIN_POSITIVE)
+        ),
     ]);
     t.row(vec![
-        "storage footprint".into(),
+        "storage footprint (incl. bound nibbles)".into(),
         format!("{:.2} bytes/posting (flat: 8.00)", decode.bytes_per_posting),
     ]);
     for r in &cases {
@@ -261,13 +418,21 @@ pub fn run(scale: Scale) -> Table {
             ));
         }
         None => {
-            t.note("no committed BENCH_blocks.json found: regression gate skipped (first run seeds it)");
+            t.note(
+                "no committed section for this scale: regression gate skipped (first run seeds it)",
+            );
         }
     }
     t.note(format!(
-        "gates enforced: footprint <= {BYTES_PER_POSTING_GATE} B/posting; trec_like pruned/exhaustive <= {ratio_ceiling}; bandwidth-mix speedup vs seed naive in [{WORST_SPEEDUP_FLOOR}, inf) worst / [{BEST_SPEEDUP_FLOOR}, inf) best"
+        "gates enforced: footprint <= {bytes_gate} B/posting at this scale (nibbles included; \
+         full gate {BYTES_PER_POSTING_GATE_FULL}); cursor <= {CURSOR_VS_BULK_CEILING}x bulk; \
+         trec_like pruned/exhaustive <= {ratio_ceiling}; speedup floors quick \
+         [{WORST_SPEEDUP_FLOOR}, {BEST_SPEEDUP_FLOOR}] / full \
+         [{FULL_WORST_SPEEDUP_FLOOR}, {FULL_BEST_SPEEDUP_FLOOR}] (worst, best)"
     ));
-    t.note(format!("machine-readable copy written to {json_path}"));
+    t.note(format!(
+        "machine-readable copy written to {json_path} ({my_key} section; other preserved)"
+    ));
     t
 }
 
@@ -295,26 +460,64 @@ mod tests {
         }
     }
 
-    #[test]
-    fn json_shape_and_decode_ns_roundtrip() {
-        let decode = DecodeResult {
+    fn decode() -> DecodeResult {
+        DecodeResult {
             postings: 123_456,
             bulk_ns: 3.25,
             cursor_ns: 4.5,
             bytes_per_posting: 2.4,
-        };
+        }
+    }
+
+    #[test]
+    fn json_shape_and_decode_ns_roundtrip() {
         let cases = vec![
             case("trec_like", 300, 200, 180),
             case("topical", 300, 200, 220),
         ];
-        let json = to_json(Scale::Quick, &decode, &cases);
+        let quick = section_json(&decode(), &cases);
+        let json = combined_json(Some(&quick), None);
         assert!(json.contains("\"experiment\": \"e17\""));
+        assert!(json.contains("\"full\": null"));
         assert_eq!(json.matches("{\"mix\"").count(), 2);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        // The committed-snapshot gate reads back exactly what was written.
-        assert_eq!(parse_decode_ns(&json), Some(3.25));
+        // The committed-snapshot gate reads back exactly what was
+        // written, from the right section.
+        let sect = section_of(&json, "quick").expect("quick section present");
+        assert_eq!(parse_decode_ns(sect), Some(3.25));
+        assert!(section_of(&json, "full").is_none());
         assert_eq!(parse_decode_ns("no such field"), None);
+    }
+
+    #[test]
+    fn sections_are_independent_and_preserved() {
+        let q_cases = vec![case("trec_like", 300, 200, 180)];
+        let f_cases = vec![
+            case("trec_like", 450, 280, 260),
+            case("frequent_only", 400, 300, 290),
+        ];
+        let quick = section_json(&decode(), &q_cases);
+        let full = section_json(
+            &DecodeResult {
+                postings: 9_999_999,
+                bulk_ns: 4.0,
+                cursor_ns: 5.0,
+                bytes_per_posting: 3.0,
+            },
+            &f_cases,
+        );
+        let json = combined_json(Some(&quick), Some(&full));
+        let got_full = section_of(&json, "full").expect("full section present");
+        assert_eq!(parse_decode_ns(got_full), Some(4.0));
+        // A Quick re-run preserves the full section byte for byte.
+        let rewritten = combined_json(section_of(&json, "quick"), Some(got_full));
+        assert_eq!(section_of(&rewritten, "full"), Some(&full[..]));
+        // The Full floors read the committed speedups per case.
+        let speedups = parse_bandwidth_speedups(got_full);
+        assert_eq!(speedups.len(), 2);
+        assert!((speedups[0] - 450.0 / 260.0).abs() < 2e-3);
+        assert!((speedups[1] - 400.0 / 290.0).abs() < 2e-3);
     }
 
     #[test]

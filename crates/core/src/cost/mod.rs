@@ -43,24 +43,28 @@ pub struct CostWeights {
     /// tf)` arrays. Priced as `decode_posting × est_postings` on top of
     /// `rank_posting` for the three decode-paying plans, so the planner's
     /// relative pricing of cursor vs fragmented access reflects the
-    /// layout. E17's decode microbenchmark puts the unpack at roughly a
-    /// tenth of the full per-posting scoring cost.
+    /// layout. E17's cursor-walk measurement (mini-block lazy tf decode
+    /// over the word-parallel kernels) puts the per-posting unpack at
+    /// ~7 ns against a ~35 ns full per-posting scoring pipeline — about
+    /// a fifth of the cost.
     pub decode_posting: f64,
 }
 
 impl Default for CostWeights {
     fn default() -> Self {
         // The executor counts every touched element as one unit; the
-        // pruning fraction starts at the middle of the reduction band
-        // experiment E14 measured on the block layout (2.0x–3.0x),
-        // pending calibration.
+        // pruning fraction starts at the middle of the still-scanned
+        // band experiment E14 measures on the block layout with the
+        // quantized mini-block refinement and the df-weighted frequent
+        // query slots (4.1x–7.3x reduction at the calibration scale,
+        // i.e. a 0.14–0.24 residual fraction), pending calibration.
         CostWeights {
             scan: 1.0,
             compare: 1.0,
             materialize: 1.0,
             rank_posting: 1.0,
-            daat_prune: 0.4,
-            decode_posting: 0.1,
+            daat_prune: 0.2,
+            decode_posting: 0.2,
         }
     }
 }

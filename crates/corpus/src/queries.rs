@@ -77,7 +77,8 @@ pub struct Query {
 /// Generate a deterministic query workload against a collection.
 ///
 /// Terms are drawn from df bands of the *observed* vocabulary:
-/// rare = lowest-df third, mid = middle third, high = top df decile.
+/// rare = lowest-df third, mid = middle third, high = top df decile
+/// (drawn df-weighted, so "frequent" slots track actual term usage).
 pub fn generate_queries(collection: &Collection, config: &QueryConfig) -> Result<Vec<Query>> {
     if config.num_queries == 0 {
         return Err(CorpusError::InvalidConfig("num_queries must be > 0".into()));
@@ -117,6 +118,20 @@ pub fn generate_queries(collection: &Collection, config: &QueryConfig) -> Result
     let rare_band = &observed[first_df2..(n / 3).max(first_df2 + 1).min(n)];
     let mid_band = &observed[n / 3..(2 * n / 3).max(n / 3 + 1)];
     let high_band = &observed[(9 * n / 10).min(n - 1)..];
+    // High-band slots draw df-weighted, not uniform: a "frequent,
+    // stop-word-like" query slot should land on terms in proportion to
+    // how often they are used. A uniform draw stops modelling that as the
+    // vocabulary grows — the top df decile of a large Zipf vocabulary is
+    // dominated by its own low end, so uniform sampling would make
+    // "frequent" slots mostly near-rare and leave the long posting runs
+    // unexercised at exactly the scales where they matter.
+    let high_cum: Vec<u64> = high_band
+        .iter()
+        .scan(0u64, |acc, &t| {
+            *acc += u64::from(collection.df()[t as usize]);
+            Some(*acc)
+        })
+        .collect();
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut queries = Vec::with_capacity(config.num_queries);
@@ -178,6 +193,11 @@ pub fn generate_queries(collection: &Collection, config: &QueryConfig) -> Result
             {
                 let z = topical_zipf.as_ref().expect("built with topical_terms");
                 topical_terms[z.sample(&mut rng)]
+            } else if std::ptr::eq(band.as_ptr(), high_band.as_ptr()) {
+                // Df-weighted draw over the high band (see `high_cum`).
+                let total = *high_cum.last().expect("high band is non-empty");
+                let r = rng.gen_range(0..total);
+                high_band[high_cum.partition_point(|&c| c <= r)]
             } else {
                 band[rng.gen_range(0..band.len())]
             };

@@ -30,12 +30,23 @@
 //! bit-identical to the flat layout (pinned by the round-trip proptest in
 //! `crates/ir/tests/proptest_blocks.rs` and the differential oracle).
 
-use moa_storage::pack::{bits_for, pack_into, unpack_from, unpack_one, words_for};
+use moa_storage::pack::{
+    bits_for, pack_into, unpack_deltas_prefix_sum, unpack_from, unpack_slice, words_for,
+};
 
 /// Postings per block. 128 keeps a block's decoded image (two 512-byte
 /// arrays) inside L1 while making the header array 1/128th of the posting
 /// count — small enough to stay cache-resident across a query.
 pub const BLOCK_LEN: usize = 128;
+
+/// Postings per mini-block: the granularity of the cursor's lazy tf
+/// decode and of the quantized sub-block score bounds
+/// (`crate::scorer::BlockBound` carries one 4-bit score maximum per
+/// mini-block). 16 entries × 8 mini-blocks tile one [`BLOCK_LEN`] block.
+pub const MINI_LEN: usize = 16;
+
+/// Mini-blocks per block (`BLOCK_LEN / MINI_LEN`).
+pub const MINIS_PER_BLOCK: usize = BLOCK_LEN / MINI_LEN;
 
 /// Per-block layout metadata, stored contiguously (one array per list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,8 +57,6 @@ pub struct BlockHeader {
     pub last_doc: u32,
     /// Offset of the block's packed payload, in `u64` words.
     pub payload_off: u32,
-    /// Highest term frequency in the block.
-    pub max_tf: u32,
     /// Bit width of the packed doc-id deltas.
     pub doc_bits: u8,
     /// Bit width of the packed term frequencies.
@@ -56,6 +65,13 @@ pub struct BlockHeader {
     /// block).
     pub len: u16,
 }
+
+// Headers are pure per-block overhead, paid once per (term, 128-posting
+// block) — on a large vocabulary most terms have short runs, so every
+// byte here is a direct bytes-per-posting cost. Keep the record at
+// exactly 16 bytes: anything derivable at build time (e.g. the block's
+// max tf, which only ever fed `tf_bits`) stays out.
+const _: () = assert!(std::mem::size_of::<BlockHeader>() == 16);
 
 /// Decode scratch for one cursor: one block's worth of document ids and
 /// term frequencies. ~1 KiB; owned by [`crate::scratch::QueryScratch`] (one
@@ -66,9 +82,13 @@ pub struct CursorBuf {
     /// Decoded document ids of the current block (valid only while
     /// [`CursorPos::docs_ready`]).
     pub docs: [u32; BLOCK_LEN],
-    /// Bulk-decoded term frequencies — used by the whole-block consumers
-    /// ([`BlockPostingList::for_each`], the bound-table builder); cursor
-    /// paths read single tfs straight off the payload instead.
+    /// Decoded term frequencies. Whole-block consumers
+    /// ([`BlockPostingList::for_each`], the bound-table builder) fill all
+    /// of it at once; cursor paths fill it one [`MINI_LEN`]-entry
+    /// mini-block at a time, on the first tf read inside that mini-block
+    /// (tracked by [`CursorPos::tf_ready`]), so a scored posting costs an
+    /// amortized 16-value lookahead decode instead of a point unpack per
+    /// posting.
     pub tfs: [u32; BLOCK_LEN],
 }
 
@@ -104,6 +124,11 @@ pub struct CursorPos {
     /// decode at all (`first_doc` lives in the header), so blocks that
     /// are entered and immediately skipped past never touch the payload.
     pub docs_ready: bool,
+    /// Bitmask of which [`MINI_LEN`]-entry mini-blocks of the current
+    /// block's tf half are decoded into the buffer (bit `m` covers
+    /// entries `m*16..(m+1)*16`). Cleared on every block change; a block
+    /// whose postings are never scored never touches its tf payload.
+    pub tf_ready: u8,
 }
 
 /// One term's slice of a [`BlockPostingList`]: its headers, the shared
@@ -141,23 +166,18 @@ impl<'a> TermView<'a> {
         self.headers.len()
     }
 
-    /// Decode block `b`'s document ids into `buf.docs[..len]`.
+    /// Decode block `b`'s document ids into `buf.docs[..len]` — one fused
+    /// unpack + prefix-sum pass (deltas store `gap − 1` with a leading 0).
     pub fn decode_docs(&self, b: usize, buf: &mut CursorBuf) {
         let h = &self.headers[b];
         let n = h.len as usize;
-        unpack_from(
+        unpack_deltas_prefix_sum(
             &self.payload[h.payload_off as usize..],
             h.doc_bits,
             n,
+            h.first_doc,
             &mut buf.docs,
         );
-        // Deltas store `gap − 1` with a leading 0: prefix-sum back to ids.
-        let mut d = h.first_doc;
-        buf.docs[0] = d;
-        for slot in buf.docs[1..n].iter_mut() {
-            d = d + *slot + 1;
-            *slot = d;
-        }
     }
 
     /// Decode block `b`'s term frequencies into `buf.tfs[..len]`.
@@ -166,6 +186,24 @@ impl<'a> TermView<'a> {
         let n = h.len as usize;
         let off = h.payload_off as usize + words_for(n, h.doc_bits);
         unpack_from(&self.payload[off..], h.tf_bits, n, &mut buf.tfs);
+    }
+
+    /// Decode one [`MINI_LEN`]-entry mini-block of block `b`'s term
+    /// frequencies into the matching slots of `buf.tfs` — the cursor
+    /// lookahead decode.
+    fn decode_tf_mini(&self, b: usize, mini: usize, buf: &mut CursorBuf) {
+        let h = &self.headers[b];
+        let n = h.len as usize;
+        let off = h.payload_off as usize + words_for(n, h.doc_bits);
+        let start = mini * MINI_LEN;
+        let count = n.saturating_sub(start).min(MINI_LEN);
+        unpack_slice(
+            &self.payload[off..],
+            h.tf_bits,
+            start,
+            count,
+            &mut buf.tfs[start..start + count],
+        );
     }
 
     /// Position a fresh cursor at the run's first posting. No payload is
@@ -177,6 +215,7 @@ impl<'a> TermView<'a> {
             idx: 0,
             base: 0,
             docs_ready: false,
+            tf_ready: 0,
         }
     }
 
@@ -195,17 +234,24 @@ impl<'a> TermView<'a> {
         }
     }
 
-    /// The current posting's term frequency (0 when exhausted): a single
-    /// point-unpack straight off the payload — a pruned query that scores
-    /// one posting of a block never bulk-decodes the block's tf half.
+    /// The current posting's term frequency (0 when exhausted). The first
+    /// tf read inside a [`MINI_LEN`]-entry mini-block decodes that whole
+    /// mini-block into the lookahead buffer; subsequent reads in the same
+    /// mini-block are plain array loads — a pruned query that scores one
+    /// posting of a block pays a 16-value decode, never the 128-value
+    /// bulk unpack, while dense scoring amortizes to bulk-decode cost.
     #[inline]
-    pub fn tf_at(&self, pos: &CursorPos, _buf: &CursorBuf) -> u32 {
+    pub fn tf_at(&self, pos: &mut CursorPos, buf: &mut CursorBuf) -> u32 {
         if pos.base + pos.idx >= self.len {
             return 0;
         }
-        let h = &self.headers[pos.block];
-        let off = h.payload_off as usize + words_for(usize::from(h.len), h.doc_bits);
-        unpack_one(&self.payload[off..], h.tf_bits, pos.idx)
+        let mini = pos.idx / MINI_LEN;
+        let bit = 1u8 << mini;
+        if pos.tf_ready & bit == 0 {
+            self.decode_tf_mini(pos.block, mini, buf);
+            pos.tf_ready |= bit;
+        }
+        buf.tfs[pos.idx]
     }
 
     /// Advance one posting. Entering the body of a block (offset ≥ 1)
@@ -224,6 +270,7 @@ impl<'a> TermView<'a> {
             pos.block += 1;
             pos.idx = 0;
             pos.docs_ready = false;
+            pos.tf_ready = 0;
         } else if !pos.docs_ready {
             self.decode_docs(pos.block, buf);
             pos.docs_ready = true;
@@ -272,11 +319,13 @@ impl<'a> TermView<'a> {
             pos.base = self.len;
             pos.idx = 0;
             pos.docs_ready = false;
+            pos.tf_ready = 0;
             return skipped;
         }
         pos.block = k;
         pos.base = k * BLOCK_LEN; // all blocks before a run's last are full
         pos.docs_ready = false;
+        pos.tf_ready = 0;
         if target <= self.headers[k].first_doc {
             // Landed on the block's first posting: header data suffices.
             pos.idx = 0;
@@ -335,7 +384,6 @@ impl BlockListBuilder {
                 first_doc: block_docs[0],
                 last_doc: block_docs[n - 1],
                 payload_off,
-                max_tf,
                 doc_bits,
                 tf_bits,
                 len: n as u16,
@@ -404,6 +452,18 @@ impl BlockPostingList {
     /// decoding block by block on a stack buffer — the zero-allocation
     /// full-run path the set-at-a-time evaluator and the builders use.
     pub fn for_each(&self, term: u32, mut f: impl FnMut(u32, u32)) {
+        self.for_each_while(term, |d, t| {
+            f(d, t);
+            true
+        });
+    }
+
+    /// Like [`BlockPostingList::for_each`], but `f` returns whether to
+    /// continue: a `false` stops the stream mid-block. Returns `true` when
+    /// the run was streamed to completion — the breakable variant the
+    /// deadline-gated accumulator loops use so an expired budget no
+    /// longer overshoots by one whole uninterruptible term run.
+    pub fn for_each_while(&self, term: u32, mut f: impl FnMut(u32, u32) -> bool) -> bool {
         let view = self.view(term);
         let mut buf = CursorBuf::new();
         for b in 0..view.num_blocks() {
@@ -411,9 +471,12 @@ impl BlockPostingList {
             view.decode_tfs(b, &mut buf);
             let n = usize::from(view.headers()[b].len);
             for i in 0..n {
-                f(buf.docs[i], buf.tfs[i]);
+                if !f(buf.docs[i], buf.tfs[i]) {
+                    return false;
+                }
             }
         }
+        true
     }
 
     /// Materialize one term's run as owned `(docs, tfs)` vectors — the
@@ -434,6 +497,13 @@ impl BlockPostingList {
     /// 8 bytes/posting.
     pub fn storage_bytes(&self) -> usize {
         self.payload.len() * 8 + self.headers.len() * std::mem::size_of::<BlockHeader>()
+    }
+
+    /// Total number of storage blocks across every term's run — the
+    /// multiplier for per-block side tables (e.g. the 16-byte
+    /// [`crate::scorer::BlockBound`] records, nibble maxima included).
+    pub fn num_blocks(&self) -> usize {
+        self.headers.len()
     }
 }
 
@@ -482,7 +552,6 @@ mod tests {
         assert_eq!(h.doc_bits, 0, "consecutive run needs no delta bits");
         assert_eq!(h.tf_bits, 1);
         assert_eq!((h.first_doc, h.last_doc), (100, 100 + BLOCK_LEN as u32 - 1));
-        assert_eq!(h.max_tf, 1);
         assert_eq!(list.decode_term(0), (docs, tfs));
     }
 
@@ -510,13 +579,57 @@ mod tests {
         let mut pos = view.start(&mut buf);
         for i in 0..docs.len() {
             assert_eq!(view.doc_at(&pos, &buf), Some(docs[i]));
-            assert_eq!(view.tf_at(&pos, &buf), tfs[i]);
+            assert_eq!(view.tf_at(&mut pos, &mut buf), tfs[i]);
             view.advance(&mut pos, &mut buf);
         }
         assert_eq!(view.doc_at(&pos, &buf), None);
-        assert_eq!(view.tf_at(&pos, &buf), 0);
+        assert_eq!(view.tf_at(&mut pos, &mut buf), 0);
         view.advance(&mut pos, &mut buf); // past-the-end advance is safe
         assert_eq!(view.doc_at(&pos, &buf), None);
+    }
+
+    #[test]
+    fn tf_reads_decode_one_mini_block_at_a_time() {
+        let (docs, tfs) = run(300, 5);
+        let list = build(&[(docs.clone(), tfs.clone())]);
+        let view = list.view(0);
+        let mut buf = CursorBuf::new();
+        let mut pos = view.start(&mut buf);
+        // Seek into the middle of the second block.
+        let target = docs[BLOCK_LEN + 40];
+        view.seek(&mut pos, &mut buf, target);
+        assert_eq!(pos.tf_ready, 0, "seeking never touches the tf payload");
+        assert_eq!(view.tf_at(&mut pos, &mut buf), tfs[BLOCK_LEN + 40]);
+        let mini = 40 / MINI_LEN;
+        assert_eq!(
+            pos.tf_ready,
+            1 << mini,
+            "one tf read decodes exactly its mini-block"
+        );
+        // The rest of that mini-block is already in the lookahead buffer.
+        for k in (mini * MINI_LEN)..((mini + 1) * MINI_LEN) {
+            assert_eq!(buf.tfs[k], tfs[BLOCK_LEN + k]);
+        }
+        // Crossing into a new block resets the mask.
+        view.seek(&mut pos, &mut buf, docs[2 * BLOCK_LEN + 3]);
+        assert_eq!(pos.tf_ready, 0);
+        assert_eq!(view.tf_at(&mut pos, &mut buf), tfs[2 * BLOCK_LEN + 3]);
+        assert_eq!(pos.tf_ready, 1 << (3 / MINI_LEN));
+    }
+
+    #[test]
+    fn for_each_while_stops_mid_run() {
+        let (docs, tfs) = run(500, 4);
+        let list = build(&[(docs.clone(), tfs)]);
+        let mut seen = 0usize;
+        let complete = list.for_each_while(0, |_, _| {
+            seen += 1;
+            seen < 200
+        });
+        assert!(!complete);
+        assert_eq!(seen, 200, "stops exactly where the callback said no");
+        let complete = list.for_each_while(0, |_, _| true);
+        assert!(complete);
     }
 
     #[test]
@@ -541,7 +654,7 @@ mod tests {
             );
             assert_eq!(skipped, expect.unwrap_or(docs.len()));
             if let Some(i) = expect {
-                assert_eq!(view.tf_at(&pos, &buf), tfs[i]);
+                assert_eq!(view.tf_at(&mut pos, &mut buf), tfs[i]);
             }
         }
         // Monotone: seeking backwards never moves.

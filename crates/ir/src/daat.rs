@@ -25,11 +25,16 @@
 //!
 //! The pruning metadata is **colocated with the storage**: each
 //! 128-posting storage block has one [`crate::scorer::BlockBound`]
-//! (`last_doc` + exact block-max score) in a contiguous per-term array, so
-//! a skip decision costs one 16-byte load — and a rejected block's packed
-//! payload is never decoded at all. Term frequencies decode lazily, so
-//! even a *scored* candidate inside a block whose siblings were pruned
-//! pays only the block's doc half plus one tf unpack.
+//! (`last_doc` + exact block-max score + eight 4-bit quantized mini-block
+//! maxima) in a contiguous per-term array, so a skip decision costs one
+//! 16-byte load — and a rejected block's packed payload is never decoded
+//! at all. A block gate that *passes* is refined against the candidates'
+//! 16-entry mini-block maxima (nibbles riding in the same 16 bytes)
+//! before any scoring happens, which keeps gates discriminating on long
+//! runs where whole-block maxima approach the term maxima. Term
+//! frequencies decode lazily at mini-block granularity, so even a
+//! *scored* candidate inside a block whose siblings were pruned pays only
+//! the block's doc half plus one 16-entry tf decode.
 //!
 //! Results are **bit-exact** with the exhaustive merge
 //! ([`DaatSearcher::search_exhaustive`]) and with the set-at-a-time
@@ -238,6 +243,7 @@ impl<'a> DaatSearcher<'a> {
             contrib,
             prefix_bound,
             matching,
+            match_bound,
             suffix_bound,
             ne_prefix,
             heap,
@@ -313,7 +319,7 @@ impl<'a> DaatSearcher<'a> {
                 if cur[i] == next_doc {
                     let meta = metas[i];
                     let view = blocks.view(meta.term);
-                    let tf = view.tf_at(&pos[i], &bufs[i]);
+                    let tf = view.tf_at(&mut pos[i], &mut bufs[i]);
                     contrib[meta.qpos as usize] = self.kernel.weight(&meta.scorer, tf, next_doc);
                     view.advance(&mut pos[i], &mut bufs[i]);
                     cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
@@ -378,9 +384,11 @@ impl<'a> DaatSearcher<'a> {
             // whole storage-block range is skipped in one seek per cursor
             // without decoding any rejected block (Ding–Suel style).
             let mut gate_bound = prefix_bound[first_essential];
+            let mut refined = prefix_bound[first_essential];
             let mut skip_to = u32::MAX;
             let mut nonmatch_cap = u32::MAX;
             matching.clear();
+            match_bound.clear();
             for i in first_essential..m {
                 let d = cur[i];
                 if d == next_doc {
@@ -388,6 +396,12 @@ impl<'a> DaatSearcher<'a> {
                     gate_bound += b.max_score;
                     skip_to = skip_to.min(b.last_doc.saturating_add(1));
                     matching.push(i);
+                    // The mini bound costs one nibble extraction while the
+                    // 16-byte record is still in registers; caching it here
+                    // spares the refined gate and suffix sums a reload.
+                    let mb = b.mini_bound(pos[i].idx);
+                    refined += mb;
+                    match_bound.push(mb);
                 } else {
                     nonmatch_cap = nonmatch_cap.min(d);
                 }
@@ -413,9 +427,32 @@ impl<'a> DaatSearcher<'a> {
                 continue;
             }
 
+            // Mini-block refinement of the passed block gate: the same
+            // matching terms, each bounded by its cursor's 16-entry
+            // mini-block maximum — one 4-bit nibble dequantized while the
+            // BlockBound was in registers above, so the refined check
+            // costs one compare. On long runs the 128-entry block maxima
+            // approach the term maxima and stop discriminating; the mini
+            // bounds stay tight. The refined bound holds only for *this*
+            // candidate (other documents of the block may sit in stronger
+            // mini-blocks), so a failure advances one posting instead of
+            // skipping to the block horizon.
+            if !(heap.would_enter(refined, next_doc) && gate.admits(refined)) {
+                stats.bound_exits += 1;
+                for &i in matching.iter() {
+                    let view = blocks.view(metas[i].term);
+                    view.advance(&mut pos[i], &mut bufs[i]);
+                    cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
+                    stats.cursor_advances += 1;
+                    stats.docs_skipped += 1;
+                }
+                continue;
+            }
+
             // Strongest bound first for scoring (descending, i.e. reverse
-            // of the ascending gate order).
+            // of the ascending gate order). `match_bound` stays parallel.
             matching.reverse();
+            match_bound.reverse();
 
             // Fast path for the single-source candidate with nothing
             // non-essential to probe: its score is one weight, so skip
@@ -425,7 +462,7 @@ impl<'a> DaatSearcher<'a> {
                 let i = matching[0];
                 let meta = metas[i];
                 let view = blocks.view(meta.term);
-                let tf = view.tf_at(&pos[i], &bufs[i]);
+                let tf = view.tf_at(&mut pos[i], &mut bufs[i]);
                 let w = self.kernel.weight(&meta.scorer, tf, next_doc);
                 view.advance(&mut pos[i], &mut bufs[i]);
                 cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);
@@ -453,15 +490,15 @@ impl<'a> DaatSearcher<'a> {
             }
             let ne_total = ne_prefix[first_essential];
             // suffix_bound[k] = the most that matching cursors k.. plus
-            // every non-essential term can still add — block-max local
-            // bounds, built by exact summation (no subtractive drift) so
-            // the pruning bound is never below the true remainder.
+            // every non-essential term can still add — mini-block refined
+            // local bounds (each matching cursor sits *at* this candidate,
+            // so its contribution is bounded by its current mini-block),
+            // built by exact summation (no subtractive drift) so the
+            // pruning bound is never below the true remainder.
             suffix_bound.resize(matching.len() + 1, 0.0);
             suffix_bound[matching.len()] = ne_total;
             for k in (0..matching.len()).rev() {
-                let i = matching[k];
-                suffix_bound[k] =
-                    suffix_bound[k + 1] + local_bound(bounds, &metas[i], pos[i].block).max_score;
+                suffix_bound[k] = suffix_bound[k + 1] + match_bound[k];
             }
 
             // Second gate: same matching bounds but with the non-essential
@@ -493,7 +530,7 @@ impl<'a> DaatSearcher<'a> {
                     stats.cursor_advances += 1;
                     stats.docs_skipped += 1;
                 } else {
-                    let tf = view.tf_at(&pos[i], &bufs[i]);
+                    let tf = view.tf_at(&mut pos[i], &mut bufs[i]);
                     let w = self.kernel.weight(&meta.scorer, tf, next_doc);
                     contrib[meta.qpos as usize] = w;
                     partial += w;
@@ -525,7 +562,7 @@ impl<'a> DaatSearcher<'a> {
                     stats.seeks += 1;
                     stats.docs_skipped += view.seek(&mut pos[j], &mut bufs[j], next_doc);
                     if view.doc_at(&pos[j], &bufs[j]) == Some(next_doc) {
-                        let tf = view.tf_at(&pos[j], &bufs[j]);
+                        let tf = view.tf_at(&mut pos[j], &mut bufs[j]);
                         let w = self.kernel.weight(&meta.scorer, tf, next_doc);
                         contrib[meta.qpos as usize] = w;
                         partial += w;
@@ -655,7 +692,7 @@ impl<'a> DaatSearcher<'a> {
                 if cur[i] == next_doc {
                     let meta = metas[i];
                     let view = blocks.view(meta.term);
-                    let tf = view.tf_at(&pos[i], &bufs[i]);
+                    let tf = view.tf_at(&mut pos[i], &mut bufs[i]);
                     score += self.kernel.weight(&meta.scorer, tf, next_doc);
                     view.advance(&mut pos[i], &mut bufs[i]);
                     cur[i] = view.doc_at(&pos[i], &bufs[i]).unwrap_or(u32::MAX);

@@ -35,12 +35,14 @@ pub struct SearchReport {
     /// Documents whose score was accumulated and offered to the heap.
     pub candidates: usize,
     /// Whether the evaluation was truncated by an expired per-query
-    /// deadline. The accumulator path checks between term runs (coarse:
-    /// a single giant run is uninterruptible). A document's accumulated
-    /// sum is only exact once *every* run has been consumed, so a
-    /// timed-out evaluation returns an **empty** `top` — partial sums
-    /// are not exact scores and are never surfaced as a ranking — while
-    /// the counters stay honest about the work performed.
+    /// deadline. The accumulator path polls at every run boundary *and*
+    /// every [`crate::fragment::SCAN_POLL_STRIDE`] postings inside a run,
+    /// so even a single giant run stops within about a thousand postings
+    /// of expiry. A document's accumulated sum is only exact once *every*
+    /// run has been consumed, so a timed-out evaluation returns an
+    /// **empty** `top` — partial sums are not exact scores and are never
+    /// surfaced as a ranking — while the counters stay honest about the
+    /// work performed.
     pub timed_out: bool,
 }
 
@@ -129,14 +131,30 @@ impl<'a> Searcher<'a> {
             // Stream the run straight off the block-compressed storage
             // (block-by-block decode on a stack buffer, no allocation);
             // document order matches the flat layout, so the accumulation
-            // order — and every resulting f64 — is unchanged.
+            // order — and every resulting f64 — is unchanged. The poll
+            // re-fires every SCAN_POLL_STRIDE postings *inside* the run,
+            // so a giant run stops within a stride of expiry instead of
+            // at its end.
             let kernel = &self.kernel;
             let accum = &mut self.accum;
-            self.index.for_each_posting(term, |doc, tf| {
+            let mut in_run = 0usize;
+            let completed = self.index.for_each_posting_while(term, |doc, tf| {
+                if in_run.is_multiple_of(crate::fragment::SCAN_POLL_STRIDE)
+                    && in_run > 0
+                    && gate.expired()
+                {
+                    return false;
+                }
+                in_run += 1;
                 let w = kernel.weight(&scorer, tf, doc);
                 accum.add(doc, w);
                 scanned += 1;
+                true
             })?;
+            if !completed {
+                timed_out = true;
+                break;
+            }
         }
 
         let mut heap = TopNHeap::new(n);

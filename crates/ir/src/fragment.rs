@@ -66,6 +66,12 @@ pub struct ScanStats {
     pub lookups: usize,
 }
 
+/// Table entries inspected between deadline polls inside the gated
+/// retrieval passes: coarse enough that the poll branch is amortized to
+/// noise, fine enough that an expired deadline stops a scan within about
+/// a thousand entries instead of at the end of the fragment.
+pub const SCAN_POLL_STRIDE: usize = 1024;
+
 impl TdTable {
     /// Build a fragment table holding the postings of the selected terms.
     pub fn from_index(index: &InvertedIndex, keep: impl Fn(u32) -> bool) -> TdTable {
@@ -122,20 +128,34 @@ impl TdTable {
     pub fn postings_scan(
         &self,
         query_terms: &HashSet<u32>,
-        mut on_posting: impl FnMut(u32, u32, u32),
+        on_posting: impl FnMut(u32, u32, u32),
     ) -> ScanStats {
-        let mut stats = ScanStats {
-            scanned: self.terms.len(),
-            matched: 0,
-            lookups: 0,
-        };
+        self.postings_scan_while(query_terms, on_posting, || true).0
+    }
+
+    /// [`TdTable::postings_scan`] with a deadline hook: `keep_going` is
+    /// polled every [`SCAN_POLL_STRIDE`] inspected entries and the scan
+    /// stops early (returning `false` alongside the partial stats) the
+    /// first time it answers `false`. The scanned count then reflects the
+    /// entries actually inspected, not the fragment volume.
+    pub fn postings_scan_while(
+        &self,
+        query_terms: &HashSet<u32>,
+        mut on_posting: impl FnMut(u32, u32, u32),
+        mut keep_going: impl FnMut() -> bool,
+    ) -> (ScanStats, bool) {
+        let mut stats = ScanStats::default();
         for i in 0..self.terms.len() {
+            if i % SCAN_POLL_STRIDE == 0 && !keep_going() {
+                return (stats, false);
+            }
+            stats.scanned += 1;
             if query_terms.contains(&self.terms[i]) {
                 stats.matched += 1;
                 on_posting(self.terms[i], self.docs[i], self.tfs[i]);
             }
         }
-        stats
+        (stats, true)
     }
 
     /// Retrieve the postings of `query_terms` through the non-dense index:
@@ -144,18 +164,38 @@ impl TdTable {
     pub fn postings_indexed(
         &self,
         query_terms: &HashSet<u32>,
-        mut on_posting: impl FnMut(u32, u32, u32),
+        on_posting: impl FnMut(u32, u32, u32),
     ) -> Result<ScanStats> {
+        self.postings_indexed_while(query_terms, on_posting, || true)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`TdTable::postings_indexed`] with the same deadline hook as
+    /// [`TdTable::postings_scan_while`]: polled once per term lookup and
+    /// every [`SCAN_POLL_STRIDE`] inspected entries within a term's
+    /// covering range.
+    pub fn postings_indexed_while(
+        &self,
+        query_terms: &HashSet<u32>,
+        mut on_posting: impl FnMut(u32, u32, u32),
+        mut keep_going: impl FnMut() -> bool,
+    ) -> Result<(ScanStats, bool)> {
         let Some(sparse) = &self.sparse else {
-            return Ok(self.postings_scan(query_terms, on_posting));
+            return Ok(self.postings_scan_while(query_terms, on_posting, keep_going));
         };
         let mut stats = ScanStats::default();
         let mut sorted_terms: Vec<u32> = query_terms.iter().copied().collect();
         sorted_terms.sort_unstable();
         for term in sorted_terms {
+            if !keep_going() {
+                return Ok((stats, false));
+            }
             let range = sparse.lookup_range(&Scalar::U32(term), &Scalar::U32(term))?;
             stats.lookups += 1;
-            for i in range.start..range.end {
+            for (k, i) in (range.start..range.end).enumerate() {
+                if k > 0 && k % SCAN_POLL_STRIDE == 0 && !keep_going() {
+                    return Ok((stats, false));
+                }
                 stats.scanned += 1;
                 if self.terms[i] == term {
                     stats.matched += 1;
@@ -163,7 +203,7 @@ impl TdTable {
                 }
             }
         }
-        Ok(stats)
+        Ok((stats, true))
     }
 }
 
@@ -350,10 +390,12 @@ pub struct FragSearchReport {
     /// The safety decision, when the strategy made one.
     pub decision: Option<SwitchDecision>,
     /// Whether the evaluation was truncated by an expired per-query
-    /// deadline. Gathers are uninterruptible (the scan closures own the
-    /// pass); the poll sites are the gather/score boundaries and each
-    /// document of the bound-pruned score pass, so everything in `top`
-    /// is an exactly scored document.
+    /// deadline. The gather passes poll the gate every
+    /// [`SCAN_POLL_STRIDE`] inspected entries (stopping mid-fragment with
+    /// partial scanned counts and an empty `top`), the accumulator loops
+    /// poll per stride of accumulated postings, and the bound-pruned
+    /// score pass polls per candidate — so everything in `top` is an
+    /// exactly scored document.
     pub timed_out: bool,
 }
 
@@ -506,28 +548,50 @@ impl FragSearcher {
         let mut seeks = 0usize;
         let mut used_b = false;
         let mut decision = None;
+        // The gathers poll the gate every SCAN_POLL_STRIDE inspected
+        // entries: an expired deadline stops a pass mid-fragment instead
+        // of at its end, bounding overshoot by the stride rather than the
+        // fragment volume.
+        let live = || !gate.expired();
+        let mut gather_done;
 
         match strategy {
             Strategy::FullScan => {
-                let sa = frag
-                    .fragment_a()
-                    .postings_scan(&qset, |t, d, f| gather(&mut buckets, t, d, f));
-                let sb = frag
-                    .fragment_b()
-                    .postings_scan(&qset, |t, d, f| gather(&mut buckets, t, d, f));
-                scanned = sa.scanned + sb.scanned;
+                let (sa, a_done) = frag.fragment_a().postings_scan_while(
+                    &qset,
+                    |t, d, f| gather(&mut buckets, t, d, f),
+                    live,
+                );
+                scanned = sa.scanned;
+                gather_done = a_done;
+                if a_done {
+                    let (sb, b_done) = frag.fragment_b().postings_scan_while(
+                        &qset,
+                        |t, d, f| gather(&mut buckets, t, d, f),
+                        live,
+                    );
+                    scanned += sb.scanned;
+                    gather_done = b_done;
+                }
                 used_b = true;
             }
             Strategy::AOnly { use_a_index } => {
-                let sa = if use_a_index {
-                    frag.fragment_a()
-                        .postings_indexed(&qset, |t, d, f| gather(&mut buckets, t, d, f))?
+                let (sa, a_done) = if use_a_index {
+                    frag.fragment_a().postings_indexed_while(
+                        &qset,
+                        |t, d, f| gather(&mut buckets, t, d, f),
+                        live,
+                    )?
                 } else {
-                    frag.fragment_a()
-                        .postings_scan(&qset, |t, d, f| gather(&mut buckets, t, d, f))
+                    frag.fragment_a().postings_scan_while(
+                        &qset,
+                        |t, d, f| gather(&mut buckets, t, d, f),
+                        live,
+                    )
                 };
                 scanned = sa.scanned;
                 seeks = sa.lookups;
+                gather_done = a_done;
             }
             Strategy::Switch { use_b_index } => {
                 // The early check runs before any scanning — it needs only
@@ -536,23 +600,50 @@ impl FragSearcher {
                 let need_b = d.use_b;
                 decision = Some(d);
 
-                let sa = frag
-                    .fragment_a()
-                    .postings_scan(&qset, |t, d2, f| gather(&mut buckets, t, d2, f));
+                let (sa, a_done) = frag.fragment_a().postings_scan_while(
+                    &qset,
+                    |t, d2, f| gather(&mut buckets, t, d2, f),
+                    live,
+                );
                 scanned += sa.scanned;
-                if need_b {
+                gather_done = a_done;
+                if need_b && a_done {
                     used_b = true;
-                    let sb = if use_b_index {
-                        frag.fragment_b()
-                            .postings_indexed(&qset, |t, d2, f| gather(&mut buckets, t, d2, f))?
+                    let (sb, b_done) = if use_b_index {
+                        frag.fragment_b().postings_indexed_while(
+                            &qset,
+                            |t, d2, f| gather(&mut buckets, t, d2, f),
+                            live,
+                        )?
                     } else {
-                        frag.fragment_b()
-                            .postings_scan(&qset, |t, d2, f| gather(&mut buckets, t, d2, f))
+                        frag.fragment_b().postings_scan_while(
+                            &qset,
+                            |t, d2, f| gather(&mut buckets, t, d2, f),
+                            live,
+                        )
                     };
                     scanned += sb.scanned;
                     seeks += sb.lookups;
+                    gather_done = b_done;
                 }
             }
+        }
+
+        // A truncated gather leaves partial buckets: nothing may be
+        // ranked off them, so stop here with the work actually paid.
+        if !gather_done {
+            return Ok(FragSearchReport {
+                top: Vec::new(),
+                postings_scanned: scanned,
+                postings_scored: 0,
+                postings_pruned: 0,
+                candidates: 0,
+                bound_exits: 0,
+                seeks,
+                used_b,
+                decision,
+                timed_out: true,
+            });
         }
 
         // Per-position scorers and bucket links.
@@ -617,15 +708,16 @@ impl FragSearcher {
         if n >= matched_total.min(index.num_docs()) {
             let mut scored = 0usize;
             let mut timed_out = false;
-            for (p, &bi) in bucket_of.iter().enumerate() {
-                // Poll per position run: a document's accumulated sum is
+            'accumulate: for (p, &bi) in bucket_of.iter().enumerate() {
+                // Poll per position run and every SCAN_POLL_STRIDE
+                // accumulated postings within a run: a document's sum is
                 // exact only once every position has contributed, so on
                 // expiry the partial sums are discarded, never ranked.
-                if gate.expired() {
-                    timed_out = true;
-                    break;
-                }
-                for &(doc, tf) in &buckets[bi] {
+                for (k, &(doc, tf)) in buckets[bi].iter().enumerate() {
+                    if k % SCAN_POLL_STRIDE == 0 && gate.expired() {
+                        timed_out = true;
+                        break 'accumulate;
+                    }
                     self.ub_accum
                         .add(doc, self.kernel.weight(&scorers[p], tf, doc));
                     scored += 1;
@@ -667,17 +759,46 @@ impl FragSearcher {
         let tables = bound_tables.get_or_init(|| ScoreBounds::new(&kernel, index));
 
         // Bound pass: accumulate each touched document's score upper bound
-        // position by position from the storage-block maxima (one
-        // `BlockBound` per 128-posting block, colocated with the block
-        // headers). The sequential accumulation mirrors the exact
-        // canonical sum's addition order, and floating-point rounding is
-        // monotone, so `bound >= exact score` holds slot for slot.
-        for &bi in bucket_of.iter() {
+        // position by position from the quantized mini-block maxima (8
+        // nibbles per 128-posting `BlockBound`, colocated with the block
+        // headers). Bucket position i sits in storage block
+        // i / BLOCK_POSTINGS at offset i % BLOCK_POSTINGS, so its 16-entry
+        // mini-block's round-up-quantized maximum bounds the posting's
+        // weight — a strictly tighter sum than the whole-block maxima,
+        // still a sound upper bound per posting. The sequential
+        // accumulation mirrors the exact canonical sum's addition order,
+        // and floating-point rounding is monotone, so `bound >= exact
+        // score` holds slot for slot. Polled per stride like the exact
+        // accumulator: on expiry nothing has been ranked yet.
+        let mut timed_out = false;
+        'bound: for &bi in bucket_of.iter() {
             let block_bounds = tables.term_blocks(distinct[bi]);
             for (i, &(doc, _)) in buckets[bi].iter().enumerate() {
-                self.ub_accum
-                    .add(doc, block_bounds[i / ScoreBounds::BLOCK_POSTINGS].max_score);
+                if i % SCAN_POLL_STRIDE == 0 && gate.expired() {
+                    timed_out = true;
+                    break 'bound;
+                }
+                self.ub_accum.add(
+                    doc,
+                    block_bounds[i / ScoreBounds::BLOCK_POSTINGS]
+                        .mini_bound(i % ScoreBounds::BLOCK_POSTINGS),
+                );
             }
+        }
+        if timed_out {
+            self.ub_accum.retire();
+            return Ok(FragSearchReport {
+                top: Vec::new(),
+                postings_scanned: scanned,
+                postings_scored: 0,
+                postings_pruned: 0,
+                candidates: 0,
+                bound_exits: 0,
+                seeks,
+                used_b,
+                decision,
+                timed_out: true,
+            });
         }
         let mut docs: Vec<(u32, f64)> = self
             .ub_accum
@@ -695,7 +816,6 @@ impl FragSearcher {
         let mut scored = 0usize;
         let mut candidates = 0usize;
         let mut bound_exits = 0usize;
-        let mut timed_out = false;
         for &(doc, ub) in &docs {
             // Deadline poll per candidate: each heap entry is a fully,
             // exactly scored document, so truncation here leaves an

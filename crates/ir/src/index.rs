@@ -222,6 +222,21 @@ impl InvertedIndex {
         Ok(())
     }
 
+    /// [`InvertedIndex::for_each_posting`] with a breakable callback:
+    /// returning `false` from `f` stops the stream mid-run. Returns
+    /// whether the run was fully consumed — the deadline-polled term-run
+    /// loops of the accumulator evaluator ride on this.
+    pub fn for_each_posting_while(
+        &self,
+        term: u32,
+        f: impl FnMut(u32, u32) -> bool,
+    ) -> Result<bool> {
+        if term as usize >= self.df.len() {
+            return Err(IrError::UnknownTerm(term));
+        }
+        Ok(self.blocks.for_each_while(term, f))
+    }
+
     /// Materialize a term's posting run as owned `(docs, tfs)` vectors.
     /// Pays one decode pass plus two allocations — use
     /// [`InvertedIndex::for_each_posting`] or a cursor on hot paths.
@@ -358,11 +373,12 @@ impl<'a> PostingCursor<'a> {
         self.view.doc_at(&self.pos, &self.buf)
     }
 
-    /// The current posting's term frequency (0 when exhausted): one
-    /// point-unpack off the packed payload.
+    /// The current posting's term frequency (0 when exhausted): served
+    /// from the mini-block lookahead buffer, decoding a 16-entry
+    /// mini-block on first touch.
     #[inline]
-    pub fn tf(&self) -> u32 {
-        self.view.tf_at(&self.pos, &self.buf)
+    pub fn tf(&mut self) -> u32 {
+        self.view.tf_at(&mut self.pos, &mut self.buf)
     }
 
     /// Advance to the next posting.
@@ -503,7 +519,7 @@ mod tests {
                 assert_eq!(usize::from(h.len), chunk.len());
                 let base = b * crate::blocks::BLOCK_LEN;
                 let tf_max = tfs[base..base + chunk.len()].iter().copied().max().unwrap();
-                assert_eq!(h.max_tf, tf_max);
+                assert_eq!(h.tf_bits, moa_storage::pack::bits_for(tf_max));
             }
         }
     }

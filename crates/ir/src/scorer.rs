@@ -22,7 +22,7 @@
 //! instead of tolerances. A proptest in `crates/ir/tests/proptest_scorer.rs`
 //! pins this down.
 
-use crate::blocks::{CursorBuf, BLOCK_LEN};
+use crate::blocks::{CursorBuf, BLOCK_LEN, MINIS_PER_BLOCK, MINI_LEN};
 use crate::index::{CollectionStats, InvertedIndex};
 use crate::ranking::RankingModel;
 
@@ -123,18 +123,89 @@ pub struct ScoreKernel {
     norm_dl1: f64,
 }
 
-/// One block's skip-decision record: the block's last document id next to
-/// the exact maximum score contribution of any posting inside it. The two
-/// fields the DAAT gate reads — "how far may I skip?" and "can this block
-/// matter?" — share a single 16-byte entry, so a block decision touches
-/// exactly one cache line of one contiguous array.
+/// One block's skip-decision record: the block's last document id, the
+/// exact maximum score contribution of any posting inside it, and eight
+/// 4-bit quantized maxima — one per [`MINI_LEN`]-entry **mini-block** —
+/// packed into four bytes that ride in the struct's former padding. The
+/// record stays exactly 16 bytes, so a block decision still touches one
+/// cache line of one contiguous array, and a *passed* block gate can be
+/// refined against the candidate's mini-block without any further load.
+///
+/// Quantization is conservative round-up on the scale `max_score / 15`:
+/// nibble `q` dequantizes to `max_score · q / 15`, and the builder bumps
+/// `q` until the dequantized value covers the mini-block's exact maximum
+/// (at `q = 15` it equals `max_score`, which covers by construction), so
+/// `mini_bound(i) ≥` the exact maximum of mini-block `i ∕ 16`
+/// **unconditionally** — refinement can only prune documents that provably
+/// cannot enter the heap, never change a result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockBound {
     /// Last document id of the block (the horizon this bound covers).
     pub last_doc: u32,
+    /// Packed 4-bit mini-block score maxima: nibble `m` (low nibble of
+    /// byte `m / 2` for even `m`) covers postings `m·16 .. (m+1)·16` of
+    /// the block. Quantized round-up against `max_score`.
+    pub minis: [u8; 4],
     /// Exact maximum contribution of any posting in the block.
     pub max_score: f64,
 }
+
+/// `QUANT_STEP[q] = q / 15.0`, rounded once at compile time. A lookup
+/// keeps the per-candidate dequantization a single multiply — a variable
+/// `q / 15.0` at query time would be an fdiv in the gate's hot loop that
+/// the compiler cannot strength-reduce.
+const QUANT_STEP: [f64; 16] = {
+    let mut t = [0.0f64; 16];
+    let mut q = 0;
+    while q < 16 {
+        t[q] = q as f64 / 15.0;
+        q += 1;
+    }
+    t
+};
+
+/// Dequantize a mini-block nibble against its block maximum. The one
+/// floating-point expression both the builder's soundness guard and the
+/// query-time refinement use, so the guard proves exactly the bound the
+/// gates consult.
+#[inline]
+fn dequant(max_score: f64, nibble: u8) -> f64 {
+    max_score * QUANT_STEP[usize::from(nibble) & 0xF]
+}
+
+/// Conservative round-up quantization of one mini-block maximum: the
+/// smallest nibble whose dequantized value covers `mini_max`. The final
+/// `while` absorbs any floating-point rounding in the ceil path — at
+/// `q = 15` the dequantized bound is exactly `block_max`, which covers
+/// every mini-block by construction.
+fn quantize_mini(mini_max: f64, block_max: f64) -> u8 {
+    if mini_max <= 0.0 {
+        return 0;
+    }
+    let mut q = (((mini_max / block_max) * 15.0).ceil() as u8).min(15);
+    while dequant(block_max, q) < mini_max {
+        q += 1;
+    }
+    q
+}
+
+impl BlockBound {
+    /// Upper bound on the contribution of the posting at offset
+    /// `idx_in_block` (0..[`BLOCK_LEN`]) within this block: the
+    /// dequantized 4-bit maximum of the posting's 16-entry mini-block.
+    /// Always `≤ max_score` and always `≥` the exact maximum weight of
+    /// any posting in that mini-block.
+    #[inline]
+    pub fn mini_bound(&self, idx_in_block: usize) -> f64 {
+        let m = idx_in_block / MINI_LEN;
+        let nibble = (self.minis[m >> 1] >> ((m & 1) * 4)) & 0xF;
+        dequant(self.max_score, nibble)
+    }
+}
+
+// The skip record must stay one 16-byte load: the nibbles ride in what
+// was previously alignment padding.
+const _: () = assert!(std::mem::size_of::<BlockBound>() == 16);
 
 /// Per-term score upper bounds for one `(index, model)` pair: exact
 /// per-term contribution maxima plus per-block maxima **colocated with
@@ -195,12 +266,20 @@ impl ScoreBounds {
                     view.decode_docs(b, &mut buf);
                     view.decode_tfs(b, &mut buf);
                     let mut bmax = 0.0f64;
+                    let mut mini_max = [0.0f64; MINIS_PER_BLOCK];
                     for i in 0..usize::from(header.len) {
                         let w = scorer.weight(buf.tfs[i], kernel.norms[buf.docs[i] as usize]);
                         bmax = bmax.max(w);
+                        let m = i / MINI_LEN;
+                        mini_max[m] = mini_max[m].max(w);
+                    }
+                    let mut minis = [0u8; 4];
+                    for (m, &mm) in mini_max.iter().enumerate() {
+                        minis[m >> 1] |= quantize_mini(mm, bmax) << ((m & 1) * 4);
                     }
                     bounds.blocks.push(BlockBound {
                         last_doc: header.last_doc,
+                        minis,
                         max_score: bmax,
                     });
                     tmax = tmax.max(bmax);
@@ -460,6 +539,68 @@ mod tests {
                     }
                     // Every block bound is itself bounded by the term max.
                     assert!(bb[b].max_score <= bounds.term_max_weight(term));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mini_block_bounds_cover_postings_and_stay_within_block_max() {
+        let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+        let idx = InvertedIndex::from_collection(&c);
+        for m in models() {
+            let kernel = ScoreKernel::new(m, &idx);
+            let bounds = ScoreBounds::new(&kernel, &idx);
+            for term in idx.terms_by_df_asc() {
+                let scorer = kernel.term_scorer(idx.df(term).unwrap(), idx.cf(term).unwrap());
+                let (docs, tfs) = idx.decode_postings(term).unwrap();
+                let bb = bounds.term_blocks(term);
+                for (b, chunk) in docs.chunks(ScoreBounds::BLOCK_POSTINGS).enumerate() {
+                    for (i, &doc) in chunk.iter().enumerate() {
+                        let w =
+                            kernel.weight(&scorer, tfs[b * ScoreBounds::BLOCK_POSTINGS + i], doc);
+                        let mini = bb[b].mini_bound(i);
+                        assert!(
+                            w <= mini,
+                            "{m:?} term {term} block {b} idx {i}: {w} > mini {mini}"
+                        );
+                        assert!(mini <= bb[b].max_score);
+                    }
+                }
+                // Empty mini-blocks of a partial final block bound to 0.
+                if let Some(last) = bb.last() {
+                    let tail = docs.len() - (bb.len() - 1) * ScoreBounds::BLOCK_POSTINGS;
+                    let first_empty_mini = tail.div_ceil(MINI_LEN);
+                    if first_empty_mini < MINIS_PER_BLOCK {
+                        assert_eq!(last.mini_bound(first_empty_mini * MINI_LEN), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_rounds_up_and_is_tight_at_the_top() {
+        // The block's own maximum always quantizes to 15 (dequantizes to
+        // exactly max_score); a zero mini quantizes to 0.
+        assert_eq!(quantize_mini(0.0, 3.7), 0);
+        assert_eq!(quantize_mini(3.7, 3.7), 15);
+        // Round-up: every dequantized bound covers the input.
+        for frac in [1e-9, 0.001, 0.1, 1.0 / 3.0, 0.5, 0.9, 0.999_999] {
+            for max in [1e-6, 1.0, std::f64::consts::PI, 1e12] {
+                let mini = frac * max;
+                let q = quantize_mini(mini, max);
+                assert!(
+                    dequant(max, q) >= mini,
+                    "q={q} dequant {} < mini {mini}",
+                    dequant(max, q)
+                );
+                if q > 0 {
+                    // Minimal: the next smaller nibble would not cover.
+                    assert!(
+                        dequant(max, q - 1) < mini,
+                        "q={q} not minimal for {mini}/{max}"
+                    );
                 }
             }
         }

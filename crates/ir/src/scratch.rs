@@ -70,6 +70,10 @@ pub struct QueryScratch {
     pub(crate) prefix_bound: Vec<f64>,
     /// Matching essential cursor indices of the current candidate.
     pub(crate) matching: Vec<usize>,
+    /// Mini-block-refined local bound of each matching cursor, parallel to
+    /// `matching` — computed once while the gate loads the `BlockBound`,
+    /// reused by the refined gate and the suffix sums without reloading.
+    pub(crate) match_bound: Vec<f64>,
     /// Exact suffix bounds over the matching cursors.
     pub(crate) suffix_bound: Vec<f64>,
     /// Non-essential shallow-bound prefix sums.
@@ -99,6 +103,7 @@ impl QueryScratch {
             contrib: Vec::new(),
             prefix_bound: Vec::new(),
             matching: Vec::new(),
+            match_bound: Vec::new(),
             suffix_bound: Vec::new(),
             ne_prefix: Vec::new(),
             heap: TopNHeap::new(0),
@@ -124,6 +129,7 @@ impl QueryScratch {
         self.contrib.clear();
         self.prefix_bound.clear();
         self.matching.clear();
+        self.match_bound.clear();
         self.suffix_bound.clear();
         self.ne_prefix.clear();
         if self.bufs.len() < m {
@@ -133,6 +139,7 @@ impl QueryScratch {
         self.pos.reserve(m);
         self.cur.reserve(m);
         self.matching.reserve(m);
+        self.match_bound.reserve(m);
         self.prefix_bound.reserve(m + 1);
         self.suffix_bound.reserve(m + 1);
         self.ne_prefix.reserve(m + 1);

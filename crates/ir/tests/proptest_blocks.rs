@@ -73,7 +73,7 @@ proptest! {
             prop_assert_eq!(h.first_doc, docs[lo]);
             prop_assert_eq!(h.last_doc, docs[hi - 1]);
             let want_tf = tfs[lo..hi].iter().copied().max().unwrap_or(0);
-            prop_assert_eq!(h.max_tf, want_tf);
+            prop_assert_eq!(h.tf_bits, moa_storage::pack::bits_for(want_tf));
         }
     }
 
@@ -121,7 +121,7 @@ proptest! {
         let mut pos = view.start(&mut buf);
         for i in 0..n {
             prop_assert_eq!(view.doc_at(&pos, &buf), Some(docs[i]));
-            prop_assert_eq!(view.tf_at(&pos, &buf), tfs[i]);
+            prop_assert_eq!(view.tf_at(&mut pos, &mut buf), tfs[i]);
             view.advance(&mut pos, &mut buf);
         }
         prop_assert_eq!(view.doc_at(&pos, &buf), None);
@@ -135,7 +135,7 @@ proptest! {
         for (i, &d) in docs.iter().enumerate().step_by(stride) {
             skipped += view.seek(&mut pos, &mut buf, d);
             prop_assert_eq!(view.doc_at(&pos, &buf), Some(docs[i]));
-            prop_assert_eq!(view.tf_at(&pos, &buf), tfs[i]);
+            prop_assert_eq!(view.tf_at(&mut pos, &mut buf), tfs[i]);
             visited += 1;
             view.advance(&mut pos, &mut buf);
         }

@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 
+use moa_ir::blocks::MINI_LEN;
 use moa_ir::{CollectionStats, InvertedIndex, RankingModel, ScoreBounds, ScoreKernel, TermScorer};
 
 fn models_for(lambda: f64, k1: f64, b: f64) -> Vec<RankingModel> {
@@ -103,10 +104,14 @@ proptest! {
                     observed_max.to_bits()
                 );
                 // Block bounds cover their postings and share the storage
-                // blocks' horizons.
+                // blocks' horizons; the quantized mini-block nibbles are
+                // sound per 16-posting mini-block (round-up quantization:
+                // the dequantized nibble is >= the exact mini maximum)
+                // and never exceed the exact block maximum.
                 let bb = bounds.term_blocks(term);
                 for (bi, chunk) in docs.chunks(ScoreBounds::BLOCK_POSTINGS).enumerate() {
                     prop_assert_eq!(bb[bi].last_doc, *chunk.last().unwrap());
+                    let mut mini_exact = [0.0f64; ScoreBounds::BLOCK_POSTINGS / MINI_LEN];
                     for (i, &doc) in chunk.iter().enumerate() {
                         let w = kernel.weight(
                             &scorer,
@@ -114,6 +119,21 @@ proptest! {
                             doc,
                         );
                         prop_assert!(w <= bb[bi].max_score);
+                        prop_assert!(
+                            w <= bb[bi].mini_bound(i),
+                            "posting weight {} above its mini-block bound {}",
+                            w,
+                            bb[bi].mini_bound(i)
+                        );
+                        mini_exact[i / MINI_LEN] = mini_exact[i / MINI_LEN].max(w);
+                    }
+                    for (m, &exact) in mini_exact.iter().enumerate() {
+                        let q = bb[bi].mini_bound(m * MINI_LEN);
+                        prop_assert!(
+                            q >= exact,
+                            "quantized mini bound {q} below exact mini max {exact}"
+                        );
+                        prop_assert!(q <= bb[bi].max_score);
                     }
                 }
             }

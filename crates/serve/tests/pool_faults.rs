@@ -303,6 +303,52 @@ fn deadline_expiry_degrades_to_partial_with_honest_exact_scores() {
 }
 
 #[test]
+fn expired_deadline_overshoot_is_bounded_by_the_poll_stride_not_the_volume() {
+    // Satellite: the gather and accumulator loops now poll the deadline
+    // every SCAN_POLL_STRIDE postings *inside* a pass, so a query whose
+    // budget has already expired stops within one stride per shard — not
+    // at the end of the fragment volume, which is what the old
+    // boundary-only polling allowed. Pin that tighter bound end to end
+    // through the pool, on the full-scan fragmented plan (the widest
+    // uninterruptible pass the engine used to have).
+    use moa_ir::Strategy;
+    let (_, idx, queries) = fixture();
+    let shards = 2usize;
+    let overshoot_bound = shards * moa_ir::fragment::SCAN_POLL_STRIDE;
+    assert!(
+        idx.num_postings() > overshoot_bound,
+        "fixture volume {} must exceed the overshoot bound {} for the \
+         tightening to be observable",
+        idx.num_postings(),
+        overshoot_bound
+    );
+    let batch = batch_of(&queries[..4], 10);
+    let config = ServeConfig {
+        mode: ServeMode::Fixed(PhysicalPlan::Fragmented(Strategy::FullScan)),
+        sparse_block: Some(64),
+        queue_depth: 4,
+        admission: AdmissionPolicy::Block,
+        deadline: Some(Duration::from_nanos(1)),
+        ..ServeConfig::planned(shards)
+    };
+    let mut svc = ServeSession::new(Arc::clone(&idx), config).expect("tiny index shards cleanly");
+    let got = svc.submit_many(&batch).expect("blocking admission");
+    for (qi, g) in got.expect_ok().iter().enumerate() {
+        assert!(g.partial, "q{qi}: expired budget must degrade to partial");
+        assert!(
+            g.work.postings_scanned <= overshoot_bound,
+            "q{qi}: scanned {} postings after expiry — overshoot must stay \
+             within one poll stride per shard ({overshoot_bound}), not run \
+             to the fragment volume ({})",
+            g.work.postings_scanned,
+            idx.num_postings()
+        );
+    }
+    assert_eq!(svc.stats().queries_partial, batch.len());
+    assert_eq!(svc.stats().queries_failed, 0);
+}
+
+#[test]
 fn poison_term_fails_only_its_position_and_the_worker_survives() {
     silence_worker_panics();
     let (_, idx, queries) = fixture();

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use moa_corpus::{generate_queries, Collection, CollectionConfig, DfBias, Query, QueryConfig};
-use moa_ir::{InvertedIndex, PhysicalPlan, RankingModel, Strategy};
+use moa_ir::{InvertedIndex, PhysicalPlan, RankingModel, Strategy, SwitchPolicy};
 use moa_serve::{BatchQuery, ServeConfig, ServeMode, ServeSession, ShardSpec};
 
 fn fixture() -> (Collection, Arc<InvertedIndex>, Vec<Query>) {
@@ -43,6 +43,13 @@ fn session(
         mode,
         propagate,
         sparse_block: Some(64),
+        // A strict switch policy: consult fragment B whenever any
+        // B-resident query term carries positive score mass. The default
+        // 0.2 share threshold is the paper's quality heuristic — under it
+        // `frag_switch` may legitimately drop low-mass B terms, which
+        // would break this suite's oracle-exactness contract on workloads
+        // that happen to produce such queries.
+        policy: SwitchPolicy { max_b_share: 0.0 },
         ..ServeConfig::planned(shards)
     };
     ServeSession::new(Arc::clone(idx), config).expect("tiny index shards cleanly")
@@ -73,7 +80,8 @@ fn pinned_plans() -> Vec<PhysicalPlan> {
 }
 
 /// The plans whose top-N is guaranteed bit-identical to the naive
-/// full-scan oracle (everything but the lossy A-only ranking).
+/// full-scan oracle (everything but the lossy A-only ranking; the switch
+/// strategies are exact under the strict policy [`session`] pins).
 fn exact_plans() -> Vec<PhysicalPlan> {
     pinned_plans()
         .into_iter()

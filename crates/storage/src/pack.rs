@@ -9,10 +9,19 @@
 //! value is 0 — the all-equal-gaps case delta encoding produces on
 //! consecutive runs).
 //!
-//! The kernels are branch-light and allocation-free on the unpack side so
-//! a per-block decode stays in the tens of nanoseconds; correctness is
-//! pinned by exhaustive width sweeps below and by the round-trip proptest
-//! in `crates/ir/tests/proptest_blocks.rs`.
+//! The unpack side is written as word-parallel kernels: widths are
+//! dispatched to a const-generic loop whose shift amounts and masks fold
+//! at compile time. Widths that divide 64 decode one whole word per
+//! iteration into `64 / width` independent lanes (no value ever straddles
+//! a word, so the inner loop is branch-free and autovectorizes); the
+//! remaining widths decode four lanes per iteration through branch-free
+//! two-word windows (`(lo >> off) | ((hi << 1) << (63 − off))` — defined
+//! for every `off` in `0..64`, no straddle test). A fused
+//! [`unpack_deltas_prefix_sum`] turns gap decoding + prefix sum into one
+//! call, with the width-0 case collapsing to a pure arithmetic fill that
+//! never touches the payload. Correctness is pinned by exhaustive width
+//! sweeps below and by the round-trip proptest in
+//! `crates/ir/tests/proptest_blocks.rs`.
 
 /// Number of bits needed to represent `v` (0 for 0).
 #[inline]
@@ -34,48 +43,109 @@ pub fn pack_into(values: &[u32], width: u8, out: &mut Vec<u64>) {
         debug_assert!(values.iter().all(|&v| v == 0), "width-0 value non-zero");
         return;
     }
-    let w = u32::from(width);
-    debug_assert!(values.iter().all(|&v| w == 32 || v < (1u32 << w) || v == 0));
-    let mut acc = 0u64;
-    let mut used = 0u32;
-    for &v in values {
-        acc |= u64::from(v) << used;
-        used += w;
-        if used >= 64 {
-            out.push(acc);
-            used -= 64;
-            // Bits of `v` that did not fit in the flushed word.
-            acc = if used > 0 {
-                u64::from(v) >> (w - used)
-            } else {
-                0
-            };
+    let w = usize::from(width);
+    debug_assert!(values
+        .iter()
+        .all(|&v| width == 32 || v < (1u32 << u32::from(width))));
+    // Zero-fill the destination words, then scatter each value by bit
+    // position: the low part ORs into its word, and straddling high bits
+    // (when present) OR into the next word. Writing into pre-sized words
+    // instead of carrying an accumulator keeps every iteration
+    // independent apart from the destination OR.
+    let start = out.len();
+    out.resize(start + words_for(values.len(), width), 0);
+    let words = &mut out[start..];
+    for (i, &v) in values.iter().enumerate() {
+        let bit = i * w;
+        let wd = bit >> 6;
+        let off = (bit & 63) as u32;
+        words[wd] |= u64::from(v) << off;
+        if off as usize + w > 64 {
+            words[wd + 1] |= u64::from(v) >> (64 - off);
         }
-    }
-    if used > 0 {
-        out.push(acc);
     }
 }
 
-/// Unpack `count` values of `width` bits from `words` into `out[..count]`.
-/// `words` must hold at least [`words_for`]`(count, width)` words.
+/// Word-parallel unpack of `count` values at a const width `W`.
+///
+/// Two shapes, selected at compile time:
+/// * `64 % W == 0`: one source word per iteration, `64 / W` lanes pulled
+///   out by constant shifts — no value straddles a word, the loop body is
+///   branch-free and a straight-line candidate for autovectorization.
+/// * otherwise: four lanes per iteration, each reading a two-word window
+///   combined branch-free (`(hi << 1) << (63 − off)` sidesteps the
+///   undefined 64-bit shift at `off == 0`); a scalar tail covers the last
+///   values whose second window word may not exist.
 #[inline]
-pub fn unpack_from(words: &[u64], width: u8, count: usize, out: &mut [u32]) {
-    if width == 0 {
-        out[..count].fill(0);
+fn unpack_w<const W: u32>(words: &[u64], count: usize, out: &mut [u32]) {
+    let mask: u64 = if W == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << W) - 1
+    };
+    let out = &mut out[..count];
+    if 64 % W == 0 {
+        let per = (64 / W) as usize;
+        let full = count / per;
+        for (chunk, &w) in out.chunks_exact_mut(per).zip(words.iter()).take(full) {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = ((w >> (k as u32 * W)) & mask) as u32;
+            }
+        }
+        let done = full * per;
+        if done < count {
+            let w = words[full];
+            for (k, slot) in out[done..].iter_mut().enumerate() {
+                *slot = ((w >> (k as u32 * W)) & mask) as u32;
+            }
+        }
         return;
     }
-    let w = u32::from(width);
-    let mask = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+    let mut i = 0usize;
+    if words.len() >= 2 {
+        // Lane `j` reads words `wd` and `wd + 1`; the window read is safe
+        // while the lane's start bit lies before the final word.
+        let limit_bits = 64 * (words.len() - 1);
+        while i + 4 <= count && (i + 3) * (W as usize) < limit_bits {
+            for j in 0..4 {
+                let bit = (i + j) * W as usize;
+                let wd = bit >> 6;
+                let off = (bit & 63) as u32;
+                let bits = (words[wd] >> off) | ((words[wd + 1] << 1) << (63 - off));
+                out[i + j] = (bits & mask) as u32;
+            }
+            i += 4;
+        }
+    }
+    while i < count {
+        let bit = i * W as usize;
+        let wd = bit >> 6;
+        let off = (bit & 63) as u32;
+        let mut bits = words[wd] >> off;
+        if off + W > 64 {
+            bits |= words[wd + 1] << (64 - off);
+        }
+        out[i] = (bits & mask) as u32;
+        i += 1;
+    }
+}
+
+/// Fallback scalar unpack for widths without a specialized instantiation.
+fn unpack_generic(words: &[u64], width: u32, count: usize, out: &mut [u32]) {
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
     let mut word = 0usize;
     let mut off = 0u32;
     for slot in out.iter_mut().take(count) {
         let mut bits = words[word] >> off;
-        if off + w > 64 {
+        if off + width > 64 {
             bits |= words[word + 1] << (64 - off);
         }
         *slot = (bits as u32) & mask;
-        off += w;
+        off += width;
         if off >= 64 {
             off -= 64;
             word += 1;
@@ -83,10 +153,88 @@ pub fn unpack_from(words: &[u64], width: u8, count: usize, out: &mut [u32]) {
     }
 }
 
+/// Unpack `count` values of `width` bits from `words` into `out[..count]`.
+/// `words` must hold at least [`words_for`]`(count, width)` words.
+/// Dispatches to a width-specialized word-parallel kernel for every width
+/// the posting encoder produces in practice.
+#[inline]
+pub fn unpack_from(words: &[u64], width: u8, count: usize, out: &mut [u32]) {
+    macro_rules! dispatch {
+        ($($w:literal),*) => {
+            match width {
+                0 => out[..count].fill(0),
+                $($w => unpack_w::<$w>(words, count, out),)*
+                w => unpack_generic(words, u32::from(w), count, out),
+            }
+        };
+    }
+    dispatch!(
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 32
+    )
+}
+
+/// Fused gap decode: unpack `count` deltas of `width` bits and prefix-sum
+/// them into absolute document ids in one call —
+/// `out[0] = first`, `out[i] = out[i−1] + delta[i] + 1` (the block
+/// encoder stores `gap − 1` with a leading 0 slot). The width-0 case —
+/// consecutive ids, the densest runs — is a pure arithmetic fill that
+/// never reads the payload at all.
+#[inline]
+pub fn unpack_deltas_prefix_sum(
+    words: &[u64],
+    width: u8,
+    count: usize,
+    first: u32,
+    out: &mut [u32],
+) {
+    if count == 0 {
+        return;
+    }
+    if width == 0 {
+        let mut d = first;
+        for slot in out[..count].iter_mut() {
+            *slot = d;
+            d = d.wrapping_add(1);
+        }
+        return;
+    }
+    unpack_from(words, width, count, out);
+    let mut d = first;
+    out[0] = d;
+    for slot in out[1..count].iter_mut() {
+        d = d + *slot + 1;
+        *slot = d;
+    }
+}
+
+/// Unpack the `count` values starting at position `start` of a packed
+/// stream into `out[..count]` — the mini-block granular decode the cursor
+/// tf path uses: a pruned query that scores one posting of a block pays a
+/// 16-value decode of that posting's mini-block, not a 128-value bulk
+/// unpack.
+#[inline]
+pub fn unpack_slice(words: &[u64], width: u8, start: usize, count: usize, out: &mut [u32]) {
+    if width == 0 {
+        out[..count].fill(0);
+        return;
+    }
+    let w = u32::from(width);
+    let mask = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+    let mut bit = start * width as usize;
+    for slot in out.iter_mut().take(count) {
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let mut bits = words[word] >> off;
+        if off + w > 64 {
+            bits |= words[word + 1] << (64 - off);
+        }
+        *slot = (bits as u32) & mask;
+        bit += width as usize;
+    }
+}
+
 /// Unpack the single value at position `idx` of a packed stream — the
-/// point-lookup the lazy tf decode uses: a pruned query that scores one
-/// posting out of a block pays one two-word read instead of a 128-value
-/// bulk unpack.
+/// point lookup used by spot checks and the bound-table builder.
 #[inline]
 pub fn unpack_one(words: &[u64], width: u8, idx: usize) -> u32 {
     if width == 0 {
@@ -117,6 +265,17 @@ mod tests {
         assert_eq!(out, values, "width {width}");
         for (i, &v) in values.iter().enumerate() {
             assert_eq!(unpack_one(&words, width, i), v, "width {width} idx {i}");
+        }
+        // unpack_slice agrees on every aligned 16-value window.
+        let mut win = [0u32; 16];
+        for start in (0..values.len()).step_by(16) {
+            let n = (values.len() - start).min(16);
+            unpack_slice(&words, width, start, n, &mut win);
+            assert_eq!(
+                &win[..n],
+                &values[start..start + n],
+                "width {width} start {start}"
+            );
         }
     }
 
@@ -188,5 +347,73 @@ mod tests {
         let mut out_b = vec![0u32; b.len()];
         unpack_from(&words[b_off..], 8, b.len(), &mut out_b);
         assert_eq!(out_b, b);
+    }
+
+    fn fused_reference(deltas: &[u32], first: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(deltas.len());
+        let mut d = first;
+        out.push(d);
+        for &g in &deltas[1..] {
+            d = d + g + 1;
+            out.push(d);
+        }
+        out
+    }
+
+    #[test]
+    fn fused_prefix_sum_matches_two_pass_decode() {
+        for width in 1u8..=20 {
+            let max = (1u64 << width) as u32 - 1;
+            for n in [1usize, 2, 15, 16, 17, 64, 127, 128] {
+                let mut deltas: Vec<u32> = (0..n as u32)
+                    .map(|i| (i.wrapping_mul(2654435761)) & max)
+                    .collect();
+                deltas[0] = 0; // encoder stores a leading 0 slot
+                let mut words = Vec::new();
+                pack_into(&deltas, width, &mut words);
+                let mut out = vec![u32::MAX; n];
+                unpack_deltas_prefix_sum(&words, width, n, 42, &mut out);
+                assert_eq!(out, fused_reference(&deltas, 42), "width {width} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_width_zero_is_an_arithmetic_fill() {
+        // Equal gaps pack at width 0: the fused decode must produce the
+        // consecutive run without reading any payload words.
+        let mut out = [0u32; 128];
+        unpack_deltas_prefix_sum(&[], 0, 128, 1000, &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            assert_eq!(d, 1000 + i as u32);
+        }
+        let mut none: [u32; 4] = [7; 4];
+        unpack_deltas_prefix_sum(&[], 0, 0, 5, &mut none);
+        assert_eq!(none, [7; 4], "count 0 writes nothing");
+    }
+
+    #[test]
+    fn unpack_slice_covers_unaligned_windows() {
+        let values: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(7919) & 0x1FFF).collect();
+        for width in [13u8, 7, 16, 32] {
+            let capped: Vec<u32> = values
+                .iter()
+                .map(|&v| {
+                    if width == 32 {
+                        v
+                    } else {
+                        v & ((1u32 << width) - 1)
+                    }
+                })
+                .collect();
+            let mut words = Vec::new();
+            pack_into(&capped, width, &mut words);
+            let mut out = [0u32; 40];
+            for start in [0usize, 1, 13, 63, 64, 65, 199] {
+                let n = (capped.len() - start).min(40);
+                unpack_slice(&words, width, start, n, &mut out);
+                assert_eq!(&out[..n], &capped[start..start + n], "w {width} s {start}");
+            }
+        }
     }
 }
