@@ -34,6 +34,7 @@ pub mod e17;
 pub mod e18;
 pub mod e19;
 pub mod e2;
+pub mod e20;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -45,7 +46,7 @@ pub mod fixture;
 
 use crate::harness::{Scale, Table};
 
-/// Run one experiment by id ("e1" … "e19"), or all of them.
+/// Run one experiment by id ("e1" … "e20"), or all of them.
 pub fn run(id: &str, scale: Scale) -> Vec<Table> {
     match id {
         "e1" => vec![e1::run(scale)],
@@ -67,17 +68,18 @@ pub fn run(id: &str, scale: Scale) -> Vec<Table> {
         "e17" => vec![e17::run(scale)],
         "e18" => vec![e18::run(scale)],
         "e19" => vec![e19::run(scale)],
+        "e20" => vec![e20::run(scale)],
         "all" => {
             let ids = [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20",
             ];
             ids.iter().flat_map(|i| run(i, scale)).collect()
         }
         other => vec![{
             let mut t = Table::new("unknown experiment", &["id"]);
             t.row(vec![other.to_owned()]);
-            t.note("known ids: e1..e19, all");
+            t.note("known ids: e1..e20, all");
             t
         }],
     }

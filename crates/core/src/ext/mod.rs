@@ -16,7 +16,10 @@ pub mod tuple;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use moa_ir::{EngineSet, FragmentedIndex, PhysicalPlan, RankingModel, Strategy, SwitchPolicy};
+use moa_ir::{
+    EngineSet, ExecReport, FragmentedIndex, PhysicalPlan, RankingModel, Strategy, SwitchPolicy,
+};
+use moa_obs::PhaseAgg;
 use parking_lot::Mutex;
 
 use crate::cost::IrCostInfo;
@@ -175,6 +178,31 @@ impl IrRuntime {
                 Planner::default().plan(terms, n, &self.frag, self.model, self.policy)
             }
         }
+    }
+
+    /// Execute one specific physical plan for `terms`, returning the
+    /// full report, the engine's per-stage clocks, and the wall time —
+    /// the EXPLAIN ANALYZE hook. Measurement only: the planner is *not*
+    /// calibrated here, so analyzing every alternative side by side does
+    /// not skew the learned weights toward plans the planner would never
+    /// have chosen. The answer is bit-identical to [`IrRuntime::rank`]
+    /// executing the same plan — the stage clocks are reads of
+    /// already-running wall time, never a change to the evaluation.
+    pub fn execute_plan_analyzed(
+        &self,
+        plan: PhysicalPlan,
+        terms: &[u32],
+        n: usize,
+    ) -> Result<(ExecReport, PhaseAgg, std::time::Duration)> {
+        let mut guard = self.inner.lock();
+        let t0 = std::time::Instant::now();
+        let report = guard
+            .engines
+            .execute(plan, terms, n)
+            .map_err(CoreError::Ir)?;
+        let wall = t0.elapsed();
+        let phases = guard.engines.last_phases();
+        Ok((report, phases, wall))
     }
 
     /// Rank the collection for `terms`, returning the top `n` with the

@@ -2,6 +2,9 @@
 //! model, and (optionally) the MM retrieval runtime.
 
 use std::sync::Arc;
+use std::time::Instant;
+
+use moa_obs::{MetricsRegistry, Phase};
 
 use crate::cost::{CostContext, CostModel, Estimate};
 use crate::error::Result;
@@ -34,6 +37,11 @@ pub struct Session {
     optimizer: Optimizer,
     cost_model: CostModel,
     ir: Option<Arc<IrRuntime>>,
+    /// Session-level telemetry: EXPLAIN ANALYZE records one
+    /// `planner.misestimate.<operator>` histogram per physical strategy
+    /// (observed ÷ estimated postings, in percent), so a long-lived
+    /// session accumulates a calibration-quality profile per operator.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Session {
@@ -44,6 +52,7 @@ impl Session {
             optimizer: Optimizer::default(),
             cost_model: CostModel::default(),
             ir: None,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -168,6 +177,118 @@ impl Session {
             }
         }
         out
+    }
+
+    /// The session's metrics registry. EXPLAIN ANALYZE feeds the
+    /// `planner.misestimate.<operator>` histograms here; embedders can
+    /// render them with [`MetricsRegistry::render_text`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// EXPLAIN ANALYZE: everything [`Session::explain`] shows, then the
+    /// plan is *executed* and estimates sit next to observations.
+    ///
+    /// Three analyze sections follow the static explain:
+    ///
+    /// * **algebra execution** — the optimized plan runs through the
+    ///   normal [`Session::run`] path; estimated cost sits next to the
+    ///   observed abstract work units and wall time;
+    /// * **physical retrieval** — when the plan ranks a constant query
+    ///   over an attached IR runtime, *every feasible* physical strategy
+    ///   is executed side by side: estimated cost and postings against
+    ///   observed postings, the observed÷estimated ratio, and wall time,
+    ///   with the planner's choice marked `->`. Each row also records a
+    ///   `planner.misestimate.<operator>` sample (ratio in percent) into
+    ///   [`Session::metrics`], so repeated ANALYZE runs accumulate a
+    ///   calibration-quality histogram per operator;
+    /// * **stage walls** — the chosen strategy's per-stage clocks
+    ///   ([`moa_obs::PhaseAgg`]: plan, gate pass, decode, score, merge).
+    ///
+    /// Analyzing is measurement only: the rejected alternatives run
+    /// through [`IrRuntime::execute_plan_analyzed`], which does *not*
+    /// calibrate the planner, and the answers returned by every analyzed
+    /// execution are bit-identical to the uninstrumented path (pinned by
+    /// the oracle tests in `tests/explain_analyze.rs`).
+    pub fn explain_analyze(&self, expr: &Expr, env: &Env) -> Result<String> {
+        let mut out = self.explain(expr);
+        let (optimized, _) = self.optimizer.optimize(expr);
+
+        let est = self.estimate(&optimized).ok();
+        let t0 = Instant::now();
+        let report = self.run(expr, env)?;
+        let wall = t0.elapsed();
+        out.push_str("== analyze: algebra execution ==\n");
+        match est {
+            Some(e) => out.push_str(&format!(
+                "   est. cost {:.0} | observed work {} | wall {:.1}us\n",
+                e.cost,
+                report.work,
+                wall.as_nanos() as f64 / 1e3,
+            )),
+            None => out.push_str(&format!(
+                "   est. cost (unavailable) | observed work {} | wall {:.1}us\n",
+                report.work,
+                wall.as_nanos() as f64 / 1e3,
+            )),
+        }
+
+        let Some(ir) = &self.ir else { return Ok(out) };
+        let Some((terms, n)) = find_const_rank_query(&optimized) else {
+            return Ok(out);
+        };
+        let n = n.unwrap_or_else(|| ir.num_docs());
+        let decision = ir.plan_for(&terms, n)?;
+        out.push_str("== analyze: physical retrieval (estimated vs observed) ==\n");
+        out.push_str(&format!(
+            "   {:<22} {:>10} {:>10} {:>10} {:>8} {:>10}\n",
+            "operator", "est.cost", "est.post", "postings", "ratio", "wall"
+        ));
+        let mut chosen_phases = None;
+        for alt in decision.alternatives.iter().filter(|a| a.feasible) {
+            let (rep, phases, wall) = ir.execute_plan_analyzed(alt.plan, &terms, n)?;
+            let ratio = rep.postings_scanned as f64 / alt.est_postings.max(1.0);
+            self.metrics
+                .histogram(&format!("planner.misestimate.{}", alt.plan.name()))
+                .record((ratio * 100.0).round() as u64);
+            let marker = if alt.plan == decision.chosen {
+                "->"
+            } else {
+                "  "
+            };
+            out.push_str(&format!(
+                "{marker} {:<22} {:>10.0} {:>10.0} {:>10} {:>7.2}x {:>8.1}us\n",
+                alt.plan.name(),
+                alt.cost,
+                alt.est_postings,
+                rep.postings_scanned,
+                ratio,
+                wall.as_nanos() as f64 / 1e3,
+            ));
+            if alt.plan == decision.chosen {
+                chosen_phases = Some(phases);
+            }
+        }
+        if let Some(phases) = chosen_phases {
+            out.push_str("== analyze: chosen-operator stage walls ==\n   ");
+            let mut first = true;
+            for p in Phase::ALL {
+                let ns = phases.get(p);
+                if ns == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(" | ");
+                }
+                first = false;
+                out.push_str(&format!("{} {:.1}us", p.name(), ns as f64 / 1e3));
+            }
+            if first {
+                out.push_str("(no stage clocks recorded)");
+            }
+            out.push('\n');
+        }
+        Ok(out)
     }
 }
 

@@ -1,0 +1,140 @@
+//! EXPLAIN ANALYZE oracle: analyzed executions are measurement only.
+//!
+//! The acceptance bar for the telemetry work is that turning analysis on
+//! changes *nothing* about the answer: for every feasible physical
+//! strategy, the `(doc, score)` pairs returned through
+//! [`IrRuntime::execute_plan_analyzed`] must be bit-identical to a
+//! direct, uninstrumented [`moa_ir::EngineSet`] execution of the same
+//! plan over the same index. On top of that oracle, the rendered ANALYZE
+//! text must name every feasible strategy with estimated-vs-observed
+//! columns, and each analyzed row must leave a misestimate sample in the
+//! session's metrics registry.
+
+use std::sync::Arc;
+
+use moa_core::exec::Env;
+use moa_core::expr::Expr;
+use moa_core::ext::IrRuntime;
+use moa_core::{Planner, Session};
+use moa_corpus::{Collection, CollectionConfig};
+use moa_ir::{EngineSet, FragmentSpec, FragmentedIndex, InvertedIndex, RankingModel, SwitchPolicy};
+
+const TOP_N: i64 = 10;
+
+fn fragments() -> Arc<FragmentedIndex> {
+    let c = Collection::generate(CollectionConfig::tiny()).unwrap();
+    let idx = Arc::new(InvertedIndex::from_collection(&c));
+    Arc::new(FragmentedIndex::build(idx, FragmentSpec::VolumeFraction(0.3)).unwrap())
+}
+
+fn planned_runtime(frag: Arc<FragmentedIndex>) -> Arc<IrRuntime> {
+    Arc::new(IrRuntime::planned(
+        frag,
+        RankingModel::default(),
+        SwitchPolicy::default(),
+        Planner::default(),
+    ))
+}
+
+fn query_terms(rt: &IrRuntime) -> Vec<u32> {
+    let terms = rt.fragments().index().terms_by_df_asc();
+    vec![terms[terms.len() - 1], terms[terms.len() / 2], terms[0]]
+}
+
+fn rank_expr(terms: &[u32]) -> Expr {
+    let q = moa_core::Value::int_list(terms.iter().map(|&t| i64::from(t)));
+    Expr::mm_topn(Expr::mm_rank(Expr::constant(q)), TOP_N)
+}
+
+/// Every feasible strategy's analyzed answer is bit-identical to a
+/// direct uninstrumented execution of the same plan.
+#[test]
+fn analyzed_execution_is_bit_identical_to_direct_execution() {
+    let frag = fragments();
+    let rt = planned_runtime(Arc::clone(&frag));
+    let terms = query_terms(&rt);
+    let n = TOP_N as usize;
+
+    let decision = rt.plan_for(&terms, n).unwrap();
+    let mut oracle = EngineSet::new(frag, RankingModel::default(), SwitchPolicy::default());
+    let mut checked = 0;
+    for alt in decision.alternatives.iter().filter(|a| a.feasible) {
+        let (analyzed, phases, _wall) = rt.execute_plan_analyzed(alt.plan, &terms, n).unwrap();
+        let direct = oracle.execute(alt.plan, &terms, n).unwrap();
+        assert_eq!(
+            analyzed.top,
+            direct.top,
+            "analyzed {} diverged from direct execution",
+            alt.plan.name()
+        );
+        assert_eq!(analyzed.postings_scanned, direct.postings_scanned);
+        assert!(
+            !phases.is_empty(),
+            "{} recorded no stage clocks",
+            alt.plan.name()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected several feasible strategies");
+}
+
+/// The rendered ANALYZE output names every feasible strategy, marks the
+/// chosen one, and shows the per-stage walls and algebra section.
+#[test]
+fn explain_analyze_renders_every_feasible_strategy() {
+    let rt = planned_runtime(fragments());
+    let terms = query_terms(&rt);
+    let s = Session::with_ir(Arc::clone(&rt));
+    let e = rank_expr(&terms);
+
+    let text = s.explain_analyze(&e, &Env::new()).unwrap();
+    assert!(text.contains("== optimized plan =="));
+    assert!(text.contains("== analyze: algebra execution =="));
+    assert!(text.contains("== analyze: physical retrieval (estimated vs observed) =="));
+    assert!(text.contains("== analyze: chosen-operator stage walls =="));
+    assert!(text.contains("-> "), "chosen strategy must be marked");
+
+    let decision = rt.plan_for(&terms, TOP_N as usize).unwrap();
+    for alt in decision.alternatives.iter().filter(|a| a.feasible) {
+        assert!(
+            text.contains(alt.plan.name()),
+            "missing feasible strategy {} in:\n{text}",
+            alt.plan.name()
+        );
+    }
+}
+
+/// Each analyzed strategy records a `planner.misestimate.<operator>`
+/// sample into the session registry.
+#[test]
+fn explain_analyze_records_misestimate_histograms() {
+    let rt = planned_runtime(fragments());
+    let terms = query_terms(&rt);
+    let s = Session::with_ir(Arc::clone(&rt));
+    let e = rank_expr(&terms);
+
+    s.explain_analyze(&e, &Env::new()).unwrap();
+    s.explain_analyze(&e, &Env::new()).unwrap();
+
+    let decision = rt.plan_for(&terms, TOP_N as usize).unwrap();
+    for alt in decision.alternatives.iter().filter(|a| a.feasible) {
+        let h = s
+            .metrics()
+            .histogram(&format!("planner.misestimate.{}", alt.plan.name()));
+        assert_eq!(h.count(), 2, "two ANALYZE runs, two samples per operator");
+    }
+    let text = s.metrics().render_text();
+    assert!(text.contains("planner.misestimate."));
+}
+
+/// ANALYZE without an IR runtime (or without a rankable plan) still
+/// executes the algebra and reports observed work.
+#[test]
+fn explain_analyze_degrades_without_ir() {
+    let s = Session::new();
+    let e = Expr::list_sum(Expr::constant(moa_core::Value::int_list([1, 2, 3])));
+    let text = s.explain_analyze(&e, &Env::new()).unwrap();
+    assert!(text.contains("== analyze: algebra execution =="));
+    assert!(text.contains("observed work"));
+    assert!(!text.contains("physical retrieval (estimated vs observed)"));
+}

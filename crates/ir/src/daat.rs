@@ -50,6 +50,9 @@
 //! (see `crates/ir/tests/alloc_steady_state.rs`).
 
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use moa_obs::Phase;
 
 use crate::error::Result;
 use crate::index::InvertedIndex;
@@ -231,6 +234,11 @@ impl<'a> DaatSearcher<'a> {
         gate: &BoundGate,
         scratch: &mut QueryScratch,
     ) -> Result<DaatStats> {
+        // Stage clocks: one `Instant` read per stage *boundary* — setup
+        // (gate pass), warm-up merge (decode), pruned scan (score), heap
+        // drain (merge) — never inside the per-posting loops, so the
+        // telemetry cost is a few clock reads per query.
+        let t_gate_pass = Instant::now();
         let bounds = self.bounds();
         let blocks = self.index.blocks();
         let m = terms.len();
@@ -248,6 +256,7 @@ impl<'a> DaatSearcher<'a> {
             ne_prefix,
             heap,
             out,
+            phases,
             ..
         } = scratch;
 
@@ -290,8 +299,10 @@ impl<'a> DaatSearcher<'a> {
         // Per-document contributions, indexed by original query position so
         // the final sum replays the exhaustive merge's addition order.
         contrib.resize(m, 0.0);
+        phases.add(Phase::GatePass, t_gate_pass.elapsed());
 
         let mut stats = DaatStats::default();
+        let t_decode = Instant::now();
 
         // Phase 1 — warm-up merge: while the heap is not full every
         // candidate enters, so no bound bookkeeping pays off yet (the
@@ -348,6 +359,8 @@ impl<'a> DaatSearcher<'a> {
         {
             first_essential += 1;
         }
+        phases.add(Phase::Decode, t_decode.elapsed());
+        let t_score = Instant::now();
 
         // Phase 2 — bounds-pruned scan.
         loop {
@@ -600,9 +613,12 @@ impl<'a> DaatSearcher<'a> {
             let len = blocks.view(metas[i].term).len();
             stats.docs_skipped += len - (pos[i].base + pos[i].idx).min(len);
         }
+        phases.add(Phase::Score, t_score.elapsed());
 
+        let t_merge = Instant::now();
         stats.candidates = heap.pushes();
         heap.extract_sorted_into(out);
+        phases.add(Phase::Merge, t_merge.elapsed());
         Ok(stats)
     }
 
@@ -640,6 +656,7 @@ impl<'a> DaatSearcher<'a> {
         gate: &BoundGate,
         scratch: &mut QueryScratch,
     ) -> Result<DaatStats> {
+        let t_gate_pass = Instant::now();
         let blocks = self.index.blocks();
         let m = terms.len();
         scratch.begin(m, n);
@@ -650,6 +667,7 @@ impl<'a> DaatSearcher<'a> {
             cur,
             heap,
             out,
+            phases,
             ..
         } = scratch;
         // States stay in query order, so the addition order matches the
@@ -672,8 +690,12 @@ impl<'a> DaatSearcher<'a> {
             cur.push(view.doc_at(&p, &bufs[i]).unwrap_or(u32::MAX));
             pos.push(p);
         }
+        phases.add(Phase::GatePass, t_gate_pass.elapsed());
 
         let mut stats = DaatStats::default();
+        // The exhaustive merge has no pruned-scan stage: every posting is
+        // decoded and scored, so the whole loop is one decode span.
+        let t_decode = Instant::now();
         loop {
             let next_doc = cur.iter().copied().min().unwrap_or(u32::MAX);
             if next_doc == u32::MAX {
@@ -702,9 +724,12 @@ impl<'a> DaatSearcher<'a> {
             }
             heap.push(next_doc, score);
         }
+        phases.add(Phase::Decode, t_decode.elapsed());
 
+        let t_merge = Instant::now();
         stats.candidates = heap.pushes();
         heap.extract_sorted_into(out);
+        phases.add(Phase::Merge, t_merge.elapsed());
         Ok(stats)
     }
 }

@@ -100,6 +100,14 @@ impl DeadlineGate {
     pub fn remaining(&self) -> Duration {
         self.deadline.saturating_duration_since(Instant::now())
     }
+
+    /// Lifetime count of [`DeadlineGate::poll`] calls — the telemetry
+    /// observable behind the deadline-overhead story: polls ÷
+    /// [`POLL_STRIDE`] bounds the clock reads an evaluation paid for its
+    /// deadline discipline.
+    pub fn polls(&self) -> u32 {
+        self.polls.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +122,7 @@ mod tests {
         }
         assert!(!g.is_expired());
         assert!(g.remaining() > Duration::from_secs(3000));
+        assert_eq!(g.polls(), POLL_STRIDE * 4, "every poll is counted");
     }
 
     #[test]

@@ -118,12 +118,18 @@ impl ExecReport {
     /// left untouched) — the aggregation primitive the experiments use
     /// instead of copying fields by hand. Partiality is sticky: an
     /// aggregate over any truncated execution is itself partial.
+    ///
+    /// Saturating: a sustained-load run folds millions of reports into
+    /// one ledger, and on a 32-bit `usize` that can genuinely reach the
+    /// ceiling — an aggregate that clamps at `usize::MAX` reads as "at
+    /// least this much work", where a wrapped one silently reads as
+    /// almost none.
     pub fn absorb(&mut self, other: &ExecReport) {
-        self.postings_scanned += other.postings_scanned;
-        self.docs_skipped += other.docs_skipped;
-        self.seeks += other.seeks;
-        self.bound_exits += other.bound_exits;
-        self.candidates += other.candidates;
+        self.postings_scanned = self.postings_scanned.saturating_add(other.postings_scanned);
+        self.docs_skipped = self.docs_skipped.saturating_add(other.docs_skipped);
+        self.seeks = self.seeks.saturating_add(other.seeks);
+        self.bound_exits = self.bound_exits.saturating_add(other.bound_exits);
+        self.candidates = self.candidates.saturating_add(other.candidates);
         self.partial |= other.partial;
     }
 }
@@ -360,6 +366,16 @@ impl EngineSet {
         self.scratch.queries_begun()
     }
 
+    /// Per-phase wall times of the most recent
+    /// [`EngineSet::execute`]/[`EngineSet::execute_gated`] call: gate
+    /// pass / decode / score / merge for the DAAT paths, a single score
+    /// span for the set-at-a-time and fragmented paths (whose decode and
+    /// scoring interleave with no cheap stage boundary). A `Copy`
+    /// snapshot — callers fold it into traces without holding the engine.
+    pub fn last_phases(&self) -> moa_obs::PhaseAgg {
+        self.scratch.phases()
+    }
+
     /// Restore every piece of cross-query execution state to a sound
     /// baseline after an *abandoned* evaluation — one that unwound out of
     /// an engine path mid-query (a panic caught at a serving-worker
@@ -412,17 +428,34 @@ impl EngineSet {
             PhysicalPlan::SetAtATime => {
                 // Swap the long-lived accumulator through a short-lived
                 // searcher view: no per-query O(num_docs) allocation.
+                // Decode and accumulation interleave per term run inside
+                // the searcher, so the whole call is one score span (the
+                // DAAT paths, which have real stage boundaries, break
+                // theirs down further).
+                self.scratch.phases.reset();
+                let t_score = std::time::Instant::now();
                 let accum = std::mem::replace(&mut self.saat_accum, EpochAccumulator::new(0));
                 let mut searcher =
                     Searcher::with_state(self.frag.index(), Arc::clone(&self.kernel), accum);
                 let report = searcher.search_gated(terms, n, gate).map(ExecReport::from);
                 self.saat_accum = searcher.into_accum();
+                self.scratch
+                    .phases
+                    .add(moa_obs::Phase::Score, t_score.elapsed());
                 report
             }
-            PhysicalPlan::Fragmented(strategy) => self
-                .frag_searcher
-                .search_gated(terms, n, strategy, gate)
-                .map(ExecReport::from),
+            PhysicalPlan::Fragmented(strategy) => {
+                self.scratch.phases.reset();
+                let t_score = std::time::Instant::now();
+                let report = self
+                    .frag_searcher
+                    .search_gated(terms, n, strategy, gate)
+                    .map(ExecReport::from);
+                self.scratch
+                    .phases
+                    .add(moa_obs::Phase::Score, t_score.elapsed());
+                report
+            }
         };
         let report = report?;
         // A complete top-N proves N documents of at least the tail score
@@ -552,6 +585,34 @@ mod tests {
         };
         total.absorb(&p);
         assert!(total.partial, "partiality must be sticky under absorb");
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_wrapping() {
+        // A sustained-load ledger near the usize ceiling must clamp, not
+        // wrap to a tiny figure that reads as "almost no work".
+        let mut total = ExecReport {
+            postings_scanned: usize::MAX - 5,
+            docs_skipped: usize::MAX,
+            seeks: usize::MAX - 1,
+            bound_exits: 0,
+            candidates: usize::MAX / 2 + 1,
+            ..ExecReport::default()
+        };
+        let more = ExecReport {
+            postings_scanned: 10,
+            docs_skipped: 1,
+            seeks: 1,
+            bound_exits: usize::MAX,
+            candidates: usize::MAX / 2 + 1,
+            ..ExecReport::default()
+        };
+        total.absorb(&more);
+        assert_eq!(total.postings_scanned, usize::MAX);
+        assert_eq!(total.docs_skipped, usize::MAX);
+        assert_eq!(total.seeks, usize::MAX);
+        assert_eq!(total.bound_exits, usize::MAX);
+        assert_eq!(total.candidates, usize::MAX);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! they outlive queries against different indexes — and it keeps the hot
 //! min-scan over current documents in one dense `u32` array.
 
+use moa_obs::PhaseAgg;
 use moa_topn::TopNHeap;
 
 use crate::blocks::{CursorBuf, CursorPos};
@@ -83,6 +84,13 @@ pub struct QueryScratch {
     /// The current query's results, best first — filled by the `_into`
     /// search entry points in place of an allocated report.
     pub out: Vec<(u32, f64)>,
+    /// Per-phase wall time of the query currently (or last) served out of
+    /// this arena: a plain `Copy` aggregate written at *stage boundaries*
+    /// (a handful of clock reads per query, nothing per posting), reset by
+    /// [`QueryScratch::begin`]. Zero-allocation like the rest of the
+    /// arena — the telemetry contract is pinned alongside the execution
+    /// one in `crates/ir/tests/alloc_steady_state.rs`.
+    pub(crate) phases: PhaseAgg,
     /// Queries this arena has begun serving over its lifetime. Never
     /// reset: a serving worker that truly reuses one arena across a whole
     /// stream shows the stream's length here, which is how the pool
@@ -108,8 +116,15 @@ impl QueryScratch {
             ne_prefix: Vec::new(),
             heap: TopNHeap::new(0),
             out: Vec::new(),
+            phases: PhaseAgg::new(),
             queries_begun: 0,
         }
+    }
+
+    /// Per-phase wall times of the most recent query served out of this
+    /// arena (see [`moa_obs::Phase`] for the vocabulary).
+    pub fn phases(&self) -> PhaseAgg {
+        self.phases
     }
 
     /// Lifetime count of queries this arena has begun serving (monotone;
@@ -123,6 +138,7 @@ impl QueryScratch {
     /// wider than any seen before.
     pub(crate) fn begin(&mut self, m: usize, n: usize) {
         self.queries_begun += 1;
+        self.phases.reset();
         self.metas.clear();
         self.pos.clear();
         self.cur.clear();

@@ -1,0 +1,121 @@
+//! A bounded structured event log.
+//!
+//! Rare, structured occurrences — worker panics, respawns, shed storms —
+//! want history with ordering, not a counter. [`EventLog`] keeps the
+//! most recent `cap` events with monotone sequence numbers and counts
+//! what it had to drop. It replaces ad-hoc `Vec` bookkeeping (the old
+//! `ShardPool::panic_log`) with one audited primitive.
+//!
+//! Events are rare by definition, so this takes a mutex per record —
+//! it is *not* a hot-path structure; per-query signals belong in
+//! [`crate::metrics`] or [`crate::trace`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+struct Inner<T> {
+    events: VecDeque<(u64, T)>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, sequence-numbered event history.
+pub struct EventLog<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+}
+
+impl<T> std::fmt::Debug for EventLog<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventLog(cap {})", self.cap)
+    }
+}
+
+impl<T: Clone> EventLog<T> {
+    /// A log retaining the most recent `cap` events.
+    pub fn with_capacity(cap: usize) -> EventLog<T> {
+        EventLog {
+            inner: Mutex::new(Inner {
+                events: VecDeque::with_capacity(cap),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            cap,
+        }
+    }
+
+    /// Record an event, evicting the oldest when full. Returns its
+    /// sequence number.
+    pub fn record(&self, event: T) -> u64 {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if self.cap == 0 {
+            g.dropped += 1;
+            return seq;
+        }
+        if g.events.len() == self.cap {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back((seq, event));
+        seq
+    }
+
+    /// The retained events with their sequence numbers, oldest first.
+    pub fn snapshot(&self) -> Vec<(u64, T)> {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.events.iter().cloned().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of events recorded (retained or evicted).
+    pub fn recorded(&self) -> u64 {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.next_seq
+    }
+
+    /// Events evicted or discarded for capacity.
+    pub fn dropped(&self) -> u64 {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_keep_sequence_and_evict_oldest() {
+        let log = EventLog::with_capacity(2);
+        assert!(log.is_empty());
+        assert_eq!(log.record("a"), 0);
+        assert_eq!(log.record("b"), 1);
+        assert_eq!(log.record("c"), 2);
+        let got = log.snapshot();
+        assert_eq!(got, vec![(1, "b"), (2, "c")]);
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_counts_only() {
+        let log = EventLog::with_capacity(0);
+        log.record(1u32);
+        assert!(log.is_empty());
+        assert_eq!(log.recorded(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Query-lifecycle observability for the `moa` engine.
+//!
+//! Every layer of the engine emits signals — admission sheds, queue
+//! depths, per-shard execution counters, planner estimates — and before
+//! this crate each layer kept its own ad-hoc bookkeeping. `moa_obs` is
+//! the shared substrate: allocation-free primitives the hot path can
+//! touch on every query, behind a registry that renders deterministic
+//! text and JSON snapshots for experiments and CI gates.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The record path allocates nothing.** Counters, gauges, and
+//!    histograms are fixed blocks of atomics; traces are `Copy` structs
+//!    written into preallocated ring buffers; the slow-query log only
+//!    invokes its entry constructor *after* the admission check passes.
+//!    The counting-allocator test in `tests/alloc_telemetry.rs` pins
+//!    this.
+//! 2. **Readers never stall writers.** Snapshots read the same atomics
+//!    with relaxed ordering; registration takes a lock, recording never
+//!    does (callers hold `Arc`s to their own metrics).
+//! 3. **No dependencies.** The crate sits below every other `moa` crate
+//!    and must never create a cycle or drag in a shim.
+//!
+//! Module map:
+//!
+//! * [`metrics`] — [`Counter`], [`Gauge`] (with high-water),
+//!   [`Histogram`] (fixed log₂ buckets, nearest-rank percentiles).
+//! * [`registry`] — [`MetricsRegistry`]: named get-or-register handles,
+//!   sorted text/JSON exposition.
+//! * [`phase`] — the span vocabulary: [`Phase`] and the plain
+//!   per-query aggregate [`PhaseAgg`].
+//! * [`trace`] — [`QueryTrace`] (a `Copy` span record) and
+//!   [`TraceRing`] (preallocated per-worker ring buffer).
+//! * [`events`] — [`EventLog`]: bounded structured event history with
+//!   sequence numbers and drop accounting.
+//! * [`slowlog`] — [`SlowLog`]: bounded worst-K retention keyed by
+//!   latency, lazy entry construction.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod phase;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use events::EventLog;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use phase::{Phase, PhaseAgg};
+pub use registry::MetricsRegistry;
+pub use slowlog::SlowLog;
+pub use trace::{QueryTrace, Span, TraceRing, MAX_SPANS};

@@ -1,0 +1,310 @@
+//! Lock-free metric primitives: counters, high-water gauges, and
+//! fixed-bucket log₂ latency histograms.
+//!
+//! All three are fixed blocks of `AtomicU64` with relaxed ordering:
+//! recording is a handful of atomic RMW instructions, never a lock or an
+//! allocation, so the serving hot path can touch them per query. Reads
+//! (snapshots, percentiles) observe each atomic independently — a
+//! snapshot taken concurrently with writers is a consistent-enough view
+//! for monitoring, not a linearizable cut, which is the standard
+//! trade-off for this kind of registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. Wrapping at u64 is accepted (centuries away at any
+    /// realistic rate); the saturating discipline matters for the
+    /// *usize-typed aggregation* paths, which use `saturating_add`
+    /// explicitly.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level with a lifetime high-water mark.
+///
+/// `set`/`add`/`sub` maintain the current value; every update also
+/// folds into the high-water mark with a `fetch_max`, so the deepest
+/// level ever reached survives later drains and resets of the current
+/// value. This replaces the ad-hoc high-water tracking that used to
+/// live inside the serve crate's `QueueGauge`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the current level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raise the current level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed).saturating_add(n);
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lower the current level by `n` (saturating at zero under races:
+    /// a drop below zero clamps rather than wrapping to u64::MAX).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime high-water mark.
+    #[inline]
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `b`
+/// (1 ≤ b ≤ 64) holds values in `[2^(b-1), 2^b)`. 65 buckets cover the
+/// full u64 range, so `record` never clamps.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram of u64 samples (typically
+/// nanoseconds).
+///
+/// Recording is one `fetch_add` on the bucket plus count/sum updates —
+/// no allocation, no lock, no floating point. Percentiles are
+/// nearest-rank over the bucket counts and return the *upper bound* of
+/// the selected bucket, so a reported p99 is a value ≥ the exact
+/// nearest-rank p99 and within 2× of it (one bucket of log₂
+/// resolution). The proptest in `tests/histogram_quantiles.rs` pins
+/// this against an exact oracle.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `b` can hold (its representative: the
+    /// value percentiles report).
+    #[inline]
+    pub fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping; meaningful for means at realistic
+    /// volumes).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank percentile (`q` in (0, 100]): the upper bound of the
+    /// bucket containing the sample of rank `ceil(q/100 × count)`.
+    /// `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        self.snapshot().percentile(q)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], for rendering and
+/// percentile queries without re-reading the atomics per rank.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total samples (may drift ±1 from the bucket sum under concurrent
+    /// writers; percentiles use the bucket sum).
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile over the snapshot (see
+    /// [`Histogram::percentile`]).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Histogram::bucket_upper(b));
+            }
+        }
+        Some(Histogram::bucket_upper(NUM_BUCKETS - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let g = Gauge::new();
+        g.add(3);
+        g.add(2);
+        assert_eq!(g.get(), 5);
+        g.sub(4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 5);
+        g.set(2);
+        assert_eq!(g.high_water(), 5);
+        g.set(9);
+        assert_eq!(g.high_water(), 9);
+        // Saturating drop: never wraps.
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+        // Every value sits within its bucket's range.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            assert!(v <= Histogram::bucket_upper(Histogram::bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        h.record(10);
+        assert_eq!(h.percentile(50.0), Some(Histogram::bucket_upper(4)));
+        assert_eq!(h.percentile(99.0), Some(Histogram::bucket_upper(4)));
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1015);
+        // rank ceil(0.5*5)=3 → third sample (4) → bucket 3, upper 7.
+        assert_eq!(h.percentile(50.0), Some(7));
+        // rank ceil(0.99*5)=5 → 1000 → bucket 10, upper 1023.
+        assert_eq!(h.percentile(99.0), Some(1023));
+    }
+}

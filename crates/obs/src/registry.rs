@@ -1,0 +1,213 @@
+//! The metrics registry: named get-or-register handles and
+//! deterministic exposition snapshots.
+//!
+//! Registration (startup, not the hot path) takes a mutex and may
+//! allocate; it hands back an `Arc` to the primitive, and all recording
+//! happens through that handle without touching the registry again.
+//! Snapshots render metrics sorted by name, so text/JSON output is
+//! stable across runs and directly diffable in tests and CI artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of metric primitives. Cheap to share via `Arc`;
+/// one per serving session (plus one per `Session` for planner
+/// telemetry).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsRegistry")
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = g.counters.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        g.counters.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(x) = g.gauges.get(name) {
+            return Arc::clone(x);
+        }
+        let x = Arc::new(Gauge::new());
+        g.gauges.insert(name.to_owned(), Arc::clone(&x));
+        x
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = g.histograms.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        g.histograms.insert(name.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Render every metric as `name kind value` lines, sorted by name
+    /// within each kind. Histograms expose count/sum/p50/p95/p99.
+    pub fn render_text(&self) -> String {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, c) in &g.counters {
+            let _ = writeln!(out, "{name} counter {}", c.get());
+        }
+        for (name, x) in &g.gauges {
+            let _ = writeln!(
+                out,
+                "{name} gauge {} high_water {}",
+                x.get(),
+                x.high_water()
+            );
+        }
+        for (name, h) in &g.histograms {
+            let s = h.snapshot();
+            let _ = writeln!(
+                out,
+                "{name} histogram count {} sum {} p50 {} p95 {} p99 {}",
+                s.count,
+                s.sum,
+                s.percentile(50.0).unwrap_or(0),
+                s.percentile(95.0).unwrap_or(0),
+                s.percentile(99.0).unwrap_or(0),
+            );
+        }
+        out
+    }
+
+    /// Render every metric as one JSON object, keys sorted within each
+    /// kind (hand-rolled like the experiment emitters; no serializer
+    /// dependency).
+    pub fn render_json(&self) -> String {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {");
+        for (i, (name, c)) in g.counters.iter().enumerate() {
+            let comma = if i + 1 < g.counters.len() { "," } else { "" };
+            let _ = write!(out, "\n    \"{name}\": {}{comma}", c.get());
+        }
+        out.push_str(if g.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, x)) in g.gauges.iter().enumerate() {
+            let comma = if i + 1 < g.gauges.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"value\": {}, \"high_water\": {}}}{comma}",
+                x.get(),
+                x.high_water()
+            );
+        }
+        out.push_str(if g.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in g.histograms.iter().enumerate() {
+            let comma = if i + 1 < g.histograms.len() { "," } else { "" };
+            let s = h.snapshot();
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}{comma}",
+                s.count,
+                s.sum,
+                s.percentile(50.0).unwrap_or(0),
+                s.percentile(95.0).unwrap_or(0),
+                s.percentile(99.0).unwrap_or(0),
+            );
+        }
+        out.push_str(if g.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("serve.queries");
+        let b = r.counter("serve.queries");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let g1 = r.gauge("depth");
+        let g2 = r.gauge("depth");
+        g1.set(9);
+        assert_eq!(g2.high_water(), 9);
+        let h1 = r.histogram("lat");
+        let h2 = r.histogram("lat");
+        h1.record(100);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn text_exposition_is_sorted_and_complete() {
+        let r = MetricsRegistry::new();
+        r.counter("b.second").incr();
+        r.counter("a.first").add(2);
+        r.gauge("queue").set(4);
+        r.histogram("lat").record(1000);
+        let text = r.render_text();
+        let a = text.find("a.first counter 2").expect("counter a");
+        let b = text.find("b.second counter 1").expect("counter b");
+        assert!(a < b, "counters sorted by name");
+        assert!(text.contains("queue gauge 4 high_water 4"));
+        assert!(text.contains("lat histogram count 1 sum 1000"));
+    }
+
+    #[test]
+    fn json_exposition_is_balanced() {
+        let r = MetricsRegistry::new();
+        let json = r.render_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        r.counter("c").incr();
+        r.gauge("g").set(1);
+        r.histogram("h").record(5);
+        let json = r.render_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"c\": 1"));
+        assert!(json.contains("\"high_water\": 1"));
+        assert!(json.contains("\"count\": 1"));
+    }
+}

@@ -1,0 +1,147 @@
+//! A bounded worst-K slow-query log with lazy entry construction.
+//!
+//! The log retains the K entries with the largest keys (latency in
+//! nanoseconds). The allocation discipline is the point: callers offer
+//! `(key, closure)` and the closure — which typically clones terms and
+//! builds the retained record — runs **only after** the key beats the
+//! current admission threshold. In steady state, where almost every
+//! query is faster than the retained worst-K, an offer is one mutex
+//! acquisition and one integer compare: no allocation, nothing built.
+
+use std::sync::Mutex;
+
+struct Inner<T> {
+    entries: Vec<(u64, T)>,
+}
+
+/// Worst-K retention keyed by `u64` (larger = slower = kept).
+pub struct SlowLog<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+}
+
+impl<T> std::fmt::Debug for SlowLog<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SlowLog(cap {})", self.cap)
+    }
+}
+
+impl<T> SlowLog<T> {
+    /// A log retaining the `cap` largest-keyed entries.
+    pub fn with_capacity(cap: usize) -> SlowLog<T> {
+        SlowLog {
+            inner: Mutex::new(Inner {
+                entries: Vec::with_capacity(cap),
+            }),
+            cap,
+        }
+    }
+
+    /// Offer an entry. `make` is invoked only if `key` is admitted
+    /// (log not yet full, or `key` strictly beats the smallest retained
+    /// key). Returns whether the entry was retained.
+    pub fn offer_with(&self, key: u64, make: impl FnOnce() -> T) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.entries.len() < self.cap {
+            let entry = make();
+            g.entries.push((key, entry));
+            return true;
+        }
+        // K is small (a config knob, not a data structure): a linear
+        // argmin beats heap bookkeeping and keeps the reject path to one
+        // scan of K integers.
+        let (min_i, min_key) = g
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (i, *k))
+            .min_by_key(|&(_, k)| k)
+            .expect("cap > 0 and full");
+        if key <= min_key {
+            return false;
+        }
+        let entry = make();
+        g.entries[min_i] = (key, entry);
+        true
+    }
+
+    /// The smallest key an offer must beat to be admitted (`None` while
+    /// the log still has room; `Some(0)` means everything admits).
+    pub fn threshold(&self) -> Option<u64> {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.entries.len() < self.cap {
+            None
+        } else {
+            g.entries.iter().map(|(k, _)| *k).min()
+        }
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return every entry, worst (largest key) first.
+    pub fn drain_sorted(&self) -> Vec<(u64, T)> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = std::mem::take(&mut g.entries);
+        out.sort_by_key(|e| std::cmp::Reverse(e.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn retains_worst_k_sorted() {
+        let log = SlowLog::with_capacity(3);
+        for (key, name) in [(10, "a"), (50, "b"), (30, "c"), (5, "d"), (40, "e")] {
+            log.offer_with(key, || name);
+        }
+        assert_eq!(log.len(), 3);
+        let got = log.drain_sorted();
+        assert_eq!(got, vec![(50, "b"), (40, "e"), (30, "c")]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rejected_offers_never_construct() {
+        let built = AtomicUsize::new(0);
+        let log = SlowLog::with_capacity(2);
+        let mk = || {
+            built.fetch_add(1, Ordering::Relaxed);
+            "entry"
+        };
+        assert!(log.offer_with(100, mk));
+        assert!(log.offer_with(200, mk));
+        assert_eq!(log.threshold(), Some(100));
+        // Below or at the threshold: the closure must not run.
+        assert!(!log.offer_with(50, mk));
+        assert!(!log.offer_with(100, mk));
+        assert_eq!(built.load(Ordering::Relaxed), 2);
+        // Above it: admitted, evicting the old minimum.
+        assert!(log.offer_with(150, mk));
+        assert_eq!(built.load(Ordering::Relaxed), 3);
+        assert_eq!(log.threshold(), Some(150));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let log: SlowLog<&str> = SlowLog::with_capacity(0);
+        assert!(!log.offer_with(u64::MAX, || unreachable!("cap 0 never constructs")));
+        assert!(log.is_empty());
+        assert_eq!(log.threshold(), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Query traces: `Copy` span records written into preallocated ring
+//! buffers.
+//!
+//! A [`QueryTrace`] is a fixed-size value — a small array of
+//! [`Span`]s plus identity tags — so recording one is a memcpy into a
+//! slot of a [`TraceRing`] the worker allocated at startup. Nothing on
+//! the record path allocates, boxes, or formats; rendering happens only
+//! when a trace is drained for display (EXPLAIN ANALYZE, the slow-query
+//! log, tests).
+
+use std::fmt::Write as _;
+
+use crate::phase::{Phase, PhaseAgg};
+
+/// Spans a single trace can hold — one per [`Phase`] plus headroom for
+/// repeated phases (e.g. a retried shard). Pushes beyond this are
+/// dropped, counted in [`QueryTrace::dropped_spans`].
+pub const MAX_SPANS: usize = 12;
+
+/// One timed stage of a query's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Which lifecycle stage.
+    pub phase: Phase,
+    /// Time spent, nanoseconds.
+    pub nanos: u64,
+}
+
+/// The recorded lifecycle of one query on one shard (or, for the
+/// batch-level spans, of one batch): identity tags plus up to
+/// [`MAX_SPANS`] spans. `Copy` by design — recording is a slot write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Monotone batch sequence number (0 for unbatched execution).
+    pub batch: u64,
+    /// Query position within its batch.
+    pub query: u32,
+    /// Shard that executed it (`u32::MAX` for batch-level traces).
+    pub shard: u32,
+    /// Stable name of the physical plan that ran (empty when no plan was
+    /// involved, e.g. batch-level merge spans).
+    pub plan: &'static str,
+    /// End-to-end wall time on this shard, nanoseconds.
+    pub wall_ns: u64,
+    /// Whether the execution was cut short (deadline/partial result).
+    pub partial: bool,
+    spans: [Span; MAX_SPANS],
+    len: u8,
+    dropped: u8,
+}
+
+impl QueryTrace {
+    /// An empty trace tagged with its identity.
+    pub fn new(batch: u64, query: u32, shard: u32) -> QueryTrace {
+        QueryTrace {
+            batch,
+            query,
+            shard,
+            plan: "",
+            wall_ns: 0,
+            partial: false,
+            spans: [Span::default(); MAX_SPANS],
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append a span; silently dropped (and counted) once full.
+    #[inline]
+    pub fn push(&mut self, phase: Phase, nanos: u64) {
+        if (self.len as usize) < MAX_SPANS {
+            self.spans[self.len as usize] = Span { phase, nanos };
+            self.len += 1;
+        } else {
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Append every non-zero phase of an aggregate, in lifecycle order.
+    pub fn push_phases(&mut self, agg: &PhaseAgg) {
+        for p in Phase::ALL {
+            let ns = agg.get(p);
+            if ns > 0 {
+                self.push(p, ns);
+            }
+        }
+    }
+
+    /// The recorded spans, in push order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans[..self.len as usize]
+    }
+
+    /// Spans that did not fit.
+    pub fn dropped_spans(&self) -> u8 {
+        self.dropped
+    }
+
+    /// Render one human-readable line (allocates; drain-time only).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "batch {} query {} shard {}",
+            self.batch, self.query, self.shard
+        );
+        if !self.plan.is_empty() {
+            let _ = write!(out, " plan {}", self.plan);
+        }
+        let _ = write!(out, " wall {}us", self.wall_ns / 1_000);
+        if self.partial {
+            out.push_str(" PARTIAL");
+        }
+        for s in self.spans() {
+            let _ = write!(out, " | {} {}us", s.phase, s.nanos / 1_000);
+        }
+        out
+    }
+}
+
+/// A preallocated ring of [`QueryTrace`]s: each worker owns one sized at
+/// startup, and `record` overwrites the oldest slot once full — constant
+/// memory, zero allocation, recent history always available.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<QueryTrace>,
+    cap: usize,
+    next: usize,
+    recorded: u64,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `cap` traces (all slots
+    /// preallocated here, never on the record path).
+    pub fn with_capacity(cap: usize) -> TraceRing {
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Record a trace: a slot write, overwriting the oldest once the
+    /// ring is full. A zero-capacity ring counts and discards.
+    #[inline]
+    pub fn record(&mut self, trace: QueryTrace) {
+        self.recorded += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(trace);
+        } else {
+            self.buf[self.next] = trace;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Traces currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime count of traces recorded (retained or overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The retained traces, oldest first (allocates; drain-time only).
+    pub fn snapshot(&self) -> Vec<QueryTrace> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_spans_in_order() {
+        let mut t = QueryTrace::new(7, 3, 1);
+        t.plan = "pruned_daat";
+        t.wall_ns = 42_000;
+        t.push(Phase::QueueWait, 5_000);
+        let mut agg = PhaseAgg::new();
+        agg.add_ns(Phase::GatePass, 1_000);
+        agg.add_ns(Phase::Score, 30_000);
+        t.push_phases(&agg);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].phase, Phase::QueueWait);
+        assert_eq!(spans[1].phase, Phase::GatePass);
+        assert_eq!(spans[2].phase, Phase::Score);
+        let line = t.render();
+        assert!(line.contains("pruned_daat"));
+        assert!(line.contains("score 30us"));
+    }
+
+    #[test]
+    fn trace_drops_beyond_capacity() {
+        let mut t = QueryTrace::new(0, 0, 0);
+        for i in 0..(MAX_SPANS + 3) {
+            t.push(Phase::Score, i as u64);
+        }
+        assert_eq!(t.spans().len(), MAX_SPANS);
+        assert_eq!(t.dropped_spans(), 3);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = TraceRing::with_capacity(3);
+        assert!(r.is_empty());
+        for q in 0..5u32 {
+            r.record(QueryTrace::new(0, q, 0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        let kept: Vec<u32> = r.snapshot().iter().map(|t| t.query).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_discards() {
+        let mut r = TraceRing::with_capacity(0);
+        r.record(QueryTrace::new(0, 0, 0));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.recorded(), 1);
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Counting-allocator proof that the telemetry record path is
+//! allocation-free.
+//!
+//! The observability contract (mirroring the execution arena's proof in
+//! `crates/ir/tests/alloc_steady_state.rs`): once the primitives exist —
+//! registry handles resolved, ring buffers preallocated, slow log at
+//! capacity — recording a metric, a phase timing, or a trace performs
+//! **zero heap allocations**, and a steady-state slow-log offer (one
+//! that loses to the retained worst-K) constructs nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use moa_obs::{MetricsRegistry, Phase, PhaseAgg, QueryTrace, SlowLog, TraceRing};
+
+struct CountingAlloc;
+
+// Per-thread counter: the libtest harness thread allocates (output
+// buffering) concurrently with the test thread, so a process-global
+// counter would flake. The const initializer keeps thread-local access
+// itself allocation-free.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn record_paths_allocate_nothing() {
+    // Setup phase: registration and preallocation may allocate freely.
+    let registry = MetricsRegistry::new();
+    let queries = registry.counter("serve.queries");
+    let depth = registry.gauge("serve.queue_depth");
+    let latency = registry.histogram("serve.query_ns");
+    let mut ring = TraceRing::with_capacity(64);
+    let slow: SlowLog<[u64; 4]> = SlowLog::with_capacity(4);
+    // Fill the slow log so steady-state offers face a real threshold.
+    for i in 0..4u64 {
+        assert!(slow.offer_with(1_000_000 + i, || [i; 4]));
+    }
+    let mut phases = PhaseAgg::new();
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        queries.incr();
+        depth.set(i % 17);
+        depth.add(1);
+        depth.sub(1);
+        latency.record(i * 37);
+        phases.reset();
+        phases.add_ns(Phase::GatePass, 100);
+        phases.add_ns(Phase::Score, 10_000 + i);
+        phases.add_ns(Phase::Merge, 200);
+        let mut t = QueryTrace::new(i, (i % 32) as u32, (i % 4) as u32);
+        t.plan = "pruned_daat";
+        t.wall_ns = phases.total_ns();
+        t.push(Phase::QueueWait, 500);
+        t.push_phases(&phases);
+        ring.record(t);
+        // Steady state: every query is faster than the retained worst-K,
+        // so the offer is rejected before the closure could allocate.
+        let retained = slow.offer_with(i, || unreachable!("steady-state offer must lose"));
+        assert!(!retained);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry record path performed {} heap allocations",
+        after - before
+    );
+    assert_eq!(queries.get(), 10_000);
+    assert_eq!(latency.count(), 10_000);
+    assert_eq!(ring.recorded(), 10_000);
+    assert_eq!(ring.len(), 64);
+}

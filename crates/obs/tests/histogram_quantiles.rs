@@ -1,0 +1,144 @@
+//! Property tests pinning histogram percentiles to an exact
+//! nearest-rank oracle.
+//!
+//! The histogram trades resolution for a fixed, lock-free footprint: it
+//! knows only which log₂ bucket each sample fell in. The contract it
+//! *can* keep — and the one these properties pin — is that p50/p95/p99
+//! land in **exactly the bucket of the true nearest-rank sample**, and
+//! report that bucket's upper bound (so the reported figure is an upper
+//! estimate within one bucket, i.e. within 2×, of the truth). Edge
+//! cases the issue calls out — empty, single sample, and samples sitting
+//! exactly on bucket boundaries (powers of two) — are covered both by
+//! dedicated cases and by the generators.
+
+use proptest::prelude::*;
+
+use moa_obs::metrics::NUM_BUCKETS;
+use moa_obs::Histogram;
+
+/// Exact nearest-rank percentile: the sample of rank ⌈q/100·n⌉ in
+/// sorted order.
+fn oracle(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+fn check_against_oracle(samples: &[u64]) {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for q in [50.0, 95.0, 99.0] {
+        let got = h.percentile(q);
+        let want = oracle(&sorted, q);
+        match (got, want) {
+            (None, None) => {}
+            (Some(got), Some(want)) => {
+                assert_eq!(
+                    Histogram::bucket_of(got),
+                    Histogram::bucket_of(want),
+                    "p{q}: histogram answered {got} (bucket {}), exact nearest-rank is \
+                     {want} (bucket {}) over {} samples",
+                    Histogram::bucket_of(got),
+                    Histogram::bucket_of(want),
+                    samples.len(),
+                );
+                assert_eq!(
+                    got,
+                    Histogram::bucket_upper(Histogram::bucket_of(want)),
+                    "p{q}: the reported value must be the true bucket's upper bound"
+                );
+                assert!(got >= want, "p{q}: bucket upper bound can never undershoot");
+            }
+            _ => panic!("p{q}: emptiness disagrees: got {got:?}, oracle {want:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_percentiles() {
+    let h = Histogram::new();
+    assert_eq!(h.percentile(50.0), None);
+    assert_eq!(h.percentile(95.0), None);
+    assert_eq!(h.percentile(99.0), None);
+    assert_eq!(h.count(), 0);
+}
+
+#[test]
+fn single_sample_is_every_percentile() {
+    for v in [0u64, 1, 2, 7, 8, 1023, 1024, u64::MAX] {
+        check_against_oracle(&[v]);
+    }
+}
+
+#[test]
+fn bucket_boundary_samples() {
+    // Powers of two sit on bucket edges: 2^k opens bucket k+1, 2^k − 1
+    // closes bucket k. Mixes of both exercise the rank walk across
+    // adjacent buckets.
+    let mut edges = vec![0u64];
+    for k in 0..63u32 {
+        edges.push(1u64 << k);
+        edges.push((1u64 << k).wrapping_sub(1));
+    }
+    edges.push(u64::MAX);
+    check_against_oracle(&edges);
+    check_against_oracle(&[1, 1, 2, 2, 2, 4, 4, 8]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary sample streams: p50/p95/p99 always land in the exact
+    /// nearest-rank sample's bucket.
+    #[test]
+    fn quantiles_match_oracle_bucket(
+        samples in proptest::collection::vec(0u64..2_000_000_000, 0..400),
+    ) {
+        check_against_oracle(&samples);
+    }
+
+    /// Heavy-tailed streams (shifted by huge offsets, including near the
+    /// top buckets) keep the property.
+    #[test]
+    fn quantiles_match_oracle_bucket_wide_range(
+        samples in proptest::collection::vec(0u64..=u64::MAX, 1..120),
+    ) {
+        check_against_oracle(&samples);
+    }
+
+    /// Boundary-only streams: every sample a power of two or its
+    /// predecessor, the worst case for off-by-one bucket edges.
+    #[test]
+    fn quantiles_match_oracle_on_boundaries(
+        shifts in proptest::collection::vec(0u32..64, 1..100),
+        minus_one in proptest::collection::vec(0u32..2, 1..100),
+    ) {
+        let samples: Vec<u64> = shifts
+            .iter()
+            .zip(minus_one.iter().cycle())
+            .map(|(&k, &m)| {
+                let v = 1u64 << k.min(63);
+                if m == 1 { v.wrapping_sub(1) } else { v }
+            })
+            .collect();
+        check_against_oracle(&samples);
+    }
+
+    /// The bucket function itself: values always fall within the bucket
+    /// whose upper bound they map to, and buckets tile the u64 range.
+    #[test]
+    fn bucket_of_is_consistent(v in 0u64..=u64::MAX) {
+        let b = Histogram::bucket_of(v);
+        prop_assert!(b < NUM_BUCKETS);
+        prop_assert!(v <= Histogram::bucket_upper(b));
+        if b > 0 {
+            prop_assert!(v > Histogram::bucket_upper(b - 1));
+        }
+    }
+}

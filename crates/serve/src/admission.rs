@@ -23,13 +23,17 @@
 //! worker finishes the job (not when it dequeues it), so the in-service
 //! job still occupies its slot. Every queued job holds its batch's
 //! queries and gates alive, so the gauge bound is the pool's RSS proxy:
-//! queue memory is `O(bound × batch size)` by construction. The
-//! high-water mark records the deepest any acquisition ever took the
-//! gauge — the observable E19's queue-ceiling gate checks.
+//! queue memory is `O(bound × batch size)` by construction. Depth and
+//! its high-water mark are published through a [`moa_obs::Gauge`] —
+//! typically registered as `serve.queue_depth.shard<i>` in the pool's
+//! [`moa_obs::MetricsRegistry`] — rather than ad-hoc fields here; the
+//! high-water mark (the deepest any acquisition ever took the gauge) is
+//! the observable E19's queue-ceiling gate checks.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+use moa_obs::Gauge;
 
 /// What a saturated worker queue means for new work. See module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,18 +58,29 @@ pub struct QueueGauge {
     bound: usize,
     depth: Mutex<usize>,
     room: Condvar,
-    high_water: AtomicUsize,
+    /// The exported depth metric: current level mirrors `depth`, and its
+    /// built-in high-water mark replaces the ad-hoc `AtomicUsize` this
+    /// struct used to carry. Shared with the pool's metrics registry.
+    metric: Arc<Gauge>,
 }
 
 impl QueueGauge {
     /// A gauge admitting at most `bound` unfinished jobs (clamped ≥ 1:
-    /// a zero bound could never admit anything).
+    /// a zero bound could never admit anything), with a private
+    /// (unregistered) depth metric.
     pub fn new(bound: usize) -> QueueGauge {
+        QueueGauge::with_metric(bound, Arc::new(Gauge::new()))
+    }
+
+    /// A gauge publishing its depth through `metric` — the pool wires a
+    /// registry-owned `serve.queue_depth.shard<i>` gauge in here so the
+    /// exposition snapshot sees live depths and high-water marks.
+    pub fn with_metric(bound: usize, metric: Arc<Gauge>) -> QueueGauge {
         QueueGauge {
             bound: bound.max(1),
             depth: Mutex::new(0),
             room: Condvar::new(),
-            high_water: AtomicUsize::new(0),
+            metric,
         }
     }
 
@@ -82,7 +97,7 @@ impl QueueGauge {
     /// The deepest the gauge has ever been right after an admission —
     /// the queue-ceiling observable (never exceeds the bound).
     pub fn high_water(&self) -> usize {
-        self.high_water.load(Ordering::Relaxed)
+        self.metric.high_water() as usize
     }
 
     /// Admit one job if the queue has room; on refusal, report the
@@ -93,7 +108,7 @@ impl QueueGauge {
             return Err(*depth);
         }
         *depth += 1;
-        self.high_water.fetch_max(*depth, Ordering::Relaxed);
+        self.metric.set(*depth as u64);
         Ok(())
     }
 
@@ -105,7 +120,7 @@ impl QueueGauge {
             return Err(*depth);
         }
         *depth = 1;
-        self.high_water.fetch_max(1, Ordering::Relaxed);
+        self.metric.set(1);
         Ok(())
     }
 
@@ -128,6 +143,7 @@ impl QueueGauge {
     pub fn release(&self) {
         let mut depth = lock_ignore_poison(&self.depth);
         *depth = depth.saturating_sub(1);
+        self.metric.set(*depth as u64);
         drop(depth);
         self.room.notify_all();
     }
@@ -139,6 +155,9 @@ impl QueueGauge {
     pub fn reset(&self) {
         let mut depth = lock_ignore_poison(&self.depth);
         *depth = 0;
+        // `Gauge::set` folds into the high-water mark before storing, so
+        // zeroing the level here cannot erase the recorded peak.
+        self.metric.set(0);
         drop(depth);
         self.room.notify_all();
     }
@@ -195,6 +214,21 @@ mod tests {
         g.try_acquire().expect("room");
         g.reset();
         assert_eq!(g.depth(), 0);
+        assert_eq!(g.high_water(), 2);
+    }
+
+    #[test]
+    fn shared_metric_sees_live_depth_and_high_water() {
+        let metric = Arc::new(Gauge::new());
+        let g = QueueGauge::with_metric(3, Arc::clone(&metric));
+        g.try_acquire().expect("room");
+        g.try_acquire().expect("room");
+        assert_eq!(metric.get(), 2, "registry handle sees the live depth");
+        g.release();
+        assert_eq!(metric.get(), 1);
+        g.reset();
+        assert_eq!(metric.get(), 0);
+        assert_eq!(metric.high_water(), 2, "peak survives reset");
         assert_eq!(g.high_water(), 2);
     }
 

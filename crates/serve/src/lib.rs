@@ -48,6 +48,18 @@
 //! reports the panic history instead of re-panicking
 //! ([`pool::PoolShutdown`]). The E19 resilience experiment drives all
 //! three under injected faults at multiples of calibrated capacity.
+//!
+//! Observability (see DESIGN.md "Observability"): the pool publishes
+//! every serving signal — admission counters, per-shard queue-depth
+//! gauges, query/queue-wait latency histograms, panic/respawn counters —
+//! through a shared [`moa_obs::MetricsRegistry`]
+//! ([`ServeSession::metrics_text`] / [`ServeSession::metrics_json`]);
+//! each worker records per-query [`moa_obs::QueryTrace`]s (queue wait,
+//! planning, and the engine's per-stage clocks) into a preallocated ring,
+//! the worst-K queries are retained with full traces in a slow-query log
+//! ([`ServeSession::drain_slow_queries`]), and rare structured events
+//! (panics, respawns) land in a bounded event log ([`pool::PoolEvent`]).
+//! Steady-state recording allocates nothing; E20 gates the overhead.
 
 #![warn(missing_docs)]
 
@@ -61,7 +73,9 @@ pub use admission::{AdmissionPolicy, QueueGauge};
 pub use fault::{
     panic_message, silence_worker_panics, ServeError, ServeResult, ShardPanic, WorkerFault,
 };
-pub use pool::{BatchTicket, ExplainRow, PoolConfig, PoolShutdown, ShardPool};
+pub use pool::{
+    BatchTicket, ExplainRow, PoolConfig, PoolEvent, PoolShutdown, ShardPool, SlowQuery,
+};
 pub use service::{BatchReport, PendingBatch, ServeConfig, ServeSession, ServeStats, ShardBusy};
 pub use shard::{
     merge_columns, BatchQuery, EngineShard, QueryResponse, ServeMode, ShardColumn, ShardOutcome,

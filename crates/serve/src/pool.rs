@@ -47,6 +47,19 @@
 //!   paper's "millions of users" regime), the hottest query alone is a
 //!   double-digit percentage of traffic, making coalescing the single
 //!   biggest throughput lever the admission queue owns.
+//! * **Query-lifecycle telemetry.** The pool owns (or is handed) a
+//!   [`MetricsRegistry`]: admission counters (batches, admitted,
+//!   coalesced, shed), per-shard queue-depth gauges with high-water
+//!   marks, query and queue-wait latency histograms, and worker
+//!   panic/respawn counters all publish through it. Each worker keeps a
+//!   preallocated [`moa_obs::TraceRing`] of recent [`QueryTrace`]s —
+//!   per-stage spans fed by the engine's phase clocks — and offers every
+//!   query to a shared worst-K [`moa_obs::SlowLog`]. Recording is slot
+//!   writes, relaxed atomics, and (for a rejected slow-log offer) one
+//!   integer compare, so the steady-state hot path stays
+//!   allocation-free; rare structured occurrences (panics, respawns) go
+//!   to a bounded [`moa_obs::EventLog`] of [`PoolEvent`]s, which
+//!   replaces the ad-hoc panic `Vec` earlier revisions kept.
 //! * **Identical answers.** Workers run the same
 //!   [`EngineShard::run_one`](crate::shard::EngineShard) column loop and
 //!   the ticket folds columns with the same tie-stable
@@ -72,6 +85,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use moa_ir::{BoundGate, DeadlineGate, InvertedIndex, RankingModel, ScoreKernel};
+use moa_obs::{
+    Counter, EventLog, Histogram, MetricsRegistry, Phase, QueryTrace, SlowLog, TraceRing,
+};
 use parking_lot::Mutex;
 
 use crate::admission::{AdmissionPolicy, QueueGauge};
@@ -97,6 +113,18 @@ pub struct PoolConfig {
     /// counts against it). `None` disables deadlines entirely — gates
     /// carry no deadline and the evaluation loops skip even the poll.
     pub deadline: Option<Duration>,
+    /// Capture per-query traces and slow-log entries on the workers.
+    /// Registry counters, gauges, and histograms are always live (a few
+    /// relaxed atomic ops per query); this switch covers the trace-ring
+    /// writes and slow-log offers — the parts behind a (worker-local,
+    /// uncontended) mutex. E20 measures the difference.
+    pub telemetry: bool,
+    /// Per-worker trace ring capacity: the most recent query traces each
+    /// worker retains (preallocated at spawn; zero disables capture).
+    pub trace_ring: usize,
+    /// Pool-wide slow-query log capacity: the worst-K queries by shard
+    /// wall time, full traces attached (zero disables the log).
+    pub slow_log: usize,
 }
 
 impl Default for PoolConfig {
@@ -104,8 +132,100 @@ impl Default for PoolConfig {
         PoolConfig {
             queue_depth: 64,
             deadline: None,
+            telemetry: true,
+            trace_ring: 128,
+            slow_log: 16,
         }
     }
+}
+
+/// Retained structured-event history (panics, respawns). Events are rare
+/// — a full log means hundreds of worker deaths — so a modest bound
+/// keeps memory fixed without losing anything a live deployment would
+/// still care about.
+const EVENT_LOG_CAP: usize = 256;
+
+/// A rare, structured pool occurrence, retained (with a sequence
+/// number) in the pool's bounded [`moa_obs::EventLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// A worker thread died; its captured panic payload (or a note that
+    /// it exited without one).
+    WorkerPanic {
+        /// The shard whose worker died.
+        shard: usize,
+        /// The panic message (or anomaly note).
+        message: String,
+    },
+    /// A worker was respawned over its retained shard slot.
+    WorkerRespawn {
+        /// The shard respawned.
+        shard: usize,
+        /// Wall-clock cost of the respawn (join + thread spawn).
+        wall: Duration,
+    },
+}
+
+/// One retained slow-query record: the query, what ran, and the full
+/// per-stage trace. Built lazily — only when the query's wall time beats
+/// the slow log's admission threshold (see [`moa_obs::SlowLog`]), so
+/// steady-state fast queries never pay the clones here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// The shard that executed it.
+    pub shard: usize,
+    /// The query's terms.
+    pub terms: Vec<u32>,
+    /// Ranking depth.
+    pub n: usize,
+    /// Stable name of the physical plan that ran.
+    pub plan: &'static str,
+    /// The shard planner's cost estimate (`None` under a pinned plan).
+    pub est_cost: Option<f64>,
+    /// Shard wall time (the slow log's retention key).
+    pub wall: Duration,
+    /// Whether a deadline cut the execution short.
+    pub partial: bool,
+    /// The full per-stage trace (queue wait, plan, engine stages).
+    pub trace: QueryTrace,
+}
+
+/// The telemetry bundle one worker records into, shared between the
+/// worker thread and the pool (which drains it). Counter/histogram
+/// handles come from the pool's registry — every worker shares the same
+/// named metrics; the trace ring is worker-local.
+struct WorkerTelemetry {
+    /// Trace-ring and slow-log capture on or off (metrics always record).
+    enabled: bool,
+    /// `serve.shard_queries`: per-shard query executions (Ok outcomes).
+    queries: Arc<Counter>,
+    /// `serve.shard_partial`: executions a deadline cut short.
+    partials: Arc<Counter>,
+    /// `serve.query_ns`: per-shard query wall time.
+    query_ns: Arc<Histogram>,
+    /// `serve.queue_wait_ns`: admission-to-pickup wait per batch job.
+    queue_wait_ns: Arc<Histogram>,
+    /// Recent query traces (preallocated; worker-local, so the mutex is
+    /// uncontended except against a drain).
+    ring: Mutex<TraceRing>,
+    /// The pool-wide worst-K slow-query log.
+    slow: Arc<SlowLog<SlowQuery>>,
+}
+
+/// Pool-level admission counters, registered once at construction.
+struct PoolCounters {
+    /// `serve.batches`: batches admitted.
+    batches: Arc<Counter>,
+    /// `serve.queries_admitted`: queries admitted (before coalescing).
+    admitted: Arc<Counter>,
+    /// `serve.queries_coalesced`: positions answered by a batch-mate.
+    coalesced: Arc<Counter>,
+    /// `serve.shed`: queries refused at admission.
+    shed: Arc<Counter>,
+    /// `serve.worker_respawns`: workers respawned after a crash.
+    respawns: Arc<Counter>,
+    /// `serve.worker_panics`: panic payloads captured from dead workers.
+    panics: Arc<Counter>,
 }
 
 /// What [`ShardPool::shutdown`] hands back: every shard (planners
@@ -173,6 +293,12 @@ struct BatchJob {
     queries: Arc<[BatchQuery]>,
     mode: ServeMode,
     gates: Vec<BoundGate>,
+    /// Monotone batch sequence number, tagged into every trace the batch
+    /// produces.
+    seq: u64,
+    /// When the batch was admitted; the gap to worker pickup is the
+    /// queue-wait span.
+    admitted: Instant,
     /// Tagged with the worker's shard id so the ticket can order columns
     /// regardless of completion order.
     done: Sender<(usize, ShardColumn)>,
@@ -191,6 +317,9 @@ struct Worker {
     handle: JoinHandle<()>,
     slot: ShardSlot,
     gauge: Arc<QueueGauge>,
+    /// Shared with the worker thread; survives respawns (the replacement
+    /// thread keeps recording into the same ring and counters).
+    tele: Arc<WorkerTelemetry>,
 }
 
 fn spawn_worker(
@@ -198,10 +327,11 @@ fn spawn_worker(
     slot: ShardSlot,
     rx: Receiver<Job>,
     gauge: Arc<QueueGauge>,
+    tele: Arc<WorkerTelemetry>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("moa-shard-{id}"))
-        .spawn(move || worker_loop(id, slot, rx, gauge))
+        .spawn(move || worker_loop(id, slot, rx, gauge, tele))
         .expect("spawning a shard worker thread")
 }
 
@@ -241,13 +371,23 @@ fn run_guarded(
 /// is the pool's whole shutdown story. The shard stays in its slot at
 /// all times — in particular it is still there if this thread dies, so
 /// the respawn path and teardown can always recover it.
-fn worker_loop(id: usize, slot: ShardSlot, rx: Receiver<Job>, gauge: Arc<QueueGauge>) {
+fn worker_loop(
+    id: usize,
+    slot: ShardSlot,
+    rx: Receiver<Job>,
+    gauge: Arc<QueueGauge>,
+    tele: Arc<WorkerTelemetry>,
+) {
     // Worker-local fault state; an armed poison term panics inside the
     // per-query guard. A respawned worker starts disarmed.
     let mut poison: Option<u32> = None;
     while let Ok(job) = rx.recv() {
         match job {
             Job::Batch(job) => {
+                // Queue wait: admission to the moment this worker picked
+                // the job up. One clock read per batch job, not per query.
+                let wait_ns = job.admitted.elapsed().as_nanos() as u64;
+                tele.queue_wait_ns.record(wait_ns);
                 let column: ShardColumn = {
                     let mut guard = slot.lock();
                     let shard = guard
@@ -259,6 +399,38 @@ fn worker_loop(id: usize, slot: ShardSlot, rx: Receiver<Job>, gauge: Arc<QueueGa
                         .map(|(qi, q)| run_guarded(shard, id, q, job.mode, &job.gates[qi], poison))
                         .collect()
                 };
+                // Account the column: counters are relaxed atomics, a
+                // trace is a ring-slot write of a `Copy` value, and a
+                // rejected slow-log offer is one integer compare —
+                // nothing here allocates in steady state.
+                for (qi, r) in column.iter().enumerate() {
+                    let Ok(o) = r else { continue };
+                    tele.queries.incr();
+                    let wall_ns = o.busy.as_nanos() as u64;
+                    tele.query_ns.record(wall_ns);
+                    if o.report.partial {
+                        tele.partials.incr();
+                    }
+                    if tele.enabled {
+                        let mut trace = QueryTrace::new(job.seq, qi as u32, id as u32);
+                        trace.plan = o.plan.name();
+                        trace.wall_ns = wall_ns;
+                        trace.partial = o.report.partial;
+                        trace.push(Phase::QueueWait, wait_ns);
+                        trace.push_phases(&o.phases);
+                        tele.ring.lock().record(trace);
+                        tele.slow.offer_with(wall_ns, || SlowQuery {
+                            shard: id,
+                            terms: job.queries[qi].terms.clone(),
+                            n: job.queries[qi].n,
+                            plan: o.plan.name(),
+                            est_cost: o.est_cost,
+                            wall: o.busy,
+                            partial: o.report.partial,
+                            trace,
+                        });
+                    }
+                }
                 // Release *before* delivering: a caller that has
                 // collected every column can rely on the slots already
                 // being free (an idle-only resubmission right after a
@@ -427,40 +599,90 @@ pub struct ShardPool {
     index: Arc<InvertedIndex>,
     kernel: Arc<ScoreKernel>,
     config: PoolConfig,
-    /// Workers respawned over their retained shard after a crash.
-    respawns: usize,
+    /// Every metric the pool publishes; shared with the serving session
+    /// (which adds its merge/delivery spans to the same registry).
+    registry: Arc<MetricsRegistry>,
+    /// Bounded structured history of rare occurrences (panics, respawns).
+    events: Arc<EventLog<PoolEvent>>,
+    /// The pool-wide worst-K slow-query log, fed by every worker.
+    slow: Arc<SlowLog<SlowQuery>>,
+    /// Pool-level admission counters (registry handles).
+    counters: PoolCounters,
     /// Wall-clock cost of each respawn (join + thread spawn).
     recoveries: Vec<Duration>,
-    /// Panic payloads captured from dead workers, in capture order.
-    panic_log: Vec<ShardPanic>,
+    /// Monotone batch sequence, tagged into traces.
+    batch_seq: u64,
 }
 
 impl ShardPool {
     /// Stand the pool up from a built engine with the default
-    /// [`PoolConfig`] (queue depth 64, no deadline).
+    /// [`PoolConfig`] (queue depth 64, no deadline, telemetry on).
     pub fn new(engine: ShardedEngine) -> ShardPool {
         ShardPool::with_config(engine, PoolConfig::default())
     }
 
+    /// Stand the pool up from a built engine with a fresh private
+    /// metrics registry. See [`ShardPool::with_config_and_registry`].
+    pub fn with_config(engine: ShardedEngine, config: PoolConfig) -> ShardPool {
+        ShardPool::with_config_and_registry(engine, config, Arc::new(MetricsRegistry::new()))
+    }
+
     /// Stand the pool up from a built engine: every shard is parked in a
     /// retained slot and served by its own long-lived worker thread,
-    /// with admission bounded per `config`.
-    pub fn with_config(engine: ShardedEngine, config: PoolConfig) -> ShardPool {
+    /// with admission bounded per `config`. All pool metrics register in
+    /// `registry` (per-shard queue-depth gauges as
+    /// `serve.queue_depth.shard<i>`; counters and latency histograms
+    /// under `serve.*`), so a caller can hand in a shared registry and
+    /// read one exposition for the whole stack.
+    pub fn with_config_and_registry(
+        engine: ShardedEngine,
+        config: PoolConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> ShardPool {
         let (shards, spec, index, kernel) = engine.into_parts();
+        let slow = Arc::new(SlowLog::with_capacity(config.slow_log));
+        let events = Arc::new(EventLog::with_capacity(EVENT_LOG_CAP));
+        let counters = PoolCounters {
+            batches: registry.counter("serve.batches"),
+            admitted: registry.counter("serve.queries_admitted"),
+            coalesced: registry.counter("serve.queries_coalesced"),
+            shed: registry.counter("serve.shed"),
+            respawns: registry.counter("serve.worker_respawns"),
+            panics: registry.counter("serve.worker_panics"),
+        };
         let workers = shards
             .into_iter()
             .map(|shard| {
                 let id = shard.id();
                 let slot: ShardSlot = Arc::new(Mutex::new(Some(shard)));
-                let gauge = Arc::new(QueueGauge::new(config.queue_depth));
+                let gauge = Arc::new(QueueGauge::with_metric(
+                    config.queue_depth,
+                    registry.gauge(&format!("serve.queue_depth.shard{id}")),
+                ));
+                let tele = Arc::new(WorkerTelemetry {
+                    enabled: config.telemetry,
+                    queries: registry.counter("serve.shard_queries"),
+                    partials: registry.counter("serve.shard_partial"),
+                    query_ns: registry.histogram("serve.query_ns"),
+                    queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+                    ring: Mutex::new(TraceRing::with_capacity(config.trace_ring)),
+                    slow: Arc::clone(&slow),
+                });
                 let (tx, rx) = channel();
-                let handle = spawn_worker(id, Arc::clone(&slot), rx, Arc::clone(&gauge));
+                let handle = spawn_worker(
+                    id,
+                    Arc::clone(&slot),
+                    rx,
+                    Arc::clone(&gauge),
+                    Arc::clone(&tele),
+                );
                 Worker {
                     id,
                     tx,
                     handle,
                     slot,
                     gauge,
+                    tele,
                 }
             })
             .collect();
@@ -470,9 +692,12 @@ impl ShardPool {
             index,
             kernel,
             config,
-            respawns: 0,
+            registry,
+            events,
+            slow,
+            counters,
             recoveries: Vec::new(),
-            panic_log: Vec::new(),
+            batch_seq: 0,
         }
     }
 
@@ -523,9 +748,10 @@ impl ShardPool {
         self.workers.iter().map(|w| w.gauge.depth()).collect()
     }
 
-    /// Workers respawned over their retained shard after a crash.
+    /// Workers respawned over their retained shard after a crash (read
+    /// off the `serve.worker_respawns` registry counter).
     pub fn respawns(&self) -> usize {
-        self.respawns
+        self.counters.respawns.get() as usize
     }
 
     /// Wall-clock cost of each respawn, in the order they happened.
@@ -533,10 +759,49 @@ impl ShardPool {
         &self.recoveries
     }
 
-    /// Every worker panic captured so far (shutdown appends any found at
-    /// teardown and reports the full history on [`PoolShutdown`]).
-    pub fn panic_log(&self) -> &[ShardPanic] {
-        &self.panic_log
+    /// Every worker panic captured so far, derived from the structured
+    /// event log (shutdown appends any found at teardown and reports the
+    /// full history on [`PoolShutdown`]).
+    pub fn panic_log(&self) -> Vec<ShardPanic> {
+        self.events
+            .snapshot()
+            .into_iter()
+            .filter_map(|(_, e)| match e {
+                PoolEvent::WorkerPanic { shard, message } => Some(ShardPanic { shard, message }),
+                PoolEvent::WorkerRespawn { .. } => None,
+            })
+            .collect()
+    }
+
+    /// The registry every pool metric publishes through.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The retained structured events (panics, respawns) with their
+    /// sequence numbers, oldest first.
+    pub fn events(&self) -> Vec<(u64, PoolEvent)> {
+        self.events.snapshot()
+    }
+
+    /// Recent query traces from every worker's ring, in shard order
+    /// (each worker's slice oldest first). Empty when
+    /// [`PoolConfig::telemetry`] is off or the rings have zero capacity.
+    pub fn traces(&self) -> Vec<QueryTrace> {
+        self.workers
+            .iter()
+            .flat_map(|w| w.tele.ring.lock().snapshot())
+            .collect()
+    }
+
+    /// Drain the slow-query log: the worst-K queries by shard wall time
+    /// observed since the last drain, slowest first.
+    pub fn drain_slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow
+            .drain_sorted()
+            .into_iter()
+            .map(|(_, q)| q)
+            .collect()
     }
 
     /// Respawn every dead worker over its retained shard; returns how
@@ -569,25 +834,31 @@ impl ShardPool {
         let w = &mut self.workers[i];
         w.gauge.reset();
         let (tx, rx) = channel();
-        let handle = spawn_worker(w.id, Arc::clone(&w.slot), rx, Arc::clone(&w.gauge));
+        let handle = spawn_worker(
+            w.id,
+            Arc::clone(&w.slot),
+            rx,
+            Arc::clone(&w.gauge),
+            Arc::clone(&w.tele),
+        );
         drop(std::mem::replace(&mut w.tx, tx));
         let dead = std::mem::replace(&mut w.handle, handle);
         let id = w.id;
-        match dead.join() {
+        let message = match dead.join() {
             // A worker only exits cleanly on channel disconnect, which
             // cannot happen while the pool holds its sender; record the
             // anomaly as a panic-free death.
-            Ok(()) => self.panic_log.push(ShardPanic {
-                shard: id,
-                message: "worker exited without a panic payload".to_string(),
-            }),
-            Err(payload) => self.panic_log.push(ShardPanic {
-                shard: id,
-                message: panic_message(payload.as_ref()),
-            }),
-        }
-        self.respawns += 1;
-        self.recoveries.push(t0.elapsed());
+            Ok(()) => "worker exited without a panic payload".to_string(),
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        self.counters.panics.incr();
+        self.events
+            .record(PoolEvent::WorkerPanic { shard: id, message });
+        let wall = t0.elapsed();
+        self.counters.respawns.incr();
+        self.events
+            .record(PoolEvent::WorkerRespawn { shard: id, wall });
+        self.recoveries.push(wall);
     }
 
     /// Acquire one gauge slot per worker under `policy`. On refusal,
@@ -695,7 +966,11 @@ impl ShardPool {
         policy: AdmissionPolicy,
     ) -> ServeResult<BatchTicket> {
         self.heal();
-        self.admit(policy)?;
+        if let Err(e) = self.admit(policy) {
+            // Refusal is all-or-nothing: every query of the batch shed.
+            self.counters.shed.add(queries.len() as u64);
+            return Err(e);
+        }
         let mut first: HashMap<(&[u32], usize), usize> = HashMap::with_capacity(queries.len());
         let mut distinct: Vec<BatchQuery> = Vec::with_capacity(queries.len());
         let mut expand: Vec<usize> = Vec::with_capacity(queries.len());
@@ -708,12 +983,21 @@ impl ShardPool {
             expand.push(slot);
         }
         let queries: Arc<[BatchQuery]> = distinct.into();
+        self.counters.batches.incr();
+        self.counters.admitted.add(expand.len() as u64);
+        self.counters
+            .coalesced
+            .add((expand.len() - queries.len()) as u64);
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
         let gates = self.build_gates(&queries, propagate);
         let (done, rx) = channel();
         let job = Arc::new(BatchJob {
             queries: Arc::clone(&queries),
             mode,
             gates,
+            seq,
+            admitted: Instant::now(),
             done,
         });
         for i in 0..self.workers.len() {
@@ -745,6 +1029,10 @@ impl ShardPool {
     ) -> Vec<ServeResult<QueryResponse>> {
         self.heal();
         let queries: Arc<[BatchQuery]> = queries.into();
+        self.counters.batches.incr();
+        self.counters.admitted.add(queries.len() as u64);
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
         let gates = self.build_gates(&queries, propagate);
         let mut columns: Vec<ShardColumn> = Vec::with_capacity(self.workers.len());
         for i in 0..self.workers.len() {
@@ -765,6 +1053,8 @@ impl ShardPool {
                 // Gate clones share the underlying thresholds: later
                 // shards see what earlier shards published.
                 gates: gates.clone(),
+                seq,
+                admitted: Instant::now(),
                 done,
             });
             self.send_job(i, Job::Batch(job), true);
@@ -830,8 +1120,19 @@ impl ShardPool {
     /// shard order plus the pool's full panic history.
     pub fn shutdown(mut self) -> PoolShutdown {
         let workers = std::mem::take(&mut self.workers);
-        let mut panics = std::mem::take(&mut self.panic_log);
+        let mut panics = self.panic_log();
+        let healed = panics.len();
         let shards = teardown(workers, &mut panics);
+        // Deaths first observed at teardown join the event history and
+        // counters too, so a shared registry's exposition agrees with
+        // the returned PoolShutdown.
+        for p in &panics[healed..] {
+            self.counters.panics.incr();
+            self.events.record(PoolEvent::WorkerPanic {
+                shard: p.shard,
+                message: p.message.clone(),
+            });
+        }
         PoolShutdown { shards, panics }
     }
 }
@@ -839,7 +1140,7 @@ impl ShardPool {
 impl Drop for ShardPool {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
-            let mut panics = std::mem::take(&mut self.panic_log);
+            let mut panics = Vec::new();
             let _ = teardown(std::mem::take(&mut self.workers), &mut panics);
         }
     }

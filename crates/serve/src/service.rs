@@ -29,11 +29,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use moa_ir::{ExecReport, FragmentSpec, InvertedIndex, RankingModel, SwitchPolicy};
+use moa_obs::{Histogram, MetricsRegistry, QueryTrace};
 
 use crate::admission::AdmissionPolicy;
 use crate::fault::{ServeError, ServeResult};
-use crate::pool::{BatchTicket, PoolConfig, PoolShutdown, ShardPool};
-use crate::shard::{BatchQuery, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
+use crate::pool::{BatchTicket, PoolConfig, PoolEvent, PoolShutdown, ShardPool, SlowQuery};
+use crate::shard::{merge_columns, BatchQuery, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
 
 /// Session configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,14 @@ pub struct ServeConfig {
     /// against it). Expired queries return `Ok` with
     /// [`QueryResponse::partial`] set. `None` disables deadlines.
     pub deadline: Option<Duration>,
+    /// Capture per-query traces and slow-log entries on the shard
+    /// workers (registry metrics are always live). E20 measures the
+    /// overhead of leaving this on.
+    pub telemetry: bool,
+    /// Per-worker trace ring capacity (recent query traces retained).
+    pub trace_ring: usize,
+    /// Slow-query log capacity (worst-K by shard wall time).
+    pub slow_log: usize,
 }
 
 impl ServeConfig {
@@ -82,6 +91,9 @@ impl ServeConfig {
             queue_depth: 64,
             admission: AdmissionPolicy::Block,
             deadline: None,
+            telemetry: true,
+            trace_ring: 128,
+            slow_log: 16,
         }
     }
 }
@@ -210,6 +222,24 @@ pub struct ServeStats {
     pub worker_respawns: usize,
 }
 
+impl ServeStats {
+    /// Fold one successful response into the counters. Every add
+    /// saturates — a long-lived session on a 32-bit `usize` pins at the
+    /// maximum instead of wrapping back through small values (the same
+    /// discipline as `ExecReport::absorb`). `postings` is `Some` only
+    /// for first occurrences, so a coalesced clone's shared scan counts
+    /// once.
+    fn absorb_ok(&mut self, partial: bool, postings: Option<usize>) {
+        self.queries_served = self.queries_served.saturating_add(1);
+        if partial {
+            self.queries_partial = self.queries_partial.saturating_add(1);
+        }
+        if let Some(p) = postings {
+            self.postings_scanned = self.postings_scanned.saturating_add(p);
+        }
+    }
+}
+
 /// A batch admitted by [`ServeSession::enqueue`] and not yet collected.
 /// Shard workers are already serving it; redeem with
 /// [`ServeSession::collect`]. Dropping it abandons the responses (the
@@ -239,6 +269,11 @@ pub struct ServeSession {
     pool: ShardPool,
     config: ServeConfig,
     stats: ServeStats,
+    /// `serve.kway_merge_ns`: the cross-shard k-way merge per batch.
+    merge_ns: Arc<Histogram>,
+    /// `serve.deliver_ns`: coalesced fan-out + counter accounting per
+    /// batch (the session's post-merge delivery work).
+    deliver_ns: Arc<Histogram>,
 }
 
 impl ServeSession {
@@ -256,11 +291,21 @@ impl ServeSession {
         let pool_config = PoolConfig {
             queue_depth: config.queue_depth,
             deadline: config.deadline,
+            telemetry: config.telemetry,
+            trace_ring: config.trace_ring,
+            slow_log: config.slow_log,
         };
+        let pool = ShardPool::with_config(engine, pool_config);
+        // The session's merge/delivery spans land in the same registry
+        // as the pool's shard-side metrics: one exposition for the stack.
+        let merge_ns = pool.registry().histogram("serve.kway_merge_ns");
+        let deliver_ns = pool.registry().histogram("serve.deliver_ns");
         Ok(ServeSession {
-            pool: ShardPool::with_config(engine, pool_config),
+            pool,
             config,
             stats: ServeStats::default(),
+            merge_ns,
+            deliver_ns,
         })
     }
 
@@ -337,15 +382,30 @@ impl ServeSession {
 
     /// Wait for an admitted batch, fold the shard columns with the
     /// tie-stable merge, and account it to the session counters. `wall`
-    /// spans admission to merge completion. Never fails: per-position
-    /// errors stay in the report.
+    /// spans admission to delivery. The k-way merge and the post-merge
+    /// delivery (coalesced fan-out + accounting) each record a latency
+    /// histogram (`serve.kway_merge_ns`, `serve.deliver_ns`) — the
+    /// session-side tail of the query lifecycle the shard workers cannot
+    /// see. Never fails: per-position errors stay in the report.
     pub fn collect(&mut self, pending: PendingBatch) -> BatchReport {
         let coalesced = pending.ticket.coalesced();
         let expand = pending.ticket.expansion().to_vec();
-        let responses = pending.ticket.wait();
-        let wall = pending.started.elapsed();
-        self.stats.batches_served += 1;
-        self.stats.queries_coalesced += coalesced;
+        // Redeem the ticket in two steps so the merge is its own span:
+        // waiting for columns is shard service time, folding them is
+        // session-side merge time.
+        let (queries, columns) = pending.ticket.wait_columns();
+        let t_merge = Instant::now();
+        let distinct = merge_columns(&queries, columns);
+        self.merge_ns.record(t_merge.elapsed().as_nanos() as u64);
+        let t_deliver = Instant::now();
+        let responses: Vec<ServeResult<QueryResponse>> = if distinct.len() == expand.len() {
+            // No duplicates: the expansion is the identity.
+            distinct
+        } else {
+            expand.iter().map(|&u| distinct[u].clone()).collect()
+        };
+        self.stats.batches_served = self.stats.batches_served.saturating_add(1);
+        self.stats.queries_coalesced = self.stats.queries_coalesced.saturating_add(coalesced);
         // Count each *performed* scan once: a position is a first
         // occurrence (a real execution, not a coalesced clone) iff its
         // distinct index equals the number of distinct indices seen so
@@ -358,17 +418,17 @@ impl ServeSession {
             }
             match r {
                 Ok(resp) => {
-                    self.stats.queries_served += 1;
-                    if resp.partial {
-                        self.stats.queries_partial += 1;
-                    }
-                    if first_occurrence {
-                        self.stats.postings_scanned += resp.work.postings_scanned;
-                    }
+                    let postings = first_occurrence.then_some(resp.work.postings_scanned);
+                    self.stats.absorb_ok(resp.partial, postings);
                 }
-                Err(_) => self.stats.queries_failed += 1,
+                Err(_) => {
+                    self.stats.queries_failed = self.stats.queries_failed.saturating_add(1);
+                }
             }
         }
+        self.deliver_ns
+            .record(t_deliver.elapsed().as_nanos() as u64);
+        let wall = pending.started.elapsed();
         BatchReport { responses, wall }
     }
 
@@ -383,17 +443,16 @@ impl ServeSession {
             self.pool
                 .submit_sequential(queries, self.config.mode, self.config.propagate);
         let wall = t0.elapsed();
-        self.stats.batches_served += 1;
+        self.stats.batches_served = self.stats.batches_served.saturating_add(1);
         for r in &responses {
             match r {
                 Ok(resp) => {
-                    self.stats.queries_served += 1;
-                    if resp.partial {
-                        self.stats.queries_partial += 1;
-                    }
-                    self.stats.postings_scanned += resp.work.postings_scanned;
+                    self.stats
+                        .absorb_ok(resp.partial, Some(resp.work.postings_scanned));
                 }
-                Err(_) => self.stats.queries_failed += 1,
+                Err(_) => {
+                    self.stats.queries_failed = self.stats.queries_failed.saturating_add(1);
+                }
             }
         }
         BatchReport { responses, wall }
@@ -458,6 +517,42 @@ impl ServeSession {
         );
         Ok(out)
     }
+
+    /// The metrics registry behind the session: every pool and session
+    /// metric (`serve.*`) publishes through it.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.pool.registry()
+    }
+
+    /// Text exposition of every metric, sorted by name (stable,
+    /// diffable).
+    pub fn metrics_text(&self) -> String {
+        self.pool.registry().render_text()
+    }
+
+    /// JSON exposition of every metric (hand-rolled; no serializer
+    /// dependency).
+    pub fn metrics_json(&self) -> String {
+        self.pool.registry().render_json()
+    }
+
+    /// Recent per-query traces from every shard worker's ring, in shard
+    /// order. Empty with [`ServeConfig::telemetry`] off.
+    pub fn traces(&self) -> Vec<QueryTrace> {
+        self.pool.traces()
+    }
+
+    /// Drain the slow-query log: the worst-K queries (by shard wall
+    /// time) since the last drain, slowest first, full traces attached.
+    pub fn drain_slow_queries(&self) -> Vec<SlowQuery> {
+        self.pool.drain_slow_queries()
+    }
+
+    /// The pool's structured event history (worker panics, respawns),
+    /// oldest first with sequence numbers.
+    pub fn events(&self) -> Vec<(u64, PoolEvent)> {
+        self.pool.events()
+    }
 }
 
 #[cfg(test)]
@@ -474,6 +569,7 @@ mod tests {
             est_cost: None,
             report: ExecReport::default(),
             busy: Duration::from_micros(busy_us),
+            phases: moa_obs::PhaseAgg::new(),
         }
     }
 
@@ -484,6 +580,24 @@ mod tests {
             partial: false,
             shards,
         })
+    }
+
+    #[test]
+    fn serve_stats_saturate_instead_of_wrapping() {
+        // Mirrors ExecReport::absorb: a session that has served near
+        // usize::MAX of anything pins at the maximum rather than
+        // wrapping back through small values.
+        let mut stats = ServeStats {
+            queries_served: usize::MAX - 1,
+            queries_partial: usize::MAX,
+            postings_scanned: usize::MAX - 2,
+            ..ServeStats::default()
+        };
+        stats.absorb_ok(true, Some(100));
+        stats.absorb_ok(true, Some(100));
+        assert_eq!(stats.queries_served, usize::MAX);
+        assert_eq!(stats.queries_partial, usize::MAX);
+        assert_eq!(stats.postings_scanned, usize::MAX);
     }
 
     #[test]

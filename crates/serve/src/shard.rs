@@ -43,6 +43,7 @@ use moa_ir::{
     BoundGate, EngineSet, ExecReport, FragmentSpec, FragmentedIndex, InvertedIndex, PhysicalPlan,
     RankingModel, ScoreKernel, SharedThreshold, SwitchPolicy,
 };
+use moa_obs::{Phase, PhaseAgg};
 use moa_topn::kway_merge_sorted;
 use parking_lot::Mutex;
 
@@ -139,6 +140,12 @@ pub struct ShardOutcome {
     /// shards is the batch's *critical path* — the wall-clock a deployment
     /// with at least one core per shard converges to.
     pub busy: Duration,
+    /// Per-stage wall clocks for this query: planning, then the engine's
+    /// own stage attribution (gate pass / decode / score / merge for the
+    /// DAAT paths; one coarse score span for the set-at-a-time and
+    /// fragmented paths). A `Copy` aggregate — carrying it here allocates
+    /// nothing.
+    pub phases: PhaseAgg,
 }
 
 /// The merged answer for one query.
@@ -230,9 +237,15 @@ impl EngineShard {
                 (decision.chosen, Some(est), Some(decision.profile))
             }
         };
+        let plan_wall = t0.elapsed();
         let report = self
             .engines
             .execute_gated(plan, &query.terms, query.n, gate)?;
+        // Stage clocks: the engine recorded its own execution stages into
+        // the scratch arena; prepend the planning span observed here.
+        let mut phases = PhaseAgg::new();
+        phases.add(Phase::Plan, plan_wall);
+        phases.merge(&self.engines.last_phases());
         if let Some(profile) = profile {
             // Close the calibration loop with this shard's own
             // measurement; other shards learn from their own. A partial
@@ -249,6 +262,7 @@ impl EngineShard {
             est_cost,
             report,
             busy: t0.elapsed(),
+            phases,
         })
     }
 
