@@ -116,6 +116,10 @@ pub struct ThroughputResult {
     pub latency: Percentiles,
     /// Queries in the stream.
     pub queries: usize,
+    /// Distinct `(terms, n)` keys in the stream — the cross-batch repeat
+    /// structure a result cache (E21) can exploit: `1 - distinct/total`
+    /// of all arrivals are repeats of an earlier key.
+    pub distinct_keys: usize,
     /// Queries answered by admission coalescing during the best replay
     /// (pool only; the per-position baselines always execute everything).
     pub coalesced: usize,
@@ -238,6 +242,17 @@ fn drive(server: &mut Server<'_>, stream: &[BatchQuery], offered_qps: f64) -> Re
     }
 }
 
+/// Distinct `(terms, n)` keys in a stream — the denominator of the
+/// cross-batch repeat rate (`1 - distinct/total`). Shared with E21,
+/// whose result cache turns exactly those repeats into O(1) hits.
+pub(crate) fn distinct_key_count(stream: &[BatchQuery]) -> usize {
+    let mut keys: std::collections::HashSet<(&[u32], usize)> = std::collections::HashSet::new();
+    for q in stream {
+        keys.insert((q.terms.as_slice(), q.n));
+    }
+    keys.len()
+}
+
 fn stream_config(scale: Scale) -> StreamConfig {
     let (pool_size, length) = match scale {
         Scale::Quick => (30, 240),
@@ -287,6 +302,7 @@ pub fn measure(scale: Scale) -> Vec<ThroughputResult> {
             n: TOP_N,
         })
         .collect();
+    let distinct_keys = distinct_key_count(&stream);
 
     // Calibration: single-thread capacity on a warmed 1-shard engine,
     // serving the stream in admission-sized chunks. The offered rate —
@@ -350,6 +366,7 @@ pub fn measure(scale: Scale) -> Vec<ThroughputResult> {
                 achieved_qps: best.achieved_qps,
                 latency: best.latency,
                 queries: stream.len(),
+                distinct_keys,
                 coalesced,
                 saturated: best.achieved_qps < 0.95 * offered_qps,
             });
@@ -379,6 +396,15 @@ pub fn to_json(scale: Scale, results: &[ThroughputResult]) -> String {
         "  \"host_parallelism\": {},",
         std::thread::available_parallelism().map_or(0, |p| p.get())
     );
+    if let Some(first) = results.first() {
+        let _ = writeln!(out, "  \"queries\": {},", first.queries);
+        let _ = writeln!(out, "  \"distinct_keys\": {},", first.distinct_keys);
+        let _ = writeln!(
+            out,
+            "  \"repeat_rate\": {:.3},",
+            1.0 - first.distinct_keys as f64 / first.queries.max(1) as f64
+        );
+    }
     let _ = writeln!(out, "  \"configs\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -451,6 +477,13 @@ pub fn run(scale: Scale) -> Table {
          {REPLAYS} replays per cell",
         first.queries
     ));
+    t.note(format!(
+        "stream repeat structure: {} distinct (terms, n) keys over {} arrivals — a \
+         cross-batch repeat rate of {:.0}% (what E21's result cache amortizes)",
+        first.distinct_keys,
+        first.queries,
+        100.0 * (1.0 - first.distinct_keys as f64 / first.queries.max(1) as f64)
+    ));
     t.note(
         "latency is arrival-to-merge (queueing included; the open loop keeps arriving on \
          schedule when the server falls behind — 'sat' marks runtimes that did)",
@@ -510,6 +543,9 @@ mod tests {
             assert!(r.latency.p95 <= r.latency.p99);
             assert!(r.latency.p99 <= r.latency.max);
             assert_eq!(r.queries, results[0].queries);
+            // A Zipf stream has genuine cross-batch repeats: strictly
+            // fewer distinct keys than arrivals, but more than one.
+            assert!(r.distinct_keys > 1 && r.distinct_keys < r.queries);
             // Achieved can exceed offered only by scheduling jitter, not
             // structurally (the open loop bounds admission).
             assert!(r.achieved_qps <= r.offered_qps * 1.25);

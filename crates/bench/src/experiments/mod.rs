@@ -21,6 +21,8 @@
 //! | E17 | storage: block-compressed postings — decode + wall time     | [`e17`]|
 //! | E18 | serving: sustained-load throughput/latency, pool vs scoped  | [`e18`]|
 //! | E19 | serving: overload shedding, deadlines, worker fault storm   | [`e19`]|
+//! | E20 | observability: telemetry overhead, instrumented vs not      | [`e20`]|
+//! | E21 | serving: cross-batch result cache + plan memo under Zipf    | [`e21`]|
 
 pub mod e1;
 pub mod e10;
@@ -35,6 +37,7 @@ pub mod e18;
 pub mod e19;
 pub mod e2;
 pub mod e20;
+pub mod e21;
 pub mod e3;
 pub mod e4;
 pub mod e5;
@@ -69,17 +72,18 @@ pub fn run(id: &str, scale: Scale) -> Vec<Table> {
         "e18" => vec![e18::run(scale)],
         "e19" => vec![e19::run(scale)],
         "e20" => vec![e20::run(scale)],
+        "e21" => vec![e21::run(scale)],
         "all" => {
             let ids = [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+                "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
             ];
             ids.iter().flat_map(|i| run(i, scale)).collect()
         }
         other => vec![{
             let mut t = Table::new("unknown experiment", &["id"]);
             t.row(vec![other.to_owned()]);
-            t.note("known ids: e1..e20, all");
+            t.note("known ids: e1..e21, all");
             t
         }],
     }

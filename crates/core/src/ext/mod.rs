@@ -35,8 +35,10 @@ pub enum RetrievalMode {
     /// Always execute one fixed physical plan (the pre-planner behavior).
     Fixed(PhysicalPlan),
     /// Let the cost-driven planner pick per query, calibrating its
-    /// weights from the measured execution counters as it goes.
-    Planned(Planner),
+    /// weights from the measured execution counters as it goes. Boxed:
+    /// the planner carries its plan memo, which dwarfs the fixed-plan
+    /// variant.
+    Planned(Box<Planner>),
 }
 
 /// The outcome of one ranked retrieval through the runtime.
@@ -101,7 +103,12 @@ impl IrRuntime {
         policy: SwitchPolicy,
         planner: Planner,
     ) -> IrRuntime {
-        IrRuntime::with_mode(frag, model, policy, RetrievalMode::Planned(planner))
+        IrRuntime::with_mode(
+            frag,
+            model,
+            policy,
+            RetrievalMode::Planned(Box::new(planner)),
+        )
     }
 
     fn with_mode(

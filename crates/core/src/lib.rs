@@ -59,7 +59,7 @@ pub use expr::{Expr, ExtensionId};
 pub use ext::{ExecContext, Extension, IrRuntime, Registry};
 pub use optimizer::{Optimizer, OptimizerConfig, OptimizerTrace};
 pub use parse::parse_expr;
-pub use planner::{PlanAlternative, PlanDecision, Planner, PlannerConfig, QueryProfile};
+pub use planner::{MemoStats, PlanAlternative, PlanDecision, Planner, PlannerConfig, QueryProfile};
 pub use session::{RunReport, Session};
 pub use types::MoaType;
 pub use value::Value;

@@ -22,6 +22,8 @@
 //!    of profiling"), so the pruned-DAAT volume prediction tracks the
 //!    collection actually being served.
 
+use std::collections::{HashMap, VecDeque};
+
 use moa_ir::{
     ExecReport, FragmentedIndex, PhysicalPlan, RankingModel, Strategy, SwitchDecision, SwitchPolicy,
 };
@@ -29,6 +31,19 @@ use moa_ir::{
 use crate::cost::learning::LearnedDistribution;
 use crate::cost::{CostModel, IrCostInfo};
 use crate::error::Result;
+
+/// Plan-memo capacity: distinct df-band signatures retained. Signatures
+/// are a handful of bytes and query classes are few (bands × widths), so
+/// a small FIFO-bounded map holds every class a realistic workload
+/// produces; overflow evicts the oldest signature.
+pub const PLAN_MEMO_CAP: usize = 512;
+
+/// How far [`Planner::observe`] may move the calibrated
+/// [`crate::cost::CostWeights::daat_prune`] weight before every memoized
+/// decision is flash-invalidated (the memo was priced under the old
+/// weight; beyond this drift its costs are stale enough to re-walk the
+/// alternatives).
+pub const PLAN_MEMO_DRIFT_TOLERANCE: f64 = 0.05;
 
 /// The per-query catalog profile plans are priced against: the df profile
 /// of the query terms, the fragment volume fractions, N, and collection
@@ -197,6 +212,70 @@ impl Default for PlannerConfig {
     }
 }
 
+/// One memoized verdict: the winner and its priced entry, without the
+/// seven rejected alternatives (re-synthesized on demand for EXPLAIN).
+#[derive(Debug, Clone, Copy)]
+struct MemoEntry {
+    chosen: PhysicalPlan,
+    est_postings: f64,
+    cost: f64,
+    exact: bool,
+    switch: SwitchDecision,
+}
+
+/// Memo hit/miss/invalidation counters and residency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Decisions answered from the memo.
+    pub hits: u64,
+    /// Signatures priced fresh (and inserted).
+    pub misses: u64,
+    /// Times calibration drift cleared the whole memo.
+    pub invalidations: u64,
+    /// Signatures currently memoized.
+    pub entries: usize,
+}
+
+/// The bounded plan memo: df-band-quantized signature → priced verdict.
+/// See [`Planner::plan_memoized`].
+#[derive(Debug, Clone)]
+struct PlanMemo {
+    entries: HashMap<Box<[u8]>, MemoEntry>,
+    /// Insertion order for FIFO bounding at [`PLAN_MEMO_CAP`].
+    order: VecDeque<Box<[u8]>>,
+    /// The `daat_prune` weight the resident entries were priced under.
+    stamp: f64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    /// Reused signature buffer: a memo *hit* never allocates for its key.
+    scratch: Vec<u8>,
+}
+
+impl PlanMemo {
+    fn new(stamp: f64) -> PlanMemo {
+        PlanMemo {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            stamp,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Quantize a catalog figure to its power-of-two band: profiles whose
+/// per-position dfs land in the same bands share one memo entry.
+fn df_band(v: f64) -> u8 {
+    if v < 1.0 {
+        0
+    } else {
+        (v.log2().floor() as i64 + 1).clamp(1, 0x3f) as u8
+    }
+}
+
 /// The cost-driven physical retrieval planner.
 #[derive(Debug, Clone)]
 pub struct Planner {
@@ -208,6 +287,8 @@ pub struct Planner {
     /// Observed pruned-DAAT scan fractions (profiling, per the paper's
     /// learned-distribution proposal).
     observed_prune: LearnedDistribution,
+    /// Memoized decisions keyed by df-band signature.
+    memo: PlanMemo,
 }
 
 impl Default for Planner {
@@ -219,10 +300,12 @@ impl Default for Planner {
 impl Planner {
     /// Create a planner with the given cost model and configuration.
     pub fn new(model: CostModel, config: PlannerConfig) -> Planner {
+        let stamp = model.weights.daat_prune;
         Planner {
             model,
             config,
             observed_prune: LearnedDistribution::new(8, 16),
+            memo: PlanMemo::new(stamp),
         }
     }
 
@@ -238,6 +321,13 @@ impl Planner {
     ) -> Result<PlanDecision> {
         let profile = QueryProfile::build(terms, n, frag)?;
         let switch = policy.decide(terms, frag, model)?;
+        Ok(self.price_profile(profile, switch))
+    }
+
+    /// Price every alternative against an already-built profile (the
+    /// shared tail of [`Planner::plan`] and a
+    /// [`Planner::plan_memoized`] miss).
+    fn price_profile(&self, profile: QueryProfile, switch: SwitchDecision) -> PlanDecision {
         let w = self.model.weights;
         let out_rows = profile.n.min(profile.ir.num_docs);
         let price = |est: f64| w.rank_posting * est + w.materialize * out_rows;
@@ -347,12 +437,102 @@ impl Planner {
             .expect("PrunedDaat is always eligible");
         alternatives.sort_by(|a, b| a.cost.total_cmp(&b.cost));
 
-        Ok(PlanDecision {
+        PlanDecision {
             chosen,
             alternatives,
             switch,
             profile,
-        })
+        }
+    }
+
+    /// [`Planner::plan`] through the bounded plan memo: the profile is
+    /// still read fresh from the catalog (cheap, and
+    /// [`Planner::observe`] needs the real figures), but pricing is
+    /// answered from the memo when a df-band-quantized signature of the
+    /// query — per-position df band plus fragment-A residency, and the
+    /// banded ranking depth — has been priced before. Returns the
+    /// decision and whether it was a memo hit. A hit's
+    /// [`PlanDecision::alternatives`] holds only the chosen entry
+    /// (reason `memo: HIT`); the rejected alternatives were not
+    /// re-walked — that is the point.
+    ///
+    /// Answer-preserving by construction: the memo stores only *which*
+    /// exact operator to run, never result state, so a hit executes the
+    /// same bit-identical retrieval a fresh pricing would have picked
+    /// for that query class.
+    pub fn plan_memoized(
+        &mut self,
+        terms: &[u32],
+        n: usize,
+        frag: &FragmentedIndex,
+        model: RankingModel,
+        policy: SwitchPolicy,
+    ) -> Result<(PlanDecision, bool)> {
+        let profile = QueryProfile::build(terms, n, frag)?;
+        // Signature: banded N (with the "N admits every document" pricing
+        // cliff folded in explicitly, so banding can never blur across
+        // it), then one byte per query position: df band | A-residency.
+        self.memo.scratch.clear();
+        let mut n_byte = df_band(profile.n);
+        if profile.n >= profile.ir.num_docs {
+            n_byte |= 0x80;
+        }
+        self.memo.scratch.push(n_byte);
+        for (i, &t) in terms.iter().enumerate() {
+            let mut b = df_band(profile.dfs[i]);
+            if frag.term_in_a(t) {
+                b |= 0x40;
+            }
+            self.memo.scratch.push(b);
+        }
+        if let Some(e) = self.memo.entries.get(self.memo.scratch.as_slice()) {
+            self.memo.hits += 1;
+            let alt = PlanAlternative {
+                plan: e.chosen,
+                est_postings: e.est_postings,
+                cost: e.cost,
+                exact: e.exact,
+                feasible: true,
+                reason: "memo: HIT".to_owned(),
+            };
+            let decision = PlanDecision {
+                chosen: e.chosen,
+                alternatives: vec![alt],
+                switch: e.switch,
+                profile,
+            };
+            return Ok((decision, true));
+        }
+        self.memo.misses += 1;
+        let switch = policy.decide(terms, frag, model)?;
+        let decision = self.price_profile(profile, switch);
+        let chosen = decision.chosen_alternative();
+        let entry = MemoEntry {
+            chosen: decision.chosen,
+            est_postings: chosen.est_postings,
+            cost: chosen.cost,
+            exact: chosen.exact,
+            switch: decision.switch,
+        };
+        if self.memo.entries.len() >= PLAN_MEMO_CAP {
+            if let Some(oldest) = self.memo.order.pop_front() {
+                self.memo.entries.remove(&oldest);
+            }
+        }
+        let key: Box<[u8]> = self.memo.scratch.as_slice().into();
+        self.memo.order.push_back(key.clone());
+        self.memo.entries.insert(key, entry);
+        Ok((decision, false))
+    }
+
+    /// Memo counters and residency.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.memo.hits,
+            misses: self.memo.misses,
+            invalidations: self.memo.invalidations,
+            entries: self.memo.entries.len(),
+        }
     }
 
     /// Feed one measured execution back into the cost weights: the pruned
@@ -376,6 +556,15 @@ impl Planner {
         // keep arriving between refits).
         if let Some(m) = self.observed_prune.median() {
             self.model.weights.daat_prune = m.clamp(0.01, 1.0);
+        }
+        // Memoized decisions were priced under the stamped weight; once
+        // calibration has moved it materially, their costs (and possibly
+        // their winners) are stale — flash-invalidate and restamp.
+        if (self.model.weights.daat_prune - self.memo.stamp).abs() > PLAN_MEMO_DRIFT_TOLERANCE {
+            self.memo.entries.clear();
+            self.memo.order.clear();
+            self.memo.stamp = self.model.weights.daat_prune;
+            self.memo.invalidations += 1;
         }
     }
 
@@ -583,6 +772,95 @@ mod tests {
         // With 20 observations the learned median has replaced the
         // default prior (equality would be a one-in-a-million fluke).
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn memo_answers_repeat_query_classes_without_rewalking() {
+        let (c, frag) = fixture(true);
+        let mut planner = Planner::default();
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let q = &queries[0];
+        let fresh = planner
+            .plan(
+                &q.terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        let (first, hit1) = planner
+            .plan_memoized(
+                &q.terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        assert!(!hit1, "first sighting of a signature is a miss");
+        assert_eq!(first.chosen, fresh.chosen);
+        assert_eq!(first.alternatives.len(), PhysicalPlan::ALL.len());
+        let (second, hit2) = planner
+            .plan_memoized(
+                &q.terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        assert!(hit2);
+        assert_eq!(second.chosen, fresh.chosen, "memo never changes the winner");
+        assert_eq!(second.alternatives.len(), 1, "alternatives not re-walked");
+        assert!(second.alternatives[0].reason.contains("memo: HIT"));
+        assert_eq!(second.chosen_alternative().plan, second.chosen);
+        // The profile is still read fresh on a hit (observe() needs it).
+        assert_eq!(second.profile.volume, fresh.profile.volume);
+        let stats = planner.memo_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn calibration_drift_flash_invalidates_the_memo() {
+        let (c, frag) = fixture(true);
+        let mut planner = Planner::default();
+        let queries = generate_queries(&c, &QueryConfig::default()).unwrap();
+        let q = &queries[0];
+        let (d, _) = planner
+            .plan_memoized(
+                &q.terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        assert!(planner.memo_stats().entries > 0);
+        // Feed observations claiming the pruned kernel scanned the whole
+        // volume: the learned median is driven to 1.0, far beyond the
+        // drift tolerance from any default weight.
+        let report = ExecReport {
+            postings_scanned: d.profile.volume as usize,
+            ..ExecReport::default()
+        };
+        for _ in 0..64 {
+            planner.observe(PhysicalPlan::PrunedDaat, &d.profile, &report);
+        }
+        let stats = planner.memo_stats();
+        assert!(stats.invalidations >= 1, "drift must clear the memo");
+        assert_eq!(stats.entries, 0);
+        let (_, hit) = planner
+            .plan_memoized(
+                &q.terms,
+                10,
+                &frag,
+                RankingModel::default(),
+                SwitchPolicy::default(),
+            )
+            .unwrap();
+        assert!(!hit, "post-invalidation lookups miss and re-price");
     }
 
     #[test]

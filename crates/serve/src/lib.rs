@@ -60,16 +60,31 @@
 //! ([`ServeSession::drain_slow_queries`]), and rare structured events
 //! (panics, respawns) land in a bounded event log ([`pool::PoolEvent`]).
 //! Steady-state recording allocates nothing; E20 gates the overhead.
+//!
+//! Cross-batch caching (see DESIGN.md "Result caching & plan
+//! memoization"): [`cache`] — [`ResultCache`]: a bounded,
+//! sharded-by-hash, segmented-LRU answer cache keyed by
+//! `(terms, n, model, snapshot_epoch)`, consulted at admission *before*
+//! the queue gauge (a hit occupies no worker slot, never sheds, and is
+//! exempt from deadlines) and flash-invalidated in O(1) by
+//! [`ResultCache::invalidate_epoch`]. Hits are bit-identical to fresh
+//! execution (differential oracle in `tests/cache_oracle.rs`) and the
+//! steady-state hit path allocates nothing (`tests/alloc_cache_hit.rs`).
+//! The shard planners memoize plan decisions by df-band signature
+//! ([`moa_core::Planner::plan_memoized`]); E21 measures both levels
+//! under open-loop Zipf load.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod fault;
 pub mod pool;
 pub mod service;
 pub mod shard;
 
 pub use admission::{AdmissionPolicy, QueueGauge};
+pub use cache::{approx_entry_bytes, CacheConfig, CacheStats, ResultCache};
 pub use fault::{
     panic_message, silence_worker_panics, ServeError, ServeResult, ShardPanic, WorkerFault,
 };

@@ -201,6 +201,10 @@ struct WorkerTelemetry {
     queries: Arc<Counter>,
     /// `serve.shard_partial`: executions a deadline cut short.
     partials: Arc<Counter>,
+    /// `serve.plan_memo_hits`: planned executions whose decision came
+    /// from the shard planner's plan memo instead of a full alternative
+    /// walk.
+    memo_hits: Arc<Counter>,
     /// `serve.query_ns`: per-shard query wall time.
     query_ns: Arc<Histogram>,
     /// `serve.queue_wait_ns`: admission-to-pickup wait per batch job.
@@ -267,6 +271,10 @@ pub struct ExplainRow {
     pub cost: f64,
     /// The planner's posting-volume estimate for that operator.
     pub est_postings: f64,
+    /// Whether the shard planner's plan memo answered the pricing (a
+    /// repeated df-band query class; the alternatives were not
+    /// re-walked).
+    pub memo_hit: bool,
 }
 
 /// A unit of work on a worker's queue.
@@ -411,6 +419,9 @@ fn worker_loop(
                     if o.report.partial {
                         tele.partials.incr();
                     }
+                    if o.memo_hit {
+                        tele.memo_hits.incr();
+                    }
                     if tele.enabled {
                         let mut trace = QueryTrace::new(job.seq, qi as u32, id as u32);
                         trace.plan = o.plan.name();
@@ -442,13 +453,13 @@ fn worker_loop(
             }
             Job::Explain { terms, n, reply } => {
                 let row = {
-                    let guard = slot.lock();
+                    let mut guard = slot.lock();
                     let shard = guard
-                        .as_ref()
+                        .as_mut()
                         .expect("the slot holds the shard while its worker serves");
                     shard
-                        .plan(&terms, n)
-                        .map(|decision| {
+                        .plan_memoized(&terms, n)
+                        .map(|(decision, memo_hit)| {
                             let chosen = decision.chosen_alternative();
                             ExplainRow {
                                 shard: id,
@@ -456,6 +467,7 @@ fn worker_loop(
                                 plan_name: chosen.plan.name(),
                                 cost: chosen.cost,
                                 est_postings: chosen.est_postings,
+                                memo_hit,
                             }
                         })
                         .map_err(ServeError::Engine)
@@ -663,6 +675,7 @@ impl ShardPool {
                     enabled: config.telemetry,
                     queries: registry.counter("serve.shard_queries"),
                     partials: registry.counter("serve.shard_partial"),
+                    memo_hits: registry.counter("serve.plan_memo_hits"),
                     query_ns: registry.histogram("serve.query_ns"),
                     queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
                     ring: Mutex::new(TraceRing::with_capacity(config.trace_ring)),

@@ -32,6 +32,7 @@ use moa_ir::{ExecReport, FragmentSpec, InvertedIndex, RankingModel, SwitchPolicy
 use moa_obs::{Histogram, MetricsRegistry, QueryTrace};
 
 use crate::admission::AdmissionPolicy;
+use crate::cache::{CacheConfig, ResultCache};
 use crate::fault::{ServeError, ServeResult};
 use crate::pool::{BatchTicket, PoolConfig, PoolEvent, PoolShutdown, ShardPool, SlowQuery};
 use crate::shard::{merge_columns, BatchQuery, QueryResponse, ServeMode, ShardSpec, ShardedEngine};
@@ -72,6 +73,12 @@ pub struct ServeConfig {
     pub trace_ring: usize,
     /// Slow-query log capacity (worst-K by shard wall time).
     pub slow_log: usize,
+    /// Cross-batch result cache ([`crate::cache`]). `None` (the
+    /// default) disables it: every query executes. `Some` bounds the
+    /// cache in bytes; hits are consulted at admission *before* the
+    /// queue gauge, so they never occupy a worker slot, never shed, and
+    /// are exempt from deadline budgets.
+    pub cache: Option<CacheConfig>,
 }
 
 impl ServeConfig {
@@ -94,6 +101,16 @@ impl ServeConfig {
             telemetry: true,
             trace_ring: 128,
             slow_log: 16,
+            cache: None,
+        }
+    }
+
+    /// The planned posture with the cross-batch result cache enabled at
+    /// its default sizing.
+    pub fn cached(shards: usize) -> ServeConfig {
+        ServeConfig {
+            cache: Some(CacheConfig::default()),
+            ..ServeConfig::planned(shards)
         }
     }
 }
@@ -220,6 +237,15 @@ pub struct ServeStats {
     pub queries_partial: usize,
     /// Shard workers respawned over their retained shard after a crash.
     pub worker_respawns: usize,
+    /// Queries answered from the cross-batch result cache: no worker
+    /// slot occupied, no postings scanned, bit-identical to the fresh
+    /// execution that populated the entry.
+    pub queries_cache_hit: usize,
+    /// Per-shard planned executions whose [`moa_core::PlanDecision`]
+    /// came from the planner's plan memo instead of a full alternative
+    /// walk (a query that plans on every shard can count once per
+    /// shard).
+    pub plans_memoized: usize,
 }
 
 impl ServeStats {
@@ -246,17 +272,53 @@ impl ServeStats {
 /// workers still finish the work).
 #[must_use = "collect() the pending batch or its responses are discarded"]
 pub struct PendingBatch {
-    ticket: BatchTicket,
+    /// The pool ticket for the positions that missed the result cache.
+    /// `None` when every position hit (nothing was submitted: a fully
+    /// cached batch costs no worker slot at all).
+    ticket: Option<BatchTicket>,
+    /// With the cache enabled: one slot per submitted position, `Some`
+    /// for cache hits (in submission order), `None` for positions the
+    /// ticket answers. Empty when the cache is disabled.
+    hits: Vec<Option<Arc<QueryResponse>>>,
+    /// The cache epoch observed at admission: fresh results are inserted
+    /// stamped with it, so an `invalidate_epoch()` racing the batch can
+    /// never be laundered into a fresh-looking entry.
+    admit_epoch: u64,
     started: Instant,
 }
 
 impl PendingBatch {
+    /// Assemble submission-order responses from the cached hits and the
+    /// miss responses (which arrive in miss-submission order).
+    fn assemble(
+        hits: Vec<Option<Arc<QueryResponse>>>,
+        misses: Vec<ServeResult<QueryResponse>>,
+    ) -> Vec<ServeResult<QueryResponse>> {
+        if hits.is_empty() {
+            return misses;
+        }
+        let mut miss_iter = misses.into_iter();
+        hits.into_iter()
+            .map(|h| match h {
+                Some(cached) => Ok(QueryResponse::clone(&cached)),
+                None => miss_iter
+                    .next()
+                    .expect("one miss response per miss position"),
+            })
+            .collect()
+    }
+
     /// Redeem the batch without a session — the escape hatch for batches
     /// that outlive their session (enqueued before
     /// [`ServeSession::shutdown`], collected after). Responses bypass the
-    /// session counters; prefer [`ServeSession::collect`] otherwise.
+    /// session counters (and nothing is inserted into the result cache);
+    /// prefer [`ServeSession::collect`] otherwise.
     pub fn wait(self) -> BatchReport {
-        let responses = self.ticket.wait();
+        let misses = match self.ticket {
+            Some(t) => t.wait(),
+            None => Vec::new(),
+        };
+        let responses = PendingBatch::assemble(self.hits, misses);
         BatchReport {
             responses,
             wall: self.started.elapsed(),
@@ -269,6 +331,9 @@ pub struct ServeSession {
     pool: ShardPool,
     config: ServeConfig,
     stats: ServeStats,
+    /// The cross-batch result cache ([`ServeConfig::cache`]); `None`
+    /// when disabled.
+    cache: Option<Arc<ResultCache>>,
     /// `serve.kway_merge_ns`: the cross-shard k-way merge per batch.
     merge_ns: Arc<Histogram>,
     /// `serve.deliver_ns`: coalesced fan-out + counter accounting per
@@ -300,10 +365,14 @@ impl ServeSession {
         // as the pool's shard-side metrics: one exposition for the stack.
         let merge_ns = pool.registry().histogram("serve.kway_merge_ns");
         let deliver_ns = pool.registry().histogram("serve.deliver_ns");
+        let cache = config
+            .cache
+            .map(|c| Arc::new(ResultCache::with_registry(c, config.model, pool.registry())));
         Ok(ServeSession {
             pool,
             config,
             stats: ServeStats::default(),
+            cache,
             merge_ns,
             deliver_ns,
         })
@@ -362,10 +431,48 @@ impl ServeSession {
     /// serve this one. Under [`AdmissionPolicy::Shed`] / `TryNow`, a
     /// saturated pool refuses here with [`ServeError::Shed`] before any
     /// work happens.
+    ///
+    /// With [`ServeConfig::cache`] enabled, the result cache is
+    /// consulted here, *before* queue-gauge acquisition: cached
+    /// positions never occupy a worker slot, never shed, and are exempt
+    /// from deadline budgets; only the residual misses are submitted (a
+    /// fully cached batch submits nothing). A shed therefore refuses
+    /// only the miss sub-batch — retrying the batch re-answers the
+    /// cached positions for free.
     pub fn enqueue(&mut self, queries: &[BatchQuery]) -> ServeResult<PendingBatch> {
         let started = Instant::now();
-        let ticket = self
-            .pool
+        let (hits, admit_epoch, misses) = match &self.cache {
+            Some(cache) => {
+                let epoch = cache.epoch();
+                let hits: Vec<Option<Arc<QueryResponse>>> =
+                    queries.iter().map(|q| cache.get(&q.terms, q.n)).collect();
+                let misses: Vec<BatchQuery> = queries
+                    .iter()
+                    .zip(&hits)
+                    .filter(|(_, h)| h.is_none())
+                    .map(|(q, _)| q.clone())
+                    .collect();
+                (hits, epoch, Some(misses))
+            }
+            None => (Vec::new(), 0, None),
+        };
+        let ticket = match &misses {
+            // Cache disabled: submit the batch verbatim.
+            None => Some(self.submit_to_pool(queries)?),
+            // Fully cached: no pool work at all.
+            Some(m) if m.is_empty() => None,
+            Some(m) => Some(self.submit_to_pool(m)?),
+        };
+        Ok(PendingBatch {
+            ticket,
+            hits,
+            admit_epoch,
+            started,
+        })
+    }
+
+    fn submit_to_pool(&mut self, queries: &[BatchQuery]) -> ServeResult<BatchTicket> {
+        self.pool
             .submit(
                 queries,
                 self.config.mode,
@@ -376,8 +483,7 @@ impl ServeSession {
                 if e.is_shed() {
                     self.stats.queries_shed += queries.len();
                 }
-            })?;
-        Ok(PendingBatch { ticket, started })
+            })
     }
 
     /// Wait for an admitted batch, fold the shard columns with the
@@ -388,23 +494,81 @@ impl ServeSession {
     /// session-side tail of the query lifecycle the shard workers cannot
     /// see. Never fails: per-position errors stay in the report.
     pub fn collect(&mut self, pending: PendingBatch) -> BatchReport {
-        let coalesced = pending.ticket.coalesced();
-        let expand = pending.ticket.expansion().to_vec();
+        let PendingBatch {
+            ticket,
+            hits,
+            admit_epoch,
+            started,
+        } = pending;
+        self.stats.batches_served = self.stats.batches_served.saturating_add(1);
+        let insert_epoch = (!hits.is_empty()).then_some(admit_epoch);
+        let misses = match ticket {
+            Some(t) => self.merge_ticket(t, insert_epoch),
+            None => Vec::new(),
+        };
+        let responses = if hits.is_empty() {
+            misses
+        } else {
+            // Cache hits count as served queries but scanned nothing: the
+            // work their entries carry was performed (and counted) by the
+            // execution that populated them. A cached answer is never
+            // partial — partial responses are not inserted.
+            let mut miss_iter = misses.into_iter();
+            hits.into_iter()
+                .map(|h| match h {
+                    Some(cached) => {
+                        self.stats.queries_cache_hit =
+                            self.stats.queries_cache_hit.saturating_add(1);
+                        self.stats.absorb_ok(cached.partial, None);
+                        Ok(QueryResponse::clone(&cached))
+                    }
+                    None => miss_iter
+                        .next()
+                        .expect("one miss response per miss position"),
+                })
+                .collect()
+        };
+        let wall = started.elapsed();
+        BatchReport { responses, wall }
+    }
+
+    /// Redeem a pool ticket: merge the shard columns, expand coalesced
+    /// positions, account the session counters, and — when
+    /// `insert_epoch` is set — insert every complete distinct answer
+    /// into the result cache stamped with the admission-time epoch.
+    fn merge_ticket(
+        &mut self,
+        ticket: BatchTicket,
+        insert_epoch: Option<u64>,
+    ) -> Vec<ServeResult<QueryResponse>> {
+        let coalesced = ticket.coalesced();
+        let expand = ticket.expansion().to_vec();
         // Redeem the ticket in two steps so the merge is its own span:
         // waiting for columns is shard service time, folding them is
         // session-side merge time.
-        let (queries, columns) = pending.ticket.wait_columns();
+        let (queries, columns) = ticket.wait_columns();
         let t_merge = Instant::now();
         let distinct = merge_columns(&queries, columns);
         self.merge_ns.record(t_merge.elapsed().as_nanos() as u64);
         let t_deliver = Instant::now();
+        if let (Some(epoch), Some(cache)) = (insert_epoch, self.cache.clone()) {
+            // One insertion per *distinct* query: complete (`Ok`,
+            // non-partial) answers only — a deadline-truncated prefix
+            // must never be replayed as the full ranking.
+            for (q, r) in queries.iter().zip(&distinct) {
+                if let Ok(resp) = r {
+                    if !resp.partial {
+                        cache.insert_at(&q.terms, q.n, Arc::new(resp.clone()), epoch);
+                    }
+                }
+            }
+        }
         let responses: Vec<ServeResult<QueryResponse>> = if distinct.len() == expand.len() {
             // No duplicates: the expansion is the identity.
             distinct
         } else {
             expand.iter().map(|&u| distinct[u].clone()).collect()
         };
-        self.stats.batches_served = self.stats.batches_served.saturating_add(1);
         self.stats.queries_coalesced = self.stats.queries_coalesced.saturating_add(coalesced);
         // Count each *performed* scan once: a position is a first
         // occurrence (a real execution, not a coalesced clone) iff its
@@ -420,6 +584,10 @@ impl ServeSession {
                 Ok(resp) => {
                     let postings = first_occurrence.then_some(resp.work.postings_scanned);
                     self.stats.absorb_ok(resp.partial, postings);
+                    if first_occurrence {
+                        let memo = resp.shards.iter().filter(|o| o.memo_hit).count();
+                        self.stats.plans_memoized = self.stats.plans_memoized.saturating_add(memo);
+                    }
                 }
                 Err(_) => {
                     self.stats.queries_failed = self.stats.queries_failed.saturating_add(1);
@@ -428,8 +596,7 @@ impl ServeSession {
         }
         self.deliver_ns
             .record(t_deliver.elapsed().as_nanos() as u64);
-        let wall = pending.started.elapsed();
-        BatchReport { responses, wall }
+        responses
     }
 
     /// [`ServeSession::submit_many`] in profiling mode: shard workers run
@@ -449,6 +616,8 @@ impl ServeSession {
                 Ok(resp) => {
                     self.stats
                         .absorb_ok(resp.partial, Some(resp.work.postings_scanned));
+                    let memo = resp.shards.iter().filter(|o| o.memo_hit).count();
+                    self.stats.plans_memoized = self.stats.plans_memoized.saturating_add(memo);
                 }
                 Err(_) => {
                     self.stats.queries_failed = self.stats.queries_failed.saturating_add(1);
@@ -494,16 +663,35 @@ impl ServeSession {
                 p.name()
             );
         }
+        if let Some(cache) = &self.cache {
+            match cache.peek(terms, n) {
+                Some(epoch) => {
+                    let _ = writeln!(
+                        out,
+                        "   cache: HIT(epoch={epoch}) — this query would be answered \
+                         without touching a worker"
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "   cache: MISS");
+                }
+            }
+        }
         let _ = writeln!(
             out,
-            "{:>5}  {:>10}  {:<20}  {:>12}  {:>14}",
-            "shard", "postings", "operator", "est. cost", "est. postings"
+            "{:>5}  {:>10}  {:<20}  {:>12}  {:>14}  {:>6}",
+            "shard", "postings", "operator", "est. cost", "est. postings", "memo"
         );
         for row in self.pool.explain_rows(terms, n)? {
             let _ = writeln!(
                 out,
-                "{:>5}  {:>10}  {:<20}  {:>12.0}  {:>14.0}",
-                row.shard, row.postings, row.plan_name, row.cost, row.est_postings,
+                "{:>5}  {:>10}  {:<20}  {:>12.0}  {:>14.0}  {:>6}",
+                row.shard,
+                row.postings,
+                row.plan_name,
+                row.cost,
+                row.est_postings,
+                if row.memo_hit { "HIT" } else { "-" },
             );
         }
         let _ = writeln!(
@@ -516,6 +704,23 @@ impl ServeSession {
             "   merge: tie-stable k-way over shard-local top-{n} heaps (score desc, doc asc)"
         );
         Ok(out)
+    }
+
+    /// The cross-batch result cache, when [`ServeConfig::cache`] enabled
+    /// one — its stats, epoch, and capacity are readable here.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Flash-invalidate the result cache (O(1) epoch bump; see
+    /// [`ResultCache::invalidate_epoch`]) — the hook an index snapshot
+    /// swap calls. Returns the new epoch, or `None` when no cache is
+    /// configured. In-flight batches admitted under the old epoch will
+    /// *not* insert their answers (the epoch stamp refuses them), so a
+    /// caller observing the bump can never read a pre-bump answer back
+    /// out of the cache.
+    pub fn invalidate_epoch(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.invalidate_epoch())
     }
 
     /// The metrics registry behind the session: every pool and session
@@ -570,6 +775,7 @@ mod tests {
             report: ExecReport::default(),
             busy: Duration::from_micros(busy_us),
             phases: moa_obs::PhaseAgg::new(),
+            memo_hit: false,
         }
     }
 

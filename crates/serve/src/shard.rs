@@ -146,6 +146,11 @@ pub struct ShardOutcome {
     /// fragmented paths). A `Copy` aggregate — carrying it here allocates
     /// nothing.
     pub phases: PhaseAgg,
+    /// Whether the shard's planner answered from its plan memo instead
+    /// of re-walking every alternative (always `false` under
+    /// [`ServeMode::Fixed`]). Feeds `ServeStats::plans_memoized` and the
+    /// `serve.plan_memo_hits` counter.
+    pub memo_hit: bool,
 }
 
 /// The merged answer for one query.
@@ -211,6 +216,24 @@ impl EngineShard {
         )
     }
 
+    /// Price a query through the shard planner's bounded plan memo
+    /// ([`moa_core::Planner::plan_memoized`]): repeated df-band query
+    /// classes skip the full alternative walk. Returns the decision and
+    /// whether the memo answered it.
+    pub fn plan_memoized(
+        &mut self,
+        terms: &[u32],
+        n: usize,
+    ) -> Result<(moa_core::PlanDecision, bool)> {
+        self.planner.plan_memoized(
+            terms,
+            n,
+            &self.frag,
+            self.engines.model(),
+            self.engines.policy(),
+        )
+    }
+
     /// Lifetime count of DAAT queries served out of this shard's owned
     /// scratch arena (see [`EngineSet::scratch_queries`]) — the pool
     /// teardown tests read this off the shards handed back by
@@ -229,12 +252,12 @@ impl EngineShard {
         gate: &BoundGate,
     ) -> Result<ShardOutcome> {
         let t0 = Instant::now();
-        let (plan, est_cost, profile) = match mode {
-            ServeMode::Fixed(plan) => (plan, None, None),
+        let (plan, est_cost, profile, memo_hit) = match mode {
+            ServeMode::Fixed(plan) => (plan, None, None, false),
             ServeMode::Planned => {
-                let decision = self.plan(&query.terms, query.n)?;
+                let (decision, memo_hit) = self.plan_memoized(&query.terms, query.n)?;
                 let est = decision.chosen_alternative().cost;
-                (decision.chosen, Some(est), Some(decision.profile))
+                (decision.chosen, Some(est), Some(decision.profile), memo_hit)
             }
         };
         let plan_wall = t0.elapsed();
@@ -263,6 +286,7 @@ impl EngineShard {
             report,
             busy: t0.elapsed(),
             phases,
+            memo_hit,
         })
     }
 

@@ -1,0 +1,128 @@
+//! Counting-allocator proof that the result cache's steady-state hit
+//! path allocates nothing.
+//!
+//! The cache PR's contract: once an answer is resident, every further
+//! [`ResultCache::get`] hit is an inline hash, a hash-chain probe against
+//! stored keys, an `Arc` clone, and an intrusive-list promotion — **zero
+//! heap allocations**, including the probationary → protected promotion
+//! and any protected-share demotions it triggers. The same
+//! `#[global_allocator]` wrapper as `moa-ir`'s `alloc_steady_state` test
+//! counts every allocation; the measured hit loop must leave the counter
+//! untouched.
+//!
+//! (Integration test so the counting allocator owns the whole binary;
+//! the crate's unit tests keep the system allocator.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use moa_ir::{ExecReport, RankingModel};
+use moa_serve::{CacheConfig, QueryResponse, ResultCache};
+
+struct CountingAlloc;
+
+// Per-thread counter: the libtest harness thread allocates (output
+// buffering) concurrently with the test thread, so a process-global
+// counter would flake. The const initializer keeps thread-local access
+// itself allocation-free.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+fn resp(doc: u32, width: usize) -> Arc<QueryResponse> {
+    Arc::new(QueryResponse {
+        top: (0..width)
+            .map(|i| (doc + i as u32, 1.0 / (i + 1) as f64))
+            .collect(),
+        work: ExecReport::default(),
+        partial: false,
+        shards: Vec::new(),
+    })
+}
+
+#[test]
+fn warm_cache_hits_allocate_nothing() {
+    let cache = ResultCache::new(
+        CacheConfig {
+            capacity_bytes: 1 << 20,
+            shards: 4,
+        },
+        RankingModel::default(),
+    );
+
+    // Resident working set: mixed key widths and answer sizes across
+    // every lock shard.
+    let keys: Vec<(Vec<u32>, usize)> = (0..16u32)
+        .map(|k| {
+            let terms: Vec<u32> = (0..1 + k as usize % 4).map(|t| k * 10 + t as u32).collect();
+            (terms, 5 + k as usize % 20)
+        })
+        .collect();
+    for (i, (terms, n)) in keys.iter().enumerate() {
+        cache.insert(terms, *n, resp(i as u32 * 100, 10 + i % 30));
+    }
+
+    // Warm-up round: the first hit on each key promotes probationary →
+    // protected; later rounds exercise the protected fast path too. Both
+    // regimes sit inside the measured loop regardless — neither may
+    // allocate — but warming first also proves the *very first* re-touch
+    // after the measurement baseline is clean.
+    for (terms, n) in &keys {
+        assert!(cache.get(terms, *n).is_some(), "warm-up key went missing");
+    }
+
+    let before = allocations();
+    let mut checksum = 0usize;
+    for _ in 0..64 {
+        for (terms, n) in &keys {
+            let hit = cache.get(terms, *n).expect("resident key");
+            checksum += hit.top.len();
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cache hits performed {} heap allocations",
+        after - before
+    );
+    assert!(checksum > 0, "the measured loop really served hits");
+    let stats = cache.stats();
+    assert_eq!(stats.hits, (64 + 1) * keys.len() as u64);
+    assert_eq!(stats.misses, 0);
+}

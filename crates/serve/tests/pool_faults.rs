@@ -349,6 +349,54 @@ fn expired_deadline_overshoot_is_bounded_by_the_poll_stride_not_the_volume() {
 }
 
 #[test]
+fn set_at_a_time_deadline_overshoot_is_bounded_by_the_poll_stride() {
+    // Satellite (ROADMAP "deadline check granularity"): the set-at-a-time
+    // accumulator streams one run per query term and now polls the gate
+    // every SCAN_POLL_STRIDE postings *inside* a run as well as at run
+    // boundaries — the last uninterruptible pass in the engine. Mirror
+    // the FullScan regression above on the accumulator plan: a budget
+    // that expired before the first poll must stop within one stride per
+    // shard, not at the end of the longest run.
+    let (_, idx, queries) = fixture();
+    let shards = 2usize;
+    let overshoot_bound = shards * moa_ir::fragment::SCAN_POLL_STRIDE;
+    assert!(
+        idx.num_postings() > overshoot_bound,
+        "fixture volume {} must exceed the overshoot bound {} for the \
+         tightening to be observable",
+        idx.num_postings(),
+        overshoot_bound
+    );
+    let batch = batch_of(&queries[..4], 10);
+    let config = ServeConfig {
+        mode: ServeMode::Fixed(PhysicalPlan::SetAtATime),
+        sparse_block: Some(64),
+        queue_depth: 4,
+        admission: AdmissionPolicy::Block,
+        deadline: Some(Duration::from_nanos(1)),
+        ..ServeConfig::planned(shards)
+    };
+    let mut svc = ServeSession::new(Arc::clone(&idx), config).expect("tiny index shards cleanly");
+    let got = svc.submit_many(&batch).expect("blocking admission");
+    for (qi, g) in got.expect_ok().iter().enumerate() {
+        assert!(g.partial, "q{qi}: expired budget must degrade to partial");
+        assert!(
+            g.work.postings_scanned <= overshoot_bound,
+            "q{qi}: accumulated {} postings after expiry — overshoot must \
+             stay within one poll stride per shard ({overshoot_bound}), \
+             not run to the end of a term's run ({} postings total)",
+            g.work.postings_scanned,
+            idx.num_postings()
+        );
+        // A truncated accumulation holds only inexact partial sums, so
+        // the honest answer is an empty prefix — never a ranked guess.
+        assert!(g.top.is_empty(), "q{qi}: partial sums must never be ranked");
+    }
+    assert_eq!(svc.stats().queries_partial, batch.len());
+    assert_eq!(svc.stats().queries_failed, 0);
+}
+
+#[test]
 fn poison_term_fails_only_its_position_and_the_worker_survives() {
     silence_worker_panics();
     let (_, idx, queries) = fixture();

@@ -1,0 +1,288 @@
+//! Property test for [`moa_serve::ResultCache`]: arbitrary interleavings
+//! of inserts, gets, and epoch invalidations against a naive reference
+//! model of the segmented-LRU semantics (two `VecDeque` order lists plus
+//! a `HashMap`). After **every** operation the real cache and the model
+//! must agree on resident bytes, entry count, every counter, hit/miss
+//! outcome (with value verification), and per-key membership — which
+//! together pin the byte bound, post-invalidation behaviour, and LRU
+//! victim selection.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use moa_ir::{ExecReport, RankingModel};
+use moa_serve::{approx_entry_bytes, CacheConfig, CacheStats, QueryResponse, ResultCache};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Keys are small integers; key `k` queries terms `[k]` at `n = 10`.
+const KEYS: u8 = 8;
+const N: usize = 10;
+/// Mirrors `cache::PROTECTED_NUM / PROTECTED_DEN` (4/5 protected share).
+const PROTECTED_NUM: usize = 4;
+const PROTECTED_DEN: usize = 5;
+
+/// Per-key answer sizes vary so byte accounting is exercised with mixed
+/// entry weights; key 7 is deliberately larger than the whole cache.
+fn top_len(k: u8) -> usize {
+    if k == 7 {
+        64
+    } else {
+        2 + (usize::from(k) % 3) * 4
+    }
+}
+
+/// The answer for key `k` at `epoch` — the doc id encodes both, so a
+/// stale entry surviving invalidation could never masquerade as fresh.
+fn make_resp(k: u8, epoch: u64) -> Arc<QueryResponse> {
+    let doc = u32::from(k) * 1_000 + epoch as u32;
+    Arc::new(QueryResponse {
+        top: (0..top_len(k))
+            .map(|i| (doc + i as u32, 1.0 / (i + 1) as f64))
+            .collect(),
+        work: ExecReport::default(),
+        partial: false,
+        shards: Vec::new(),
+    })
+}
+
+fn entry_bytes(k: u8) -> usize {
+    approx_entry_bytes(&[u32::from(k)], &make_resp(k, 0))
+}
+
+/// Capacity fits roughly three mid-sized entries, so capacity evictions,
+/// protected-share demotions, and the oversized-refusal path all fire
+/// within a couple hundred operations.
+fn capacity() -> usize {
+    entry_bytes(0) + entry_bytes(1) + entry_bytes(2) + entry_bytes(0) / 2
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ModelEntry {
+    epoch: u64,
+    bytes: usize,
+    doc: u32,
+}
+
+/// The reference model: the cache's documented semantics, written the
+/// obvious slow way. Order lists hold keys, front = most recent.
+struct Model {
+    epoch: u64,
+    entries: HashMap<u8, ModelEntry>,
+    prob: VecDeque<u8>,
+    prot: VecDeque<u8>,
+    bytes: usize,
+    prot_bytes: usize,
+    bound: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Model {
+    fn new(bound: usize) -> Model {
+        Model {
+            epoch: 0,
+            entries: HashMap::new(),
+            prob: VecDeque::new(),
+            prot: VecDeque::new(),
+            bytes: 0,
+            prot_bytes: 0,
+            bound,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    fn remove(&mut self, k: u8) {
+        let e = self.entries.remove(&k).expect("removing a resident key");
+        if let Some(pos) = self.prob.iter().position(|&x| x == k) {
+            self.prob.remove(pos);
+        } else {
+            let pos = self
+                .prot
+                .iter()
+                .position(|&x| x == k)
+                .expect("resident key is in exactly one list");
+            self.prot.remove(pos);
+            self.prot_bytes -= e.bytes;
+        }
+        self.bytes -= e.bytes;
+    }
+
+    fn rebalance_protected(&mut self) {
+        let share = self.bound / PROTECTED_DEN * PROTECTED_NUM;
+        while self.prot_bytes > share {
+            let Some(tail) = self.prot.pop_back() else {
+                break;
+            };
+            self.prot_bytes -= self.entries[&tail].bytes;
+            self.prob.push_front(tail);
+        }
+    }
+
+    /// Returns the expected hit value's leading doc id, or `None` on a
+    /// miss.
+    fn get(&mut self, k: u8) -> Option<u32> {
+        let Some(&e) = self.entries.get(&k) else {
+            self.misses += 1;
+            return None;
+        };
+        if e.epoch != self.epoch {
+            // Stale entries are reclaimed on touch and count as both an
+            // eviction and a miss.
+            self.remove(k);
+            self.evictions += 1;
+            self.misses += 1;
+            return None;
+        }
+        if let Some(pos) = self.prob.iter().position(|&x| x == k) {
+            self.prob.remove(pos);
+            self.prot.push_front(k);
+            self.prot_bytes += e.bytes;
+            self.rebalance_protected();
+        } else {
+            let pos = self
+                .prot
+                .iter()
+                .position(|&x| x == k)
+                .expect("resident key is in exactly one list");
+            self.prot.remove(pos);
+            self.prot.push_front(k);
+        }
+        self.hits += 1;
+        Some(e.doc)
+    }
+
+    fn insert(&mut self, k: u8) {
+        let eb = entry_bytes(k);
+        if eb > self.bound {
+            // Oversized: refused outright, no counters move.
+            return;
+        }
+        if let Some(&e) = self.entries.get(&k) {
+            if e.epoch == self.epoch {
+                // Same key, same epoch: the resident entry already *is*
+                // this answer; keep it and its LRU position.
+                return;
+            }
+            self.remove(k);
+            self.evictions += 1;
+        }
+        self.entries.insert(
+            k,
+            ModelEntry {
+                epoch: self.epoch,
+                bytes: eb,
+                doc: u32::from(k) * 1_000 + self.epoch as u32,
+            },
+        );
+        self.prob.push_front(k);
+        self.bytes += eb;
+        while self.bytes > self.bound {
+            let victim = if let Some(&v) = self.prob.back() {
+                v
+            } else if let Some(&v) = self.prot.back() {
+                v
+            } else {
+                break;
+            };
+            self.remove(victim);
+            self.evictions += 1;
+        }
+        self.insertions += 1;
+    }
+
+    fn invalidate(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn stats_match(&self, s: &CacheStats) -> bool {
+        s.hits == self.hits
+            && s.misses == self.misses
+            && s.insertions == self.insertions
+            && s.evictions == self.evictions
+            && s.bytes == self.bytes as u64
+            && s.entries == self.entries.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn cache_agrees_with_the_naive_segmented_lru_model(
+        ops in vec((0u8..16, 0u8..KEYS), 1..=160)
+    ) {
+        let bound = capacity();
+        // One lock shard so the per-shard bound *is* the capacity and the
+        // model's single order list pair mirrors it exactly.
+        let cache = ResultCache::new(
+            CacheConfig { capacity_bytes: bound, shards: 1 },
+            RankingModel::default(),
+        );
+        let mut model = Model::new(bound);
+
+        for (step, &(sel, k)) in ops.iter().enumerate() {
+            let terms = [u32::from(k)];
+            match sel {
+                // ~44% gets, ~44% inserts, ~12% invalidations: the shim's
+                // prop_oneof! has no weights, so the op mix is biased by
+                // partitioning an integer range instead.
+                0..=6 => {
+                    let want = model.get(k);
+                    let got = cache.get(&terms, N);
+                    prop_assert_eq!(
+                        got.as_ref().map(|r| r.top[0].0),
+                        want,
+                        "step {}: get({}) hit/miss or value diverged",
+                        step,
+                        k
+                    );
+                }
+                7..=13 => {
+                    cache.insert(&terms, N, make_resp(k, model.epoch));
+                    model.insert(k);
+                }
+                _ => {
+                    model.invalidate();
+                    prop_assert_eq!(cache.invalidate_epoch(), model.epoch);
+                }
+            }
+
+            let s = cache.stats();
+            prop_assert!(
+                model.stats_match(&s),
+                "step {}: counters diverged\n cache: {:?}\n model: hits={} misses={} ins={} ev={} bytes={} entries={}",
+                step, s, model.hits, model.misses, model.insertions,
+                model.evictions, model.bytes, model.entries.len()
+            );
+            prop_assert!(
+                s.bytes <= bound as u64,
+                "step {}: resident {} bytes exceed the {} bound",
+                step, s.bytes, bound
+            );
+            prop_assert_eq!(cache.len(), model.entries.len());
+
+            // Membership, key by key: peek sees exactly the model's
+            // *current-epoch* entries (stale residents are invisible), so
+            // any wrong LRU victim shows up as a membership disagreement.
+            for key in 0..KEYS {
+                let expect = model
+                    .entries
+                    .get(&key)
+                    .filter(|e| e.epoch == model.epoch)
+                    .map(|e| e.epoch);
+                prop_assert_eq!(
+                    cache.peek(&[u32::from(key)], N),
+                    expect,
+                    "step {}: membership diverged on key {}",
+                    step,
+                    key
+                );
+            }
+        }
+    }
+}
